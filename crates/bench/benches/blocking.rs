@@ -1,0 +1,57 @@
+//! Criterion benches for the blocking stage: tokenization, token blocking,
+//! purging, filtering — the per-stage costs behind experiment E6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparker_bench::abt_buy_like;
+use sparker_blocking::{block_filtering, purge_by_comparison_level, purge_oversized, token_blocking};
+use sparker_profiles::tokenize;
+use std::hint::black_box;
+
+fn bench_tokenize(c: &mut Criterion) {
+    let text = "Sony BRAVIA KDL-40W600B 40-Inch 1080p Smart LED TV (2014 Model) with remote";
+    c.bench_function("tokenize/product-title", |b| {
+        b.iter(|| tokenize(black_box(text)).count())
+    });
+}
+
+fn bench_token_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_blocking");
+    for entities in [250usize, 1000] {
+        let ds = abt_buy_like(entities);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ds.collection.len()),
+            &ds,
+            |b, ds| b.iter(|| token_blocking(black_box(&ds.collection))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_purging(c: &mut Criterion) {
+    let ds = abt_buy_like(1000);
+    let blocks = token_blocking(&ds.collection);
+    let n = ds.collection.len();
+    c.bench_function("purge/oversized", |b| {
+        b.iter(|| purge_oversized(black_box(blocks.clone()), n, 0.5))
+    });
+    c.bench_function("purge/comparison-level", |b| {
+        b.iter(|| purge_by_comparison_level(black_box(blocks.clone()), 1.025))
+    });
+}
+
+fn bench_filtering(c: &mut Criterion) {
+    let ds = abt_buy_like(1000);
+    let blocks = purge_oversized(token_blocking(&ds.collection), ds.collection.len(), 0.5);
+    c.bench_function("block_filtering/0.8", |b| {
+        b.iter(|| block_filtering(black_box(blocks.clone()), 0.8))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_token_blocking,
+    bench_purging,
+    bench_filtering
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for entity clustering: union–find connected
+//! components vs GraphX-style label propagation, and the alternative
+//! clustering algorithms (experiment E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparker_clustering::{
+    center_clustering, connected_components, connected_components_dataflow,
+    merge_center_clustering,
+};
+use sparker_dataflow::Context;
+use sparker_profiles::{Pair, ProfileId};
+use std::hint::black_box;
+
+/// A synthetic similarity graph: `n` profiles in chains of length 5 plus
+/// random cross edges (deterministic).
+fn graph(n: u32) -> Vec<(Pair, f64)> {
+    let mut edges = Vec::new();
+    for i in 0..n - 1 {
+        if i % 5 != 4 {
+            edges.push((Pair::new(ProfileId(i), ProfileId(i + 1)), 0.9));
+        }
+    }
+    // Deterministic pseudo-random extra edges.
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for _ in 0..n / 10 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let a = (state % n as u64) as u32;
+        let b = ((state >> 32) % n as u64) as u32;
+        if a != b {
+            edges.push((Pair::new(ProfileId(a), ProfileId(b)), 0.5));
+        }
+    }
+    edges
+}
+
+fn bench_connected_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/connected-components");
+    for n in [1_000u32, 10_000] {
+        let edges = graph(n);
+        group.bench_with_input(BenchmarkId::new("union-find", n), &edges, |b, e| {
+            b.iter(|| connected_components(black_box(e), n as usize))
+        });
+        let ctx = Context::new(4);
+        group.bench_with_input(BenchmarkId::new("label-propagation", n), &edges, |b, e| {
+            b.iter(|| connected_components_dataflow(&ctx, black_box(e), n as usize))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alternatives(c: &mut Criterion) {
+    let edges = graph(5_000);
+    let mut group = c.benchmark_group("clustering/alternatives");
+    group.bench_function("center", |b| {
+        b.iter(|| center_clustering(black_box(&edges), 5_000))
+    });
+    group.bench_function("merge-center", |b| {
+        b.iter(|| merge_center_clustering(black_box(&edges), 5_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_connected_components, bench_alternatives);
+criterion_main!(benches);

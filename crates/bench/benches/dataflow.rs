@@ -1,0 +1,60 @@
+//! Criterion benches for the dataflow substrate itself: narrow ops, the
+//! shuffle (group/reduce by key), and worker scaling — calibrating the
+//! engine the scalability experiment (E8) builds on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparker_dataflow::Context;
+use std::hint::black_box;
+
+fn bench_narrow_ops(c: &mut Criterion) {
+    let ctx = Context::new(4);
+    let data: Vec<u64> = (0..100_000).collect();
+    let ds = ctx.parallelize(data, 8);
+    let mut group = c.benchmark_group("dataflow/narrow");
+    group.bench_function("map", |b| b.iter(|| black_box(&ds).map(|x| x * 2).count()));
+    group.bench_function("filter", |b| {
+        b.iter(|| black_box(&ds).filter(|x| x % 3 == 0).count())
+    });
+    group.bench_function("fold", |b| b.iter(|| black_box(&ds).fold(0u64, |a, b| a + b)));
+    group.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let ctx = Context::new(4);
+    let pairs: Vec<(u32, u64)> = (0..100_000).map(|i| (i % 1000, i as u64)).collect();
+    let ds = ctx.parallelize(pairs, 8);
+    let mut group = c.benchmark_group("dataflow/shuffle");
+    group.sample_size(30);
+    group.bench_function("group_by_key", |b| b.iter(|| black_box(&ds).group_by_key().count()));
+    group.bench_function("reduce_by_key", |b| {
+        b.iter(|| black_box(&ds).reduce_by_key(|a, b| a + *b).count())
+    });
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow/worker-scaling");
+    group.sample_size(20);
+    for workers in [1usize, 2, 4, 8] {
+        let ctx = Context::new(workers);
+        let data: Vec<u64> = (0..200_000).collect();
+        let ds = ctx.parallelize(data, workers * 2);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &ds, |b, ds| {
+            // A CPU-bound map: per-record hashing work.
+            b.iter(|| {
+                ds.map(|&x| {
+                    let mut h = x;
+                    for _ in 0..32 {
+                        h = h.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+                    }
+                    h
+                })
+                .fold(0u64, |a, b| a ^ b)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_narrow_ops, bench_shuffle, bench_worker_scaling);
+criterion_main!(benches);

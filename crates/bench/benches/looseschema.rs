@@ -1,0 +1,37 @@
+//! Criterion benches for the loose-schema generator: MinHash signatures,
+//! LSH banding, full attribute partitioning and entropy extraction
+//! (the Blast machinery behind experiments E3/E5/E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparker_bench::abt_buy_like;
+use sparker_looseschema::{partition_attributes, LshConfig, MinHasher};
+use std::hint::black_box;
+
+fn bench_minhash(c: &mut Criterion) {
+    let tokens: Vec<String> = (0..500).map(|i| format!("token{i}")).collect();
+    let mut group = c.benchmark_group("minhash/signature");
+    for hashes in [64usize, 128, 256] {
+        let mh = MinHasher::new(hashes, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(hashes), &mh, |b, mh| {
+            b.iter(|| mh.signature(black_box(tokens.iter())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loose-schema/partition-attributes");
+    group.sample_size(20);
+    for entities in [250usize, 1000] {
+        let ds = abt_buy_like(entities);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ds.collection.len()),
+            &ds,
+            |b, ds| b.iter(|| partition_attributes(black_box(&ds.collection), &LshConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minhash, bench_partitioning);
+criterion_main!(benches);

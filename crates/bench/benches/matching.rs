@@ -1,0 +1,60 @@
+//! Criterion benches for the similarity measures and the matcher loop —
+//! the entity-matching costs behind experiment E9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparker_bench::abt_buy_like;
+use sparker_core::Pipeline;
+use sparker_matching::{similarity, Matcher, SimilarityMeasure, TfIdfIndex, ThresholdMatcher};
+use std::hint::black_box;
+
+fn bench_measures(c: &mut Criterion) {
+    let a = "Sony BRAVIA KDL-40W600B 40-Inch 1080p Smart LED TV 2014 Model";
+    let b = "Sony 40 inch BRAVIA Smart LED Television KDL40W600B 1080p";
+    let (ta, tb): (std::collections::BTreeSet<String>, _) = (
+        sparker_profiles::tokenize(a).collect(),
+        sparker_profiles::tokenize(b).collect(),
+    );
+    let mut group = c.benchmark_group("similarity");
+    group.bench_function("jaccard", |bch| bch.iter(|| similarity::jaccard(black_box(&ta), black_box(&tb))));
+    group.bench_function("dice", |bch| bch.iter(|| similarity::dice(black_box(&ta), black_box(&tb))));
+    group.bench_function("cosine", |bch| {
+        bch.iter(|| similarity::cosine_tokens(black_box(&ta), black_box(&tb)))
+    });
+    group.bench_function("levenshtein", |bch| {
+        bch.iter(|| similarity::levenshtein_similarity(black_box(a), black_box(b)))
+    });
+    group.bench_function("jaro-winkler", |bch| {
+        bch.iter(|| similarity::jaro_winkler(black_box(a), black_box(b)))
+    });
+    group.bench_function("monge-elkan", |bch| {
+        bch.iter(|| similarity::monge_elkan(black_box(a), black_box(b)))
+    });
+    group.finish();
+}
+
+fn bench_matcher_loop(c: &mut Criterion) {
+    let ds = abt_buy_like(400);
+    let blocker = Pipeline::new(Default::default()).run_blocker(&ds.collection);
+    let candidates: Vec<_> = blocker.candidates.iter().copied().collect();
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(20);
+    for measure in [SimilarityMeasure::Jaccard, SimilarityMeasure::MongeElkan] {
+        let matcher = ThresholdMatcher::new(measure, 0.35);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(measure.name()),
+            &matcher,
+            |b, m| b.iter(|| m.match_pairs(&ds.collection, candidates.iter().copied())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let ds = abt_buy_like(400);
+    c.bench_function("tfidf/build-index", |b| {
+        b.iter(|| TfIdfIndex::build(black_box(&ds.collection)))
+    });
+}
+
+criterion_group!(benches, bench_measures, bench_matcher_loop, bench_tfidf);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for meta-blocking: per weighting scheme, per pruning
+//! strategy, and the broadcast-join parallel implementation vs the
+//! sequential driver (the ablations behind experiments E7/E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparker_bench::abt_buy_like;
+use sparker_blocking::{block_filtering, purge_oversized, token_blocking};
+use sparker_dataflow::Context;
+use sparker_metablocking::{
+    meta_blocking_graph, parallel, BlockGraph, MetaBlockingConfig, PruningStrategy, WeightScheme,
+};
+use std::hint::black_box;
+
+fn graph() -> BlockGraph {
+    let ds = abt_buy_like(600);
+    let blocks = purge_oversized(token_blocking(&ds.collection), ds.collection.len(), 0.5);
+    let blocks = block_filtering(blocks, 0.8);
+    BlockGraph::new(&blocks, None)
+}
+
+fn bench_weight_schemes(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("metablocking/scheme");
+    for scheme in WeightScheme::ALL {
+        let config = MetaBlockingConfig {
+            scheme,
+            pruning: PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
+            use_entropy: false,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &config, |b, cfg| {
+            b.iter(|| meta_blocking_graph(black_box(&g), cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning_strategies(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("metablocking/pruning");
+    for pruning in [
+        PruningStrategy::Wep { factor: 1.0 },
+        PruningStrategy::Cep { retain: None },
+        PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
+        PruningStrategy::Cnp { k: None, reciprocal: false },
+        PruningStrategy::Blast { ratio: 0.35 },
+    ] {
+        let config = MetaBlockingConfig {
+            scheme: WeightScheme::Cbs,
+            pruning,
+            use_entropy: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pruning.name()),
+            &config,
+            |b, cfg| b.iter(|| meta_blocking_graph(black_box(&g), cfg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let g = graph();
+    let config = MetaBlockingConfig::default();
+    let mut group = c.benchmark_group("metablocking/parallelism");
+    group.bench_function("sequential", |b| {
+        b.iter(|| meta_blocking_graph(black_box(&g), &config))
+    });
+    for workers in [1usize, 2, 4] {
+        let ctx = Context::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("broadcast-join", workers),
+            &ctx,
+            |b, ctx| b.iter(|| parallel::meta_blocking(ctx, black_box(&g), &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weight_schemes,
+    bench_pruning_strategies,
+    bench_parallel_vs_sequential
+);
+criterion_main!(benches);

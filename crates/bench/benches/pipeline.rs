@@ -1,0 +1,41 @@
+//! Criterion benches for the end-to-end pipeline (experiment E9's cost
+//! side): full runs under the schema-agnostic and Blast configurations,
+//! and the per-module split.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparker_bench::abt_buy_like;
+use sparker_core::{BlockingConfig, Pipeline, PipelineConfig};
+use std::hint::black_box;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let ds = abt_buy_like(400);
+    let mut group = c.benchmark_group("pipeline/full");
+    group.sample_size(10);
+    for (name, blocking) in [
+        ("schema-agnostic", BlockingConfig::default()),
+        ("blast", BlockingConfig::blast()),
+    ] {
+        let pipeline = Pipeline::new(PipelineConfig {
+            blocking,
+            ..PipelineConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pipeline, |b, p| {
+            b.iter(|| p.run(black_box(&ds.collection)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocker_only(c: &mut Criterion) {
+    let ds = abt_buy_like(400);
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let mut group = c.benchmark_group("pipeline/blocker");
+    group.sample_size(20);
+    group.bench_function("default", |b| {
+        b.iter(|| pipeline.run_blocker(black_box(&ds.collection)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_blocker_only);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E12 — entity-clustering algorithm comparison (the framework of
+//! Hassanzadeh et al. the paper cites for its clusterer).
+//!
+//! Runs the same similarity graph through connected components (the
+//! paper's default), center, merge–center and unique-mapping clustering,
+//! on clean and noisy matcher outputs, reporting pairwise P/R/F1 and the
+//! cluster-count statistics. Also demonstrates the GraphX-style
+//! label-propagation implementation agreeing with union–find.
+//!
+//! ```text
+//! cargo run --release --bin exp_clustering
+//! ```
+
+use sparker_bench::{abt_buy_like, f, Table};
+use sparker_clustering::{
+    center_clustering, connected_components, connected_components_dataflow,
+    merge_center_clustering, star_clustering, unique_mapping_clustering, EntityClusters,
+};
+use sparker_core::matching::{Matcher, SimilarityMeasure, ThresholdMatcher};
+use sparker_core::{PairQuality, Pipeline, PipelineConfig};
+use sparker_dataflow::Context;
+
+fn main() {
+    let ds = abt_buy_like(1000);
+    let blocker = Pipeline::new(PipelineConfig::default()).run_blocker(&ds.collection);
+
+    // Two matcher operating points: strict (clean graph) and loose (noisy
+    // graph with spurious edges — where clustering choice matters).
+    for (label, threshold) in [("strict matcher (0.5)", 0.5), ("loose matcher (0.2)", 0.2)] {
+        let matcher = ThresholdMatcher::new(SimilarityMeasure::Jaccard, threshold);
+        let graph = matcher.match_pairs(&ds.collection, blocker.candidates.iter().copied());
+        println!(
+            "== {label}: {} matching edges ==\n",
+            graph.len()
+        );
+        let n = ds.collection.len();
+        let algos: Vec<(&str, EntityClusters)> = vec![
+            ("connected-components", connected_components(graph.edges(), n)),
+            ("center", center_clustering(graph.edges(), n)),
+            ("merge-center", merge_center_clustering(graph.edges(), n)),
+            ("star", star_clustering(graph.edges(), n)),
+            (
+                "unique-mapping",
+                unique_mapping_clustering(graph.edges(), n, ds.collection.separator()),
+            ),
+        ];
+        let mut t = Table::new(&[
+            "algorithm",
+            "clusters",
+            "non-trivial",
+            "largest",
+            "precision",
+            "recall",
+            "F1",
+        ]);
+        for (name, clusters) in &algos {
+            let q = PairQuality::of_clusters(clusters, &ds.ground_truth);
+            let largest = clusters
+                .non_trivial_clusters()
+                .iter()
+                .map(|(_, m)| m.len())
+                .max()
+                .unwrap_or(1);
+            t.row(vec![
+                name.to_string(),
+                clusters.num_clusters().to_string(),
+                clusters.non_trivial_clusters().len().to_string(),
+                largest.to_string(),
+                f(q.precision),
+                f(q.recall),
+                f(q.f1),
+            ]);
+        }
+        t.print();
+        println!();
+
+        // GraphX-style label propagation agrees with union–find.
+        let ctx = Context::new(4);
+        let lp = connected_components_dataflow(&ctx, graph.edges(), n);
+        assert_eq!(lp, algos[0].1, "label propagation == union-find");
+    }
+    println!(
+        "reading: with a strict matcher all algorithms coincide; with a loose\n\
+         matcher connected components chains errors into giant clusters (low\n\
+         precision), while center/merge-center/unique-mapping contain them —\n\
+         the trade-off the clustering framework the paper cites documents."
+    );
+}

@@ -1,0 +1,125 @@
+//! E15 — dirty ER: deduplicating a single source.
+//!
+//! The paper's pipeline handles both clean–clean and dirty ER (a single
+//! source that may contain duplicates; every pair is comparable). This
+//! experiment measures the full default pipeline on dirty bibliographic
+//! data while sweeping the two knobs that define dirty-ER difficulty:
+//! the maximum duplicate-cluster size (1 duplicate vs long chains of
+//! re-entered records) and the corruption level. Clustering matters more
+//! here than in clean–clean: transitivity must reassemble multi-record
+//! clusters, and chaining errors compound.
+//!
+//! ```text
+//! cargo run --release --bin exp_dirty_er
+//! ```
+
+use sparker_bench::{f, Table};
+use sparker_core::{ClusteringAlgorithm, Pipeline, PipelineConfig};
+use sparker_datasets::{generate_dirty, DatasetConfig, Domain, NoiseConfig};
+
+fn main() {
+    println!("== recall/F1 vs duplicate-cluster size (default noise) ==\n");
+    let mut t = Table::new(&[
+        "max-cluster",
+        "profiles",
+        "true-pairs",
+        "block-recall",
+        "candidates",
+        "cluster-F1",
+    ]);
+    for max_cluster in [2usize, 3, 5, 8] {
+        let ds = generate_dirty(
+            &DatasetConfig {
+                entities: 600,
+                domain: Domain::Bibliographic,
+                seed: 0xD1127,
+                ..DatasetConfig::default()
+            },
+            max_cluster,
+        );
+        let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+        let eval = result.evaluate(&ds.ground_truth);
+        t.row(vec![
+            max_cluster.to_string(),
+            ds.collection.len().to_string(),
+            ds.ground_truth.len().to_string(),
+            f(eval.blocking.recall),
+            eval.blocking.candidates.to_string(),
+            f(eval.clustering.f1),
+        ]);
+    }
+    t.print();
+
+    println!("\n== noise sensitivity (max-cluster 3) ==\n");
+    let mut t = Table::new(&[
+        "noise",
+        "block-recall",
+        "match-recall",
+        "match-precision",
+        "cluster-F1",
+    ]);
+    for (name, noise) in [
+        ("none", NoiseConfig::none()),
+        ("default", NoiseConfig::default()),
+        ("heavy", NoiseConfig::heavy()),
+    ] {
+        let ds = generate_dirty(
+            &DatasetConfig {
+                entities: 600,
+                domain: Domain::Bibliographic,
+                noise,
+                seed: 0xD1127,
+                ..DatasetConfig::default()
+            },
+            3,
+        );
+        let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+        let eval = result.evaluate(&ds.ground_truth);
+        t.row(vec![
+            name.to_string(),
+            f(eval.blocking.recall),
+            f(eval.matching.recall),
+            f(eval.matching.precision),
+            f(eval.clustering.f1),
+        ]);
+    }
+    t.print();
+
+    println!("\n== clustering algorithm under dirty chains (max-cluster 5, default noise) ==\n");
+    let ds = generate_dirty(
+        &DatasetConfig {
+            entities: 600,
+            domain: Domain::Bibliographic,
+            seed: 0xD1127,
+            ..DatasetConfig::default()
+        },
+        5,
+    );
+    let mut t = Table::new(&["algorithm", "cluster-precision", "cluster-recall", "cluster-F1"]);
+    for algo in [
+        ClusteringAlgorithm::ConnectedComponents,
+        ClusteringAlgorithm::Center,
+        ClusteringAlgorithm::MergeCenter,
+        ClusteringAlgorithm::Star,
+    ] {
+        let config = PipelineConfig {
+            clustering: algo,
+            ..PipelineConfig::default()
+        };
+        let result = Pipeline::new(config).run(&ds.collection);
+        let eval = result.evaluate(&ds.ground_truth);
+        t.row(vec![
+            algo.name().to_string(),
+            f(eval.clustering.precision),
+            f(eval.clustering.recall),
+            f(eval.clustering.f1),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nreading: with well-separated matches all clusterers score alike; connected\n\
+         components wins on recall for multi-record clusters (transitivity\n\
+         reassembles chains) while star/center split long chains — the dirty-ER\n\
+         counterpart of E12's trade-off."
+    );
+}

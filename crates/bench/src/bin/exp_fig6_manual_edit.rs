@@ -1,0 +1,120 @@
+//! E4 — Figure 6(c,d): manually editing the attribute clusters and
+//! drilling into the false positives.
+//!
+//! The demo's user splits the name-like attributes from the
+//! description-like ones ("apparently … a good idea"), sees the number of
+//! lost ground-truth pairs increase, and uses the Debug view to learn that
+//! the lost pairs matched on keys spanning name *and* description — so the
+//! automatic partitioning was better than the manual edit.
+//!
+//! ```text
+//! cargo run --release --bin exp_fig6_manual_edit
+//! ```
+
+use sparker_bench::{abt_buy_like, f, Table};
+use sparker_core::looseschema::AttributePartitioning;
+use sparker_core::metablocking::{block_entropies, meta_blocking_graph, BlockGraph};
+use sparker_core::profiles::{Pair, SourceId};
+use sparker_core::{BlockingQuality, LostPairsReport, Pipeline, PipelineConfig};
+use sparker_blocking::{block_filtering, keyed_blocking, purge_oversized};
+use sparker_looseschema::loose_schema_keys;
+use std::collections::HashSet;
+
+fn run_with_partitioning(
+    ds: &sparker_datasets::GeneratedDataset,
+    parts: &AttributePartitioning,
+) -> (HashSet<Pair>, BlockingQuality) {
+    let blocks = keyed_blocking(&ds.collection, |p| loose_schema_keys(p, parts));
+    let blocks = purge_oversized(blocks, ds.collection.len(), 0.5);
+    let blocks = block_filtering(blocks, 0.8);
+    let entropies = block_entropies(&blocks, parts);
+    let graph = BlockGraph::new(&blocks, Some(&entropies));
+    let config = sparker_metablocking::MetaBlockingConfig {
+        use_entropy: true,
+        ..Default::default()
+    };
+    let retained = meta_blocking_graph(&graph, &config);
+    let candidates: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
+    let q = BlockingQuality::measure(&candidates, &ds.ground_truth, &ds.collection);
+    (candidates, q)
+}
+
+fn main() {
+    let ds = abt_buy_like(1000);
+
+    // The automatic partitioning found by the loose-schema generator.
+    let mut auto_config = PipelineConfig::default();
+    auto_config.blocking.loose_schema = Some(Default::default());
+    let auto_out = Pipeline::new(auto_config).run_blocker(&ds.collection);
+    let auto_parts = auto_out
+        .partitioning
+        .expect("loose schema enabled");
+
+    // The user's manual edit: split names from descriptions (Figure 6(c)).
+    let manual_parts = AttributePartitioning::manual(
+        &ds.collection,
+        vec![
+            vec![
+                (SourceId(0), "name".to_string()),
+                (SourceId(1), "title".to_string()),
+            ],
+            vec![
+                (SourceId(0), "description".to_string()),
+                (SourceId(1), "descr".to_string()),
+            ],
+            vec![
+                (SourceId(0), "price".to_string()),
+                (SourceId(1), "cost".to_string()),
+            ],
+        ],
+    );
+
+    let (auto_candidates, auto_q) = run_with_partitioning(&ds, &auto_parts);
+    let (manual_candidates, manual_q) = run_with_partitioning(&ds, &manual_parts);
+
+    let mut t = Table::new(&[
+        "partitioning",
+        "partitions",
+        "candidates",
+        "recall",
+        "precision",
+        "lost-pairs",
+    ]);
+    for (name, parts, q) in [
+        ("automatic", &auto_parts, &auto_q),
+        ("manual-split", &manual_parts, &manual_q),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            parts.len().to_string(),
+            q.candidates.to_string(),
+            f(q.recall),
+            f(q.precision),
+            q.lost_matches.to_string(),
+        ]);
+    }
+    t.print();
+
+    // The Debug button (Figure 6(d)): why did the manual edit lose pairs?
+    let report = LostPairsReport::build(&ds.collection, &ds.ground_truth, &manual_candidates);
+    println!(
+        "\nDebug view — {} pairs lost under the manual split (vs {} automatic):",
+        report.len(),
+        LostPairsReport::build(&ds.collection, &ds.ground_truth, &auto_candidates).len()
+    );
+    for fp in report.lost.iter().take(5) {
+        println!(
+            "  {} <-> {} | shared keys: {}",
+            fp.original_ids.0,
+            fp.original_ids.1,
+            fp.shared_tokens.iter().take(8).cloned().collect::<Vec<_>>().join(", ")
+        );
+    }
+    let common = report.most_common_shared_tokens(8);
+    println!("\nmost common shared keys among lost pairs: {common:?}");
+    println!(
+        "\npaper's conclusion: the lost pairs match on keys that span the name and\n\
+         description attributes; splitting them was a bad idea — the automatic\n\
+         partitioning was better, and schema-name-based partitioning can mislead."
+    );
+}

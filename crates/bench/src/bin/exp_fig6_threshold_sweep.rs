@@ -1,0 +1,71 @@
+//! E3 — Figure 6(a,b): the loose-schema clustering-threshold sweep.
+//!
+//! The demo starts at threshold 1 ("a schema-agnostic token blocking is
+//! applied and all the attributes fall in the same blob cluster"), then
+//! lowers it to 0.3 and observes that attribute clusters form, precision
+//! increases and the number of candidate pairs drops while recall stays.
+//!
+//! ```text
+//! cargo run --release --bin exp_fig6_threshold_sweep
+//! ```
+
+use sparker_bench::{abt_buy_like, f, Table};
+use sparker_core::{threshold_sweep, PipelineConfig};
+
+fn main() {
+    let ds = abt_buy_like(1000);
+    println!(
+        "Abt-Buy-shaped dataset: {} profiles, {} matches, {} comparable pairs\n",
+        ds.collection.len(),
+        ds.ground_truth.len(),
+        ds.collection.comparable_pairs()
+    );
+
+    let mut base = PipelineConfig::default();
+    base.blocking.loose_schema = Some(Default::default());
+
+    let thresholds = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+    let rows = threshold_sweep(&ds.collection, &ds.ground_truth, &base, &thresholds);
+
+    let mut t = Table::new(&[
+        "threshold",
+        "attr-partitions",
+        "blocks",
+        "candidates",
+        "recall",
+        "precision",
+        "lost-pairs",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.1}", r.threshold),
+            r.attribute_partitions.to_string(),
+            r.blocks.to_string(),
+            r.quality.candidates.to_string(),
+            f(r.quality.recall),
+            f(r.quality.precision),
+            r.quality.lost_matches.to_string(),
+        ]);
+    }
+    t.print();
+
+    let high = &rows[0];
+    let best = rows
+        .iter()
+        .filter(|r| r.attribute_partitions > 1)
+        .max_by(|a, b| a.quality.precision.partial_cmp(&b.quality.precision).unwrap());
+    if let Some(best) = best {
+        println!(
+            "\npaper's Figure 6(a)->(b) effect: at threshold 1.0 all attributes share the blob\n\
+             ({} partitions, {} candidates); at {:.1} clusters form and candidates drop to {}\n\
+             ({:.1}x fewer) while recall moves {} -> {}.",
+            high.attribute_partitions,
+            high.quality.candidates,
+            best.threshold,
+            best.quality.candidates,
+            high.quality.candidates as f64 / best.quality.candidates.max(1) as f64,
+            f(high.quality.recall),
+            f(best.quality.recall),
+        );
+    }
+}

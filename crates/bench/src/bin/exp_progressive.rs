@@ -1,0 +1,120 @@
+//! E13 (extension) — progressive meta-blocking: recall under a comparison
+//! budget.
+//!
+//! Reproduces the shape of the progressive-ER evaluation (Simonini et al.,
+//! ICDE 2018 — reference \[6\] of the demo paper): emit candidate pairs
+//! best-first and measure how quickly recall accumulates, compared with
+//! block order (the non-progressive baseline) and random order. The
+//! progressive curves must dominate: most true matches surface within a
+//! small fraction of the comparisons.
+//!
+//! ```text
+//! cargo run --release --bin exp_progressive
+//! ```
+
+use sparker_bench::{abt_buy_like, f, Table};
+use sparker_blocking::{block_filtering, purge_oversized, token_blocking};
+use sparker_metablocking::{progressive_global, progressive_node_first, BlockGraph, WeightScheme};
+use sparker_profiles::Pair;
+
+fn recall_at(order: &[Pair], gt: &sparker_profiles::GroundTruth, budget: usize) -> f64 {
+    let found = order
+        .iter()
+        .take(budget)
+        .filter(|p| gt.contains(p))
+        .count();
+    found as f64 / gt.len() as f64
+}
+
+fn main() {
+    let ds = abt_buy_like(1000);
+    let blocks = purge_oversized(token_blocking(&ds.collection), ds.collection.len(), 0.5);
+    let blocks = block_filtering(blocks, 0.8);
+    let graph = BlockGraph::new(&blocks, None);
+
+    // Orders under comparison.
+    let global: Vec<Pair> = progressive_global(&graph, WeightScheme::ChiSquare, false)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    let node_first: Vec<Pair> = progressive_node_first(&graph, WeightScheme::ChiSquare, false)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    // Non-progressive baseline: pairs in block order (deduplicated).
+    let mut block_order = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for b in blocks.blocks() {
+        for p in b.pairs(blocks.kind()) {
+            if seen.insert(p) {
+                block_order.push(p);
+            }
+        }
+    }
+    // Random baseline: deterministic shuffle of the block order.
+    let mut random = block_order.clone();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for i in (1..random.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        random.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+
+    let total = global.len();
+    println!(
+        "candidate pairs: {total}; true matches: {}\n",
+        ds.ground_truth.len()
+    );
+    println!("== recall at comparison budget (fraction of all candidates) ==\n");
+    let mut t = Table::new(&[
+        "budget",
+        "budget-pairs",
+        "progressive-global",
+        "progressive-node",
+        "block-order",
+        "random",
+    ]);
+    for pct in [0.001, 0.005, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0] {
+        let budget = ((total as f64 * pct) as usize).max(1);
+        t.row(vec![
+            format!("{:.1}%", pct * 100.0),
+            budget.to_string(),
+            f(recall_at(&global, &ds.ground_truth, budget)),
+            f(recall_at(&node_first, &ds.ground_truth, budget)),
+            f(recall_at(&block_order, &ds.ground_truth, budget)),
+            f(recall_at(&random, &ds.ground_truth, budget)),
+        ]);
+    }
+    t.print();
+
+    // Comparisons needed to reach fixed recall levels.
+    println!("\n== comparisons needed for target recall ==\n");
+    let mut t = Table::new(&["target", "progressive-global", "block-order", "speedup"]);
+    for target in [0.5, 0.8, 0.9, 0.95] {
+        let needed = |order: &[Pair]| {
+            let goal = (ds.ground_truth.len() as f64 * target).ceil() as usize;
+            let mut found = 0usize;
+            for (i, p) in order.iter().enumerate() {
+                if ds.ground_truth.contains(p) {
+                    found += 1;
+                    if found >= goal {
+                        return Some(i + 1);
+                    }
+                }
+            }
+            None
+        };
+        let (a, b) = (needed(&global), needed(&block_order));
+        t.row(vec![
+            format!("{:.0}%", target * 100.0),
+            a.map_or("-".to_string(), |v| v.to_string()),
+            b.map_or("-".to_string(), |v| v.to_string()),
+            match (a, b) {
+                (Some(a), Some(b)) => format!("{:.1}x", b as f64 / a as f64),
+                _ => "-".to_string(),
+            },
+        ]);
+    }
+    t.print();
+}

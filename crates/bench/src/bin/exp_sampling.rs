@@ -1,0 +1,92 @@
+//! E10 — representative sampling (Section 3).
+//!
+//! Quantifies the paper's debugging-time claim: tuning on a representative
+//! sample (K seeds + k/2 token-similar + k/2 random companions) instead of
+//! the full data. Reports, for growing K and k, the sample size, how many
+//! ground-truth pairs the sample preserves (both ends sampled) and the
+//! blocker wall-clock on sample vs full data.
+//!
+//! ```text
+//! cargo run --release --bin exp_sampling
+//! ```
+
+use sparker_bench::{abt_buy_like, Table};
+use sparker_core::profiles::ProfileCollection;
+use sparker_core::{representative_sample, Pipeline, PipelineConfig, SampleConfig};
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    let ds = abt_buy_like(3000);
+    println!(
+        "full dataset: {} profiles, {} matches",
+        ds.collection.len(),
+        ds.ground_truth.len()
+    );
+
+    let t0 = Instant::now();
+    let _ = Pipeline::new(PipelineConfig::default()).run_blocker(&ds.collection);
+    let full_time = t0.elapsed();
+    println!("full-data blocker time: {full_time:?}\n");
+
+    let mut t = Table::new(&[
+        "K", "k", "sample-size", "pct-of-data", "pairs-kept", "pair-recall", "vs-random", "blocker-ms", "speedup",
+    ]);
+    for seeds in [50usize, 100, 200, 400] {
+        for companions in [4usize, 10, 20] {
+            let ids = representative_sample(
+                &ds.collection,
+                &SampleConfig {
+                    seeds,
+                    companions_per_seed: companions,
+                    seed: 17,
+                },
+            );
+            let set: HashSet<_> = ids.iter().copied().collect();
+            let kept = ds
+                .ground_truth
+                .iter()
+                .filter(|p| set.contains(&p.first) && set.contains(&p.second))
+                .count();
+            // Build the sampled sub-collection and time the blocker on it.
+            let sep = ds.collection.separator() as usize;
+            let s0: Vec<_> = ds.collection.profiles()[..sep]
+                .iter()
+                .filter(|p| set.contains(&p.id))
+                .cloned()
+                .collect();
+            let s1: Vec<_> = ds.collection.profiles()[sep..]
+                .iter()
+                .filter(|p| set.contains(&p.id))
+                .cloned()
+                .collect();
+            let sample = ProfileCollection::clean_clean(s0, s1);
+            let t1 = Instant::now();
+            let _ = Pipeline::new(PipelineConfig::default()).run_blocker(&sample);
+            let sample_time = t1.elapsed();
+
+            // A uniform random sample of the same size keeps a pair only
+            // when both endpoints are drawn: expectation ≈ fraction².
+            let fraction = ids.len() as f64 / ds.collection.len() as f64;
+            let recall = kept as f64 / ds.ground_truth.len() as f64;
+            let random_recall = fraction * fraction;
+            t.row(vec![
+                seeds.to_string(),
+                companions.to_string(),
+                ids.len().to_string(),
+                format!("{:.1}%", 100.0 * fraction),
+                kept.to_string(),
+                format!("{recall:.3}"),
+                format!("{:.1}x", recall / random_recall.max(1e-9)),
+                format!("{:.1}", sample_time.as_secs_f64() * 1e3),
+                format!("{:.1}x", full_time.as_secs_f64() / sample_time.as_secs_f64()),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nreading: the token-similar companions make small samples match-dense —\n\
+         a few percent of the data preserves a disproportionate share of the\n\
+         ground truth, so configuration iterations run orders of magnitude faster."
+    );
+}

@@ -1,0 +1,130 @@
+//! E8 — scalability of the parallel (broadcast-join) meta-blocking.
+//!
+//! The paper's system exists to scale ER on a cluster; with the dataflow
+//! substrate the cluster dimension becomes the engine's worker count.
+//! This experiment measures wall-clock, speedup and parallel efficiency of
+//! parallel meta-blocking at 1..N workers, the effect of the partition
+//! count, and the engine's shuffle/task accounting for the full blocking
+//! pipeline.
+//!
+//! ```text
+//! cargo run --release --bin exp_scalability
+//! ```
+
+use sparker_bench::{abt_buy_like, Table};
+use sparker_blocking::{block_filtering, purge_oversized, token_blocking};
+use sparker_dataflow::Context;
+use sparker_metablocking::{parallel, BlockGraph, MetaBlockingConfig};
+use std::time::Instant;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "host parallelism: {cores} core(s).{}
+",
+        if cores == 1 {
+            " NOTE: on a single-core host the speedup column is expected to be
+             ~1.0x for every worker count; the meaningful readings here are (a) the
+             parallelization overhead (time vs the sequential driver) and (b) the
+             result equality across worker counts. On a multi-core host the same
+             binary reports real speedups."
+        } else {
+            ""
+        }
+    );
+    let ds = abt_buy_like(3000);
+    let blocks = purge_oversized(token_blocking(&ds.collection), ds.collection.len(), 0.5);
+    let blocks = block_filtering(blocks, 0.8);
+    let graph = BlockGraph::new(&blocks, None);
+    let config = MetaBlockingConfig::default();
+    println!(
+        "graph: {} profiles, {} blocks, {} assignments\n",
+        graph.num_profiles(),
+        graph.num_blocks(),
+        graph.total_assignments()
+    );
+
+    // Sequential reference.
+    let t0 = Instant::now();
+    let seq = sparker_metablocking::meta_blocking_graph(&graph, &config);
+    let seq_time = t0.elapsed();
+    println!(
+        "sequential meta-blocking: {:?} ({} retained pairs)\n",
+        seq_time,
+        seq.len()
+    );
+
+    // ---- Speedup vs workers ---------------------------------------------
+    println!("== speedup vs workers (parallel broadcast-join meta-blocking) ==\n");
+    let mut t = Table::new(&["workers", "time-ms", "speedup", "efficiency", "pairs"]);
+    let mut t1 = None;
+    for workers in [1usize, 2, 4, 8] {
+        let ctx = Context::new(workers);
+        // Warm-up + best-of-3 to damp scheduler noise.
+        let mut best = None;
+        let mut pairs = 0usize;
+        for _ in 0..3 {
+            let s = Instant::now();
+            let out = parallel::meta_blocking(&ctx, &graph, &config);
+            let el = s.elapsed();
+            pairs = out.len();
+            best = Some(best.map_or(el, |b: std::time::Duration| b.min(el)));
+        }
+        let best = best.unwrap();
+        let base = *t1.get_or_insert(best);
+        let speedup = base.as_secs_f64() / best.as_secs_f64();
+        let _ = cores;
+        t.row(vec![
+            workers.to_string(),
+            format!("{:.1}", best.as_secs_f64() * 1e3),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", speedup / workers as f64),
+            pairs.to_string(),
+        ]);
+        assert_eq!(pairs, seq.len(), "parallel result must match sequential");
+    }
+    t.print();
+
+    // ---- Partition-count sensitivity -------------------------------------
+    println!("\n== partition-count sensitivity (4 workers) ==\n");
+    let mut t = Table::new(&["partitions", "time-ms"]);
+    for parts in [1usize, 2, 4, 8, 16, 64] {
+        let ctx = Context::with_partitions(4, parts);
+        let mut best: Option<std::time::Duration> = None;
+        for _ in 0..3 {
+            let s = Instant::now();
+            let _ = parallel::meta_blocking(&ctx, &graph, &config);
+            let el = s.elapsed();
+            best = Some(best.map_or(el, |b| b.min(el)));
+        }
+        t.row(vec![
+            parts.to_string(),
+            format!("{:.1}", best.unwrap().as_secs_f64() * 1e3),
+        ]);
+    }
+    t.print();
+
+    // ---- Engine accounting for the dataflow blocking pipeline ------------
+    println!("\n== engine accounting: dataflow token blocking + filtering (4 workers) ==\n");
+    let ctx = Context::new(4);
+    let dblocks = sparker_blocking::dataflow::token_blocking(&ctx, &ds.collection);
+    let _f = sparker_blocking::dataflow::block_filtering(&ctx, dblocks, 0.8);
+    let snap = ctx.metrics();
+    let mut t = Table::new(&["stage", "tasks", "in-records", "out-records", "shuffled"]);
+    for s in &snap.stages {
+        t.row(vec![
+            s.name.clone(),
+            s.tasks.to_string(),
+            s.input_records.to_string(),
+            s.output_records.to_string(),
+            s.shuffle_records.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\ntotals: {} tasks, {} shuffled records, {:?} in stages",
+        snap.total_tasks(),
+        snap.total_shuffle_records(),
+        snap.total_wall_time()
+    );
+}

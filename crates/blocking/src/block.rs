@@ -1,0 +1,181 @@
+//! A single block: the profiles sharing one blocking key.
+
+use sparker_profiles::{ErKind, Pair, ProfileId};
+
+/// Index of a block inside its [`crate::BlockCollection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The profiles that share one blocking key.
+///
+/// For clean–clean ER the members are kept per source, because only
+/// cross-source comparisons count; for dirty ER all members live in
+/// `members[0]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The blocking key (a token, or token ⧺ partition id for loose-schema
+    /// blocking).
+    pub key: String,
+    /// Member profiles per source, each sorted by id.
+    pub members: [Vec<ProfileId>; 2],
+}
+
+impl Block {
+    /// Create a dirty-ER block (all members in one source).
+    pub fn dirty(key: impl Into<String>, mut members: Vec<ProfileId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        Block {
+            key: key.into(),
+            members: [members, Vec::new()],
+        }
+    }
+
+    /// Create a clean–clean block.
+    pub fn clean_clean(
+        key: impl Into<String>,
+        mut source0: Vec<ProfileId>,
+        mut source1: Vec<ProfileId>,
+    ) -> Self {
+        source0.sort_unstable();
+        source0.dedup();
+        source1.sort_unstable();
+        source1.dedup();
+        Block {
+            key: key.into(),
+            members: [source0, source1],
+        }
+    }
+
+    /// Total number of member profiles.
+    pub fn size(&self) -> usize {
+        self.members[0].len() + self.members[1].len()
+    }
+
+    /// Number of comparisons the block induces under the task kind.
+    pub fn comparisons(&self, kind: ErKind) -> u64 {
+        match kind {
+            ErKind::Dirty => {
+                let n = self.members[0].len() as u64;
+                n * n.saturating_sub(1) / 2
+            }
+            ErKind::CleanClean => self.members[0].len() as u64 * self.members[1].len() as u64,
+        }
+    }
+
+    /// `true` when the block induces at least one comparison.
+    pub fn is_useful(&self, kind: ErKind) -> bool {
+        self.comparisons(kind) > 0
+    }
+
+    /// All member profiles, both sources, in id order.
+    pub fn all_members(&self) -> impl Iterator<Item = ProfileId> + '_ {
+        self.members[0]
+            .iter()
+            .chain(self.members[1].iter())
+            .copied()
+    }
+
+    /// Enumerate the comparisons (normalized pairs) of the block.
+    pub fn pairs(&self, kind: ErKind) -> Vec<Pair> {
+        match kind {
+            ErKind::Dirty => {
+                let m = &self.members[0];
+                let mut out = Vec::with_capacity(self.comparisons(kind) as usize);
+                for i in 0..m.len() {
+                    for j in i + 1..m.len() {
+                        out.push(Pair::new(m[i], m[j]));
+                    }
+                }
+                out
+            }
+            ErKind::CleanClean => {
+                let mut out = Vec::with_capacity(self.comparisons(kind) as usize);
+                for &a in &self.members[0] {
+                    for &b in &self.members[1] {
+                        out.push(Pair::new(a, b));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Remove a member profile; returns `true` if it was present.
+    pub fn remove(&mut self, id: ProfileId) -> bool {
+        for side in &mut self.members {
+            if let Ok(pos) = side.binary_search(&id) {
+                side.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn dirty_block_comparisons_and_pairs() {
+        let b = Block::dirty("tok", vec![pid(3), pid(1), pid(2), pid(1)]);
+        assert_eq!(b.size(), 3);
+        assert_eq!(b.comparisons(ErKind::Dirty), 3);
+        assert_eq!(
+            b.pairs(ErKind::Dirty),
+            vec![
+                Pair::new(pid(1), pid(2)),
+                Pair::new(pid(1), pid(3)),
+                Pair::new(pid(2), pid(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_clean_block_comparisons_and_pairs() {
+        let b = Block::clean_clean("tok", vec![pid(0), pid(1)], vec![pid(5)]);
+        assert_eq!(b.size(), 3);
+        assert_eq!(b.comparisons(ErKind::CleanClean), 2);
+        assert_eq!(
+            b.pairs(ErKind::CleanClean),
+            vec![Pair::new(pid(0), pid(5)), Pair::new(pid(1), pid(5))]
+        );
+    }
+
+    #[test]
+    fn usefulness() {
+        assert!(!Block::dirty("k", vec![pid(1)]).is_useful(ErKind::Dirty));
+        assert!(Block::dirty("k", vec![pid(1), pid(2)]).is_useful(ErKind::Dirty));
+        // Single-source clean-clean block is useless even with many members.
+        let b = Block::clean_clean("k", vec![pid(0), pid(1), pid(2)], vec![]);
+        assert!(!b.is_useful(ErKind::CleanClean));
+    }
+
+    #[test]
+    fn remove_member() {
+        let mut b = Block::clean_clean("k", vec![pid(0)], vec![pid(9)]);
+        assert!(b.remove(pid(9)));
+        assert!(!b.remove(pid(9)));
+        assert_eq!(b.size(), 1);
+        assert!(!b.is_useful(ErKind::CleanClean));
+    }
+
+    #[test]
+    fn all_members_crosses_sources() {
+        let b = Block::clean_clean("k", vec![pid(2)], vec![pid(7), pid(4)]);
+        assert_eq!(b.all_members().collect::<Vec<_>>(), vec![pid(2), pid(4), pid(7)]);
+    }
+}

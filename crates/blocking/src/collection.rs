@@ -1,0 +1,208 @@
+//! Block collections and the profile→blocks inverted index.
+
+use crate::block::{Block, BlockId};
+use sparker_profiles::{ErKind, Pair, ProfileId};
+use std::collections::HashSet;
+
+/// The output of a blocking step: all blocks plus the task kind needed to
+/// interpret them.
+#[derive(Debug, Clone)]
+pub struct BlockCollection {
+    kind: ErKind,
+    blocks: Vec<Block>,
+}
+
+impl BlockCollection {
+    /// Bundle blocks; drops blocks that induce no comparison (the paper's
+    /// blocking step only keeps keys shared by ≥ 2 comparable profiles).
+    pub fn new(kind: ErKind, blocks: Vec<Block>) -> Self {
+        let blocks = blocks.into_iter().filter(|b| b.is_useful(kind)).collect();
+        BlockCollection { kind, blocks }
+    }
+
+    /// Task kind the blocks were built for.
+    pub fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    /// Number of blocks (blocking keys).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// All blocks, id order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Block by id.
+    pub fn get(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Total comparisons, counting a pair once per co-occurring block
+    /// (the blocking literature's *comparison cardinality* ‖B‖).
+    pub fn total_comparisons(&self) -> u64 {
+        self.blocks.iter().map(|b| b.comparisons(self.kind)).sum()
+    }
+
+    /// Distinct candidate pairs across all blocks.
+    pub fn candidate_pairs(&self) -> HashSet<Pair> {
+        let mut set = HashSet::new();
+        for b in &self.blocks {
+            set.extend(b.pairs(self.kind));
+        }
+        set
+    }
+
+    /// Sum of block sizes (the *block cardinality* — total profile→block
+    /// assignments).
+    pub fn total_assignments(&self) -> u64 {
+        self.blocks.iter().map(|b| b.size() as u64).sum()
+    }
+
+    /// Build the inverted index profile → blocks containing it.
+    pub fn profile_index(&self) -> ProfileBlocksIndex {
+        let max_id = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.all_members())
+            .map(|p| p.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut index: Vec<Vec<BlockId>> = vec![Vec::new(); max_id];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for p in b.all_members() {
+                index[p.index()].push(BlockId(i as u32));
+            }
+        }
+        ProfileBlocksIndex { index }
+    }
+
+    /// Keep only blocks satisfying `pred` (used by the purging steps).
+    pub fn retain(&mut self, pred: impl FnMut(&Block) -> bool) {
+        self.blocks.retain(pred);
+    }
+
+    /// Consume into the raw block list.
+    pub fn into_blocks(self) -> Vec<Block> {
+        self.blocks
+    }
+}
+
+/// Inverted index from profile id to the blocks containing it.
+///
+/// Meta-blocking's edge weighting is defined entirely on this index (the
+/// weight of an edge depends on the blocks its two profiles share), and
+/// Block Filtering iterates it profile by profile.
+#[derive(Debug, Clone)]
+pub struct ProfileBlocksIndex {
+    index: Vec<Vec<BlockId>>,
+}
+
+impl ProfileBlocksIndex {
+    /// Blocks containing `id` (empty for unknown/blocked-out profiles).
+    pub fn blocks_of(&self, id: ProfileId) -> &[BlockId] {
+        self.index
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of profile slots (max profile id + 1).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no profile appears in any block.
+    pub fn is_empty(&self) -> bool {
+        self.index.iter().all(Vec::is_empty)
+    }
+
+    /// Iterate `(profile, blocks)` for profiles that appear in ≥ 1 block.
+    pub fn iter(&self) -> impl Iterator<Item = (ProfileId, &[BlockId])> {
+        self.index
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (ProfileId(i as u32), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    fn sample() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::CleanClean,
+            vec![
+                Block::clean_clean("blast", vec![pid(0)], vec![pid(2), pid(3)]),
+                Block::clean_clean("simonini", vec![pid(0), pid(1)], vec![pid(2)]),
+                Block::clean_clean("useless", vec![pid(1)], vec![]),
+            ],
+        )
+    }
+
+    #[test]
+    fn useless_blocks_dropped_on_construction() {
+        let bc = sample();
+        assert_eq!(bc.len(), 2);
+        assert!(bc.blocks().iter().all(|b| b.key != "useless"));
+    }
+
+    #[test]
+    fn comparison_and_assignment_counts() {
+        let bc = sample();
+        assert_eq!(bc.total_comparisons(), 2 + 2);
+        assert_eq!(bc.total_assignments(), 3 + 3);
+    }
+
+    #[test]
+    fn candidate_pairs_deduplicate_across_blocks() {
+        let bc = sample();
+        let pairs = bc.candidate_pairs();
+        // (0,2) occurs in both blocks but counts once.
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&Pair::new(pid(0), pid(2))));
+        assert!(pairs.contains(&Pair::new(pid(0), pid(3))));
+        assert!(pairs.contains(&Pair::new(pid(1), pid(2))));
+    }
+
+    #[test]
+    fn profile_index_inverts_blocks() {
+        let bc = sample();
+        let idx = bc.profile_index();
+        assert_eq!(idx.blocks_of(pid(0)), &[BlockId(0), BlockId(1)]);
+        assert_eq!(idx.blocks_of(pid(3)), &[BlockId(0)]);
+        assert_eq!(idx.blocks_of(pid(99)), &[] as &[BlockId]);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.iter().count(), 4);
+    }
+
+    #[test]
+    fn retain_filters_blocks() {
+        let mut bc = sample();
+        bc.retain(|b| b.key == "blast");
+        assert_eq!(bc.len(), 1);
+        assert_eq!(bc.total_comparisons(), 2);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let bc = BlockCollection::new(ErKind::Dirty, vec![]);
+        assert!(bc.is_empty());
+        assert_eq!(bc.total_comparisons(), 0);
+        assert!(bc.candidate_pairs().is_empty());
+        assert!(bc.profile_index().is_empty());
+    }
+}

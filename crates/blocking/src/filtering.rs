@@ -1,0 +1,190 @@
+//! Block Filtering: shrink each profile's block list to its most
+//! informative blocks.
+
+use crate::block::Block;
+use crate::collection::BlockCollection;
+use sparker_profiles::ProfileId;
+
+/// Block Filtering (Papadakis et al., used verbatim by the paper): "removes
+/// each profile from the largest 20 % blocks in which it appears, increasing
+/// the precision without affecting the recall".
+///
+/// `ratio` is the *retained* fraction — the paper's setting is `0.8` (keep
+/// each profile in the smallest 80 % of its blocks, by comparison count).
+/// Each profile keeps `max(1, ⌈ratio · d⌉)` blocks, where `d` is the number
+/// of blocks it appears in; ties between equally sized blocks are broken by
+/// block id, which makes the result deterministic.
+pub fn block_filtering(blocks: BlockCollection, ratio: f64) -> BlockCollection {
+    assert!(
+        (0.0..=1.0).contains(&ratio) && ratio > 0.0,
+        "filter ratio must be in (0, 1], got {ratio}"
+    );
+    let kind = blocks.kind();
+    let index = blocks.profile_index();
+
+    // Pre-compute block comparison counts once.
+    let cardinality: Vec<u64> = blocks.blocks().iter().map(|b| b.comparisons(kind)).collect();
+
+    // For every profile decide which blocks to stay in.
+    let mut keep: Vec<Vec<bool>> = blocks
+        .blocks()
+        .iter()
+        .map(|b| vec![false; b.size()])
+        .collect();
+    // Map (block, profile) -> member slot, to mark retention cheaply.
+    // Blocks store members sorted per source; find the slot via binary search.
+    let mark = |keep: &mut Vec<Vec<bool>>, blocks: &BlockCollection, bid: usize, p: ProfileId| {
+        let b = blocks.get(crate::block::BlockId(bid as u32));
+        let slot = match b.members[0].binary_search(&p) {
+            Ok(i) => i,
+            Err(_) => {
+                let i = b.members[1].binary_search(&p).expect("member of block");
+                b.members[0].len() + i
+            }
+        };
+        keep[bid][slot] = true;
+    };
+
+    for (profile, block_ids) in index.iter() {
+        let mut ordered: Vec<u32> = block_ids.iter().map(|b| b.0).collect();
+        ordered.sort_by_key(|&b| (cardinality[b as usize], b));
+        let quota = ((block_ids.len() as f64 * ratio).ceil() as usize).max(1);
+        for &b in ordered.iter().take(quota) {
+            mark(&mut keep, &blocks, b as usize, profile);
+        }
+    }
+
+    // Rebuild blocks with only the retained members.
+    let rebuilt: Vec<Block> = blocks
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let split = b.members[0].len();
+            let retain_side = |side: usize, offset: usize| -> Vec<ProfileId> {
+                b.members[side]
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| keep[i][offset + j])
+                    .map(|(_, &p)| p)
+                    .collect()
+            };
+            Block {
+                key: b.key.clone(),
+                members: [retain_side(0, 0), retain_side(1, split)],
+            }
+        })
+        .collect();
+
+    BlockCollection::new(kind, rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::{ErKind, Pair};
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn removes_profiles_from_their_largest_blocks() {
+        // p0 appears in 5 blocks: one huge, four small. ratio 0.8 keeps it
+        // in ceil(5*0.8)=4 blocks → it leaves exactly the huge one.
+        let mut blocks = vec![Block::dirty("huge", (0..30).map(ProfileId).collect())];
+        for i in 0..4 {
+            blocks.push(Block::dirty(
+                format!("small{i}"),
+                vec![pid(0), pid(10 + i)],
+            ));
+        }
+        let bc = BlockCollection::new(ErKind::Dirty, blocks);
+        let filtered = block_filtering(bc, 0.8);
+        let huge = filtered.blocks().iter().find(|b| b.key == "huge").unwrap();
+        assert!(!huge.all_members().any(|p| p == pid(0)), "p0 left the huge block");
+        for i in 0..4 {
+            let b = filtered
+                .blocks()
+                .iter()
+                .find(|b| b.key == format!("small{i}"))
+                .unwrap();
+            assert!(b.all_members().any(|p| p == pid(0)));
+        }
+    }
+
+    #[test]
+    fn profile_in_one_block_always_stays() {
+        let bc = BlockCollection::new(
+            ErKind::Dirty,
+            vec![Block::dirty("only", vec![pid(0), pid(1)])],
+        );
+        let filtered = block_filtering(bc, 0.5);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered.blocks()[0].size(), 2);
+    }
+
+    #[test]
+    fn ratio_one_is_identity_on_pairs() {
+        let bc = BlockCollection::new(
+            ErKind::Dirty,
+            vec![
+                Block::dirty("a", vec![pid(0), pid(1), pid(2)]),
+                Block::dirty("b", vec![pid(1), pid(2)]),
+            ],
+        );
+        let before = bc.candidate_pairs();
+        let filtered = block_filtering(bc, 1.0);
+        assert_eq!(filtered.candidate_pairs(), before);
+    }
+
+    #[test]
+    fn clean_clean_sides_preserved() {
+        let bc = BlockCollection::new(
+            ErKind::CleanClean,
+            vec![
+                Block::clean_clean("big", (0..10).map(ProfileId).collect(), (10..20).map(ProfileId).collect()),
+                Block::clean_clean("small", vec![pid(0)], vec![pid(10)]),
+            ],
+        );
+        let filtered = block_filtering(bc, 0.5);
+        // Every profile is in ≤2 blocks; quota = max(1, ceil(d*0.5)) = 1,
+        // so p0/p10 keep only the small block; others keep "big".
+        let small = filtered.blocks().iter().find(|b| b.key == "small").unwrap();
+        assert_eq!(small.comparisons(ErKind::CleanClean), 1);
+        assert!(small.pairs(ErKind::CleanClean).contains(&Pair::new(pid(0), pid(10))));
+        let big = filtered.blocks().iter().find(|b| b.key == "big").unwrap();
+        assert!(!big.all_members().any(|p| p == pid(0) || p == pid(10)));
+    }
+
+    #[test]
+    fn filtering_reduces_comparisons_without_killing_all() {
+        let blocks: Vec<Block> = (0..8)
+            .map(|i| {
+                Block::dirty(
+                    format!("k{i}"),
+                    (0..(4 + i * 3)).map(ProfileId).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let bc = BlockCollection::new(ErKind::Dirty, blocks);
+        let before = bc.total_comparisons();
+        let filtered = block_filtering(bc, 0.6);
+        let after = filtered.total_comparisons();
+        assert!(after < before, "comparisons shrink: {after} < {before}");
+        assert!(after > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter ratio")]
+    fn out_of_range_ratio_rejected() {
+        let bc = BlockCollection::new(ErKind::Dirty, vec![]);
+        block_filtering(bc, 1.5);
+    }
+
+    #[test]
+    fn empty_collection_ok() {
+        let bc = BlockCollection::new(ErKind::Dirty, vec![]);
+        assert!(block_filtering(bc, 0.8).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # sparker-blocking
+//!
+//! The first half of SparkER's blocker: schema-agnostic Token Blocking plus
+//! the block-collection cleaning steps (Block Purging and Block Filtering)
+//! that the paper applies before meta-blocking.
+//!
+//! * [`token_blocking`] — every token appearing anywhere in a profile is a
+//!   blocking key (Figure 1(b) of the paper).
+//! * [`keyed_blocking`] — the generalization used by Blast's loose-schema
+//!   blocking, where the caller derives the keys (token ⧺ attribute-partition
+//!   id, Figure 2(b)).
+//! * [`purge_oversized`] — Block Purging: drop blocks containing more than
+//!   half of all profiles (stop-word-like keys).
+//! * [`block_filtering`] — Block Filtering: remove each profile from the
+//!   largest 20 % of the blocks it appears in.
+//! * [`dataflow`] — the same operators expressed on the
+//!   [`sparker_dataflow`] engine, mirroring SparkER's Spark implementation.
+//!
+//! ```
+//! use sparker_profiles::{Profile, ProfileCollection, SourceId};
+//! use sparker_blocking::token_blocking;
+//!
+//! let coll = ProfileCollection::clean_clean(
+//!     vec![Profile::builder(SourceId(0), "1").attr("title", "Blast meta-blocking").build()],
+//!     vec![Profile::builder(SourceId(1), "2").attr("name", "BLAST").build()],
+//! );
+//! let blocks = token_blocking(&coll);
+//! assert_eq!(blocks.len(), 1); // only "blast" co-occurs
+//! assert_eq!(blocks.total_comparisons(), 1);
+//! ```
+
+mod block;
+mod collection;
+pub mod dataflow;
+mod filtering;
+mod methods;
+mod purging;
+mod tokenblocking;
+
+pub use block::{Block, BlockId};
+pub use collection::{BlockCollection, ProfileBlocksIndex};
+pub use filtering::block_filtering;
+pub use methods::{
+    canopy_blocking, ngram_blocking, rarest_token_key, sorted_neighborhood,
+    sorted_neighborhood_by,
+};
+pub use purging::{purge_by_comparison_level, purge_oversized};
+pub use tokenblocking::{keyed_blocking, token_blocking};

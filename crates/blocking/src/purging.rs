@@ -1,0 +1,162 @@
+//! Block Purging: remove the largest, least informative blocks.
+
+use crate::collection::BlockCollection;
+
+/// Block Purging as described in the paper: "discards all the blocks that
+/// contain more than half of the profiles in the collection, corresponding
+/// to highly frequent blocking keys (e.g. stop-words)".
+///
+/// `max_fraction` is the retained-size cap as a fraction of
+/// `total_profiles`; the paper's setting is `0.5`. Blocks with
+/// `size > max_fraction * total_profiles` are dropped.
+pub fn purge_oversized(
+    mut blocks: BlockCollection,
+    total_profiles: usize,
+    max_fraction: f64,
+) -> BlockCollection {
+    assert!(
+        max_fraction > 0.0,
+        "purging fraction must be positive, got {max_fraction}"
+    );
+    // A block of two profiles is never a stop-word block, whatever the
+    // collection size — without this floor, tiny collections (where half
+    // the profiles is < 2) would lose every useful block.
+    let cap = ((total_profiles as f64 * max_fraction).floor() as usize).max(2);
+    blocks.retain(|b| b.size() <= cap);
+    blocks
+}
+
+/// Comparison-level Block Purging (Papadakis et al., the meta-blocking
+/// paper SparkER builds on): choose the comparison cap automatically from
+/// the block-size distribution, then drop every block whose individual
+/// comparison count exceeds it.
+///
+/// The cap is the largest per-block comparison count `c` such that keeping
+/// only blocks with `comparisons ≤ c` does not decrease the ratio of
+/// retained comparisons to retained block assignments more sharply than the
+/// smoothing factor permits: scanning candidate caps in increasing order, it
+/// keeps the last cap where the marginal comparisons-per-assignment of the
+/// newly admitted blocks stays below `smoothing` × the running average.
+/// Intuitively, oversized blocks add many comparisons but few new
+/// profile–block assignments, so their marginal ratio explodes.
+pub fn purge_by_comparison_level(blocks: BlockCollection, smoothing: f64) -> BlockCollection {
+    assert!(
+        smoothing >= 1.0,
+        "smoothing factor must be ≥ 1, got {smoothing}"
+    );
+    let kind = blocks.kind();
+    if blocks.is_empty() {
+        return blocks;
+    }
+
+    // Distinct per-block comparison counts, ascending.
+    let mut levels: Vec<u64> = blocks.blocks().iter().map(|b| b.comparisons(kind)).collect();
+    levels.sort_unstable();
+    levels.dedup();
+
+    // For each level, the cumulative comparisons and assignments of blocks
+    // at or below it.
+    let mut cum: Vec<(u64, u64, u64)> = Vec::with_capacity(levels.len()); // (level, comparisons, assignments)
+    for &level in &levels {
+        let mut comparisons = 0u64;
+        let mut assignments = 0u64;
+        for b in blocks.blocks() {
+            if b.comparisons(kind) <= level {
+                comparisons += b.comparisons(kind);
+                assignments += b.size() as u64;
+            }
+        }
+        cum.push((level, comparisons, assignments));
+    }
+
+    // Walk up the levels; stop before the first level whose admitted blocks
+    // raise comparisons-per-assignment beyond smoothing × current ratio.
+    let mut cap = cum[0].0;
+    for w in cum.windows(2) {
+        let (_, c_prev, a_prev) = w[0];
+        let (level, c_next, a_next) = w[1];
+        let prev_ratio = c_prev as f64 / a_prev.max(1) as f64;
+        let marginal = (c_next - c_prev) as f64 / (a_next - a_prev).max(1) as f64;
+        if marginal > smoothing * prev_ratio.max(1.0) {
+            break;
+        }
+        cap = level;
+    }
+
+    let mut blocks = blocks;
+    blocks.retain(|b| b.comparisons(kind) <= cap);
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use sparker_profiles::ErKind;
+    use sparker_profiles::ProfileId;
+
+    fn dirty_block(key: &str, ids: std::ops::Range<u32>) -> Block {
+        Block::dirty(key, ids.map(ProfileId).collect())
+    }
+
+    #[test]
+    fn oversized_blocks_dropped() {
+        // 10 profiles total; the "the" block holds 6 (> half) and must go.
+        let bc = BlockCollection::new(
+            ErKind::Dirty,
+            vec![
+                dirty_block("the", 0..6),
+                dirty_block("sony", 0..2),
+                dirty_block("bravia", 2..5),
+            ],
+        );
+        let purged = purge_oversized(bc, 10, 0.5);
+        let keys: Vec<&str> = purged.blocks().iter().map(|b| b.key.as_str()).collect();
+        assert_eq!(keys, vec!["sony", "bravia"]);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        // Exactly half the profiles is retained (strictly-more is purged).
+        let bc = BlockCollection::new(ErKind::Dirty, vec![dirty_block("k", 0..5)]);
+        let purged = purge_oversized(bc, 10, 0.5);
+        assert_eq!(purged.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fraction_rejected() {
+        let bc = BlockCollection::new(ErKind::Dirty, vec![]);
+        purge_oversized(bc, 10, 0.0);
+    }
+
+    #[test]
+    fn comparison_level_purging_drops_explosive_blocks() {
+        // Many small blocks plus one enormous one: the big block's marginal
+        // comparisons-per-assignment is far above the small blocks' ratio.
+        let mut blocks: Vec<Block> = (0..20)
+            .map(|i| dirty_block(&format!("k{i}"), i * 2..i * 2 + 2))
+            .collect();
+        blocks.push(dirty_block("stopword", 0..40));
+        let bc = BlockCollection::new(ErKind::Dirty, blocks);
+        let purged = purge_by_comparison_level(bc, 1.025);
+        assert_eq!(purged.len(), 20);
+        assert!(purged.blocks().iter().all(|b| b.key != "stopword"));
+    }
+
+    #[test]
+    fn comparison_level_purging_keeps_uniform_blocks() {
+        let blocks: Vec<Block> = (0..10)
+            .map(|i| dirty_block(&format!("k{i}"), i * 3..i * 3 + 3))
+            .collect();
+        let bc = BlockCollection::new(ErKind::Dirty, blocks);
+        let purged = purge_by_comparison_level(bc, 1.025);
+        assert_eq!(purged.len(), 10, "uniform distribution: nothing purged");
+    }
+
+    #[test]
+    fn comparison_level_purging_empty_input() {
+        let bc = BlockCollection::new(ErKind::Dirty, vec![]);
+        assert!(purge_by_comparison_level(bc, 1.025).is_empty());
+    }
+}

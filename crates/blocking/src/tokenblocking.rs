@@ -1,0 +1,173 @@
+//! Schema-agnostic Token Blocking and its keyed generalization.
+
+use crate::block::Block;
+use crate::collection::BlockCollection;
+use sparker_profiles::{ErKind, Profile, ProfileCollection, ProfileId};
+use std::collections::HashMap;
+
+/// Schema-agnostic Token Blocking (Figure 1(b) of the paper): each distinct
+/// token appearing in any attribute value of a profile becomes a blocking
+/// key; a block holds every profile containing that token.
+///
+/// Blocks inducing no comparison (singletons; single-source blocks in
+/// clean–clean tasks) are dropped. Block order is deterministic: keys are
+/// sorted.
+pub fn token_blocking(collection: &ProfileCollection) -> BlockCollection {
+    keyed_blocking(collection, |p| p.token_set().into_iter().collect())
+}
+
+/// Blocking with caller-provided keys: `key_fn` maps each profile to its set
+/// of blocking keys. This is the hook used by Blast's loose-schema blocking,
+/// where keys are `token ⧺ "_" ⧺ attribute-partition id` (Figure 2(b)).
+///
+/// Duplicate keys emitted for one profile are collapsed.
+pub fn keyed_blocking(
+    collection: &ProfileCollection,
+    key_fn: impl Fn(&Profile) -> Vec<String>,
+) -> BlockCollection {
+    let mut buckets: HashMap<String, [Vec<ProfileId>; 2]> = HashMap::new();
+    for p in collection.profiles() {
+        let mut keys = key_fn(p);
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            let entry = buckets.entry(key).or_default();
+            entry[p.source.0 as usize].push(p.id);
+        }
+    }
+    let mut keys: Vec<String> = buckets.keys().cloned().collect();
+    keys.sort_unstable();
+    let blocks = keys
+        .into_iter()
+        .map(|k| {
+            let [s0, s1] = buckets.remove(&k).expect("key from buckets");
+            match collection.kind() {
+                ErKind::Dirty => Block::dirty(k, s0),
+                ErKind::CleanClean => Block::clean_clean(k, s0, s1),
+            }
+        })
+        .collect();
+    BlockCollection::new(collection.kind(), blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::{Pair, Profile, SourceId};
+
+    /// The paper's Figure 1 toy data: four bibliographic profiles from two
+    /// sources.
+    pub(crate) fn figure1_collection() -> ProfileCollection {
+        // Source 1: structured records p1, p2.
+        let p1 = Profile::builder(SourceId(0), "p1")
+            .attr("Name", "Blast")
+            .attr("Authors", "G. Simonini")
+            .attr("Abstract", "how to improve meta-blocking")
+            .build();
+        let p2 = Profile::builder(SourceId(0), "p2")
+            .attr("Name", "SparkER")
+            .attr("Authors", "L. Gagliardelli")
+            .attr("Abstract", "Simonini et al proposed blocking")
+            .build();
+        // Source 2: BibTeX-ish records p3, p4.
+        let p3 = Profile::builder(SourceId(1), "p3")
+            .attr("title", "Blast: loosely schema blocking")
+            .attr("author", "Giovanni Simonini")
+            .attr("year", "2016")
+            .build();
+        let p4 = Profile::builder(SourceId(1), "p4")
+            .attr("title", "SparkER: parallel Blast")
+            .attr("author", "Luca Gagliardelli")
+            .attr("year", "2017")
+            .build();
+        ProfileCollection::clean_clean(vec![p1, p2], vec![p3, p4])
+    }
+
+    fn block_members(bc: &BlockCollection, key: &str) -> Vec<u32> {
+        bc.blocks()
+            .iter()
+            .find(|b| b.key == key)
+            .map(|b| b.all_members().map(|p| p.0).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn figure1_blocks_match_paper() {
+        // Figure 1(b): blast{p1,p3,p4}, simonini{p1,p2,p3}, blocking{p1,p2,p3},
+        // gagliardelli{p2,p4}, sparker{p2,p4}. (ids: p1=0, p2=1, p3=2, p4=3)
+        let bc = token_blocking(&figure1_collection());
+        assert_eq!(block_members(&bc, "blast"), vec![0, 2, 3]);
+        assert_eq!(block_members(&bc, "simonini"), vec![0, 1, 2]);
+        assert_eq!(block_members(&bc, "blocking"), vec![0, 1, 2]);
+        assert_eq!(block_members(&bc, "gagliardelli"), vec![1, 3]);
+        assert_eq!(block_members(&bc, "sparker"), vec![1, 3]);
+    }
+
+    #[test]
+    fn single_source_tokens_do_not_block() {
+        let bc = token_blocking(&figure1_collection());
+        // "2016"/"2017" appear only in source 2 (one profile each);
+        // "abstract" tokens only in source 1.
+        assert!(block_members(&bc, "2016").is_empty());
+        assert!(block_members(&bc, "improve").is_empty());
+        // "et"/"al" appear in p2 only.
+        assert!(block_members(&bc, "et").is_empty());
+    }
+
+    #[test]
+    fn dirty_blocking_blocks_within_source() {
+        let coll = ProfileCollection::dirty(vec![
+            Profile::builder(SourceId(0), "a").attr("n", "alpha beta").build(),
+            Profile::builder(SourceId(0), "b").attr("n", "beta gamma").build(),
+            Profile::builder(SourceId(0), "c").attr("n", "delta").build(),
+        ]);
+        let bc = token_blocking(&coll);
+        assert_eq!(bc.len(), 1);
+        assert_eq!(bc.blocks()[0].key, "beta");
+        assert_eq!(
+            bc.candidate_pairs().into_iter().collect::<Vec<_>>(),
+            vec![Pair::new(ProfileId(0), ProfileId(1))]
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_for_one_profile_collapse() {
+        let coll = ProfileCollection::dirty(vec![
+            Profile::builder(SourceId(0), "a")
+                .attr("n", "word word word")
+                .attr("m", "word")
+                .build(),
+            Profile::builder(SourceId(0), "b").attr("n", "word").build(),
+        ]);
+        let bc = token_blocking(&coll);
+        assert_eq!(bc.len(), 1);
+        assert_eq!(bc.blocks()[0].size(), 2);
+    }
+
+    #[test]
+    fn keyed_blocking_custom_keys() {
+        let coll = figure1_collection();
+        // Key every profile by its first author token suffixed with a
+        // partition marker — a tiny loose-schema stand-in.
+        let bc = keyed_blocking(&coll, |p| {
+            p.token_set().into_iter().map(|t| format!("{t}_1")).collect()
+        });
+        assert!(bc.blocks().iter().all(|b| b.key.ends_with("_1")));
+        assert_eq!(bc.len(), 5);
+    }
+
+    #[test]
+    fn empty_collection_yields_no_blocks() {
+        let bc = token_blocking(&ProfileCollection::dirty(vec![]));
+        assert!(bc.is_empty());
+    }
+
+    #[test]
+    fn keys_are_sorted_deterministically() {
+        let bc = token_blocking(&figure1_collection());
+        let keys: Vec<&str> = bc.blocks().iter().map(|b| b.key.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of blocking invariants: purging and filtering only
+//! remove comparisons, candidate pairs are always comparable, dataflow
+//! equals sequential.
+
+use proptest::prelude::*;
+use sparker_blocking::{
+    block_filtering, purge_by_comparison_level, purge_oversized, token_blocking,
+};
+use sparker_dataflow::Context;
+use sparker_profiles::{Profile, ProfileCollection, SourceId};
+
+/// Random small collections: values drawn from a small token vocabulary so
+/// blocks actually form.
+fn collection_strategy(dirty: bool) -> impl Strategy<Value = ProfileCollection> {
+    let profile = prop::collection::vec(0usize..12, 1..6).prop_map(|words| {
+        words
+            .into_iter()
+            .map(|w| format!("tok{w}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    });
+    prop::collection::vec(profile, 2..25).prop_map(move |values| {
+        let build = |src: u8, vals: &[String], off: usize| {
+            vals.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    Profile::builder(SourceId(src), format!("r{}", off + i))
+                        .attr("text", v.clone())
+                        .build()
+                })
+                .collect::<Vec<_>>()
+        };
+        if dirty {
+            ProfileCollection::dirty(build(0, &values, 0))
+        } else {
+            let mid = values.len() / 2;
+            ProfileCollection::clean_clean(
+                build(0, &values[..mid], 0),
+                build(1, &values[mid..], mid),
+            )
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn candidate_pairs_are_comparable(coll in collection_strategy(false)) {
+        let blocks = token_blocking(&coll);
+        for pair in blocks.candidate_pairs() {
+            prop_assert!(coll.is_comparable(pair.first, pair.second));
+        }
+    }
+
+    #[test]
+    fn purging_only_removes_pairs(coll in collection_strategy(true), frac in 0.1f64..1.0) {
+        let blocks = token_blocking(&coll);
+        let before = blocks.candidate_pairs();
+        let after = purge_oversized(blocks, coll.len(), frac).candidate_pairs();
+        prop_assert!(after.is_subset(&before));
+    }
+
+    #[test]
+    fn comparison_purging_only_removes_pairs(coll in collection_strategy(true), s in 1.0f64..2.0) {
+        let blocks = token_blocking(&coll);
+        let before = blocks.candidate_pairs();
+        let after = purge_by_comparison_level(blocks, s).candidate_pairs();
+        prop_assert!(after.is_subset(&before));
+    }
+
+    #[test]
+    fn filtering_only_removes_pairs_and_keeps_some(
+        coll in collection_strategy(true),
+        ratio in 0.2f64..1.0,
+    ) {
+        let blocks = token_blocking(&coll);
+        let before = blocks.candidate_pairs();
+        let filtered = block_filtering(blocks, ratio);
+        let after = filtered.candidate_pairs();
+        prop_assert!(after.is_subset(&before));
+        // Every profile keeps ≥1 block, so nobody is orphaned *by filtering*
+        // (pairs can still disappear, but block membership survives).
+        if !before.is_empty() && ratio >= 0.99 {
+            prop_assert_eq!(&after, &before, "ratio 1.0 is the identity on pairs");
+        }
+    }
+
+    #[test]
+    fn filtering_monotone_in_ratio(coll in collection_strategy(true)) {
+        let blocks = token_blocking(&coll);
+        let strict = block_filtering(blocks.clone(), 0.4).candidate_pairs();
+        let loose = block_filtering(blocks, 0.8).candidate_pairs();
+        prop_assert!(strict.len() <= loose.len());
+    }
+
+    #[test]
+    fn dataflow_blocking_equals_sequential(
+        coll in collection_strategy(false),
+        workers in 1usize..6,
+    ) {
+        let ctx = Context::new(workers);
+        let seq = token_blocking(&coll);
+        let par = sparker_blocking::dataflow::token_blocking(&ctx, &coll);
+        prop_assert_eq!(seq.candidate_pairs(), par.candidate_pairs());
+        prop_assert_eq!(seq.len(), par.len());
+    }
+
+    #[test]
+    fn dataflow_filtering_equals_sequential(
+        coll in collection_strategy(true),
+        ratio in 0.3f64..1.0,
+        workers in 1usize..6,
+    ) {
+        let blocks = token_blocking(&coll);
+        let ctx = Context::new(workers);
+        let seq = block_filtering(blocks.clone(), ratio);
+        let par = sparker_blocking::dataflow::block_filtering(&ctx, blocks, ratio);
+        prop_assert_eq!(seq.candidate_pairs(), par.candidate_pairs());
+    }
+
+    #[test]
+    fn block_sizes_and_comparisons_consistent(coll in collection_strategy(false)) {
+        let blocks = token_blocking(&coll);
+        let kind = blocks.kind();
+        for b in blocks.blocks() {
+            prop_assert!(b.is_useful(kind));
+            prop_assert_eq!(b.pairs(kind).len() as u64, b.comparisons(kind));
+        }
+        prop_assert!(blocks.candidate_pairs().len() as u64 <= blocks.total_comparisons());
+    }
+}

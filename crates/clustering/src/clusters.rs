@@ -1,0 +1,136 @@
+//! The output of entity clustering: a partition of profiles into entities.
+
+use sparker_profiles::{Pair, ProfileId};
+use std::collections::HashMap;
+
+/// A partition of the profile space into entity clusters.
+///
+/// Every profile (0..num_profiles) belongs to exactly one cluster;
+/// unmatched profiles are singletons. Cluster ids are canonical: the
+/// minimum profile id of the cluster, so equal clusterings compare equal
+/// regardless of the algorithm that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityClusters {
+    /// `label[i]` = cluster id of profile `i`.
+    labels: Vec<u32>,
+}
+
+impl EntityClusters {
+    /// Build from per-profile labels (any labelling; canonicalized here).
+    pub fn from_labels(labels: Vec<u32>) -> Self {
+        // Canonicalize: map each label to the minimum profile id bearing it.
+        let mut min_of: HashMap<u32, u32> = HashMap::new();
+        for (i, &l) in labels.iter().enumerate() {
+            let e = min_of.entry(l).or_insert(i as u32);
+            *e = (*e).min(i as u32);
+        }
+        EntityClusters {
+            labels: labels.iter().map(|l| min_of[l]).collect(),
+        }
+    }
+
+    /// Number of profiles covered.
+    pub fn num_profiles(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Cluster id of a profile.
+    pub fn cluster_of(&self, id: ProfileId) -> u32 {
+        self.labels[id.index()]
+    }
+
+    /// `true` when the two profiles are in the same cluster.
+    pub fn same_entity(&self, a: ProfileId, b: ProfileId) -> bool {
+        self.labels[a.index()] == self.labels[b.index()]
+    }
+
+    /// Materialize the clusters: cluster id → sorted member list, sorted by
+    /// cluster id. Includes singletons.
+    pub fn clusters(&self) -> Vec<(u32, Vec<ProfileId>)> {
+        let mut map: HashMap<u32, Vec<ProfileId>> = HashMap::new();
+        for (i, &l) in self.labels.iter().enumerate() {
+            map.entry(l).or_default().push(ProfileId(i as u32));
+        }
+        let mut out: Vec<(u32, Vec<ProfileId>)> = map.into_iter().collect();
+        out.sort_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Clusters with ≥ 2 members (the discovered duplicates).
+    pub fn non_trivial_clusters(&self) -> Vec<(u32, Vec<ProfileId>)> {
+        self.clusters()
+            .into_iter()
+            .filter(|(_, m)| m.len() > 1)
+            .collect()
+    }
+
+    /// Number of clusters (including singletons).
+    pub fn num_clusters(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.labels.iter().for_each(|l| {
+            seen.insert(*l);
+        });
+        seen.len()
+    }
+
+    /// All intra-cluster pairs — the matches this clustering *asserts*.
+    /// Cluster-level evaluation compares these against the ground truth.
+    pub fn asserted_pairs(&self) -> Vec<Pair> {
+        let mut out = Vec::new();
+        for (_, members) in self.non_trivial_clusters() {
+            for i in 0..members.len() {
+                for j in i + 1..members.len() {
+                    out.push(Pair::new(members[i], members[j]));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_labels() {
+        // Labels 7 and 9 map to min-member ids 0 and 2.
+        let c = EntityClusters::from_labels(vec![7, 7, 9, 9, 9]);
+        assert_eq!(c.cluster_of(ProfileId(0)), 0);
+        assert_eq!(c.cluster_of(ProfileId(4)), 2);
+        assert!(c.same_entity(ProfileId(2), ProfileId(3)));
+        assert!(!c.same_entity(ProfileId(0), ProfileId(2)));
+    }
+
+    #[test]
+    fn cluster_listing_and_counts() {
+        let c = EntityClusters::from_labels(vec![0, 0, 2, 3]);
+        assert_eq!(c.num_profiles(), 4);
+        assert_eq!(c.num_clusters(), 3);
+        let clusters = c.clusters();
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].1, vec![ProfileId(0), ProfileId(1)]);
+        assert_eq!(c.non_trivial_clusters().len(), 1);
+    }
+
+    #[test]
+    fn asserted_pairs_cover_cluster_cliques() {
+        let c = EntityClusters::from_labels(vec![0, 0, 0, 3]);
+        assert_eq!(
+            c.asserted_pairs(),
+            vec![
+                Pair::new(ProfileId(0), ProfileId(1)),
+                Pair::new(ProfileId(0), ProfileId(2)),
+                Pair::new(ProfileId(1), ProfileId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_partitions_compare_equal() {
+        let a = EntityClusters::from_labels(vec![5, 5, 1]);
+        let b = EntityClusters::from_labels(vec![9, 9, 4]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sparker-clustering
+//!
+//! SparkER's entity clusterer: partition the similarity graph produced by
+//! the entity matcher into equivalence clusters, one per real-world entity.
+//!
+//! The paper's tool uses connected components ("based on the assumption of
+//! transitivity", implemented on Spark GraphX); this crate provides that
+//! algorithm in both a sequential union–find form and a dataflow
+//! label-propagation form mirroring GraphX, plus the alternative clustering
+//! algorithms from the framework the paper cites (Hassanzadeh et al., VLDB
+//! 2009): center clustering, merge–center clustering and unique-mapping
+//! clustering (the latter only valid for clean–clean tasks).
+//!
+//! ```
+//! use sparker_profiles::{Pair, ProfileId};
+//! use sparker_clustering::connected_components;
+//!
+//! let edges = vec![
+//!     (Pair::new(ProfileId(0), ProfileId(1)), 0.9),
+//!     (Pair::new(ProfileId(1), ProfileId(2)), 0.8),
+//!     (Pair::new(ProfileId(5), ProfileId(6)), 0.7),
+//! ];
+//! let clusters = connected_components(&edges, 8);
+//! assert_eq!(clusters.cluster_of(ProfileId(0)), clusters.cluster_of(ProfileId(2)));
+//! assert_ne!(clusters.cluster_of(ProfileId(0)), clusters.cluster_of(ProfileId(5)));
+//! ```
+
+mod algorithms;
+mod clusters;
+mod dataflow;
+mod unionfind;
+
+pub use algorithms::{
+    center_clustering, connected_components, merge_center_clustering, star_clustering,
+    unique_mapping_clustering,
+};
+pub use clusters::EntityClusters;
+pub use dataflow::connected_components_dataflow;
+pub use unionfind::UnionFind;

@@ -1,0 +1,151 @@
+//! Disjoint-set forest with path halving and union by size.
+
+/// A union–find (disjoint-set) structure over dense `usize` ids.
+///
+/// Used by connected-components clustering here and by the transitive
+/// closure of Blast's attribute partitioning in `sparker-looseschema`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// `true` when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn size_of(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// Canonical label per element: the *minimum element id* of its set.
+    /// Stable across different union orders, so results are reproducible.
+    pub fn labels(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut min_of_root = vec![usize::MAX; n];
+        for x in 0..n {
+            let r = self.find(x);
+            min_of_root[r] = min_of_root[r].min(x);
+        }
+        (0..n).map(|x| min_of_root[self.find(x)]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_components(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.size_of(2), 1);
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.size_of(1), 3);
+    }
+
+    #[test]
+    fn labels_are_min_element_of_component() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 2);
+        uf.union(2, 5);
+        uf.union(0, 1);
+        assert_eq!(uf.labels(), vec![0, 0, 2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn labels_independent_of_union_order() {
+        let mut a = UnionFind::new(5);
+        a.union(0, 4);
+        a.union(4, 2);
+        let mut b = UnionFind::new(5);
+        b.union(2, 4);
+        b.union(4, 0);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_components(), 0);
+        assert!(uf.labels().is_empty());
+    }
+
+    #[test]
+    fn long_chain_path_halving() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert_eq!(uf.find(n - 1), uf.find(0));
+        assert_eq!(uf.size_of(0), n);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests: union–find vs a naive model, connected components
+//! vs BFS, clustering invariants.
+
+use proptest::prelude::*;
+use sparker_clustering::{
+    center_clustering, connected_components, connected_components_dataflow,
+    merge_center_clustering, star_clustering, unique_mapping_clustering, UnionFind,
+};
+use sparker_dataflow::Context;
+use sparker_profiles::{Pair, ProfileId};
+use std::collections::{HashSet, VecDeque};
+
+fn edges_strategy(n: u32) -> impl Strategy<Value = Vec<(Pair, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, 0.0f64..1.0).prop_filter_map("self loop", move |(a, b, s)| {
+            (a != b).then(|| (Pair::new(ProfileId(a), ProfileId(b)), (s * 100.0).round() / 100.0))
+        }),
+        0..60,
+    )
+}
+
+/// Reference connected components by BFS.
+fn bfs_components(edges: &[(Pair, f64)], n: usize) -> Vec<u32> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (p, _) in edges {
+        adj[p.first.index()].push(p.second.index());
+        adj[p.second.index()].push(p.first.index());
+    }
+    let mut label = vec![u32::MAX; n];
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        let mut q = VecDeque::from([start]);
+        label[start] = start as u32;
+        while let Some(x) = q.pop_front() {
+            for &y in &adj[x] {
+                if label[y] == u32::MAX {
+                    label[y] = start as u32;
+                    q.push_back(y);
+                }
+            }
+        }
+    }
+    label
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_find_matches_bfs(edges in edges_strategy(30)) {
+        let n = 30usize;
+        let clusters = connected_components(&edges, n);
+        let reference = bfs_components(&edges, n);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                prop_assert_eq!(
+                    clusters.same_entity(ProfileId(a), ProfileId(b)),
+                    reference[a as usize] == reference[b as usize],
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_cc_matches_unionfind(edges in edges_strategy(25)) {
+        let ctx = Context::new(3);
+        prop_assert_eq!(
+            connected_components_dataflow(&ctx, &edges, 25),
+            connected_components(&edges, 25)
+        );
+    }
+
+    #[test]
+    fn all_algorithms_refine_connected_components(edges in edges_strategy(25)) {
+        // Center / merge-center / unique-mapping clusters are always
+        // sub-clusters of the connected components (they only use the
+        // same edges, never invent connectivity).
+        let n = 25usize;
+        let cc = connected_components(&edges, n);
+        let algos: Vec<sparker_clustering::EntityClusters> = vec![
+            center_clustering(&edges, n),
+            merge_center_clustering(&edges, n),
+            star_clustering(&edges, n),
+        ];
+        for clusters in &algos {
+            for (_, members) in clusters.non_trivial_clusters() {
+                for w in members.windows(2) {
+                    prop_assert!(cc.same_entity(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clusterings_are_partitions(edges in edges_strategy(25)) {
+        let n = 25usize;
+        for clusters in [
+            connected_components(&edges, n),
+            center_clustering(&edges, n),
+            merge_center_clustering(&edges, n),
+            star_clustering(&edges, n),
+        ] {
+            let all: Vec<ProfileId> = clusters
+                .clusters()
+                .into_iter()
+                .flat_map(|(_, m)| m)
+                .collect();
+            prop_assert_eq!(all.len(), n, "every profile appears exactly once");
+            let set: HashSet<ProfileId> = all.into_iter().collect();
+            prop_assert_eq!(set.len(), n);
+        }
+    }
+
+    #[test]
+    fn unique_mapping_is_injective(
+        edges in prop::collection::vec(
+            (0u32..12, 12u32..24, 0.0f64..1.0).prop_map(|(a, b, s)| {
+                (Pair::new(ProfileId(a), ProfileId(b)), s)
+            }),
+            0..50,
+        )
+    ) {
+        let clusters = unique_mapping_clustering(&edges, 24, 12);
+        for (_, members) in clusters.non_trivial_clusters() {
+            prop_assert_eq!(members.len(), 2, "clusters are pairs");
+            prop_assert!(members[0].0 < 12 && members[1].0 >= 12, "one per source");
+        }
+    }
+
+    #[test]
+    fn union_find_components_count(ops in prop::collection::vec((0usize..20, 0usize..20), 0..40)) {
+        let mut uf = UnionFind::new(20);
+        let mut merges = 0usize;
+        for (a, b) in ops {
+            if uf.union(a, b) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(uf.num_components(), 20 - merges);
+        // Labels are consistent with connectivity.
+        let labels = uf.labels();
+        for a in 0..20 {
+            for b in 0..20 {
+                prop_assert_eq!(labels[a] == labels[b], uf.connected(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Pipeline configuration: every tunable of the paper's debugging section.
+//!
+//! "In the blocker each operation (blocking, purging, filtering, and
+//! meta-blocking) can be fine tuned … in the entity matching phase, it is
+//! possible to try different similarity techniques with different
+//! thresholds." Configurations can be serialized to a small text format and
+//! reloaded — the paper's "store the obtained configuration … applied to
+//! the whole data in a batch mode".
+
+use sparker_looseschema::LshConfig;
+use sparker_matching::SimilarityMeasure;
+use sparker_metablocking::{MetaBlockingConfig, PruningStrategy, WeightScheme};
+use std::fmt;
+
+/// How oversized blocks are purged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PurgeConfig {
+    /// No purging.
+    Off,
+    /// Drop blocks holding more than `max_fraction` of all profiles (the
+    /// paper's definition; its setting is 0.5).
+    Oversized {
+        /// Retained block size as a fraction of the collection.
+        max_fraction: f64,
+    },
+    /// Automatic comparison-level purging with the given smoothing factor.
+    ComparisonLevel {
+        /// Marginal comparisons-per-assignment tolerance (≥ 1).
+        smoothing: f64,
+    },
+}
+
+/// Blocker configuration (Figure 4's sub-modules).
+#[derive(Debug, Clone)]
+pub struct BlockingConfig {
+    /// `Some` enables the loose-schema generator (attribute partitioning +
+    /// entropy); `None` is plain schema-agnostic token blocking.
+    pub loose_schema: Option<LshConfig>,
+    /// Block purging.
+    pub purge: PurgeConfig,
+    /// Block filtering retained ratio (`None` disables; the paper keeps
+    /// the smallest 80 %).
+    pub filter_ratio: Option<f64>,
+    /// Meta-blocking (`None` takes all block pairs as candidates).
+    pub meta_blocking: Option<MetaBlockingConfig>,
+}
+
+impl Default for BlockingConfig {
+    /// The paper's default unsupervised pipeline: schema-agnostic token
+    /// blocking, purging at half the collection, filtering at 0.8,
+    /// CBS/WEP meta-blocking.
+    fn default() -> Self {
+        BlockingConfig {
+            loose_schema: None,
+            purge: PurgeConfig::Oversized { max_fraction: 0.5 },
+            filter_ratio: Some(0.8),
+            meta_blocking: Some(MetaBlockingConfig::default()),
+        }
+    }
+}
+
+impl BlockingConfig {
+    /// The Blast configuration: loose schema on, entropy-weighted χ²
+    /// meta-blocking with local-maxima pruning.
+    pub fn blast() -> Self {
+        BlockingConfig {
+            loose_schema: Some(LshConfig::default()),
+            purge: PurgeConfig::Oversized { max_fraction: 0.5 },
+            filter_ratio: Some(0.8),
+            meta_blocking: Some(MetaBlockingConfig::blast()),
+        }
+    }
+}
+
+/// Entity-matcher configuration (unsupervised mode).
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    /// Similarity measure applied to candidate pairs.
+    pub measure: SimilarityMeasure,
+    /// Minimum score for a match.
+    pub threshold: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            measure: SimilarityMeasure::Jaccard,
+            threshold: 0.35,
+        }
+    }
+}
+
+/// Entity-clusterer algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusteringAlgorithm {
+    /// The paper's default (GraphX connected components).
+    ConnectedComponents,
+    /// Center clustering (Hassanzadeh et al.).
+    Center,
+    /// Merge–center clustering.
+    MergeCenter,
+    /// Star clustering (degree-ordered hubs).
+    Star,
+    /// Unique-mapping (clean–clean only).
+    UniqueMapping,
+}
+
+impl ClusteringAlgorithm {
+    /// Stable name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusteringAlgorithm::ConnectedComponents => "connected-components",
+            ClusteringAlgorithm::Center => "center",
+            ClusteringAlgorithm::MergeCenter => "merge-center",
+            ClusteringAlgorithm::Star => "star",
+            ClusteringAlgorithm::UniqueMapping => "unique-mapping",
+        }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Blocker settings.
+    pub blocking: BlockingConfig,
+    /// Matcher settings.
+    pub matching: MatcherConfig,
+    /// Clusterer selection.
+    pub clustering: ClusteringAlgorithm,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            blocking: BlockingConfig::default(),
+            matching: MatcherConfig::default(),
+            clustering: ClusteringAlgorithm::ConnectedComponents,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Serialize to the persistence format (one `key = value` per line).
+    pub fn to_config_string(&self) -> String {
+        let mut out = String::new();
+        match &self.blocking.loose_schema {
+            None => out.push_str("loose_schema = off\n"),
+            Some(l) => {
+                out.push_str(&format!(
+                    "loose_schema = on\nlsh.num_hashes = {}\nlsh.bands = {}\nlsh.threshold = {}\nlsh.seed = {}\n",
+                    l.num_hashes, l.bands, l.threshold, l.seed
+                ));
+            }
+        }
+        match self.blocking.purge {
+            PurgeConfig::Off => out.push_str("purge = off\n"),
+            PurgeConfig::Oversized { max_fraction } => {
+                out.push_str(&format!("purge = oversized {max_fraction}\n"))
+            }
+            PurgeConfig::ComparisonLevel { smoothing } => {
+                out.push_str(&format!("purge = comparison {smoothing}\n"))
+            }
+        }
+        match self.blocking.filter_ratio {
+            None => out.push_str("filter = off\n"),
+            Some(r) => out.push_str(&format!("filter = {r}\n")),
+        }
+        match &self.blocking.meta_blocking {
+            None => out.push_str("meta_blocking = off\n"),
+            Some(mb) => {
+                out.push_str(&format!(
+                    "meta_blocking = on\nmb.scheme = {}\nmb.entropy = {}\n",
+                    mb.scheme.name(),
+                    mb.use_entropy
+                ));
+                let p = match mb.pruning {
+                    PruningStrategy::Wep { factor } => format!("WEP {factor}"),
+                    PruningStrategy::Cep { retain } => {
+                        format!("CEP {}", retain.map_or("auto".to_string(), |r| r.to_string()))
+                    }
+                    PruningStrategy::Wnp { factor, reciprocal } => {
+                        format!("WNP {factor}{}", if reciprocal { " reciprocal" } else { "" })
+                    }
+                    PruningStrategy::Cnp { k, reciprocal } => {
+                        format!(
+                            "CNP {}{}",
+                            k.map_or("auto".to_string(), |k| k.to_string()),
+                            if reciprocal { " reciprocal" } else { "" }
+                        )
+                    }
+                    PruningStrategy::Blast { ratio } => format!("BLAST {ratio}"),
+                };
+                out.push_str(&format!("mb.pruning = {p}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "matcher.measure = {}\nmatcher.threshold = {}\nclustering = {}\n",
+            self.matching.measure.name(),
+            self.matching.threshold,
+            self.clustering.name()
+        ));
+        out
+    }
+
+    /// Parse a configuration saved with
+    /// [`PipelineConfig::to_config_string`]. Unknown keys are rejected.
+    pub fn from_config_string(text: &str) -> Result<PipelineConfig, ConfigParseError> {
+        let mut config = PipelineConfig::default();
+        let mut lsh = LshConfig::default();
+        let mut lsh_on = false;
+        let mut mb = MetaBlockingConfig::default();
+        let mut mb_on = true;
+
+        let err = |line: usize, msg: &str| ConfigParseError {
+            line,
+            message: msg.to_string(),
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(i + 1, "expected key = value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let parse_f64 = |v: &str| v.parse::<f64>().map_err(|_| err(i + 1, "invalid number"));
+            match key {
+                "loose_schema" => lsh_on = value == "on",
+                "lsh.num_hashes" => {
+                    lsh.num_hashes = value.parse().map_err(|_| err(i + 1, "invalid integer"))?
+                }
+                "lsh.bands" => lsh.bands = value.parse().map_err(|_| err(i + 1, "invalid integer"))?,
+                "lsh.threshold" => lsh.threshold = parse_f64(value)?,
+                "lsh.seed" => lsh.seed = value.parse().map_err(|_| err(i + 1, "invalid integer"))?,
+                "purge" => {
+                    config.blocking.purge = if value == "off" {
+                        PurgeConfig::Off
+                    } else if let Some(rest) = value.strip_prefix("oversized ") {
+                        PurgeConfig::Oversized {
+                            max_fraction: parse_f64(rest.trim())?,
+                        }
+                    } else if let Some(rest) = value.strip_prefix("comparison ") {
+                        PurgeConfig::ComparisonLevel {
+                            smoothing: parse_f64(rest.trim())?,
+                        }
+                    } else {
+                        return Err(err(i + 1, "invalid purge setting"));
+                    }
+                }
+                "filter" => {
+                    config.blocking.filter_ratio = if value == "off" {
+                        None
+                    } else {
+                        Some(parse_f64(value)?)
+                    }
+                }
+                "meta_blocking" => mb_on = value == "on",
+                "mb.scheme" => {
+                    mb.scheme = WeightScheme::ALL
+                        .into_iter()
+                        .find(|s| s.name() == value)
+                        .ok_or_else(|| err(i + 1, "unknown weighting scheme"))?
+                }
+                "mb.entropy" => mb.use_entropy = value == "true",
+                "mb.pruning" => {
+                    let (name, arg) = value.split_once(' ').unwrap_or((value, ""));
+                    // Node-centric strategies accept a trailing "reciprocal".
+                    let (arg, reciprocal) = match arg.trim().strip_suffix("reciprocal") {
+                        Some(rest) => (rest.trim(), true),
+                        None => (arg.trim(), false),
+                    };
+                    let auto = arg == "auto";
+                    mb.pruning = match name {
+                        "WEP" => PruningStrategy::Wep {
+                            factor: parse_f64(arg)?,
+                        },
+                        "CEP" => PruningStrategy::Cep {
+                            retain: if auto {
+                                None
+                            } else {
+                                Some(arg.parse().map_err(|_| err(i + 1, "invalid integer"))?)
+                            },
+                        },
+                        "WNP" => PruningStrategy::Wnp {
+                            factor: parse_f64(arg)?,
+                            reciprocal,
+                        },
+                        "CNP" => PruningStrategy::Cnp {
+                            k: if auto {
+                                None
+                            } else {
+                                Some(arg.parse().map_err(|_| err(i + 1, "invalid integer"))?)
+                            },
+                            reciprocal,
+                        },
+                        "BLAST" => PruningStrategy::Blast {
+                            ratio: parse_f64(arg)?,
+                        },
+                        _ => return Err(err(i + 1, "unknown pruning strategy")),
+                    };
+                }
+                "matcher.measure" => {
+                    config.matching.measure = SimilarityMeasure::ALL
+                        .into_iter()
+                        .find(|m| m.name() == value)
+                        .ok_or_else(|| err(i + 1, "unknown similarity measure"))?
+                }
+                "matcher.threshold" => config.matching.threshold = parse_f64(value)?,
+                "clustering" => {
+                    config.clustering = [
+                        ClusteringAlgorithm::ConnectedComponents,
+                        ClusteringAlgorithm::Center,
+                        ClusteringAlgorithm::MergeCenter,
+                        ClusteringAlgorithm::Star,
+                        ClusteringAlgorithm::UniqueMapping,
+                    ]
+                    .into_iter()
+                    .find(|c| c.name() == value)
+                    .ok_or_else(|| err(i + 1, "unknown clustering algorithm"))?
+                }
+                _ => return Err(err(i + 1, "unknown key")),
+            }
+        }
+        config.blocking.loose_schema = lsh_on.then_some(lsh);
+        config.blocking.meta_blocking = mb_on.then_some(mb);
+        Ok(config)
+    }
+}
+
+/// Error parsing a persisted configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigParseError {
+    /// 1-based line of the offending entry.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_roundtrips() {
+        let c = PipelineConfig::default();
+        let text = c.to_config_string();
+        let parsed = PipelineConfig::from_config_string(&text).unwrap();
+        assert_eq!(parsed.to_config_string(), text);
+    }
+
+    #[test]
+    fn blast_roundtrips() {
+        let c = PipelineConfig {
+            blocking: BlockingConfig::blast(),
+            matching: MatcherConfig {
+                measure: SimilarityMeasure::MongeElkan,
+                threshold: 0.7,
+            },
+            clustering: ClusteringAlgorithm::UniqueMapping,
+        };
+        let text = c.to_config_string();
+        let parsed = PipelineConfig::from_config_string(&text).unwrap();
+        assert_eq!(parsed.to_config_string(), text);
+        assert!(parsed.blocking.loose_schema.is_some());
+        assert_eq!(parsed.clustering, ClusteringAlgorithm::UniqueMapping);
+    }
+
+    #[test]
+    fn all_pruning_variants_roundtrip() {
+        for pruning in [
+            PruningStrategy::Wep { factor: 1.5 },
+            PruningStrategy::Cep { retain: Some(100) },
+            PruningStrategy::Cep { retain: None },
+            PruningStrategy::Wnp { factor: 0.8, reciprocal: false },
+            PruningStrategy::Wnp { factor: 1.2, reciprocal: true },
+            PruningStrategy::Cnp { k: Some(3), reciprocal: false },
+            PruningStrategy::Cnp { k: None, reciprocal: true },
+            PruningStrategy::Cnp { k: None, reciprocal: false },
+            PruningStrategy::Blast { ratio: 0.35 },
+        ] {
+            let mut c = PipelineConfig::default();
+            c.blocking.meta_blocking = Some(MetaBlockingConfig {
+                pruning,
+                ..MetaBlockingConfig::default()
+            });
+            let text = c.to_config_string();
+            let parsed = PipelineConfig::from_config_string(&text).unwrap();
+            assert_eq!(parsed.to_config_string(), text, "{}", pruning.name());
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# comment\n\nfilter = 0.6\n";
+        let c = PipelineConfig::from_config_string(text).unwrap();
+        assert_eq!(c.blocking.filter_ratio, Some(0.6));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = PipelineConfig::from_config_string("filter = 0.8\nbogus_key = 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown key"));
+        let err = PipelineConfig::from_config_string("filter 0.8\n").unwrap_err();
+        assert!(err.message.contains("key = value"));
+        let err =
+            PipelineConfig::from_config_string("matcher.measure = nope\n").unwrap_err();
+        assert!(err.message.contains("similarity"));
+    }
+
+    #[test]
+    fn off_switches() {
+        let text = "loose_schema = off\npurge = off\nfilter = off\nmeta_blocking = off\n";
+        let c = PipelineConfig::from_config_string(text).unwrap();
+        assert!(c.blocking.loose_schema.is_none());
+        assert_eq!(c.blocking.purge, PurgeConfig::Off);
+        assert!(c.blocking.filter_ratio.is_none());
+        assert!(c.blocking.meta_blocking.is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-step evaluation against the ground truth.
+//!
+//! "Each step can be assessed using precision and recall, if a ground-truth
+//! is available." The blocking literature's names are used alongside:
+//! recall = pair completeness (PC), precision = pair quality (PQ), plus the
+//! reduction ratio (RR) against the naive all-pairs baseline.
+
+use sparker_clustering::EntityClusters;
+use sparker_profiles::{GroundTruth, Pair, ProfileCollection};
+use std::collections::HashSet;
+
+/// Quality of a candidate-pair set (after blocking or meta-blocking).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingQuality {
+    /// Pair completeness: fraction of true matches among the candidates.
+    pub recall: f64,
+    /// Pair quality: fraction of candidates that are true matches.
+    pub precision: f64,
+    /// Reduction ratio: 1 − candidates / all comparable pairs.
+    pub reduction_ratio: f64,
+    /// Number of candidate pairs.
+    pub candidates: u64,
+    /// True matches lost (the debug view's "false positives").
+    pub lost_matches: u64,
+}
+
+impl BlockingQuality {
+    /// Measure a candidate set against the ground truth.
+    pub fn measure(
+        candidates: &HashSet<Pair>,
+        ground_truth: &GroundTruth,
+        collection: &ProfileCollection,
+    ) -> Self {
+        let recall = ground_truth.recall_of(candidates.iter());
+        let precision = ground_truth.precision_of(candidates.iter());
+        let total = collection.comparable_pairs();
+        let reduction_ratio = if total == 0 {
+            0.0
+        } else {
+            1.0 - candidates.len() as f64 / total as f64
+        };
+        let found = ground_truth
+            .iter()
+            .filter(|p| candidates.contains(p))
+            .count() as u64;
+        BlockingQuality {
+            recall,
+            precision,
+            reduction_ratio,
+            candidates: candidates.len() as u64,
+            lost_matches: ground_truth.len() as u64 - found,
+        }
+    }
+}
+
+/// Pairwise precision/recall/F1 of a set of asserted matching pairs
+/// (matcher output or cluster-implied pairs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairQuality {
+    /// Fraction of asserted pairs that are true matches.
+    pub precision: f64,
+    /// Fraction of true matches asserted.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl PairQuality {
+    /// Measure asserted pairs against the ground truth.
+    pub fn measure<'a>(
+        asserted: impl IntoIterator<Item = &'a Pair>,
+        ground_truth: &GroundTruth,
+    ) -> Self {
+        let mut total = 0u64;
+        let mut correct = 0u64;
+        for p in asserted {
+            total += 1;
+            if ground_truth.contains(p) {
+                correct += 1;
+            }
+        }
+        let precision = if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        };
+        let recall = if ground_truth.is_empty() {
+            1.0
+        } else {
+            correct as f64 / ground_truth.len() as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PairQuality {
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// Measure a clustering by its implied intra-cluster pairs.
+    pub fn of_clusters(clusters: &EntityClusters, ground_truth: &GroundTruth) -> Self {
+        let pairs = clusters.asserted_pairs();
+        PairQuality::measure(pairs.iter(), ground_truth)
+    }
+}
+
+/// Evaluation of a full pipeline run: one row per step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineEvaluation {
+    /// Candidate quality after the blocker.
+    pub blocking: BlockingQuality,
+    /// Matching-pair quality after the entity matcher.
+    pub matching: PairQuality,
+    /// Cluster-implied pair quality after the entity clusterer.
+    pub clustering: PairQuality,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::{Profile, ProfileId, SourceId};
+
+    fn pair(a: u32, b: u32) -> Pair {
+        Pair::new(ProfileId(a), ProfileId(b))
+    }
+
+    fn collection(n: usize) -> ProfileCollection {
+        ProfileCollection::dirty(
+            (0..n)
+                .map(|i| {
+                    Profile::builder(SourceId(0), i.to_string())
+                        .attr("x", "v")
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn blocking_quality_metrics() {
+        // 5 profiles → 10 comparable pairs. GT = {(0,1),(2,3)}.
+        let coll = collection(5);
+        let gt = GroundTruth::from_pairs(vec![pair(0, 1), pair(2, 3)]);
+        let candidates: HashSet<Pair> = [pair(0, 1), pair(0, 2), pair(1, 4)].into();
+        let q = BlockingQuality::measure(&candidates, &gt, &coll);
+        assert!((q.recall - 0.5).abs() < 1e-12);
+        assert!((q.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((q.reduction_ratio - 0.7).abs() < 1e-12);
+        assert_eq!(q.candidates, 3);
+        assert_eq!(q.lost_matches, 1);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let coll = collection(4);
+        let gt = GroundTruth::from_pairs(vec![pair(0, 1)]);
+        let q = BlockingQuality::measure(&HashSet::new(), &gt, &coll);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.reduction_ratio, 1.0);
+        assert_eq!(q.lost_matches, 1);
+    }
+
+    #[test]
+    fn pair_quality_and_f1() {
+        let gt = GroundTruth::from_pairs(vec![pair(0, 1), pair(2, 3), pair(4, 5)]);
+        let asserted = [pair(0, 1), pair(2, 3), pair(0, 5)];
+        let q = PairQuality::measure(asserted.iter(), &gt);
+        assert!((q.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_pair_quality() {
+        let gt = GroundTruth::default();
+        let q = PairQuality::measure(std::iter::empty(), &gt);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn cluster_quality_uses_implied_pairs() {
+        use sparker_clustering::connected_components;
+        let gt = GroundTruth::from_pairs(vec![pair(0, 1), pair(1, 2)]);
+        // One cluster {0,1,2} implies 3 pairs; 2 are in GT, plus (0,2) is not.
+        let clusters = connected_components(&[(pair(0, 1), 1.0), (pair(1, 2), 1.0)], 4);
+        let q = PairQuality::of_clusters(&clusters, &gt);
+        assert!((q.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(q.recall, 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sparker-core
+//!
+//! The public face of the SparkER reproduction: the three-module pipeline of
+//! the paper's Figure 3 (blocker → entity matcher → entity clusterer), a
+//! configuration system covering every tunable the paper's process-debugging
+//! section exposes, per-step evaluation against a ground truth, and the
+//! representative-sampling / false-positive-drill-down tooling of Section 3.
+//!
+//! ```
+//! use sparker_core::{Pipeline, PipelineConfig};
+//! use sparker_datasets::{generate, DatasetConfig};
+//!
+//! let ds = generate(&DatasetConfig { entities: 80, unmatched_per_source: 20, ..Default::default() });
+//! let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+//! let eval = result.evaluate(&ds.ground_truth);
+//! assert!(eval.blocking.recall > 0.8);
+//! ```
+
+mod config;
+mod debug;
+mod evaluate;
+mod parallel;
+mod pipeline;
+
+pub use config::{
+    BlockingConfig, ClusteringAlgorithm, MatcherConfig, PipelineConfig, PurgeConfig,
+};
+pub use debug::{
+    representative_sample, threshold_sweep, FalsePositive, LostPairsReport, SampleConfig,
+    ThresholdSweepRow,
+};
+pub use evaluate::{BlockingQuality, PairQuality, PipelineEvaluation};
+pub use pipeline::{BlockerOutput, Pipeline, PipelineResult, StepTimings};
+
+// Re-export the building blocks so downstream users need only this crate.
+pub use sparker_blocking as blocking;
+pub use sparker_clustering as clustering;
+pub use sparker_dataflow as dataflow;
+pub use sparker_looseschema as looseschema;
+pub use sparker_matching as matching;
+pub use sparker_metablocking as metablocking;
+pub use sparker_profiles as profiles;

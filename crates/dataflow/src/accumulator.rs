@@ -1,0 +1,103 @@
+//! Accumulators: write-only counters tasks can bump, read on the driver.
+//!
+//! Spark jobs use accumulators for side-channel statistics (records
+//! dropped, malformed rows, comparisons executed) that don't belong in the
+//! dataset itself. Same contract here: any task may `add`, only the driver
+//! should `value()` — and because stages are eager, a read after the stage
+//! returns the final count (no Spark-style lazy-evaluation surprises).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, thread-safe counter. Cheap to clone into task closures.
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    value: Arc<AtomicU64>,
+    name: Arc<str>,
+}
+
+impl Accumulator {
+    pub(crate) fn new(name: &str) -> Self {
+        Accumulator {
+            value: Arc::new(AtomicU64::new(0)),
+            name: Arc::from(name),
+        }
+    }
+
+    /// Add `n` to the counter (callable from any task).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value. Exact once the stages that bump it have completed
+    /// (which is always the case after the operator call returns — stages
+    /// are eager).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The accumulator's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reset to zero (between experiment repetitions).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Context;
+
+    #[test]
+    fn counts_across_tasks() {
+        let ctx = Context::new(4);
+        let acc = ctx.accumulator("evens");
+        let ds = ctx.parallelize((0..1000).collect::<Vec<u64>>(), 8);
+        let acc2 = acc.clone();
+        ds.for_each(move |x| {
+            if x % 2 == 0 {
+                acc2.add(1);
+            }
+        });
+        assert_eq!(acc.value(), 500);
+        assert_eq!(acc.name(), "evens");
+    }
+
+    #[test]
+    fn add_amounts_and_reset() {
+        let ctx = Context::new(2);
+        let acc = ctx.accumulator("bytes");
+        acc.add(10);
+        acc.add(32);
+        assert_eq!(acc.value(), 42);
+        acc.reset();
+        assert_eq!(acc.value(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let acc = Accumulator::new("x");
+        let c = acc.clone();
+        c.add(7);
+        assert_eq!(acc.value(), 7);
+    }
+
+    #[test]
+    fn exact_after_eager_stage() {
+        // The value read immediately after a map is final — eager stages.
+        let ctx = Context::new(4);
+        let acc = ctx.accumulator("seen");
+        let ds = ctx.parallelize((0..100).collect::<Vec<u64>>(), 4);
+        let acc2 = acc.clone();
+        let mapped = ds.map(move |x| {
+            acc2.add(1);
+            x + 1
+        });
+        assert_eq!(acc.value(), 100);
+        assert_eq!(mapped.count(), 100);
+    }
+}

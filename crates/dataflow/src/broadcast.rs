@@ -1,0 +1,86 @@
+//! Broadcast variables: read-only values shared with every task.
+//!
+//! In Spark a broadcast variable ships one copy of a value to each executor
+//! instead of one copy per task. In this in-process engine the value is held
+//! behind an [`Arc`], so "shipping" is free, but the abstraction is kept so
+//! that algorithms (notably SparkER's broadcast-join meta-blocking) are
+//! written exactly as they would be on a cluster, and so the engine can count
+//! broadcast usage in its metrics.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A read-only value shared with every task of every stage.
+///
+/// Created with [`crate::Context::broadcast`]. Cloning is cheap (an `Arc`
+/// clone) and the payload is accessible through `Deref`:
+///
+/// ```
+/// use sparker_dataflow::Context;
+/// let ctx = Context::new(2);
+/// let lookup = ctx.broadcast(vec![10, 20, 30]);
+/// let ds = ctx.parallelize(vec![0usize, 1, 2], 2);
+/// let looked_up = {
+///     let lookup = lookup.clone();
+///     ds.map(move |i| lookup[*i])
+/// };
+/// assert_eq!(looked_up.collect(), vec![10, 20, 30]);
+/// ```
+pub struct Broadcast<T> {
+    value: Arc<T>,
+}
+
+impl<T> Broadcast<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Broadcast {
+            value: Arc::new(value),
+        }
+    }
+
+    /// Borrow the broadcast payload.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+impl<T> Deref for Broadcast<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Broadcast<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Broadcast").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deref_and_value_agree() {
+        let b = Broadcast::new(String::from("hello"));
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.value(), "hello");
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let b = Broadcast::new(vec![1, 2, 3]);
+        let c = b.clone();
+        assert!(std::ptr::eq(b.value(), c.value()));
+    }
+}

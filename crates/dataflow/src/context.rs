@@ -1,0 +1,161 @@
+//! Execution context: worker pool + metrics + dataset construction.
+
+use crate::{Accumulator, Broadcast, Dataset, ExecutionMetrics, MetricsSnapshot, WorkerPool};
+use std::sync::Arc;
+
+/// Entry point of the dataflow engine.
+///
+/// A `Context` plays the role of Spark's `SparkContext`: it owns the worker
+/// pool, creates [`Dataset`]s and [`Broadcast`] variables, and accumulates
+/// [`ExecutionMetrics`]. Cloning a `Context` is cheap and clones share the
+/// pool and metrics sink.
+#[derive(Clone, Debug)]
+pub struct Context {
+    pool: Arc<WorkerPool>,
+    metrics: ExecutionMetrics,
+    default_partitions: usize,
+}
+
+impl Context {
+    /// Create a context with `workers` concurrent workers and
+    /// `2 * workers` default partitions (a common Spark rule of thumb that
+    /// keeps all workers busy under skew).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Context {
+            pool: Arc::new(WorkerPool::new(workers)),
+            metrics: ExecutionMetrics::default(),
+            default_partitions: workers * 2,
+        }
+    }
+
+    /// Create a context with an explicit default partition count.
+    pub fn with_partitions(workers: usize, default_partitions: usize) -> Self {
+        let mut ctx = Context::new(workers);
+        ctx.default_partitions = default_partitions.max(1);
+        ctx
+    }
+
+    /// Number of concurrent workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Default number of partitions for new datasets and shuffles.
+    pub fn default_partitions(&self) -> usize {
+        self.default_partitions
+    }
+
+    pub(crate) fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    pub(crate) fn metrics_sink(&self) -> &ExecutionMetrics {
+        &self.metrics
+    }
+
+    /// Copy out all execution metrics recorded so far.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Drop all recorded metrics (between experiment repetitions).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset()
+    }
+
+    /// Distribute `data` over `num_partitions` contiguous slices.
+    ///
+    /// Partitioning is by contiguous ranges (like Spark's `parallelize`), so
+    /// the concatenation of partitions equals the input order.
+    pub fn parallelize<T: Send + Sync>(&self, data: Vec<T>, num_partitions: usize) -> Dataset<T> {
+        let n = num_partitions.max(1);
+        let total = data.len();
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(n);
+        // Ceil-divide so the leftover records spread over the first chunks.
+        let base = total / n;
+        let extra = total % n;
+        let mut it = data.into_iter();
+        for i in 0..n {
+            let take = base + usize::from(i < extra);
+            parts.push(it.by_ref().take(take).collect());
+        }
+        Dataset::from_parts(self.clone(), parts.into_iter().map(Arc::new).collect())
+    }
+
+    /// [`Context::parallelize`] with the context's default partition count.
+    pub fn parallelize_default<T: Send + Sync>(&self, data: Vec<T>) -> Dataset<T> {
+        self.parallelize(data, self.default_partitions)
+    }
+
+    /// An empty dataset with one (empty) partition.
+    pub fn empty<T: Send + Sync>(&self) -> Dataset<T> {
+        Dataset::from_parts(self.clone(), vec![Arc::new(Vec::new())])
+    }
+
+    /// Create a broadcast variable visible to every task.
+    pub fn broadcast<T>(&self, value: T) -> Broadcast<T> {
+        self.metrics.record_broadcast();
+        Broadcast::new(value)
+    }
+
+    /// Create a named accumulator tasks can bump and the driver can read.
+    pub fn accumulator(&self, name: &str) -> Accumulator {
+        Accumulator::new(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelize_preserves_order_and_balances() {
+        let ctx = Context::new(4);
+        let ds = ctx.parallelize((0..10).collect::<Vec<_>>(), 4);
+        assert_eq!(ds.num_partitions(), 4);
+        assert_eq!(ds.partition_sizes(), vec![3, 3, 2, 2]);
+        assert_eq!(ds.collect(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallelize_more_partitions_than_records() {
+        let ctx = Context::new(2);
+        let ds = ctx.parallelize(vec![1, 2], 5);
+        assert_eq!(ds.num_partitions(), 5);
+        assert_eq!(ds.collect(), vec![1, 2]);
+        assert_eq!(ds.partition_sizes().iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn zero_partitions_clamped() {
+        let ctx = Context::new(2);
+        let ds = ctx.parallelize(vec![1, 2, 3], 0);
+        assert_eq!(ds.num_partitions(), 1);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ctx = Context::new(2);
+        let ds: Dataset<u8> = ctx.empty();
+        assert_eq!(ds.count(), 0);
+        assert!(ds.collect().is_empty());
+    }
+
+    #[test]
+    fn broadcast_counted_in_metrics() {
+        let ctx = Context::new(2);
+        let _b = ctx.broadcast(42);
+        let _b2 = ctx.broadcast("x");
+        assert_eq!(ctx.metrics().broadcasts, 2);
+        ctx.reset_metrics();
+        assert_eq!(ctx.metrics().broadcasts, 0);
+    }
+
+    #[test]
+    fn default_partitions_follow_workers() {
+        assert_eq!(Context::new(3).default_partitions(), 6);
+        assert_eq!(Context::with_partitions(3, 5).default_partitions(), 5);
+        assert_eq!(Context::with_partitions(3, 0).default_partitions(), 1);
+    }
+}

@@ -1,0 +1,885 @@
+//! Partitioned datasets: narrow and wide (shuffle) operators plus actions.
+
+use crate::context::Context;
+use crate::metrics::StageMetrics;
+use crate::partition_for;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An eagerly evaluated, immutable, partitioned collection.
+///
+/// `Dataset` mirrors Spark's RDD: transformations produce new datasets and
+/// run as parallel stages on the owning [`Context`]'s worker pool. Unlike
+/// Spark, evaluation is eager — every operator call is one stage — which
+/// keeps the engine simple and makes per-stage metrics trivially exact.
+///
+/// Partitions are reference-counted, so cheap operations like
+/// [`Dataset::union`] never copy data.
+pub struct Dataset<T> {
+    ctx: Context,
+    parts: Vec<Arc<Vec<T>>>,
+}
+
+/// A dataset of key–value pairs; all keyed (shuffle) operators live on this
+/// shape. This is a type alias — any `Dataset<(K, V)>` has the keyed API.
+pub type KeyedDataset<K, V> = Dataset<(K, V)>;
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Dataset {
+            ctx: self.ctx.clone(),
+            parts: self.parts.clone(),
+        }
+    }
+}
+
+impl<T: Send + Sync> Dataset<T> {
+    pub(crate) fn from_parts(ctx: Context, parts: Vec<Arc<Vec<T>>>) -> Self {
+        debug_assert!(!parts.is_empty());
+        Dataset { ctx, parts }
+    }
+
+    /// The context this dataset executes on.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Record count per partition, in partition order.
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.len()).collect()
+    }
+
+    /// Total number of records (an action; computed without a stage).
+    pub fn count(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// `true` if the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    fn record_stage(&self, name: &str, output_records: u64, shuffle_records: u64, t0: Instant) {
+        self.ctx.metrics_sink().record_stage(StageMetrics {
+            name: name.to_string(),
+            tasks: self.parts.len(),
+            input_records: self.count() as u64,
+            output_records,
+            shuffle_records,
+            wall_time: t0.elapsed(),
+        });
+    }
+
+    /// Run one narrow stage: `f(partition_index, partition) -> new partition`.
+    fn narrow_stage<U, F>(&self, name: &str, f: F) -> Dataset<U>
+    where
+        U: Send + Sync,
+        F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    {
+        let t0 = Instant::now();
+        let out: Vec<Vec<U>> = self
+            .ctx
+            .pool()
+            .run(self.parts.len(), |i| f(i, self.parts[i].as_slice()));
+        let produced: u64 = out.iter().map(|p| p.len() as u64).sum();
+        self.record_stage(name, produced, 0, t0);
+        Dataset::from_parts(self.ctx.clone(), out.into_iter().map(Arc::new).collect())
+    }
+
+    /// Apply `f` to every record.
+    pub fn map<U, F>(&self, f: F) -> Dataset<U>
+    where
+        U: Send + Sync,
+        F: Fn(&T) -> U + Send + Sync,
+    {
+        self.narrow_stage("map", |_, p| p.iter().map(&f).collect())
+    }
+
+    /// Apply `f` to every record and flatten the results.
+    pub fn flat_map<U, I, F>(&self, f: F) -> Dataset<U>
+    where
+        U: Send + Sync,
+        I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I + Send + Sync,
+    {
+        self.narrow_stage("flat_map", |_, p| p.iter().flat_map(&f).collect())
+    }
+
+    /// Transform whole partitions at once (`f(partition_index, records)`).
+    pub fn map_partitions<U, F>(&self, f: F) -> Dataset<U>
+    where
+        U: Send + Sync,
+        F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    {
+        self.narrow_stage("map_partitions", f)
+    }
+
+    /// Execute `f` once per record for its side effects (an action).
+    pub fn for_each<F>(&self, f: F)
+    where
+        F: Fn(&T) + Send + Sync,
+    {
+        let t0 = Instant::now();
+        self.ctx.pool().run(self.parts.len(), |i| {
+            self.parts[i].iter().for_each(&f);
+        });
+        self.record_stage("for_each", 0, 0, t0);
+    }
+
+    /// Fold all records into one value.
+    ///
+    /// `combine` must be commutative and associative for the result to be
+    /// independent of partitioning; partition-level results are folded in
+    /// partition order, so associativity alone suffices for the engine's
+    /// determinism guarantee.
+    pub fn fold<U, F>(&self, init: U, combine: F) -> U
+    where
+        U: Clone + Send + Sync,
+        T: Clone + Into<U>,
+        F: Fn(U, U) -> U + Send + Sync,
+    {
+        let t0 = Instant::now();
+        let partials: Vec<U> = self.ctx.pool().run(self.parts.len(), |i| {
+            self.parts[i]
+                .iter()
+                .fold(init.clone(), |acc, x| combine(acc, x.clone().into()))
+        });
+        self.record_stage("fold", 1, 0, t0);
+        partials.into_iter().fold(init, combine)
+    }
+
+    /// Combine all records with `f`; `None` when empty.
+    pub fn reduce<F>(&self, f: F) -> Option<T>
+    where
+        T: Clone,
+        F: Fn(T, T) -> T + Send + Sync,
+    {
+        let t0 = Instant::now();
+        let partials: Vec<Option<T>> = self.ctx.pool().run(self.parts.len(), |i| {
+            self.parts[i].iter().cloned().reduce(&f)
+        });
+        self.record_stage("reduce", 1, 0, t0);
+        partials.into_iter().flatten().reduce(f)
+    }
+
+    /// Keep only records matching the predicate.
+    pub fn filter<F>(&self, pred: F) -> Dataset<T>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        self.narrow_stage("filter", |_, p| {
+            p.iter().filter(|x| pred(x)).cloned().collect()
+        })
+    }
+
+    /// Gather all records to the caller in partition order.
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.count());
+        for p in &self.parts {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// Pair every record with its global index (partition-order positions).
+    pub fn zip_with_index(&self) -> Dataset<(T, u64)>
+    where
+        T: Clone,
+    {
+        let mut offsets = Vec::with_capacity(self.parts.len());
+        let mut acc = 0u64;
+        for p in &self.parts {
+            offsets.push(acc);
+            acc += p.len() as u64;
+        }
+        self.narrow_stage("zip_with_index", move |i, p| {
+            p.iter()
+                .cloned()
+                .enumerate()
+                .map(|(j, x)| (x, offsets[i] + j as u64))
+                .collect()
+        })
+    }
+
+    /// Concatenate two datasets (no data movement; partitions are shared).
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        let mut parts = self.parts.clone();
+        parts.extend(other.parts.iter().cloned());
+        Dataset::from_parts(self.ctx.clone(), parts)
+    }
+
+    /// Redistribute records over `n` partitions, preserving global order
+    /// (contiguous ranges, like [`Context::parallelize`]).
+    pub fn repartition(&self, n: usize) -> Dataset<T>
+    where
+        T: Clone,
+    {
+        let t0 = Instant::now();
+        let all = self.collect();
+        let moved = all.len() as u64;
+        let out = self.ctx.parallelize(all, n.max(1));
+        self.record_stage("repartition", moved, moved, t0);
+        out
+    }
+
+    /// Key every record with `key_fn`, keeping the record as the value.
+    pub fn key_by<K, F>(&self, key_fn: F) -> Dataset<(K, T)>
+    where
+        K: Send + Sync,
+        T: Clone,
+        F: Fn(&T) -> K + Send + Sync,
+    {
+        self.narrow_stage("key_by", |_, p| {
+            p.iter().map(|x| (key_fn(x), x.clone())).collect()
+        })
+    }
+
+    /// Remove duplicate records (hash shuffle so equal records meet).
+    pub fn distinct(&self) -> Dataset<T>
+    where
+        T: Clone + Hash + Eq,
+    {
+        let keyed: Dataset<(T, ())> = self.map(|x| (x.clone(), ()));
+        keyed
+            .group_by_key()
+            .narrow_stage("distinct", |_, p| p.iter().map(|(k, _)| k.clone()).collect())
+    }
+
+    /// Total order sort by a key function (driver-side merge, like a 1-stage
+    /// `sortBy`); output is range-partitioned over the current partition
+    /// count.
+    pub fn sort_by<K, F>(&self, key_fn: F) -> Dataset<T>
+    where
+        T: Clone,
+        K: Ord,
+        F: Fn(&T) -> K + Send + Sync,
+    {
+        let t0 = Instant::now();
+        let mut all = self.collect();
+        all.sort_by_key(|a| key_fn(a));
+        let moved = all.len() as u64;
+        let out = self.ctx.parallelize(all, self.parts.len());
+        self.record_stage("sort_by", moved, moved, t0);
+        out
+    }
+
+    /// Deterministic Bernoulli sample: keeps each record with probability
+    /// `fraction`, decided by a hash of `(seed, global index)`.
+    pub fn sample(&self, seed: u64, fraction: f64) -> Dataset<T>
+    where
+        T: Clone,
+    {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "sample fraction must be in [0, 1], got {fraction}"
+        );
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        self.zip_with_index().narrow_stage("sample", move |_, p| {
+            p.iter()
+                .filter(|(_, idx)| splitmix64(seed ^ idx.wrapping_mul(0x9E3779B97F4A7C15)) <= threshold)
+                .map(|(x, _)| x.clone())
+                .collect()
+        })
+    }
+}
+
+impl<T: Send + Sync> Dataset<T> {
+    /// First `n` records in partition order (an action).
+    pub fn take(&self, n: usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(n.min(self.count()));
+        for p in &self.parts {
+            for x in p.iter() {
+                if out.len() == n {
+                    return out;
+                }
+                out.push(x.clone());
+            }
+        }
+        out
+    }
+
+    /// The first record, if any.
+    pub fn first(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.take(1).into_iter().next()
+    }
+
+    /// Record with the maximum key (first such record in partition order on
+    /// ties).
+    pub fn max_by_key<K, F>(&self, key_fn: F) -> Option<T>
+    where
+        T: Clone,
+        K: Ord + Send,
+        F: Fn(&T) -> K + Send + Sync,
+    {
+        let partials: Vec<Option<T>> = self.ctx.pool().run(self.parts.len(), |i| {
+            self.parts[i]
+                .iter()
+                .max_by(|a, b| key_fn(a).cmp(&key_fn(b)).then(std::cmp::Ordering::Greater))
+                .cloned()
+        });
+        partials
+            .into_iter()
+            .flatten()
+            .max_by(|a, b| key_fn(a).cmp(&key_fn(b)).then(std::cmp::Ordering::Greater))
+    }
+
+    /// Record with the minimum key (first such record in partition order on
+    /// ties).
+    pub fn min_by_key<K, F>(&self, key_fn: F) -> Option<T>
+    where
+        T: Clone,
+        K: Ord + Send,
+        F: Fn(&T) -> K + Send + Sync,
+    {
+        self.max_by_key(|x| std::cmp::Reverse(key_fn(x)))
+    }
+}
+
+/// SplitMix64: cheap, high-quality 64-bit mixer used for sampling decisions.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Keyed (shuffle) operators.
+// ---------------------------------------------------------------------------
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Clone + Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Hash-shuffle the pairs into `n` target buckets.
+    ///
+    /// Records are routed by `hash(key) % n`; within each target bucket,
+    /// records appear in (input partition, input offset) order, which makes
+    /// every downstream grouping deterministic.
+    fn shuffle(&self, n: usize) -> Vec<Vec<(K, V)>> {
+        let n = n.max(1);
+        // Map side: bucket each input partition.
+        let bucketed: Vec<Vec<Vec<(K, V)>>> = self.ctx.pool().run(self.parts.len(), |i| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+            for (k, v) in self.parts[i].iter() {
+                buckets[partition_for(k, n)].push((k.clone(), v.clone()));
+            }
+            buckets
+        });
+        // Reduce side: concatenate per-target buckets in input order.
+        let mut targets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+        for input in bucketed {
+            for (j, bucket) in input.into_iter().enumerate() {
+                targets[j].extend(bucket);
+            }
+        }
+        targets
+    }
+
+    /// Group values by key. Keys keep first-seen order inside each output
+    /// partition; values keep input order.
+    pub fn group_by_key(&self) -> Dataset<(K, Vec<V>)> {
+        self.group_by_key_with(self.ctx.default_partitions())
+    }
+
+    /// [`Dataset::group_by_key`] with an explicit output partition count.
+    pub fn group_by_key_with(&self, n: usize) -> Dataset<(K, Vec<V>)> {
+        let t0 = Instant::now();
+        let shuffled = self.shuffle(n);
+        let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
+        let grouped: Vec<Vec<(K, Vec<V>)>> = self.ctx.pool().run(shuffled.len(), |j| {
+            group_preserving_order(shuffled[j].clone())
+        });
+        let produced: u64 = grouped.iter().map(|p| p.len() as u64).sum();
+        self.record_stage("group_by_key", produced, moved, t0);
+        Dataset::from_parts(self.ctx.clone(), grouped.into_iter().map(Arc::new).collect())
+    }
+
+    /// Merge values per key with map-side combining (Spark `reduceByKey`).
+    ///
+    /// `combine` must be associative; commutativity is not required because
+    /// values are combined in deterministic input order.
+    pub fn reduce_by_key<F>(&self, combine: F) -> Dataset<(K, V)>
+    where
+        F: Fn(V, &V) -> V + Send + Sync,
+    {
+        self.reduce_by_key_with(self.ctx.default_partitions(), combine)
+    }
+
+    /// [`Dataset::reduce_by_key`] with an explicit output partition count.
+    pub fn reduce_by_key_with<F>(&self, n: usize, combine: F) -> Dataset<(K, V)>
+    where
+        F: Fn(V, &V) -> V + Send + Sync,
+    {
+        let t0 = Instant::now();
+        // Map-side combine shrinks the shuffle.
+        let combined: Vec<Vec<(K, V)>> = self.ctx.pool().run(self.parts.len(), |i| {
+            let groups = group_preserving_order(self.parts[i].to_vec());
+            groups
+                .into_iter()
+                .map(|(k, vs)| {
+                    let mut it = vs.into_iter();
+                    let first = it.next().expect("group is never empty");
+                    (k, it.fold(first, |acc, v| combine(acc, &v)))
+                })
+                .collect()
+        });
+        let pre = Dataset::from_parts(self.ctx.clone(), combined.into_iter().map(Arc::new).collect());
+        let shuffled = pre.shuffle(n);
+        let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
+        let reduced: Vec<Vec<(K, V)>> = self.ctx.pool().run(shuffled.len(), |j| {
+            group_preserving_order(shuffled[j].clone())
+                .into_iter()
+                .map(|(k, vs)| {
+                    let mut it = vs.into_iter();
+                    let first = it.next().expect("group is never empty");
+                    (k, it.fold(first, |acc, v| combine(acc, &v)))
+                })
+                .collect()
+        });
+        let produced: u64 = reduced.iter().map(|p| p.len() as u64).sum();
+        self.record_stage("reduce_by_key", produced, moved, t0);
+        Dataset::from_parts(self.ctx.clone(), reduced.into_iter().map(Arc::new).collect())
+    }
+
+    /// Count records per key.
+    pub fn count_by_key(&self) -> Dataset<(K, u64)> {
+        self.map(|(k, _)| (k.clone(), 1u64))
+            .reduce_by_key(|a, b| a + *b)
+    }
+
+    /// Keys only, in partition order (with duplicates).
+    pub fn keys(&self) -> Dataset<K> {
+        self.map(|(k, _)| k.clone())
+    }
+
+    /// Values only, in partition order.
+    pub fn values(&self) -> Dataset<V> {
+        self.map(|(_, v)| v.clone())
+    }
+
+    /// Transform values, keeping keys (no shuffle).
+    pub fn map_values<W, F>(&self, f: F) -> Dataset<(K, W)>
+    where
+        W: Send + Sync,
+        F: Fn(&V) -> W + Send + Sync,
+    {
+        self.narrow_stage("map_values", |_, p| {
+            p.iter().map(|(k, v)| (k.clone(), f(v))).collect()
+        })
+    }
+
+    /// Group this dataset and `other` by key simultaneously.
+    ///
+    /// Output contains one record per key appearing in either side, in
+    /// first-seen order (all of `self`'s records before `other`'s within
+    /// each target partition).
+    #[allow(clippy::type_complexity)]
+    pub fn cogroup<W>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (Vec<V>, Vec<W>))>
+    where
+        W: Clone + Send + Sync,
+    {
+        let n = self.ctx.default_partitions();
+        let t0 = Instant::now();
+        let left = self.shuffle(n);
+        let right = other.shuffle(n);
+        let moved: u64 =
+            left.iter().map(|p| p.len() as u64).sum::<u64>() + right.iter().map(|p| p.len() as u64).sum::<u64>();
+        let merged: Vec<Vec<(K, (Vec<V>, Vec<W>))>> = self.ctx.pool().run(n, |j| {
+            let mut index: HashMap<K, usize> = HashMap::new();
+            let mut out: Vec<(K, (Vec<V>, Vec<W>))> = Vec::new();
+            for (k, v) in left[j].iter() {
+                let slot = *index.entry(k.clone()).or_insert_with(|| {
+                    out.push((k.clone(), (Vec::new(), Vec::new())));
+                    out.len() - 1
+                });
+                out[slot].1 .0.push(v.clone());
+            }
+            for (k, w) in right[j].iter() {
+                let slot = *index.entry(k.clone()).or_insert_with(|| {
+                    out.push((k.clone(), (Vec::new(), Vec::new())));
+                    out.len() - 1
+                });
+                out[slot].1 .1.push(w.clone());
+            }
+            out
+        });
+        let produced: u64 = merged.iter().map(|p| p.len() as u64).sum();
+        self.record_stage("cogroup", produced, moved, t0);
+        Dataset::from_parts(self.ctx.clone(), merged.into_iter().map(Arc::new).collect())
+    }
+
+    /// Inner join on key: one output record per (left value, right value)
+    /// pair of a shared key.
+    pub fn join<W>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
+    where
+        W: Clone + Send + Sync,
+    {
+        self.cogroup(other).narrow_stage("join", |_, p| {
+            let mut out = Vec::new();
+            for (k, (vs, ws)) in p {
+                for v in vs {
+                    for w in ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
+                }
+            }
+            out
+        })
+    }
+
+    /// Left outer join: every left record appears at least once; the right
+    /// side is `None` when the key has no match.
+    pub fn left_outer_join<W>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, Option<W>))>
+    where
+        W: Clone + Send + Sync,
+    {
+        self.cogroup(other).narrow_stage("left_outer_join", |_, p| {
+            let mut out = Vec::new();
+            for (k, (vs, ws)) in p {
+                for v in vs {
+                    if ws.is_empty() {
+                        out.push((k.clone(), (v.clone(), None)));
+                    } else {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                        }
+                    }
+                }
+            }
+            out
+        })
+    }
+
+    /// Hash-partition by key into `n` partitions (no grouping); used to
+    /// co-partition datasets before node-local algorithms.
+    pub fn partition_by_key(&self, n: usize) -> Dataset<(K, V)> {
+        let t0 = Instant::now();
+        let shuffled = self.shuffle(n);
+        let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
+        self.record_stage("partition_by_key", moved, moved, t0);
+        Dataset::from_parts(self.ctx.clone(), shuffled.into_iter().map(Arc::new).collect())
+    }
+
+    /// Collect into a `HashMap`, keeping the **last** value per key
+    /// (matching Spark's `collectAsMap`).
+    pub fn collect_as_map(&self) -> HashMap<K, V> {
+        let mut out = HashMap::with_capacity(self.count());
+        for p in &self.parts {
+            for (k, v) in p.iter() {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Group `(K, V)` pairs preserving first-seen key order and input value
+/// order — the deterministic grouping kernel shared by the shuffle
+/// operators.
+fn group_preserving_order<K: Hash + Eq + Clone, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    let mut index: HashMap<K, usize> = HashMap::with_capacity(pairs.len());
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match index.get(&k) {
+            Some(&slot) => out[slot].1.push(v),
+            None => {
+                index.insert(k.clone(), out.len());
+                out.push((k, vec![v]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::with_partitions(4, 5)
+    }
+
+    #[test]
+    fn map_and_collect() {
+        let ds = ctx().parallelize((1..=6).collect::<Vec<i64>>(), 3);
+        assert_eq!(ds.map(|x| x * 10).collect(), vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn flat_map_flattens_in_order() {
+        let ds = ctx().parallelize(vec![1, 2, 3], 2);
+        let out = ds.flat_map(|x| vec![*x; *x as usize]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let ds = ctx().parallelize((0..20).collect::<Vec<_>>(), 4);
+        assert_eq!(
+            ds.filter(|x| x % 5 == 0).collect(),
+            vec![0, 5, 10, 15]
+        );
+    }
+
+    #[test]
+    fn map_partitions_sees_partition_index() {
+        let ds = ctx().parallelize(vec![(); 8], 4);
+        let out = ds.map_partitions(|i, p| vec![(i, p.len())]).collect();
+        assert_eq!(out, vec![(0, 2), (1, 2), (2, 2), (3, 2)]);
+    }
+
+    #[test]
+    fn fold_sums() {
+        let ds = ctx().parallelize((1..=100).collect::<Vec<u64>>(), 7);
+        assert_eq!(ds.fold(0u64, |a, b| a + b), 5050);
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let ds: Dataset<u64> = ctx().empty();
+        assert_eq!(ds.reduce(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let ds = ctx().parallelize(vec![3, 9, 1, 7, 5], 3);
+        assert_eq!(ds.reduce(|a, b| a.max(b)), Some(9));
+    }
+
+    #[test]
+    fn group_by_key_groups_all_values_deterministically() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i % 7, i)).collect();
+        let ds = ctx().parallelize(pairs, 6);
+        let grouped = ds.group_by_key();
+        let mut out = grouped.collect();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out.len(), 7);
+        for (k, vs) in &out {
+            let expected: Vec<u32> = (0..100).filter(|i| i % 7 == *k).collect();
+            assert_eq!(vs, &expected, "values for key {k} keep input order");
+        }
+        // Same result regardless of worker count.
+        let seq = Context::with_partitions(1, 5)
+            .parallelize((0..100).map(|i| (i % 7, i)).collect(), 6)
+            .group_by_key()
+            .collect();
+        assert_eq!(grouped.collect(), seq);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_group_then_fold() {
+        let pairs: Vec<(String, u64)> = (0..50)
+            .map(|i| (format!("k{}", i % 4), i))
+            .collect();
+        let ds = ctx().parallelize(pairs, 5);
+        let mut reduced = ds.reduce_by_key(|a, b| a + b).collect();
+        reduced.sort();
+        let mut expected: HashMap<String, u64> = HashMap::new();
+        for i in 0..50u64 {
+            *expected.entry(format!("k{}", i % 4)).or_default() += i;
+        }
+        let mut expected: Vec<(String, u64)> = expected.into_iter().collect();
+        expected.sort();
+        assert_eq!(reduced, expected);
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let ds = ctx().parallelize(vec![("a", 1), ("b", 2), ("a", 3)], 2);
+        let m = ds.count_by_key().collect_as_map();
+        assert_eq!(m[&"a"], 2);
+        assert_eq!(m[&"b"], 1);
+    }
+
+    #[test]
+    fn join_produces_cross_product_per_key() {
+        let c = ctx();
+        let left = c.parallelize(vec![(1, "a"), (1, "b"), (2, "c")], 2);
+        let right = c.parallelize(vec![(1, 10), (2, 20), (2, 30), (3, 99)], 2);
+        let mut out = left.join(&right).collect();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![(1, ("a", 10)), (1, ("b", 10)), (2, ("c", 20)), (2, ("c", 30))]
+        );
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_left() {
+        let c = ctx();
+        let left = c.parallelize(vec![(1, "a"), (4, "d")], 2);
+        let right = c.parallelize(vec![(1, 10)], 1);
+        let mut out = left.left_outer_join(&right).collect();
+        out.sort();
+        assert_eq!(out, vec![(1, ("a", Some(10))), (4, ("d", None))]);
+    }
+
+    #[test]
+    fn cogroup_covers_keys_on_either_side() {
+        let c = ctx();
+        let left = c.parallelize(vec![(1, 'x')], 1);
+        let right = c.parallelize(vec![(2, 'y')], 1);
+        let mut out = left.cogroup(&right).collect();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(
+            out,
+            vec![(1, (vec!['x'], vec![])), (2, (vec![], vec!['y']))]
+        );
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let ds = ctx().parallelize(vec![1, 2, 2, 3, 3, 3, 1], 3);
+        let mut out = ds.distinct().collect();
+        out.sort();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let c = ctx();
+        let a = c.parallelize(vec![1, 2], 1);
+        let b = c.parallelize(vec![3], 1);
+        assert_eq!(a.union(&b).collect(), vec![1, 2, 3]);
+        assert_eq!(a.union(&b).num_partitions(), 2);
+    }
+
+    #[test]
+    fn sort_by_total_order() {
+        let ds = ctx().parallelize(vec![5, 3, 9, 1, 7], 3);
+        assert_eq!(ds.sort_by(|x| *x).collect(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(
+            ds.sort_by(|x| std::cmp::Reverse(*x)).collect(),
+            vec![9, 7, 5, 3, 1]
+        );
+    }
+
+    #[test]
+    fn zip_with_index_is_global() {
+        let ds = ctx().parallelize(vec!["a", "b", "c", "d"], 3);
+        assert_eq!(
+            ds.zip_with_index().collect(),
+            vec![("a", 0), ("b", 1), ("c", 2), ("d", 3)]
+        );
+    }
+
+    #[test]
+    fn repartition_preserves_order() {
+        let ds = ctx().parallelize((0..10).collect::<Vec<_>>(), 2);
+        let rp = ds.repartition(5);
+        assert_eq!(rp.num_partitions(), 5);
+        assert_eq!(rp.collect(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn key_by_pairs_records_with_keys() {
+        let ds = ctx().parallelize(vec!["apple", "banana"], 1);
+        assert_eq!(
+            ds.key_by(|s| s.len()).collect(),
+            vec![(5, "apple"), (6, "banana")]
+        );
+    }
+
+    #[test]
+    fn map_values_keeps_keys() {
+        let ds = ctx().parallelize(vec![(1, 2), (3, 4)], 2);
+        assert_eq!(ds.map_values(|v| v * v).collect(), vec![(1, 4), (3, 16)]);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_roughly_sized() {
+        let ds = ctx().parallelize((0..10_000).collect::<Vec<_>>(), 8);
+        let s1 = ds.sample(42, 0.1).collect();
+        let s2 = ds.sample(42, 0.1).collect();
+        assert_eq!(s1, s2);
+        assert!(
+            (800..1200).contains(&s1.len()),
+            "expected ~1000 samples, got {}",
+            s1.len()
+        );
+        let s3 = ds.sample(43, 0.1).collect();
+        assert_ne!(s1, s3, "different seeds give different samples");
+        assert!(ds.sample(7, 0.0).collect().is_empty());
+        assert_eq!(ds.sample(7, 1.0).count(), 10_000);
+    }
+
+    #[test]
+    fn metrics_track_stages_and_shuffles() {
+        let c = Context::with_partitions(2, 3);
+        let ds = c.parallelize((0..30).map(|i| (i % 5, i)).collect::<Vec<_>>(), 4);
+        ds.group_by_key();
+        let snap = c.metrics();
+        assert_eq!(snap.stages.len(), 1);
+        assert_eq!(snap.stages[0].name, "group_by_key");
+        assert_eq!(snap.stages[0].shuffle_records, 30);
+        assert_eq!(snap.stages[0].output_records, 5);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let build = |workers: usize| {
+            let c = Context::with_partitions(workers, 7);
+            let ds = c.parallelize((0..500u64).map(|i| (i % 13, i)).collect::<Vec<_>>(), 9);
+            let grouped = ds.group_by_key().map_values(|v| v.iter().sum::<u64>());
+            grouped.sort_by(|(k, _)| *k).collect()
+        };
+        let base = build(1);
+        for w in [2, 4, 8] {
+            assert_eq!(build(w), base, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn group_preserving_order_kernel() {
+        let groups = group_preserving_order(vec![("b", 1), ("a", 2), ("b", 3)]);
+        assert_eq!(groups, vec![("b", vec![1, 3]), ("a", vec![2])]);
+    }
+
+    #[test]
+    fn take_and_first() {
+        let ds = ctx().parallelize((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(ds.take(4), vec![0, 1, 2, 3]);
+        assert_eq!(ds.take(0), Vec::<i32>::new());
+        assert_eq!(ds.take(100), (0..10).collect::<Vec<_>>());
+        assert_eq!(ds.first(), Some(0));
+        let empty: Dataset<i32> = ctx().empty();
+        assert_eq!(empty.first(), None);
+    }
+
+    #[test]
+    fn max_min_by_key() {
+        let ds = ctx().parallelize(vec![("a", 3), ("b", 9), ("c", 1)], 2);
+        assert_eq!(ds.max_by_key(|(_, v)| *v), Some(("b", 9)));
+        assert_eq!(ds.min_by_key(|(_, v)| *v), Some(("c", 1)));
+        // Ties: first in partition order wins.
+        let ties = ctx().parallelize(vec![("x", 5), ("y", 5)], 2);
+        assert_eq!(ties.max_by_key(|(_, v)| *v), Some(("x", 5)));
+        let empty: Dataset<(u8, u8)> = ctx().empty();
+        assert_eq!(empty.max_by_key(|(_, v)| *v), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample fraction")]
+    fn sample_rejects_bad_fraction() {
+        ctx().parallelize(vec![1], 1).sample(0, 1.5);
+    }
+}

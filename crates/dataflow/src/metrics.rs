@@ -1,0 +1,134 @@
+//! Execution metrics: per-stage task/record/shuffle accounting.
+//!
+//! The scalability experiments (DESIGN.md E8) read these counters to report
+//! tasks, shuffled records and wall-clock per stage, mirroring what the
+//! Spark UI exposes for the original SparkER.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Metrics for one executed stage (one engine operator invocation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Operator name, e.g. `"map"` or `"group_by_key"`.
+    pub name: String,
+    /// Number of tasks (= partitions processed).
+    pub tasks: usize,
+    /// Records read by the stage.
+    pub input_records: u64,
+    /// Records produced by the stage.
+    pub output_records: u64,
+    /// Records moved across the shuffle boundary (0 for narrow stages).
+    pub shuffle_records: u64,
+    /// Wall-clock time of the stage.
+    pub wall_time: Duration,
+}
+
+/// Point-in-time copy of all metrics recorded by a [`crate::Context`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Stages in execution order.
+    pub stages: Vec<StageMetrics>,
+    /// Number of broadcast variables created.
+    pub broadcasts: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total tasks across all stages.
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks).sum()
+    }
+
+    /// Total records moved across shuffle boundaries.
+    pub fn total_shuffle_records(&self) -> u64 {
+        self.stages.iter().map(|s| s.shuffle_records).sum()
+    }
+
+    /// Total wall-clock time spent in stages.
+    ///
+    /// Stages execute sequentially (each operator is eager), so this is a
+    /// faithful pipeline time excluding driver-side work.
+    pub fn total_wall_time(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall_time).sum()
+    }
+}
+
+/// Shared, thread-safe metrics sink owned by a [`crate::Context`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionMetrics {
+    inner: Arc<Mutex<MetricsSnapshot>>,
+}
+
+impl ExecutionMetrics {
+    /// Record a completed stage.
+    pub fn record_stage(&self, stage: StageMetrics) {
+        self.inner.lock().stages.push(stage);
+    }
+
+    /// Record the creation of a broadcast variable.
+    pub fn record_broadcast(&self) {
+        self.inner.lock().broadcasts += 1;
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().clone()
+    }
+
+    /// Drop all recorded metrics (used between experiment repetitions).
+    pub fn reset(&self) {
+        let mut g = self.inner.lock();
+        g.stages.clear();
+        g.broadcasts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, tasks: usize, shuffle: u64) -> StageMetrics {
+        StageMetrics {
+            name: name.to_string(),
+            tasks,
+            input_records: 10,
+            output_records: 10,
+            shuffle_records: shuffle,
+            wall_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let m = ExecutionMetrics::default();
+        m.record_stage(stage("map", 4, 0));
+        m.record_stage(stage("group_by_key", 8, 40));
+        m.record_broadcast();
+        let s = m.snapshot();
+        assert_eq!(s.stages.len(), 2);
+        assert_eq!(s.total_tasks(), 12);
+        assert_eq!(s.total_shuffle_records(), 40);
+        assert_eq!(s.broadcasts, 1);
+        assert_eq!(s.total_wall_time(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = ExecutionMetrics::default();
+        m.record_stage(stage("map", 1, 0));
+        m.record_broadcast();
+        m.reset();
+        let s = m.snapshot();
+        assert!(s.stages.is_empty());
+        assert_eq!(s.broadcasts, 0);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let m = ExecutionMetrics::default();
+        let m2 = m.clone();
+        m2.record_stage(stage("map", 1, 0));
+        assert_eq!(m.snapshot().stages.len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Worker pool: bounded-parallelism execution of independent tasks.
+//!
+//! Stages are executed by spawning up to `workers` scoped threads that pull
+//! task indices from a shared atomic counter (work stealing by index). Using
+//! scoped threads keeps closures free of `'static` bounds, so tasks can
+//! borrow stage-local state such as input partitions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool of workers that runs batches of independent tasks.
+///
+/// The pool itself is stateless between batches; `workers` only bounds the
+/// parallelism of each [`WorkerPool::run`] call. Results are returned in task
+/// order regardless of completion order, which is one half of the engine's
+/// determinism guarantee.
+#[derive(Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Create a pool that runs at most `workers` tasks concurrently.
+    ///
+    /// `workers == 0` is clamped to 1.
+    pub fn new(workers: usize) -> Self {
+        WorkerPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of concurrent workers used by [`WorkerPool::run`].
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `num_tasks` independent tasks and collect their results in
+    /// task order.
+    ///
+    /// `task(i)` is invoked exactly once for every `i in 0..num_tasks`, from
+    /// at most `self.workers` threads concurrently. Panics in tasks propagate
+    /// to the caller.
+    pub fn run<R, F>(&self, num_tasks: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Send + Sync,
+    {
+        if num_tasks == 0 {
+            return Vec::new();
+        }
+        // Single-worker (or single-task) fast path: run inline, no threads.
+        if self.workers == 1 || num_tasks == 1 {
+            return (0..num_tasks).map(&task).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let threads = self.workers.min(num_tasks);
+        let mut collected: Vec<(usize, R)> = Vec::with_capacity(num_tasks);
+
+        crossbeam::thread::scope(|scope| {
+            let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let task = &task;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= num_tasks {
+                        break;
+                    }
+                    let r = task(i);
+                    // The receiver outlives all senders inside this scope;
+                    // a send failure means the parent thread panicked.
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            collected.extend(rx.iter());
+        })
+        .expect("dataflow task panicked");
+
+        collected.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(collected.len(), num_tasks);
+        collected.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits = AtomicU64::new(0);
+        let out = pool.run(100, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i * i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_in_task_order_under_contention() {
+        let pool = WorkerPool::new(8);
+        let out = pool.run(257, |i| {
+            // Stagger completion order.
+            if i % 3 == 0 {
+                std::thread::yield_now();
+            }
+            i
+        });
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let pool = WorkerPool::new(3);
+        let out: Vec<u32> = pool.run(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run(3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let tid = std::thread::current().id();
+        let out = pool.run(4, move |i| (i, std::thread::current().id() == tid));
+        assert!(out.iter().all(|(_, same)| *same));
+    }
+
+    #[test]
+    #[should_panic(expected = "dataflow task panicked")]
+    fn task_panic_propagates() {
+        let pool = WorkerPool::new(4);
+        pool.run(8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn tasks_can_borrow_local_state() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<u64> = (0..64).collect();
+        let out = pool.run(8, |i| data[i * 8..(i + 1) * 8].iter().sum::<u64>());
+        assert_eq!(out.iter().sum::<u64>(), (0..64).sum::<u64>());
+    }
+}

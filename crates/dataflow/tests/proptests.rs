@@ -1,0 +1,163 @@
+//! Property-based tests of the dataflow engine against sequential models.
+
+use proptest::prelude::*;
+use sparker_dataflow::Context;
+use std::collections::BTreeMap;
+
+fn ctx_strategy() -> impl Strategy<Value = (usize, usize)> {
+    // (workers, partitions)
+    (1usize..=8, 1usize..=12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_collect_is_identity_plus_fn(
+        data in prop::collection::vec(any::<i32>(), 0..300),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let ds = ctx.parallelize(data.clone(), parts);
+        let out = ds.map(|x| x.wrapping_mul(3)).collect();
+        let expected: Vec<i32> = data.iter().map(|x| x.wrapping_mul(3)).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn filter_preserves_relative_order(
+        data in prop::collection::vec(any::<u8>(), 0..300),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let ds = ctx.parallelize(data.clone(), parts);
+        let out = ds.filter(|x| x % 2 == 0).collect();
+        let expected: Vec<u8> = data.into_iter().filter(|x| x % 2 == 0).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn group_by_key_matches_btreemap_model(
+        data in prop::collection::vec((0u8..20, any::<i16>()), 0..300),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let ds = ctx.parallelize(data.clone(), parts);
+        let mut grouped: BTreeMap<u8, Vec<i16>> = BTreeMap::new();
+        for (k, v) in ds.group_by_key().collect() {
+            prop_assert!(grouped.insert(k, v).is_none(), "duplicate key in output");
+        }
+        let mut model: BTreeMap<u8, Vec<i16>> = BTreeMap::new();
+        for (k, v) in data {
+            model.entry(k).or_default().push(v);
+        }
+        prop_assert_eq!(grouped, model);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_group_then_fold(
+        data in prop::collection::vec((0u8..10, -100i64..100), 0..200),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let ds = ctx.parallelize(data.clone(), parts);
+        let reduced: BTreeMap<u8, i64> = ds.reduce_by_key(|a, b| a + *b).collect_as_map().into_iter().collect();
+        let mut model: BTreeMap<u8, i64> = BTreeMap::new();
+        for (k, v) in data {
+            *model.entry(k).or_default() += v;
+        }
+        prop_assert_eq!(reduced, model);
+    }
+
+    #[test]
+    fn fold_equals_iterator_sum(
+        data in prop::collection::vec(-1000i64..1000, 0..300),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let ds = ctx.parallelize(data.clone(), parts);
+        prop_assert_eq!(ds.fold(0i64, |a, b| a + b), data.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn distinct_matches_set_model(
+        data in prop::collection::vec(0u16..50, 0..300),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let ds = ctx.parallelize(data.clone(), parts);
+        let mut out = ds.distinct().collect();
+        out.sort_unstable();
+        let mut expected: Vec<u16> = data.into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn join_matches_nested_loop_model(
+        left in prop::collection::vec((0u8..8, any::<u8>()), 0..60),
+        right in prop::collection::vec((0u8..8, any::<u8>()), 0..60),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let l = ctx.parallelize(left.clone(), parts);
+        let r = ctx.parallelize(right.clone(), parts);
+        let mut out = l.join(&r).collect();
+        out.sort_unstable();
+        let mut model: Vec<(u8, (u8, u8))> = Vec::new();
+        for &(kl, vl) in &left {
+            for &(kr, vr) in &right {
+                if kl == kr {
+                    model.push((kl, (vl, vr)));
+                }
+            }
+        }
+        model.sort_unstable();
+        prop_assert_eq!(out, model);
+    }
+
+    #[test]
+    fn results_invariant_to_worker_count(
+        data in prop::collection::vec((0u8..15, any::<i8>()), 0..200),
+        parts in 1usize..10,
+    ) {
+        let run = |workers: usize| {
+            let ctx = Context::with_partitions(workers, parts);
+            ctx.parallelize(data.clone(), parts)
+                .group_by_key()
+                .map_values(|v| v.len())
+                .sort_by(|(k, _)| *k)
+                .collect()
+        };
+        let base = run(1);
+        prop_assert_eq!(run(4), base.clone());
+        prop_assert_eq!(run(7), base);
+    }
+
+    #[test]
+    fn sort_by_is_total_and_stable_under_reparition(
+        data in prop::collection::vec(any::<i32>(), 0..300),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let ds = ctx.parallelize(data.clone(), parts);
+        let out = ds.sort_by(|x| *x).collect();
+        let mut expected = data;
+        expected.sort();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn zip_with_index_is_dense(
+        data in prop::collection::vec(any::<u8>(), 0..300),
+        (workers, parts) in ctx_strategy(),
+    ) {
+        let ctx = Context::with_partitions(workers, parts);
+        let ds = ctx.parallelize(data.clone(), parts);
+        let out = ds.zip_with_index().collect();
+        for (i, (v, idx)) in out.iter().enumerate() {
+            prop_assert_eq!(*idx, i as u64);
+            prop_assert_eq!(*v, data[i]);
+        }
+    }
+}

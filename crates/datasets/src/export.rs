@@ -1,0 +1,280 @@
+//! Export generated benchmarks to files consumable by the `sparker` CLI
+//! (and any other tool): one CSV or JSON-lines file per source plus a
+//! ground-truth CSV of original-id pairs.
+
+use crate::generator::GeneratedDataset;
+use sparker_profiles::{write_csv, ErKind, JsonValue, Profile};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// File format for the profile files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// One CSV per source with an `id` column plus one column per
+    /// attribute name (multi-valued attributes joined by `; `).
+    Csv,
+    /// One JSON-lines file per source (`id` key plus one key per
+    /// attribute; repeated attributes become arrays).
+    JsonLines,
+}
+
+impl ExportFormat {
+    fn extension(&self) -> &'static str {
+        match self {
+            ExportFormat::Csv => "csv",
+            ExportFormat::JsonLines => "jsonl",
+        }
+    }
+}
+
+/// Paths produced by [`export_dataset`].
+#[derive(Debug, Clone)]
+pub struct ExportedFiles {
+    /// Per-source profile files (1 for dirty, 2 for clean–clean).
+    pub sources: Vec<std::path::PathBuf>,
+    /// Ground-truth CSV (`id_a,id_b`).
+    pub ground_truth: std::path::PathBuf,
+}
+
+fn profiles_to_csv(profiles: &[Profile]) -> String {
+    // Column set: union of attribute names, sorted.
+    let mut names: Vec<String> = profiles
+        .iter()
+        .flat_map(|p| p.attributes.iter().map(|a| a.name.clone()))
+        .collect();
+    names.sort();
+    names.dedup();
+
+    let mut rows = Vec::with_capacity(profiles.len() + 1);
+    let mut header = vec!["id".to_string()];
+    header.extend(names.iter().cloned());
+    rows.push(header);
+    for p in profiles {
+        let mut row = vec![p.original_id.clone()];
+        for name in &names {
+            let values: Vec<&str> = p.values_of(name).collect();
+            row.push(values.join("; "));
+        }
+        rows.push(row);
+    }
+    write_csv(&rows, ',')
+}
+
+fn profiles_to_jsonl(profiles: &[Profile]) -> String {
+    let mut out = String::new();
+    for p in profiles {
+        let mut map: BTreeMap<String, JsonValue> = BTreeMap::new();
+        map.insert("id".to_string(), JsonValue::String(p.original_id.clone()));
+        // Group repeated attributes into arrays.
+        let mut grouped: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for a in &p.attributes {
+            grouped.entry(&a.name).or_default().push(&a.value);
+        }
+        for (name, values) in grouped {
+            let v = if values.len() == 1 {
+                JsonValue::String(values[0].to_string())
+            } else {
+                JsonValue::Array(
+                    values
+                        .into_iter()
+                        .map(|v| JsonValue::String(v.to_string()))
+                        .collect(),
+                )
+            };
+            map.insert(name.to_string(), v);
+        }
+        out.push_str(&JsonValue::Object(map).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the dataset into `dir` as `source0.<ext>` (+ `source1.<ext>` for
+/// clean–clean) and `ground_truth.csv`, creating the directory if needed.
+///
+/// The files round-trip through the `sparker-profiles` loaders (and the
+/// `sparker` CLI) back into an equivalent collection — asserted by tests.
+pub fn export_dataset(
+    ds: &GeneratedDataset,
+    dir: impl AsRef<Path>,
+    format: ExportFormat,
+) -> io::Result<ExportedFiles> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+
+    let sep = ds.collection.separator() as usize;
+    let render = |profiles: &[Profile]| match format {
+        ExportFormat::Csv => profiles_to_csv(profiles),
+        ExportFormat::JsonLines => profiles_to_jsonl(profiles),
+    };
+
+    let mut sources = Vec::new();
+    match ds.collection.kind() {
+        ErKind::Dirty => {
+            let path = dir.join(format!("source0.{}", format.extension()));
+            std::fs::write(&path, render(ds.collection.profiles()))?;
+            sources.push(path);
+        }
+        ErKind::CleanClean => {
+            for (i, slice) in [
+                &ds.collection.profiles()[..sep],
+                &ds.collection.profiles()[sep..],
+            ]
+            .iter()
+            .enumerate()
+            {
+                let path = dir.join(format!("source{i}.{}", format.extension()));
+                std::fs::write(&path, render(slice))?;
+                sources.push(path);
+            }
+        }
+    }
+
+    // Ground truth as original-id pairs (sorted for reproducible files).
+    let mut rows = vec![vec!["id_a".to_string(), "id_b".to_string()]];
+    let mut pairs: Vec<(String, String)> = ds
+        .ground_truth
+        .iter()
+        .map(|p| {
+            (
+                ds.collection.get(p.first).original_id.clone(),
+                ds.collection.get(p.second).original_id.clone(),
+            )
+        })
+        .collect();
+    pairs.sort();
+    rows.extend(pairs.into_iter().map(|(a, b)| vec![a, b]));
+    let ground_truth = dir.join("ground_truth.csv");
+    std::fs::write(&ground_truth, write_csv(&rows, ','))?;
+
+    Ok(ExportedFiles {
+        sources,
+        ground_truth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, generate_dirty, DatasetConfig};
+    use sparker_profiles::{
+        parse_csv, profiles_from_csv, profiles_from_json_lines, CsvOptions, GroundTruth,
+        ProfileCollection, SourceId,
+    };
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sparker-export-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small() -> GeneratedDataset {
+        generate(&DatasetConfig {
+            entities: 20,
+            unmatched_per_source: 5,
+            ..DatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn csv_export_roundtrips_through_loader() {
+        let ds = small();
+        let dir = tempdir("csv");
+        let files = export_dataset(&ds, &dir, ExportFormat::Csv).unwrap();
+        assert_eq!(files.sources.len(), 2);
+
+        let opts = CsvOptions::default();
+        let s0 = profiles_from_csv(
+            &std::fs::read_to_string(&files.sources[0]).unwrap(),
+            SourceId(0),
+            &opts,
+        )
+        .unwrap();
+        let s1 = profiles_from_csv(
+            &std::fs::read_to_string(&files.sources[1]).unwrap(),
+            SourceId(1),
+            &opts,
+        )
+        .unwrap();
+        let reloaded = ProfileCollection::clean_clean(s0, s1);
+        assert_eq!(reloaded.len(), ds.collection.len());
+        // Token sets survive the round trip (attribute values may have been
+        // joined, so compare the schema-agnostic view).
+        for (a, b) in ds.collection.profiles().iter().zip(reloaded.profiles()) {
+            assert_eq!(a.original_id, b.original_id);
+            assert_eq!(a.token_set(), b.token_set(), "{}", a.original_id);
+        }
+        // Ground truth resolves against the reloaded collection.
+        let rows = parse_csv(
+            &std::fs::read_to_string(&files.ground_truth).unwrap(),
+            ',',
+        )
+        .unwrap();
+        let gt = GroundTruth::from_original_ids(
+            &reloaded,
+            rows.iter().skip(1).map(|r| (r[0].as_str(), r[1].as_str())),
+        )
+        .unwrap();
+        assert_eq!(gt.len(), ds.ground_truth.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_export_roundtrips_through_loader() {
+        let ds = small();
+        let dir = tempdir("jsonl");
+        let files = export_dataset(&ds, &dir, ExportFormat::JsonLines).unwrap();
+        let s0 = profiles_from_json_lines(
+            &std::fs::read_to_string(&files.sources[0]).unwrap(),
+            SourceId(0),
+            "id",
+        )
+        .unwrap();
+        assert_eq!(s0.len(), 25);
+        for (a, b) in ds.collection.profiles()[..25].iter().zip(&s0) {
+            assert_eq!(a.original_id, b.original_id);
+            assert_eq!(a.token_set(), b.token_set());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dirty_export_produces_single_source() {
+        let ds = generate_dirty(
+            &DatasetConfig {
+                entities: 15,
+                ..DatasetConfig::default()
+            },
+            2,
+        );
+        let dir = tempdir("dirty");
+        let files = export_dataset(&ds, &dir, ExportFormat::Csv).unwrap();
+        assert_eq!(files.sources.len(), 1);
+        let text = std::fs::read_to_string(&files.sources[0]).unwrap();
+        assert_eq!(text.lines().count(), ds.collection.len() + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let ds = small();
+        let d1 = tempdir("det1");
+        let d2 = tempdir("det2");
+        let f1 = export_dataset(&ds, &d1, ExportFormat::Csv).unwrap();
+        let f2 = export_dataset(&ds, &d2, ExportFormat::Csv).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&f1.sources[0]).unwrap(),
+            std::fs::read_to_string(&f2.sources[0]).unwrap()
+        );
+        assert_eq!(
+            std::fs::read_to_string(&f1.ground_truth).unwrap(),
+            std::fs::read_to_string(&f2.ground_truth).unwrap()
+        );
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d2).ok();
+    }
+}

@@ -1,0 +1,585 @@
+//! Dataset generators: canonical entities → noisy per-source profiles.
+
+use crate::noise::{corrupt_value, drop_attribute};
+pub use crate::noise::NoiseConfig;
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparker_profiles::{GroundTruth, Pair, Profile, ProfileCollection, ProfileId, SourceId};
+
+/// Which real-dataset shape to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Abt-Buy-like product catalogues: `name`/`description`/`price` vs
+    /// `title`/`descr`/`cost`.
+    Products,
+    /// DBLP-ACM-like bibliographies: `title`/`authors`/`venue`/`year` vs
+    /// `name`/`author list`/`booktitle`/`date`.
+    Bibliographic,
+    /// Movie catalogues: `title`/`director`/`actors`/`year`/`genre` vs
+    /// `name`/`directed by`/`starring`/`release`/`category`.
+    Movies,
+    /// DBLP–Scholar-like citations: a structured bibliography
+    /// (`title`/`authors`/`venue`/`year`) matched against a source whose
+    /// records are a single free-text `citation` string — the extreme
+    /// heterogeneity case where schema-aware blocking has nothing to align
+    /// and schema-agnostic tokens are the only evidence.
+    Citations,
+}
+
+impl Domain {
+    /// Stable name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Domain::Products => "products",
+            Domain::Bibliographic => "bibliographic",
+            Domain::Movies => "movies",
+            Domain::Citations => "citations",
+        }
+    }
+
+    /// Attribute names used by each source (schema heterogeneity is the
+    /// point: the loose-schema generator must re-align them from values).
+    fn attribute_names(&self, source: SourceId) -> &'static [&'static str] {
+        match (self, source.0) {
+            (Domain::Products, 0) => &["name", "description", "price"],
+            (Domain::Products, _) => &["title", "descr", "cost"],
+            (Domain::Bibliographic, 0) => &["title", "authors", "venue", "year"],
+            (Domain::Bibliographic, _) => &["name", "author list", "booktitle", "date"],
+            (Domain::Movies, 0) => &["title", "director", "actors", "year", "genre"],
+            (Domain::Movies, _) => &["name", "directed by", "starring", "release", "category"],
+            (Domain::Citations, 0) => &["title", "authors", "venue", "year"],
+            (Domain::Citations, _) => &["citation"],
+        }
+    }
+
+    /// Canonical attribute values of entity `id` for each source
+    /// (index-aligned with [`Domain::attribute_names`] of that source).
+    ///
+    /// For products the two sources describe the entity *asymmetrically*,
+    /// the way Abt.com and Buy.com do: source 0 has a terse name
+    /// (brand + model) and a long description repeating the full title plus
+    /// specs; source 1 has a full title but a spec-only description without
+    /// brand or model. Cross-attribute evidence (source-0 description ↔
+    /// source-1 title) is therefore essential for some pairs — the property
+    /// the paper's Figure 6(c,d) manual-edit walk-through hinges on.
+    fn canonical(&self, id: usize, rng: &mut StdRng) -> [Vec<String>; 2] {
+        fn pick<'a>(pool: &'a [&'a str], rng: &mut StdRng) -> &'a str {
+            pool[rng.gen_range(0..pool.len())]
+        }
+        match self {
+            Domain::Products => {
+                let brand = pick(vocab::BRANDS, rng);
+                let ptype = pick(vocab::PRODUCT_TYPES, rng);
+                let adj = pick(vocab::ADJECTIVES, rng);
+                let color = pick(vocab::COLORS, rng);
+                let size = pick(vocab::SIZES, rng);
+                let spec = pick(vocab::SPECS, rng);
+                let model = format!(
+                    "{}{}{}",
+                    brand.chars().next().unwrap(),
+                    ptype.chars().next().unwrap(),
+                    1000 + id
+                );
+                let title = format!("{brand} {adj} {ptype} {model} {color}");
+                let n_filler = rng.gen_range(4..9);
+                let filler: Vec<&str> = (0..n_filler)
+                    .map(|_| pick(vocab::DESCRIPTION_FILLER, rng))
+                    .collect();
+                // Low-entropy price from a small set of retail price points,
+                // whose integer parts collide with description sizes.
+                let price = pick(vocab::PRICE_POINTS, rng).to_string();
+                // Source 0: terse name, description repeats the full title.
+                let description0 = format!(
+                    "{title} {} {size} inch {spec} display",
+                    filler.join(" ")
+                );
+                let name0 = format!("{brand} {model}");
+                // Source 1: full title; the description repeats the title
+                // plus specs — but is missing entirely for a large share of
+                // records (as in real catalogues), so those pairs depend on
+                // cross-attribute evidence (source-0 description ↔ source-1
+                // title).
+                let descr1 = if rng.gen_bool(0.45) {
+                    String::new() // missing attribute (builder drops blanks)
+                } else {
+                    format!(
+                        "{title} {} {size} inch {spec} {} year warranty",
+                        filler.join(" "),
+                        rng.gen_range(1..4)
+                    )
+                };
+                [
+                    vec![name0, description0, price.clone()],
+                    vec![title, descr1, price],
+                ]
+            }
+            Domain::Bibliographic => {
+                let n_title = rng.gen_range(4..8);
+                let title: Vec<&str> = (0..n_title).map(|_| pick(vocab::TOPIC_WORDS, rng)).collect();
+                let n_auth = rng.gen_range(2..5);
+                let authors: Vec<String> = (0..n_auth)
+                    .map(|_| {
+                        let s = pick(vocab::SURNAMES, rng);
+                        let initial = (b'a' + rng.gen_range(0..26u8)) as char;
+                        format!("{initial}. {s}")
+                    })
+                    .collect();
+                let venue = pick(vocab::VENUES, rng).to_string();
+                let year = format!("{}", 1995 + rng.gen_range(0..28));
+                let values = vec![
+                    format!("{} {id}", title.join(" ")),
+                    authors.join(", "),
+                    venue,
+                    year,
+                ];
+                [values.clone(), values]
+            }
+            Domain::Citations => {
+                let n_title = rng.gen_range(4..8);
+                let title: Vec<&str> =
+                    (0..n_title).map(|_| pick(vocab::TOPIC_WORDS, rng)).collect();
+                let title = format!("{} {id}", title.join(" "));
+                let n_auth = rng.gen_range(1..4);
+                let authors: Vec<String> = (0..n_auth)
+                    .map(|_| {
+                        let s = pick(vocab::SURNAMES, rng);
+                        let initial = (b'a' + rng.gen_range(0..26u8)) as char;
+                        format!("{initial}. {s}")
+                    })
+                    .collect();
+                let venue = pick(vocab::VENUES, rng);
+                let year = 1995 + rng.gen_range(0..28);
+                let pages = rng.gen_range(1..500);
+                // Source 1 is one flattened citation string, Scholar-style.
+                let citation = format!(
+                    "{}. {title}. in {} {year}, pp {pages}-{}",
+                    authors.join(", "),
+                    venue.to_uppercase(),
+                    pages + rng.gen_range(5..25),
+                );
+                [
+                    vec![
+                        title,
+                        authors.join(", "),
+                        venue.to_string(),
+                        year.to_string(),
+                    ],
+                    vec![citation],
+                ]
+            }
+            Domain::Movies => {
+                let n_title = rng.gen_range(2..5);
+                let title: Vec<&str> = (0..n_title).map(|_| pick(vocab::MOVIE_WORDS, rng)).collect();
+                let director = format!(
+                    "{}. {}",
+                    (b'a' + rng.gen_range(0..26u8)) as char,
+                    pick(vocab::SURNAMES, rng)
+                );
+                let actors: Vec<String> = (0..3)
+                    .map(|_| {
+                        format!(
+                            "{}. {}",
+                            (b'a' + rng.gen_range(0..26u8)) as char,
+                            pick(vocab::SURNAMES, rng)
+                        )
+                    })
+                    .collect();
+                let year = format!("{}", 1960 + rng.gen_range(0..64));
+                let genre = pick(vocab::GENRES, rng).to_string();
+                let values = vec![
+                    format!("{} {id}", title.join(" ")),
+                    director,
+                    actors.join(", "),
+                    year,
+                    genre,
+                ];
+                [values.clone(), values]
+            }
+        }
+    }
+}
+
+/// Configuration of a generated benchmark.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Entities present in *both* sources (= size of the ground truth for
+    /// clean–clean generation).
+    pub entities: usize,
+    /// Additional distractor entities present in only one source (each).
+    pub unmatched_per_source: usize,
+    /// Domain shape.
+    pub domain: Domain,
+    /// Corruption applied to the second representation.
+    pub noise: NoiseConfig,
+    /// Master seed; everything is a pure function of the configuration.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            entities: 500,
+            unmatched_per_source: 100,
+            domain: Domain::Products,
+            noise: NoiseConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// A generated benchmark: profiles plus exact ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// The profile collection (clean–clean or dirty depending on the
+    /// generator used).
+    pub collection: ProfileCollection,
+    /// The exact set of true matches.
+    pub ground_truth: GroundTruth,
+}
+
+fn render_profile(
+    domain: Domain,
+    source: SourceId,
+    original_id: String,
+    canonical: &[String],
+    corrupt: bool,
+    noise: &NoiseConfig,
+    rng: &mut StdRng,
+) -> Profile {
+    let names = domain.attribute_names(source);
+    // Decide survivors first so a record never ends up attribute-less
+    // (real sources always carry at least one value).
+    let mut kept: Vec<(&str, &String)> = Vec::with_capacity(names.len());
+    for (name, value) in names.iter().zip(canonical) {
+        if corrupt && drop_attribute(noise, rng) {
+            continue;
+        }
+        kept.push((name, value));
+    }
+    if kept.is_empty() {
+        kept.push((names[0], &canonical[0]));
+    }
+    let mut b = Profile::builder(source, original_id);
+    for (name, value) in kept {
+        let v = if corrupt {
+            corrupt_value(value, noise, rng)
+        } else {
+            value.clone()
+        };
+        b = b.attr(name, v);
+    }
+    b.build()
+}
+
+/// Generate a clean–clean benchmark: `entities` matched pairs plus
+/// `unmatched_per_source` distractors per source. Source 0 carries the
+/// canonical values; source 1 a corrupted rendering under its own schema.
+pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut s0 = Vec::with_capacity(config.entities + config.unmatched_per_source);
+    let mut s1 = Vec::with_capacity(config.entities + config.unmatched_per_source);
+    let mut gt_pairs: Vec<(String, String)> = Vec::with_capacity(config.entities);
+
+    for i in 0..config.entities {
+        let canonical = config.domain.canonical(i, &mut rng);
+        let oid = format!("e{i}");
+        s0.push(render_profile(
+            config.domain,
+            SourceId(0),
+            oid.clone(),
+            &canonical[0],
+            false,
+            &config.noise,
+            &mut rng,
+        ));
+        s1.push(render_profile(
+            config.domain,
+            SourceId(1),
+            oid.clone(),
+            &canonical[1],
+            true,
+            &config.noise,
+            &mut rng,
+        ));
+        gt_pairs.push((oid.clone(), oid));
+    }
+    for i in 0..config.unmatched_per_source {
+        let c0 = config.domain.canonical(config.entities + i, &mut rng);
+        s0.push(render_profile(
+            config.domain,
+            SourceId(0),
+            format!("u0-{i}"),
+            &c0[0],
+            false,
+            &config.noise,
+            &mut rng,
+        ));
+        let c1 = config
+            .domain
+            .canonical(config.entities + config.unmatched_per_source + i, &mut rng);
+        s1.push(render_profile(
+            config.domain,
+            SourceId(1),
+            format!("u1-{i}"),
+            &c1[1],
+            true,
+            &config.noise,
+            &mut rng,
+        ));
+    }
+
+    let collection = ProfileCollection::clean_clean(s0, s1);
+    let ground_truth = GroundTruth::from_original_ids(
+        &collection,
+        gt_pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+    )
+    .expect("generated ids always resolve");
+    GeneratedDataset {
+        collection,
+        ground_truth,
+    }
+}
+
+/// Generate a dirty benchmark: one source containing duplicate clusters.
+/// Each entity gets 1–`max_cluster` representations (the first canonical,
+/// the rest corrupted); the ground truth contains all intra-cluster pairs.
+pub fn generate_dirty(config: &DatasetConfig, max_cluster: usize) -> GeneratedDataset {
+    assert!(max_cluster >= 1, "clusters need at least one member");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut profiles = Vec::new();
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+
+    for i in 0..config.entities {
+        let canonical = config.domain.canonical(i, &mut rng);
+        let size = rng.gen_range(1..=max_cluster);
+        let mut members = Vec::with_capacity(size);
+        for rep in 0..size {
+            members.push(profiles.len());
+            profiles.push(render_profile(
+                config.domain,
+                SourceId(0),
+                format!("e{i}-{rep}"),
+                &canonical[0],
+                rep > 0,
+                &config.noise,
+                &mut rng,
+            ));
+        }
+        clusters.push(members);
+    }
+
+    let collection = ProfileCollection::dirty(profiles);
+    let mut pairs = Vec::new();
+    for members in clusters {
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                pairs.push(Pair::new(
+                    ProfileId(members[i] as u32),
+                    ProfileId(members[j] as u32),
+                ));
+            }
+        }
+    }
+    GeneratedDataset {
+        collection,
+        ground_truth: GroundTruth::from_pairs(pairs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::ErKind;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = DatasetConfig {
+            entities: 50,
+            ..DatasetConfig::default()
+        };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.collection.profiles(), b.collection.profiles());
+        assert_eq!(a.ground_truth, b.ground_truth);
+        let c = generate(&DatasetConfig {
+            seed: 43,
+            ..config
+        });
+        assert_ne!(a.collection.profiles(), c.collection.profiles());
+    }
+
+    #[test]
+    fn clean_clean_shape_and_ground_truth() {
+        let config = DatasetConfig {
+            entities: 40,
+            unmatched_per_source: 10,
+            ..DatasetConfig::default()
+        };
+        let ds = generate(&config);
+        assert_eq!(ds.collection.kind(), ErKind::CleanClean);
+        assert_eq!(ds.collection.len(), 100);
+        assert_eq!(ds.collection.separator(), 50);
+        assert_eq!(ds.ground_truth.len(), 40);
+        // Ground truth links cross-source profiles only.
+        for p in ds.ground_truth.iter() {
+            assert!(p.first.0 < 50 && p.second.0 >= 50);
+        }
+    }
+
+    #[test]
+    fn schemas_differ_between_sources() {
+        let ds = generate(&DatasetConfig {
+            entities: 5,
+            unmatched_per_source: 0,
+            ..DatasetConfig::default()
+        });
+        let names = ds.collection.attribute_names();
+        let s0: Vec<&str> = names
+            .iter()
+            .filter(|(s, _)| s.0 == 0)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        let s1: Vec<&str> = names
+            .iter()
+            .filter(|(s, _)| s.0 == 1)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        assert!(s0.contains(&"name") && s0.contains(&"price"));
+        assert!(s1.contains(&"title") && s1.contains(&"cost"));
+    }
+
+    #[test]
+    fn duplicates_share_tokens_under_default_noise() {
+        let ds = generate(&DatasetConfig {
+            entities: 30,
+            unmatched_per_source: 0,
+            ..DatasetConfig::default()
+        });
+        let mut overlapping = 0;
+        for pair in ds.ground_truth.iter() {
+            let a = ds.collection.get(pair.first).token_set();
+            let b = ds.collection.get(pair.second).token_set();
+            if a.intersection(&b).count() >= 2 {
+                overlapping += 1;
+            }
+        }
+        assert!(
+            overlapping >= 28,
+            "only {overlapping}/30 duplicates share ≥2 tokens"
+        );
+    }
+
+    #[test]
+    fn all_domains_generate() {
+        for domain in [
+            Domain::Products,
+            Domain::Bibliographic,
+            Domain::Movies,
+            Domain::Citations,
+        ] {
+            let ds = generate(&DatasetConfig {
+                entities: 20,
+                unmatched_per_source: 5,
+                domain,
+                ..DatasetConfig::default()
+            });
+            assert_eq!(ds.collection.len(), 50, "{}", domain.name());
+            assert!(ds
+                .collection
+                .profiles()
+                .iter()
+                .all(|p| !p.is_blank()), "{}", domain.name());
+        }
+    }
+
+    #[test]
+    fn citations_source1_is_single_attribute() {
+        let ds = generate(&DatasetConfig {
+            entities: 10,
+            unmatched_per_source: 0,
+            domain: Domain::Citations,
+            noise: NoiseConfig::none(),
+            ..DatasetConfig::default()
+        });
+        let names = ds.collection.attribute_names();
+        let s1: Vec<&str> = names
+            .iter()
+            .filter(|(s, _)| s.0 == 1)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        assert_eq!(s1, vec!["citation"], "source 1 is unstructured");
+        // The citation string contains the structured side's evidence.
+        for pair in ds.ground_truth.iter() {
+            let a = ds.collection.get(pair.first).token_set();
+            let b = ds.collection.get(pair.second).token_set();
+            let shared = a.intersection(&b).count();
+            assert!(shared >= 4, "{pair}: only {shared} shared tokens");
+        }
+    }
+
+    #[test]
+    fn dirty_generation_clusters() {
+        let config = DatasetConfig {
+            entities: 30,
+            ..DatasetConfig::default()
+        };
+        let ds = generate_dirty(&config, 3);
+        assert_eq!(ds.collection.kind(), ErKind::Dirty);
+        assert!(ds.collection.len() >= 30 && ds.collection.len() <= 90);
+        // Every ground-truth pair shares the entity prefix of its original ids.
+        for p in ds.ground_truth.iter() {
+            let a = &ds.collection.get(p.first).original_id;
+            let b = &ds.collection.get(p.second).original_id;
+            assert_eq!(
+                a.split('-').next(),
+                b.split('-').next(),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_max_cluster_one_has_empty_ground_truth() {
+        let ds = generate_dirty(
+            &DatasetConfig {
+                entities: 10,
+                ..DatasetConfig::default()
+            },
+            1,
+        );
+        assert!(ds.ground_truth.is_empty());
+        assert_eq!(ds.collection.len(), 10);
+    }
+
+    #[test]
+    fn zero_noise_duplicates_share_strong_evidence() {
+        // Products are asymmetric by design (the two sources describe the
+        // entity differently), so token sets differ even without noise —
+        // but the shared core (brand, model, specs, filler) stays large.
+        let ds = generate(&DatasetConfig {
+            entities: 10,
+            unmatched_per_source: 0,
+            noise: NoiseConfig::none(),
+            ..DatasetConfig::default()
+        });
+        for pair in ds.ground_truth.iter() {
+            let a = ds.collection.get(pair.first).token_set();
+            let b = ds.collection.get(pair.second).token_set();
+            assert!(a.intersection(&b).count() >= 5, "{pair}");
+        }
+        // Symmetric domains ARE textual copies at zero noise.
+        let ds = generate(&DatasetConfig {
+            entities: 10,
+            unmatched_per_source: 0,
+            domain: Domain::Bibliographic,
+            noise: NoiseConfig::none(),
+            ..DatasetConfig::default()
+        });
+        for pair in ds.ground_truth.iter() {
+            let a = ds.collection.get(pair.first);
+            let b = ds.collection.get(pair.second);
+            assert_eq!(a.token_set(), b.token_set(), "{} vs {}", a.id, b.id);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Noise models: how a second representation of an entity is corrupted.
+
+use rand::Rng;
+
+/// Probabilities of each corruption applied when deriving one source's
+/// representation from the canonical entity record.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Per-token probability of a character-level typo.
+    pub typo: f64,
+    /// Per-token probability of dropping the token.
+    pub token_drop: f64,
+    /// Probability of swapping two adjacent tokens in a value.
+    pub token_swap: f64,
+    /// Per-token probability of abbreviation (truncate to a prefix).
+    pub abbreviate: f64,
+    /// Per-attribute probability of omitting the attribute entirely.
+    pub missing_attribute: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            typo: 0.08,
+            token_drop: 0.10,
+            token_swap: 0.15,
+            abbreviate: 0.05,
+            missing_attribute: 0.05,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// No corruption at all (duplicates become verbatim copies).
+    pub fn none() -> Self {
+        NoiseConfig {
+            typo: 0.0,
+            token_drop: 0.0,
+            token_swap: 0.0,
+            abbreviate: 0.0,
+            missing_attribute: 0.0,
+        }
+    }
+
+    /// Heavy corruption, for stress-testing recall.
+    pub fn heavy() -> Self {
+        NoiseConfig {
+            typo: 0.2,
+            token_drop: 0.25,
+            token_swap: 0.3,
+            abbreviate: 0.15,
+            missing_attribute: 0.15,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("typo", self.typo),
+            ("token_drop", self.token_drop),
+            ("token_swap", self.token_swap),
+            ("abbreviate", self.abbreviate),
+            ("missing_attribute", self.missing_attribute),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} probability {p} out of range");
+        }
+    }
+}
+
+/// Apply a character-level typo: transpose two adjacent characters or
+/// substitute one (choice and position seeded by `rng`).
+fn typo(word: &str, rng: &mut impl Rng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 2 {
+        return word.to_string();
+    }
+    let mut chars = chars;
+    if rng.gen_bool(0.5) {
+        let i = rng.gen_range(0..chars.len() - 1);
+        chars.swap(i, i + 1);
+    } else {
+        let i = rng.gen_range(0..chars.len());
+        let sub = (b'a' + rng.gen_range(0..26u8)) as char;
+        chars[i] = sub;
+    }
+    chars.into_iter().collect()
+}
+
+/// Corrupt one attribute value according to the noise configuration.
+/// Guarantees a non-empty result when the input had any token (at least one
+/// token always survives, so duplicates never become blank).
+pub fn corrupt_value(value: &str, noise: &NoiseConfig, rng: &mut impl Rng) -> String {
+    noise.validate();
+    let tokens: Vec<&str> = value.split_whitespace().collect();
+    if tokens.is_empty() {
+        return value.to_string();
+    }
+    let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+    for t in &tokens {
+        if out.len() + 1 < tokens.len() && rng.gen_bool(noise.token_drop) {
+            continue; // drop, but never the would-be-last survivor
+        }
+        let mut w = t.to_string();
+        // Numeric tokens (prices, years, sizes) are transcribed, not typed:
+        // they drop or move but do not acquire typos or abbreviations.
+        let numeric = w.chars().all(|c| c.is_ascii_digit() || c == '.');
+        if !numeric {
+            if rng.gen_bool(noise.abbreviate) && w.len() > 3 {
+                w.truncate(3);
+            } else if rng.gen_bool(noise.typo) {
+                w = typo(&w, rng);
+            }
+        }
+        out.push(w);
+    }
+    if out.is_empty() {
+        out.push(tokens[0].to_string());
+    }
+    if out.len() >= 2 && rng.gen_bool(noise.token_swap) {
+        let i = rng.gen_range(0..out.len() - 1);
+        out.swap(i, i + 1);
+    }
+    out.join(" ")
+}
+
+/// Decide whether an attribute should be omitted from this representation.
+pub fn drop_attribute(noise: &NoiseConfig, rng: &mut impl Rng) -> bool {
+    rng.gen_bool(noise.missing_attribute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut r = rng(1);
+        let v = "sony bravia kdl40 television";
+        assert_eq!(corrupt_value(v, &NoiseConfig::none(), &mut r), v);
+        assert!(!drop_attribute(&NoiseConfig::none(), &mut r));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let v = "wireless bluetooth noise cancelling headphones premium";
+        let a = corrupt_value(v, &NoiseConfig::heavy(), &mut rng(42));
+        let b = corrupt_value(v, &NoiseConfig::heavy(), &mut rng(42));
+        assert_eq!(a, b);
+        let c = corrupt_value(v, &NoiseConfig::heavy(), &mut rng(43));
+        assert_ne!(a, c, "different seeds should (generically) differ");
+    }
+
+    #[test]
+    fn corrupted_value_never_empty() {
+        let heavy = NoiseConfig {
+            token_drop: 1.0,
+            ..NoiseConfig::heavy()
+        };
+        for seed in 0..50 {
+            let out = corrupt_value("alpha beta gamma", &heavy, &mut rng(seed));
+            assert!(!out.trim().is_empty(), "seed {seed} emptied the value");
+        }
+    }
+
+    #[test]
+    fn heavy_noise_usually_changes_something() {
+        let v = "canon eos digital camera professional kit bundle";
+        let changed = (0..100)
+            .filter(|&s| corrupt_value(v, &NoiseConfig::heavy(), &mut rng(s)) != v)
+            .count();
+        assert!(changed > 80, "only {changed}/100 corrupted");
+    }
+
+    #[test]
+    fn default_noise_preserves_most_tokens() {
+        let v = "sony bravia kdl40 led television forty inch";
+        let mut survived = 0usize;
+        let mut total = 0usize;
+        for seed in 0..50 {
+            let out = corrupt_value(v, &NoiseConfig::default(), &mut rng(seed));
+            let out_tokens: std::collections::HashSet<&str> = out.split(' ').collect();
+            for t in v.split(' ') {
+                total += 1;
+                if out_tokens.contains(t) {
+                    survived += 1;
+                }
+            }
+        }
+        let ratio = survived as f64 / total as f64;
+        assert!(ratio > 0.6, "only {ratio:.2} of tokens survive default noise");
+    }
+
+    #[test]
+    fn typo_preserves_length_or_swaps() {
+        let mut r = rng(5);
+        for _ in 0..20 {
+            let out = typo("television", &mut r);
+            assert_eq!(out.len(), "television".len());
+        }
+        assert_eq!(typo("a", &mut r), "a", "single char untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_rejected() {
+        let bad = NoiseConfig {
+            typo: 1.5,
+            ..NoiseConfig::default()
+        };
+        corrupt_value("x y", &bad, &mut rng(0));
+    }
+}

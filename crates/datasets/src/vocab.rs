@@ -1,0 +1,115 @@
+//! Vocabularies for the synthetic domains.
+//!
+//! Small, fixed word pools: entities are assembled by seeded sampling, so
+//! token overlap between distinct entities is non-trivial (as in real
+//! product catalogues, where brand and category words repeat everywhere)
+//! while model numbers keep entities distinguishable.
+
+pub const BRANDS: &[&str] = &[
+    "sony", "samsung", "apple", "canon", "nikon", "bose", "dell", "lenovo", "panasonic", "philips",
+    "jbl", "logitech", "asus", "acer", "garmin", "sandisk", "toshiba", "epson", "brother", "dyson",
+];
+
+pub const PRODUCT_TYPES: &[&str] = &[
+    "television", "laptop", "camera", "headphones", "speaker", "printer", "monitor", "router",
+    "keyboard", "mouse", "tablet", "smartphone", "projector", "microwave", "blender", "vacuum",
+    "drive", "charger", "soundbar", "watch",
+];
+
+pub const ADJECTIVES: &[&str] = &[
+    "wireless", "portable", "compact", "digital", "smart", "premium", "professional", "ultra",
+    "slim", "gaming", "bluetooth", "rechargeable", "waterproof", "ergonomic", "hd", "noise",
+    "cancelling", "stereo", "led", "curved",
+];
+
+pub const COLORS: &[&str] = &[
+    "black", "white", "silver", "red", "blue", "gray", "gold", "green",
+];
+
+/// Screen/product sizes, also used as the integer part of price points so
+/// that schema-agnostic blocking suffers number collisions between
+/// descriptions and prices (as in real catalogues) — the collisions the
+/// loose schema removes.
+pub const SIZES: &[&str] = &[
+    "13", "15", "19", "24", "32", "40", "43", "50", "55", "65", "75",
+];
+
+/// Technical spec tokens appearing in descriptions.
+pub const SPECS: &[&str] = &[
+    "1080p", "4k", "720p", "8gb", "16gb", "64gb", "256gb", "60hz", "120hz", "wifi6",
+];
+
+/// Retail price points (few distinct values — prices are a low-entropy
+/// attribute, unlike names). Integer parts collide with [`SIZES`].
+pub const PRICE_POINTS: &[&str] = &[
+    "13.99", "15.99", "19.99", "24.99", "32.99", "40.99", "43.99", "50.99", "55.99", "65.99",
+    "75.99", "99.99", "149.99", "199.99", "299.99", "499.99",
+];
+
+pub const DESCRIPTION_FILLER: &[&str] = &[
+    "features", "includes", "designed", "quality", "performance", "battery", "display", "warranty",
+    "lightweight", "powerful", "storage", "connectivity", "resolution", "adjustable", "control",
+    "remote", "system", "technology", "energy", "efficient", "audio", "video", "usb", "wifi",
+];
+
+pub const SURNAMES: &[&str] = &[
+    "simonini", "gagliardelli", "beneventano", "bergamaschi", "papadakis", "palpanas", "chen",
+    "kumar", "garcia", "mueller", "tanaka", "rossi", "novak", "silva", "jones", "nguyen",
+    "hansen", "kowalski", "dubois", "martin", "lopez", "kim", "patel", "ivanov",
+];
+
+pub const TOPIC_WORDS: &[&str] = &[
+    "entity", "resolution", "blocking", "distributed", "parallel", "query", "optimization",
+    "learning", "graph", "stream", "index", "schema", "integration", "matching", "clustering",
+    "database", "scalable", "approximate", "semantic", "knowledge", "neural", "transaction",
+    "storage", "privacy", "crowdsourcing", "provenance", "workflow", "benchmark",
+];
+
+pub const VENUES: &[&str] = &[
+    "vldb", "sigmod", "icde", "edbt", "cikm", "kdd", "www", "tkde", "pods", "cidr",
+];
+
+pub const MOVIE_WORDS: &[&str] = &[
+    "shadow", "night", "return", "legend", "last", "dark", "city", "dream", "lost", "king",
+    "summer", "winter", "secret", "broken", "silent", "golden", "midnight", "forgotten", "rising",
+    "falling", "crimson", "hidden", "eternal", "savage", "electric",
+];
+
+pub const GENRES: &[&str] = &[
+    "drama", "comedy", "thriller", "action", "documentary", "horror", "romance", "scifi",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_are_nonempty_and_lowercase() {
+        for pool in [
+            BRANDS,
+            PRODUCT_TYPES,
+            ADJECTIVES,
+            COLORS,
+            DESCRIPTION_FILLER,
+            SURNAMES,
+            TOPIC_WORDS,
+            VENUES,
+            MOVIE_WORDS,
+            GENRES,
+        ] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert_eq!(*w, w.to_lowercase(), "{w} must be lowercase");
+                assert!(!w.contains(' '), "{w} must be a single token");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_within_pools() {
+        for pool in [BRANDS, PRODUCT_TYPES, SURNAMES, TOPIC_WORDS, SIZES, SPECS, PRICE_POINTS] {
+            let set: std::collections::HashSet<&&str> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len());
+        }
+    }
+}

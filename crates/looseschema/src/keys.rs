@@ -1,0 +1,109 @@
+//! Loose-schema blocking keys: token ⧺ attribute-partition id.
+
+use crate::partitioning::AttributePartitioning;
+use sparker_profiles::{tokenize, Profile};
+use std::collections::BTreeSet;
+
+/// The blocking keys of a profile under loose-schema blocking (Figure 2(b)
+/// of the paper): every token of every value, suffixed with the partition
+/// id of the attribute it occurs in.
+///
+/// The same token under attributes of different partitions yields distinct
+/// keys — disambiguating, e.g., "simonini" as an author (`simonini_1`) from
+/// "simonini" cited in an abstract (`simonini_2`).
+pub fn loose_schema_keys(profile: &Profile, partitioning: &AttributePartitioning) -> Vec<String> {
+    let mut keys: BTreeSet<String> = BTreeSet::new();
+    for a in &profile.attributes {
+        let pid = partitioning.partition_of(profile.source, &a.name);
+        for t in tokenize(&a.value) {
+            keys.insert(format!("{t}_{pid}"));
+        }
+    }
+    keys.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::{ProfileCollection, SourceId};
+
+    fn figure2_collection() -> ProfileCollection {
+        let p1 = Profile::builder(SourceId(0), "p1")
+            .attr("Name", "Blast")
+            .attr("Authors", "G. Simonini")
+            .attr("Abstract", "how to improve meta-blocking")
+            .build();
+        let p2 = Profile::builder(SourceId(0), "p2")
+            .attr("Name", "SparkER")
+            .attr("Authors", "L. Gagliardelli")
+            .attr("Abstract", "Simonini et al proposed blocking")
+            .build();
+        let p3 = Profile::builder(SourceId(1), "p3")
+            .attr("title", "Blast: loosely schema blocking")
+            .attr("author", "Giovanni Simonini")
+            .build();
+        let p4 = Profile::builder(SourceId(1), "p4")
+            .attr("title", "SparkER: parallel Blast")
+            .attr("author", "Luca Gagliardelli")
+            .build();
+        ProfileCollection::clean_clean(vec![p1, p2], vec![p3, p4])
+    }
+
+    #[test]
+    fn same_token_in_different_partitions_splits() {
+        // Manual partitioning mirroring Figure 2(a): authors together,
+        // names/titles/abstracts together.
+        let coll = figure2_collection();
+        let parts = AttributePartitioning::manual(
+            &coll,
+            vec![
+                vec![
+                    (SourceId(0), "Authors".to_string()),
+                    (SourceId(1), "author".to_string()),
+                ],
+                vec![
+                    (SourceId(0), "Name".to_string()),
+                    (SourceId(0), "Abstract".to_string()),
+                    (SourceId(1), "title".to_string()),
+                ],
+            ],
+        );
+        // p1: "Simonini" appears as an author → simonini_0.
+        let k1 = loose_schema_keys(&coll.profiles()[0], &parts);
+        assert!(k1.contains(&"simonini_0".to_string()), "keys: {k1:?}");
+        // p2: "Simonini" appears in the abstract → simonini_1.
+        let k2 = loose_schema_keys(&coll.profiles()[1], &parts);
+        assert!(k2.contains(&"simonini_1".to_string()), "keys: {k2:?}");
+        assert!(!k2.contains(&"simonini_0".to_string()));
+        // p3 has Simonini as author → shares simonini_0 with p1, not p2:
+        // the paper's point that "Simonini_1 do not generate any block
+        // [with p2]".
+        let k3 = loose_schema_keys(&coll.profiles()[2], &parts);
+        assert!(k3.contains(&"simonini_0".to_string()));
+    }
+
+    #[test]
+    fn blob_partitioning_reduces_to_suffixed_token_blocking() {
+        let coll = figure2_collection();
+        let parts = AttributePartitioning::manual(&coll, vec![]);
+        let blob = parts.blob_id();
+        let keys = loose_schema_keys(&coll.profiles()[0], &parts);
+        let expected: Vec<String> = coll.profiles()[0]
+            .token_set()
+            .into_iter()
+            .map(|t| format!("{t}_{blob}"))
+            .collect();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn keys_deduplicated_and_sorted() {
+        let coll = ProfileCollection::dirty(vec![Profile::builder(SourceId(0), "x")
+            .attr("a", "dup dup")
+            .attr("b", "dup")
+            .build()]);
+        let parts = AttributePartitioning::manual(&coll, vec![]);
+        let keys = loose_schema_keys(&coll.profiles()[0], &parts);
+        assert_eq!(keys.len(), 1, "same token, same (blob) partition: one key");
+    }
+}

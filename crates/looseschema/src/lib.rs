@@ -1,0 +1,60 @@
+//! # sparker-looseschema
+//!
+//! Blast's *loose schema information* (Figure 2 of the paper), the
+//! ingredient that upgrades schema-agnostic blocking without requiring
+//! schema alignment:
+//!
+//! 1. **Attribute partitioning** — attributes are clustered by the
+//!    similarity of their *values*: MinHash/LSH proposes candidate attribute
+//!    pairs, each attribute keeps only its most similar partner, and the
+//!    transitive closure of those pairs yields non-overlapping partitions.
+//!    Attributes similar to nothing fall into a *blob* partition.
+//! 2. **Entropy extraction** — the Shannon entropy of each partition's
+//!    token distribution. High-entropy partitions (e.g. product names) are
+//!    more discriminative than low-entropy ones (e.g. prices), and
+//!    meta-blocking later re-weights edges by this entropy.
+//! 3. **Loose-schema blocking keys** — each token is concatenated with the
+//!    partition id of the attribute it came from, so "simonini" as an
+//!    author and "simonini" as a cited name become different blocking keys
+//!    (`simonini_1` vs `simonini_2` in the paper's example).
+//!
+//! ```
+//! use sparker_profiles::{Profile, ProfileCollection, SourceId};
+//! use sparker_looseschema::{partition_attributes, LshConfig};
+//!
+//! let s0: Vec<Profile> = (0..20).map(|i| {
+//!     Profile::builder(SourceId(0), i.to_string())
+//!         .attr("name", format!("product widget alpha {i}"))
+//!         .attr("price", format!("{}.99", i))
+//!         .build()
+//! }).collect();
+//! let s1: Vec<Profile> = (0..20).map(|i| {
+//!     Profile::builder(SourceId(1), i.to_string())
+//!         .attr("title", format!("widget product alpha {i}"))
+//!         .attr("cost", format!("{}.99", i))
+//!         .build()
+//! }).collect();
+//! let coll = ProfileCollection::clean_clean(s0, s1);
+//! let parts = partition_attributes(&coll, &LshConfig::default());
+//! // name/title end up together, price/cost together.
+//! assert_eq!(
+//!     parts.partition_of(SourceId(0), "name"),
+//!     parts.partition_of(SourceId(1), "title"),
+//! );
+//! assert_ne!(
+//!     parts.partition_of(SourceId(0), "name"),
+//!     parts.partition_of(SourceId(0), "price"),
+//! );
+//! ```
+
+mod entropy;
+mod keys;
+mod lsh;
+mod minhash;
+mod partitioning;
+
+pub use entropy::shannon_entropy;
+pub use keys::loose_schema_keys;
+pub use lsh::{lsh_candidate_pairs, LshConfig};
+pub use minhash::MinHasher;
+pub use partitioning::{partition_attributes, AttributePartition, AttributePartitioning, PartitionId};

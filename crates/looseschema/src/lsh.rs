@@ -1,0 +1,185 @@
+//! LSH banding: candidate pairs of similar items from MinHash signatures.
+
+use crate::minhash::MinHasher;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// Configuration of the LSH-based attribute partitioning.
+#[derive(Debug, Clone)]
+pub struct LshConfig {
+    /// MinHash signature length.
+    pub num_hashes: usize,
+    /// Number of LSH bands (`num_hashes` must be divisible by it). More
+    /// bands ⇒ more candidates ⇒ higher recall, lower precision. The
+    /// default (64 bands × 2 rows) makes pairs at the default similarity
+    /// threshold near-certain candidates; false candidates are cheap
+    /// because every candidate is verified with exact Jaccard.
+    pub bands: usize,
+    /// Minimum (exact) Jaccard similarity for two attributes to be
+    /// considered similar. This is the "clustering threshold" the paper's
+    /// demo lets the user sweep: at `1.0` nothing clusters and blocking
+    /// degenerates to schema-agnostic token blocking.
+    pub threshold: f64,
+    /// Master seed for the MinHash family.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        LshConfig {
+            num_hashes: 128,
+            bands: 64,
+            threshold: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+impl LshConfig {
+    /// Rows per band.
+    pub fn rows_per_band(&self) -> usize {
+        assert!(
+            self.bands > 0 && self.num_hashes.is_multiple_of(self.bands),
+            "num_hashes ({}) must be divisible by bands ({})",
+            self.num_hashes,
+            self.bands
+        );
+        self.num_hashes / self.bands
+    }
+
+    /// The similarity at which a pair has a 50 % chance of becoming an LSH
+    /// candidate: `(1/b)^(1/r)`. Useful to check a configuration against
+    /// the intended threshold.
+    pub fn candidate_threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows_per_band() as f64)
+    }
+}
+
+/// Band the signatures and return the candidate pairs `(i, j)` (`i < j`) of
+/// items that collide in at least one band.
+///
+/// `signatures[k]` is the MinHash signature of item `k`, all produced by
+/// the same [`MinHasher`].
+pub fn lsh_candidate_pairs(signatures: &[Vec<u64>], config: &LshConfig) -> Vec<(usize, usize)> {
+    let rows = config.rows_per_band();
+    let mut candidates: HashSet<(usize, usize)> = HashSet::new();
+    for band in 0..config.bands {
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (item, sig) in signatures.iter().enumerate() {
+            assert_eq!(
+                sig.len(),
+                config.num_hashes,
+                "signature {item} has wrong length"
+            );
+            let slice = &sig[band * rows..(band + 1) * rows];
+            let mut h = DefaultHasher::new();
+            band.hash(&mut h);
+            slice.hash(&mut h);
+            buckets.entry(h.finish()).or_default().push(item);
+        }
+        for items in buckets.values() {
+            for i in 0..items.len() {
+                for j in i + 1..items.len() {
+                    let (a, b) = (items[i].min(items[j]), items[i].max(items[j]));
+                    candidates.insert((a, b));
+                }
+            }
+        }
+    }
+    let mut out: Vec<(usize, usize)> = candidates.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Convenience: signatures for a list of token sets.
+pub(crate) fn signatures_of<T: Hash>(
+    sets: &[Vec<T>],
+    num_hashes: usize,
+    seed: u64,
+) -> (MinHasher, Vec<Vec<u64>>) {
+    let mh = MinHasher::new(num_hashes, seed);
+    let sigs = sets.iter().map(|s| mh.signature(s.iter())).collect();
+    (mh, sigs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token_sets() -> Vec<Vec<String>> {
+        let a: Vec<String> = (0..100).map(|i| format!("t{i}")).collect();
+        let a_like: Vec<String> = (0..95).map(|i| format!("t{i}")).collect(); // J ≈ 0.95
+        let b: Vec<String> = (0..100).map(|i| format!("u{i}")).collect();
+        let b_like: Vec<String> = (5..100).map(|i| format!("u{i}")).collect(); // J ≈ 0.95
+        vec![a, a_like, b, b_like]
+    }
+
+    #[test]
+    fn similar_items_become_candidates() {
+        let (_, sigs) = signatures_of(&token_sets(), 128, 7);
+        let config = LshConfig::default();
+        let cands = lsh_candidate_pairs(&sigs, &config);
+        assert!(cands.contains(&(0, 1)), "highly similar pair missed: {cands:?}");
+        assert!(cands.contains(&(2, 3)));
+        assert!(!cands.contains(&(0, 2)), "disjoint pair became a candidate");
+        assert!(!cands.contains(&(1, 3)));
+    }
+
+    #[test]
+    fn candidates_deterministic() {
+        let (_, sigs) = signatures_of(&token_sets(), 128, 7);
+        let config = LshConfig::default();
+        assert_eq!(
+            lsh_candidate_pairs(&sigs, &config),
+            lsh_candidate_pairs(&sigs, &config)
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let config = LshConfig::default();
+        assert!(lsh_candidate_pairs(&[], &config).is_empty());
+    }
+
+    #[test]
+    fn rows_per_band_and_threshold() {
+        let config = LshConfig {
+            num_hashes: 128,
+            bands: 32,
+            threshold: 0.3,
+            seed: 0,
+        };
+        assert_eq!(config.rows_per_band(), 4);
+        let t = config.candidate_threshold();
+        assert!((0.2..0.6).contains(&t), "default curve midpoint {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_bands_rejected() {
+        let config = LshConfig {
+            num_hashes: 100,
+            bands: 32,
+            threshold: 0.3,
+            seed: 0,
+        };
+        config.rows_per_band();
+    }
+
+    #[test]
+    fn identical_sets_always_candidates() {
+        let sets = vec![
+            (0..10).map(|i| format!("x{i}")).collect::<Vec<_>>(),
+            (0..10).map(|i| format!("x{i}")).collect::<Vec<_>>(),
+        ];
+        let (_, sigs) = signatures_of(&sets, 64, 1);
+        let config = LshConfig {
+            num_hashes: 64,
+            bands: 16,
+            threshold: 0.5,
+            seed: 1,
+        };
+        assert_eq!(lsh_candidate_pairs(&sigs, &config), vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,156 @@
+//! MinHash signatures for Jaccard similarity estimation.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A family of `num_hashes` hash functions producing MinHash signatures.
+///
+/// The expected fraction of agreeing signature positions of two sets equals
+/// their Jaccard similarity — the property LSH banding exploits to find
+/// similar attributes without comparing all pairs.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// Create a hasher family from a master seed. The same
+    /// `(num_hashes, seed)` always yields the same signatures.
+    pub fn new(num_hashes: usize, seed: u64) -> Self {
+        assert!(num_hashes > 0, "need at least one hash function");
+        let seeds = (0..num_hashes as u64)
+            .map(|i| splitmix64(seed.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15))))
+            .collect();
+        MinHasher { seeds }
+    }
+
+    /// Number of hash functions (signature length).
+    pub fn num_hashes(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Signature of a set of items. An empty set gets an all-`u64::MAX`
+    /// signature (dissimilar to everything non-empty).
+    pub fn signature<T: Hash>(&self, items: impl IntoIterator<Item = T>) -> Vec<u64> {
+        let mut sig = vec![u64::MAX; self.seeds.len()];
+        for item in items {
+            let mut h = DefaultHasher::new();
+            item.hash(&mut h);
+            let base = h.finish();
+            for (i, &seed) in self.seeds.iter().enumerate() {
+                let v = splitmix64(base ^ seed);
+                if v < sig[i] {
+                    sig[i] = v;
+                }
+            }
+        }
+        sig
+    }
+
+    /// Estimate Jaccard similarity from two signatures.
+    pub fn estimate_jaccard(&self, a: &[u64], b: &[u64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "signatures must have equal length");
+        assert_eq!(a.len(), self.seeds.len(), "signature from a different hasher");
+        let matches = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        matches as f64 / a.len() as f64
+    }
+}
+
+/// SplitMix64 mixer (public-domain constant set).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Exact Jaccard similarity of two sorted, deduplicated slices.
+pub(crate) fn exact_jaccard<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let mh = MinHasher::new(64, 1);
+        let s = set(&["a", "b", "c"]);
+        let sig1 = mh.signature(s.iter());
+        let sig2 = mh.signature(s.iter());
+        assert_eq!(sig1, sig2);
+        assert_eq!(mh.estimate_jaccard(&sig1, &sig2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let mh = MinHasher::new(128, 2);
+        let a: Vec<String> = (0..50).map(|i| format!("a{i}")).collect();
+        let b: Vec<String> = (0..50).map(|i| format!("b{i}")).collect();
+        let est = mh.estimate_jaccard(&mh.signature(a.iter()), &mh.signature(b.iter()));
+        assert!(est < 0.1, "disjoint sets estimated at {est}");
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        // |A∩B| = 50, |A∪B| = 150 → J = 1/3.
+        let mh = MinHasher::new(256, 3);
+        let a: Vec<String> = (0..100).map(|i| format!("t{i}")).collect();
+        let b: Vec<String> = (50..150).map(|i| format!("t{i}")).collect();
+        let est = mh.estimate_jaccard(&mh.signature(a.iter()), &mh.signature(b.iter()));
+        assert!((est - 1.0 / 3.0).abs() < 0.12, "estimate {est} too far from 1/3");
+    }
+
+    #[test]
+    fn empty_set_signature() {
+        let mh = MinHasher::new(16, 4);
+        let sig = mh.signature(Vec::<String>::new());
+        assert!(sig.iter().all(|&v| v == u64::MAX));
+        // Dissimilar to a non-empty set with overwhelming probability.
+        let other = mh.signature(set(&["x"]).iter());
+        assert!(mh.estimate_jaccard(&sig, &other) < 0.01);
+    }
+
+    #[test]
+    fn different_seeds_different_signatures() {
+        let s = set(&["a", "b"]);
+        let s1 = MinHasher::new(32, 1).signature(s.iter());
+        let s2 = MinHasher::new(32, 2).signature(s.iter());
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_signature_lengths_rejected() {
+        let mh = MinHasher::new(8, 0);
+        mh.estimate_jaccard(&[1, 2], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn exact_jaccard_basics() {
+        assert_eq!(exact_jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(exact_jaccard(&[1], &[1]), 1.0);
+        assert_eq!(exact_jaccard::<u8>(&[], &[]), 0.0);
+        assert_eq!(exact_jaccard(&[1, 2], &[3, 4]), 0.0);
+    }
+}

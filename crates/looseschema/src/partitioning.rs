@@ -1,0 +1,433 @@
+//! Attribute partitioning: the first half of the loose schema generator.
+
+use crate::entropy::shannon_entropy;
+use crate::lsh::{lsh_candidate_pairs, signatures_of, LshConfig};
+use crate::minhash::exact_jaccard;
+use sparker_clustering::UnionFind;
+use sparker_profiles::{tokenize, ErKind, ProfileCollection, SourceId, Token};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an attribute partition; also the suffix appended to
+/// loose-schema blocking keys (`token_<id>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub u32);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One partition of attributes plus its Shannon entropy.
+#[derive(Debug, Clone)]
+pub struct AttributePartition {
+    /// Partition id (dense; the blob is always the last id).
+    pub id: PartitionId,
+    /// Member attributes as `(source, name)`, sorted.
+    pub attributes: Vec<(SourceId, String)>,
+    /// Shannon entropy of the partition's token distribution.
+    pub entropy: f64,
+    /// `true` for the blob partition collecting unclustered attributes.
+    pub is_blob: bool,
+}
+
+/// The loose schema information: a non-overlapping partition of all
+/// attributes, each with its entropy (Figure 2(a) of the paper).
+#[derive(Debug, Clone)]
+pub struct AttributePartitioning {
+    partitions: Vec<AttributePartition>,
+    lookup: HashMap<(u8, String), u32>,
+}
+
+impl AttributePartitioning {
+    /// All partitions, blob last.
+    pub fn partitions(&self) -> &[AttributePartition] {
+        &self.partitions
+    }
+
+    /// Number of partitions including the blob.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Never true — the blob partition always exists. Present to satisfy
+    /// the `len`/`is_empty` API convention.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// `true` if only the blob exists (the schema-agnostic degenerate case,
+    /// which the demo reaches by setting the threshold to 1).
+    pub fn is_schema_agnostic(&self) -> bool {
+        self.partitions.len() == 1
+    }
+
+    /// Id of the blob partition.
+    pub fn blob_id(&self) -> PartitionId {
+        self.partitions
+            .last()
+            .map(|p| p.id)
+            .expect("blob partition always exists")
+    }
+
+    /// Partition of an attribute; unknown attributes fall into the blob
+    /// (they were never seen, so there is no evidence to place them
+    /// anywhere more specific).
+    pub fn partition_of(&self, source: SourceId, name: &str) -> PartitionId {
+        self.lookup
+            .get(&(source.0, name.to_string()))
+            .map(|&i| PartitionId(i))
+            .unwrap_or_else(|| self.blob_id())
+    }
+
+    /// Entropy of a partition.
+    pub fn entropy_of(&self, id: PartitionId) -> f64 {
+        self.partitions[id.0 as usize].entropy
+    }
+
+    /// Maximum entropy over all partitions (≥ 0); used to normalize
+    /// entropy weights in meta-blocking.
+    pub fn max_entropy(&self) -> f64 {
+        self.partitions
+            .iter()
+            .map(|p| p.entropy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Build a partitioning from explicit attribute groups — the paper's
+    /// supervised mode, where the user edits the clusters in the GUI
+    /// (Figure 6(c)). Attributes not mentioned in any group go to the blob.
+    /// Entropies are recomputed from the collection.
+    pub fn manual(
+        collection: &ProfileCollection,
+        groups: Vec<Vec<(SourceId, String)>>,
+    ) -> AttributePartitioning {
+        let all = collection.attribute_names();
+        let mut lookup: HashMap<(u8, String), u32> = HashMap::new();
+        let mut partitions: Vec<AttributePartition> = Vec::new();
+        for (i, mut group) in groups.into_iter().enumerate() {
+            group.sort();
+            group.dedup();
+            for (s, n) in &group {
+                lookup.insert((s.0, n.clone()), i as u32);
+            }
+            partitions.push(AttributePartition {
+                id: PartitionId(i as u32),
+                attributes: group,
+                entropy: 0.0,
+                is_blob: false,
+            });
+        }
+        let blob_id = partitions.len() as u32;
+        let mut blob_members: Vec<(SourceId, String)> = Vec::new();
+        for (s, n) in all {
+            if let std::collections::hash_map::Entry::Vacant(e) = lookup.entry((s.0, n.clone())) {
+                e.insert(blob_id);
+                blob_members.push((s, n));
+            }
+        }
+        partitions.push(AttributePartition {
+            id: PartitionId(blob_id),
+            attributes: blob_members,
+            entropy: 0.0,
+            is_blob: true,
+        });
+        let mut out = AttributePartitioning { partitions, lookup };
+        out.compute_entropies(collection);
+        out
+    }
+
+    /// Recompute each partition's entropy from the token distribution of
+    /// the collection's values (the Entropy Extractor sub-module).
+    fn compute_entropies(&mut self, collection: &ProfileCollection) {
+        let mut counts: Vec<HashMap<Token, u64>> = vec![HashMap::new(); self.partitions.len()];
+        for p in collection.profiles() {
+            for a in &p.attributes {
+                let pid = self.partition_of(p.source, &a.name);
+                let bucket = &mut counts[pid.0 as usize];
+                for t in tokenize(&a.value) {
+                    *bucket.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+        for (partition, tokens) in self.partitions.iter_mut().zip(counts) {
+            partition.entropy = shannon_entropy(tokens.into_values());
+        }
+    }
+}
+
+/// The LSH-based attribute partitioning algorithm (Loose Schema Generator,
+/// Figure 4): MinHash/LSH proposes candidate attribute pairs by value
+/// similarity; each attribute keeps only its most similar partner (if its
+/// exact Jaccard reaches `config.threshold`); the transitive closure of the
+/// kept pairs forms the partitions; everything else lands in the blob.
+///
+/// For clean–clean tasks only cross-source partners are considered — the
+/// point of the loose schema is aligning the two sources' attributes.
+pub fn partition_attributes(
+    collection: &ProfileCollection,
+    config: &LshConfig,
+) -> AttributePartitioning {
+    // The demo's semantics: "setting the threshold to the maximum value (1)
+    // e.g a schema-agnostic token blocking is applied and all the
+    // attributes fall in the same blob cluster". Honour that exactly —
+    // at threshold ≥ 1 nothing clusters, even identical attributes.
+    if config.threshold >= 1.0 {
+        return AttributePartitioning::manual(collection, vec![]);
+    }
+    let attrs = collection.attribute_names();
+    let n = attrs.len();
+
+    // Token set per attribute.
+    let mut token_sets: Vec<Vec<Token>> = vec![Vec::new(); n];
+    let index: HashMap<(u8, &str), usize> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, (s, name))| ((s.0, name.as_str()), i))
+        .collect();
+    for p in collection.profiles() {
+        for a in &p.attributes {
+            if let Some(&i) = index.get(&(p.source.0, a.name.as_str())) {
+                token_sets[i].extend(tokenize(&a.value));
+            }
+        }
+    }
+    for set in &mut token_sets {
+        set.sort_unstable();
+        set.dedup();
+    }
+
+    // LSH candidates → exact Jaccard → best partner per attribute.
+    let (_, sigs) = signatures_of(&token_sets, config.num_hashes, config.seed);
+    let candidates = lsh_candidate_pairs(&sigs, config);
+    let cross_source_only = collection.kind() == ErKind::CleanClean;
+
+    let mut best: Vec<Option<(usize, f64)>> = vec![None; n];
+    for (i, j) in candidates {
+        if cross_source_only && attrs[i].0 == attrs[j].0 {
+            continue;
+        }
+        let sim = exact_jaccard(&token_sets[i], &token_sets[j]);
+        if sim < config.threshold || sim == 0.0 {
+            continue;
+        }
+        for (a, b) in [(i, j), (j, i)] {
+            match best[a] {
+                Some((prev, prev_sim)) if (prev_sim, std::cmp::Reverse(prev)) >= (sim, std::cmp::Reverse(b)) => {}
+                _ => best[a] = Some((b, sim)),
+            }
+        }
+    }
+
+    // Transitive closure of the best-partner pairs.
+    let mut uf = UnionFind::new(n);
+    for (i, partner) in best.iter().enumerate() {
+        if let Some((j, _)) = partner {
+            uf.union(i, *j);
+        }
+    }
+    let labels = uf.labels();
+
+    // Components of size ≥ 2 become partitions; singletons go to the blob.
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        groups.entry(l).or_default().push(i);
+    }
+    let mut clustered: Vec<Vec<usize>> = groups
+        .into_values()
+        .filter(|members| members.len() >= 2)
+        .collect();
+    clustered.sort_by_key(|members| members[0]);
+
+    let mut lookup: HashMap<(u8, String), u32> = HashMap::new();
+    let mut partitions: Vec<AttributePartition> = Vec::new();
+    for (pid, members) in clustered.iter().enumerate() {
+        let attributes: Vec<(SourceId, String)> =
+            members.iter().map(|&i| attrs[i].clone()).collect();
+        for (s, name) in &attributes {
+            lookup.insert((s.0, name.clone()), pid as u32);
+        }
+        partitions.push(AttributePartition {
+            id: PartitionId(pid as u32),
+            attributes,
+            entropy: 0.0,
+            is_blob: false,
+        });
+    }
+    let blob_id = partitions.len() as u32;
+    let mut blob_members = Vec::new();
+    for (i, attr) in attrs.iter().enumerate() {
+        if !clustered.iter().any(|m| m.contains(&i)) {
+            lookup.insert((attr.0 .0, attr.1.clone()), blob_id);
+            blob_members.push(attr.clone());
+        }
+    }
+    partitions.push(AttributePartition {
+        id: PartitionId(blob_id),
+        attributes: blob_members,
+        entropy: 0.0,
+        is_blob: true,
+    });
+
+    let mut out = AttributePartitioning { partitions, lookup };
+    out.compute_entropies(collection);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::Profile;
+
+    /// Two product sources with aligned-but-renamed attributes.
+    fn product_collection() -> ProfileCollection {
+        let names = [
+            "sony bravia tv", "samsung galaxy phone", "apple macbook laptop",
+            "dell xps laptop", "lg oled tv", "bose quiet headphones",
+            "canon eos camera", "nikon d5 camera", "sony walkman player",
+            "jbl charge speaker",
+        ];
+        let s0: Vec<Profile> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Profile::builder(SourceId(0), format!("a{i}"))
+                    .attr("name", *n)
+                    .attr("price", format!("{}.99", 100 + i))
+                    .build()
+            })
+            .collect();
+        let s1: Vec<Profile> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Profile::builder(SourceId(1), format!("b{i}"))
+                    .attr("title", format!("{n} new"))
+                    .attr("cost", format!("{}.99", 100 + i))
+                    .build()
+            })
+            .collect();
+        ProfileCollection::clean_clean(s0, s1)
+    }
+
+    #[test]
+    fn aligned_attributes_cluster_together() {
+        let parts = partition_attributes(&product_collection(), &LshConfig::default());
+        let name = parts.partition_of(SourceId(0), "name");
+        let title = parts.partition_of(SourceId(1), "title");
+        let price = parts.partition_of(SourceId(0), "price");
+        let cost = parts.partition_of(SourceId(1), "cost");
+        assert_eq!(name, title, "name/title share most of their tokens");
+        assert_eq!(price, cost, "price/cost values are identical");
+        assert_ne!(name, price);
+        assert!(!parts.is_schema_agnostic());
+    }
+
+    #[test]
+    fn blob_is_always_last_and_collects_strays() {
+        // Add a source-0-only attribute with unique values.
+        let mut coll = product_collection();
+        // Rebuild with an extra odd attribute on one profile.
+        let mut s0: Vec<Profile> = coll.profiles()[..coll.separator() as usize].to_vec();
+        let s1: Vec<Profile> = coll.profiles()[coll.separator() as usize..].to_vec();
+        s0[0] = Profile::builder(SourceId(0), "a0")
+            .attr("name", "sony bravia tv")
+            .attr("price", "100.99")
+            .attr("weird", "zzz qqq xxx unique tokens")
+            .build();
+        coll = ProfileCollection::clean_clean(s0, s1);
+        let parts = partition_attributes(&coll, &LshConfig::default());
+        let blob = parts.blob_id();
+        assert_eq!(parts.partition_of(SourceId(0), "weird"), blob);
+        assert!(parts.partitions().last().unwrap().is_blob);
+        assert_eq!(parts.partition_of(SourceId(1), "never-seen"), blob);
+    }
+
+    #[test]
+    fn threshold_one_degenerates_to_schema_agnostic() {
+        // Paper, Figure 6(a): "setting the threshold to the maximum value
+        // (1) e.g a schema-agnostic token blocking is applied and all the
+        // attributes fall in the same blob cluster".
+        let config = LshConfig {
+            threshold: 1.0,
+            ..LshConfig::default()
+        };
+        let parts = partition_attributes(&product_collection(), &config);
+        assert!(parts.is_schema_agnostic());
+        assert_eq!(parts.len(), 1);
+        let blob = &parts.partitions()[0];
+        assert!(blob.is_blob);
+        assert_eq!(blob.attributes.len(), 4);
+    }
+
+    #[test]
+    fn entropies_reflect_value_variability() {
+        let parts = partition_attributes(&product_collection(), &LshConfig::default());
+        let name_pid = parts.partition_of(SourceId(0), "name");
+        let price_pid = parts.partition_of(SourceId(0), "price");
+        let name_entropy = parts.entropy_of(name_pid);
+        let price_entropy = parts.entropy_of(price_pid);
+        assert!(
+            name_entropy > price_entropy,
+            "names ({name_entropy:.2} bits) vary more than prices ({price_entropy:.2} bits)"
+        );
+        assert!(parts.max_entropy() >= name_entropy);
+    }
+
+    #[test]
+    fn manual_partitioning_respects_groups() {
+        let coll = product_collection();
+        let parts = AttributePartitioning::manual(
+            &coll,
+            vec![vec![
+                (SourceId(0), "name".to_string()),
+                (SourceId(1), "title".to_string()),
+            ]],
+        );
+        assert_eq!(
+            parts.partition_of(SourceId(0), "name"),
+            parts.partition_of(SourceId(1), "title")
+        );
+        // price/cost were not mentioned → blob.
+        assert_eq!(parts.partition_of(SourceId(0), "price"), parts.blob_id());
+        assert_eq!(parts.partition_of(SourceId(1), "cost"), parts.blob_id());
+        assert!(parts.partitions()[0].entropy > 0.0, "entropies recomputed");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let coll = product_collection();
+        let a = partition_attributes(&coll, &LshConfig::default());
+        let b = partition_attributes(&coll, &LshConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (s, n) in coll.attribute_names() {
+            assert_eq!(a.partition_of(s, &n), b.partition_of(s, &n));
+        }
+    }
+
+    #[test]
+    fn dirty_collection_clusters_within_source() {
+        // Dirty ER: two attributes of the same source with near-identical
+        // token sets may cluster.
+        let profiles: Vec<Profile> = (0..10)
+            .map(|i| {
+                Profile::builder(SourceId(0), i.to_string())
+                    .attr("author", format!("person number {i}"))
+                    .attr("writer", format!("person number {i}"))
+                    .attr("isbn", format!("{}", 9_780_000_000u64 + i))
+                    .build()
+            })
+            .collect();
+        let coll = ProfileCollection::dirty(profiles);
+        let parts = partition_attributes(&coll, &LshConfig::default());
+        assert_eq!(
+            parts.partition_of(SourceId(0), "author"),
+            parts.partition_of(SourceId(0), "writer")
+        );
+        assert_ne!(
+            parts.partition_of(SourceId(0), "author"),
+            parts.partition_of(SourceId(0), "isbn")
+        );
+    }
+}

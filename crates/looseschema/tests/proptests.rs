@@ -1,0 +1,129 @@
+//! Property-based tests: MinHash estimates track exact Jaccard, LSH recall
+//! on similar pairs, partitioning invariants.
+
+use proptest::prelude::*;
+use sparker_looseschema::{
+    loose_schema_keys, partition_attributes, shannon_entropy, AttributePartitioning, LshConfig,
+    MinHasher,
+};
+use sparker_profiles::{Profile, ProfileCollection, SourceId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn minhash_estimate_tracks_exact_jaccard(
+        a in prop::collection::btree_set(0u32..200, 1..80),
+        b in prop::collection::btree_set(0u32..200, 1..80),
+        seed in 0u64..1000,
+    ) {
+        let inter = a.intersection(&b).count();
+        let exact = inter as f64 / (a.len() + b.len() - inter) as f64;
+        let mh = MinHasher::new(256, seed);
+        let est = mh.estimate_jaccard(&mh.signature(a.iter()), &mh.signature(b.iter()));
+        // 256 hashes → std ≈ sqrt(J(1-J)/256) ≤ 0.032; allow 6 sigma.
+        prop_assert!((est - exact).abs() < 0.2, "exact {exact} vs estimate {est}");
+    }
+
+    #[test]
+    fn minhash_identical_sets_estimate_one(
+        a in prop::collection::btree_set(0u32..100, 1..50),
+        seed in 0u64..100,
+    ) {
+        let mh = MinHasher::new(64, seed);
+        let s = mh.signature(a.iter());
+        prop_assert_eq!(mh.estimate_jaccard(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn entropy_bounds(counts in prop::collection::vec(1u64..100, 1..20)) {
+        let h = shannon_entropy(counts.clone());
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (counts.len() as f64).log2() + 1e-9, "H {h} > log2(n)");
+    }
+
+    #[test]
+    fn entropy_maximized_by_uniform(n in 2usize..10, c in 1u64..50) {
+        let uniform = shannon_entropy(vec![c; n]);
+        let mut skewed = vec![c; n];
+        skewed[0] = c * 10;
+        prop_assert!(uniform >= shannon_entropy(skewed) - 1e-9);
+    }
+
+    #[test]
+    fn partitioning_covers_all_attributes(
+        names in prop::collection::btree_set("[a-e]{1,3}", 1..5),
+        threshold in 0.1f64..1.0,
+    ) {
+        // Every attribute must land in exactly one partition; partition_of
+        // agrees with the partition member lists.
+        let profiles: Vec<Profile> = (0..8)
+            .map(|i| {
+                let mut b = Profile::builder(SourceId(0), i.to_string());
+                for n in &names {
+                    b = b.attr(n.clone(), format!("val{} common{}", i, i % 3));
+                }
+                b.build()
+            })
+            .collect();
+        let coll = ProfileCollection::dirty(profiles);
+        let parts = partition_attributes(&coll, &LshConfig { threshold, ..LshConfig::default() });
+        let mut seen = 0usize;
+        for p in parts.partitions() {
+            for (s, n) in &p.attributes {
+                prop_assert_eq!(parts.partition_of(*s, n), p.id);
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, names.len());
+        prop_assert!(parts.partitions().last().unwrap().is_blob);
+    }
+
+    #[test]
+    fn loose_keys_count_bounded_by_tokens(
+        values in prop::collection::vec("[a-z]{1,4}( [a-z]{1,4}){0,3}", 1..4),
+    ) {
+        let mut b = Profile::builder(SourceId(0), "x");
+        for (i, v) in values.iter().enumerate() {
+            b = b.attr(format!("a{i}"), v.clone());
+        }
+        let profile = b.build();
+        let coll = ProfileCollection::dirty(vec![profile.clone()]);
+        let parts = AttributePartitioning::manual(&coll, vec![]);
+        let keys = loose_schema_keys(&coll.profiles()[0], &parts);
+        let tokens = coll.profiles()[0].token_set();
+        // Blob-only partitioning: exactly one key per distinct token.
+        prop_assert_eq!(keys.len(), tokens.len());
+        let suffix = format!("_{}", parts.blob_id());
+        for k in &keys {
+            prop_assert!(k.ends_with(&suffix), "key {} missing blob suffix", k);
+        }
+    }
+
+    #[test]
+    fn manual_groups_respected(group_size in 1usize..4) {
+        let attrs: Vec<String> = (0..4).map(|i| format!("attr{i}")).collect();
+        let profiles: Vec<Profile> = (0..6)
+            .map(|i| {
+                let mut b = Profile::builder(SourceId(0), i.to_string());
+                for a in &attrs {
+                    b = b.attr(a.clone(), format!("v{i}"));
+                }
+                b.build()
+            })
+            .collect();
+        let coll = ProfileCollection::dirty(profiles);
+        let group: Vec<(SourceId, String)> = attrs
+            .iter()
+            .take(group_size)
+            .map(|a| (SourceId(0), a.clone()))
+            .collect();
+        let parts = AttributePartitioning::manual(&coll, vec![group.clone()]);
+        for (s, n) in &group {
+            prop_assert_eq!(parts.partition_of(*s, n).0, 0);
+        }
+        for a in attrs.iter().skip(group_size) {
+            prop_assert_eq!(parts.partition_of(SourceId(0), a), parts.blob_id());
+        }
+    }
+}

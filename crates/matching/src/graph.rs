@@ -1,0 +1,123 @@
+//! The similarity graph: weighted matching pairs.
+
+use sparker_profiles::{Pair, ProfileId};
+use std::collections::HashMap;
+
+/// The matcher's output — "matching pairs of similar profiles with their
+/// similarity score (similarity graph)". Nodes are profiles, edges the
+/// retained pairs; the entity clusterer partitions it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimilarityGraph {
+    edges: Vec<(Pair, f64)>,
+}
+
+impl SimilarityGraph {
+    /// Build from weighted pairs; duplicate pairs keep their maximum score.
+    /// Edges are stored sorted by pair, so equal graphs compare equal.
+    pub fn new(edges: impl IntoIterator<Item = (Pair, f64)>) -> Self {
+        let mut best: HashMap<Pair, f64> = HashMap::new();
+        for (p, s) in edges {
+            assert!(!s.is_nan(), "similarity scores must not be NaN");
+            let e = best.entry(p).or_insert(f64::NEG_INFINITY);
+            *e = e.max(s);
+        }
+        let mut edges: Vec<(Pair, f64)> = best.into_iter().collect();
+        edges.sort_by_key(|(a, _)| *a);
+        SimilarityGraph { edges }
+    }
+
+    /// All edges, sorted by pair.
+    pub fn edges(&self) -> &[(Pair, f64)] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Keep only edges with `score ≥ threshold`.
+    pub fn filter_threshold(&self, threshold: f64) -> SimilarityGraph {
+        SimilarityGraph {
+            edges: self
+                .edges
+                .iter()
+                .filter(|(_, s)| *s >= threshold)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The score of a pair, if the edge exists.
+    pub fn score_of(&self, pair: &Pair) -> Option<f64> {
+        self.edges
+            .binary_search_by(|(p, _)| p.cmp(pair))
+            .ok()
+            .map(|i| self.edges[i].1)
+    }
+
+    /// Neighbors of a profile with scores.
+    pub fn neighbors(&self, id: ProfileId) -> Vec<(ProfileId, f64)> {
+        self.edges
+            .iter()
+            .filter_map(|(p, s)| p.other(id).map(|o| (o, *s)))
+            .collect()
+    }
+
+    /// Just the pairs, sorted.
+    pub fn pairs(&self) -> Vec<Pair> {
+        self.edges.iter().map(|(p, _)| *p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> Pair {
+        Pair::new(ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn duplicate_edges_keep_max_score() {
+        let g = SimilarityGraph::new(vec![(pair(0, 1), 0.4), (pair(1, 0), 0.7)]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.score_of(&pair(0, 1)), Some(0.7));
+    }
+
+    #[test]
+    fn threshold_filtering() {
+        let g = SimilarityGraph::new(vec![(pair(0, 1), 0.9), (pair(1, 2), 0.3)]);
+        let f = g.filter_threshold(0.5);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pairs(), vec![pair(0, 1)]);
+        assert!(g.filter_threshold(0.95).is_empty());
+    }
+
+    #[test]
+    fn neighbors_lookup() {
+        let g = SimilarityGraph::new(vec![(pair(0, 1), 0.9), (pair(1, 2), 0.3)]);
+        let n = g.neighbors(ProfileId(1));
+        assert_eq!(n, vec![(ProfileId(0), 0.9), (ProfileId(2), 0.3)]);
+        assert!(g.neighbors(ProfileId(9)).is_empty());
+        assert_eq!(g.score_of(&pair(0, 2)), None);
+    }
+
+    #[test]
+    fn equal_graphs_compare_equal_regardless_of_input_order() {
+        let a = SimilarityGraph::new(vec![(pair(0, 1), 0.5), (pair(2, 3), 0.6)]);
+        let b = SimilarityGraph::new(vec![(pair(2, 3), 0.6), (pair(0, 1), 0.5)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        SimilarityGraph::new(vec![(pair(0, 1), f64::NAN)]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sparker-matching
+//!
+//! SparkER's entity matcher: decide for each candidate pair produced by the
+//! blocker whether it is a true match, producing the weighted *similarity
+//! graph* the entity clusterer consumes.
+//!
+//! The paper plugs in external matchers (Magellan in the demo) and notes
+//! "the user can select from a wide range of similarity (or distance)
+//! scores, e.g.: Jaccard similarity, Edit Distance, CSA". This crate
+//! provides:
+//!
+//! * [`similarity`] — token-set measures (Jaccard, Dice, overlap, cosine),
+//!   string measures (Levenshtein, Jaro, Jaro–Winkler, Monge–Elkan) and a
+//!   TF-IDF weighted cosine ([`TfIdfIndex`]) standing in for corpus-level
+//!   measures like CSA.
+//! * [`ThresholdMatcher`] — the unsupervised mode: one measure + one
+//!   threshold.
+//! * [`WeightedRuleMatcher`] — user-authored per-attribute rules
+//!   (supervised mode, knowledge injection).
+//! * [`PerceptronMatcher`] — a trainable linear matcher over similarity
+//!   features, standing in for Magellan's learned matchers (which need
+//!   labelled pairs, exactly as the paper's supervised mode describes).
+//! * [`SimilarityGraph`] — the matcher output: weighted matching pairs.
+
+pub mod similarity;
+
+mod graph;
+mod matcher;
+mod perceptron;
+mod tfidf;
+
+pub use graph::SimilarityGraph;
+pub use matcher::{
+    Matcher, PreparedProfile, SimilarityMeasure, TfIdfMatcher, ThresholdMatcher, WeightedRule,
+    WeightedRuleMatcher,
+};
+pub use perceptron::{pair_features, PerceptronMatcher, TrainConfig, FEATURE_NAMES};
+pub use tfidf::TfIdfIndex;

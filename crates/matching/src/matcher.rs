@@ -1,0 +1,495 @@
+//! Matchers: turn candidate pairs into a similarity graph.
+
+use crate::graph::SimilarityGraph;
+use crate::similarity;
+use crate::tfidf::TfIdfIndex;
+use sparker_dataflow::Context;
+use sparker_profiles::{Pair, Profile, ProfileCollection};
+
+/// A whole-profile similarity measure selectable by name — the paper's
+/// "wide range of similarity (or distance) scores" the user can pick in the
+/// entity-matching step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityMeasure {
+    /// Jaccard over schema-agnostic token sets.
+    Jaccard,
+    /// Dice over token sets.
+    Dice,
+    /// Overlap coefficient over token sets.
+    Overlap,
+    /// Cosine over binary token vectors.
+    CosineTokens,
+    /// Normalized Levenshtein similarity of concatenated values.
+    Levenshtein,
+    /// Jaro–Winkler of concatenated values.
+    JaroWinkler,
+    /// Monge–Elkan (token-wise best Jaro–Winkler).
+    MongeElkan,
+}
+
+impl SimilarityMeasure {
+    /// All measures, for sweeps.
+    pub const ALL: [SimilarityMeasure; 7] = [
+        SimilarityMeasure::Jaccard,
+        SimilarityMeasure::Dice,
+        SimilarityMeasure::Overlap,
+        SimilarityMeasure::CosineTokens,
+        SimilarityMeasure::Levenshtein,
+        SimilarityMeasure::JaroWinkler,
+        SimilarityMeasure::MongeElkan,
+    ];
+
+    /// Human-readable name (stable; used in experiment output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimilarityMeasure::Jaccard => "jaccard",
+            SimilarityMeasure::Dice => "dice",
+            SimilarityMeasure::Overlap => "overlap",
+            SimilarityMeasure::CosineTokens => "cosine",
+            SimilarityMeasure::Levenshtein => "levenshtein",
+            SimilarityMeasure::JaroWinkler => "jaro-winkler",
+            SimilarityMeasure::MongeElkan => "monge-elkan",
+        }
+    }
+
+    /// Score two profiles in `[0, 1]`.
+    pub fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        self.score_prepared(&PreparedProfile::new(a), &PreparedProfile::new(b))
+    }
+
+    /// Score two [`PreparedProfile`]s — the allocation-free inner loop used
+    /// by the batch matchers, which prepare each profile once instead of
+    /// re-tokenizing it per candidate pair.
+    pub fn score_prepared(&self, a: &PreparedProfile, b: &PreparedProfile) -> f64 {
+        match self {
+            SimilarityMeasure::Jaccard => similarity::jaccard(&a.tokens, &b.tokens),
+            SimilarityMeasure::Dice => similarity::dice(&a.tokens, &b.tokens),
+            SimilarityMeasure::Overlap => similarity::overlap(&a.tokens, &b.tokens),
+            SimilarityMeasure::CosineTokens => similarity::cosine_tokens(&a.tokens, &b.tokens),
+            SimilarityMeasure::Levenshtein => {
+                similarity::levenshtein_similarity(&a.concatenated, &b.concatenated)
+            }
+            SimilarityMeasure::JaroWinkler => {
+                similarity::jaro_winkler(&a.concatenated, &b.concatenated)
+            }
+            SimilarityMeasure::MongeElkan => {
+                similarity::monge_elkan(&a.concatenated, &b.concatenated)
+            }
+        }
+    }
+}
+
+/// A profile's derived matching views (token set + concatenated values),
+/// computed once so candidate loops don't re-derive them per pair.
+#[derive(Debug, Clone)]
+pub struct PreparedProfile {
+    /// Schema-agnostic token set.
+    pub tokens: std::collections::BTreeSet<String>,
+    /// All values joined by spaces.
+    pub concatenated: String,
+}
+
+impl PreparedProfile {
+    /// Derive the matching views of one profile.
+    pub fn new(profile: &Profile) -> Self {
+        PreparedProfile {
+            tokens: profile.token_set(),
+            concatenated: profile.concatenated_values(),
+        }
+    }
+
+    /// Prepare every profile of a collection (index = profile id).
+    pub fn prepare_all(collection: &ProfileCollection) -> Vec<PreparedProfile> {
+        collection.profiles().iter().map(PreparedProfile::new).collect()
+    }
+}
+
+/// Anything that scores candidate pairs and retains matches.
+pub trait Matcher {
+    /// Similarity score of a candidate pair, in `[0, 1]`.
+    fn score(&self, a: &Profile, b: &Profile) -> f64;
+
+    /// Decision threshold: pairs scoring `≥` it are matches.
+    fn threshold(&self) -> f64;
+
+    /// Run over candidate pairs, returning the similarity graph of
+    /// *retained* (matching) pairs.
+    fn match_pairs(
+        &self,
+        collection: &ProfileCollection,
+        candidates: impl IntoIterator<Item = Pair>,
+    ) -> SimilarityGraph {
+        let t = self.threshold();
+        SimilarityGraph::new(candidates.into_iter().filter_map(|pair| {
+            let s = self.score(collection.get(pair.first), collection.get(pair.second));
+            (s >= t).then_some((pair, s))
+        }))
+    }
+
+    /// Parallel variant: distribute the candidate pairs on the dataflow
+    /// engine with the profile collection broadcast to every task — the
+    /// way SparkER runs matching on Spark.
+    fn match_pairs_dataflow(
+        &self,
+        ctx: &Context,
+        collection: &ProfileCollection,
+        candidates: Vec<Pair>,
+    ) -> SimilarityGraph
+    where
+        Self: Sync,
+    {
+        let profiles = ctx.broadcast(collection.clone());
+        let t = self.threshold();
+        let ds = ctx.parallelize_default(candidates);
+        let scored = ds.flat_map(move |pair| {
+            let s = self.score(profiles.get(pair.first), profiles.get(pair.second));
+            if s >= t {
+                vec![(*pair, s)]
+            } else {
+                Vec::new()
+            }
+        });
+        SimilarityGraph::new(scored.collect())
+    }
+}
+
+/// The unsupervised matcher: one similarity measure plus one threshold.
+#[derive(Debug, Clone)]
+pub struct ThresholdMatcher {
+    /// Measure to apply to each candidate pair.
+    pub measure: SimilarityMeasure,
+    /// Minimum score to call a pair a match.
+    pub threshold: f64,
+}
+
+impl ThresholdMatcher {
+    /// Create a matcher; `threshold` must be in `[0, 1]`.
+    pub fn new(measure: SimilarityMeasure, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1], got {threshold}"
+        );
+        ThresholdMatcher { measure, threshold }
+    }
+}
+
+impl Matcher for ThresholdMatcher {
+    fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        self.measure.score(a, b)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn match_pairs(
+        &self,
+        collection: &ProfileCollection,
+        candidates: impl IntoIterator<Item = Pair>,
+    ) -> SimilarityGraph {
+        // Prepare each profile once; candidate sets typically reference the
+        // same profiles many times, and tokenization dominates the naive
+        // per-pair loop.
+        let prepared = PreparedProfile::prepare_all(collection);
+        let t = self.threshold;
+        SimilarityGraph::new(candidates.into_iter().filter_map(|pair| {
+            let s = self
+                .measure
+                .score_prepared(&prepared[pair.first.index()], &prepared[pair.second.index()]);
+            (s >= t).then_some((pair, s))
+        }))
+    }
+
+    fn match_pairs_dataflow(
+        &self,
+        ctx: &Context,
+        collection: &ProfileCollection,
+        candidates: Vec<Pair>,
+    ) -> SimilarityGraph {
+        // Broadcast the prepared views instead of the raw collection: every
+        // task scores from the shared cache.
+        let prepared = ctx.broadcast(PreparedProfile::prepare_all(collection));
+        let measure = self.measure;
+        let t = self.threshold;
+        let ds = ctx.parallelize_default(candidates);
+        let scored = ds.flat_map(move |pair| {
+            let s = measure.score_prepared(
+                &prepared[pair.first.index()],
+                &prepared[pair.second.index()],
+            );
+            if s >= t {
+                vec![(*pair, s)]
+            } else {
+                Vec::new()
+            }
+        });
+        SimilarityGraph::new(scored.collect())
+    }
+}
+
+/// One user-authored matching rule: compare a specific attribute of each
+/// side with a chosen measure and weight.
+#[derive(Debug, Clone)]
+pub struct WeightedRule {
+    /// Attribute name on the first profile's source.
+    pub attribute_a: String,
+    /// Attribute name on the second profile's source.
+    pub attribute_b: String,
+    /// Measure applied to the two attribute values.
+    pub measure: SimilarityMeasure,
+    /// Rule weight (weights are normalized over the applicable rules).
+    pub weight: f64,
+}
+
+/// The supervised-mode matcher built from user knowledge: a weighted
+/// combination of per-attribute similarity rules (the kind of matcher a
+/// Magellan user would assemble). Rules whose attributes are missing on a
+/// pair are skipped and the remaining weights renormalized.
+#[derive(Debug, Clone)]
+pub struct WeightedRuleMatcher {
+    rules: Vec<WeightedRule>,
+    threshold: f64,
+}
+
+impl WeightedRuleMatcher {
+    /// Create from rules; panics on empty rules, non-positive weights or an
+    /// out-of-range threshold.
+    pub fn new(rules: Vec<WeightedRule>, threshold: f64) -> Self {
+        assert!(!rules.is_empty(), "need at least one rule");
+        assert!(
+            rules.iter().all(|r| r.weight > 0.0),
+            "rule weights must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1], got {threshold}"
+        );
+        WeightedRuleMatcher { rules, threshold }
+    }
+
+    /// The rules, as configured.
+    pub fn rules(&self) -> &[WeightedRule] {
+        &self.rules
+    }
+}
+
+impl Matcher for WeightedRuleMatcher {
+    fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        let mut total_weight = 0.0;
+        let mut total = 0.0;
+        for rule in &self.rules {
+            // Rules are directional on attribute names but profiles may
+            // arrive in either order; try both orientations.
+            let pair = match (a.value_of(&rule.attribute_a), b.value_of(&rule.attribute_b)) {
+                (Some(va), Some(vb)) => Some((va, vb)),
+                _ => match (b.value_of(&rule.attribute_a), a.value_of(&rule.attribute_b)) {
+                    (Some(va), Some(vb)) => Some((va, vb)),
+                    _ => None,
+                },
+            };
+            if let Some((va, vb)) = pair {
+                let pa = PreparedProfile {
+                    tokens: sparker_profiles::tokenize(va).collect(),
+                    concatenated: va.to_string(),
+                };
+                let pb = PreparedProfile {
+                    tokens: sparker_profiles::tokenize(vb).collect(),
+                    concatenated: vb.to_string(),
+                };
+                total += rule.weight * rule.measure.score_prepared(&pa, &pb);
+                total_weight += rule.weight;
+            }
+        }
+        if total_weight == 0.0 {
+            0.0
+        } else {
+            total / total_weight
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// TF-IDF cosine as a matcher (needs the prebuilt index, so it does not fit
+/// the `SimilarityMeasure` enum).
+#[derive(Debug, Clone)]
+pub struct TfIdfMatcher {
+    index: TfIdfIndex,
+    threshold: f64,
+}
+
+impl TfIdfMatcher {
+    /// Build the index over `collection` and wrap it as a matcher.
+    pub fn new(collection: &ProfileCollection, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1], got {threshold}"
+        );
+        TfIdfMatcher {
+            index: TfIdfIndex::build(collection),
+            threshold,
+        }
+    }
+}
+
+impl Matcher for TfIdfMatcher {
+    fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        self.index.cosine_profiles(a, b)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::{ProfileId, SourceId};
+
+    fn collection() -> ProfileCollection {
+        ProfileCollection::clean_clean(
+            vec![
+                Profile::builder(SourceId(0), "a1")
+                    .attr("name", "Sony Bravia KDL40 TV")
+                    .attr("price", "699.99")
+                    .build(),
+                Profile::builder(SourceId(0), "a2")
+                    .attr("name", "Samsung Galaxy S9")
+                    .attr("price", "899.00")
+                    .build(),
+            ],
+            vec![
+                Profile::builder(SourceId(1), "b1")
+                    .attr("title", "Sony BRAVIA KDL40 television")
+                    .attr("cost", "689.99")
+                    .build(),
+                Profile::builder(SourceId(1), "b2")
+                    .attr("title", "Apple iPhone X")
+                    .attr("cost", "999.00")
+                    .build(),
+            ],
+        )
+    }
+
+    fn all_candidates(coll: &ProfileCollection) -> Vec<Pair> {
+        let mut out = Vec::new();
+        for i in 0..coll.separator() {
+            for j in coll.separator()..coll.len() as u32 {
+                out.push(Pair::new(ProfileId(i), ProfileId(j)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn threshold_matcher_keeps_true_match() {
+        let coll = collection();
+        let m = ThresholdMatcher::new(SimilarityMeasure::Jaccard, 0.4);
+        let g = m.match_pairs(&coll, all_candidates(&coll));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.pairs(), vec![Pair::new(ProfileId(0), ProfileId(2))]);
+    }
+
+    #[test]
+    fn measure_sweep_is_sane() {
+        let coll = collection();
+        let dup = (coll.get(ProfileId(0)), coll.get(ProfileId(2)));
+        let non = (coll.get(ProfileId(0)), coll.get(ProfileId(3)));
+        for measure in SimilarityMeasure::ALL {
+            let s_dup = measure.score(dup.0, dup.1);
+            let s_non = measure.score(non.0, non.1);
+            assert!((0.0..=1.0).contains(&s_dup), "{}: {s_dup}", measure.name());
+            assert!(
+                s_dup > s_non,
+                "{}: duplicate {s_dup} ≤ non-match {s_non}",
+                measure.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_matching_equals_sequential() {
+        let coll = collection();
+        let m = ThresholdMatcher::new(SimilarityMeasure::Dice, 0.3);
+        let seq = m.match_pairs(&coll, all_candidates(&coll));
+        let ctx = Context::new(4);
+        let par = m.match_pairs_dataflow(&ctx, &coll, all_candidates(&coll));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn weighted_rules_combine_attributes() {
+        let coll = collection();
+        let m = WeightedRuleMatcher::new(
+            vec![
+                WeightedRule {
+                    attribute_a: "name".to_string(),
+                    attribute_b: "title".to_string(),
+                    measure: SimilarityMeasure::MongeElkan,
+                    weight: 3.0,
+                },
+                WeightedRule {
+                    attribute_a: "price".to_string(),
+                    attribute_b: "cost".to_string(),
+                    measure: SimilarityMeasure::Levenshtein,
+                    weight: 1.0,
+                },
+            ],
+            0.6,
+        );
+        let g = m.match_pairs(&coll, all_candidates(&coll));
+        assert_eq!(g.pairs(), vec![Pair::new(ProfileId(0), ProfileId(2))]);
+        // Score order does not matter.
+        let a = coll.get(ProfileId(0));
+        let b = coll.get(ProfileId(2));
+        assert!((m.score(a, b) - m.score(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_with_missing_attributes_renormalize() {
+        let coll = collection();
+        let m = WeightedRuleMatcher::new(
+            vec![
+                WeightedRule {
+                    attribute_a: "name".to_string(),
+                    attribute_b: "title".to_string(),
+                    measure: SimilarityMeasure::Jaccard,
+                    weight: 1.0,
+                },
+                WeightedRule {
+                    attribute_a: "nonexistent".to_string(),
+                    attribute_b: "also-missing".to_string(),
+                    measure: SimilarityMeasure::Jaccard,
+                    weight: 100.0,
+                },
+            ],
+            0.2,
+        );
+        let s = m.score(coll.get(ProfileId(0)), coll.get(ProfileId(2)));
+        assert!(s > 0.0, "missing rule must not zero the score");
+    }
+
+    #[test]
+    fn tfidf_matcher_works_as_matcher() {
+        let coll = collection();
+        let m = TfIdfMatcher::new(&coll, 0.2);
+        let g = m.match_pairs(&coll, all_candidates(&coll));
+        assert!(g.pairs().contains(&Pair::new(ProfileId(0), ProfileId(2))));
+        assert!(!g.pairs().contains(&Pair::new(ProfileId(1), ProfileId(3))));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        ThresholdMatcher::new(SimilarityMeasure::Jaccard, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rule")]
+    fn empty_rules_rejected() {
+        WeightedRuleMatcher::new(vec![], 0.5);
+    }
+}

@@ -1,0 +1,256 @@
+//! A trainable linear matcher over similarity features — the supervised
+//! mode of the entity matcher.
+//!
+//! The paper's supervised mode assumes labelled pairs ("labeled data to
+//! train classification algorithms"); Magellan, the matcher shown in the
+//! demo, trains classifiers on such labels. This logistic-regression
+//! matcher is the minimal faithful stand-in: features are the crate's
+//! similarity measures evaluated on the pair, trained with seeded SGD, so
+//! results are reproducible.
+
+use crate::matcher::Matcher;
+use crate::similarity;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sparker_profiles::{Pair, Profile, ProfileCollection};
+
+/// Names of the features produced by [`pair_features`], index-aligned.
+pub const FEATURE_NAMES: [&str; 6] = [
+    "jaccard",
+    "dice",
+    "cosine",
+    "levenshtein",
+    "jaro-winkler",
+    "monge-elkan",
+];
+
+/// The feature vector of a candidate pair: each similarity measure applied
+/// to the two profiles.
+pub fn pair_features(a: &Profile, b: &Profile) -> [f64; 6] {
+    let (ta, tb) = (a.token_set(), b.token_set());
+    let (ca, cb) = (a.concatenated_values(), b.concatenated_values());
+    [
+        similarity::jaccard(&ta, &tb),
+        similarity::dice(&ta, &tb),
+        similarity::cosine_tokens(&ta, &tb),
+        similarity::levenshtein_similarity(&ca, &cb),
+        similarity::jaro_winkler(&ca, &cb),
+        similarity::monge_elkan(&ca, &cb),
+    ]
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Full passes over the labelled pairs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Shuffling seed (training is fully deterministic given it).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            learning_rate: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Logistic-regression matcher over [`pair_features`].
+#[derive(Debug, Clone)]
+pub struct PerceptronMatcher {
+    weights: [f64; 6],
+    bias: f64,
+    threshold: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl PerceptronMatcher {
+    /// Train on labelled pairs (`true` = match). Panics when either class
+    /// is absent — a matcher trained on one class would degenerate to a
+    /// constant.
+    pub fn train(
+        collection: &ProfileCollection,
+        labelled: &[(Pair, bool)],
+        config: &TrainConfig,
+    ) -> Self {
+        assert!(
+            labelled.iter().any(|(_, y)| *y) && labelled.iter().any(|(_, y)| !*y),
+            "training set must contain both matches and non-matches"
+        );
+        let examples: Vec<([f64; 6], f64)> = labelled
+            .iter()
+            .map(|(pair, y)| {
+                let f = pair_features(collection.get(pair.first), collection.get(pair.second));
+                (f, if *y { 1.0 } else { 0.0 })
+            })
+            .collect();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut weights = [0.0f64; 6];
+        let mut bias = 0.0f64;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let (f, y) = &examples[i];
+                let z = weights.iter().zip(f).map(|(w, x)| w * x).sum::<f64>() + bias;
+                let err = y - sigmoid(z);
+                for (w, x) in weights.iter_mut().zip(f) {
+                    *w += config.learning_rate * err * x;
+                }
+                bias += config.learning_rate * err;
+            }
+        }
+        PerceptronMatcher {
+            weights,
+            bias,
+            threshold: 0.5,
+        }
+    }
+
+    /// Match probability of a pair (sigmoid of the linear score).
+    pub fn predict_proba(&self, a: &Profile, b: &Profile) -> f64 {
+        let f = pair_features(a, b);
+        sigmoid(
+            self.weights.iter().zip(&f).map(|(w, x)| w * x).sum::<f64>() + self.bias,
+        )
+    }
+
+    /// Learned feature weights, index-aligned with [`FEATURE_NAMES`].
+    pub fn weights(&self) -> &[f64; 6] {
+        &self.weights
+    }
+
+    /// Override the decision threshold (default 0.5 probability).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1], got {threshold}"
+        );
+        self.threshold = threshold;
+        self
+    }
+}
+
+impl Matcher for PerceptronMatcher {
+    fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        self.predict_proba(a, b)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::{ProfileId, SourceId};
+
+    /// A small collection with clear duplicates and clear non-matches.
+    fn training_world() -> (ProfileCollection, Vec<(Pair, bool)>) {
+        let names = [
+            "sony bravia kdl40 led tv",
+            "canon eos 5d camera body",
+            "apple macbook pro 13 laptop",
+            "bose quietcomfort 35 headphones",
+            "dell xps 13 ultrabook laptop",
+            "nikon d750 dslr camera",
+        ];
+        let mut s0 = Vec::new();
+        let mut s1 = Vec::new();
+        for (i, n) in names.iter().enumerate() {
+            s0.push(
+                Profile::builder(SourceId(0), format!("a{i}"))
+                    .attr("name", *n)
+                    .build(),
+            );
+            // Duplicate with small perturbation.
+            s1.push(
+                Profile::builder(SourceId(1), format!("b{i}"))
+                    .attr("title", format!("{} new", n.to_uppercase()))
+                    .build(),
+            );
+        }
+        let coll = ProfileCollection::clean_clean(s0, s1);
+        let n = names.len() as u32;
+        let mut labelled = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let pair = Pair::new(ProfileId(i), ProfileId(n + j));
+                labelled.push((pair, i == j));
+            }
+        }
+        (coll, labelled)
+    }
+
+    #[test]
+    fn learns_to_separate_matches() {
+        let (coll, labelled) = training_world();
+        let m = PerceptronMatcher::train(&coll, &labelled, &TrainConfig::default());
+        let mut correct = 0;
+        for (pair, y) in &labelled {
+            let p = m.predict_proba(coll.get(pair.first), coll.get(pair.second));
+            if (p >= 0.5) == *y {
+                correct += 1;
+            }
+        }
+        let accuracy = correct as f64 / labelled.len() as f64;
+        assert!(accuracy >= 0.9, "train accuracy {accuracy}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (coll, labelled) = training_world();
+        let a = PerceptronMatcher::train(&coll, &labelled, &TrainConfig::default());
+        let b = PerceptronMatcher::train(&coll, &labelled, &TrainConfig::default());
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn similarity_features_get_positive_weight_mass() {
+        let (coll, labelled) = training_world();
+        let m = PerceptronMatcher::train(&coll, &labelled, &TrainConfig::default());
+        let total: f64 = m.weights().iter().sum();
+        assert!(total > 0.0, "weights {:?}", m.weights());
+    }
+
+    #[test]
+    fn works_as_matcher() {
+        let (coll, labelled) = training_world();
+        let m = PerceptronMatcher::train(&coll, &labelled, &TrainConfig::default());
+        let candidates: Vec<Pair> = labelled.iter().map(|(p, _)| *p).collect();
+        let g = m.match_pairs(&coll, candidates);
+        let truth: Vec<Pair> = labelled
+            .iter()
+            .filter(|(_, y)| *y)
+            .map(|(p, _)| *p)
+            .collect();
+        let found = truth.iter().filter(|p| g.score_of(p).is_some()).count();
+        assert!(found >= 5, "recovered {found}/6 duplicates");
+    }
+
+    #[test]
+    #[should_panic(expected = "both matches and non-matches")]
+    fn one_class_training_rejected() {
+        let (coll, labelled) = training_world();
+        let only_pos: Vec<(Pair, bool)> = labelled.into_iter().filter(|(_, y)| *y).collect();
+        PerceptronMatcher::train(&coll, &only_pos, &TrainConfig::default());
+    }
+
+    #[test]
+    fn feature_vector_shape() {
+        let (coll, _) = training_world();
+        let f = pair_features(coll.get(ProfileId(0)), coll.get(ProfileId(6)));
+        assert_eq!(f.len(), FEATURE_NAMES.len());
+        assert!(f.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+}

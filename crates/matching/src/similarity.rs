@@ -1,0 +1,257 @@
+//! Similarity and distance measures on token sets and strings.
+//!
+//! All measures return values in `[0, 1]` with 1 = identical, so matchers
+//! can swap them freely under a common threshold semantics.
+
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Token-set measures.
+// ---------------------------------------------------------------------------
+
+/// Jaccard similarity `|A∩B| / |A∪B|`. Empty-vs-empty is 0 (no evidence).
+pub fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// Dice coefficient `2|A∩B| / (|A| + |B|)`.
+pub fn dice(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|, |B|)`.
+pub fn overlap(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+/// Cosine similarity of the binary token vectors:
+/// `|A∩B| / sqrt(|A|·|B|)`.
+pub fn cosine_tokens(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// String (edit-based) measures.
+// ---------------------------------------------------------------------------
+
+/// Levenshtein edit distance (two-row dynamic program, O(|a|·|b|) time,
+/// O(min) space).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity: `1 − distance / max(|a|, |b|)`; 1 for two empty
+/// strings.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&b_taken)
+        .filter(|(_, &taken)| taken)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity (prefix scale 0.1, max prefix 4).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Monge–Elkan similarity: for each token of the shorter side, the best
+/// Jaro–Winkler match on the other side, averaged. Robust to token
+/// reordering ("Sony Bravia TV" vs "TV Sony BRAVIA").
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta: Vec<&str> = a.split_whitespace().collect();
+    let tb: Vec<&str> = b.split_whitespace().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let (outer, inner) = if ta.len() <= tb.len() { (&ta, &tb) } else { (&tb, &ta) };
+    let sum: f64 = outer
+        .iter()
+        .map(|x| {
+            inner
+                .iter()
+                .map(|y| jaro_winkler(&x.to_lowercase(), &y.to_lowercase()))
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    sum / outer.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        assert_eq!(jaccard(&set(&["a", "b"]), &set(&["b", "c"])), 1.0 / 3.0);
+        assert_eq!(jaccard(&set(&["a"]), &set(&["a"])), 1.0);
+        assert_eq!(jaccard(&set(&[]), &set(&[])), 0.0);
+        assert_eq!(jaccard(&set(&["a"]), &set(&["b"])), 0.0);
+    }
+
+    #[test]
+    fn dice_overlap_cosine_cases() {
+        let (a, b) = (set(&["a", "b", "c"]), set(&["b", "c", "d"]));
+        assert!((dice(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((overlap(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cosine_tokens(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        // Subset: overlap saturates at 1.
+        let sub = set(&["a", "b"]);
+        assert_eq!(overlap(&a, &sub), 1.0);
+        assert!(dice(&a, &sub) < 1.0);
+        assert_eq!(overlap(&a, &set(&[])), 0.0);
+        assert_eq!(cosine_tokens(&set(&[]), &b), 0.0);
+    }
+
+    #[test]
+    fn measures_bounded_and_symmetric() {
+        let sets = [set(&["x"]), set(&["x", "y"]), set(&["z"]), set(&[])];
+        for a in &sets {
+            for b in &sets {
+                for f in [jaccard, dice, overlap, cosine_tokens] {
+                    let s = f(a, b);
+                    assert!((0.0..=1.0).contains(&s));
+                    assert_eq!(s, f(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levenshtein_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("café", "cafe"), 1, "unicode is per-char");
+    }
+
+    #[test]
+    fn levenshtein_similarity_cases() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic textbook values.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-5);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766667).abs() < 1e-5);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_common_prefix() {
+        let jw = jaro_winkler("MARTHA", "MARHTA");
+        assert!((jw - 0.961111).abs() < 1e-5);
+        assert!(jaro_winkler("prefixed", "prefixes") > jaro("prefixed", "prefixes"));
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_handles_reordering() {
+        let s = monge_elkan("Sony Bravia TV", "TV sony BRAVIA");
+        assert!(s > 0.99, "reordered tokens should score ~1, got {s}");
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("a", ""), 0.0);
+        let partial = monge_elkan("Sony Bravia", "Sony Walkman");
+        assert!((0.5..1.0).contains(&partial));
+    }
+}

@@ -1,0 +1,165 @@
+//! TF-IDF weighted cosine similarity over profile token bags.
+//!
+//! Stands in for corpus-level semantic measures (the paper mentions CSA):
+//! tokens shared by many profiles (brand names, units) contribute little,
+//! rare tokens (model numbers) a lot.
+
+use sparker_profiles::{tokenize, Profile, ProfileCollection, ProfileId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Inverse-document-frequency index over a profile collection.
+#[derive(Debug, Clone)]
+pub struct TfIdfIndex {
+    idf: HashMap<String, f64>,
+    /// Pre-computed weighted vectors per profile (token → tf·idf), plus
+    /// vector norms. Sorted maps so norms and dot products sum in a fixed
+    /// order (floating-point determinism).
+    vectors: Vec<BTreeMap<String, f64>>,
+    norms: Vec<f64>,
+}
+
+impl TfIdfIndex {
+    /// Build the index: IDF = ln(N / df), TF = raw count within the
+    /// profile's concatenated values.
+    pub fn build(collection: &ProfileCollection) -> Self {
+        let n = collection.len();
+        let mut df: HashMap<String, u64> = HashMap::new();
+        let mut tfs: Vec<HashMap<String, u64>> = Vec::with_capacity(n);
+        for p in collection.profiles() {
+            let mut tf: HashMap<String, u64> = HashMap::new();
+            for a in &p.attributes {
+                for t in tokenize(&a.value) {
+                    *tf.entry(t).or_insert(0) += 1;
+                }
+            }
+            for t in tf.keys() {
+                *df.entry(t.clone()).or_insert(0) += 1;
+            }
+            tfs.push(tf);
+        }
+        let idf: HashMap<String, f64> = df
+            .into_iter()
+            .map(|(t, d)| (t, (n as f64 / d as f64).ln()))
+            .collect();
+        let vectors: Vec<BTreeMap<String, f64>> = tfs
+            .into_iter()
+            .map(|tf| {
+                tf.into_iter()
+                    .map(|(t, c)| {
+                        let w = c as f64 * idf.get(&t).copied().unwrap_or(0.0);
+                        (t, w)
+                    })
+                    .collect()
+            })
+            .collect();
+        let norms = vectors
+            .iter()
+            .map(|v| v.values().map(|w| w * w).sum::<f64>().sqrt())
+            .collect();
+        TfIdfIndex { idf, vectors, norms }
+    }
+
+    /// IDF of a token (0 for unseen tokens).
+    pub fn idf(&self, token: &str) -> f64 {
+        self.idf.get(token).copied().unwrap_or(0.0)
+    }
+
+    /// TF-IDF cosine similarity of two profiles of the indexed collection.
+    pub fn cosine(&self, a: ProfileId, b: ProfileId) -> f64 {
+        let (va, vb) = (&self.vectors[a.index()], &self.vectors[b.index()]);
+        let (na, nb) = (self.norms[a.index()], self.norms[b.index()]);
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        // Iterate the smaller vector.
+        let (small, large) = if va.len() <= vb.len() { (va, vb) } else { (vb, va) };
+        let dot: f64 = small
+            .iter()
+            .filter_map(|(t, w)| large.get(t).map(|w2| w * w2))
+            .sum();
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+
+    /// Score a pair by profile reference (must belong to the indexed
+    /// collection).
+    pub fn cosine_profiles(&self, a: &Profile, b: &Profile) -> f64 {
+        self.cosine(a.id, b.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::SourceId;
+
+    fn collection() -> ProfileCollection {
+        let rows = [
+            "sony bravia kdl40 tv",
+            "sony bravia kdl40 television",
+            "sony walkman nwz player",
+            "samsung galaxy s9 phone",
+            "samsung galaxy s9 smartphone",
+            "generic usb cable",
+        ];
+        ProfileCollection::dirty(
+            rows.iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Profile::builder(SourceId(0), i.to_string())
+                        .attr("name", *r)
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn duplicates_score_higher_than_same_brand() {
+        let coll = collection();
+        let idx = TfIdfIndex::build(&coll);
+        let dup = idx.cosine(ProfileId(0), ProfileId(1));
+        let same_brand = idx.cosine(ProfileId(0), ProfileId(2));
+        let unrelated = idx.cosine(ProfileId(0), ProfileId(5));
+        assert!(dup > same_brand, "{dup} vs {same_brand}");
+        assert!(same_brand > unrelated, "{same_brand} vs {unrelated}");
+        assert_eq!(unrelated, 0.0);
+    }
+
+    #[test]
+    fn rare_tokens_outweigh_common_ones() {
+        let coll = collection();
+        let idx = TfIdfIndex::build(&coll);
+        assert!(idx.idf("kdl40") > idx.idf("sony"));
+        assert_eq!(idx.idf("unseen-token"), 0.0);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let coll = collection();
+        let idx = TfIdfIndex::build(&coll);
+        for p in coll.profiles() {
+            let s = idx.cosine(p.id, p.id);
+            assert!((s - 1.0).abs() < 1e-9, "self cosine {s}");
+        }
+    }
+
+    #[test]
+    fn blank_profiles_score_zero() {
+        let coll = ProfileCollection::dirty(vec![
+            Profile::builder(SourceId(0), "a").build(),
+            Profile::builder(SourceId(0), "b").attr("n", "thing").build(),
+        ]);
+        let idx = TfIdfIndex::build(&coll);
+        assert_eq!(idx.cosine(ProfileId(0), ProfileId(1)), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let coll = collection();
+        let idx = TfIdfIndex::build(&coll);
+        assert_eq!(
+            idx.cosine(ProfileId(0), ProfileId(3)),
+            idx.cosine(ProfileId(3), ProfileId(0))
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the similarity measures: bounds, symmetry,
+//! identity, and known orderings.
+
+use proptest::prelude::*;
+use sparker_matching::similarity::*;
+use std::collections::BTreeSet;
+
+fn token_set() -> impl Strategy<Value = BTreeSet<String>> {
+    prop::collection::btree_set("[a-z]{1,6}", 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn set_measures_bounded_symmetric(a in token_set(), b in token_set()) {
+        for f in [jaccard, dice, overlap, cosine_tokens] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{s}");
+            prop_assert_eq!(s, f(&b, &a));
+        }
+    }
+
+    #[test]
+    fn set_measures_identity(a in token_set()) {
+        prop_assume!(!a.is_empty());
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+        prop_assert_eq!(dice(&a, &a), 1.0);
+        prop_assert_eq!(overlap(&a, &a), 1.0);
+        prop_assert!((cosine_tokens(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_le_dice_le_overlap(a in token_set(), b in token_set()) {
+        // Known pointwise ordering of the set measures.
+        let j = jaccard(&a, &b);
+        let d = dice(&a, &b);
+        let o = overlap(&a, &b);
+        prop_assert!(j <= d + 1e-12, "jaccard {j} > dice {d}");
+        prop_assert!(d <= o + 1e-12, "dice {d} > overlap {o}");
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        let ab = levenshtein(&a, &b);
+        let ba = levenshtein(&b, &a);
+        prop_assert_eq!(ab, ba, "symmetry");
+        prop_assert_eq!(levenshtein(&a, &a), 0, "identity");
+        // Triangle inequality.
+        let ac = levenshtein(&a, &c);
+        let cb = levenshtein(&c, &b);
+        prop_assert!(ab <= ac + cb, "triangle: d({a},{b})={ab} > {ac}+{cb}");
+        // Bounded by the longer string.
+        prop_assert!(ab <= a.chars().count().max(b.chars().count()));
+        // At least the length difference.
+        prop_assert!(ab >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn string_similarities_bounded_and_reflexive(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        for f in [levenshtein_similarity, jaro, jaro_winkler, monge_elkan] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "{s}");
+        }
+        prop_assert!((levenshtein_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+        prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn single_edit_decreases_levenshtein_similarity_slightly(s in "[a-z]{2,15}") {
+        let mut edited: Vec<char> = s.chars().collect();
+        edited[0] = if edited[0] == 'z' { 'a' } else { 'z' };
+        let edited: String = edited.into_iter().collect();
+        prop_assert_eq!(levenshtein(&s, &edited), 1);
+        let sim = levenshtein_similarity(&s, &edited);
+        prop_assert!(sim >= 1.0 - 1.0 / s.chars().count() as f64 - 1e-12);
+    }
+}

@@ -1,0 +1,368 @@
+//! The blocking graph: implicit edges materialized one neighborhood at a
+//! time.
+//!
+//! Meta-blocking never stores the full edge set — for big collections it
+//! would dwarf the input. Instead, a node's neighborhood is materialized on
+//! demand from the inverted block index, the pruning rule is applied, and
+//! the edges are discarded; this is exactly the structure SparkER
+//! parallelizes with its broadcast join.
+
+use crate::entropy::BlockEntropies;
+use sparker_blocking::BlockCollection;
+use sparker_profiles::{ErKind, ProfileId};
+
+/// Per-edge co-occurrence statistics accumulated while scanning shared
+/// blocks; the input of every [`crate::WeightScheme`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EdgeAccumulator {
+    /// Number of shared blocks (CBS).
+    pub shared_blocks: u32,
+    /// Σ over shared blocks of `1 / comparisons(block)` (ARCS).
+    pub arcs: f64,
+    /// Σ over shared blocks of the block's entropy (entropy re-weighting).
+    pub entropy_sum: f64,
+}
+
+/// Reusable accumulation buffer for [`BlockGraph::neighborhood_with`]:
+/// a dense per-profile accumulator plus the list of touched slots, reset
+/// after every call. Avoids per-node hashing and allocation in
+/// meta-blocking's hot loop.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodScratch {
+    acc: Vec<EdgeAccumulator>,
+    touched: Vec<u32>,
+}
+
+/// A compact, immutable view of the block collection, indexed both ways,
+/// from which node neighborhoods are materialized.
+///
+/// This is precisely the structure SparkER broadcasts to every partition in
+/// its parallel meta-blocking.
+#[derive(Debug, Clone)]
+pub struct BlockGraph {
+    kind: ErKind,
+    /// Members of each block: both source sides concatenated, each sorted.
+    block_members: Vec<Vec<ProfileId>>,
+    /// Length of the source-0 prefix of `block_members[b]`.
+    block_split: Vec<usize>,
+    /// Comparisons per block.
+    block_comparisons: Vec<u64>,
+    /// Blocks per profile.
+    profile_blocks: Vec<Vec<u32>>,
+    /// Optional per-block entropies.
+    entropies: Option<Vec<f64>>,
+    /// Total profile→block assignments (Σ block sizes).
+    total_assignments: u64,
+    num_profiles: usize,
+}
+
+impl BlockGraph {
+    /// Build the graph view. `entropies`, when given, must align with the
+    /// block collection.
+    pub fn new(blocks: &BlockCollection, entropies: Option<&BlockEntropies>) -> Self {
+        if let Some(e) = entropies {
+            assert_eq!(e.len(), blocks.len(), "entropies misaligned with blocks");
+        }
+        let kind = blocks.kind();
+        let mut block_members = Vec::with_capacity(blocks.len());
+        let mut block_split = Vec::with_capacity(blocks.len());
+        let mut block_comparisons = Vec::with_capacity(blocks.len());
+        let mut max_profile = 0usize;
+        let mut total_assignments = 0u64;
+        for b in blocks.blocks() {
+            let members: Vec<ProfileId> = b.all_members().collect();
+            if let Some(m) = members.iter().map(|p| p.index()).max() {
+                max_profile = max_profile.max(m + 1);
+            }
+            total_assignments += members.len() as u64;
+            block_split.push(b.members[0].len());
+            block_comparisons.push(b.comparisons(kind));
+            block_members.push(members);
+        }
+        let mut profile_blocks: Vec<Vec<u32>> = vec![Vec::new(); max_profile];
+        for (i, members) in block_members.iter().enumerate() {
+            for p in members {
+                profile_blocks[p.index()].push(i as u32);
+            }
+        }
+        BlockGraph {
+            kind,
+            block_members,
+            block_split,
+            block_comparisons,
+            profile_blocks,
+            entropies: entropies.map(|e| e.as_slice().to_vec()),
+            total_assignments,
+            num_profiles: max_profile,
+        }
+    }
+
+    /// Number of profile slots (max id + 1).
+    pub fn num_profiles(&self) -> usize {
+        self.num_profiles
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_members.len()
+    }
+
+    /// Task kind of the underlying blocks.
+    pub fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    /// Total profile→block assignments (Σ block sizes) — the *block
+    /// cardinality* used to derive cardinality-pruning defaults.
+    pub fn total_assignments(&self) -> u64 {
+        self.total_assignments
+    }
+
+    /// `true` when per-block entropies are attached.
+    pub fn has_entropies(&self) -> bool {
+        self.entropies.is_some()
+    }
+
+    /// Blocks containing profile `i`.
+    pub fn blocks_of(&self, i: ProfileId) -> &[u32] {
+        self.profile_blocks
+            .get(i.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Allocate a reusable scratch buffer for
+    /// [`BlockGraph::neighborhood_with`]. One allocation serves any number
+    /// of neighborhood materializations — the hot loop of meta-blocking.
+    pub fn scratch(&self) -> NeighborhoodScratch {
+        NeighborhoodScratch {
+            acc: vec![EdgeAccumulator::default(); self.num_profiles],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Materialize the neighborhood of `node`: every comparable profile
+    /// sharing ≥ 1 block, with accumulated co-occurrence statistics.
+    /// Neighbors are returned sorted by id (deterministic).
+    ///
+    /// Convenience wrapper over [`BlockGraph::neighborhood_with`] that
+    /// allocates a fresh scratch; loops over many nodes should hold one
+    /// scratch and call `neighborhood_with` instead (dense-array
+    /// accumulation, no hashing, no per-node allocation).
+    pub fn neighborhood(&self, node: ProfileId) -> Vec<(ProfileId, EdgeAccumulator)> {
+        let mut scratch = self.scratch();
+        self.neighborhood_with(node, &mut scratch)
+    }
+
+    /// [`BlockGraph::neighborhood`] into a reusable [`NeighborhoodScratch`].
+    ///
+    /// For clean–clean tasks, only the other source's side of each block is
+    /// scanned (same-source profiles are not comparable); the node's side
+    /// within a block is determined from the block's own membership, so no
+    /// external separator is needed.
+    pub fn neighborhood_with(
+        &self,
+        node: ProfileId,
+        scratch: &mut NeighborhoodScratch,
+    ) -> Vec<(ProfileId, EdgeAccumulator)> {
+        debug_assert_eq!(scratch.acc.len(), self.num_profiles, "foreign scratch");
+        for &b in self.blocks_of(node) {
+            let bi = b as usize;
+            let members = &self.block_members[bi];
+            let split = self.block_split[bi];
+            let comparisons = self.block_comparisons[bi].max(1) as f64;
+            let entropy = self.entropies.as_ref().map_or(1.0, |e| e[bi]);
+            let candidates: &[ProfileId] = match self.kind {
+                ErKind::Dirty => members,
+                ErKind::CleanClean => {
+                    // Each side is sorted; locate the node's side.
+                    if members[..split].binary_search(&node).is_ok() {
+                        &members[split..]
+                    } else {
+                        &members[..split]
+                    }
+                }
+            };
+            for &other in candidates {
+                if other == node {
+                    continue;
+                }
+                let slot = &mut scratch.acc[other.index()];
+                if slot.shared_blocks == 0 {
+                    scratch.touched.push(other.0);
+                }
+                slot.shared_blocks += 1;
+                slot.arcs += 1.0 / comparisons;
+                slot.entropy_sum += entropy;
+            }
+        }
+        scratch.touched.sort_unstable();
+        let mut out = Vec::with_capacity(scratch.touched.len());
+        for &t in &scratch.touched {
+            out.push((ProfileId(t), scratch.acc[t as usize]));
+            scratch.acc[t as usize] = EdgeAccumulator::default();
+        }
+        scratch.touched.clear();
+        out
+    }
+
+    /// Node degrees (distinct comparable neighbors per profile) and the
+    /// total number of distinct edges — the global statistics EJS needs.
+    pub fn degrees(&self) -> (Vec<u32>, u64) {
+        let mut degrees = vec![0u32; self.num_profiles];
+        let mut edges = 0u64;
+        let mut scratch = self.scratch();
+        for (i, slot) in degrees.iter_mut().enumerate() {
+            let node = ProfileId(i as u32);
+            let n = self.neighborhood_with(node, &mut scratch).len() as u32;
+            *slot = n;
+            edges += n as u64;
+        }
+        (degrees, edges / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use sparker_blocking::token_blocking;
+    use sparker_profiles::{Profile, ProfileCollection, SourceId};
+
+    pub(crate) fn figure1() -> (ProfileCollection, BlockCollection) {
+        let p1 = Profile::builder(SourceId(0), "p1")
+            .attr("Name", "Blast")
+            .attr("Authors", "G. Simonini")
+            .attr("Abstract", "how to improve meta-blocking")
+            .build();
+        let p2 = Profile::builder(SourceId(0), "p2")
+            .attr("Name", "SparkER")
+            .attr("Authors", "L. Gagliardelli")
+            .attr("Abstract", "Simonini et al proposed blocking")
+            .build();
+        let p3 = Profile::builder(SourceId(1), "p3")
+            .attr("title", "Blast: loosely schema blocking")
+            .attr("author", "Giovanni Simonini")
+            .attr("year", "2016")
+            .build();
+        let p4 = Profile::builder(SourceId(1), "p4")
+            .attr("title", "SparkER: parallel Blast")
+            .attr("author", "Luca Gagliardelli")
+            .attr("year", "2017")
+            .build();
+        let coll = ProfileCollection::clean_clean(vec![p1, p2], vec![p3, p4]);
+        let blocks = token_blocking(&coll);
+        (coll, blocks)
+    }
+
+    #[test]
+    fn figure1_neighborhood_weights() {
+        // Figure 1(c): w(p1,p3)=3 (blast, simonini, blocking), w(p1,p4)=1
+        // (blast), w(p2,p3)=2, w(p2,p4)=2.
+        let (_, blocks) = figure1();
+        let g = BlockGraph::new(&blocks, None);
+        let n1 = g.neighborhood(ProfileId(0));
+        let weights: HashMap<u32, u32> =
+            n1.iter().map(|(p, a)| (p.0, a.shared_blocks)).collect();
+        assert_eq!(weights[&2], 3);
+        assert_eq!(weights[&3], 1);
+        let n2 = g.neighborhood(ProfileId(1));
+        let weights: HashMap<u32, u32> =
+            n2.iter().map(|(p, a)| (p.0, a.shared_blocks)).collect();
+        assert_eq!(weights[&2], 2);
+        assert_eq!(weights[&3], 2);
+    }
+
+    #[test]
+    fn clean_clean_excludes_same_source_neighbors() {
+        let (_, blocks) = figure1();
+        let g = BlockGraph::new(&blocks, None);
+        for i in 0..4u32 {
+            for (n, _) in g.neighborhood(ProfileId(i)) {
+                assert_ne!(
+                    i < 2,
+                    n.0 < 2,
+                    "p{i} must not neighbor same-source p{}",
+                    n.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhoods_are_symmetric() {
+        let (_, blocks) = figure1();
+        let g = BlockGraph::new(&blocks, None);
+        for i in 0..4u32 {
+            for (j, acc) in g.neighborhood(ProfileId(i)) {
+                let back = g.neighborhood(j);
+                let found = back.iter().find(|(p, _)| *p == ProfileId(i)).unwrap();
+                assert_eq!(found.1, acc);
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_and_edge_count() {
+        let (_, blocks) = figure1();
+        let g = BlockGraph::new(&blocks, None);
+        let (degrees, edges) = g.degrees();
+        assert_eq!(degrees, vec![2, 2, 2, 2]);
+        assert_eq!(edges, 4);
+    }
+
+    #[test]
+    fn arcs_accumulates_reciprocal_comparisons() {
+        let (_, blocks) = figure1();
+        let g = BlockGraph::new(&blocks, None);
+        // blast: p1|p3,p4 → 2 comparisons; simonini, blocking: p1,p2|p3 →
+        // 2 comparisons each.
+        let n1 = g.neighborhood(ProfileId(0));
+        let (_, acc) = n1.iter().find(|(p, _)| p.0 == 2).unwrap();
+        assert!((acc.arcs - (0.5 + 0.5 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirty_graph_neighbors_everyone_comparable() {
+        let coll = ProfileCollection::dirty(vec![
+            Profile::builder(SourceId(0), "a").attr("n", "x y").build(),
+            Profile::builder(SourceId(0), "b").attr("n", "x z").build(),
+            Profile::builder(SourceId(0), "c").attr("n", "y z").build(),
+        ]);
+        let blocks = token_blocking(&coll);
+        let g = BlockGraph::new(&blocks, None);
+        assert_eq!(g.neighborhood(ProfileId(0)).len(), 2);
+        let (degrees, edges) = g.degrees();
+        assert_eq!(degrees, vec![2, 2, 2]);
+        assert_eq!(edges, 3);
+        assert_eq!(g.total_assignments(), 6);
+        assert_eq!(g.kind(), ErKind::Dirty);
+    }
+
+    #[test]
+    fn entropy_sum_uses_block_entropies() {
+        let (_, blocks) = figure1();
+        let entropies = BlockEntropies::new(vec![0.5; blocks.len()]);
+        let g = BlockGraph::new(&blocks, Some(&entropies));
+        assert!(g.has_entropies());
+        let n1 = g.neighborhood(ProfileId(0));
+        let (_, acc) = n1.iter().find(|(p, _)| p.0 == 2).unwrap();
+        assert!((acc.entropy_sum - 1.5).abs() < 1e-12, "3 shared blocks × 0.5");
+    }
+
+    #[test]
+    fn unknown_profile_has_empty_blocklist() {
+        let (_, blocks) = figure1();
+        let g = BlockGraph::new(&blocks, None);
+        assert!(g.blocks_of(ProfileId(999)).is_empty());
+        assert!(g.neighborhood(ProfileId(999)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_entropies_rejected() {
+        let (_, blocks) = figure1();
+        let entropies = BlockEntropies::new(vec![0.5]);
+        BlockGraph::new(&blocks, Some(&entropies));
+    }
+}

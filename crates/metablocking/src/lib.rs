@@ -1,0 +1,51 @@
+//! # sparker-metablocking
+//!
+//! Meta-blocking — the heart of SparkER's blocker. The block collection is
+//! recast as a graph (profiles = nodes; an edge wherever two comparable
+//! profiles co-occur in ≥ 1 block), edges are weighted by co-occurrence
+//! statistics, per-edge thresholds are derived, and low-weight edges are
+//! pruned. What survives are the candidate pairs handed to the entity
+//! matcher.
+//!
+//! Implemented exactly as the paper stack defines it:
+//!
+//! * **Weighting schemes** ([`WeightScheme`]): CBS, ECBS, JS, EJS, ARCS
+//!   (Papadakis et al.) and χ² (Blast).
+//! * **Entropy re-weighting** ([`BlockEntropies`]): Blast's loose-schema
+//!   entropy scales each co-occurrence by the entropy of the attribute
+//!   partition that generated the block (Figure 2(c)).
+//! * **Pruning strategies** ([`PruningStrategy`]): WEP, CEP, WNP, CNP
+//!   (Papadakis et al.) and the Blast local-maxima threshold.
+//! * **Parallel execution** ([`parallel::meta_blocking`]): the paper's
+//!   broadcast-join formulation — "it partitions the nodes of the blocking
+//!   graph and sends in broadcast all the information needed to materialize
+//!   the neighborhood of each node one at a time".
+//!
+//! ```
+//! use sparker_blocking::token_blocking;
+//! use sparker_metablocking::{meta_blocking, MetaBlockingConfig};
+//! use sparker_profiles::{Profile, ProfileCollection, SourceId};
+//!
+//! let coll = ProfileCollection::dirty(vec![
+//!     Profile::builder(SourceId(0), "1").attr("n", "alpha beta gamma").build(),
+//!     Profile::builder(SourceId(0), "2").attr("n", "alpha beta gamma").build(),
+//!     Profile::builder(SourceId(0), "3").attr("n", "alpha zeta").build(),
+//! ]);
+//! let blocks = token_blocking(&coll);
+//! let pruned = meta_blocking(&blocks, &MetaBlockingConfig::default());
+//! // The strongly co-occurring pair (1,2) survives; weak edges to 3 are pruned.
+//! assert_eq!(pruned.len(), 1);
+//! ```
+
+mod entropy;
+mod graph;
+pub mod parallel;
+pub mod progressive;
+mod pruning;
+mod weights;
+
+pub use entropy::{block_entropies, BlockEntropies};
+pub use graph::{BlockGraph, EdgeAccumulator, NeighborhoodScratch};
+pub use progressive::{progressive_global, progressive_node_first};
+pub use pruning::{meta_blocking, meta_blocking_graph, MetaBlockingConfig, PruningStrategy};
+pub use weights::WeightScheme;

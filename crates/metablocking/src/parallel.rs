@@ -1,0 +1,219 @@
+//! Parallel meta-blocking: the paper's broadcast-join formulation.
+//!
+//! "The parallel meta-blocking, implemented on Apache Spark, is inspired by
+//! the broadcast join: it partitions the nodes of the blocking graph and
+//! sends in broadcast (i.e., to each partition) all the information needed
+//! to materialize the neighborhood of each node one at a time. Once the
+//! neighborhood of a node is materialized, the pruning function is
+//! applied."
+//!
+//! Concretely: the compact [`BlockGraph`] is broadcast, node ids are
+//! partitioned, and two node-parallel stages run — pass A computes per-node
+//! statistics (means / maxima / k-th weights, plus the global weight pool
+//! for the edge-centric strategies), pass B re-materializes each
+//! neighborhood and applies the retention rule. Results are identical to
+//! the sequential driver (asserted by tests).
+
+use crate::graph::BlockGraph;
+use crate::pruning::{
+    cnp_budget, node_pass_single, resolve_rule, MetaBlockingConfig, PruningStrategy,
+};
+use crate::weights::GlobalStats;
+use sparker_dataflow::Context;
+use sparker_profiles::{Pair, ProfileId};
+
+/// Parallel meta-blocking over a prebuilt [`BlockGraph`]; equivalent to
+/// [`crate::meta_blocking_graph`].
+pub fn meta_blocking(
+    ctx: &Context,
+    graph: &BlockGraph,
+    config: &MetaBlockingConfig,
+) -> Vec<(Pair, f64)> {
+    if config.use_entropy {
+        assert!(
+            graph.has_entropies(),
+            "use_entropy requires a BlockGraph built with BlockEntropies"
+        );
+    }
+    let scheme = config.scheme;
+    let stats = GlobalStats::for_scheme(graph, scheme);
+    let cnp_k = cnp_budget(config.pruning, graph);
+    let needs_global = matches!(
+        config.pruning,
+        PruningStrategy::Wep { .. } | PruningStrategy::Cep { .. }
+    );
+    let use_entropy = config.use_entropy;
+
+    // Broadcast the graph and global stats to every task.
+    let b_graph = ctx.broadcast(graph.clone());
+    let b_stats = ctx.broadcast(stats);
+
+    let nodes: Vec<u32> = (0..graph.num_profiles() as u32).collect();
+    let node_ds = ctx.parallelize_default(nodes);
+
+    // Pass A: per-node statistics (+ forward edge weights for WEP/CEP).
+    // One scratch buffer per task keeps neighborhood materialization
+    // allocation-free across the nodes of a partition.
+    let pass_a = {
+        let b_graph = b_graph.clone();
+        let b_stats = b_stats.clone();
+        node_ds.map_partitions(move |_, nodes| {
+            let mut scratch = b_graph.scratch();
+            nodes
+                .iter()
+                .map(|&i| {
+                    node_pass_single(
+                        &b_graph,
+                        ProfileId(i),
+                        scheme,
+                        &b_stats,
+                        use_entropy,
+                        cnp_k,
+                        needs_global,
+                        &mut scratch,
+                    )
+                })
+                .collect()
+        })
+    };
+    let collected = pass_a.collect();
+    let mut node_stats = Vec::with_capacity(collected.len());
+    let mut all_weights = Vec::new();
+    for (s, fw) in collected {
+        node_stats.push(s);
+        all_weights.extend(fw);
+    }
+    let rule = resolve_rule(config.pruning, graph, &mut all_weights);
+
+    // Pass B: re-materialize neighborhoods and retain edges.
+    let b_node_stats = ctx.broadcast(node_stats);
+    let b_rule = ctx.broadcast(rule);
+    let retained_ds = {
+        let b_graph = b_graph.clone();
+        let b_stats = b_stats.clone();
+        ctx.parallelize_default((0..graph.num_profiles() as u32).collect::<Vec<_>>())
+            .map_partitions(move |_, nodes| {
+                let mut scratch = b_graph.scratch();
+                let mut out = Vec::new();
+                for &i in nodes {
+                    let node = ProfileId(i);
+                    for (j, acc) in b_graph.neighborhood_with(node, &mut scratch) {
+                        if node >= j {
+                            continue;
+                        }
+                        let w = scheme.weight(
+                            node,
+                            j,
+                            &acc,
+                            b_graph.blocks_of(node).len(),
+                            b_graph.blocks_of(j).len(),
+                            &b_stats,
+                            use_entropy,
+                        );
+                        if b_rule.keeps(w, &b_node_stats[i as usize], &b_node_stats[j.index()]) {
+                            out.push((Pair::new(node, j), w));
+                        }
+                    }
+                }
+                out
+            })
+    };
+    // Nodes are range-partitioned in id order and each node emits only its
+    // `node < j` edges sorted by j, so the concatenation is already sorted
+    // by pair; the sort below is a cheap (pre-sorted) determinism guard.
+    let mut retained = retained_ds.collect();
+    retained.sort_by_key(|(a, _)| *a);
+    retained
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruning::meta_blocking_graph;
+    use crate::weights::WeightScheme;
+    use sparker_blocking::token_blocking;
+    use sparker_profiles::{Profile, ProfileCollection, SourceId};
+
+    fn noisy_collection(n: usize) -> ProfileCollection {
+        ProfileCollection::dirty(
+            (0..n)
+                .map(|i| {
+                    Profile::builder(SourceId(0), i.to_string())
+                        .attr(
+                            "name",
+                            format!(
+                                "prod{} brand{} shared tok{} tok{}",
+                                i % 10,
+                                i % 4,
+                                i % 7,
+                                (i + 3) % 7,
+                            ),
+                        )
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_configs() {
+        let coll = noisy_collection(60);
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        let ctx = Context::new(4);
+        for scheme in WeightScheme::ALL {
+            for pruning in [
+                PruningStrategy::Wep { factor: 1.0 },
+                PruningStrategy::Cep { retain: None },
+                PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
+                PruningStrategy::Cnp { k: None, reciprocal: false },
+                PruningStrategy::Blast { ratio: 0.35 },
+            ] {
+                let config = MetaBlockingConfig {
+                    scheme,
+                    pruning,
+                    use_entropy: false,
+                };
+                let seq = meta_blocking_graph(&graph, &config);
+                let par = meta_blocking(&ctx, &graph, &config);
+                assert_eq!(
+                    seq,
+                    par,
+                    "{}+{} diverged",
+                    scheme.name(),
+                    pruning.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_invariant() {
+        let coll = noisy_collection(40);
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        let config = MetaBlockingConfig::default();
+        let base = meta_blocking(&Context::new(1), &graph, &config);
+        for w in [2, 4, 8] {
+            assert_eq!(meta_blocking(&Context::new(w), &graph, &config), base);
+        }
+    }
+
+    #[test]
+    fn broadcasts_are_recorded() {
+        let coll = noisy_collection(20);
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        let ctx = Context::new(2);
+        meta_blocking(&ctx, &graph, &MetaBlockingConfig::default());
+        assert!(ctx.metrics().broadcasts >= 2, "graph + stats broadcast");
+    }
+
+    #[test]
+    fn empty_graph_parallel() {
+        let blocks = sparker_blocking::BlockCollection::new(sparker_profiles::ErKind::Dirty, vec![]);
+        let graph = BlockGraph::new(&blocks, None);
+        let ctx = Context::new(2);
+        assert!(meta_blocking(&ctx, &graph, &MetaBlockingConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of meta-blocking: pruning soundness (retained ⊆
+//! implicit edges), parallel/sequential parity, weight invariants.
+
+use proptest::prelude::*;
+use sparker_blocking::token_blocking;
+use sparker_dataflow::Context;
+use sparker_metablocking::{
+    meta_blocking_graph, parallel, BlockEntropies, BlockGraph, MetaBlockingConfig,
+    PruningStrategy, WeightScheme,
+};
+use sparker_profiles::{Pair, Profile, ProfileCollection, SourceId};
+use std::collections::HashSet;
+
+fn collection_strategy() -> impl Strategy<Value = ProfileCollection> {
+    let profile = prop::collection::vec(0usize..10, 1..5).prop_map(|words| {
+        words
+            .into_iter()
+            .map(|w| format!("tok{w}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    });
+    prop::collection::vec(profile, 2..20).prop_map(|values| {
+        ProfileCollection::dirty(
+            values
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    Profile::builder(SourceId(0), i.to_string())
+                        .attr("text", v)
+                        .build()
+                })
+                .collect(),
+        )
+    })
+}
+
+fn config_strategy() -> impl Strategy<Value = MetaBlockingConfig> {
+    let scheme = prop::sample::select(WeightScheme::ALL.to_vec());
+    let pruning = prop_oneof![
+        (0.3f64..1.6).prop_map(|factor| PruningStrategy::Wep { factor }),
+        prop::option::of(1u64..40).prop_map(|retain| PruningStrategy::Cep { retain }),
+        (0.3f64..1.6, proptest::bool::ANY)
+            .prop_map(|(factor, reciprocal)| PruningStrategy::Wnp { factor, reciprocal }),
+        (prop::option::of(1usize..5), proptest::bool::ANY)
+            .prop_map(|(k, reciprocal)| PruningStrategy::Cnp { k, reciprocal }),
+        (0.05f64..1.0).prop_map(|ratio| PruningStrategy::Blast { ratio }),
+    ];
+    (scheme, pruning).prop_map(|(scheme, pruning)| MetaBlockingConfig {
+        scheme,
+        pruning,
+        use_entropy: false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn retained_edges_are_a_subset_of_block_pairs(
+        coll in collection_strategy(),
+        config in config_strategy(),
+    ) {
+        let blocks = token_blocking(&coll);
+        let all_pairs: HashSet<Pair> = blocks.candidate_pairs();
+        let graph = BlockGraph::new(&blocks, None);
+        let retained = meta_blocking_graph(&graph, &config);
+        for (pair, weight) in &retained {
+            prop_assert!(all_pairs.contains(pair), "invented edge {pair}");
+            prop_assert!(weight.is_finite() && *weight >= 0.0);
+        }
+        // Output sorted and duplicate-free.
+        for w in retained.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential(
+        coll in collection_strategy(),
+        config in config_strategy(),
+        workers in 1usize..5,
+    ) {
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        let seq = meta_blocking_graph(&graph, &config);
+        let ctx = Context::new(workers);
+        let par = parallel::meta_blocking(&ctx, &graph, &config);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn wep_threshold_monotone(coll in collection_strategy()) {
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        let count = |factor: f64| {
+            meta_blocking_graph(&graph, &MetaBlockingConfig {
+                pruning: PruningStrategy::Wep { factor },
+                ..MetaBlockingConfig::default()
+            }).len()
+        };
+        prop_assert!(count(0.5) >= count(1.0));
+        prop_assert!(count(1.0) >= count(1.5));
+    }
+
+    #[test]
+    fn uniform_entropies_do_not_change_cbs_ordering(coll in collection_strategy()) {
+        // With identical per-block entropies e, CBS-with-entropy weights are
+        // exactly e × CBS weights, so WEP-at-mean retains identical pairs.
+        // Use a power of two so the scaling is exact in floating point
+        // (ties at the mean must not flip).
+        let blocks = token_blocking(&coll);
+        let graph_plain = BlockGraph::new(&blocks, None);
+        let entropies = BlockEntropies::new(vec![0.5; blocks.len()]);
+        let graph_e = BlockGraph::new(&blocks, Some(&entropies));
+        let base = MetaBlockingConfig::default();
+        let with_e = MetaBlockingConfig { use_entropy: true, ..base };
+        let plain: Vec<Pair> = meta_blocking_graph(&graph_plain, &base).into_iter().map(|(p, _)| p).collect();
+        let weighted: Vec<Pair> = meta_blocking_graph(&graph_e, &with_e).into_iter().map(|(p, _)| p).collect();
+        prop_assert_eq!(plain, weighted);
+    }
+
+    #[test]
+    fn neighborhoods_symmetric_and_positive(coll in collection_strategy()) {
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        for i in 0..graph.num_profiles() as u32 {
+            let node = sparker_profiles::ProfileId(i);
+            for (j, acc) in graph.neighborhood(node) {
+                prop_assert!(acc.shared_blocks >= 1);
+                prop_assert!(acc.arcs > 0.0);
+                let back = graph.neighborhood(j);
+                let reverse = back.iter().find(|(p, _)| *p == node);
+                prop_assert!(reverse.is_some(), "asymmetric edge {node}-{j}");
+                prop_assert_eq!(reverse.unwrap().1, acc);
+            }
+        }
+    }
+
+    #[test]
+    fn cep_budget_respected_up_to_ties(coll in collection_strategy(), budget in 1u64..30) {
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        let retained = meta_blocking_graph(&graph, &MetaBlockingConfig {
+            pruning: PruningStrategy::Cep { retain: Some(budget) },
+            ..MetaBlockingConfig::default()
+        });
+        // Ties at the threshold may exceed the budget, but the (budget+1)-th
+        // distinct weight must not appear.
+        if retained.len() as u64 > budget {
+            let min = retained.iter().map(|(_, w)| *w).fold(f64::INFINITY, f64::min);
+            let at_min = retained.iter().filter(|(_, w)| *w == min).count() as u64;
+            prop_assert!(retained.len() as u64 - at_min < budget, "non-tie overflow");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Attribute–value pairs.
+
+use std::fmt;
+
+/// One attribute–value pair of an entity profile.
+///
+/// Attribute names are *per source*: clean–clean ER sources need not share a
+/// schema, which is exactly the heterogeneity the paper's loose-schema
+/// approach handles (it clusters similar attributes across sources instead
+/// of requiring schema alignment).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attribute {
+    /// Attribute name as it appears in the source (e.g. `"name"`,
+    /// `"title"`).
+    pub name: String,
+    /// Raw textual value.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Create an attribute–value pair.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let a = Attribute::new("name", "Blast");
+        assert_eq!(a.name, "name");
+        assert_eq!(a.value, "Blast");
+        assert_eq!(a.to_string(), "name=Blast");
+    }
+
+    #[test]
+    fn ordering_is_by_name_then_value() {
+        let mut v = vec![
+            Attribute::new("b", "1"),
+            Attribute::new("a", "2"),
+            Attribute::new("a", "1"),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Attribute::new("a", "1"),
+                Attribute::new("a", "2"),
+                Attribute::new("b", "1"),
+            ]
+        );
+    }
+}

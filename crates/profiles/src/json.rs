@@ -1,0 +1,488 @@
+//! Minimal JSON parser and profile loader.
+//!
+//! SparkER's loaders accept JSON datasets (one object per line). To keep the
+//! workspace on the allowed dependency set, this is a small hand-rolled
+//! recursive-descent parser covering the full JSON grammar (objects, arrays,
+//! strings with escapes, numbers, booleans, null). It is not speed-optimized
+//! — dataset loading is a negligible fraction of pipeline time.
+
+use crate::error::{Error, Result};
+use crate::profile::{Profile, SourceId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value. Object keys are kept sorted (`BTreeMap`) so
+/// serialization and iteration are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render the value as attribute text: strings verbatim, scalars via
+    /// `Display`, arrays/objects recursively space-joined. ER treats all
+    /// values as text.
+    pub fn to_text(&self) -> String {
+        match self {
+            JsonValue::Null => String::new(),
+            JsonValue::Bool(b) => b.to_string(),
+            JsonValue::Number(n) => format_number(*n),
+            JsonValue::String(s) => s.clone(),
+            JsonValue::Array(items) => items
+                .iter()
+                .map(JsonValue::to_text)
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join(" "),
+            JsonValue::Object(map) => map
+                .values()
+                .map(JsonValue::to_text)
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join(" "),
+        }
+    }
+}
+
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl fmt::Display for JsonValue {
+    /// Serialize back to JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Number(n) => write!(f, "{}", format_number(*n)),
+            JsonValue::String(s) => write_escaped(f, s),
+            JsonValue::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// Parse a complete JSON document.
+pub fn parse_json(text: &str) -> Result<JsonValue> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error::Json {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal, expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Surrogate pair handling for non-BMP chars.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined).ok_or_else(|| self.err("bad codepoint"))?
+                            } else {
+                                char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced pos
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Load profiles from JSON-lines text: one object per non-empty line; every
+/// key becomes an attribute (arrays become one attribute per element), with
+/// `id_key` (when present) used as the original id.
+pub fn profiles_from_json_lines(
+    text: &str,
+    source: SourceId,
+    id_key: &str,
+) -> Result<Vec<Profile>> {
+    let mut profiles = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line)?;
+        let JsonValue::Object(map) = value else {
+            return Err(Error::Json {
+                message: format!("line {} is not a JSON object", lineno + 1),
+                offset: 0,
+            });
+        };
+        let original_id = map
+            .get(id_key)
+            .map(JsonValue::to_text)
+            .unwrap_or_else(|| lineno.to_string());
+        let mut b = Profile::builder(source, original_id);
+        for (k, v) in &map {
+            if k == id_key {
+                continue;
+            }
+            match v {
+                JsonValue::Array(items) => {
+                    for item in items {
+                        b = b.attr(k.clone(), item.to_text());
+                    }
+                }
+                other => {
+                    b = b.attr(k.clone(), other.to_text());
+                }
+            }
+        }
+        profiles.push(b.build());
+    }
+    Ok(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(parse_json("-3.5e2").unwrap(), JsonValue::Number(-350.0));
+        assert_eq!(
+            parse_json("\"hi\"").unwrap(),
+            JsonValue::String("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse_json(r#"{"a":[1,{"b":null}],"c":"x"}"#).unwrap();
+        let JsonValue::Object(map) = &v else { panic!() };
+        assert_eq!(map.len(), 2);
+        let JsonValue::Array(items) = &map["a"] else { panic!() };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let input = r#""line\nbreak \"quoted\" tab\t back\\slash""#;
+        let v = parse_json(input).unwrap();
+        assert_eq!(v.as_str().unwrap(), "line\nbreak \"quoted\" tab\t back\\slash");
+        // Display re-escapes; reparsing gives the same value.
+        assert_eq!(parse_json(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_incl_surrogates() {
+        assert_eq!(parse_json(r#""é""#).unwrap().as_str().unwrap(), "é");
+        assert_eq!(
+            parse_json(r#""😀""#).unwrap().as_str().unwrap(),
+            "😀"
+        );
+        assert!(parse_json(r#""\ud83d""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_json("{\"a\": }").unwrap_err();
+        assert!(matches!(err, Error::Json { .. }));
+        assert!(parse_json("[1,2").is_err());
+        assert!(parse_json("12 34").is_err(), "trailing data");
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let v = parse_json(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        let JsonValue::Object(map) = v else { panic!() };
+        assert_eq!(
+            map["a"],
+            JsonValue::Array(vec![JsonValue::Number(1.0), JsonValue::Number(2.0)])
+        );
+    }
+
+    #[test]
+    fn display_serializes_sorted_keys() {
+        let v = parse_json(r#"{"b":1,"a":2}"#).unwrap();
+        assert_eq!(v.to_string(), r#"{"a":2,"b":1}"#);
+    }
+
+    #[test]
+    fn to_text_flattens() {
+        let v = parse_json(r#"{"authors":["A. One","B. Two"],"year":2017,"ok":true}"#).unwrap();
+        assert_eq!(v.to_text(), "A. One B. Two true 2017");
+        assert_eq!(JsonValue::Null.to_text(), "");
+        assert_eq!(JsonValue::Number(2.5).to_text(), "2.5");
+    }
+
+    #[test]
+    fn profiles_from_json_lines_basic() {
+        let text = concat!(
+            "{\"realId\":\"b1\",\"title\":\"Blast\",\"authors\":[\"Simonini\",\"Bergamaschi\"]}\n",
+            "\n",
+            "{\"title\":\"SparkER\",\"year\":2017}\n",
+        );
+        let ps = profiles_from_json_lines(text, SourceId(0), "realId").unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].original_id, "b1");
+        let authors: Vec<&str> = ps[0].values_of("authors").collect();
+        assert_eq!(authors, vec!["Simonini", "Bergamaschi"]);
+        assert_eq!(ps[1].original_id, "2", "missing id falls back to line number");
+        assert_eq!(ps[1].value_of("year"), Some("2017"));
+    }
+
+    #[test]
+    fn non_object_line_is_error() {
+        assert!(profiles_from_json_lines("[1,2]\n", SourceId(0), "id").is_err());
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(2.0), "2");
+        assert_eq!(format_number(2.5), "2.5");
+        assert_eq!(format_number(-0.0), "0");
+    }
+}

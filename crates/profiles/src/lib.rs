@@ -1,0 +1,51 @@
+//! # sparker-profiles
+//!
+//! Data model and I/O for entity resolution: entity profiles, attribute
+//! values, tokenization, dataset loaders (CSV and a minimal JSON dialect) and
+//! ground-truth handling.
+//!
+//! An *entity profile* is the paper's unit of data: a bag of
+//! attribute–value pairs describing one record of one source, with no
+//! assumption that sources share a schema. A [`ProfileCollection`] bundles
+//! the profiles of an ER task together with the task kind:
+//!
+//! * **Dirty ER** — a single source that may contain duplicates; every
+//!   profile pair is comparable.
+//! * **Clean–clean ER** — two individually duplicate-free sources (e.g.
+//!   Abt.com vs Buy.com in the paper's demo dataset); only cross-source
+//!   pairs are comparable.
+//!
+//! ```
+//! use sparker_profiles::{Profile, ProfileCollection, SourceId};
+//!
+//! let p1 = Profile::builder(SourceId(0), "abt-1")
+//!     .attr("name", "Sony Bravia 40in TV")
+//!     .attr("price", "699.99")
+//!     .build();
+//! let p2 = Profile::builder(SourceId(1), "buy-7")
+//!     .attr("title", "Sony BRAVIA 40\" Television")
+//!     .build();
+//! let coll = ProfileCollection::clean_clean(vec![p1], vec![p2]);
+//! assert_eq!(coll.len(), 2);
+//! assert!(coll.is_comparable(coll.profiles()[0].id, coll.profiles()[1].id));
+//! ```
+
+mod attribute;
+mod collection;
+mod csv;
+mod error;
+mod groundtruth;
+mod json;
+mod pair;
+mod profile;
+mod tokenize;
+
+pub use attribute::Attribute;
+pub use collection::{ErKind, ProfileCollection};
+pub use csv::{parse_csv, profiles_from_csv, write_csv, CsvOptions};
+pub use error::{Error, Result};
+pub use groundtruth::GroundTruth;
+pub use json::{parse_json, profiles_from_json_lines, JsonValue};
+pub use pair::Pair;
+pub use profile::{Profile, ProfileBuilder, ProfileId, SourceId};
+pub use tokenize::{ngrams, tokenize, tokenize_filtered, Token};

@@ -1,0 +1,87 @@
+//! Normalized profile pairs.
+
+use crate::profile::ProfileId;
+use std::fmt;
+
+/// An unordered pair of profile ids, stored normalized (`first < second`).
+///
+/// Every stage of the pipeline exchanges pairs — candidate pairs after
+/// blocking, matching pairs after matching, ground-truth pairs — and
+/// normalization makes set membership well-defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pair {
+    /// Smaller profile id.
+    pub first: ProfileId,
+    /// Larger profile id.
+    pub second: ProfileId,
+}
+
+impl Pair {
+    /// Create a normalized pair. Panics if both ids are equal — a profile
+    /// never forms a comparison with itself.
+    pub fn new(a: ProfileId, b: ProfileId) -> Self {
+        assert_ne!(a, b, "a pair requires two distinct profiles");
+        if a < b {
+            Pair { first: a, second: b }
+        } else {
+            Pair { first: b, second: a }
+        }
+    }
+
+    /// `true` if `id` is one of the two members.
+    pub fn contains(&self, id: ProfileId) -> bool {
+        self.first == id || self.second == id
+    }
+
+    /// The member that is not `id`; `None` when `id` is not a member.
+    pub fn other(&self, id: ProfileId) -> Option<ProfileId> {
+        if self.first == id {
+            Some(self.second)
+        } else if self.second == id {
+            Some(self.first)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Pair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.first, self.second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_order() {
+        let p = Pair::new(ProfileId(5), ProfileId(2));
+        assert_eq!(p.first, ProfileId(2));
+        assert_eq!(p.second, ProfileId(5));
+        assert_eq!(p, Pair::new(ProfileId(2), ProfileId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_self_pair() {
+        Pair::new(ProfileId(1), ProfileId(1));
+    }
+
+    #[test]
+    fn contains_and_other() {
+        let p = Pair::new(ProfileId(1), ProfileId(9));
+        assert!(p.contains(ProfileId(1)));
+        assert!(p.contains(ProfileId(9)));
+        assert!(!p.contains(ProfileId(3)));
+        assert_eq!(p.other(ProfileId(1)), Some(ProfileId(9)));
+        assert_eq!(p.other(ProfileId(9)), Some(ProfileId(1)));
+        assert_eq!(p.other(ProfileId(3)), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pair::new(ProfileId(1), ProfileId(2)).to_string(), "(p1, p2)");
+    }
+}

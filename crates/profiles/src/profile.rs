@@ -1,0 +1,244 @@
+//! Entity profiles and their identifiers.
+
+use crate::attribute::Attribute;
+use crate::tokenize::{tokenize, Token};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Internal numeric identifier of a profile, unique within a
+/// [`crate::ProfileCollection`].
+///
+/// Profile ids are dense (`0..collection.len()`), assigned in insertion
+/// order, so algorithm crates can use them as vector indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProfileId(pub u32);
+
+impl ProfileId {
+    /// The id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProfileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a data source (0 or 1 for clean–clean ER, always 0 for
+/// dirty ER).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SourceId(pub u8);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "source{}", self.0)
+    }
+}
+
+/// An entity profile: a record from one source, represented schema-lessly as
+/// a list of attribute–value pairs.
+///
+/// The paper treats profiles as bags of words when blocking
+/// (schema-agnostic) and as attribute-partitioned token sets when using
+/// Blast's loose schema information — both views are derived from this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Dense internal id (assigned by the owning collection; `u32::MAX`
+    /// before insertion).
+    pub id: ProfileId,
+    /// Which source this profile comes from.
+    pub source: SourceId,
+    /// The source's own identifier for the record (e.g. the key in the
+    /// published ground truth).
+    pub original_id: String,
+    /// Attribute–value pairs, in input order. Attribute names may repeat.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Profile {
+    /// Start building a profile for `source` with external id `original_id`.
+    pub fn builder(source: SourceId, original_id: impl Into<String>) -> ProfileBuilder {
+        ProfileBuilder {
+            source,
+            original_id: original_id.into(),
+            attributes: Vec::new(),
+        }
+    }
+
+    /// All values of the attribute called `name`, in input order.
+    pub fn values_of<'a, 'b: 'a>(&'a self, name: &'b str) -> impl Iterator<Item = &'a str> + 'a {
+        self.attributes
+            .iter()
+            .filter(move |a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// The first value of attribute `name`, if present.
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Distinct attribute names, sorted (a profile-local schema view).
+    pub fn attribute_names(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> = self.attributes.iter().map(|a| a.name.as_str()).collect();
+        set.into_iter().collect()
+    }
+
+    /// The schema-agnostic token bag: every token of every attribute value,
+    /// deduplicated and sorted. This is exactly the paper's "profile as a
+    /// bag of words" used by schema-agnostic Token Blocking.
+    pub fn token_set(&self) -> BTreeSet<Token> {
+        let mut set = BTreeSet::new();
+        for a in &self.attributes {
+            for t in tokenize(&a.value) {
+                set.insert(t);
+            }
+        }
+        set
+    }
+
+    /// Token set of a single attribute value string.
+    pub fn tokens_of(&self, name: &str) -> BTreeSet<Token> {
+        let mut set = BTreeSet::new();
+        for v in self.values_of(name) {
+            for t in tokenize(v) {
+                set.insert(t);
+            }
+        }
+        set
+    }
+
+    /// Concatenation of all values (used by whole-profile similarity
+    /// measures in the matcher).
+    pub fn concatenated_values(&self) -> String {
+        let mut s = String::new();
+        for a in &self.attributes {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(&a.value);
+        }
+        s
+    }
+
+    /// `true` if the profile has no attributes or only empty values.
+    pub fn is_blank(&self) -> bool {
+        self.attributes.iter().all(|a| a.value.trim().is_empty())
+    }
+}
+
+/// Builder for [`Profile`]; see [`Profile::builder`].
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    source: SourceId,
+    original_id: String,
+    attributes: Vec<Attribute>,
+}
+
+impl ProfileBuilder {
+    /// Append one attribute–value pair. Empty values are kept out of the
+    /// profile (they carry no blocking or matching signal and real loaders
+    /// produce many of them).
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        let value: String = value.into();
+        if !value.trim().is_empty() {
+            self.attributes.push(Attribute::new(name, value));
+        }
+        self
+    }
+
+    /// Finish. The id is a placeholder until the profile joins a
+    /// [`crate::ProfileCollection`].
+    pub fn build(self) -> Profile {
+        Profile {
+            id: ProfileId(u32::MAX),
+            source: self.source,
+            original_id: self.original_id,
+            attributes: self.attributes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Profile {
+        Profile::builder(SourceId(0), "r1")
+            .attr("name", "Blast")
+            .attr("authors", "G. Simonini")
+            .attr("authors", "S. Bergamaschi")
+            .attr("abstract", "how to improve meta-blocking")
+            .attr("empty", "   ")
+            .build()
+    }
+
+    #[test]
+    fn builder_skips_blank_values() {
+        let p = sample();
+        assert_eq!(p.attributes.len(), 4);
+        assert!(p.value_of("empty").is_none());
+    }
+
+    #[test]
+    fn values_of_returns_all_occurrences_in_order() {
+        let p = sample();
+        let authors: Vec<&str> = p.values_of("authors").collect();
+        assert_eq!(authors, vec!["G. Simonini", "S. Bergamaschi"]);
+        assert_eq!(p.value_of("authors"), Some("G. Simonini"));
+    }
+
+    #[test]
+    fn attribute_names_sorted_distinct() {
+        let p = sample();
+        assert_eq!(p.attribute_names(), vec!["abstract", "authors", "name"]);
+    }
+
+    #[test]
+    fn token_set_is_schema_agnostic() {
+        let p = sample();
+        let tokens = p.token_set();
+        // "Simonini" appears under authors; "blast" under name; casing folded.
+        assert!(tokens.contains("simonini"));
+        assert!(tokens.contains("blast"));
+        assert!(tokens.contains("meta"));
+        assert!(!tokens.contains("G")); // single-letter initials survive as "g"
+        assert!(tokens.contains("g"));
+    }
+
+    #[test]
+    fn tokens_of_restricts_to_attribute() {
+        let p = sample();
+        assert!(p.tokens_of("name").contains("blast"));
+        assert!(!p.tokens_of("name").contains("simonini"));
+    }
+
+    #[test]
+    fn concatenated_values_joins_with_spaces() {
+        let p = Profile::builder(SourceId(0), "x")
+            .attr("a", "one")
+            .attr("b", "two")
+            .build();
+        assert_eq!(p.concatenated_values(), "one two");
+    }
+
+    #[test]
+    fn blank_profile_detection() {
+        let p = Profile::builder(SourceId(0), "x").build();
+        assert!(p.is_blank());
+        assert!(!sample().is_blank());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProfileId(3).to_string(), "p3");
+        assert_eq!(SourceId(1).to_string(), "source1");
+        assert_eq!(ProfileId(7).index(), 7);
+    }
+}

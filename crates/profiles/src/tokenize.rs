@@ -1,0 +1,122 @@
+//! Tokenization: the schema-agnostic "bag of words" view of values.
+//!
+//! The paper's schema-agnostic Token Blocking treats *every token appearing
+//! anywhere in a profile* as a blocking key. Tokens here are produced the
+//! way SparkER produces them: case-folded, split on any non-alphanumeric
+//! character, empty fragments dropped.
+
+/// A normalized token. Plain `String` alias kept for readability of
+/// signatures across the workspace.
+pub type Token = String;
+
+/// Split `text` into normalized tokens: lower-cased maximal runs of
+/// alphanumeric characters.
+///
+/// ```
+/// use sparker_profiles::tokenize;
+/// let t: Vec<_> = tokenize("SparkER: parallel Blast (2017)").collect();
+/// assert_eq!(t, vec!["sparker", "parallel", "blast", "2017"]);
+/// ```
+pub fn tokenize(text: &str) -> impl Iterator<Item = Token> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_lowercase())
+}
+
+/// Like [`tokenize`] but drops tokens shorter than `min_len` characters.
+///
+/// Blocking on one-character tokens (initials, units) creates huge,
+/// uninformative blocks; loaders and generators use `min_len = 1` (keep
+/// everything, the paper's block purging handles stop words), while some
+/// matchers prefer `min_len = 2`.
+pub fn tokenize_filtered(text: &str, min_len: usize) -> impl Iterator<Item = Token> + '_ {
+    tokenize(text).filter(move |t| t.chars().count() >= min_len)
+}
+
+/// Character n-grams of the normalized text (whitespace collapsed), used by
+/// the LSH attribute-partitioning step and by string similarity measures.
+///
+/// Returns the whole string as a single gram when it is shorter than `n`.
+///
+/// ```
+/// use sparker_profiles::ngrams;
+/// assert_eq!(ngrams("abcd", 3), vec!["abc", "bcd"]);
+/// assert_eq!(ngrams("ab", 3), vec!["ab"]);
+/// ```
+pub fn ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "ngram size must be positive");
+    let normalized: Vec<char> = text
+        .to_lowercase()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .chars()
+        .collect();
+    if normalized.is_empty() {
+        return Vec::new();
+    }
+    if normalized.len() <= n {
+        return vec![normalized.into_iter().collect()];
+    }
+    normalized
+        .windows(n)
+        .map(|w| w.iter().collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_folds_case() {
+        let t: Vec<Token> = tokenize("L. Gagliardelli, Simonini et-al").collect();
+        assert_eq!(t, vec!["l", "gagliardelli", "simonini", "et", "al"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_strings_yield_nothing() {
+        assert_eq!(tokenize("").count(), 0);
+        assert_eq!(tokenize("!!! --- ???").count(), 0);
+    }
+
+    #[test]
+    fn digits_are_tokens() {
+        let t: Vec<Token> = tokenize("year = {2017}").collect();
+        assert_eq!(t, vec!["year", "2017"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        let t: Vec<Token> = tokenize("Modène café").collect();
+        assert_eq!(t, vec!["modène", "café"]);
+    }
+
+    #[test]
+    fn filtered_drops_short_tokens() {
+        let t: Vec<Token> = tokenize_filtered("a bc def", 2).collect();
+        assert_eq!(t, vec!["bc", "def"]);
+    }
+
+    #[test]
+    fn ngrams_basic() {
+        assert_eq!(ngrams("hello", 3), vec!["hel", "ell", "llo"]);
+    }
+
+    #[test]
+    fn ngrams_normalizes_whitespace_and_case() {
+        assert_eq!(ngrams("A  B", 3), vec!["a b"]);
+    }
+
+    #[test]
+    fn ngrams_short_input_is_one_gram() {
+        assert_eq!(ngrams("hi", 4), vec!["hi"]);
+        assert!(ngrams("", 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ngram size")]
+    fn ngrams_zero_panics() {
+        ngrams("abc", 0);
+    }
+}

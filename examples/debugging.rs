@@ -1,0 +1,152 @@
+//! The Section-3 process-debugging loop, as a library workflow.
+//!
+//! Mirrors the paper's demonstration script (Figure 6): work on a
+//! representative sample instead of the full data, sweep the loose-schema
+//! clustering threshold, inspect the attribute partitions, drill into the
+//! ground-truth pairs lost by blocking, then persist the winning
+//! configuration and apply it to the full dataset in batch mode.
+//!
+//! ```text
+//! cargo run --release --example debugging
+//! ```
+
+use sparker::datasets::{generate, DatasetConfig, Domain};
+use sparker::{
+    representative_sample, threshold_sweep, LostPairsReport, Pipeline, PipelineConfig,
+    SampleConfig,
+};
+use sparker_core::profiles::{GroundTruth, Pair, ProfileCollection};
+use std::collections::HashSet;
+
+fn main() {
+    let full = generate(&DatasetConfig {
+        entities: 2000,
+        unmatched_per_source: 500,
+        domain: Domain::Products,
+        seed: 3,
+        ..DatasetConfig::default()
+    });
+    println!(
+        "full dataset: {} profiles, {} matches",
+        full.collection.len(),
+        full.ground_truth.len()
+    );
+
+    // --- 1. Representative sample (K seeds + k/2 similar + k/2 random) ---
+    let sample_ids = representative_sample(
+        &full.collection,
+        &SampleConfig {
+            seeds: 150,
+            companions_per_seed: 10,
+            seed: 9,
+        },
+    );
+    let id_set: HashSet<_> = sample_ids.iter().copied().collect();
+    // Rebuild a small clean-clean collection from the sampled profiles.
+    let sep = full.collection.separator();
+    let s0: Vec<_> = full.collection.profiles()[..sep as usize]
+        .iter()
+        .filter(|p| id_set.contains(&p.id))
+        .cloned()
+        .collect();
+    let s1: Vec<_> = full.collection.profiles()[sep as usize..]
+        .iter()
+        .filter(|p| id_set.contains(&p.id))
+        .cloned()
+        .collect();
+    // Ground truth restricted to the sample, re-resolved by original id.
+    let sample = ProfileCollection::clean_clean(s0, s1);
+    let kept: Vec<(String, String)> = full
+        .ground_truth
+        .iter()
+        .filter(|p| id_set.contains(&p.first) && id_set.contains(&p.second))
+        .map(|p| {
+            (
+                full.collection.get(p.first).original_id.clone(),
+                full.collection.get(p.second).original_id.clone(),
+            )
+        })
+        .collect();
+    let sample_gt = GroundTruth::from_original_ids(
+        &sample,
+        kept.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+    )
+    .expect("sampled ids resolve");
+    println!(
+        "sample: {} profiles, {} matches ({}x smaller)\n",
+        sample.len(),
+        sample_gt.len(),
+        full.collection.len() / sample.len().max(1)
+    );
+
+    // --- 2. Threshold sweep on the sample (Figure 6(a)->(b)) -------------
+    let mut base = PipelineConfig::default();
+    base.blocking.loose_schema = Some(Default::default());
+    let thresholds = [1.0, 0.8, 0.6, 0.45, 0.3, 0.15];
+    println!(
+        "{:>9} {:>11} {:>8} {:>12} {:>8} {:>10} {:>6}",
+        "threshold", "partitions", "blocks", "candidates", "recall", "precision", "lost"
+    );
+    let rows = threshold_sweep(&sample, &sample_gt, &base, &thresholds);
+    for r in &rows {
+        println!(
+            "{:>9.2} {:>11} {:>8} {:>12} {:>8.4} {:>10.4} {:>6}",
+            r.threshold,
+            r.attribute_partitions,
+            r.blocks,
+            r.quality.candidates,
+            r.quality.recall,
+            r.quality.precision,
+            r.quality.lost_matches,
+        );
+    }
+
+    // Pick the best threshold by (recall, then precision).
+    let best = rows
+        .iter()
+        .max_by(|a, b| {
+            (a.quality.recall, a.quality.precision)
+                .partial_cmp(&(b.quality.recall, b.quality.precision))
+                .unwrap()
+        })
+        .expect("sweep produced rows");
+    println!("\nchosen threshold: {:.2}", best.threshold);
+
+    // --- 3. False-positive drill-down (Figure 6(d)) ----------------------
+    let mut tuned = base.clone();
+    tuned.blocking.loose_schema.as_mut().unwrap().threshold = best.threshold;
+    let blocker_out = Pipeline::new(tuned.clone()).run_blocker(&sample);
+    let report = LostPairsReport::build(&sample, &sample_gt, &blocker_out.candidates);
+    println!("lost ground-truth pairs on the sample: {}", report.len());
+    for fp in report.lost.iter().take(3) {
+        println!(
+            "  {} <-> {} | shared keys: {}",
+            fp.original_ids.0,
+            fp.original_ids.1,
+            if fp.shared_tokens.is_empty() {
+                "(none — unrecoverable by token blocking)".to_string()
+            } else {
+                fp.shared_tokens.join(", ")
+            }
+        );
+    }
+    let common = report.most_common_shared_tokens(5);
+    if !common.is_empty() {
+        println!("  most common shared keys among lost pairs: {common:?}");
+    }
+
+    // --- 4. Persist the configuration and run in batch mode --------------
+    let config_text = tuned.to_config_string();
+    println!("\nsaved configuration:\n{config_text}");
+    let restored = PipelineConfig::from_config_string(&config_text).expect("roundtrip");
+    let batch = Pipeline::new(restored).run(&full.collection);
+    let eval = batch.evaluate(&full.ground_truth);
+    println!(
+        "batch run on full data: blocking recall {:.4}, precision {:.4}; cluster F1 {:.4}",
+        eval.blocking.recall, eval.blocking.precision, eval.clustering.f1
+    );
+
+    // Sanity check the full candidate pairs count: a Pair-typed artifact of
+    // the run (useful when piping into other tools).
+    let _pairs: Vec<Pair> = batch.similarity.pairs();
+}

@@ -1,0 +1,89 @@
+//! Clean–clean product matching, schema-agnostic vs Blast.
+//!
+//! Reproduces the paper's motivating comparison on an Abt-Buy-shaped
+//! dataset: the two catalogues use different attribute names
+//! (`name`/`description`/`price` vs `title`/`descr`/`cost`), so
+//! schema-aware blocking would need manual alignment. Schema-agnostic token
+//! blocking needs none but produces many spurious candidates; Blast's loose
+//! schema (LSH attribute partitioning + entropy-weighted meta-blocking)
+//! recovers the alignment from the values and prunes far more aggressively
+//! at similar recall.
+//!
+//! ```text
+//! cargo run --release --example product_deduplication
+//! ```
+
+use sparker::datasets::{generate, DatasetConfig, Domain};
+use sparker::{BlockingConfig, Pipeline, PipelineConfig};
+use sparker_core::profiles::SourceId;
+
+fn main() {
+    let ds = generate(&DatasetConfig {
+        entities: 1000,
+        unmatched_per_source: 250,
+        domain: Domain::Products,
+        seed: 7,
+        ..DatasetConfig::default()
+    });
+    println!(
+        "Abt-Buy-shaped dataset: {} profiles, {} true matches\n",
+        ds.collection.len(),
+        ds.ground_truth.len()
+    );
+
+    // --- Schema-agnostic pipeline -------------------------------------
+    let agnostic = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+    let eval_a = agnostic.evaluate(&ds.ground_truth);
+
+    // --- Blast pipeline ------------------------------------------------
+    let blast_config = PipelineConfig {
+        blocking: BlockingConfig::blast(),
+        ..PipelineConfig::default()
+    };
+    let blast = Pipeline::new(blast_config).run(&ds.collection);
+    let eval_b = blast.evaluate(&ds.ground_truth);
+
+    // The loose schema the LSH partitioning discovered.
+    if let Some(parts) = &blast.blocker.partitioning {
+        println!("discovered attribute partitions:");
+        for p in parts.partitions() {
+            let members: Vec<String> = p
+                .attributes
+                .iter()
+                .map(|(s, n)| format!("{}:{n}", if *s == SourceId(0) { "abt" } else { "buy" }))
+                .collect();
+            println!(
+                "  partition {} (entropy {:.2}{}): {}",
+                p.id.0,
+                p.entropy,
+                if p.is_blob { ", blob" } else { "" },
+                members.join(", ")
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "{:<18} {:>12} {:>8} {:>10} {:>8}",
+        "blocking", "candidates", "recall", "precision", "RR"
+    );
+    for (name, eval) in [("schema-agnostic", &eval_a), ("blast", &eval_b)] {
+        println!(
+            "{:<18} {:>12} {:>8.4} {:>10.4} {:>8.4}",
+            name,
+            eval.blocking.candidates,
+            eval.blocking.recall,
+            eval.blocking.precision,
+            eval.blocking.reduction_ratio,
+        );
+    }
+
+    println!(
+        "\nend-to-end F1: schema-agnostic {:.4}, blast {:.4}",
+        eval_a.clustering.f1, eval_b.clustering.f1
+    );
+    println!(
+        "candidate reduction from loose schema: {:.1}x fewer pairs",
+        eval_a.blocking.candidates as f64 / eval_b.blocking.candidates.max(1) as f64
+    );
+}

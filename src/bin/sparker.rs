@@ -1,0 +1,274 @@
+//! `sparker` — command-line batch runner for the ER pipeline.
+//!
+//! The paper's workflow ends with "the optimized configuration can be
+//! applied to the whole data in a batch mode"; this binary is that batch
+//! mode. It loads one (dirty) or two (clean–clean) CSV/JSON-lines sources,
+//! optionally a ground truth and a saved configuration, runs the pipeline,
+//! prints per-step statistics and writes the resolved entities.
+//!
+//! ```text
+//! sparker --source-a abt.csv --source-b buy.csv \
+//!         --ground-truth matches.csv \
+//!         --config tuned.conf --output entities.csv
+//!
+//! sparker --demo            # run on a generated Abt-Buy-shaped dataset
+//! ```
+
+use sparker::datasets::{generate, DatasetConfig};
+use sparker::profiles::{
+    parse_csv, profiles_from_csv, profiles_from_json_lines, write_csv, CsvOptions, GroundTruth,
+    Profile, ProfileCollection, SourceId,
+};
+use sparker::{LostPairsReport, Pipeline, PipelineConfig};
+use std::process::ExitCode;
+
+#[derive(Default)]
+struct Args {
+    source_a: Option<String>,
+    source_b: Option<String>,
+    ground_truth: Option<String>,
+    config: Option<String>,
+    output: Option<String>,
+    id_column: String,
+    demo: bool,
+    show_lost: bool,
+    workers: Option<usize>,
+}
+
+const USAGE: &str = "\
+sparker — SparkER entity-resolution pipeline (batch mode)
+
+USAGE:
+    sparker --source-a <file> [--source-b <file>] [options]
+    sparker --demo
+
+OPTIONS:
+    --source-a <file>      First source (.csv or .jsonl). Required unless --demo.
+    --source-b <file>      Second source; enables clean-clean ER. Omit for dirty ER.
+    --ground-truth <file>  CSV with columns id_a,id_b of true matches (original ids).
+    --config <file>        Pipeline configuration saved by the library
+                           (PipelineConfig::to_config_string); default config otherwise.
+    --output <file>        Write resolved entities as CSV (entity_id,source,original_id).
+    --id-column <name>     CSV column holding record ids (default: id).
+    --workers <n>          Run the fully distributed pipeline on the dataflow
+                           engine with n workers (default: sequential driver).
+    --show-lost            With a ground truth: print the blocking false-positive
+                           drill-down (lost pairs and their shared keys).
+    --demo                 Run on a generated Abt-Buy-shaped dataset instead of files.
+    --help                 Show this help.
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        id_column: "id".to_string(),
+        ..Args::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--source-a" => args.source_a = Some(value("--source-a")?),
+            "--source-b" => args.source_b = Some(value("--source-b")?),
+            "--ground-truth" => args.ground_truth = Some(value("--ground-truth")?),
+            "--config" => args.config = Some(value("--config")?),
+            "--output" => args.output = Some(value("--output")?),
+            "--id-column" => args.id_column = value("--id-column")?,
+            "--workers" => {
+                let v = value("--workers")?;
+                args.workers = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--workers needs an integer, got {v}"))?,
+                );
+            }
+            "--show-lost" => args.show_lost = true,
+            "--demo" => args.demo = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}; see --help")),
+        }
+    }
+    if !args.demo && args.source_a.is_none() {
+        return Err("--source-a is required (or use --demo); see --help".to_string());
+    }
+    Ok(args)
+}
+
+fn load_source(path: &str, source: SourceId, id_column: &str) -> Result<Vec<Profile>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".jsonl") || path.ends_with(".json") {
+        profiles_from_json_lines(&text, source, id_column).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let options = CsvOptions {
+            id_column: Some(id_column.to_string()),
+            ..CsvOptions::default()
+        };
+        profiles_from_csv(&text, source, &options).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_ground_truth(path: &str, collection: &ProfileCollection) -> Result<GroundTruth, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let rows = parse_csv(&text, ',').map_err(|e| format!("{path}: {e}"))?;
+    let mut pairs = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i == 0 && row.iter().any(|c| c.eq_ignore_ascii_case("id_a")) {
+            continue; // header
+        }
+        if row.len() < 2 {
+            return Err(format!("{path}: line {} needs two columns", i + 1));
+        }
+        pairs.push((row[0].as_str(), row[1].as_str()));
+    }
+    GroundTruth::from_original_ids(collection, pairs).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // Data.
+    let (collection, ground_truth) = if args.demo {
+        let ds = generate(&DatasetConfig {
+            entities: 1000,
+            unmatched_per_source: 250,
+            ..DatasetConfig::default()
+        });
+        println!("demo mode: generated Abt-Buy-shaped dataset");
+        (ds.collection, Some(ds.ground_truth))
+    } else {
+        let a = load_source(args.source_a.as_ref().unwrap(), SourceId(0), &args.id_column)?;
+        let collection = match &args.source_b {
+            Some(b) => {
+                let b = load_source(b, SourceId(1), &args.id_column)?;
+                ProfileCollection::clean_clean(a, b)
+            }
+            None => ProfileCollection::dirty(a),
+        };
+        let gt = args
+            .ground_truth
+            .as_ref()
+            .map(|p| load_ground_truth(p, &collection))
+            .transpose()?;
+        (collection, gt)
+    };
+    println!(
+        "loaded {} profiles ({:?}), {} comparable pairs",
+        collection.len(),
+        collection.kind(),
+        collection.comparable_pairs()
+    );
+
+    // Configuration.
+    let config = match &args.config {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            PipelineConfig::from_config_string(&text).map_err(|e| e.to_string())?
+        }
+        None => PipelineConfig::default(),
+    };
+
+    // Run (sequential driver, or the dataflow engine when --workers given).
+    let pipeline = Pipeline::new(config);
+    let result = match args.workers {
+        Some(workers) => {
+            let ctx = sparker::dataflow::Context::new(workers);
+            let result = pipeline.run_dataflow(&ctx, &collection);
+            let snap = ctx.metrics();
+            println!(
+                "dataflow engine: {} workers, {} stages, {} tasks, {} shuffled records",
+                ctx.workers(),
+                snap.stages.len(),
+                snap.total_tasks(),
+                snap.total_shuffle_records(),
+            );
+            result
+        }
+        None => pipeline.run(&collection),
+    };
+    println!(
+        "blocker: {} blocks -> {} cleaned, {} candidate pairs ({:.1?})",
+        result.blocker.initial_blocks,
+        result.blocker.cleaned_blocks,
+        result.blocker.candidates.len(),
+        result.timings.blocking,
+    );
+    println!(
+        "matcher: {} matching pairs ({:.1?})",
+        result.similarity.len(),
+        result.timings.matching,
+    );
+    println!(
+        "clusterer: {} entities, {} with >1 profile ({:.1?})",
+        result.clusters.num_clusters(),
+        result.clusters.non_trivial_clusters().len(),
+        result.timings.clustering,
+    );
+
+    // Evaluation.
+    if let Some(gt) = &ground_truth {
+        let eval = result.evaluate(gt);
+        println!("\nevaluation against ground truth ({} matches):", gt.len());
+        println!(
+            "  blocking   recall {:.4}  precision {:.4}  RR {:.4}",
+            eval.blocking.recall, eval.blocking.precision, eval.blocking.reduction_ratio
+        );
+        println!(
+            "  matching   recall {:.4}  precision {:.4}  F1 {:.4}",
+            eval.matching.recall, eval.matching.precision, eval.matching.f1
+        );
+        println!(
+            "  clustering recall {:.4}  precision {:.4}  F1 {:.4}",
+            eval.clustering.recall, eval.clustering.precision, eval.clustering.f1
+        );
+        if args.show_lost {
+            let report = LostPairsReport::build(&collection, gt, &result.blocker.candidates);
+            println!("\nlost ground-truth pairs after blocking: {}", report.len());
+            for fp in report.lost.iter().take(10) {
+                println!(
+                    "  {} <-> {} | shared keys: {}",
+                    fp.original_ids.0,
+                    fp.original_ids.1,
+                    fp.shared_tokens.join(", ")
+                );
+            }
+        }
+    }
+
+    // Output.
+    if let Some(path) = &args.output {
+        let mut rows = vec![vec![
+            "entity_id".to_string(),
+            "source".to_string(),
+            "original_id".to_string(),
+        ]];
+        for (entity, members) in result.clusters.clusters() {
+            for m in members {
+                let p = collection.get(m);
+                rows.push(vec![
+                    entity.to_string(),
+                    p.source.0.to_string(),
+                    p.original_id.clone(),
+                ]);
+            }
+        }
+        std::fs::write(path, write_csv(&rows, ','))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nwrote {} entity rows to {path}", rows.len() - 1);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # sparker
+//!
+//! Facade crate of the SparkER reproduction: re-exports the full public API
+//! of [`sparker_core`] (pipeline, configuration, evaluation, process
+//! debugging) together with the synthetic benchmark generators of
+//! [`sparker_datasets`].
+//!
+//! Start with the examples:
+//!
+//! * `examples/quickstart.rs` — the five-minute tour.
+//! * `examples/product_deduplication.rs` — clean–clean ER on an
+//!   Abt-Buy-shaped catalogue pair, schema-agnostic vs Blast.
+//! * `examples/bibliographic_dirty.rs` — dirty ER with a supervised
+//!   matcher.
+//! * `examples/debugging.rs` — the paper's Section-3 process-debugging
+//!   loop: sampling, threshold sweeps, false-positive drill-down, config
+//!   persistence.
+//!
+//! ```
+//! use sparker::{Pipeline, PipelineConfig};
+//! use sparker::datasets::{generate, DatasetConfig};
+//!
+//! let ds = generate(&DatasetConfig { entities: 50, ..Default::default() });
+//! let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+//! assert!(result.clusters.num_clusters() > 0);
+//! ```
+
+pub use sparker_core::*;
+
+/// Synthetic benchmark generators (Abt-Buy-like shapes with ground truth).
+pub mod datasets {
+    pub use sparker_datasets::*;
+}

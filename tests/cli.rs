@@ -1,0 +1,168 @@
+//! Integration tests of the `sparker` CLI binary (batch mode).
+
+use std::process::Command;
+
+fn sparker() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sparker"))
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sparker-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn clean_clean_csv_run_with_ground_truth_and_output() {
+    let dir = tempdir("cc");
+    let a = write(
+        &dir,
+        "a.csv",
+        "id,name,price\na1,sony bravia tv kd40,699.99\na2,samsung galaxy phone s9,899.00\n",
+    );
+    let b = write(
+        &dir,
+        "b.csv",
+        "id,title,cost\nb1,sony KD40 bravia television,689.99\nb2,apple iphone x,999.00\n",
+    );
+    let gt = write(&dir, "gt.csv", "id_a,id_b\na1,b1\n");
+    let out = dir.join("entities.csv");
+
+    let result = sparker()
+        .args([
+            "--source-a", &a,
+            "--source-b", &b,
+            "--ground-truth", &gt,
+            "--output", out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("loaded 4 profiles"), "{stdout}");
+    assert!(stdout.contains("clustering recall 1.0000"), "{stdout}");
+
+    let entities = std::fs::read_to_string(&out).unwrap();
+    assert!(entities.starts_with("entity_id,source,original_id"));
+    // a1 and b1 share an entity id.
+    let rows: Vec<Vec<&str>> = entities
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').collect())
+        .collect();
+    let entity_of = |oid: &str| rows.iter().find(|r| r[2] == oid).unwrap()[0];
+    assert_eq!(entity_of("a1"), entity_of("b1"));
+    assert_ne!(entity_of("a1"), entity_of("a2"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dirty_jsonl_run() {
+    let dir = tempdir("dirty");
+    let src = write(
+        &dir,
+        "records.jsonl",
+        concat!(
+            "{\"id\":\"r1\",\"title\":\"entity resolution at scale\",\"year\":2019}\n",
+            "{\"id\":\"r2\",\"title\":\"entity resolution at scale\",\"year\":2019}\n",
+            "{\"id\":\"r3\",\"title\":\"unrelated paper topic graphs\",\"year\":2020}\n",
+        ),
+    );
+    let result = sparker().args(["--source-a", &src]).output().unwrap();
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("loaded 3 profiles (Dirty)"), "{stdout}");
+    assert!(stdout.contains("1 with >1 profile"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn config_file_is_honoured() {
+    let dir = tempdir("config");
+    let a = write(&dir, "a.csv", "id,name\na1,alpha beta gamma\n");
+    let b = write(&dir, "b.csv", "id,name\nb1,alpha beta gamma\n");
+    // A config that disables meta-blocking and uses dice at a low threshold.
+    let config = write(
+        &dir,
+        "pipeline.conf",
+        "loose_schema = off\npurge = off\nfilter = off\nmeta_blocking = off\n\
+         matcher.measure = dice\nmatcher.threshold = 0.2\nclustering = unique-mapping\n",
+    );
+    let result = sparker()
+        .args(["--source-a", &a, "--source-b", &b, "--config", &config])
+        .output()
+        .unwrap();
+    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("1 with >1 profile"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dataflow_mode_matches_sequential() {
+    let dir = tempdir("workers");
+    let a = write(
+        &dir,
+        "a.csv",
+        "id,name
+a1,sony bravia tv kd40
+a2,samsung galaxy phone
+",
+    );
+    let b = write(
+        &dir,
+        "b.csv",
+        "id,title
+b1,sony kd40 bravia television
+b2,apple iphone
+",
+    );
+    let seq = sparker()
+        .args(["--source-a", &a, "--source-b", &b])
+        .output()
+        .unwrap();
+    let par = sparker()
+        .args(["--source-a", &a, "--source-b", &b, "--workers", "4"])
+        .output()
+        .unwrap();
+    assert!(seq.status.success() && par.status.success());
+    let seq_out = String::from_utf8_lossy(&seq.stdout);
+    let par_out = String::from_utf8_lossy(&par.stdout);
+    assert!(par_out.contains("dataflow engine: 4 workers"), "{par_out}");
+    // Same entity counts from both drivers (strip the timing suffix).
+    let entities = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("clusterer:"))
+            .and_then(|l| l.split('(').next())
+            .map(|l| l.trim().to_string())
+    };
+    assert_eq!(entities(&seq_out), entities(&par_out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let result = sparker().args(["--bogus"]).output().unwrap();
+    assert!(!result.status.success());
+    assert!(String::from_utf8_lossy(&result.stderr).contains("unknown flag"));
+
+    let result = sparker().output().unwrap();
+    assert!(!result.status.success());
+    assert!(String::from_utf8_lossy(&result.stderr).contains("--source-a is required"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let result = sparker()
+        .args(["--source-a", "/nonexistent/x.csv"])
+        .output()
+        .unwrap();
+    assert!(!result.status.success());
+    assert!(String::from_utf8_lossy(&result.stderr).contains("reading"));
+}

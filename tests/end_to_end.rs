@@ -1,0 +1,164 @@
+//! End-to-end integration tests spanning every crate through the facade.
+
+use sparker::datasets::{generate, generate_dirty, DatasetConfig, Domain, NoiseConfig};
+use sparker::{
+    BlockingConfig, ClusteringAlgorithm, MatcherConfig, Pipeline, PipelineConfig,
+};
+use sparker_core::matching::SimilarityMeasure;
+
+fn abt_buy(entities: usize, seed: u64) -> sparker::datasets::GeneratedDataset {
+    generate(&DatasetConfig {
+        entities,
+        unmatched_per_source: entities / 4,
+        domain: Domain::Products,
+        seed,
+        ..DatasetConfig::default()
+    })
+}
+
+#[test]
+fn default_pipeline_quality_holds_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let ds = abt_buy(150, seed);
+        let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+        let eval = result.evaluate(&ds.ground_truth);
+        assert!(
+            eval.blocking.recall > 0.9,
+            "seed {seed}: blocking recall {}",
+            eval.blocking.recall
+        );
+        assert!(
+            eval.clustering.f1 > 0.7,
+            "seed {seed}: cluster F1 {}",
+            eval.clustering.f1
+        );
+    }
+}
+
+#[test]
+fn blast_prunes_more_than_schema_agnostic_at_similar_recall() {
+    let ds = abt_buy(300, 9);
+    let agnostic = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+    let blast = Pipeline::new(PipelineConfig {
+        blocking: BlockingConfig::blast(),
+        ..PipelineConfig::default()
+    })
+    .run(&ds.collection);
+    let ea = agnostic.evaluate(&ds.ground_truth);
+    let eb = blast.evaluate(&ds.ground_truth);
+    assert!(
+        eb.blocking.candidates * 3 < ea.blocking.candidates,
+        "blast {} vs agnostic {} candidates",
+        eb.blocking.candidates,
+        ea.blocking.candidates
+    );
+    assert!(
+        eb.blocking.recall > ea.blocking.recall - 0.1,
+        "recall sacrificed: {} vs {}",
+        eb.blocking.recall,
+        ea.blocking.recall
+    );
+}
+
+#[test]
+fn pipeline_works_on_all_domains() {
+    for domain in [Domain::Products, Domain::Bibliographic, Domain::Movies] {
+        let ds = generate(&DatasetConfig {
+            entities: 120,
+            unmatched_per_source: 30,
+            domain,
+            seed: 5,
+            ..DatasetConfig::default()
+        });
+        let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+        let eval = result.evaluate(&ds.ground_truth);
+        assert!(
+            eval.blocking.recall > 0.85,
+            "{}: blocking recall {}",
+            domain.name(),
+            eval.blocking.recall
+        );
+    }
+}
+
+#[test]
+fn dirty_er_full_stack() {
+    let ds = generate_dirty(
+        &DatasetConfig {
+            entities: 150,
+            domain: Domain::Bibliographic,
+            seed: 21,
+            ..DatasetConfig::default()
+        },
+        3,
+    );
+    let config = PipelineConfig {
+        matching: MatcherConfig {
+            measure: SimilarityMeasure::Dice,
+            threshold: 0.5,
+        },
+        ..PipelineConfig::default()
+    };
+    let result = Pipeline::new(config).run(&ds.collection);
+    let eval = result.evaluate(&ds.ground_truth);
+    assert!(eval.clustering.f1 > 0.6, "dirty F1 {}", eval.clustering.f1);
+}
+
+#[test]
+fn noise_level_degrades_recall_monotonically_ish() {
+    let recall_at = |noise: NoiseConfig| {
+        let ds = generate(&DatasetConfig {
+            entities: 200,
+            unmatched_per_source: 0,
+            noise,
+            seed: 33,
+            ..DatasetConfig::default()
+        });
+        let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+        result.evaluate(&ds.ground_truth).blocking.recall
+    };
+    let clean = recall_at(NoiseConfig::none());
+    let default = recall_at(NoiseConfig::default());
+    let heavy = recall_at(NoiseConfig::heavy());
+    assert_eq!(clean, 1.0);
+    assert!(default >= heavy, "default {default} < heavy {heavy}");
+    assert!(heavy > 0.5, "even heavy noise keeps token overlap: {heavy}");
+}
+
+#[test]
+fn config_persistence_reproduces_results() {
+    let ds = abt_buy(120, 8);
+    let config = PipelineConfig {
+        blocking: BlockingConfig::blast(),
+        matching: MatcherConfig {
+            measure: SimilarityMeasure::CosineTokens,
+            threshold: 0.4,
+        },
+        clustering: ClusteringAlgorithm::UniqueMapping,
+    };
+    let text = config.to_config_string();
+    let restored = PipelineConfig::from_config_string(&text).unwrap();
+    let a = Pipeline::new(config).run(&ds.collection);
+    let b = Pipeline::new(restored).run(&ds.collection);
+    assert_eq!(a.clusters, b.clusters);
+    assert_eq!(a.similarity, b.similarity);
+}
+
+#[test]
+fn matcher_threshold_trades_precision_for_recall() {
+    let ds = abt_buy(200, 13);
+    let eval_at = |threshold: f64| {
+        let config = PipelineConfig {
+            matching: MatcherConfig {
+                measure: SimilarityMeasure::Jaccard,
+                threshold,
+            },
+            ..PipelineConfig::default()
+        };
+        Pipeline::new(config).run(&ds.collection).evaluate(&ds.ground_truth)
+    };
+    let loose = eval_at(0.15);
+    let strict = eval_at(0.7);
+    assert!(loose.matching.recall >= strict.matching.recall);
+    assert!(strict.matching.precision >= loose.matching.precision);
+}
