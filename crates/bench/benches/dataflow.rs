@@ -1,6 +1,11 @@
 //! Criterion benches for the dataflow substrate itself: narrow ops, the
-//! shuffle (group/reduce by key), and worker scaling — calibrating the
-//! engine the scalability experiment (E8) builds on.
+//! shuffle (group/reduce by key), worker scaling, and the persistent worker
+//! pool against a spawn-threads-per-stage baseline — calibrating the engine
+//! the scalability experiment (E8) builds on.
+//!
+//! Run with `BENCH_JSON=BENCH_dataflow.json cargo bench -p sparker-bench
+//! --bench dataflow` to also dump every measurement (including the
+//! per-stage wall/busy/queue-wait times the engine records) as JSON.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparker_dataflow::Context;
@@ -25,9 +30,13 @@ fn bench_shuffle(c: &mut Criterion) {
     let ds = ctx.parallelize(pairs, 8);
     let mut group = c.benchmark_group("dataflow/shuffle");
     group.sample_size(30);
-    group.bench_function("group_by_key", |b| b.iter(|| black_box(&ds).group_by_key().count()));
+    // Wide operators consume their input; cloning the handle only bumps the
+    // partition `Arc`s (the shared-partition clone path inside the shuffle).
+    group.bench_function("group_by_key", |b| {
+        b.iter(|| black_box(ds.clone()).group_by_key().count())
+    });
     group.bench_function("reduce_by_key", |b| {
-        b.iter(|| black_box(&ds).reduce_by_key(|a, b| a + *b).count())
+        b.iter(|| black_box(ds.clone()).reduce_by_key(|a, b| a + *b).count())
     });
     group.finish();
 }
@@ -56,5 +65,136 @@ fn bench_worker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_narrow_ops, bench_shuffle, bench_worker_scaling);
+/// The spawn-per-stage baseline: what stage execution cost before the
+/// persistent pool — a fresh `std::thread::scope` + one thread per
+/// partition, torn down at the stage barrier.
+fn spawn_per_stage(parts: Vec<Vec<u64>>, f: impl Fn(u64) -> u64 + Sync) -> Vec<Vec<u64>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| s.spawn(|| part.into_iter().map(&f).collect::<Vec<u64>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+fn make_parts(records: usize, n: usize) -> Vec<Vec<u64>> {
+    (0..n)
+        .map(|p| ((p * records / n) as u64..((p + 1) * records / n) as u64).collect())
+        .collect()
+}
+
+/// The regime the persistent pool exists for: a pipeline of hundreds of
+/// stages each doing microseconds of work, where per-stage thread spawn and
+/// teardown dominates a naive executor.
+fn bench_many_short_stages(c: &mut Criterion) {
+    const STAGES: usize = 200;
+    const RECORDS: usize = 2_000;
+    const PARTS: usize = 8;
+    let step = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+
+    let mut group = c.benchmark_group("dataflow/many-short-stages");
+    group.sample_size(15);
+    group.bench_function("persistent-pool", |b| {
+        let ctx = Context::new(4);
+        b.iter(|| {
+            let mut ds = ctx.parallelize((0..RECORDS as u64).collect::<Vec<_>>(), PARTS);
+            for _ in 0..STAGES {
+                ds = ds.map(|&x| step(x));
+            }
+            ds.fold(0u64, |a, b| a ^ b)
+        })
+    });
+    group.bench_function("spawn-per-stage", |b| {
+        b.iter(|| {
+            let mut parts = make_parts(RECORDS, PARTS);
+            for _ in 0..STAGES {
+                parts = spawn_per_stage(parts, step);
+            }
+            parts.iter().flatten().fold(0u64, |a, b| a ^ b)
+        })
+    });
+    group.finish();
+}
+
+/// Sanity guard for the other end of the spectrum: on a few long stages the
+/// persistent pool must not be slower than spawning fresh threads (the pool
+/// overhead has to amortise to zero against real work).
+fn bench_long_stages(c: &mut Criterion) {
+    const STAGES: usize = 4;
+    const RECORDS: usize = 400_000;
+    const PARTS: usize = 8;
+    let step = |x: u64| {
+        let mut h = x;
+        for _ in 0..16 {
+            h = h.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        }
+        h
+    };
+
+    let mut group = c.benchmark_group("dataflow/long-stages");
+    group.sample_size(15);
+    group.bench_function("persistent-pool", |b| {
+        let ctx = Context::new(4);
+        b.iter(|| {
+            let mut ds = ctx.parallelize((0..RECORDS as u64).collect::<Vec<_>>(), PARTS);
+            for _ in 0..STAGES {
+                ds = ds.map(|&x| step(x));
+            }
+            ds.fold(0u64, |a, b| a ^ b)
+        })
+    });
+    group.bench_function("spawn-per-stage", |b| {
+        b.iter(|| {
+            let mut parts = make_parts(RECORDS, PARTS);
+            for _ in 0..STAGES {
+                parts = spawn_per_stage(parts, step);
+            }
+            parts.iter().flatten().fold(0u64, |a, b| a ^ b)
+        })
+    });
+    group.finish();
+}
+
+/// Export the engine's own per-stage metrics (wall time, worker busy time,
+/// shuffle queue wait) for one representative shuffle pipeline into the
+/// bench result set — these land in `BENCH_JSON` next to the timings.
+fn record_stage_metrics(c: &mut Criterion) {
+    let ctx = Context::new(4);
+    let pairs: Vec<(u32, u64)> = (0..100_000).map(|i| (i % 1000, i as u64)).collect();
+    ctx.reset_metrics();
+    let grouped = ctx.parallelize(pairs, 8).group_by_key();
+    let _ = grouped.map(|(_, vs)| vs.len() as u64).fold(0u64, |a, b| a + b);
+    let snap = ctx.metrics();
+    for (i, stage) in snap.stages.iter().enumerate() {
+        c.record(
+            format!("dataflow/stage-metrics/{}-{}/wall", i, stage.name),
+            stage.tasks,
+            stage.wall_time,
+        );
+        c.record(
+            format!("dataflow/stage-metrics/{}-{}/busy", i, stage.name),
+            stage.tasks,
+            stage.busy_time,
+        );
+        c.record(
+            format!("dataflow/stage-metrics/{}-{}/queue-wait", i, stage.name),
+            stage.tasks,
+            stage.queue_wait,
+        );
+    }
+    for (w, busy) in snap.worker_busy.iter().enumerate() {
+        c.record(format!("dataflow/worker-busy/{w}"), 1, *busy);
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_narrow_ops,
+    bench_shuffle,
+    bench_worker_scaling,
+    bench_many_short_stages,
+    bench_long_stages,
+    record_stage_metrics
+);
 criterion_main!(benches);

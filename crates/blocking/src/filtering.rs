@@ -80,6 +80,124 @@ pub fn block_filtering(blocks: BlockCollection, ratio: f64) -> BlockCollection {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sparker_profiles::ErKind;
+    use std::collections::BTreeSet;
+
+    fn blocks_strategy() -> impl Strategy<Value = BlockCollection> {
+        let block = prop::collection::btree_set(0u32..30, 2..10)
+            .prop_map(|ids| ids.into_iter().map(ProfileId).collect::<Vec<_>>());
+        prop::collection::vec(block, 1..15).prop_map(|members| {
+            let blocks = members
+                .into_iter()
+                .enumerate()
+                .map(|(i, ids)| Block::dirty(format!("k{i}"), ids))
+                .collect();
+            BlockCollection::new(ErKind::Dirty, blocks)
+        })
+    }
+
+    /// Independent model of the paper's rule at ratio 0.8: for each profile,
+    /// the retained blocks are exactly its `max(1, ⌈0.8·d⌉)` smallest blocks
+    /// (by comparison count, ties by block id) — i.e. it is removed from the
+    /// largest ~20 %.
+    fn model_retained(blocks: &BlockCollection, ratio: f64) -> Vec<(ProfileId, BTreeSet<String>)> {
+        let kind = blocks.kind();
+        let index = blocks.profile_index();
+        let cardinality: Vec<u64> = blocks.blocks().iter().map(|b| b.comparisons(kind)).collect();
+        let mut out = Vec::new();
+        for (p, bids) in index.iter() {
+            let mut ordered: Vec<u32> = bids.iter().map(|b| b.0).collect();
+            ordered.sort_by_key(|&b| (cardinality[b as usize], b));
+            let quota = ((bids.len() as f64 * ratio).ceil() as usize).max(1);
+            ordered.truncate(quota);
+            let keys = ordered
+                .into_iter()
+                .map(|b| blocks.blocks()[b as usize].key.clone())
+                .collect();
+            out.push((p, keys));
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The paper's rule: each profile leaves precisely the largest 20 %
+        /// of its blocks. Soundness — every surviving membership is one the
+        /// model retains; completeness — every model-retained membership
+        /// whose block stays useful (≥ 2 members) survives.
+        #[test]
+        fn each_profile_keeps_its_smallest_80_percent(blocks in blocks_strategy()) {
+            let model = model_retained(&blocks, 0.8);
+            let filtered = block_filtering(blocks, 0.8);
+            // Memberships actually present in the output, by block key.
+            let mut got: Vec<(ProfileId, BTreeSet<String>)> = Vec::new();
+            for (p, keys) in &model {
+                let mine: BTreeSet<String> = filtered
+                    .blocks()
+                    .iter()
+                    .filter(|b| b.all_members().any(|m| m == *p))
+                    .map(|b| b.key.clone())
+                    .collect();
+                prop_assert!(
+                    mine.is_subset(keys),
+                    "profile {p:?} kept {mine:?}, model allows only {keys:?}"
+                );
+                got.push((*p, mine));
+            }
+            // Completeness: a model-retained membership only disappears when
+            // its whole block died (fewer than 2 retained members).
+            let model_sizes: std::collections::HashMap<&String, usize> = {
+                let mut m = std::collections::HashMap::new();
+                for (_, keys) in &model {
+                    for k in keys {
+                        *m.entry(k).or_insert(0) += 1;
+                    }
+                }
+                m
+            };
+            for ((p, mine), (_, keys)) in got.iter().zip(&model) {
+                for k in keys {
+                    if model_sizes[k] >= 2 {
+                        prop_assert!(
+                            mine.contains(k),
+                            "profile {p:?} should have stayed in useful block {k}"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Filtering never invents candidate pairs.
+        #[test]
+        fn filtering_only_removes_pairs(blocks in blocks_strategy(), ratio in 0.1f64..=1.0) {
+            let before = blocks.candidate_pairs();
+            let after = block_filtering(blocks, ratio).candidate_pairs();
+            prop_assert!(after.is_subset(&before));
+        }
+
+        /// Boundary: with ratio 0.8 a profile appearing in fewer than 5
+        /// blocks keeps all of them (⌈0.8·d⌉ = d for d ≤ 4), so filtering is
+        /// the identity on such collections.
+        #[test]
+        fn fewer_than_five_blocks_keeps_all(d in 1usize..5) {
+            let blocks: Vec<Block> = (0..d)
+                .map(|i| Block::dirty(format!("k{i}"), vec![ProfileId(0), ProfileId(i as u32 + 1)]))
+                .collect();
+            let filtered = block_filtering(BlockCollection::new(ErKind::Dirty, blocks), 0.8);
+            prop_assert_eq!(filtered.len(), d);
+            prop_assert!(filtered
+                .blocks()
+                .iter()
+                .all(|b| b.size() == 2 && b.all_members().any(|p| p == ProfileId(0))));
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use sparker_profiles::{ErKind, Pair};

@@ -89,6 +89,89 @@ pub fn purge_by_comparison_level(blocks: BlockCollection, smoothing: f64) -> Blo
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::block::Block;
+    use proptest::prelude::*;
+    use sparker_profiles::{ErKind, ProfileId};
+
+    /// Random dirty collections: `n` profiles, up to 12 blocks of 2..=n
+    /// distinct members each.
+    fn blocks_strategy() -> impl Strategy<Value = (BlockCollection, usize)> {
+        (4usize..40).prop_flat_map(|n| {
+            let block = prop::collection::btree_set(0u32..(n as u32), 2..=n)
+                .prop_map(|ids| ids.into_iter().map(ProfileId).collect::<Vec<_>>());
+            prop::collection::vec(block, 0..12).prop_map(move |members| {
+                let blocks = members
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ids)| Block::dirty(format!("k{i}"), ids))
+                    .collect();
+                (BlockCollection::new(ErKind::Dirty, blocks), n)
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The paper's rule, verbatim: purging at 0.5 drops *exactly* the
+        /// blocks containing more than half of all profiles — no fewer, no
+        /// more — and keeps the survivors in order.
+        #[test]
+        fn drops_exactly_blocks_with_more_than_half((blocks, n) in blocks_strategy()) {
+            let cap = ((n as f64 * 0.5).floor() as usize).max(2);
+            let expected: Vec<String> = blocks
+                .blocks()
+                .iter()
+                .filter(|b| b.size() <= cap)
+                .map(|b| b.key.clone())
+                .collect();
+            let purged = purge_oversized(blocks, n, 0.5);
+            let got: Vec<String> = purged.blocks().iter().map(|b| b.key.clone()).collect();
+            prop_assert_eq!(got, expected);
+            // Restated directly: no retained block covers more than half.
+            prop_assert!(purged.blocks().iter().all(|b| b.size() * 2 <= n));
+        }
+
+        /// Boundary: a block holding exactly half of the profiles survives;
+        /// one more member and it is purged.
+        #[test]
+        fn exactly_half_is_retained(half in 2u32..20) {
+            let n = (half * 2) as usize;
+            let at_cap = Block::dirty("at-cap", (0..half).map(ProfileId).collect());
+            let over = Block::dirty("over", (0..=half).map(ProfileId).collect());
+            let bc = BlockCollection::new(ErKind::Dirty, vec![at_cap, over]);
+            let purged = purge_oversized(bc, n, 0.5);
+            let keys: Vec<&str> = purged.blocks().iter().map(|b| b.key.as_str()).collect();
+            prop_assert_eq!(keys, vec!["at-cap"]);
+        }
+
+        /// Comparison-level purging is a pure filter: it removes whole
+        /// blocks, keeps order, and always admits the smallest level.
+        #[test]
+        fn comparison_level_purging_is_a_filter((blocks, _n) in blocks_strategy()) {
+            let kind = blocks.kind();
+            let before: Vec<String> = blocks.blocks().iter().map(|b| b.key.clone()).collect();
+            let min_level = blocks.blocks().iter().map(|b| b.comparisons(kind)).min();
+            let purged = purge_by_comparison_level(blocks, 1.025);
+            let after: Vec<String> = purged.blocks().iter().map(|b| b.key.clone()).collect();
+            let mut it = before.iter();
+            prop_assert!(
+                after.iter().all(|k| it.any(|b| b == k)),
+                "output must be an ordered subsequence of the input"
+            );
+            if let Some(min_level) = min_level {
+                prop_assert!(
+                    purged.blocks().iter().any(|b| b.comparisons(kind) == min_level),
+                    "the cheapest blocks always survive"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::block::Block;

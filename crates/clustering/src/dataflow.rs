@@ -35,8 +35,11 @@ pub fn connected_components_dataflow(
     let mut current: Vec<u32> = (0..num_profiles as u32).collect();
 
     loop {
-        // Each node offers its label to its neighbors…
+        // Each node offers its label to its neighbors… (`join` consumes its
+        // input, and the edge list is reused every superstep, so clone the
+        // handle — partition `Arc` bumps, no data copy.)
         let offers = edges_ds
+            .clone()
             .join(&labels)
             .map(|(_, (neighbor, label))| (*neighbor, *label));
         // …and keeps the minimum of its own label and all offers.

@@ -230,5 +230,12 @@ mod tests {
         assert!(snap.stages.iter().any(|s| s.name == "group_by_key"), "blocking shuffles");
         assert!(snap.broadcasts >= 2, "meta-blocking + matching broadcasts");
         assert!(snap.total_shuffle_records() > 0);
+        // The persistent pool's accounting flows through to the pipeline:
+        // stages carry wall + busy time, and the context reports cumulative
+        // per-worker busy time for its pool.
+        assert!(snap.stages.iter().all(|s| s.wall_time >= s.busy_time || s.tasks > 1));
+        assert!(snap.total_busy_time() > std::time::Duration::ZERO);
+        assert_eq!(snap.worker_busy.len(), ctx.workers());
+        assert!(snap.worker_busy.iter().sum::<std::time::Duration>() > std::time::Duration::ZERO);
     }
 }

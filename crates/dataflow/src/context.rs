@@ -55,8 +55,13 @@ impl Context {
     }
 
     /// Copy out all execution metrics recorded so far.
+    ///
+    /// The snapshot's `worker_busy` field is read live from the pool's
+    /// per-worker counters (slot 0 is the submitting thread).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.worker_busy = self.pool.worker_busy_times();
+        snap
     }
 
     /// Drop all recorded metrics (between experiment repetitions).

@@ -3,6 +3,7 @@
 use crate::context::Context;
 use crate::metrics::StageMetrics;
 use crate::partition_for;
+use crate::pool::StageStats;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -16,7 +17,11 @@ use std::time::Instant;
 /// keeps the engine simple and makes per-stage metrics trivially exact.
 ///
 /// Partitions are reference-counted, so cheap operations like
-/// [`Dataset::union`] never copy data.
+/// [`Dataset::union`] never copy data. Wide (shuffle) operators **consume**
+/// the dataset: when a partition's reference count is 1 — the common case
+/// of a freshly produced intermediate — its records are *moved* through the
+/// shuffle instead of cloned. Keep a `.clone()` (cheap: `Arc` bumps) if you
+/// need the input again.
 pub struct Dataset<T> {
     ctx: Context,
     parts: Vec<Arc<Vec<T>>>,
@@ -33,6 +38,30 @@ impl<T> Clone for Dataset<T> {
             parts: self.parts.clone(),
         }
     }
+}
+
+/// Push one completed stage into the context's metrics sink.
+#[allow(clippy::too_many_arguments)]
+fn record_stage(
+    ctx: &Context,
+    name: &str,
+    tasks: usize,
+    input_records: u64,
+    output_records: u64,
+    shuffle_records: u64,
+    t0: Instant,
+    stats: StageStats,
+) {
+    ctx.metrics_sink().record_stage(StageMetrics {
+        name: name.to_string(),
+        tasks,
+        input_records,
+        output_records,
+        shuffle_records,
+        wall_time: t0.elapsed(),
+        busy_time: stats.busy_time,
+        queue_wait: stats.queue_wait,
+    });
 }
 
 impl<T: Send + Sync> Dataset<T> {
@@ -66,15 +95,17 @@ impl<T: Send + Sync> Dataset<T> {
         self.count() == 0
     }
 
-    fn record_stage(&self, name: &str, output_records: u64, shuffle_records: u64, t0: Instant) {
-        self.ctx.metrics_sink().record_stage(StageMetrics {
-            name: name.to_string(),
-            tasks: self.parts.len(),
-            input_records: self.count() as u64,
+    fn record_stage(&self, name: &str, output_records: u64, shuffle_records: u64, t0: Instant, stats: StageStats) {
+        record_stage(
+            &self.ctx,
+            name,
+            self.parts.len(),
+            self.count() as u64,
             output_records,
             shuffle_records,
-            wall_time: t0.elapsed(),
-        });
+            t0,
+            stats,
+        );
     }
 
     /// Run one narrow stage: `f(partition_index, partition) -> new partition`.
@@ -84,13 +115,37 @@ impl<T: Send + Sync> Dataset<T> {
         F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
     {
         let t0 = Instant::now();
-        let out: Vec<Vec<U>> = self
+        let (out, stats) = self
             .ctx
             .pool()
-            .run(self.parts.len(), |i| f(i, self.parts[i].as_slice()));
+            .run_with_stats(self.parts.len(), |i| f(i, self.parts[i].as_slice()));
         let produced: u64 = out.iter().map(|p| p.len() as u64).sum();
-        self.record_stage(name, produced, 0, t0);
+        self.record_stage(name, produced, 0, t0, stats);
         Dataset::from_parts(self.ctx.clone(), out.into_iter().map(Arc::new).collect())
+    }
+
+    /// Narrow stage that consumes the dataset: each partition is *moved*
+    /// into `f` when this dataset holds the only reference to it (the owned
+    /// fast path), and copied only when the partition is shared.
+    fn narrow_stage_owned<U, F>(self, name: &str, f: F) -> Dataset<U>
+    where
+        T: Clone,
+        U: Send + Sync,
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync,
+    {
+        let t0 = Instant::now();
+        let Dataset { ctx, parts } = self;
+        let tasks = parts.len();
+        let input: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let (out, stats) = ctx.pool().run_owned(parts, |_, part| {
+            f(match Arc::try_unwrap(part) {
+                Ok(owned) => owned,
+                Err(shared) => shared.to_vec(),
+            })
+        });
+        let produced: u64 = out.iter().map(|p| p.len() as u64).sum();
+        record_stage(&ctx, name, tasks, input, produced, 0, t0, stats);
+        Dataset::from_parts(ctx, out.into_iter().map(Arc::new).collect())
     }
 
     /// Apply `f` to every record.
@@ -127,10 +182,10 @@ impl<T: Send + Sync> Dataset<T> {
         F: Fn(&T) + Send + Sync,
     {
         let t0 = Instant::now();
-        self.ctx.pool().run(self.parts.len(), |i| {
+        let (_, stats) = self.ctx.pool().run_with_stats(self.parts.len(), |i| {
             self.parts[i].iter().for_each(&f);
         });
-        self.record_stage("for_each", 0, 0, t0);
+        self.record_stage("for_each", 0, 0, t0, stats);
     }
 
     /// Fold all records into one value.
@@ -146,12 +201,12 @@ impl<T: Send + Sync> Dataset<T> {
         F: Fn(U, U) -> U + Send + Sync,
     {
         let t0 = Instant::now();
-        let partials: Vec<U> = self.ctx.pool().run(self.parts.len(), |i| {
+        let (partials, stats) = self.ctx.pool().run_with_stats(self.parts.len(), |i| {
             self.parts[i]
                 .iter()
                 .fold(init.clone(), |acc, x| combine(acc, x.clone().into()))
         });
-        self.record_stage("fold", 1, 0, t0);
+        self.record_stage("fold", 1, 0, t0, stats);
         partials.into_iter().fold(init, combine)
     }
 
@@ -162,10 +217,10 @@ impl<T: Send + Sync> Dataset<T> {
         F: Fn(T, T) -> T + Send + Sync,
     {
         let t0 = Instant::now();
-        let partials: Vec<Option<T>> = self.ctx.pool().run(self.parts.len(), |i| {
+        let (partials, stats) = self.ctx.pool().run_with_stats(self.parts.len(), |i| {
             self.parts[i].iter().cloned().reduce(&f)
         });
-        self.record_stage("reduce", 1, 0, t0);
+        self.record_stage("reduce", 1, 0, t0, stats);
         partials.into_iter().flatten().reduce(f)
     }
 
@@ -229,7 +284,7 @@ impl<T: Send + Sync> Dataset<T> {
         let all = self.collect();
         let moved = all.len() as u64;
         let out = self.ctx.parallelize(all, n.max(1));
-        self.record_stage("repartition", moved, moved, t0);
+        self.record_stage("repartition", moved, moved, t0, StageStats::default());
         out
     }
 
@@ -246,14 +301,16 @@ impl<T: Send + Sync> Dataset<T> {
     }
 
     /// Remove duplicate records (hash shuffle so equal records meet).
-    pub fn distinct(&self) -> Dataset<T>
+    ///
+    /// Consumes the dataset; when partitions are uniquely owned no record
+    /// is cloned anywhere in the pipeline.
+    pub fn distinct(self) -> Dataset<T>
     where
         T: Clone + Hash + Eq,
     {
-        let keyed: Dataset<(T, ())> = self.map(|x| (x.clone(), ()));
-        keyed
+        self.narrow_stage_owned("map", |p| p.into_iter().map(|x| (x, ())).collect::<Vec<_>>())
             .group_by_key()
-            .narrow_stage("distinct", |_, p| p.iter().map(|(k, _)| k.clone()).collect())
+            .narrow_stage_owned("distinct", |p| p.into_iter().map(|(k, _)| k).collect())
     }
 
     /// Total order sort by a key function (driver-side merge, like a 1-stage
@@ -270,7 +327,7 @@ impl<T: Send + Sync> Dataset<T> {
         all.sort_by_key(|a| key_fn(a));
         let moved = all.len() as u64;
         let out = self.ctx.parallelize(all, self.parts.len());
-        self.record_stage("sort_by", moved, moved, t0);
+        self.record_stage("sort_by", moved, moved, t0, StageStats::default());
         out
     }
 
@@ -369,18 +426,30 @@ where
     K: Clone + Hash + Eq + Send + Sync,
     V: Clone + Send + Sync,
 {
-    /// Hash-shuffle the pairs into `n` target buckets.
+    /// Hash-shuffle owned partitions into `n` target buckets.
     ///
     /// Records are routed by `hash(key) % n`; within each target bucket,
     /// records appear in (input partition, input offset) order, which makes
-    /// every downstream grouping deterministic.
-    fn shuffle(&self, n: usize) -> Vec<Vec<(K, V)>> {
+    /// every downstream grouping deterministic. A partition whose `Arc` is
+    /// uniquely held is unwrapped and its records *moved* into the buckets;
+    /// shared partitions fall back to per-record cloning.
+    fn shuffle_parts(ctx: &Context, parts: Vec<Arc<Vec<(K, V)>>>, n: usize) -> (Vec<Vec<(K, V)>>, StageStats) {
         let n = n.max(1);
         // Map side: bucket each input partition.
-        let bucketed: Vec<Vec<Vec<(K, V)>>> = self.ctx.pool().run(self.parts.len(), |i| {
+        let (bucketed, stats) = ctx.pool().run_owned(parts, |_, part| {
             let mut buckets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
-            for (k, v) in self.parts[i].iter() {
-                buckets[partition_for(k, n)].push((k.clone(), v.clone()));
+            match Arc::try_unwrap(part) {
+                Ok(owned) => {
+                    for (k, v) in owned {
+                        let target = partition_for(&k, n);
+                        buckets[target].push((k, v));
+                    }
+                }
+                Err(shared) => {
+                    for (k, v) in shared.iter() {
+                        buckets[partition_for(k, n)].push((k.clone(), v.clone()));
+                    }
+                }
             }
             buckets
         });
@@ -391,73 +460,91 @@ where
                 targets[j].extend(bucket);
             }
         }
-        targets
+        (targets, stats)
     }
 
     /// Group values by key. Keys keep first-seen order inside each output
     /// partition; values keep input order.
-    pub fn group_by_key(&self) -> Dataset<(K, Vec<V>)> {
-        self.group_by_key_with(self.ctx.default_partitions())
+    pub fn group_by_key(self) -> Dataset<(K, Vec<V>)> {
+        let n = self.ctx.default_partitions();
+        self.group_by_key_with(n)
     }
 
     /// [`Dataset::group_by_key`] with an explicit output partition count.
-    pub fn group_by_key_with(&self, n: usize) -> Dataset<(K, Vec<V>)> {
+    pub fn group_by_key_with(self, n: usize) -> Dataset<(K, Vec<V>)> {
         let t0 = Instant::now();
-        let shuffled = self.shuffle(n);
+        let Dataset { ctx, parts } = self;
+        let tasks = parts.len();
+        let input: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let (shuffled, map_stats) = Self::shuffle_parts(&ctx, parts, n);
         let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
-        let grouped: Vec<Vec<(K, Vec<V>)>> = self.ctx.pool().run(shuffled.len(), |j| {
-            group_preserving_order(shuffled[j].clone())
-        });
+        let (grouped, reduce_stats) = ctx
+            .pool()
+            .run_owned(shuffled, |_, bucket| group_preserving_order(bucket));
         let produced: u64 = grouped.iter().map(|p| p.len() as u64).sum();
-        self.record_stage("group_by_key", produced, moved, t0);
-        Dataset::from_parts(self.ctx.clone(), grouped.into_iter().map(Arc::new).collect())
+        record_stage(&ctx, "group_by_key", tasks, input, produced, moved, t0, map_stats + reduce_stats);
+        Dataset::from_parts(ctx, grouped.into_iter().map(Arc::new).collect())
     }
 
     /// Merge values per key with map-side combining (Spark `reduceByKey`).
     ///
     /// `combine` must be associative; commutativity is not required because
     /// values are combined in deterministic input order.
-    pub fn reduce_by_key<F>(&self, combine: F) -> Dataset<(K, V)>
+    pub fn reduce_by_key<F>(self, combine: F) -> Dataset<(K, V)>
     where
         F: Fn(V, &V) -> V + Send + Sync,
     {
-        self.reduce_by_key_with(self.ctx.default_partitions(), combine)
+        let n = self.ctx.default_partitions();
+        self.reduce_by_key_with(n, combine)
     }
 
     /// [`Dataset::reduce_by_key`] with an explicit output partition count.
-    pub fn reduce_by_key_with<F>(&self, n: usize, combine: F) -> Dataset<(K, V)>
+    pub fn reduce_by_key_with<F>(self, n: usize, combine: F) -> Dataset<(K, V)>
     where
         F: Fn(V, &V) -> V + Send + Sync,
     {
         let t0 = Instant::now();
+        let Dataset { ctx, parts } = self;
+        let tasks = parts.len();
+        let input: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let fold_group = |(k, vs): (K, Vec<V>)| {
+            let mut it = vs.into_iter();
+            let first = it.next().expect("group is never empty");
+            (k, it.fold(first, |acc, v| combine(acc, &v)))
+        };
         // Map-side combine shrinks the shuffle.
-        let combined: Vec<Vec<(K, V)>> = self.ctx.pool().run(self.parts.len(), |i| {
-            let groups = group_preserving_order(self.parts[i].to_vec());
-            groups
+        let (combined, pre_stats) = ctx.pool().run_owned(parts, |_, part| {
+            let pairs = match Arc::try_unwrap(part) {
+                Ok(owned) => owned,
+                Err(shared) => shared.to_vec(),
+            };
+            group_preserving_order(pairs)
                 .into_iter()
-                .map(|(k, vs)| {
-                    let mut it = vs.into_iter();
-                    let first = it.next().expect("group is never empty");
-                    (k, it.fold(first, |acc, v| combine(acc, &v)))
-                })
-                .collect()
+                .map(&fold_group)
+                .collect::<Vec<(K, V)>>()
         });
-        let pre = Dataset::from_parts(self.ctx.clone(), combined.into_iter().map(Arc::new).collect());
-        let shuffled = pre.shuffle(n);
+        // The combined partitions are freshly built, so wrapping them in new
+        // `Arc`s keeps the shuffle on the owned (move) path.
+        let (shuffled, map_stats) = Self::shuffle_parts(&ctx, combined.into_iter().map(Arc::new).collect(), n);
         let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
-        let reduced: Vec<Vec<(K, V)>> = self.ctx.pool().run(shuffled.len(), |j| {
-            group_preserving_order(shuffled[j].clone())
+        let (reduced, reduce_stats) = ctx.pool().run_owned(shuffled, |_, bucket| {
+            group_preserving_order(bucket)
                 .into_iter()
-                .map(|(k, vs)| {
-                    let mut it = vs.into_iter();
-                    let first = it.next().expect("group is never empty");
-                    (k, it.fold(first, |acc, v| combine(acc, &v)))
-                })
-                .collect()
+                .map(&fold_group)
+                .collect::<Vec<(K, V)>>()
         });
         let produced: u64 = reduced.iter().map(|p| p.len() as u64).sum();
-        self.record_stage("reduce_by_key", produced, moved, t0);
-        Dataset::from_parts(self.ctx.clone(), reduced.into_iter().map(Arc::new).collect())
+        record_stage(
+            &ctx,
+            "reduce_by_key",
+            tasks,
+            input,
+            produced,
+            moved,
+            t0,
+            pre_stats + map_stats + reduce_stats,
+        );
+        Dataset::from_parts(ctx, reduced.into_iter().map(Arc::new).collect())
     }
 
     /// Count records per key.
@@ -493,51 +580,64 @@ where
     /// first-seen order (all of `self`'s records before `other`'s within
     /// each target partition).
     #[allow(clippy::type_complexity)]
-    pub fn cogroup<W>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (Vec<V>, Vec<W>))>
+    pub fn cogroup<W>(self, other: &Dataset<(K, W)>) -> Dataset<(K, (Vec<V>, Vec<W>))>
     where
         W: Clone + Send + Sync,
     {
         let n = self.ctx.default_partitions();
         let t0 = Instant::now();
-        let left = self.shuffle(n);
-        let right = other.shuffle(n);
+        let Dataset { ctx, parts } = self;
+        let tasks = parts.len().max(other.parts.len());
+        let input: u64 = parts.iter().map(|p| p.len() as u64).sum::<u64>() + other.count() as u64;
+        let (left, left_stats) = Self::shuffle_parts(&ctx, parts, n);
+        let (right, right_stats) = Dataset::<(K, W)>::shuffle_parts(&ctx, other.parts.clone(), n);
         let moved: u64 =
             left.iter().map(|p| p.len() as u64).sum::<u64>() + right.iter().map(|p| p.len() as u64).sum::<u64>();
-        let merged: Vec<Vec<(K, (Vec<V>, Vec<W>))>> = self.ctx.pool().run(n, |j| {
+        let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = left.into_iter().zip(right).collect();
+        let (merged, merge_stats) = ctx.pool().run_owned(zipped, |_, (lv, rv)| {
             let mut index: HashMap<K, usize> = HashMap::new();
             let mut out: Vec<(K, (Vec<V>, Vec<W>))> = Vec::new();
-            for (k, v) in left[j].iter() {
+            for (k, v) in lv {
                 let slot = *index.entry(k.clone()).or_insert_with(|| {
-                    out.push((k.clone(), (Vec::new(), Vec::new())));
+                    out.push((k, (Vec::new(), Vec::new())));
                     out.len() - 1
                 });
-                out[slot].1 .0.push(v.clone());
+                out[slot].1 .0.push(v);
             }
-            for (k, w) in right[j].iter() {
+            for (k, w) in rv {
                 let slot = *index.entry(k.clone()).or_insert_with(|| {
-                    out.push((k.clone(), (Vec::new(), Vec::new())));
+                    out.push((k, (Vec::new(), Vec::new())));
                     out.len() - 1
                 });
-                out[slot].1 .1.push(w.clone());
+                out[slot].1 .1.push(w);
             }
             out
         });
         let produced: u64 = merged.iter().map(|p| p.len() as u64).sum();
-        self.record_stage("cogroup", produced, moved, t0);
-        Dataset::from_parts(self.ctx.clone(), merged.into_iter().map(Arc::new).collect())
+        record_stage(
+            &ctx,
+            "cogroup",
+            tasks,
+            input,
+            produced,
+            moved,
+            t0,
+            left_stats + right_stats + merge_stats,
+        );
+        Dataset::from_parts(ctx, merged.into_iter().map(Arc::new).collect())
     }
 
     /// Inner join on key: one output record per (left value, right value)
     /// pair of a shared key.
-    pub fn join<W>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
+    pub fn join<W>(self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
     where
         W: Clone + Send + Sync,
     {
-        self.cogroup(other).narrow_stage("join", |_, p| {
+        self.cogroup(other).narrow_stage_owned("join", |p| {
             let mut out = Vec::new();
             for (k, (vs, ws)) in p {
                 for v in vs {
-                    for w in ws {
+                    for w in &ws {
                         out.push((k.clone(), (v.clone(), w.clone())));
                     }
                 }
@@ -548,18 +648,18 @@ where
 
     /// Left outer join: every left record appears at least once; the right
     /// side is `None` when the key has no match.
-    pub fn left_outer_join<W>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, Option<W>))>
+    pub fn left_outer_join<W>(self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, Option<W>))>
     where
         W: Clone + Send + Sync,
     {
-        self.cogroup(other).narrow_stage("left_outer_join", |_, p| {
+        self.cogroup(other).narrow_stage_owned("left_outer_join", |p| {
             let mut out = Vec::new();
             for (k, (vs, ws)) in p {
                 for v in vs {
                     if ws.is_empty() {
                         out.push((k.clone(), (v.clone(), None)));
                     } else {
-                        for w in ws {
+                        for w in &ws {
                             out.push((k.clone(), (v.clone(), Some(w.clone()))));
                         }
                     }
@@ -571,12 +671,15 @@ where
 
     /// Hash-partition by key into `n` partitions (no grouping); used to
     /// co-partition datasets before node-local algorithms.
-    pub fn partition_by_key(&self, n: usize) -> Dataset<(K, V)> {
+    pub fn partition_by_key(self, n: usize) -> Dataset<(K, V)> {
         let t0 = Instant::now();
-        let shuffled = self.shuffle(n);
+        let Dataset { ctx, parts } = self;
+        let tasks = parts.len();
+        let input: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let (shuffled, stats) = Self::shuffle_parts(&ctx, parts, n);
         let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
-        self.record_stage("partition_by_key", moved, moved, t0);
-        Dataset::from_parts(self.ctx.clone(), shuffled.into_iter().map(Arc::new).collect())
+        record_stage(&ctx, "partition_by_key", tasks, input, moved, moved, t0, stats);
+        Dataset::from_parts(ctx, shuffled.into_iter().map(Arc::new).collect())
     }
 
     /// Collect into a `HashMap`, keeping the **last** value per key
@@ -595,24 +698,37 @@ where
 /// Group `(K, V)` pairs preserving first-seen key order and input value
 /// order — the deterministic grouping kernel shared by the shuffle
 /// operators.
-fn group_preserving_order<K: Hash + Eq + Clone, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
-    let mut index: HashMap<K, usize> = HashMap::with_capacity(pairs.len());
-    let mut out: Vec<(K, Vec<V>)> = Vec::new();
-    for (k, v) in pairs {
-        match index.get(&k) {
-            Some(&slot) => out[slot].1.push(v),
-            None => {
-                index.insert(k.clone(), out.len());
-                out.push((k, vec![v]));
-            }
+fn group_preserving_order<K: Hash + Eq, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    // First pass: assign every record a group slot, borrowing the keys so
+    // no key is cloned.
+    let mut index: HashMap<&K, usize> = HashMap::with_capacity(pairs.len());
+    let mut slots: Vec<usize> = Vec::with_capacity(pairs.len());
+    let mut num_groups = 0usize;
+    for (k, _) in &pairs {
+        let slot = *index.entry(k).or_insert_with(|| {
+            let s = num_groups;
+            num_groups += 1;
+            s
+        });
+        slots.push(slot);
+    }
+    drop(index);
+    // Second pass: move keys and values into their groups.
+    let mut out: Vec<Option<(K, Vec<V>)>> = (0..num_groups).map(|_| None).collect();
+    for ((k, v), slot) in pairs.into_iter().zip(slots) {
+        match &mut out[slot] {
+            Some((_, vs)) => vs.push(v),
+            empty => *empty = Some((k, vec![v])),
         }
     }
-    out
+    out.into_iter().map(|g| g.expect("every group slot is filled")).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
 
     fn ctx() -> Context {
         Context::with_partitions(4, 5)
@@ -832,6 +948,98 @@ mod tests {
         assert_eq!(snap.stages[0].name, "group_by_key");
         assert_eq!(snap.stages[0].shuffle_records, 30);
         assert_eq!(snap.stages[0].output_records, 5);
+    }
+
+    #[test]
+    fn stage_metrics_include_busy_and_worker_times() {
+        let c = Context::with_partitions(2, 3);
+        let ds = c.parallelize((0..100_000u64).collect::<Vec<_>>(), 4);
+        let total = ds.fold(0u64, |a, b| a.wrapping_add(b));
+        assert!(total > 0);
+        let snap = c.metrics();
+        assert_eq!(snap.stages[0].name, "fold");
+        assert!(snap.stages[0].busy_time > Duration::ZERO);
+        assert_eq!(snap.worker_busy.len(), 2, "one busy counter per worker slot");
+        assert!(snap.total_busy_time() > Duration::ZERO);
+    }
+
+    /// A value whose clones are counted, to pin the zero-copy fast paths.
+    #[derive(Debug)]
+    struct Tracked {
+        id: u32,
+        clones: Arc<AtomicU64>,
+    }
+
+    impl PartialEq for Tracked {
+        fn eq(&self, other: &Self) -> bool {
+            self.id == other.id
+        }
+    }
+    impl Eq for Tracked {}
+    impl std::hash::Hash for Tracked {
+        fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+            self.id.hash(state);
+        }
+    }
+
+    impl Clone for Tracked {
+        fn clone(&self) -> Self {
+            self.clones.fetch_add(1, Ordering::Relaxed);
+            Tracked {
+                id: self.id,
+                clones: Arc::clone(&self.clones),
+            }
+        }
+    }
+
+    fn tracked(n: u32) -> (Vec<Tracked>, Arc<AtomicU64>) {
+        let counter = Arc::new(AtomicU64::new(0));
+        let items = (0..n)
+            .map(|id| Tracked {
+                id,
+                clones: Arc::clone(&counter),
+            })
+            .collect();
+        (items, counter)
+    }
+
+    #[test]
+    fn group_by_key_moves_uniquely_owned_partitions() {
+        let (items, counter) = tracked(40);
+        let pairs: Vec<(u32, Tracked)> = items.into_iter().map(|t| (t.id % 4, t)).collect();
+        let grouped = ctx().parallelize(pairs, 4).group_by_key();
+        assert_eq!(grouped.count(), 4);
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            0,
+            "owned fast path must not clone values"
+        );
+    }
+
+    #[test]
+    fn group_by_key_clones_only_when_partitions_are_shared() {
+        let (items, counter) = tracked(40);
+        let pairs: Vec<(u32, Tracked)> = items.into_iter().map(|t| (t.id % 4, t)).collect();
+        let ds = ctx().parallelize(pairs, 4);
+        let _kept = ds.clone();
+        ds.group_by_key();
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            40,
+            "shared partitions clone each record exactly once"
+        );
+    }
+
+    #[test]
+    fn distinct_moves_uniquely_owned_partitions() {
+        let (items, counter) = tracked(30);
+        let out = ctx().parallelize(items, 3).distinct();
+        assert_eq!(out.count(), 30);
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            0,
+            "distinct on owned partitions must not clone records"
+        );
     }
 
     #[test]

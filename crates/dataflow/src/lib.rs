@@ -16,16 +16,57 @@
 //! * [`Broadcast<T>`] — a read-only value shared with every task, mirroring
 //!   Spark broadcast variables (SparkER's parallel meta-blocking is built on
 //!   a broadcast join).
-//! * [`ExecutionMetrics`] — per-stage task counts, record counts and shuffle
-//!   volumes, used by the scalability experiments.
+//! * [`ExecutionMetrics`] — per-stage task counts, record counts, shuffle
+//!   volumes and timing (wall, worker-busy, queue-wait), used by the
+//!   scalability experiments.
 //!
-//! ## Determinism
+//! ## Execution model: one persistent worker pool
 //!
-//! All operators produce results that are independent of the worker count:
-//! partitions are totally ordered, shuffle buckets are concatenated in input
-//! partition order, and grouping preserves first-seen key order. This lets
-//! the test-suite assert exact outputs while still exercising real
-//! multi-threaded execution.
+//! A [`Context`] owns a single [`WorkerPool`] whose threads are spawned
+//! once (lazily, on the first parallel stage) and reused for every stage
+//! until the context is dropped. Each stage is published to the pool as a
+//! batch of independent tasks behind an atomic work queue: workers claim
+//! task indices with a `fetch_add`, so scheduling is dynamic (good under
+//! skew) while thread start-up costs are paid exactly once per context
+//! rather than once per stage. The submitting thread participates as
+//! worker 0, so a pool of `n` workers uses `n - 1` background threads and
+//! never idles the caller. Entity-resolution pipelines are dominated by
+//! many short stages (purging, filtering, per-block pruning), which is
+//! precisely the shape that benefits.
+//!
+//! ## Determinism by slot indexing
+//!
+//! All operators produce results that are independent of the worker count.
+//! Two mechanisms provide this:
+//!
+//! 1. **Slot indexing** — task `i` of a stage writes its result into slot
+//!    `i` of a pre-sized output vector. Output order equals task order by
+//!    construction, no matter which worker finishes first; there is no
+//!    channel and no post-hoc sort.
+//! 2. **Ordered shuffles** — shuffle buckets are concatenated in input
+//!    partition order, grouping preserves first-seen key order, and
+//!    [`partition_for`] is a pinned FNV-1a hash, stable across Rust
+//!    releases and platforms.
+//!
+//! This lets the test-suite assert exact outputs while still exercising
+//! real multi-threaded execution.
+//!
+//! ## Zero-copy wide operators
+//!
+//! Wide (shuffle) operators consume their input dataset. Partitions are
+//! reference-counted; when an input partition is uniquely owned — the
+//! common case of a freshly produced intermediate — the shuffle *moves*
+//! records end-to-end (`Arc::try_unwrap` fast path) instead of cloning
+//! them. Call `.clone()` on a dataset first (cheap `Arc` bumps) to keep
+//! using it after a wide operator.
+//!
+//! ## Metrics
+//!
+//! Every stage records [`StageMetrics`]: task and record counts, shuffle
+//! volume, wall-clock time, aggregate worker **busy time** and **queue
+//! wait** (delay between stage publication and each worker's first claim).
+//! [`Context::metrics`] additionally reports cumulative per-worker busy
+//! time, so utilisation and skew are visible without external profilers.
 //!
 //! ## Example
 //!
@@ -51,18 +92,46 @@ pub use broadcast::Broadcast;
 pub use context::Context;
 pub use dataset::{Dataset, KeyedDataset};
 pub use metrics::{ExecutionMetrics, MetricsSnapshot, StageMetrics};
-pub use pool::WorkerPool;
+pub use pool::{StageStats, WorkerPool};
 
 /// Hash a key to a shuffle partition index.
 ///
 /// Exposed so that algorithm crates can co-partition hand-built structures
 /// with engine-produced ones (e.g. the meta-blocking broadcast join).
+///
+/// The hash is a pinned FNV-1a over the key's `Hash` byte stream. The
+/// standard library's `DefaultHasher` is explicitly *not* stable across
+/// Rust releases, which would silently re-route records between partitions
+/// (and change every golden shuffle output) on a toolchain upgrade; FNV-1a
+/// with fixed constants gives the same routing forever.
 pub fn partition_for<K: std::hash::Hash>(key: &K, num_partitions: usize) -> usize {
     use std::hash::Hasher;
     debug_assert!(num_partitions > 0);
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = Fnv1aHasher::default();
     key.hash(&mut h);
     (h.finish() as usize) % num_partitions
+}
+
+/// FNV-1a with the standard 64-bit offset basis and prime, byte-at-a-time.
+struct Fnv1aHasher(u64);
+
+impl Default for Fnv1aHasher {
+    fn default() -> Self {
+        Fnv1aHasher(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1aHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -78,5 +147,35 @@ mod tests {
                 assert_eq!(p, partition_for(&k, n));
             }
         }
+    }
+
+    /// Golden routing values. These pin the concrete FNV-1a output so a
+    /// hasher regression (or an accidental return to the release-unstable
+    /// `DefaultHasher`) fails loudly instead of silently re-partitioning.
+    #[test]
+    fn partition_for_matches_golden_values() {
+        assert_eq!(partition_for(&0u64, 16), 5);
+        assert_eq!(partition_for(&1u64, 16), 4);
+        assert_eq!(partition_for(&42u64, 16), 15);
+        assert_eq!(partition_for(&u64::MAX, 16), 13);
+        assert_eq!(partition_for(&"", 7), 0);
+        assert_eq!(partition_for(&"a", 7), 1);
+        assert_eq!(partition_for(&"token", 7), 5);
+        assert_eq!(partition_for(&"blocking", 7), 5);
+        assert_eq!(partition_for(&(3u32, 7u32), 5), 2);
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        let hash = |bytes: &[u8]| {
+            use std::hash::Hasher;
+            let mut h = Fnv1aHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(hash(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(hash(b"foobar"), 0x85944171F73967E8);
     }
 }

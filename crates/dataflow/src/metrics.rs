@@ -1,11 +1,14 @@
-//! Execution metrics: per-stage task/record/shuffle accounting.
+//! Execution metrics: per-stage task/record/shuffle/time accounting.
 //!
 //! The scalability experiments (DESIGN.md E8) read these counters to report
 //! tasks, shuffled records and wall-clock per stage, mirroring what the
-//! Spark UI exposes for the original SparkER.
+//! Spark UI exposes for the original SparkER. Since the move to the
+//! persistent worker pool, each stage also reports aggregate worker busy
+//! time and queue wait, and the snapshot carries cumulative per-worker busy
+//! time — enough to compute utilisation (`busy / (workers * wall)`) and
+//! spot skew without external profilers.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Metrics for one executed stage (one engine operator invocation).
@@ -21,8 +24,30 @@ pub struct StageMetrics {
     pub output_records: u64,
     /// Records moved across the shuffle boundary (0 for narrow stages).
     pub shuffle_records: u64,
-    /// Wall-clock time of the stage.
+    /// Wall-clock time of the stage (submission to last task completion).
     pub wall_time: Duration,
+    /// Sum of task execution time across all workers. Under perfect
+    /// parallelism this approaches `wall_time * workers`.
+    pub busy_time: Duration,
+    /// Sum over participating workers of the delay between stage
+    /// publication and that worker claiming its first task.
+    pub queue_wait: Duration,
+}
+
+impl StageMetrics {
+    /// A zeroed stage record; callers fill in what they measured.
+    pub fn named(name: &str) -> Self {
+        StageMetrics {
+            name: name.to_string(),
+            tasks: 0,
+            input_records: 0,
+            output_records: 0,
+            shuffle_records: 0,
+            wall_time: Duration::ZERO,
+            busy_time: Duration::ZERO,
+            queue_wait: Duration::ZERO,
+        }
+    }
 }
 
 /// Point-in-time copy of all metrics recorded by a [`crate::Context`].
@@ -32,6 +57,10 @@ pub struct MetricsSnapshot {
     pub stages: Vec<StageMetrics>,
     /// Number of broadcast variables created.
     pub broadcasts: u64,
+    /// Cumulative busy time per worker slot (0 = the submitting thread).
+    /// Filled by [`crate::Context::metrics`] from the pool's counters;
+    /// spans the pool's whole lifetime, not just the recorded stages.
+    pub worker_busy: Vec<Duration>,
 }
 
 impl MetricsSnapshot {
@@ -52,6 +81,16 @@ impl MetricsSnapshot {
     pub fn total_wall_time(&self) -> Duration {
         self.stages.iter().map(|s| s.wall_time).sum()
     }
+
+    /// Total worker busy time across all stages.
+    pub fn total_busy_time(&self) -> Duration {
+        self.stages.iter().map(|s| s.busy_time).sum()
+    }
+
+    /// Total queue wait across all stages.
+    pub fn total_queue_wait(&self) -> Duration {
+        self.stages.iter().map(|s| s.queue_wait).sum()
+    }
 }
 
 /// Shared, thread-safe metrics sink owned by a [`crate::Context`].
@@ -63,24 +102,25 @@ pub struct ExecutionMetrics {
 impl ExecutionMetrics {
     /// Record a completed stage.
     pub fn record_stage(&self, stage: StageMetrics) {
-        self.inner.lock().stages.push(stage);
+        self.inner.lock().unwrap().stages.push(stage);
     }
 
     /// Record the creation of a broadcast variable.
     pub fn record_broadcast(&self) {
-        self.inner.lock().broadcasts += 1;
+        self.inner.lock().unwrap().broadcasts += 1;
     }
 
     /// Copy out everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.inner.lock().clone()
+        self.inner.lock().unwrap().clone()
     }
 
     /// Drop all recorded metrics (used between experiment repetitions).
     pub fn reset(&self) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         g.stages.clear();
         g.broadcasts = 0;
+        g.worker_busy.clear();
     }
 }
 
@@ -96,6 +136,8 @@ mod tests {
             output_records: 10,
             shuffle_records: shuffle,
             wall_time: Duration::from_millis(5),
+            busy_time: Duration::from_millis(8),
+            queue_wait: Duration::from_micros(20),
         }
     }
 
@@ -111,6 +153,8 @@ mod tests {
         assert_eq!(s.total_shuffle_records(), 40);
         assert_eq!(s.broadcasts, 1);
         assert_eq!(s.total_wall_time(), Duration::from_millis(10));
+        assert_eq!(s.total_busy_time(), Duration::from_millis(16));
+        assert_eq!(s.total_queue_wait(), Duration::from_micros(40));
     }
 
     #[test]
@@ -122,6 +166,7 @@ mod tests {
         let s = m.snapshot();
         assert!(s.stages.is_empty());
         assert_eq!(s.broadcasts, 0);
+        assert!(s.worker_busy.is_empty());
     }
 
     #[test]
@@ -130,5 +175,14 @@ mod tests {
         let m2 = m.clone();
         m2.record_stage(stage("map", 1, 0));
         assert_eq!(m.snapshot().stages.len(), 1);
+    }
+
+    #[test]
+    fn named_starts_zeroed() {
+        let s = StageMetrics::named("map");
+        assert_eq!(s.name, "map");
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.busy_time, Duration::ZERO);
+        assert_eq!(s.queue_wait, Duration::ZERO);
     }
 }

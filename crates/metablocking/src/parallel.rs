@@ -206,7 +206,13 @@ mod tests {
         let graph = BlockGraph::new(&blocks, None);
         let ctx = Context::new(2);
         meta_blocking(&ctx, &graph, &MetaBlockingConfig::default());
-        assert!(ctx.metrics().broadcasts >= 2, "graph + stats broadcast");
+        let snap = ctx.metrics();
+        assert!(snap.broadcasts >= 2, "graph + stats broadcast");
+        // Both node-parallel passes run as pool stages with time accounting.
+        let passes: Vec<_> = snap.stages.iter().filter(|s| s.name == "map_partitions").collect();
+        assert!(passes.len() >= 2, "pass A + pass B are engine stages");
+        assert!(passes.iter().all(|s| s.tasks > 0));
+        assert!(snap.total_busy_time() > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Stress test for the persistent worker pool: a pipeline of ten thousand
+//! very short stages — the worst case for per-stage overhead and the
+//! easiest place for a lost task result or a scheduling-order dependence
+//! to surface. The same pipeline must produce byte-identical output under
+//! every worker count.
+
+use sparker::dataflow::Context;
+
+const STAGES: usize = 10_000;
+const RECORDS: u64 = 512;
+const PARTITIONS: usize = 8;
+
+/// 10k short stages: alternating narrow maps and filters with a shuffle
+/// sprinkled in every 1000 stages, then a deterministic digest.
+fn run_pipeline(workers: usize) -> (Vec<u64>, usize) {
+    let ctx = Context::new(workers);
+    let mut ds = ctx.parallelize((0..RECORDS).collect::<Vec<_>>(), PARTITIONS);
+    for stage in 0..STAGES {
+        ds = match stage % 1000 {
+            // An occasional full shuffle keeps the wide path honest.
+            999 => ds
+                .map(|&x| (x % 64, x))
+                .group_by_key()
+                .flat_map(|(k, vs)| {
+                    let sum = vs.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+                    vs.iter().map(move |&v| v ^ (sum % 2) ^ (k & 1)).collect::<Vec<_>>()
+                }),
+            n if n % 2 == 0 => ds.map(|&x| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(7)),
+            _ => ds.map(|&x| x.rotate_right(7).wrapping_mul(0xF1DE83E19C6A336D)),
+        };
+    }
+    let mut out = ds.collect();
+    out.sort_unstable();
+    let stages_run = ctx.metrics().stages.len();
+    (out, stages_run)
+}
+
+#[test]
+fn ten_thousand_short_stages_identical_across_worker_counts() {
+    let (baseline, stages_run) = run_pipeline(1);
+    assert_eq!(baseline.len(), RECORDS as usize, "no records lost");
+    assert!(
+        stages_run >= STAGES,
+        "every stage must be recorded: got {stages_run}"
+    );
+    for workers in [2usize, 8] {
+        let (out, _) = run_pipeline(workers);
+        assert_eq!(
+            out, baseline,
+            "pipeline output must not depend on worker count ({workers} workers)"
+        );
+    }
+}
+
+#[test]
+fn pool_survives_panics_interleaved_with_stress() {
+    // A panicking stage must not poison the pool for later stages.
+    let ctx = Context::new(8);
+    let ds = ctx.parallelize((0..100u64).collect::<Vec<_>>(), 8);
+    let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ds.map(|&x| {
+            assert!(x != 50, "boom at 50");
+            x
+        })
+        .collect()
+    }));
+    assert!(boom.is_err(), "the panic must propagate to the submitter");
+
+    // Pool still healthy: a real workload afterwards is correct.
+    let mut after = ctx
+        .parallelize((0..1000u64).collect::<Vec<_>>(), 8)
+        .map(|&x| x + 1)
+        .collect();
+    after.sort_unstable();
+    assert_eq!(after, (1..=1000).collect::<Vec<u64>>());
+}

@@ -1,0 +1,268 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This stand-in keeps the same bench-source
+//! surface (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `black_box`) and
+//! measures wall-clock time with a fixed warmup + N-sample loop. Results
+//! print to stdout; set `BENCH_JSON=<path>` to also dump all measurements
+//! of the process as a JSON array.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id, e.g. `dataflow/shuffle/group_by_key`.
+    pub id: String,
+    /// Number of timed iterations.
+    pub samples: usize,
+    pub mean: Duration,
+    pub median: Duration,
+    pub min: Duration,
+    pub max: Duration,
+}
+
+/// Identifier for a parameterised bench (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a bench name (`&str` or `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, one sample per invocation after a short warmup.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: two untimed runs populate caches and lazy state.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let budget = Duration::from_secs(3);
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > budget && self.samples.len() >= 5 {
+                break;
+            }
+        }
+    }
+}
+
+/// The top-level harness (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self {
+        self.run_one(id.into_id(), 50, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Record an externally measured duration as a result row — used to
+    /// export auxiliary measurements (e.g. per-stage wall times from the
+    /// dataflow engine's own metrics) into the same `BENCH_JSON` dump.
+    pub fn record(&mut self, id: impl Into<String>, samples: usize, d: Duration) {
+        self.results.push(BenchResult {
+            id: id.into(),
+            samples,
+            mean: d,
+            median: d,
+            min: d,
+            max: d,
+        });
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        let mut b = Bencher {
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        if sorted.is_empty() {
+            return;
+        }
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        let result = BenchResult {
+            id,
+            samples: sorted.len(),
+            mean: total / sorted.len() as u32,
+            median: sorted[sorted.len() / 2],
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+        };
+        println!(
+            "{:<50} time: [{:>12?} {:>12?} {:>12?}] ({} samples)",
+            result.id, result.min, result.median, result.max, result.samples
+        );
+        self.results.push(result);
+    }
+
+    /// Write all recorded results as JSON to `path`.
+    pub fn dump_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"id\": {:?}, \"samples\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                r.id,
+                r.samples,
+                r.mean.as_nanos(),
+                r.median.as_nanos(),
+                r.min.as_nanos(),
+                r.max.as_nanos()
+            ));
+        }
+        out.push_str("\n]\n");
+        std::fs::write(path, out)
+    }
+}
+
+/// Scoped group of related benches (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.parent.run_one(id, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.parent.run_one(id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepted and ignored; the shim reports raw times only.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            if let Ok(path) = std::env::var("BENCH_JSON") {
+                c.dump_json(&path).expect("write BENCH_JSON");
+                eprintln!("bench results written to {path}");
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("inner", |b| b.iter(|| (0..100).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 3);
+        assert_eq!(c.results()[1].id, "grp/inner");
+        assert_eq!(c.results()[2].id, "grp/7");
+        assert!(c.results().iter().all(|r| r.samples > 0));
+    }
+}

@@ -1,0 +1,970 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This vendored stand-in keeps the same surface
+//! syntax — the `proptest!` macro, `prop_assert*`/`prop_assume!`,
+//! `Strategy` combinators, range/tuple/regex-literal strategies and the
+//! `prop::{collection, sample, option}` modules — but generates values with
+//! a simple deterministic RNG and performs **no shrinking**: a failing case
+//! is reported with the generated inputs as-is.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Deterministic seed so failures reproduce across runs.
+    pub fn deterministic() -> Self {
+        Self::from_seed(0x5EED_CAFE_F00D_0001)
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core strategy trait
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+///
+/// Mirrors `proptest::strategy::Strategy`, minus shrinking: `generate`
+/// produces one value per test case.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate values, keeping only those `f` maps to `Some`.
+    fn prop_filter_map<U, R, F>(self, reason: R, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Dependent generation: derive a second strategy from each generated
+    /// value (mirrors `proptest`'s `prop_flat_map`).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategy: each level is a 50/50 mix of the leaf (`self`)
+    /// and `f` applied to the previous level, nested `depth` times.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        cur
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Type-erased, cheaply clonable strategy (mirrors `BoxedStrategy`).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U>,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map rejected too many values: {}", self.reason);
+    }
+}
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            variants: self.variants.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len());
+        self.variants[i].generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, tuples, any::<T>(), string patterns
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F2)
+}
+
+/// Types with a canonical whole-domain strategy (mirrors `Arbitrary`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, spread over a wide range; NaN/inf excluded on purpose.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        ((rng.unit_f64() - 0.5) * 2e6) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII with occasional multibyte points.
+        const EXTRA: &[char] = &['é', 'ß', 'λ', 'Ж', '中', 'ñ'];
+        if rng.below(8) == 0 {
+            EXTRA[rng.below(EXTRA.len())]
+        } else {
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- string pattern strategies ---------------------------------------------
+
+/// `&str` strategies interpret the string as a tiny regex subset:
+/// a sequence of atoms (`[class]`, `\PC`, or a literal char), each with an
+/// optional `{m}` / `{m,n}` quantifier. This covers every pattern used in
+/// the workspace test suites.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+/// Printable pool for `\PC` (any char outside Unicode category C).
+fn non_control_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (b' '..=b'~').map(char::from).collect();
+    pool.extend(['é', 'ß', 'λ', 'Ж', '中', 'ñ', '½', 'Ä', 'ø']);
+    pool
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let pool: Vec<char> = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                let mut pending_range = false;
+                for d in chars.by_ref() {
+                    match d {
+                        ']' => break,
+                        '\\' => {
+                            // Inside-class escape: next char is literal.
+                            // (All escapes used in-repo are single-char.)
+                            prev = Some('\\');
+                            class.push('\\');
+                            continue;
+                        }
+                        '-' if prev.is_some() => {
+                            pending_range = true;
+                            continue;
+                        }
+                        d if pending_range => {
+                            let lo = class.pop().expect("range start");
+                            for u in (lo as u32)..=(d as u32) {
+                                if let Some(ch) = char::from_u32(u) {
+                                    class.push(ch);
+                                }
+                            }
+                            pending_range = false;
+                            prev = None;
+                            continue;
+                        }
+                        d => {
+                            class.push(d);
+                            prev = Some(d);
+                        }
+                    }
+                }
+                if pending_range {
+                    class.push('-'); // trailing '-' is a literal
+                }
+                assert!(!class.is_empty(), "empty char class in pattern {pattern:?}");
+                class
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC` — not in category C (control): printable pool.
+                    let next = chars.next();
+                    assert_eq!(next, Some('C'), "unsupported escape in {pattern:?}");
+                    non_control_pool()
+                }
+                Some(lit) => vec![lit],
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            lit => vec![lit],
+        };
+        // Optional quantifier.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad quantifier"),
+                    n.trim().parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let m = spec.trim().parse::<usize>().expect("bad quantifier");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.below(hi - lo + 1);
+        for _ in 0..count {
+            out.push(pool[rng.below(pool.len())]);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// prop::{collection, sample, option}, proptest::bool
+// ---------------------------------------------------------------------------
+
+/// Inclusive size bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below(self.hi - self.lo + 1)
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates may make the exact target unreachable (small
+            // element domains); cap the attempts like upstream does.
+            for _ in 0..target.saturating_mul(10).max(32) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..target.saturating_mul(10).max(32) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice from a fixed set of values.
+    pub fn select<T: Clone>(items: impl Into<Vec<T>>) -> Select<T> {
+        let items = items.into();
+        assert!(!items.is_empty(), "select over empty collection");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len())].clone()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, like upstream's default weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform `bool` (mirrors `proptest::bool::ANY`).
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// Namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+// ---------------------------------------------------------------------------
+// Config, errors, macros
+// ---------------------------------------------------------------------------
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: retry with a fresh input.
+    Reject(String),
+    /// `prop_assert*!` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a rejection (mirrors `TestCaseError::reject` upstream).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Construct a failure (mirrors `TestCaseError::fail` upstream).
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic();
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < config.cases {
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $parm = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match result {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases.saturating_mul(64).saturating_add(1024),
+                            "too many prop_assume! rejections in {}",
+                            stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {}/{} of {} failed: {}",
+                            passed + 1,
+                            config.cases,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Mirrors `proptest::prelude::*` for `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..200 {
+            let (a, b) = (0u8..20, 1usize..=8).generate(&mut rng);
+            assert!(a < 20 && (1..=8).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..100 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[ -~]{0,15}".generate(&mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let p = "\\PC{0,60}".generate(&mut rng);
+            assert!(p.chars().all(|c| !c.is_control()));
+            let d = "[a-zA-Z0-9 ,.;-]{0,60}".generate(&mut rng);
+            assert!(d
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,.;-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn collections_and_combinators() {
+        let mut rng = crate::TestRng::deterministic();
+        let strat = prop::collection::vec((0u8..10, crate::bool::ANY), 0..30)
+            .prop_map(|v| v.len());
+        for _ in 0..50 {
+            assert!(strat.generate(&mut rng) < 30);
+            let m = prop::collection::btree_map("[a-z]{1,6}", 0u32..5, 0..4).generate(&mut rng);
+            assert!(m.len() < 4);
+            let sel = prop::sample::select(vec![3, 5, 7]).generate(&mut rng);
+            assert!([3, 5, 7].contains(&sel));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(any::<i32>(), 0..50), (w, p) in (1usize..4, 1usize..4)) {
+            prop_assume!(w + p > 1);
+            prop_assert_eq!(v.len(), v.clone().len());
+            prop_assert!(w < 4 && p < 4);
+        }
+    }
+}
