@@ -1,10 +1,19 @@
 //! Criterion benches for the blocking stage: tokenization, token blocking,
-//! purging, filtering — the per-stage costs behind experiment E6.
+//! purging, filtering — the per-stage costs behind experiment E6 — plus the
+//! string-keyed vs interned blocking comparison and TF-IDF build/probe
+//! costs on a ~10k-profile collection.
+//!
+//! Run with `BENCH_JSON=BENCH_blocking.json cargo bench -p sparker-bench
+//! --bench blocking` to export the measurements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparker_bench::abt_buy_like;
-use sparker_blocking::{block_filtering, purge_by_comparison_level, purge_oversized, token_blocking};
-use sparker_profiles::tokenize;
+use sparker_blocking::{
+    block_filtering, purge_by_comparison_level, purge_oversized, token_blocking,
+    token_blocking_string, token_blocking_with_dict,
+};
+use sparker_matching::TfIdfIndex;
+use sparker_profiles::{tokenize, ProfileId};
 use std::hint::black_box;
 
 fn bench_tokenize(c: &mut Criterion) {
@@ -47,10 +56,55 @@ fn bench_filtering(c: &mut Criterion) {
     });
 }
 
+/// String-keyed vs interned token blocking on ~10k profiles
+/// (`abt_buy_like(4000)` → 10 000 profiles): the tentpole speedup this PR
+/// claims. `interned` is the full drop-in path (single-pass dictionary
+/// build + counting-sort CSR + string materialization, byte-identical
+/// output to `string`); `interned-compact` stops at the CSR form the
+/// downstream pipeline actually consumes.
+fn bench_string_vs_interned(c: &mut Criterion) {
+    let ds = abt_buy_like(4000);
+    let coll = &ds.collection;
+    let mut group = c.benchmark_group("token_blocking_10k");
+    group.bench_function("string", |b| {
+        b.iter(|| token_blocking_string(black_box(coll)))
+    });
+    group.bench_function("interned", |b| b.iter(|| token_blocking(black_box(coll))));
+    group.bench_function("interned-compact", |b| {
+        b.iter(|| token_blocking_with_dict(black_box(coll)))
+    });
+    group.finish();
+}
+
+/// TF-IDF on the same ~10k-profile collection: index construction and the
+/// merge-join cosine probe over a fixed candidate set.
+fn bench_tfidf(c: &mut Criterion) {
+    let ds = abt_buy_like(4000);
+    let coll = &ds.collection;
+    let mut group = c.benchmark_group("tfidf_10k");
+    group.bench_function("build", |b| b.iter(|| TfIdfIndex::build(black_box(coll))));
+    let index = TfIdfIndex::build(coll);
+    let sep = coll.separator();
+    let pairs: Vec<(ProfileId, ProfileId)> = (0..1000u32)
+        .map(|i| (ProfileId(i % sep), ProfileId(sep + (i * 7) % (coll.len() as u32 - sep))))
+        .collect();
+    group.bench_function("probe-1k-pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(x, y)| index.cosine(x, y))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_tokenize,
     bench_token_blocking,
+    bench_string_vs_interned,
+    bench_tfidf,
     bench_purging,
     bench_filtering
 );

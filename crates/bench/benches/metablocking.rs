@@ -10,12 +10,13 @@ use sparker_metablocking::{
     meta_blocking_graph, parallel, BlockGraph, MetaBlockingConfig, PruningStrategy, WeightScheme,
 };
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn graph() -> BlockGraph {
+fn graph() -> Arc<BlockGraph> {
     let ds = abt_buy_like(600);
     let blocks = purge_oversized(token_blocking(&ds.collection), ds.collection.len(), 0.5);
     let blocks = block_filtering(blocks, 0.8);
-    BlockGraph::new(&blocks, None)
+    Arc::new(BlockGraph::new(&blocks, None))
 }
 
 fn bench_weight_schemes(c: &mut Criterion) {

@@ -35,7 +35,7 @@ fn main() {
     let ds = abt_buy_like(3000);
     let blocks = purge_oversized(token_blocking(&ds.collection), ds.collection.len(), 0.5);
     let blocks = block_filtering(blocks, 0.8);
-    let graph = BlockGraph::new(&blocks, None);
+    let graph = std::sync::Arc::new(BlockGraph::new(&blocks, None));
     let config = MetaBlockingConfig::default();
     println!(
         "graph: {} profiles, {} blocks, {} assignments\n",

@@ -1,0 +1,346 @@
+//! CSR-packed block collections over interned token ids.
+//!
+//! The paper's "compact block index, broadcast to every partition" is a flat
+//! structure, not a map of strings to vectors. [`CompactBlocks`] is that
+//! structure: one contiguous `members` array plus an offsets array (CSR —
+//! compressed sparse row), keyed by dense [`TokenId`]s instead of `String`s.
+//! It is built by counting sort — two passes over per-profile key-id lists,
+//! zero hashing, zero per-block allocation — and is what
+//! `sparker-metablocking`'s `BlockGraph` is built from without re-copying
+//! per-block vectors.
+//!
+//! Block keys stay recoverable: [`CompactBlocks::materialize`] resolves ids
+//! back to strings through the [`TokenDict`] and yields a classic
+//! [`BlockCollection`] for display, debugging and the string-keyed APIs.
+
+use crate::block::Block;
+use crate::collection::BlockCollection;
+use sparker_profiles::{ErKind, ProfileId, TokenDict, TokenId};
+
+/// Per-profile key-id lists in CSR form: the keys of profile `p` are
+/// `ids[offsets[p]..offsets[p + 1]]`, each list sorted and deduplicated.
+/// The intermediate between tokenization and block construction.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileKeys {
+    ids: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl ProfileKeys {
+    /// Collect per-profile key lists. `fill` appends the (unsorted,
+    /// possibly duplicated) key ids of one profile into the buffer; the
+    /// builder sorts and deduplicates each list.
+    pub fn collect<P>(profiles: &[P], mut fill: impl FnMut(&P, &mut Vec<u32>)) -> Self {
+        let mut ids: Vec<u32> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::with_capacity(profiles.len() + 1);
+        offsets.push(0);
+        let mut buf: Vec<u32> = Vec::new();
+        for p in profiles {
+            buf.clear();
+            fill(p, &mut buf);
+            buf.sort_unstable();
+            buf.dedup();
+            ids.extend_from_slice(&buf);
+            offsets.push(ids.len() as u32);
+        }
+        ProfileKeys { ids, offsets }
+    }
+
+    /// Number of profiles.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` when no profiles were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Key ids of profile `p`, deduplicated (sorted unless the lists were
+    /// [`ProfileKeys::remap`]ped afterwards).
+    pub fn keys_of(&self, p: usize) -> &[u32] {
+        &self.ids[self.offsets[p] as usize..self.offsets[p + 1] as usize]
+    }
+
+    /// Remap every key id through `perm` (`id ← perm[id]`) — how the
+    /// provisional insertion-order ids a `DictBuilder` hands out during the
+    /// single tokenization pass become final lexicographic `TokenId`s.
+    /// `perm` must be a bijection over the id space, so per-list dedup is
+    /// preserved; per-list *order* is not, which the counting-sort
+    /// construction in [`CompactBlocks::from_profile_keys`] never relies on.
+    pub fn remap(&mut self, perm: &[u32]) {
+        for id in &mut self.ids {
+            *id = perm[*id as usize];
+        }
+    }
+}
+
+/// A block collection packed in CSR form: `members` holds every block's
+/// profiles back to back, `offsets[b]..offsets[b + 1]` delimits block `b`,
+/// and `splits[b]` is the length of its source-0 prefix. Keys are dense
+/// [`TokenId`]s; blocks are ordered by key id (= lexicographic key order).
+///
+/// Every block induces at least one comparison (useless blocks are dropped
+/// during construction, as in [`BlockCollection::new`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactBlocks {
+    kind: ErKind,
+    keys: Vec<TokenId>,
+    offsets: Vec<u32>,
+    splits: Vec<u32>,
+    members: Vec<ProfileId>,
+    num_profiles: usize,
+}
+
+impl CompactBlocks {
+    /// Build by counting sort from per-profile key lists.
+    ///
+    /// `num_keys` bounds the dense key space (`0..num_keys`); `separator`
+    /// is the first profile id of source 1 (`== len` for dirty tasks), as
+    /// in `ProfileCollection::separator`. Pass 1 counts bucket sizes, pass
+    /// 2 scatters profile ids; because profiles are scanned in increasing
+    /// id order each bucket comes out sorted with its source-0 members
+    /// first, so no per-block sort is needed. Useless blocks (inducing no
+    /// comparison) are dropped while compacting.
+    pub fn from_profile_keys(
+        kind: ErKind,
+        separator: u32,
+        num_keys: usize,
+        profile_keys: &ProfileKeys,
+    ) -> Self {
+        // Pass 1: bucket sizes (total and source-0 prefix).
+        let mut counts = vec![0u32; num_keys];
+        let mut counts0 = vec![0u32; num_keys];
+        let n = profile_keys.len();
+        for p in 0..n {
+            let in_source0 = (p as u32) < separator;
+            for &k in profile_keys.keys_of(p) {
+                counts[k as usize] += 1;
+                counts0[k as usize] += u32::from(in_source0);
+            }
+        }
+        let mut all_offsets = Vec::with_capacity(num_keys + 1);
+        all_offsets.push(0u32);
+        for &c in &counts {
+            all_offsets.push(all_offsets.last().unwrap() + c);
+        }
+
+        // Pass 2: scatter profile ids; ascending p keeps buckets sorted.
+        let total = *all_offsets.last().unwrap() as usize;
+        let mut all_members = vec![ProfileId(0); total];
+        let mut cursor: Vec<u32> = all_offsets[..num_keys].to_vec();
+        for p in 0..n {
+            let pid = ProfileId(p as u32);
+            for &k in profile_keys.keys_of(p) {
+                all_members[cursor[k as usize] as usize] = pid;
+                cursor[k as usize] += 1;
+            }
+        }
+
+        // Compact: keep only blocks that induce a comparison, in key order.
+        let mut keys = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut splits = Vec::new();
+        let mut members = Vec::new();
+        let mut num_profiles = 0usize;
+        for k in 0..num_keys {
+            let (lo, hi) = (all_offsets[k] as usize, all_offsets[k + 1] as usize);
+            let size = hi - lo;
+            let s0 = counts0[k] as usize;
+            let useful = match kind {
+                ErKind::Dirty => size >= 2,
+                ErKind::CleanClean => s0 > 0 && s0 < size,
+            };
+            if !useful {
+                continue;
+            }
+            keys.push(TokenId(k as u32));
+            members.extend_from_slice(&all_members[lo..hi]);
+            offsets.push(members.len() as u32);
+            // Dirty blocks keep everything on the source-0 side, mirroring
+            // `Block::dirty`.
+            splits.push(match kind {
+                ErKind::Dirty => size as u32,
+                ErKind::CleanClean => s0 as u32,
+            });
+            if let Some(m) = all_members[lo..hi].iter().map(|p| p.index()).max() {
+                num_profiles = num_profiles.max(m + 1);
+            }
+        }
+        CompactBlocks {
+            kind,
+            keys,
+            offsets,
+            splits,
+            members,
+            num_profiles,
+        }
+    }
+
+    /// Task kind the blocks were built for.
+    pub fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Highest member profile id + 1 (the dense profile-slot count).
+    pub fn num_profiles(&self) -> usize {
+        self.num_profiles
+    }
+
+    /// Keys in block order (ascending ids).
+    pub fn keys(&self) -> &[TokenId] {
+        &self.keys
+    }
+
+    /// Key of block `b`.
+    pub fn key(&self, b: usize) -> TokenId {
+        self.keys[b]
+    }
+
+    /// Members of block `b`: source-0 prefix then source-1, each sorted.
+    pub fn members(&self, b: usize) -> &[ProfileId] {
+        &self.members[self.offsets[b] as usize..self.offsets[b + 1] as usize]
+    }
+
+    /// Length of the source-0 prefix of block `b`.
+    pub fn split(&self, b: usize) -> usize {
+        self.splits[b] as usize
+    }
+
+    /// The raw CSR arrays `(offsets, splits, members)` — what `BlockGraph`
+    /// adopts wholesale instead of re-copying per-block vectors.
+    pub fn raw_parts(&self) -> (&[u32], &[u32], &[ProfileId]) {
+        (&self.offsets, &self.splits, &self.members)
+    }
+
+    /// Number of comparisons block `b` induces.
+    pub fn comparisons(&self, b: usize) -> u64 {
+        let size = (self.offsets[b + 1] - self.offsets[b]) as u64;
+        let s0 = self.splits[b] as u64;
+        match self.kind {
+            ErKind::Dirty => size * size.saturating_sub(1) / 2,
+            ErKind::CleanClean => s0 * (size - s0),
+        }
+    }
+
+    /// Total comparisons over all blocks (comparison cardinality ‖B‖).
+    pub fn total_comparisons(&self) -> u64 {
+        (0..self.len()).map(|b| self.comparisons(b)).sum()
+    }
+
+    /// Sum of block sizes (total profile→block assignments).
+    pub fn total_assignments(&self) -> u64 {
+        self.members.len() as u64
+    }
+
+    /// Resolve keys through `dict` and materialize a classic
+    /// [`BlockCollection`]. Blocks come out in the same order (ascending
+    /// id = lexicographic key) with identical members.
+    pub fn materialize(&self, dict: &TokenDict) -> BlockCollection {
+        self.materialize_with(|id| dict.resolve(id).to_string())
+    }
+
+    /// [`CompactBlocks::materialize`] with a custom key resolver (used by
+    /// keyed blocking, whose dense ids index an ad-hoc key dictionary).
+    pub fn materialize_with(&self, resolve: impl Fn(TokenId) -> String) -> BlockCollection {
+        let blocks: Vec<Block> = (0..self.len())
+            .map(|b| {
+                let m = self.members(b);
+                let split = self.split(b);
+                let key = resolve(self.key(b));
+                match self.kind {
+                    ErKind::Dirty => Block::dirty(key, m.to_vec()),
+                    ErKind::CleanClean => {
+                        Block::clean_clean(key, m[..split].to_vec(), m[split..].to_vec())
+                    }
+                }
+            })
+            .collect();
+        BlockCollection::new(self.kind, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    /// 3 profiles, 4 keys: key 0 {0,1}, key 1 {0}, key 2 {1,2}, key 3 {}.
+    fn sample_keys() -> ProfileKeys {
+        let per_profile: Vec<Vec<u32>> = vec![vec![1, 0], vec![2, 0, 2], vec![2]];
+        ProfileKeys::collect(&per_profile, |keys, buf| buf.extend_from_slice(keys))
+    }
+
+    #[test]
+    fn profile_keys_sorted_deduped() {
+        let pk = sample_keys();
+        assert_eq!(pk.len(), 3);
+        assert_eq!(pk.keys_of(0), &[0, 1]);
+        assert_eq!(pk.keys_of(1), &[0, 2]);
+        assert_eq!(pk.keys_of(2), &[2]);
+    }
+
+    #[test]
+    fn dirty_counting_sort_blocks() {
+        let pk = sample_keys();
+        let cb = CompactBlocks::from_profile_keys(ErKind::Dirty, 3, 4, &pk);
+        // Key 1 is a singleton, key 3 empty — both dropped.
+        assert_eq!(cb.len(), 2);
+        assert_eq!(cb.keys(), &[TokenId(0), TokenId(2)]);
+        assert_eq!(cb.members(0), &[pid(0), pid(1)]);
+        assert_eq!(cb.members(1), &[pid(1), pid(2)]);
+        assert_eq!(cb.split(0), 2, "dirty keeps all members on side 0");
+        assert_eq!(cb.comparisons(0), 1);
+        assert_eq!(cb.total_comparisons(), 2);
+        assert_eq!(cb.total_assignments(), 4);
+        assert_eq!(cb.num_profiles(), 3);
+    }
+
+    #[test]
+    fn clean_clean_split_and_usefulness() {
+        // Separator 1: profile 0 is source 0, profiles 1..3 source 1.
+        let pk = sample_keys();
+        let cb = CompactBlocks::from_profile_keys(ErKind::CleanClean, 1, 4, &pk);
+        // Key 0 spans sources {0 | 1}; key 2 is single-source {1, 2} → dropped.
+        assert_eq!(cb.len(), 1);
+        assert_eq!(cb.key(0), TokenId(0));
+        assert_eq!(cb.members(0), &[pid(0), pid(1)]);
+        assert_eq!(cb.split(0), 1);
+        assert_eq!(cb.comparisons(0), 1);
+    }
+
+    #[test]
+    fn materialize_resolves_keys() {
+        let pk = sample_keys();
+        let cb = CompactBlocks::from_profile_keys(ErKind::Dirty, 3, 4, &pk);
+        let names = ["alpha", "beta", "gamma", "delta"];
+        let bc = cb.materialize_with(|id| names[id.index()].to_string());
+        assert_eq!(bc.len(), 2);
+        assert_eq!(bc.blocks()[0].key, "alpha");
+        assert_eq!(bc.blocks()[1].key, "gamma");
+        assert_eq!(bc.blocks()[0].members[0], vec![pid(0), pid(1)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let pk = ProfileKeys::collect(&Vec::<Vec<u32>>::new(), |_, _| {});
+        assert!(pk.is_empty());
+        let cb = CompactBlocks::from_profile_keys(ErKind::Dirty, 0, 0, &pk);
+        assert!(cb.is_empty());
+        assert_eq!(cb.total_comparisons(), 0);
+        assert_eq!(cb.num_profiles(), 0);
+    }
+}

@@ -39,6 +39,11 @@ pub fn token_blocking(ctx: &Context, collection: &ProfileCollection) -> BlockCol
 
 /// Keyed blocking on the dataflow engine; equivalent to
 /// [`crate::keyed_blocking`].
+///
+/// Keys are interned into a sorted driver-side table before the shuffle, so
+/// the `flat_map`/`group_by_key` exchange moves dense `u32` ids instead of
+/// cloned `String`s; key strings are resolved back only once per final
+/// block.
 pub fn keyed_blocking(
     ctx: &Context,
     collection: &ProfileCollection,
@@ -47,19 +52,42 @@ pub fn keyed_blocking(
     let kind = collection.kind();
     let profiles = keyed_profiles(ctx, collection, key_fn);
 
-    // flatMap: (key, (source, id)); groupByKey: key -> members.
-    let grouped = profiles
+    // Intern the distinct keys: sorted table, index == dense id, ascending
+    // id == lexicographic key order.
+    let rows = profiles.collect();
+    let mut table: Vec<&str> = rows
+        .iter()
+        .flat_map(|(_, _, keys)| keys.iter().map(String::as_str))
+        .collect();
+    table.sort_unstable();
+    table.dedup();
+    let id_rows: Vec<(ProfileId, SourceId, Vec<u32>)> = rows
+        .iter()
+        .map(|(id, source, keys)| {
+            let ids = keys
+                .iter()
+                .map(|k| {
+                    table
+                        .binary_search(&k.as_str())
+                        .expect("key came from the table") as u32
+                })
+                .collect();
+            (*id, *source, ids)
+        })
+        .collect();
+
+    // flatMap: (key id, (source, id)); groupByKey: key id -> members.
+    let grouped = ctx
+        .parallelize_default(id_rows)
         .flat_map(|(id, source, keys)| {
             let id = *id;
             let source = *source;
-            keys.iter()
-                .map(|k| (k.clone(), (source, id)))
-                .collect::<Vec<_>>()
+            keys.iter().map(|&k| (k, (source, id))).collect::<Vec<_>>()
         })
         .group_by_key();
 
-    let mut blocks: Vec<Block> = grouped
-        .map(move |(key, members)| {
+    let mut keyed_blocks: Vec<(u32, Block)> = grouped
+        .map(|(key, members)| {
             let mut s0: Vec<ProfileId> = Vec::new();
             let mut s1: Vec<ProfileId> = Vec::new();
             for (source, id) in members {
@@ -69,17 +97,20 @@ pub fn keyed_blocking(
                     s1.push(*id);
                 }
             }
-            match kind {
-                ErKind::Dirty => Block::dirty(key.clone(), s0),
-                ErKind::CleanClean => Block::clean_clean(key.clone(), s0, s1),
-            }
+            let key_str = table[*key as usize].to_string();
+            let block = match kind {
+                ErKind::Dirty => Block::dirty(key_str, s0),
+                ErKind::CleanClean => Block::clean_clean(key_str, s0, s1),
+            };
+            (*key, block)
         })
         .collect();
 
-    // Shuffle output order depends on the hash partitioner; sort by key so
-    // the result matches the sequential implementation exactly.
-    blocks.sort_by(|a, b| a.key.cmp(&b.key));
-    BlockCollection::new(kind, blocks)
+    // Shuffle output order depends on the hash partitioner; sort by key id
+    // (== key string order) so the result matches the sequential
+    // implementation exactly.
+    keyed_blocks.sort_by_key(|(key, _)| *key);
+    BlockCollection::new(kind, keyed_blocks.into_iter().map(|(_, b)| b).collect())
 }
 
 /// Block Filtering on the dataflow engine; equivalent to

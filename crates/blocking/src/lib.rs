@@ -5,7 +5,11 @@
 //! that the paper applies before meta-blocking.
 //!
 //! * [`token_blocking`] — every token appearing anywhere in a profile is a
-//!   blocking key (Figure 1(b) of the paper).
+//!   blocking key (Figure 1(b) of the paper). Runs on the interned fast
+//!   path: tokens are mapped to dense `TokenId`s once and blocks are built
+//!   by counting sort into a CSR-packed [`CompactBlocks`]
+//!   ([`token_blocking_interned`] exposes that form directly;
+//!   [`token_blocking_string`] is the original map-based reference).
 //! * [`keyed_blocking`] — the generalization used by Blast's loose-schema
 //!   blocking, where the caller derives the keys (token ⧺ attribute-partition
 //!   id, Figure 2(b)).
@@ -31,6 +35,7 @@
 
 mod block;
 mod collection;
+mod csr;
 pub mod dataflow;
 mod filtering;
 mod methods;
@@ -39,10 +44,14 @@ mod tokenblocking;
 
 pub use block::{Block, BlockId};
 pub use collection::{BlockCollection, ProfileBlocksIndex};
+pub use csr::{CompactBlocks, ProfileKeys};
 pub use filtering::block_filtering;
 pub use methods::{
     canopy_blocking, ngram_blocking, rarest_token_key, sorted_neighborhood,
     sorted_neighborhood_by,
 };
 pub use purging::{purge_by_comparison_level, purge_oversized};
-pub use tokenblocking::{keyed_blocking, token_blocking};
+pub use tokenblocking::{
+    keyed_blocking, keyed_blocking_string, token_blocking, token_blocking_interned,
+    token_blocking_string, token_blocking_with_dict,
+};

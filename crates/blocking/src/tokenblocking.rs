@@ -1,8 +1,20 @@
 //! Schema-agnostic Token Blocking and its keyed generalization.
+//!
+//! Both now run on the interned fast path: keys are mapped to dense ids
+//! (tokens through the collection-wide [`TokenDict`], ad-hoc keys through a
+//! sorted key table), blocks are built by counting sort into a CSR
+//! [`CompactBlocks`], and strings only reappear when the result is
+//! materialized. The original `HashMap<String, …>` implementation is kept
+//! as [`token_blocking_string`] — it is the reference the property tests
+//! compare against and the baseline the benchmarks measure the interned
+//! path against.
 
 use crate::block::Block;
 use crate::collection::BlockCollection;
-use sparker_profiles::{ErKind, Profile, ProfileCollection, ProfileId};
+use crate::csr::{CompactBlocks, ProfileKeys};
+use sparker_profiles::{
+    each_token, DictBuilder, ErKind, Profile, ProfileCollection, ProfileId, TokenDict,
+};
 use std::collections::HashMap;
 
 /// Schema-agnostic Token Blocking (Figure 1(b) of the paper): each distinct
@@ -11,17 +23,139 @@ use std::collections::HashMap;
 ///
 /// Blocks inducing no comparison (singletons; single-source blocks in
 /// clean–clean tasks) are dropped. Block order is deterministic: keys are
-/// sorted.
+/// sorted. Internally this interns tokens and buckets ids in **one pass**
+/// over the collection — see [`token_blocking_with_dict`] for the entry
+/// point that also returns the dictionary, and [`token_blocking_interned`]
+/// to reuse a dictionary that already exists.
 pub fn token_blocking(collection: &ProfileCollection) -> BlockCollection {
-    keyed_blocking(collection, |p| p.token_set().into_iter().collect())
+    let (dict, compact) = token_blocking_with_dict(collection);
+    compact.materialize(&dict)
+}
+
+/// Single-pass interned Token Blocking: tokenizes the collection exactly
+/// once, interning tokens to provisional ids *while* collecting each
+/// profile's key list (one hash probe per occurrence), then remaps the
+/// recorded ids to final lexicographic [`TokenId`]s through the
+/// permutation [`DictBuilder::finish`] returns and counting-sorts them
+/// into the CSR [`CompactBlocks`]. No second tokenization pass, no
+/// per-occurrence binary search, no strings hashed twice.
+///
+/// Returns the dictionary alongside the blocks so downstream stages
+/// (meta-blocking, TF-IDF, materialization) share the same id space.
+pub fn token_blocking_with_dict(
+    collection: &ProfileCollection,
+) -> (TokenDict, CompactBlocks) {
+    let mut builder = DictBuilder::new();
+    let mut scratch = String::new();
+    let mut keys = ProfileKeys::collect(collection.profiles(), |p, buf| {
+        for a in &p.attributes {
+            each_token(&a.value, &mut scratch, |t| buf.push(builder.intern(t)));
+        }
+    });
+    let (dict, perm) = builder.finish();
+    keys.remap(&perm);
+    let compact = CompactBlocks::from_profile_keys(
+        collection.kind(),
+        collection.separator(),
+        dict.len(),
+        &keys,
+    );
+    (dict, compact)
+}
+
+/// Token Blocking over a pre-built [`TokenDict`]: buckets profiles by
+/// dictionary id with a counting sort and returns the CSR-packed
+/// [`CompactBlocks`]. Pays a binary-search lookup per token occurrence, so
+/// prefer [`token_blocking_with_dict`] unless the dictionary already
+/// exists (e.g. shared with loose-schema partitioning).
+///
+/// Blocks come out ordered by token id, which (ids being assigned in
+/// lexicographic token order) is exactly the sorted-key order of
+/// [`token_blocking`]; `materialize(&dict)` yields the identical
+/// [`BlockCollection`].
+pub fn token_blocking_interned(
+    collection: &ProfileCollection,
+    dict: &TokenDict,
+) -> CompactBlocks {
+    let mut scratch = String::new();
+    let keys = ProfileKeys::collect(collection.profiles(), |p, buf| {
+        for a in &p.attributes {
+            each_token(&a.value, &mut scratch, |t| {
+                if let Some(id) = dict.lookup(t) {
+                    buf.push(id.0);
+                }
+            });
+        }
+    });
+    CompactBlocks::from_profile_keys(
+        collection.kind(),
+        collection.separator(),
+        dict.len(),
+        &keys,
+    )
+}
+
+/// The original string-keyed Token Blocking: buckets into a
+/// `HashMap<String, members>` and sorts the keys. Reference implementation
+/// for the interned fast path — property tests assert
+/// [`token_blocking`] produces the identical collection, and the blocking
+/// benchmark measures one against the other.
+pub fn token_blocking_string(collection: &ProfileCollection) -> BlockCollection {
+    keyed_blocking_string(collection, |p| p.token_set().into_iter().collect())
 }
 
 /// Blocking with caller-provided keys: `key_fn` maps each profile to its set
 /// of blocking keys. This is the hook used by Blast's loose-schema blocking,
 /// where keys are `token ⧺ "_" ⧺ attribute-partition id` (Figure 2(b)).
 ///
-/// Duplicate keys emitted for one profile are collapsed.
+/// Duplicate keys emitted for one profile are collapsed. The produced keys
+/// are interned into an ad-hoc sorted key table and blocks are built by the
+/// same counting-sort CSR construction as [`token_blocking_interned`];
+/// output is identical to the string-keyed reference.
 pub fn keyed_blocking(
+    collection: &ProfileCollection,
+    key_fn: impl Fn(&Profile) -> Vec<String>,
+) -> BlockCollection {
+    // Materialize each profile's key set once, then intern the distinct
+    // keys into a sorted table: index == dense id, ascending id == sorted
+    // key order.
+    let per_profile: Vec<Vec<String>> = collection
+        .profiles()
+        .iter()
+        .map(|p| {
+            let mut keys = key_fn(p);
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        })
+        .collect();
+    let mut table: Vec<&str> = per_profile
+        .iter()
+        .flat_map(|keys| keys.iter().map(String::as_str))
+        .collect();
+    table.sort_unstable();
+    table.dedup();
+
+    let keys = ProfileKeys::collect(&per_profile, |profile_keys, buf| {
+        for k in profile_keys {
+            let id = table
+                .binary_search(&k.as_str())
+                .expect("key came from the table");
+            buf.push(id as u32);
+        }
+    });
+    let compact = CompactBlocks::from_profile_keys(
+        collection.kind(),
+        collection.separator(),
+        table.len(),
+        &keys,
+    );
+    compact.materialize_with(|id| table[id.index()].to_string())
+}
+
+/// The original map-based keyed blocking, kept as the reference
+/// implementation behind [`token_blocking_string`].
+pub fn keyed_blocking_string(
     collection: &ProfileCollection,
     key_fn: impl Fn(&Profile) -> Vec<String>,
 ) -> BlockCollection {
@@ -169,5 +303,38 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn interned_matches_string_reference() {
+        let coll = figure1_collection();
+        assert_eq!(
+            token_blocking(&coll).blocks(),
+            token_blocking_string(&coll).blocks()
+        );
+    }
+
+    #[test]
+    fn keyed_matches_string_reference() {
+        let coll = figure1_collection();
+        let key_fn =
+            |p: &Profile| p.token_set().into_iter().map(|t| format!("{t}_9")).collect();
+        assert_eq!(
+            keyed_blocking(&coll, key_fn).blocks(),
+            keyed_blocking_string(&coll, key_fn).blocks()
+        );
+    }
+
+    #[test]
+    fn compact_blocks_expose_counts_without_materializing() {
+        let coll = figure1_collection();
+        let dict = TokenDict::build(&coll);
+        let compact = token_blocking_interned(&coll, &dict);
+        let reference = token_blocking_string(&coll);
+        assert_eq!(compact.len(), reference.len());
+        assert_eq!(compact.total_comparisons(), reference.total_comparisons());
+        for (b, blk) in reference.blocks().iter().enumerate() {
+            assert_eq!(dict.resolve(compact.key(b)), blk.key);
+        }
     }
 }

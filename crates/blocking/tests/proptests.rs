@@ -1,10 +1,11 @@
 //! Property-based tests of blocking invariants: purging and filtering only
 //! remove comparisons, candidate pairs are always comparable, dataflow
-//! equals sequential.
+//! equals sequential, interned blocking equals the string-keyed reference.
 
 use proptest::prelude::*;
 use sparker_blocking::{
     block_filtering, purge_by_comparison_level, purge_oversized, token_blocking,
+    token_blocking_string,
 };
 use sparker_dataflow::Context;
 use sparker_profiles::{Profile, ProfileCollection, SourceId};
@@ -42,8 +43,67 @@ fn collection_strategy(dirty: bool) -> impl Strategy<Value = ProfileCollection> 
     })
 }
 
+/// Like [`collection_strategy`] but drawing from a vocabulary that mixes
+/// case, digits and non-ASCII words, so tokenization's slow paths are
+/// exercised by the interned-vs-string equality test.
+fn noisy_collection_strategy(dirty: bool) -> impl Strategy<Value = ProfileCollection> {
+    const VOCAB: [&str; 12] = [
+        "tok0", "Tok1", "TOK2", "café", "Modène", "ǅungla", "42", "x9y",
+        "MiXeD3", "été", "tok0tok0", "ß1",
+    ];
+    let profile = prop::collection::vec(0usize..VOCAB.len(), 1..6)
+        .prop_map(|words| {
+            words
+                .into_iter()
+                .map(|w| VOCAB[w])
+                .collect::<Vec<_>>()
+                .join(" ")
+        });
+    prop::collection::vec(profile, 2..25).prop_map(move |values| {
+        let build = |src: u8, vals: &[String], off: usize| {
+            vals.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    Profile::builder(SourceId(src), format!("r{}", off + i))
+                        .attr("text", v.clone())
+                        .build()
+                })
+                .collect::<Vec<_>>()
+        };
+        if dirty {
+            ProfileCollection::dirty(build(0, &values, 0))
+        } else {
+            let mid = values.len() / 2;
+            ProfileCollection::clean_clean(
+                build(0, &values[..mid], 0),
+                build(1, &values[mid..], mid),
+            )
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole equality guarantee: the interned counting-sort blocker
+    /// produces a block collection *identical* to the string-keyed seed
+    /// implementation — same keys, same members, same order — on both task
+    /// kinds, including mixed-case and non-ASCII vocabularies.
+    #[test]
+    fn interned_equals_string_keyed_dirty(coll in noisy_collection_strategy(true)) {
+        let interned = token_blocking(&coll);
+        let reference = token_blocking_string(&coll);
+        prop_assert_eq!(interned.kind(), reference.kind());
+        prop_assert_eq!(interned.blocks(), reference.blocks());
+    }
+
+    #[test]
+    fn interned_equals_string_keyed_clean_clean(coll in noisy_collection_strategy(false)) {
+        let interned = token_blocking(&coll);
+        let reference = token_blocking_string(&coll);
+        prop_assert_eq!(interned.kind(), reference.kind());
+        prop_assert_eq!(interned.blocks(), reference.blocks());
+    }
 
     #[test]
     fn candidate_pairs_are_comparable(coll in collection_strategy(false)) {

@@ -84,7 +84,7 @@ impl Pipeline {
                 } else {
                     None
                 };
-                let graph = BlockGraph::new(&blocks, entropies.as_ref());
+                let graph = std::sync::Arc::new(BlockGraph::new(&blocks, entropies.as_ref()));
                 let retained = parallel::meta_blocking(ctx, &graph, mb);
                 let set: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
                 (set, retained)

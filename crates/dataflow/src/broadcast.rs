@@ -44,6 +44,22 @@ impl<T> Broadcast<T> {
     }
 }
 
+/// Owned values are wrapped in a fresh `Arc`.
+impl<T> From<T> for Broadcast<T> {
+    fn from(value: T) -> Self {
+        Broadcast::new(value)
+    }
+}
+
+/// Already-shared values are adopted as-is — broadcasting an `Arc<T>` the
+/// driver keeps a handle to costs one refcount bump, not a deep clone of
+/// `T`. (SparkER's meta-blocking broadcasts the block graph this way.)
+impl<T> From<Arc<T>> for Broadcast<T> {
+    fn from(value: Arc<T>) -> Self {
+        Broadcast { value }
+    }
+}
+
 impl<T> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
         Broadcast {
@@ -82,5 +98,13 @@ mod tests {
         let b = Broadcast::new(vec![1, 2, 3]);
         let c = b.clone();
         assert!(std::ptr::eq(b.value(), c.value()));
+    }
+
+    #[test]
+    fn from_arc_adopts_without_copying() {
+        let shared = Arc::new(vec![1, 2, 3]);
+        let b: Broadcast<Vec<i32>> = Arc::clone(&shared).into();
+        assert!(std::ptr::eq(b.value(), &*shared), "same allocation");
+        assert_eq!(Arc::strong_count(&shared), 2);
     }
 }

@@ -99,9 +99,14 @@ impl Context {
     }
 
     /// Create a broadcast variable visible to every task.
-    pub fn broadcast<T>(&self, value: T) -> Broadcast<T> {
+    ///
+    /// Accepts either an owned `T` (wrapped in a fresh `Arc`) or an
+    /// `Arc<T>` the driver already shares — the latter is adopted without
+    /// cloning the payload, so broadcasting a large read-only structure
+    /// (e.g. a block graph) costs a refcount bump.
+    pub fn broadcast<T>(&self, value: impl Into<Broadcast<T>>) -> Broadcast<T> {
         self.metrics.record_broadcast();
-        Broadcast::new(value)
+        value.into()
     }
 
     /// Create a named accumulator tasks can bump and the driver can read.

@@ -4,7 +4,7 @@ use crate::entropy::shannon_entropy;
 use crate::lsh::{lsh_candidate_pairs, signatures_of, LshConfig};
 use crate::minhash::exact_jaccard;
 use sparker_clustering::UnionFind;
-use sparker_profiles::{tokenize, ErKind, ProfileCollection, SourceId, Token};
+use sparker_profiles::{each_token, ErKind, ProfileCollection, SourceId, TokenDict, TokenId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -134,25 +134,32 @@ impl AttributePartitioning {
             is_blob: true,
         });
         let mut out = AttributePartitioning { partitions, lookup };
-        out.compute_entropies(collection);
+        out.compute_entropies(&TokenDict::build(collection), collection);
         out
     }
 
     /// Recompute each partition's entropy from the token distribution of
     /// the collection's values (the Entropy Extractor sub-module).
-    fn compute_entropies(&mut self, collection: &ProfileCollection) {
-        let mut counts: Vec<HashMap<Token, u64>> = vec![HashMap::new(); self.partitions.len()];
+    ///
+    /// Counts are accumulated into dense per-partition arrays indexed by
+    /// [`TokenId`] — no string hashing, and a deterministic summation
+    /// order inside [`shannon_entropy`].
+    fn compute_entropies(&mut self, dict: &TokenDict, collection: &ProfileCollection) {
+        let mut counts: Vec<Vec<u64>> = vec![vec![0u64; dict.len()]; self.partitions.len()];
+        let mut scratch = String::new();
         for p in collection.profiles() {
             for a in &p.attributes {
                 let pid = self.partition_of(p.source, &a.name);
                 let bucket = &mut counts[pid.0 as usize];
-                for t in tokenize(&a.value) {
-                    *bucket.entry(t).or_insert(0) += 1;
-                }
+                each_token(&a.value, &mut scratch, |t| {
+                    if let Some(id) = dict.lookup(t) {
+                        bucket[id.index()] += 1;
+                    }
+                });
             }
         }
         for (partition, tokens) in self.partitions.iter_mut().zip(counts) {
-            partition.entropy = shannon_entropy(tokens.into_values());
+            partition.entropy = shannon_entropy(tokens.into_iter().filter(|&c| c > 0));
         }
     }
 }
@@ -179,17 +186,25 @@ pub fn partition_attributes(
     let attrs = collection.attribute_names();
     let n = attrs.len();
 
-    // Token set per attribute.
-    let mut token_sets: Vec<Vec<Token>> = vec![Vec::new(); n];
+    // Interned token set per attribute: MinHash/LSH and the exact-Jaccard
+    // verification below hash and merge dense `TokenId`s, never strings.
+    let dict = TokenDict::build(collection);
+    let mut token_sets: Vec<Vec<TokenId>> = vec![Vec::new(); n];
     let index: HashMap<(u8, &str), usize> = attrs
         .iter()
         .enumerate()
         .map(|(i, (s, name))| ((s.0, name.as_str()), i))
         .collect();
+    let mut scratch = String::new();
     for p in collection.profiles() {
         for a in &p.attributes {
             if let Some(&i) = index.get(&(p.source.0, a.name.as_str())) {
-                token_sets[i].extend(tokenize(&a.value));
+                let set = &mut token_sets[i];
+                each_token(&a.value, &mut scratch, |t| {
+                    if let Some(id) = dict.lookup(t) {
+                        set.push(id);
+                    }
+                });
             }
         }
     }
@@ -271,7 +286,7 @@ pub fn partition_attributes(
     });
 
     let mut out = AttributePartitioning { partitions, lookup };
-    out.compute_entropies(collection);
+    out.compute_entropies(&dict, collection);
     out
 }
 

@@ -3,80 +3,136 @@
 //! Stands in for corpus-level semantic measures (the paper mentions CSA):
 //! tokens shared by many profiles (brand names, units) contribute little,
 //! rare tokens (model numbers) a lot.
+//!
+//! Tokens are interned through a [`TokenDict`], so per-profile vectors are
+//! sorted `Vec<(TokenId, f64)>` slices and the cosine is a merge-join over
+//! two id-sorted runs — no string hashing or tree walks on the probe path.
+//! Token ids are assigned in lexicographic token order, so the merge sums
+//! weights in the same order the previous `BTreeMap` representation did
+//! (floating-point determinism preserved).
 
-use sparker_profiles::{tokenize, Profile, ProfileCollection, ProfileId};
-use std::collections::{BTreeMap, HashMap};
+use sparker_profiles::{each_token, DictBuilder, Profile, ProfileCollection, ProfileId, TokenDict};
 
 /// Inverse-document-frequency index over a profile collection.
 #[derive(Debug, Clone)]
 pub struct TfIdfIndex {
-    idf: HashMap<String, f64>,
-    /// Pre-computed weighted vectors per profile (token → tf·idf), plus
-    /// vector norms. Sorted maps so norms and dot products sum in a fixed
-    /// order (floating-point determinism).
-    vectors: Vec<BTreeMap<String, f64>>,
+    dict: TokenDict,
+    /// IDF per token id.
+    idf: Vec<f64>,
+    /// Pre-computed weighted vectors per profile: `(token id, tf·idf)`
+    /// sorted by id, plus vector norms. Id order == lexicographic token
+    /// order, so sums run in a fixed order.
+    vectors: Vec<Vec<(u32, f64)>>,
     norms: Vec<f64>,
 }
 
 impl TfIdfIndex {
     /// Build the index: IDF = ln(N / df), TF = raw count within the
     /// profile's concatenated values.
+    ///
+    /// Single pass over the collection: tokens are interned to provisional
+    /// ids *while* each profile's occurrence list is recorded, then the
+    /// lists are remapped through [`DictBuilder::finish`]'s permutation to
+    /// final lexicographic ids and run-length-encoded into (id, count)
+    /// runs. The collection is tokenized exactly once.
     pub fn build(collection: &ProfileCollection) -> Self {
         let n = collection.len();
-        let mut df: HashMap<String, u64> = HashMap::new();
-        let mut tfs: Vec<HashMap<String, u64>> = Vec::with_capacity(n);
+        let mut builder = DictBuilder::new();
+        let mut scratch = String::new();
+
+        // Per-profile token occurrences as provisional interner ids.
+        let mut occurrences: Vec<Vec<u32>> = Vec::with_capacity(n);
         for p in collection.profiles() {
-            let mut tf: HashMap<String, u64> = HashMap::new();
+            let mut ids: Vec<u32> = Vec::new();
             for a in &p.attributes {
-                for t in tokenize(&a.value) {
-                    *tf.entry(t).or_insert(0) += 1;
+                each_token(&a.value, &mut scratch, |t| ids.push(builder.intern(t)));
+            }
+            occurrences.push(ids);
+        }
+        let (dict, perm) = builder.finish();
+        let mut df = vec![0u64; dict.len()];
+
+        // Remap to lexicographic ids, sort, run-length encode.
+        let mut tfs: Vec<Vec<(u32, u64)>> = Vec::with_capacity(n);
+        for mut ids in occurrences {
+            for id in &mut ids {
+                *id = perm[*id as usize];
+            }
+            ids.sort_unstable();
+            let mut tf: Vec<(u32, u64)> = Vec::new();
+            for &id in ids.iter() {
+                match tf.last_mut() {
+                    Some((last, c)) if *last == id => *c += 1,
+                    _ => tf.push((id, 1)),
                 }
             }
-            for t in tf.keys() {
-                *df.entry(t.clone()).or_insert(0) += 1;
+            for &(id, _) in &tf {
+                df[id as usize] += 1;
             }
             tfs.push(tf);
         }
-        let idf: HashMap<String, f64> = df
-            .into_iter()
-            .map(|(t, d)| (t, (n as f64 / d as f64).ln()))
+
+        let idf: Vec<f64> = df
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { (n as f64 / d as f64).ln() })
             .collect();
-        let vectors: Vec<BTreeMap<String, f64>> = tfs
+        let vectors: Vec<Vec<(u32, f64)>> = tfs
             .into_iter()
             .map(|tf| {
                 tf.into_iter()
-                    .map(|(t, c)| {
-                        let w = c as f64 * idf.get(&t).copied().unwrap_or(0.0);
-                        (t, w)
-                    })
+                    .map(|(id, c)| (id, c as f64 * idf[id as usize]))
                     .collect()
             })
             .collect();
         let norms = vectors
             .iter()
-            .map(|v| v.values().map(|w| w * w).sum::<f64>().sqrt())
+            .map(|v| v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt())
             .collect();
-        TfIdfIndex { idf, vectors, norms }
+        TfIdfIndex {
+            dict,
+            idf,
+            vectors,
+            norms,
+        }
     }
 
     /// IDF of a token (0 for unseen tokens).
     pub fn idf(&self, token: &str) -> f64 {
-        self.idf.get(token).copied().unwrap_or(0.0)
+        self.dict
+            .lookup(token)
+            .map_or(0.0, |id| self.idf[id.index()])
+    }
+
+    /// The token dictionary the index was built over.
+    pub fn dict(&self) -> &TokenDict {
+        &self.dict
     }
 
     /// TF-IDF cosine similarity of two profiles of the indexed collection.
+    ///
+    /// Merge-join of the two id-sorted vectors: O(|a| + |b|) comparisons,
+    /// no hashing.
     pub fn cosine(&self, a: ProfileId, b: ProfileId) -> f64 {
         let (va, vb) = (&self.vectors[a.index()], &self.vectors[b.index()]);
         let (na, nb) = (self.norms[a.index()], self.norms[b.index()]);
         if na == 0.0 || nb == 0.0 {
             return 0.0;
         }
-        // Iterate the smaller vector.
-        let (small, large) = if va.len() <= vb.len() { (va, vb) } else { (vb, va) };
-        let dot: f64 = small
-            .iter()
-            .filter_map(|(t, w)| large.get(t).map(|w2| w * w2))
-            .sum();
+        let mut dot = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < va.len() && j < vb.len() {
+            let (ta, wa) = va[i];
+            let (tb, wb) = vb[j];
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += wa * wb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
         (dot / (na * nb)).clamp(0.0, 1.0)
     }
 
@@ -161,5 +217,18 @@ mod tests {
             idx.cosine(ProfileId(0), ProfileId(3)),
             idx.cosine(ProfileId(3), ProfileId(0))
         );
+    }
+
+    #[test]
+    fn repeated_tokens_raise_tf() {
+        let coll = ProfileCollection::dirty(vec![
+            Profile::builder(SourceId(0), "a").attr("n", "rare rare rare common").build(),
+            Profile::builder(SourceId(0), "b").attr("n", "rare common").build(),
+            Profile::builder(SourceId(0), "c").attr("n", "common other").build(),
+        ]);
+        let idx = TfIdfIndex::build(&coll);
+        // "rare" (df 2 of 3) carries weight; tf 3 in profile a.
+        assert!(idx.cosine(ProfileId(0), ProfileId(1)) > idx.cosine(ProfileId(1), ProfileId(2)));
+        assert!(idx.dict().lookup("rare").is_some());
     }
 }

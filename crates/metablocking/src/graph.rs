@@ -8,7 +8,7 @@
 //! parallelizes with its broadcast join.
 
 use crate::entropy::BlockEntropies;
-use sparker_blocking::BlockCollection;
+use sparker_blocking::{BlockCollection, CompactBlocks};
 use sparker_profiles::{ErKind, ProfileId};
 
 /// Per-edge co-occurrence statistics accumulated while scanning shared
@@ -37,18 +37,26 @@ pub struct NeighborhoodScratch {
 /// from which node neighborhoods are materialized.
 ///
 /// This is precisely the structure SparkER broadcasts to every partition in
-/// its parallel meta-blocking.
+/// its parallel meta-blocking. Both indexes are CSR-packed (one flat array
+/// plus offsets), so the whole graph is six contiguous allocations — cheap
+/// to build, clone and broadcast, friendly to the cache in the
+/// neighborhood-materialization hot loop.
 #[derive(Debug, Clone)]
 pub struct BlockGraph {
     kind: ErKind,
-    /// Members of each block: both source sides concatenated, each sorted.
-    block_members: Vec<Vec<ProfileId>>,
-    /// Length of the source-0 prefix of `block_members[b]`.
-    block_split: Vec<usize>,
+    /// Members of every block, back to back; block `b` occupies
+    /// `block_offsets[b]..block_offsets[b + 1]`, source-0 prefix first,
+    /// each side sorted.
+    block_members: Vec<ProfileId>,
+    block_offsets: Vec<u32>,
+    /// Length of the source-0 prefix of block `b`'s members.
+    block_split: Vec<u32>,
     /// Comparisons per block.
     block_comparisons: Vec<u64>,
-    /// Blocks per profile.
-    profile_blocks: Vec<Vec<u32>>,
+    /// Block ids per profile, back to back; profile `p` occupies
+    /// `profile_offsets[p]..profile_offsets[p + 1]`, ascending.
+    profile_blocks: Vec<u32>,
+    profile_offsets: Vec<u32>,
     /// Optional per-block entropies.
     entropies: Option<Vec<f64>>,
     /// Total profile→block assignments (Σ block sizes).
@@ -64,36 +72,93 @@ impl BlockGraph {
             assert_eq!(e.len(), blocks.len(), "entropies misaligned with blocks");
         }
         let kind = blocks.kind();
-        let mut block_members = Vec::with_capacity(blocks.len());
+        let mut block_members = Vec::new();
+        let mut block_offsets = Vec::with_capacity(blocks.len() + 1);
+        block_offsets.push(0u32);
         let mut block_split = Vec::with_capacity(blocks.len());
         let mut block_comparisons = Vec::with_capacity(blocks.len());
         let mut max_profile = 0usize;
-        let mut total_assignments = 0u64;
         for b in blocks.blocks() {
-            let members: Vec<ProfileId> = b.all_members().collect();
-            if let Some(m) = members.iter().map(|p| p.index()).max() {
+            block_members.extend(b.all_members());
+            block_offsets.push(block_members.len() as u32);
+            if let Some(m) = b.all_members().map(|p| p.index()).max() {
                 max_profile = max_profile.max(m + 1);
             }
-            total_assignments += members.len() as u64;
-            block_split.push(b.members[0].len());
+            block_split.push(b.members[0].len() as u32);
             block_comparisons.push(b.comparisons(kind));
-            block_members.push(members);
         }
-        let mut profile_blocks: Vec<Vec<u32>> = vec![Vec::new(); max_profile];
-        for (i, members) in block_members.iter().enumerate() {
-            for p in members {
-                profile_blocks[p.index()].push(i as u32);
+        Self::assemble(
+            kind,
+            block_members,
+            block_offsets,
+            block_split,
+            block_comparisons,
+            entropies.map(|e| e.as_slice().to_vec()),
+            max_profile,
+        )
+    }
+
+    /// Build the graph view straight from a CSR [`CompactBlocks`]: the flat
+    /// member and offset arrays are adopted wholesale (one memcpy each, no
+    /// per-block vectors are ever created). `entropies`, when given, must
+    /// align with the compact blocks.
+    pub fn from_compact(blocks: &CompactBlocks, entropies: Option<&BlockEntropies>) -> Self {
+        if let Some(e) = entropies {
+            assert_eq!(e.len(), blocks.len(), "entropies misaligned with blocks");
+        }
+        let (offsets, splits, members) = blocks.raw_parts();
+        let block_comparisons = (0..blocks.len()).map(|b| blocks.comparisons(b)).collect();
+        Self::assemble(
+            blocks.kind(),
+            members.to_vec(),
+            offsets.to_vec(),
+            splits.to_vec(),
+            block_comparisons,
+            entropies.map(|e| e.as_slice().to_vec()),
+            blocks.num_profiles(),
+        )
+    }
+
+    /// Shared tail of the constructors: build the profile→blocks CSR index
+    /// by counting sort over the flat member array.
+    fn assemble(
+        kind: ErKind,
+        block_members: Vec<ProfileId>,
+        block_offsets: Vec<u32>,
+        block_split: Vec<u32>,
+        block_comparisons: Vec<u64>,
+        entropies: Option<Vec<f64>>,
+        num_profiles: usize,
+    ) -> Self {
+        let total_assignments = block_members.len() as u64;
+        let mut profile_offsets = vec![0u32; num_profiles + 1];
+        for p in &block_members {
+            profile_offsets[p.index() + 1] += 1;
+        }
+        for i in 1..profile_offsets.len() {
+            profile_offsets[i] += profile_offsets[i - 1];
+        }
+        let mut profile_blocks = vec![0u32; block_members.len()];
+        let mut cursor = profile_offsets.clone();
+        let num_blocks = block_offsets.len() - 1;
+        // Ascending block id keeps each profile's block list sorted.
+        for b in 0..num_blocks {
+            for p in &block_members[block_offsets[b] as usize..block_offsets[b + 1] as usize] {
+                profile_blocks[cursor[p.index()] as usize] = b as u32;
+                cursor[p.index()] += 1;
             }
         }
         BlockGraph {
             kind,
             block_members,
+            block_offsets,
             block_split,
             block_comparisons,
             profile_blocks,
-            entropies: entropies.map(|e| e.as_slice().to_vec()),
+            profile_offsets,
+            entropies,
             total_assignments,
-            num_profiles: max_profile,
+            num_profiles,
         }
     }
 
@@ -104,7 +169,12 @@ impl BlockGraph {
 
     /// Number of blocks.
     pub fn num_blocks(&self) -> usize {
-        self.block_members.len()
+        self.block_offsets.len() - 1
+    }
+
+    /// Members of block `b`: source-0 prefix then source-1, each sorted.
+    fn members_of(&self, b: usize) -> &[ProfileId] {
+        &self.block_members[self.block_offsets[b] as usize..self.block_offsets[b + 1] as usize]
     }
 
     /// Task kind of the underlying blocks.
@@ -123,12 +193,13 @@ impl BlockGraph {
         self.entropies.is_some()
     }
 
-    /// Blocks containing profile `i`.
+    /// Blocks containing profile `i`, ascending.
     pub fn blocks_of(&self, i: ProfileId) -> &[u32] {
-        self.profile_blocks
-            .get(i.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        if i.index() >= self.num_profiles {
+            return &[];
+        }
+        &self.profile_blocks
+            [self.profile_offsets[i.index()] as usize..self.profile_offsets[i.index() + 1] as usize]
     }
 
     /// Allocate a reusable scratch buffer for
@@ -168,8 +239,8 @@ impl BlockGraph {
         debug_assert_eq!(scratch.acc.len(), self.num_profiles, "foreign scratch");
         for &b in self.blocks_of(node) {
             let bi = b as usize;
-            let members = &self.block_members[bi];
-            let split = self.block_split[bi];
+            let members = self.members_of(bi);
+            let split = self.block_split[bi] as usize;
             let comparisons = self.block_comparisons[bi].max(1) as f64;
             let entropy = self.entropies.as_ref().map_or(1.0, |e| e[bi]);
             let candidates: &[ProfileId] = match self.kind {
@@ -364,5 +435,24 @@ mod tests {
         let (_, blocks) = figure1();
         let entropies = BlockEntropies::new(vec![0.5]);
         BlockGraph::new(&blocks, Some(&entropies));
+    }
+
+    #[test]
+    fn from_compact_equals_from_collection() {
+        use sparker_blocking::token_blocking_interned;
+        use sparker_profiles::TokenDict;
+        let (coll, blocks) = figure1();
+        let dict = TokenDict::build(&coll);
+        let compact = token_blocking_interned(&coll, &dict);
+        let a = BlockGraph::new(&blocks, None);
+        let b = BlockGraph::from_compact(&compact, None);
+        assert_eq!(a.num_blocks(), b.num_blocks());
+        assert_eq!(a.num_profiles(), b.num_profiles());
+        assert_eq!(a.total_assignments(), b.total_assignments());
+        for i in 0..4u32 {
+            let node = ProfileId(i);
+            assert_eq!(a.blocks_of(node), b.blocks_of(node));
+            assert_eq!(a.neighborhood(node), b.neighborhood(node));
+        }
     }
 }

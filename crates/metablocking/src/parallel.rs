@@ -19,14 +19,19 @@ use crate::pruning::{
     cnp_budget, node_pass_single, resolve_rule, MetaBlockingConfig, PruningStrategy,
 };
 use crate::weights::GlobalStats;
-use sparker_dataflow::Context;
+use sparker_dataflow::{Broadcast, Context};
 use sparker_profiles::{Pair, ProfileId};
+use std::sync::Arc;
 
 /// Parallel meta-blocking over a prebuilt [`BlockGraph`]; equivalent to
 /// [`crate::meta_blocking_graph`].
+///
+/// The graph is taken as an `Arc` so the broadcast adopts the driver's
+/// shared handle instead of deep-cloning the whole structure — exactly the
+/// "ship one copy per executor" semantics of Spark's broadcast join.
 pub fn meta_blocking(
     ctx: &Context,
-    graph: &BlockGraph,
+    graph: &Arc<BlockGraph>,
     config: &MetaBlockingConfig,
 ) -> Vec<(Pair, f64)> {
     if config.use_entropy {
@@ -44,8 +49,9 @@ pub fn meta_blocking(
     );
     let use_entropy = config.use_entropy;
 
-    // Broadcast the graph and global stats to every task.
-    let b_graph = ctx.broadcast(graph.clone());
+    // Broadcast the graph (no payload clone: the Arc is adopted) and the
+    // global stats to every task.
+    let b_graph: Broadcast<BlockGraph> = ctx.broadcast(Arc::clone(graph));
     let b_stats = ctx.broadcast(stats);
 
     let nodes: Vec<u32> = (0..graph.num_profiles() as u32).collect();
@@ -159,7 +165,7 @@ mod tests {
     fn parallel_matches_sequential_for_all_configs() {
         let coll = noisy_collection(60);
         let blocks = token_blocking(&coll);
-        let graph = BlockGraph::new(&blocks, None);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
         let ctx = Context::new(4);
         for scheme in WeightScheme::ALL {
             for pruning in [
@@ -191,7 +197,7 @@ mod tests {
     fn worker_count_invariant() {
         let coll = noisy_collection(40);
         let blocks = token_blocking(&coll);
-        let graph = BlockGraph::new(&blocks, None);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
         let config = MetaBlockingConfig::default();
         let base = meta_blocking(&Context::new(1), &graph, &config);
         for w in [2, 4, 8] {
@@ -203,7 +209,7 @@ mod tests {
     fn broadcasts_are_recorded() {
         let coll = noisy_collection(20);
         let blocks = token_blocking(&coll);
-        let graph = BlockGraph::new(&blocks, None);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
         let ctx = Context::new(2);
         meta_blocking(&ctx, &graph, &MetaBlockingConfig::default());
         let snap = ctx.metrics();
@@ -218,7 +224,7 @@ mod tests {
     #[test]
     fn empty_graph_parallel() {
         let blocks = sparker_blocking::BlockCollection::new(sparker_profiles::ErKind::Dirty, vec![]);
-        let graph = BlockGraph::new(&blocks, None);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
         let ctx = Context::new(2);
         assert!(meta_blocking(&ctx, &graph, &MetaBlockingConfig::default()).is_empty());
     }

@@ -81,7 +81,7 @@ proptest! {
         workers in 1usize..5,
     ) {
         let blocks = token_blocking(&coll);
-        let graph = BlockGraph::new(&blocks, None);
+        let graph = std::sync::Arc::new(BlockGraph::new(&blocks, None));
         let seq = meta_blocking_graph(&graph, &config);
         let ctx = Context::new(workers);
         let par = parallel::meta_blocking(&ctx, &graph, &config);

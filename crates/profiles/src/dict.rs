@@ -1,0 +1,378 @@
+//! Token dictionary: interning normalized tokens to dense integer ids.
+//!
+//! Every stage of the blocker keys on tokens — Token Blocking buckets by
+//! them, Meta-Blocking's graph is built over the blocks they induce, TF-IDF
+//! weights them. Re-hashing and re-allocating the same `String`s at each
+//! stage is pure overhead, so the pipeline interns the distinct tokens of a
+//! collection **once** into a [`TokenDict`] and pushes the dense
+//! [`TokenId`]s through every hot path. Ids are assigned in lexicographic
+//! token order, so sorting by id equals sorting by key string — block
+//! collections built on ids come out in exactly the order the string-keyed
+//! implementation produces.
+//!
+//! The original token strings stay recoverable for display and debugging
+//! via [`TokenDict::resolve`].
+
+use crate::collection::ProfileCollection;
+use crate::profile::Profile;
+use crate::tokenize::{each_token, Token};
+use sparker_dataflow::Context;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, the interner's hasher. Tokens are short (a handful of bytes), so
+/// the per-byte multiply beats SipHash's fixed per-key setup cost by a wide
+/// margin, and the interner needs no DoS resistance — keys come from the
+/// local dataset, not an adversary.
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvBuild = BuildHasherDefault<Fnv1a>;
+
+/// Dense id of a distinct normalized token within a [`TokenDict`].
+///
+/// Ids run `0..dict.len()` in lexicographic token order, so they double as
+/// vector indices and as sort keys equivalent to the token strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The distinct normalized tokens of a collection, interned to dense
+/// [`TokenId`]s in lexicographic order.
+///
+/// Built in one pass over the collection ([`TokenDict::build`], or
+/// [`TokenDict::build_parallel`] on the dataflow pool); lookups are
+/// allocation-free binary searches, resolution is a vector index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenDict {
+    /// Sorted distinct tokens; the index of a token is its id.
+    tokens: Vec<Token>,
+}
+
+impl TokenDict {
+    /// Intern every distinct token of the collection, sequentially.
+    pub fn build(collection: &ProfileCollection) -> Self {
+        let mut set: HashSet<Token, FnvBuild> = HashSet::default();
+        let mut scratch = String::new();
+        for p in collection.profiles() {
+            for a in &p.attributes {
+                each_token(&a.value, &mut scratch, |t| {
+                    if !set.contains(t) {
+                        set.insert(t.to_owned());
+                    }
+                });
+            }
+        }
+        let mut tokens: Vec<Token> = set.into_iter().collect();
+        tokens.sort_unstable();
+        TokenDict { tokens }
+    }
+
+    /// Intern every distinct token in one parallel pass on the dataflow
+    /// pool: each partition scans a contiguous profile range into a local
+    /// distinct set, the driver merges the (small) per-partition sets.
+    /// Identical to [`TokenDict::build`] for any worker count.
+    pub fn build_parallel(ctx: &Context, collection: &ProfileCollection) -> Self {
+        let n = collection.len();
+        if n == 0 {
+            return TokenDict::default();
+        }
+        // Contiguous index ranges, one record per eventual task.
+        let parts = ctx.default_partitions().min(n);
+        let ranges: Vec<(usize, usize)> = (0..parts)
+            .map(|i| (i * n / parts, (i + 1) * n / parts))
+            .collect();
+        let mut tokens: Vec<Token> = ctx
+            .parallelize(ranges, parts)
+            .map_partitions(|_, ranges| {
+                let mut set: HashSet<Token, FnvBuild> = HashSet::default();
+                let mut scratch = String::new();
+                for &(lo, hi) in ranges {
+                    for p in &collection.profiles()[lo..hi] {
+                        for a in &p.attributes {
+                            each_token(&a.value, &mut scratch, |t| {
+                                if !set.contains(t) {
+                                    set.insert(t.to_owned());
+                                }
+                            });
+                        }
+                    }
+                }
+                set.into_iter().collect()
+            })
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        TokenDict { tokens }
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// `true` when the dictionary holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The id of a normalized token, if present. Allocation-free.
+    pub fn lookup(&self, token: &str) -> Option<TokenId> {
+        self.tokens
+            .binary_search_by(|t| t.as_str().cmp(token))
+            .ok()
+            .map(|i| TokenId(i as u32))
+    }
+
+    /// The token string behind an id — how block keys are turned back into
+    /// strings for display, debugging and the materialized
+    /// `BlockCollection`. Panics on ids from another dictionary.
+    pub fn resolve(&self, id: TokenId) -> &str {
+        &self.tokens[id.index()]
+    }
+
+    /// All tokens in id order.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// The schema-agnostic token-id bag of a profile: sorted, deduplicated
+    /// ids of every token of every attribute value. The interned equivalent
+    /// of [`Profile::token_set`]; tokens absent from the dictionary are
+    /// skipped.
+    pub fn token_ids(&self, profile: &Profile) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        let mut scratch = String::new();
+        self.token_ids_into(profile, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`TokenDict::token_ids`] into reusable buffers (`out` is cleared
+    /// first) — the allocation-free loop shape interned blocking uses.
+    pub fn token_ids_into(
+        &self,
+        profile: &Profile,
+        scratch: &mut String,
+        out: &mut Vec<TokenId>,
+    ) {
+        out.clear();
+        for a in &profile.attributes {
+            each_token(&a.value, scratch, |t| {
+                if let Some(id) = self.lookup(t) {
+                    out.push(id);
+                }
+            });
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// Incremental interner for single-pass pipelines.
+///
+/// [`TokenDict::build`] followed by per-token [`TokenDict::lookup`] scans
+/// the collection twice and pays a binary search per token occurrence.
+/// `DictBuilder` instead assigns **provisional insertion-order ids** while
+/// the caller streams tokens (one hash probe per occurrence), and
+/// [`DictBuilder::finish`] then sorts the vocabulary once and returns the
+/// dictionary together with the permutation from provisional ids to final
+/// lexicographic [`TokenId`]s. Callers remap the ids they recorded through
+/// that permutation — a flat array lookup per occurrence — so the whole
+/// collection is tokenized exactly once.
+#[derive(Debug, Default)]
+pub struct DictBuilder {
+    ids: HashMap<Token, u32, FnvBuild>,
+}
+
+impl DictBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern one normalized token, returning its provisional
+    /// insertion-order id. Stable for repeated tokens.
+    #[inline]
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            id
+        } else {
+            let id = self.ids.len() as u32;
+            self.ids.insert(token.to_owned(), id);
+            id
+        }
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Sort the vocabulary and seal it: returns the dictionary plus `perm`,
+    /// where `perm[provisional_id]` is the final lexicographic id
+    /// ([`TokenId`] value) of the token [`DictBuilder::intern`] handed out
+    /// `provisional_id` for.
+    pub fn finish(self) -> (TokenDict, Vec<u32>) {
+        let mut entries: Vec<(Token, u32)> = self.ids.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut perm = vec![0u32; entries.len()];
+        let mut tokens = Vec::with_capacity(entries.len());
+        for (new_id, (token, old_id)) in entries.into_iter().enumerate() {
+            perm[old_id as usize] = new_id as u32;
+            tokens.push(token);
+        }
+        (TokenDict { tokens }, perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SourceId;
+
+    fn collection() -> ProfileCollection {
+        ProfileCollection::dirty(vec![
+            Profile::builder(SourceId(0), "a")
+                .attr("name", "Sony BRAVIA tv")
+                .attr("desc", "bravia Modène tv")
+                .build(),
+            Profile::builder(SourceId(0), "b")
+                .attr("name", "samsung galaxy")
+                .build(),
+        ])
+    }
+
+    #[test]
+    fn build_interns_distinct_sorted() {
+        let dict = TokenDict::build(&collection());
+        assert_eq!(
+            dict.tokens(),
+            &["bravia", "galaxy", "modène", "samsung", "sony", "tv"]
+        );
+        assert_eq!(dict.len(), 6);
+        assert!(!dict.is_empty());
+    }
+
+    #[test]
+    fn lookup_and_resolve_roundtrip() {
+        let dict = TokenDict::build(&collection());
+        for (i, t) in dict.tokens().iter().enumerate() {
+            let id = dict.lookup(t).unwrap();
+            assert_eq!(id, TokenId(i as u32));
+            assert_eq!(dict.resolve(id), t);
+        }
+        assert_eq!(dict.lookup("absent"), None);
+    }
+
+    #[test]
+    fn ids_sort_like_tokens() {
+        let dict = TokenDict::build(&collection());
+        let mut by_id: Vec<&str> = dict.tokens().iter().map(|t| t.as_str()).collect();
+        by_id.sort_by_key(|t| dict.lookup(t).unwrap());
+        let mut by_str = by_id.clone();
+        by_str.sort_unstable();
+        assert_eq!(by_id, by_str);
+    }
+
+    #[test]
+    fn token_ids_match_token_set() {
+        let coll = collection();
+        let dict = TokenDict::build(&coll);
+        for p in coll.profiles() {
+            let ids = dict.token_ids(p);
+            let strings: Vec<&str> = ids.iter().map(|&i| dict.resolve(i)).collect();
+            let expected: Vec<Token> = p.token_set().into_iter().collect();
+            assert_eq!(strings, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential() {
+        let coll = collection();
+        let seq = TokenDict::build(&coll);
+        for workers in [1, 2, 4] {
+            let ctx = Context::new(workers);
+            assert_eq!(TokenDict::build_parallel(&ctx, &coll), seq);
+        }
+    }
+
+    #[test]
+    fn empty_collection_empty_dict() {
+        let empty = ProfileCollection::dirty(vec![]);
+        assert!(TokenDict::build(&empty).is_empty());
+        let ctx = Context::new(2);
+        assert!(TokenDict::build_parallel(&ctx, &empty).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TokenId(4).to_string(), "t4");
+        assert_eq!(TokenId(4).index(), 4);
+    }
+
+    #[test]
+    fn builder_matches_build_and_permutes() {
+        let coll = collection();
+        let expected = TokenDict::build(&coll);
+
+        let mut builder = DictBuilder::new();
+        assert!(builder.is_empty());
+        let mut scratch = String::new();
+        let mut raw: Vec<(String, u32)> = Vec::new();
+        for p in coll.profiles() {
+            for a in &p.attributes {
+                each_token(&a.value, &mut scratch, |t| {
+                    raw.push((t.to_owned(), builder.intern(t)));
+                });
+            }
+        }
+        // Repeated tokens get the same provisional id.
+        assert_eq!(builder.len(), expected.len());
+        let (dict, perm) = builder.finish();
+        assert_eq!(dict, expected);
+        // Remapping a provisional id yields the token's lexicographic id.
+        for (token, old_id) in raw {
+            assert_eq!(TokenId(perm[old_id as usize]), dict.lookup(&token).unwrap());
+        }
+    }
+}

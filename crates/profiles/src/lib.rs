@@ -29,10 +29,42 @@
 //! assert_eq!(coll.len(), 2);
 //! assert!(coll.is_comparable(coll.profiles()[0].id, coll.profiles()[1].id));
 //! ```
+//!
+//! ## Dictionary encoding
+//!
+//! Tokens are the currency of the whole blocker — blocking keys, graph
+//! edges, TF-IDF terms. This crate therefore provides [`TokenDict`]: the
+//! distinct normalized tokens of a collection interned once (sequentially,
+//! or in one parallel pass via [`TokenDict::build_parallel`]) to dense
+//! `u32` [`TokenId`]s. Ids are assigned in **lexicographic token order**,
+//! so sorting by id is sorting by key string, and structures built over ids
+//! come out in exactly the order their string-keyed equivalents would.
+//! Downstream crates key every hot path on `TokenId` (flat counting-sort
+//! buckets, CSR block graphs, merge-join TF-IDF vectors) and only resolve
+//! ids back to strings at the edges via [`TokenDict::resolve`].
+//!
+//! Single-pass pipelines use [`DictBuilder`] instead of build-then-lookup:
+//! it interns tokens to provisional insertion-order ids while the caller
+//! streams the collection, then [`DictBuilder::finish`] sorts the
+//! vocabulary and returns the permutation that turns the recorded
+//! provisional ids into final lexicographic ids — one tokenization pass,
+//! one hash probe per occurrence, no binary searches.
+//!
+//! ```
+//! use sparker_profiles::{Profile, ProfileCollection, SourceId, TokenDict};
+//!
+//! let coll = ProfileCollection::dirty(vec![
+//!     Profile::builder(SourceId(0), "a").attr("name", "Sony BRAVIA").build(),
+//! ]);
+//! let dict = TokenDict::build(&coll);
+//! let id = dict.lookup("bravia").unwrap();
+//! assert_eq!(dict.resolve(id), "bravia");
+//! ```
 
 mod attribute;
 mod collection;
 mod csv;
+mod dict;
 mod error;
 mod groundtruth;
 mod json;
@@ -43,9 +75,10 @@ mod tokenize;
 pub use attribute::Attribute;
 pub use collection::{ErKind, ProfileCollection};
 pub use csv::{parse_csv, profiles_from_csv, write_csv, CsvOptions};
+pub use dict::{DictBuilder, TokenDict, TokenId};
 pub use error::{Error, Result};
 pub use groundtruth::GroundTruth;
 pub use json::{parse_json, profiles_from_json_lines, JsonValue};
 pub use pair::Pair;
 pub use profile::{Profile, ProfileBuilder, ProfileId, SourceId};
-pub use tokenize::{ngrams, tokenize, tokenize_filtered, Token};
+pub use tokenize::{each_token, ngrams, tokenize, tokenize_filtered, Token};

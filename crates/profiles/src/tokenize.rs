@@ -9,6 +9,27 @@
 /// signatures across the workspace.
 pub type Token = String;
 
+/// `true` when the fragment is already a normalized token: pure ASCII with
+/// no uppercase letters. Such fragments (the overwhelming majority in real
+/// data) can be used verbatim, skipping Unicode case mapping.
+#[inline]
+fn is_lower_ascii(s: &str) -> bool {
+    s.bytes().all(|b| b.is_ascii() && !b.is_ascii_uppercase())
+}
+
+/// Lowercase one raw fragment with the cheapest applicable path: a plain
+/// copy for lowercase ASCII, a byte map for other ASCII, full Unicode case
+/// mapping only when needed.
+fn normalize_token(s: &str) -> Token {
+    if is_lower_ascii(s) {
+        s.to_string()
+    } else if s.is_ascii() {
+        s.to_ascii_lowercase()
+    } else {
+        s.to_lowercase()
+    }
+}
+
 /// Split `text` into normalized tokens: lower-cased maximal runs of
 /// alphanumeric characters.
 ///
@@ -20,7 +41,35 @@ pub type Token = String;
 pub fn tokenize(text: &str) -> impl Iterator<Item = Token> + '_ {
     text.split(|c: char| !c.is_alphanumeric())
         .filter(|s| !s.is_empty())
-        .map(|s| s.to_lowercase())
+        .map(normalize_token)
+}
+
+/// Zero-allocation token visitor: calls `f` with each normalized token of
+/// `text` as a borrowed `&str`.
+///
+/// Already-lowercase ASCII fragments are passed through as sub-slices of
+/// `text` without copying; fragments that need case folding are normalized
+/// into `scratch` (reused across calls, so a loop over many values settles
+/// into zero allocations). This is the hot path behind
+/// [`crate::TokenDict`] and interned blocking, where tokens are looked up
+/// by `&str` and never need to be owned.
+pub fn each_token(text: &str, scratch: &mut String, mut f: impl FnMut(&str)) {
+    for frag in text.split(|c: char| !c.is_alphanumeric()) {
+        if frag.is_empty() {
+            continue;
+        }
+        if is_lower_ascii(frag) {
+            f(frag);
+        } else if frag.is_ascii() {
+            scratch.clear();
+            scratch.extend(frag.bytes().map(|b| b.to_ascii_lowercase() as char));
+            f(scratch);
+        } else {
+            scratch.clear();
+            scratch.push_str(&frag.to_lowercase());
+            f(scratch);
+        }
+    }
 }
 
 /// Like [`tokenize`] but drops tokens shorter than `min_len` characters.
@@ -45,13 +94,22 @@ pub fn tokenize_filtered(text: &str, min_len: usize) -> impl Iterator<Item = Tok
 /// ```
 pub fn ngrams(text: &str, n: usize) -> Vec<String> {
     assert!(n > 0, "ngram size must be positive");
-    let normalized: Vec<char> = text
-        .to_lowercase()
-        .split_whitespace()
-        .collect::<Vec<_>>()
-        .join(" ")
-        .chars()
-        .collect();
+    // Collapse whitespace runs while collecting chars — no intermediate
+    // split/join strings.
+    let lower = text.to_lowercase();
+    let mut normalized: Vec<char> = Vec::with_capacity(lower.len());
+    for c in lower.chars() {
+        if c.is_whitespace() {
+            if !normalized.is_empty() && *normalized.last().unwrap() != ' ' {
+                normalized.push(' ');
+            }
+        } else {
+            normalized.push(c);
+        }
+    }
+    if normalized.last() == Some(&' ') {
+        normalized.pop();
+    }
     if normalized.is_empty() {
         return Vec::new();
     }
@@ -96,6 +154,37 @@ mod tests {
     fn filtered_drops_short_tokens() {
         let t: Vec<Token> = tokenize_filtered("a bc def", 2).collect();
         assert_eq!(t, vec!["bc", "def"]);
+    }
+
+    /// Collect `each_token` output to compare against the iterator path.
+    fn visit(text: &str) -> Vec<Token> {
+        let mut scratch = String::new();
+        let mut out = Vec::new();
+        each_token(text, &mut scratch, |t| out.push(t.to_string()));
+        out
+    }
+
+    #[test]
+    fn each_token_matches_tokenize() {
+        for text in [
+            "Sony BRAVIA kdl-40 (2014)",
+            "already lowercase ascii",
+            "Modène CAFÉ mixed ÉTÉ",
+            "",
+            "!!! --- ???",
+            "ǅungla mixed Titlecase",
+        ] {
+            assert_eq!(visit(text), tokenize(text).collect::<Vec<_>>(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn ascii_fast_path_is_verbatim() {
+        // A lowercase-ASCII-only string must come through unchanged
+        // (exercises the no-allocation borrow path).
+        assert_eq!(visit("plain tokens 123"), vec!["plain", "tokens", "123"]);
+        // Mixed-case ASCII takes the byte-map path.
+        assert_eq!(visit("MiXeD"), vec!["mixed"]);
     }
 
     #[test]

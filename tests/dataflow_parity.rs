@@ -55,7 +55,7 @@ fn meta_blocking_parity_over_configs_and_workers() {
         ),
         0.8,
     );
-    let graph = BlockGraph::new(&blocks, None);
+    let graph = std::sync::Arc::new(BlockGraph::new(&blocks, None));
     for scheme in [WeightScheme::Cbs, WeightScheme::Js, WeightScheme::ChiSquare] {
         for pruning in [
             PruningStrategy::Wep { factor: 1.0 },
