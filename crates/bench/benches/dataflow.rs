@@ -41,28 +41,72 @@ fn bench_shuffle(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-record spin work: `iters` dependent multiply-rotates.
+fn spin(iters: u64) -> u64 {
+    let mut h = iters;
+    for _ in 0..iters {
+        h = h.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+    }
+    h
+}
+
+/// Skew-aware scheduling on the engine itself, under a rank-correlated
+/// skewed workload: the first eighth of the records are 50× as expensive
+/// as the tail (the contiguous hub region of a popularity-ordered
+/// catalogue). Equal-count partitioning strands the hub in one partition;
+/// cost-hinted partitioning + morsel execution spreads it. Wall times go
+/// through the sample loop; instrumented runs export each schedule's
+/// critical path and per-worker busy spread (wall-clock cannot scale on a
+/// single-core host, so the busy-time split is the evidence).
 fn bench_worker_scaling(c: &mut Criterion) {
+    const N: usize = 4_096;
+    const HUB: usize = N / 8;
+    let costs: Vec<u64> = (0..N)
+        .map(|i| if i < HUB { 20_000 } else { 400 })
+        .collect();
     let mut group = c.benchmark_group("dataflow/worker-scaling");
-    group.sample_size(20);
+    group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
         let ctx = Context::new(workers);
-        let data: Vec<u64> = (0..200_000).collect();
-        let ds = ctx.parallelize(data, workers * 2);
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &ds, |b, ds| {
-            // A CPU-bound map: per-record hashing work.
+        let items = costs.clone();
+        let by_cost = costs.clone();
+        group.bench_function(BenchmarkId::new("equal-count", workers), |b| {
             b.iter(|| {
-                ds.map(|&x| {
-                    let mut h = x;
-                    for _ in 0..32 {
-                        h = h.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
-                    }
-                    h
-                })
-                .fold(0u64, |a, b| a ^ b)
+                ctx.parallelize(items.clone(), ctx.default_partitions())
+                    .map_partitions(|_, part| part.iter().map(|&n| spin(n)).collect())
+                    .fold(0u64, |a, b| a ^ b)
+            })
+        });
+        group.bench_function(BenchmarkId::new("cost-morsel", workers), |b| {
+            b.iter(|| {
+                ctx.parallelize_by_cost(items.clone(), &by_cost, ctx.default_partitions())
+                    .map_morsels(16, |_, part| part.iter().map(|&n| spin(n)).collect())
+                    .fold(0u64, |a, b| a ^ b)
             })
         });
     }
     group.finish();
+    for workers in [1usize, 2, 4, 8] {
+        for policy in ["equal-count", "cost-morsel"] {
+            let ctx = Context::new(workers);
+            ctx.reset_metrics();
+            let _ = if policy == "equal-count" {
+                ctx.parallelize(costs.clone(), ctx.default_partitions())
+                    .map_partitions(|_, part| part.iter().map(|&n| spin(n)).collect())
+                    .fold(0u64, |a, b| a ^ b)
+            } else {
+                ctx.parallelize_by_cost(costs.clone(), &costs, ctx.default_partitions())
+                    .map_morsels(16, |_, part| part.iter().map(|&n| spin(n)).collect())
+                    .fold(0u64, |a, b| a ^ b)
+            };
+            let snap = ctx.metrics();
+            let prefix = format!("dataflow/worker-scaling/{policy}/{workers}");
+            c.record(format!("{prefix}/critical-path"), 1, snap.total_critical_path());
+            for (slot, busy) in snap.stage_worker_busy().iter().enumerate() {
+                c.record(format!("{prefix}/busy-worker-{slot}"), 1, *busy);
+            }
+        }
+    }
 }
 
 /// The spawn-per-stage baseline: what stage execution cost before the

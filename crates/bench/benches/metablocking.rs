@@ -1,13 +1,27 @@
 //! Criterion benches for meta-blocking: per weighting scheme, per pruning
-//! strategy, and the broadcast-join parallel implementation vs the
-//! sequential driver (the ablations behind experiments E7/E8).
+//! strategy, the broadcast-join parallel implementation vs the sequential
+//! driver (the ablations behind experiments E7/E8), skew-aware scheduling
+//! (cost-balanced morsels vs equal-count partitions on Zipf-skewed and
+//! uniform graphs, with per-worker busy times recorded so the balance is
+//! visible, not asserted), and the allocation-free node pass vs the
+//! sort+clone baseline.
+//!
+//! Run with `BENCH_JSON=BENCH_metablocking.json cargo bench -p
+//! sparker-bench --bench metablocking` to dump every measurement as JSON.
+//!
+//! Note on the scaling numbers: wall-clock cannot speed up on a
+//! single-core host, so alongside each wall time the bench records the
+//! schedule's **critical path** (the slowest worker slot's busy time, the
+//! wall-clock lower bound on a one-core-per-worker machine) and the full
+//! per-worker busy spread.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sparker_bench::abt_buy_like;
+use sparker_bench::{abt_buy_like, skewed_dirty, uniform_dirty};
 use sparker_blocking::{block_filtering, purge_oversized, token_blocking};
 use sparker_dataflow::Context;
 use sparker_metablocking::{
-    meta_blocking_graph, parallel, BlockGraph, MetaBlockingConfig, PruningStrategy, WeightScheme,
+    meta_blocking_graph, node_stats_pass_baseline_checksum, node_stats_pass_checksum, parallel,
+    BlockGraph, MetaBlockingConfig, PruningStrategy, Scheduling, WeightScheme,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -16,6 +30,29 @@ fn graph() -> Arc<BlockGraph> {
     let ds = abt_buy_like(600);
     let blocks = purge_oversized(token_blocking(&ds.collection), ds.collection.len(), 0.5);
     let blocks = block_filtering(blocks, 0.8);
+    Arc::new(BlockGraph::new(&blocks, None))
+}
+
+/// Graph for the scheduling benches: the standard purge + block-filtering
+/// pipeline over [`skewed_dirty`] / [`uniform_dirty`]. Purging kills the
+/// monster blocks (universal stop tokens and the top-rank hot blocks);
+/// filtering keeps each profile's smallest blocks, which drains the tail's
+/// background degree while hub profiles keep their dozens of mid-size hot
+/// blocks. The surviving graph concentrates ~3/4 of the edge work in the
+/// contiguous low-id hub — exactly the shape equal-count contiguous
+/// partitioning handles worst.
+fn scaling_graph(skewed: bool) -> Arc<BlockGraph> {
+    let ds = if skewed {
+        skewed_dirty(3000)
+    } else {
+        uniform_dirty(3000)
+    };
+    let blocks = purge_oversized(
+        token_blocking(&ds.collection),
+        ds.collection.len(),
+        0.05,
+    );
+    let blocks = block_filtering(blocks, 0.25);
     Arc::new(BlockGraph::new(&blocks, None))
 }
 
@@ -77,10 +114,82 @@ fn bench_parallel_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
+const SCHEDULINGS: [Scheduling; 2] = [Scheduling::EqualCount, Scheduling::CostMorsel];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Skew-aware scheduling ablation: equal-count partitions vs cost-balanced
+/// morsels at 1/2/4/8 workers, on a Zipf-skewed and a uniform graph. Wall
+/// times go through the normal sample loop; a separate instrumented run
+/// per configuration exports the critical path and the per-worker busy
+/// spread from the engine's own stage metrics.
+fn bench_worker_scaling(c: &mut Criterion) {
+    let config = MetaBlockingConfig::default();
+    for (kind, g) in [
+        ("zipf", scaling_graph(true)),
+        ("uniform", scaling_graph(false)),
+    ] {
+        let mut group = c.benchmark_group(format!("metablocking/worker-scaling/{kind}"));
+        group.sample_size(8);
+        for sched in SCHEDULINGS {
+            for workers in WORKER_COUNTS {
+                let ctx = Context::new(workers);
+                group.bench_function(BenchmarkId::new(sched.name(), workers), |b| {
+                    b.iter(|| parallel::meta_blocking_scheduled(&ctx, black_box(&g), &config, sched))
+                });
+            }
+        }
+        group.finish();
+        for sched in SCHEDULINGS {
+            for workers in WORKER_COUNTS {
+                let ctx = Context::new(workers);
+                ctx.reset_metrics();
+                let _ = parallel::meta_blocking_scheduled(&ctx, &g, &config, sched);
+                let snap = ctx.metrics();
+                let prefix =
+                    format!("metablocking/worker-scaling/{kind}/{}/{workers}", sched.name());
+                c.record(format!("{prefix}/critical-path"), 1, snap.total_critical_path());
+                for (slot, busy) in snap.stage_worker_busy().iter().enumerate() {
+                    c.record(format!("{prefix}/busy-worker-{slot}"), 1, *busy);
+                }
+            }
+        }
+    }
+}
+
+/// The per-node hot loop in isolation: the allocation-free pass (reused
+/// scratch + weights buffers, O(n) k-th selection, fused mean/max) against
+/// the pre-optimization baseline (owned neighborhood, fresh weights `Vec`
+/// per node, full `clone` + descending sort). Checksums are asserted equal
+/// so both sides do identical work.
+fn bench_node_pass(c: &mut Criterion) {
+    let g = graph();
+    let config = MetaBlockingConfig {
+        scheme: WeightScheme::Cbs,
+        pruning: PruningStrategy::Cnp { k: None, reciprocal: false },
+        use_entropy: false,
+    };
+    assert_eq!(
+        node_stats_pass_checksum(&g, &config).to_bits(),
+        node_stats_pass_baseline_checksum(&g, &config).to_bits(),
+        "node-pass variants must agree before timing them"
+    );
+    let mut group = c.benchmark_group("metablocking/node-pass");
+    group.sample_size(20);
+    group.bench_function("alloc-free", |b| {
+        b.iter(|| node_stats_pass_checksum(black_box(&g), &config))
+    });
+    group.bench_function("sort-clone-baseline", |b| {
+        b.iter(|| node_stats_pass_baseline_checksum(black_box(&g), &config))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_weight_schemes,
     bench_pruning_strategies,
-    bench_parallel_vs_sequential
+    bench_parallel_vs_sequential,
+    bench_worker_scaling,
+    bench_node_pass
 );
 criterion_main!(benches);

@@ -37,6 +37,7 @@ fn main() {
             domain: Domain::Products,
             noise,
             seed: 0xB10C,
+            skew: None,
         });
         let methods: Vec<(&str, HashSet<Pair>)> = vec![
             (

@@ -2,7 +2,9 @@
 //! (fixed seeds so every experiment is reproducible) and plain-text table
 //! rendering.
 
-use sparker_datasets::{generate, DatasetConfig, Domain, GeneratedDataset, NoiseConfig};
+use sparker_datasets::{
+    generate, generate_dirty, DatasetConfig, Domain, GeneratedDataset, NoiseConfig, ZipfSkew,
+};
 
 /// The canonical benchmark suite used by the experiments: one dataset per
 /// domain the paper's demo offers, at laptop scale.
@@ -24,6 +26,7 @@ pub fn abt_buy_like(entities: usize) -> GeneratedDataset {
         domain: Domain::Products,
         noise: NoiseConfig::default(),
         seed: 0xAB7_B07,
+        skew: None,
     })
 }
 
@@ -35,6 +38,7 @@ pub fn bibliographic(entities: usize) -> GeneratedDataset {
         domain: Domain::Bibliographic,
         noise: NoiseConfig::default(),
         seed: 0xDB1_AC4,
+        skew: None,
     })
 }
 
@@ -46,6 +50,7 @@ pub fn movies(entities: usize) -> GeneratedDataset {
         domain: Domain::Movies,
         noise: NoiseConfig::default(),
         seed: 0x303135,
+        skew: None,
     })
 }
 
@@ -58,7 +63,52 @@ pub fn citations(entities: usize) -> GeneratedDataset {
         domain: Domain::Citations,
         noise: NoiseConfig::default(),
         seed: 0x5C401A,
+        skew: None,
     })
+}
+
+/// Dirty products catalogue with rank-correlated Zipfian block skew: the
+/// first eighth of the file is "popular" and draws many tokens from a
+/// Zipf-distributed hot pool, so the blocking graph has a contiguous hub
+/// region at low profile ids — the worst case for equal-count contiguous
+/// partitioning. The pool is wide and the exponent mild so the hub is made
+/// of *many mid-size* hot blocks: those survive the standard
+/// purge + block-filtering pipeline (which kills the few monster blocks)
+/// and keep the hub dense while the tail goes sparse. Same seed as
+/// [`uniform_dirty`], so the skew knob is the only delta.
+pub fn skewed_dirty(entities: usize) -> GeneratedDataset {
+    generate_dirty(
+        &DatasetConfig {
+            entities,
+            unmatched_per_source: 0,
+            domain: Domain::Products,
+            noise: NoiseConfig::default(),
+            seed: 0x51E3BF,
+            skew: Some(ZipfSkew {
+                hot_tokens: 1000,
+                exponent: 0.4,
+                hot_entity_fraction: 0.125,
+                appends: 96,
+            }),
+        },
+        2,
+    )
+}
+
+/// The unskewed control for [`skewed_dirty`]: identical configuration with
+/// the Zipf knob off.
+pub fn uniform_dirty(entities: usize) -> GeneratedDataset {
+    generate_dirty(
+        &DatasetConfig {
+            entities,
+            unmatched_per_source: 0,
+            domain: Domain::Products,
+            noise: NoiseConfig::default(),
+            seed: 0x51E3BF,
+            skew: None,
+        },
+        2,
+    )
 }
 
 /// Minimal fixed-width table printer for experiment output.

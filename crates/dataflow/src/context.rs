@@ -93,6 +93,53 @@ impl Context {
         self.parallelize(data, self.default_partitions)
     }
 
+    /// Distribute `data` over `num_partitions` contiguous slices whose
+    /// **total cost** — not record count — is balanced.
+    ///
+    /// `costs[i]` is a relative work hint for `data[i]` (e.g. a node's
+    /// degree in meta-blocking). Chunk boundaries are cut at the prefix-sum
+    /// quantiles `k · Σcosts / n`, so a contiguous run of expensive records
+    /// (the hub region of a skewed graph) is spread over many partitions
+    /// instead of landing in one. Zero costs are treated as 1 so every
+    /// record still advances the prefix. Like [`Context::parallelize`],
+    /// partitions are contiguous ranges: concatenation order equals input
+    /// order, and the result is a pure function of `(data, costs, n)` —
+    /// worker-count independent.
+    pub fn parallelize_by_cost<T: Send + Sync>(
+        &self,
+        data: Vec<T>,
+        costs: &[u64],
+        num_partitions: usize,
+    ) -> Dataset<T> {
+        assert_eq!(data.len(), costs.len(), "one cost per record");
+        let n = num_partitions.max(1);
+        let total: u128 = costs.iter().map(|&c| c.max(1) as u128).sum();
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(n);
+        let mut acc: u128 = 0;
+        let mut start = 0usize;
+        let mut it = data.into_iter();
+        for k in 1..=n {
+            let target = total * k as u128 / n as u128;
+            let mut end = start;
+            while end < costs.len() && (acc < target || k == n) {
+                acc += costs[end].max(1) as u128;
+                end += 1;
+            }
+            parts.push(it.by_ref().take(end - start).collect());
+            start = end;
+        }
+        Dataset::from_parts(self.clone(), parts.into_iter().map(Arc::new).collect())
+    }
+
+    /// [`Context::parallelize_by_cost`] with the default partition count.
+    pub fn parallelize_by_cost_default<T: Send + Sync>(
+        &self,
+        data: Vec<T>,
+        costs: &[u64],
+    ) -> Dataset<T> {
+        self.parallelize_by_cost(data, costs, self.default_partitions)
+    }
+
     /// An empty dataset with one (empty) partition.
     pub fn empty<T: Send + Sync>(&self) -> Dataset<T> {
         Dataset::from_parts(self.clone(), vec![Arc::new(Vec::new())])
@@ -135,6 +182,56 @@ mod tests {
         assert_eq!(ds.num_partitions(), 5);
         assert_eq!(ds.collect(), vec![1, 2]);
         assert_eq!(ds.partition_sizes().iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn parallelize_by_cost_balances_skewed_costs() {
+        let ctx = Context::new(2);
+        // One hub record worth 90% of the work at the front.
+        let costs = [90u64, 2, 2, 2, 2, 2];
+        let ds = ctx.parallelize_by_cost((0..6).collect::<Vec<_>>(), &costs, 2);
+        assert_eq!(ds.num_partitions(), 2);
+        // The hub alone crosses the 50% quantile: it gets its own chunk.
+        assert_eq!(ds.partition_sizes(), vec![1, 5]);
+        assert_eq!(ds.collect(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallelize_by_cost_uniform_costs_match_equal_count() {
+        let ctx = Context::new(4);
+        let costs = vec![1u64; 10];
+        let ds = ctx.parallelize_by_cost((0..10).collect::<Vec<_>>(), &costs, 4);
+        // Quantile cuts at 2.5/5/7.5 → ceil boundaries 3/5/8.
+        assert_eq!(ds.partition_sizes().iter().sum::<usize>(), 10);
+        assert_eq!(ds.collect(), (0..10).collect::<Vec<_>>());
+        assert!(ds.partition_sizes().iter().all(|&s| (2..=3).contains(&s)));
+    }
+
+    #[test]
+    fn parallelize_by_cost_zero_costs_still_distribute() {
+        let ctx = Context::new(2);
+        let ds = ctx.parallelize_by_cost((0..8).collect::<Vec<_>>(), &[0u64; 8], 4);
+        assert_eq!(ds.num_partitions(), 4);
+        assert_eq!(ds.partition_sizes(), vec![2, 2, 2, 2]);
+        assert_eq!(ds.collect(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallelize_by_cost_empty_and_clamped() {
+        let ctx = Context::new(2);
+        let ds: Dataset<u8> = ctx.parallelize_by_cost(Vec::new(), &[], 0);
+        assert_eq!(ds.num_partitions(), 1);
+        assert!(ds.collect().is_empty());
+        let ds = ctx.parallelize_by_cost_default(vec![1, 2, 3], &[5, 1, 1]);
+        assert_eq!(ds.num_partitions(), ctx.default_partitions());
+        assert_eq!(ds.collect(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per record")]
+    fn parallelize_by_cost_length_mismatch_rejected() {
+        let ctx = Context::new(2);
+        let _ = ctx.parallelize_by_cost(vec![1, 2, 3], &[1u64], 2);
     }
 
     #[test]

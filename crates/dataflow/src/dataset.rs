@@ -61,6 +61,7 @@ fn record_stage(
         wall_time: t0.elapsed(),
         busy_time: stats.busy_time,
         queue_wait: stats.queue_wait,
+        per_worker_busy: stats.per_worker_busy,
     });
 }
 
@@ -174,6 +175,76 @@ impl<T: Send + Sync> Dataset<T> {
         F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
     {
         self.narrow_stage("map_partitions", f)
+    }
+
+    /// Morsel-granular narrow stage: split every partition into contiguous
+    /// runs of at most `grain` records and make each run its own pool task,
+    /// claimed dynamically off the stage's atomic counter.
+    ///
+    /// With one task per partition (`map_partitions`), a stage's wall-clock
+    /// is the *heaviest partition*; with morsels it tracks *total work*,
+    /// because a worker that finishes a cheap morsel immediately claims the
+    /// next one — the standard morsel-driven remedy for skew. `f` receives
+    /// the executing **worker slot** (stable in `0..ctx.workers()`, one task
+    /// per slot at a time) so callers can reuse per-worker scratch state
+    /// (see [`crate::WorkerLocal`]) across morsels.
+    ///
+    /// Output is deterministic: morsel results are written to slots and
+    /// re-concatenated per input partition in record order, so the result
+    /// equals `map_partitions` applied to the same per-record function —
+    /// only the schedule changes, never the order.
+    pub fn map_morsels<U, F>(&self, grain: usize, f: F) -> Dataset<U>
+    where
+        U: Send + Sync,
+        F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    {
+        let grain = grain.max(1);
+        let t0 = Instant::now();
+        // Morsel descriptors, partition-major: (partition, start, end).
+        // Ceil-divide within each partition so morsel sizes differ by ≤ 1.
+        let mut morsels: Vec<(usize, usize, usize)> = Vec::new();
+        let mut morsels_per_part: Vec<usize> = Vec::with_capacity(self.parts.len());
+        for (p, part) in self.parts.iter().enumerate() {
+            let count = part.len().div_ceil(grain).max(1);
+            morsels_per_part.push(count);
+            let base = part.len() / count;
+            let extra = part.len() % count;
+            let mut start = 0usize;
+            for m in 0..count {
+                let end = start + base + usize::from(m < extra);
+                morsels.push((p, start, end));
+                start = end;
+            }
+        }
+        let (out, stats) = self.ctx.pool().run_on_workers(morsels.len(), |worker, t| {
+            let (p, start, end) = morsels[t];
+            f(worker, &self.parts[p][start..end])
+        });
+        let produced: u64 = out.iter().map(|m| m.len() as u64).sum();
+        let mut parts: Vec<Vec<U>> = Vec::with_capacity(self.parts.len());
+        let mut it = out.into_iter();
+        for count in morsels_per_part {
+            let mut merged: Vec<U> = Vec::new();
+            for chunk in it.by_ref().take(count) {
+                if merged.is_empty() {
+                    merged = chunk;
+                } else {
+                    merged.extend(chunk);
+                }
+            }
+            parts.push(merged);
+        }
+        record_stage(
+            &self.ctx,
+            "map_morsels",
+            morsels.len(),
+            self.count() as u64,
+            produced,
+            0,
+            t0,
+            stats,
+        );
+        Dataset::from_parts(self.ctx.clone(), parts.into_iter().map(Arc::new).collect())
     }
 
     /// Execute `f` once per record for its side effects (an action).
@@ -1089,5 +1160,61 @@ mod tests {
     #[should_panic(expected = "sample fraction")]
     fn sample_rejects_bad_fraction() {
         ctx().parallelize(vec![1], 1).sample(0, 1.5);
+    }
+
+    #[test]
+    fn map_morsels_matches_map_partitions() {
+        let c = Context::with_partitions(4, 3);
+        let ds = c.parallelize((0..103u64).collect::<Vec<_>>(), 3);
+        let by_parts = ds.map_partitions(|_, p| p.iter().map(|x| x * 2).collect::<Vec<_>>());
+        for grain in [1, 2, 7, 50, 1000] {
+            let by_morsels = ds.map_morsels(grain, |_, p| p.iter().map(|x| x * 2).collect());
+            assert_eq!(by_morsels.collect(), by_parts.collect(), "grain={grain}");
+            assert_eq!(by_morsels.num_partitions(), ds.num_partitions());
+            assert_eq!(by_morsels.partition_sizes(), ds.partition_sizes());
+        }
+    }
+
+    #[test]
+    fn map_morsels_records_one_task_per_morsel() {
+        let c = Context::with_partitions(2, 2);
+        let ds = c.parallelize((0..40u64).collect::<Vec<_>>(), 2);
+        c.reset_metrics();
+        ds.map_morsels(5, |_, p| p.to_vec());
+        let snap = c.metrics();
+        assert_eq!(snap.stages[0].name, "map_morsels");
+        assert_eq!(snap.stages[0].tasks, 8, "40 records / grain 5");
+        assert_eq!(snap.stages[0].per_worker_busy.len(), 2);
+    }
+
+    #[test]
+    fn map_morsels_worker_slots_are_valid() {
+        let c = Context::new(4);
+        let ds = c.parallelize((0..200u64).collect::<Vec<_>>(), 8);
+        let slots = ds.map_morsels(3, |worker, p| vec![worker; p.len()]);
+        assert!(slots.collect().iter().all(|&w| w < 4));
+    }
+
+    #[test]
+    fn map_morsels_empty_partitions_survive() {
+        let c = Context::new(2);
+        let ds = c.parallelize(vec![1u8, 2], 5);
+        let out = ds.map_morsels(4, |_, p| p.to_vec());
+        assert_eq!(out.num_partitions(), 5);
+        assert_eq!(out.collect(), vec![1, 2]);
+    }
+
+    #[test]
+    fn map_morsels_identical_across_worker_counts() {
+        let run = |workers: usize| {
+            let c = Context::with_partitions(workers, 5);
+            let ds = c.parallelize((0..301u64).collect::<Vec<_>>(), 5);
+            ds.map_morsels(8, |_, p| p.iter().map(|x| x.wrapping_mul(31)).collect())
+                .collect()
+        };
+        let base = run(1);
+        for w in [2, 4, 8] {
+            assert_eq!(run(w), base, "workers={w}");
+        }
     }
 }

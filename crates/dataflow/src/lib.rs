@@ -34,6 +34,26 @@
 //! many short stages (purging, filtering, per-block pruning), which is
 //! precisely the shape that benefits.
 //!
+//! ## Skew-aware scheduling: cost hints + morsels
+//!
+//! Real blocking graphs have power-law degree skew, so equal-*count*
+//! partitioning stalls a stage on its hub-heavy slice. Two mechanisms keep
+//! stage wall-clock tracking total work instead of the heaviest partition:
+//!
+//! 1. **Cost-hinted partitioning** — [`Context::parallelize_by_cost`] cuts
+//!    contiguous chunks at the prefix-sum quantiles of per-record cost
+//!    weights, so partitions are balanced by *work*, not record count.
+//! 2. **Morsel execution** — [`Dataset::map_morsels`] splits each partition
+//!    into many small contiguous runs, each an independently claimed pool
+//!    task; idle workers steal the next morsel off the atomic counter, and
+//!    [`WorkerLocal`] gives every worker slot a reusable scratch value
+//!    across the morsels it runs.
+//!
+//! Both are schedule-only: outputs stay slot-indexed, partition-major and
+//! byte-identical to their equal-count, one-task-per-partition equivalents.
+//! Per-stage [`StageMetrics::per_worker_busy`] records where the time
+//! actually went, so balance is measured, not assumed.
+//!
 //! ## Determinism by slot indexing
 //!
 //! All operators produce results that are independent of the worker count.
@@ -86,6 +106,7 @@ mod context;
 mod dataset;
 mod metrics;
 mod pool;
+mod worker_local;
 
 pub use accumulator::Accumulator;
 pub use broadcast::Broadcast;
@@ -93,6 +114,7 @@ pub use context::Context;
 pub use dataset::{Dataset, KeyedDataset};
 pub use metrics::{ExecutionMetrics, MetricsSnapshot, StageMetrics};
 pub use pool::{StageStats, WorkerPool};
+pub use worker_local::WorkerLocal;
 
 /// Hash a key to a shuffle partition index.
 ///

@@ -26,12 +26,18 @@ pub struct StageMetrics {
     pub shuffle_records: u64,
     /// Wall-clock time of the stage (submission to last task completion).
     pub wall_time: Duration,
-    /// Sum of task execution time across all workers. Under perfect
-    /// parallelism this approaches `wall_time * workers`.
+    /// Sum of task CPU time across all workers (preemption excluded, so
+    /// the number reflects work executed even on an oversubscribed host).
+    /// Under perfect parallelism on dedicated cores this approaches
+    /// `wall_time * workers`.
     pub busy_time: Duration,
     /// Sum over participating workers of the delay between stage
     /// publication and that worker claiming its first task.
     pub queue_wait: Duration,
+    /// CPU time per worker slot for this stage (slot 0 = the submitting
+    /// thread). Empty for driver-side pseudo-stages. The spread is the
+    /// stage's load balance; the maximum entry is its critical path.
+    pub per_worker_busy: Vec<Duration>,
 }
 
 impl StageMetrics {
@@ -46,7 +52,14 @@ impl StageMetrics {
             wall_time: Duration::ZERO,
             busy_time: Duration::ZERO,
             queue_wait: Duration::ZERO,
+            per_worker_busy: Vec::new(),
         }
+    }
+
+    /// The slowest worker's busy time in this stage — the stage's critical
+    /// path (wall-clock lower bound on a one-core-per-worker machine).
+    pub fn critical_path(&self) -> Duration {
+        self.per_worker_busy.iter().copied().max().unwrap_or_default()
     }
 }
 
@@ -90,6 +103,30 @@ impl MetricsSnapshot {
     /// Total queue wait across all stages.
     pub fn total_queue_wait(&self) -> Duration {
         self.stages.iter().map(|s| s.queue_wait).sum()
+    }
+
+    /// Per-worker busy time summed over all recorded stages (slot-indexed).
+    ///
+    /// Unlike [`MetricsSnapshot::worker_busy`] this covers exactly the
+    /// recorded stages, so it composes with [`crate::Context::reset_metrics`]
+    /// for per-run load-balance measurements.
+    pub fn stage_worker_busy(&self) -> Vec<Duration> {
+        let mut totals: Vec<Duration> = Vec::new();
+        for s in &self.stages {
+            if s.per_worker_busy.len() > totals.len() {
+                totals.resize(s.per_worker_busy.len(), Duration::ZERO);
+            }
+            for (slot, d) in s.per_worker_busy.iter().enumerate() {
+                totals[slot] += *d;
+            }
+        }
+        totals
+    }
+
+    /// Sum over stages of each stage's slowest worker: the pipeline's
+    /// critical path under the recorded schedule.
+    pub fn total_critical_path(&self) -> Duration {
+        self.stages.iter().map(StageMetrics::critical_path).sum()
     }
 }
 
@@ -138,6 +175,7 @@ mod tests {
             wall_time: Duration::from_millis(5),
             busy_time: Duration::from_millis(8),
             queue_wait: Duration::from_micros(20),
+            per_worker_busy: vec![Duration::from_millis(5), Duration::from_millis(3)],
         }
     }
 
@@ -155,6 +193,11 @@ mod tests {
         assert_eq!(s.total_wall_time(), Duration::from_millis(10));
         assert_eq!(s.total_busy_time(), Duration::from_millis(16));
         assert_eq!(s.total_queue_wait(), Duration::from_micros(40));
+        assert_eq!(
+            s.stage_worker_busy(),
+            vec![Duration::from_millis(10), Duration::from_millis(6)]
+        );
+        assert_eq!(s.total_critical_path(), Duration::from_millis(10));
     }
 
     #[test]

@@ -26,24 +26,84 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Per-stage execution statistics reported by [`WorkerPool::run_with_stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Busy times are **thread CPU time**, not wall clock: on an oversubscribed
+/// host (more workers than cores) a task's wall time includes the slices
+/// the OS gave to other threads, which would make every schedule look
+/// balanced. CPU time charges each worker exactly the work it executed, so
+/// the per-slot spread reflects the schedule itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageStats {
-    /// Sum of task execution time across all workers.
+    /// Sum of task CPU time across all workers.
     pub busy_time: Duration,
     /// Sum over participating workers of the delay between stage publication
-    /// and that worker claiming its first task.
+    /// and that worker claiming its first task (wall clock — it is a wait).
     pub queue_wait: Duration,
+    /// CPU time per worker slot for *this stage* (slot 0 = the submitting
+    /// thread). The spread across slots is the stage's load balance: the
+    /// maximum entry is the stage's critical path — the wall-clock lower
+    /// bound on a machine with one core per worker.
+    pub per_worker_busy: Vec<Duration>,
+}
+
+impl StageStats {
+    /// The slowest worker's busy time — the stage's critical path.
+    pub fn critical_path(&self) -> Duration {
+        self.per_worker_busy.iter().copied().max().unwrap_or_default()
+    }
 }
 
 impl std::ops::Add for StageStats {
     type Output = StageStats;
 
     fn add(self, rhs: StageStats) -> StageStats {
+        let (mut long, short) = if self.per_worker_busy.len() >= rhs.per_worker_busy.len() {
+            (self.per_worker_busy, rhs.per_worker_busy)
+        } else {
+            (rhs.per_worker_busy, self.per_worker_busy)
+        };
+        for (slot, d) in short.into_iter().enumerate() {
+            long[slot] += d;
+        }
         StageStats {
             busy_time: self.busy_time + rhs.busy_time,
             queue_wait: self.queue_wait + rhs.queue_wait,
+            per_worker_busy: long,
         }
     }
+}
+
+/// Nanoseconds of CPU time consumed by the calling thread.
+///
+/// On Linux this reads `CLOCK_THREAD_CPUTIME_ID` directly (the symbol is in
+/// the libc the binary already links; no crate dependency), so time spent
+/// preempted does not count. Elsewhere it degrades to the monotonic wall
+/// clock — correct on a machine with a core per worker, pessimistic
+/// otherwise.
+#[cfg(target_os = "linux")]
+fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: `ts` is a valid out-pointer and the clock id is a constant
+    // every Linux kernel supports; the call writes `ts` and nothing else.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "CLOCK_THREAD_CPUTIME_ID unavailable");
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 /// Type-erased stage closure: `(worker_slot, task_index)`.
@@ -75,6 +135,8 @@ struct Batch {
     published_at: Instant,
     busy_ns: AtomicU64,
     queue_wait_ns: AtomicU64,
+    /// Busy time of this batch broken down by worker slot.
+    worker_busy_ns: Vec<AtomicU64>,
 }
 
 impl Batch {
@@ -94,13 +156,14 @@ impl Batch {
                 );
             }
             if !self.abort.load(Ordering::Relaxed) {
-                let t0 = Instant::now();
+                let t0 = thread_cpu_ns();
                 // SAFETY: `i < num_tasks` and `remaining > 0` (this task has
                 // not completed), so the submitter is still blocked and the
                 // closure is alive.
                 let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.task.0)(worker_slot, i) }));
-                let dt = t0.elapsed().as_nanos() as u64;
+                let dt = thread_cpu_ns().saturating_sub(t0);
                 self.busy_ns.fetch_add(dt, Ordering::Relaxed);
+                self.worker_busy_ns[worker_slot].fetch_add(dt, Ordering::Relaxed);
                 shared.busy_ns[worker_slot].fetch_add(dt, Ordering::Relaxed);
                 if let Err(payload) = result {
                     self.abort.store(true, Ordering::Relaxed);
@@ -199,7 +262,8 @@ impl WorkerPool {
         self.workers
     }
 
-    /// Cumulative busy time per worker slot (0 = submitting thread).
+    /// Cumulative busy (thread CPU) time per worker slot (0 = submitting
+    /// thread).
     pub fn worker_busy_times(&self) -> Vec<Duration> {
         self.shared
             .busy_ns
@@ -244,13 +308,29 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize) -> R + Send + Sync,
     {
+        self.run_on_workers(num_tasks, |_worker, i| task(i))
+    }
+
+    /// [`WorkerPool::run_with_stats`] with the executing worker slot exposed
+    /// to the task as `task(worker_slot, task_index)`.
+    ///
+    /// The slot is in `0..self.workers()` and at most one task runs on a
+    /// given slot at any time, so slot-indexed scratch state (see
+    /// [`crate::WorkerLocal`]) is data-race free. Results are still returned
+    /// in task order — the slot only identifies *where* a task ran, never
+    /// where its result lands.
+    pub fn run_on_workers<R, F>(&self, num_tasks: usize, task: F) -> (Vec<R>, StageStats)
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Send + Sync,
+    {
         if num_tasks == 0 {
             return (Vec::new(), StageStats::default());
         }
         let slots: Vec<Slot<R>> = (0..num_tasks).map(|_| Slot::empty()).collect();
         let slots_ref = SlotWriter(&slots);
-        let runner = move |_worker: usize, i: usize| {
-            let value = task(i);
+        let runner = move |worker: usize, i: usize| {
+            let value = task(worker, i);
             // SAFETY: task index `i` is claimed exactly once, so slot `i`
             // has a unique writer.
             unsafe { slots_ref.write(i, value) };
@@ -310,7 +390,7 @@ impl WorkerPool {
     fn execute(&self, num_tasks: usize, runner: &(dyn Fn(usize, usize) + Sync)) -> StageStats {
         let nested = IN_STAGE.with(|f| f.get());
         if self.workers == 1 || num_tasks == 1 || nested {
-            let t0 = Instant::now();
+            let t0 = thread_cpu_ns();
             let was = IN_STAGE.with(|f| f.replace(true));
             let result = catch_unwind(AssertUnwindSafe(|| {
                 for i in 0..num_tasks {
@@ -318,14 +398,17 @@ impl WorkerPool {
                 }
             }));
             IN_STAGE.with(|f| f.set(was));
-            let busy = t0.elapsed();
+            let busy = Duration::from_nanos(thread_cpu_ns().saturating_sub(t0));
             self.shared.busy_ns[0].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
             if let Err(payload) = result {
                 resume_unwind(payload);
             }
+            let mut per_worker_busy = vec![Duration::ZERO; self.workers];
+            per_worker_busy[0] = busy;
             return StageStats {
                 busy_time: busy,
                 queue_wait: Duration::ZERO,
+                per_worker_busy,
             };
         }
 
@@ -349,6 +432,7 @@ impl WorkerPool {
             published_at: Instant::now(),
             busy_ns: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
+            worker_busy_ns: (0..self.workers).map(|_| AtomicU64::new(0)).collect(),
         });
 
         {
@@ -379,6 +463,11 @@ impl WorkerPool {
         StageStats {
             busy_time: Duration::from_nanos(batch.busy_ns.load(Ordering::Relaxed)),
             queue_wait: Duration::from_nanos(batch.queue_wait_ns.load(Ordering::Relaxed)),
+            per_worker_busy: batch
+                .worker_busy_ns
+                .iter()
+                .map(|ns| Duration::from_nanos(ns.load(Ordering::Relaxed)))
+                .collect(),
         }
     }
 }
@@ -597,15 +686,81 @@ mod tests {
         assert_eq!(out, (0..10).map(|i| i * 4).collect::<Vec<_>>());
     }
 
+    /// Burn `d` of thread CPU time (sleeping would accrue none — busy
+    /// accounting charges CPU, not wall).
+    fn burn_cpu(d: Duration) {
+        let t0 = thread_cpu_ns();
+        let target = d.as_nanos() as u64;
+        let mut h = 0u64;
+        while thread_cpu_ns().saturating_sub(t0) < target {
+            h = std::hint::black_box(h.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17));
+        }
+    }
+
     #[test]
     fn stats_account_busy_time() {
         let pool = WorkerPool::new(2);
         let (_, stats) = pool.run_with_stats(8, |_| {
-            std::thread::sleep(Duration::from_millis(2));
+            burn_cpu(Duration::from_millis(2));
         });
         assert!(stats.busy_time >= Duration::from_millis(10), "got {:?}", stats.busy_time);
         let busy = pool.worker_busy_times();
         assert_eq!(busy.len(), 2);
         assert!(busy.iter().sum::<Duration>() >= stats.busy_time);
+    }
+
+    #[test]
+    fn per_worker_busy_partitions_stage_busy_time() {
+        let pool = WorkerPool::new(4);
+        let (_, stats) = pool.run_with_stats(32, |_| {
+            burn_cpu(Duration::from_micros(300));
+        });
+        assert_eq!(stats.per_worker_busy.len(), 4);
+        let sum: Duration = stats.per_worker_busy.iter().sum();
+        assert_eq!(sum, stats.busy_time, "per-worker slices cover the stage");
+        assert!(stats.critical_path() >= sum / 4, "max ≥ mean");
+        assert!(stats.critical_path() <= stats.busy_time);
+    }
+
+    #[test]
+    fn inline_stage_attributes_busy_to_slot_zero() {
+        let pool = WorkerPool::new(1);
+        let (_, stats) = pool.run_with_stats(4, |_| {
+            burn_cpu(Duration::from_micros(200));
+        });
+        assert_eq!(stats.per_worker_busy.len(), 1);
+        assert_eq!(stats.per_worker_busy[0], stats.busy_time);
+    }
+
+    #[test]
+    fn run_on_workers_exposes_valid_slots() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_on_workers(64, |worker, i| (worker, i)).0;
+        assert_eq!(out.len(), 64);
+        for (idx, (worker, i)) in out.iter().enumerate() {
+            assert!(*worker < 4, "slot {worker} out of range");
+            assert_eq!(*i, idx, "results stay in task order");
+        }
+    }
+
+    #[test]
+    fn stage_stats_add_merges_per_worker() {
+        let a = StageStats {
+            busy_time: Duration::from_millis(3),
+            queue_wait: Duration::ZERO,
+            per_worker_busy: vec![Duration::from_millis(1), Duration::from_millis(2)],
+        };
+        let b = StageStats {
+            busy_time: Duration::from_millis(4),
+            queue_wait: Duration::ZERO,
+            per_worker_busy: vec![Duration::from_millis(4)],
+        };
+        let sum = a + b;
+        assert_eq!(sum.busy_time, Duration::from_millis(7));
+        assert_eq!(
+            sum.per_worker_busy,
+            vec![Duration::from_millis(5), Duration::from_millis(2)]
+        );
+        assert_eq!(sum.critical_path(), Duration::from_millis(5));
     }
 }

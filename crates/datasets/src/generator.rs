@@ -200,6 +200,75 @@ impl Domain {
     }
 }
 
+/// Rank-correlated Zipfian block-size skew.
+///
+/// Real catalogues are ordered by popularity: the head of the file is full
+/// of best-sellers that share high-frequency tokens, so the blocking graph
+/// has a *contiguous* hub region at low profile ids — the worst case for
+/// equal-count contiguous partitioning. This knob reproduces that shape:
+/// the first `hot_entity_fraction` of entities (by ascending id) each get
+/// `appends` extra tokens drawn from a pool of `hot_tokens` hot tokens
+/// with Zipfian rank probabilities (`P(rank r) ∝ 1/r^exponent`), producing
+/// a few enormous blocks concentrated on the low-id prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSkew {
+    /// Size of the hot-token pool.
+    pub hot_tokens: usize,
+    /// Zipf exponent `s`; larger = more mass on the top-ranked tokens.
+    pub exponent: f64,
+    /// Fraction of entities (lowest ids first) that receive hot tokens.
+    pub hot_entity_fraction: f64,
+    /// Hot tokens appended to each hot entity.
+    pub appends: usize,
+}
+
+impl Default for ZipfSkew {
+    /// A pronounced but realistic skew: an eighth of the catalogue is
+    /// "popular", sharing 16 hot tokens at exponent 1.1.
+    fn default() -> Self {
+        ZipfSkew {
+            hot_tokens: 16,
+            exponent: 1.1,
+            hot_entity_fraction: 0.125,
+            appends: 3,
+        }
+    }
+}
+
+impl ZipfSkew {
+    /// Normalized CDF over the hot-token ranks.
+    fn cdf(&self) -> Vec<f64> {
+        assert!(self.hot_tokens >= 1, "need at least one hot token");
+        assert!(self.exponent > 0.0, "Zipf exponent must be positive");
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = (1..=self.hot_tokens)
+            .map(|r| {
+                acc += 1.0 / (r as f64).powf(self.exponent);
+                acc
+            })
+            .collect();
+        let total = *cdf.last().unwrap();
+        for c in &mut cdf {
+            *c /= total;
+        }
+        cdf
+    }
+
+    /// Append the sampled hot tokens for one hot entity to every canonical
+    /// representation's first attribute.
+    fn apply(&self, cdf: &[f64], canonical: &mut [Vec<String>; 2], rng: &mut StdRng) {
+        for _ in 0..self.appends {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let rank = cdf.partition_point(|&c| c < u).min(self.hot_tokens - 1);
+            for repr in canonical.iter_mut() {
+                if let Some(first) = repr.first_mut() {
+                    first.push_str(&format!(" hot{rank}"));
+                }
+            }
+        }
+    }
+}
+
 /// Configuration of a generated benchmark.
 #[derive(Debug, Clone)]
 pub struct DatasetConfig {
@@ -214,6 +283,9 @@ pub struct DatasetConfig {
     pub noise: NoiseConfig,
     /// Master seed; everything is a pure function of the configuration.
     pub seed: u64,
+    /// Optional rank-correlated block-size skew. `None` (the default)
+    /// leaves the generator's output — and its RNG stream — untouched.
+    pub skew: Option<ZipfSkew>,
 }
 
 impl Default for DatasetConfig {
@@ -224,6 +296,17 @@ impl Default for DatasetConfig {
             domain: Domain::Products,
             noise: NoiseConfig::default(),
             seed: 42,
+            skew: None,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// `true` when entity index `i` falls in the skewed (hot) id prefix.
+    fn is_hot(&self, i: usize) -> bool {
+        match &self.skew {
+            Some(s) => (i as f64) < self.entities as f64 * s.hot_entity_fraction,
+            None => false,
         }
     }
 }
@@ -277,12 +360,17 @@ fn render_profile(
 /// canonical values; source 1 a corrupted rendering under its own schema.
 pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf_cdf = config.skew.as_ref().map(ZipfSkew::cdf);
     let mut s0 = Vec::with_capacity(config.entities + config.unmatched_per_source);
     let mut s1 = Vec::with_capacity(config.entities + config.unmatched_per_source);
     let mut gt_pairs: Vec<(String, String)> = Vec::with_capacity(config.entities);
 
     for i in 0..config.entities {
-        let canonical = config.domain.canonical(i, &mut rng);
+        let mut canonical = config.domain.canonical(i, &mut rng);
+        if config.is_hot(i) {
+            let skew = config.skew.as_ref().unwrap();
+            skew.apply(zipf_cdf.as_ref().unwrap(), &mut canonical, &mut rng);
+        }
         let oid = format!("e{i}");
         s0.push(render_profile(
             config.domain,
@@ -347,11 +435,16 @@ pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
 pub fn generate_dirty(config: &DatasetConfig, max_cluster: usize) -> GeneratedDataset {
     assert!(max_cluster >= 1, "clusters need at least one member");
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf_cdf = config.skew.as_ref().map(ZipfSkew::cdf);
     let mut profiles = Vec::new();
     let mut clusters: Vec<Vec<usize>> = Vec::new();
 
     for i in 0..config.entities {
-        let canonical = config.domain.canonical(i, &mut rng);
+        let mut canonical = config.domain.canonical(i, &mut rng);
+        if config.is_hot(i) {
+            let skew = config.skew.as_ref().unwrap();
+            skew.apply(zipf_cdf.as_ref().unwrap(), &mut canonical, &mut rng);
+        }
         let size = rng.gen_range(1..=max_cluster);
         let mut members = Vec::with_capacity(size);
         for rep in 0..size {
@@ -537,6 +630,85 @@ mod tests {
                 "{a} vs {b}"
             );
         }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_hot_tokens_on_low_ids() {
+        let skew = ZipfSkew::default();
+        let frac = skew.hot_entity_fraction;
+        let config = DatasetConfig {
+            entities: 200,
+            unmatched_per_source: 0,
+            skew: Some(skew),
+            ..DatasetConfig::default()
+        };
+        let ds = generate_dirty(&config, 1); // one profile per entity → id = entity index
+        let hot_cut = (200.0 * frac) as usize;
+        for (i, p) in ds.collection.profiles().iter().enumerate() {
+            let has_hot = p.token_set().iter().any(|t| t.starts_with("hot"));
+            if i < hot_cut {
+                assert!(has_hot, "hot-prefix profile {i} missing hot tokens");
+            } else {
+                assert!(!has_hot, "cold profile {i} got hot tokens");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_ranks_follow_popularity() {
+        // Rank 0 must be (substantially) more frequent than the tail rank:
+        // the whole point of the Zipfian pool is a few enormous blocks.
+        let skew = ZipfSkew::default();
+        let top = format!("hot{}", 0);
+        let tail = format!("hot{}", skew.hot_tokens - 1);
+        let ds = generate_dirty(
+            &DatasetConfig {
+                entities: 400,
+                unmatched_per_source: 0,
+                skew: Some(skew.clone()),
+                ..DatasetConfig::default()
+            },
+            1,
+        );
+        let count = |tok: &str| {
+            ds.collection
+                .profiles()
+                .iter()
+                .filter(|p| p.token_set().contains(tok))
+                .count()
+        };
+        assert!(
+            count(&top) > 2 * count(&tail).max(1),
+            "hot0 ({}) not dominant over hot{} ({})",
+            count(&top),
+            skew.hot_tokens - 1,
+            count(&tail),
+        );
+    }
+
+    #[test]
+    fn skew_none_is_byte_identical_to_default() {
+        // The Option gate must not perturb the RNG stream.
+        let base = DatasetConfig {
+            entities: 60,
+            ..DatasetConfig::default()
+        };
+        let with_none = DatasetConfig {
+            skew: None,
+            ..base.clone()
+        };
+        assert_eq!(
+            generate(&base).collection.profiles(),
+            generate(&with_none).collection.profiles()
+        );
+        let skewed = generate(&DatasetConfig {
+            skew: Some(ZipfSkew::default()),
+            ..base
+        });
+        assert_ne!(
+            generate(&with_none).collection.profiles(),
+            skewed.collection.profiles()
+        );
     }
 
     #[test]

@@ -39,5 +39,5 @@ mod vocab;
 
 pub use export::{export_dataset, ExportFormat, ExportedFiles};
 pub use generator::{
-    generate, generate_dirty, DatasetConfig, Domain, GeneratedDataset, NoiseConfig,
+    generate, generate_dirty, DatasetConfig, Domain, GeneratedDataset, NoiseConfig, ZipfSkew,
 };

@@ -31,6 +31,9 @@ pub struct EdgeAccumulator {
 pub struct NeighborhoodScratch {
     acc: Vec<EdgeAccumulator>,
     touched: Vec<u32>,
+    /// Output buffer of [`BlockGraph::neighborhood_buffered`], reused
+    /// across nodes so a warm scratch makes the whole pass allocation-free.
+    out: Vec<(ProfileId, EdgeAccumulator)>,
 }
 
 /// A compact, immutable view of the block collection, indexed both ways,
@@ -209,6 +212,25 @@ impl BlockGraph {
         NeighborhoodScratch {
             acc: vec![EdgeAccumulator::default(); self.num_profiles],
             touched: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// The comparable co-members of `node` within block `b` (for
+    /// clean–clean, the other source's side; the node's side is located
+    /// from the block's own sorted membership).
+    fn candidates_of(&self, node: ProfileId, b: usize) -> &[ProfileId] {
+        let members = self.members_of(b);
+        match self.kind {
+            ErKind::Dirty => members,
+            ErKind::CleanClean => {
+                let split = self.block_split[b] as usize;
+                if members[..split].binary_search(&node).is_ok() {
+                    &members[split..]
+                } else {
+                    &members[..split]
+                }
+            }
         }
     }
 
@@ -236,25 +258,25 @@ impl BlockGraph {
         node: ProfileId,
         scratch: &mut NeighborhoodScratch,
     ) -> Vec<(ProfileId, EdgeAccumulator)> {
+        self.neighborhood_buffered(node, scratch).to_vec()
+    }
+
+    /// [`BlockGraph::neighborhood_with`] without the output allocation: the
+    /// neighborhood is materialized into the scratch's reusable output
+    /// buffer and returned as a borrow. After the first few nodes warm the
+    /// buffers, a full pass over the graph performs **zero** heap
+    /// allocations — the variant the meta-blocking hot loops use.
+    pub fn neighborhood_buffered<'s>(
+        &self,
+        node: ProfileId,
+        scratch: &'s mut NeighborhoodScratch,
+    ) -> &'s [(ProfileId, EdgeAccumulator)] {
         debug_assert_eq!(scratch.acc.len(), self.num_profiles, "foreign scratch");
         for &b in self.blocks_of(node) {
             let bi = b as usize;
-            let members = self.members_of(bi);
-            let split = self.block_split[bi] as usize;
             let comparisons = self.block_comparisons[bi].max(1) as f64;
             let entropy = self.entropies.as_ref().map_or(1.0, |e| e[bi]);
-            let candidates: &[ProfileId] = match self.kind {
-                ErKind::Dirty => members,
-                ErKind::CleanClean => {
-                    // Each side is sorted; locate the node's side.
-                    if members[..split].binary_search(&node).is_ok() {
-                        &members[split..]
-                    } else {
-                        &members[..split]
-                    }
-                }
-            };
-            for &other in candidates {
+            for &other in self.candidates_of(node, bi) {
                 if other == node {
                     continue;
                 }
@@ -268,26 +290,42 @@ impl BlockGraph {
             }
         }
         scratch.touched.sort_unstable();
-        let mut out = Vec::with_capacity(scratch.touched.len());
+        scratch.out.clear();
         for &t in &scratch.touched {
-            out.push((ProfileId(t), scratch.acc[t as usize]));
+            scratch.out.push((ProfileId(t), scratch.acc[t as usize]));
             scratch.acc[t as usize] = EdgeAccumulator::default();
         }
         scratch.touched.clear();
-        out
+        &scratch.out
     }
 
     /// Node degrees (distinct comparable neighbors per profile) and the
-    /// total number of distinct edges — the global statistics EJS needs.
+    /// total number of distinct edges — the global statistics EJS needs and
+    /// the cost hints skew-aware partitioning feeds on.
+    ///
+    /// Counting-only: neighbors are deduplicated with an epoch-marked seen
+    /// array instead of materializing accumulator-laden, sorted
+    /// neighborhoods — no [`EdgeAccumulator`] writes, no sort, two
+    /// allocations total.
     pub fn degrees(&self) -> (Vec<u32>, u64) {
         let mut degrees = vec![0u32; self.num_profiles];
+        // seen[p] == i marks p as already counted for node i; u32::MAX is
+        // never a node id (ids are < num_profiles ≤ u32::MAX).
+        let mut seen = vec![u32::MAX; self.num_profiles];
         let mut edges = 0u64;
-        let mut scratch = self.scratch();
         for (i, slot) in degrees.iter_mut().enumerate() {
             let node = ProfileId(i as u32);
-            let n = self.neighborhood_with(node, &mut scratch).len() as u32;
-            *slot = n;
-            edges += n as u64;
+            let mut count = 0u32;
+            for &b in self.blocks_of(node) {
+                for &other in self.candidates_of(node, b as usize) {
+                    if other != node && seen[other.index()] != i as u32 {
+                        seen[other.index()] = i as u32;
+                        count += 1;
+                    }
+                }
+            }
+            *slot = count;
+            edges += count as u64;
         }
         (degrees, edges / 2)
     }
@@ -380,6 +418,43 @@ mod tests {
         let (degrees, edges) = g.degrees();
         assert_eq!(degrees, vec![2, 2, 2, 2]);
         assert_eq!(edges, 4);
+    }
+
+    #[test]
+    fn counting_degrees_match_materialized_neighborhoods() {
+        // The counting-only path must agree with full materialization on a
+        // graph with repeated co-occurrence (shared blocks > 1 per pair).
+        let coll = ProfileCollection::dirty(
+            (0..40)
+                .map(|i| {
+                    Profile::builder(SourceId(0), i.to_string())
+                        .attr("t", format!("tok{} tok{} hub", i % 6, (i + 2) % 6))
+                        .build()
+                })
+                .collect(),
+        );
+        let g = BlockGraph::new(&token_blocking(&coll), None);
+        let (degrees, edges) = g.degrees();
+        let mut expect_edges = 0u64;
+        for (i, d) in degrees.iter().enumerate() {
+            let n = g.neighborhood(ProfileId(i as u32));
+            assert_eq!(*d as usize, n.len(), "node {i}");
+            expect_edges += n.len() as u64;
+        }
+        assert_eq!(edges, expect_edges / 2);
+    }
+
+    #[test]
+    fn buffered_neighborhood_equals_allocating_variant() {
+        let (_, blocks) = figure1();
+        let g = BlockGraph::new(&blocks, None);
+        let mut scratch = g.scratch();
+        for i in 0..4u32 {
+            let node = ProfileId(i);
+            let owned = g.neighborhood(node);
+            let borrowed = g.neighborhood_buffered(node, &mut scratch).to_vec();
+            assert_eq!(owned, borrowed, "node {i}");
+        }
     }
 
     #[test]

@@ -12,19 +12,71 @@
 //! statistics (means / maxima / k-th weights, plus the global weight pool
 //! for the edge-centric strategies), pass B re-materializes each
 //! neighborhood and applies the retention rule. Results are identical to
-//! the sequential driver (asserted by tests).
+//! the sequential driver (asserted by tests and proptests).
+//!
+//! ## Skew-aware scheduling
+//!
+//! Real blocking graphs are power-law skewed: a few hub nodes own most of
+//! the edges, so equal-*count* node partitions stall each stage on the
+//! hub-heavy slice. The default [`Scheduling::CostMorsel`] counters this
+//! twice over:
+//!
+//! 1. **Cost-hinted partitioning** — node degrees (computed by a cheap
+//!    counting-only pass, no edge materialization) are fed to
+//!    `Context::parallelize_by_cost`, cutting contiguous node ranges whose
+//!    total *degree* — i.e. work — is balanced.
+//! 2. **Morsel execution** — each partition is further split into many
+//!    small contiguous morsels claimed dynamically off the pool's atomic
+//!    task counter, with one reusable `(NeighborhoodScratch, weights)`
+//!    buffer per worker slot ([`WorkerLocal`]), so the per-node hot loop
+//!    stays allocation-free across morsel boundaries.
+//!
+//! Both mechanisms are schedule-only: node order, weight-accumulation
+//! order and output order are unchanged, so [`Scheduling::EqualCount`] and
+//! [`Scheduling::CostMorsel`] produce byte-identical results.
 
 use crate::graph::BlockGraph;
 use crate::pruning::{
-    cnp_budget, node_pass_single, resolve_rule, MetaBlockingConfig, PruningStrategy,
+    cnp_budget, node_pass_single, resolve_rule, MetaBlockingConfig, NodeStats, PruningStrategy,
 };
 use crate::weights::GlobalStats;
-use sparker_dataflow::{Broadcast, Context};
+use sparker_dataflow::{Broadcast, Context, WorkerLocal};
 use sparker_profiles::{Pair, ProfileId};
 use std::sync::Arc;
 
+/// How node work is mapped onto pool tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Equal-count contiguous node partitions, one task per partition —
+    /// Spark's default `parallelize` behaviour. Stalls on hub-heavy slices
+    /// of skewed graphs; kept as the measurable baseline.
+    EqualCount,
+    /// Degree-cost-balanced partitions executed as dynamically claimed
+    /// morsels with per-worker scratch reuse (see the module docs).
+    #[default]
+    CostMorsel,
+}
+
+impl Scheduling {
+    /// Stable name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheduling::EqualCount => "equal-count",
+            Scheduling::CostMorsel => "cost-morsel",
+        }
+    }
+}
+
+/// Morsel grain: split each partition into roughly `32 × workers` claimable
+/// tasks overall so dynamic claiming can rebalance what the cost hints
+/// missed, without drowning in task bookkeeping.
+fn morsel_grain(num_nodes: usize, ctx: &Context) -> usize {
+    (num_nodes / (ctx.workers() * 32)).max(1)
+}
+
 /// Parallel meta-blocking over a prebuilt [`BlockGraph`]; equivalent to
-/// [`crate::meta_blocking_graph`].
+/// [`crate::meta_blocking_graph`]. Uses the default skew-aware
+/// [`Scheduling::CostMorsel`]; see [`meta_blocking_scheduled`] to pick.
 ///
 /// The graph is taken as an `Arc` so the broadcast adopts the driver's
 /// shared handle instead of deep-cloning the whole structure — exactly the
@@ -34,6 +86,18 @@ pub fn meta_blocking(
     graph: &Arc<BlockGraph>,
     config: &MetaBlockingConfig,
 ) -> Vec<(Pair, f64)> {
+    meta_blocking_scheduled(ctx, graph, config, Scheduling::default())
+}
+
+/// [`meta_blocking`] with an explicit [`Scheduling`] policy. Both policies
+/// return byte-identical results; they differ only in how node work lands
+/// on workers (and therefore in stage critical path under skew).
+pub fn meta_blocking_scheduled(
+    ctx: &Context,
+    graph: &Arc<BlockGraph>,
+    config: &MetaBlockingConfig,
+    scheduling: Scheduling,
+) -> Vec<(Pair, f64)> {
     if config.use_entropy {
         assert!(
             graph.has_entropies(),
@@ -41,7 +105,23 @@ pub fn meta_blocking(
         );
     }
     let scheme = config.scheme;
-    let stats = GlobalStats::for_scheme(graph, scheme);
+    let num_nodes = graph.num_profiles();
+
+    // Cost hints: node degree + 1 (the +1 keeps isolated nodes advancing
+    // the prefix). The counting-only degree pass is cheap relative to one
+    // weighted materialization pass, and when the scheme is EJS the same
+    // degrees double as its global statistics — computed once, used twice.
+    let (stats, costs) = match scheduling {
+        Scheduling::CostMorsel => {
+            let (degrees, num_edges) = graph.degrees();
+            let costs: Vec<u64> = degrees.iter().map(|&d| u64::from(d) + 1).collect();
+            (
+                GlobalStats::from_degrees(graph, scheme, degrees, num_edges),
+                Some(costs),
+            )
+        }
+        Scheduling::EqualCount => (GlobalStats::for_scheme(graph, scheme), None),
+    };
     let cnp_k = cnp_budget(config.pruning, graph);
     let needs_global = matches!(
         config.pruning,
@@ -54,39 +134,78 @@ pub fn meta_blocking(
     let b_graph: Broadcast<BlockGraph> = ctx.broadcast(Arc::clone(graph));
     let b_stats = ctx.broadcast(stats);
 
-    let nodes: Vec<u32> = (0..graph.num_profiles() as u32).collect();
-    let node_ds = ctx.parallelize_default(nodes);
+    // Node datasets for the two passes: contiguous id ranges either way,
+    // so concatenation order is node order under both policies.
+    let make_nodes = || {
+        let ids: Vec<u32> = (0..num_nodes as u32).collect();
+        match &costs {
+            Some(c) => ctx.parallelize_by_cost_default(ids, c),
+            None => ctx.parallelize_default(ids),
+        }
+    };
+    let grain = morsel_grain(num_nodes, ctx);
+
+    // One reusable (neighborhood scratch, weights buffer) per worker slot,
+    // shared by both passes: after warm-up the per-node loop allocates
+    // nothing.
+    let scratches = Arc::new(WorkerLocal::new(ctx.workers(), || {
+        (graph.scratch(), Vec::<f64>::new())
+    }));
 
     // Pass A: per-node statistics (+ forward edge weights for WEP/CEP).
-    // One scratch buffer per task keeps neighborhood materialization
-    // allocation-free across the nodes of a partition.
-    let pass_a = {
+    // Each task emits (stats, forward-weights) for its contiguous node run;
+    // the driver concatenates in task order = node order, so the global
+    // weight pool is ordered exactly as the sequential driver builds it.
+    type PassA = (Vec<NodeStats>, Vec<f64>);
+    let run_pass_a = |nodes: &[u32],
+                      scratch: &mut crate::graph::NeighborhoodScratch,
+                      weights: &mut Vec<f64>,
+                      b_graph: &BlockGraph,
+                      b_stats: &GlobalStats|
+     -> PassA {
+        let mut stats_out = Vec::with_capacity(nodes.len());
+        let mut forward = Vec::new();
+        for &i in nodes {
+            stats_out.push(node_pass_single(
+                b_graph,
+                ProfileId(i),
+                scheme,
+                b_stats,
+                use_entropy,
+                cnp_k,
+                needs_global,
+                &mut forward,
+                scratch,
+                weights,
+            ));
+        }
+        (stats_out, forward)
+    };
+    let pass_a: Vec<PassA> = {
         let b_graph = b_graph.clone();
         let b_stats = b_stats.clone();
-        node_ds.map_partitions(move |_, nodes| {
-            let mut scratch = b_graph.scratch();
-            nodes
-                .iter()
-                .map(|&i| {
-                    node_pass_single(
-                        &b_graph,
-                        ProfileId(i),
-                        scheme,
-                        &b_stats,
-                        use_entropy,
-                        cnp_k,
-                        needs_global,
-                        &mut scratch,
-                    )
+        let ds = make_nodes();
+        match scheduling {
+            Scheduling::CostMorsel => {
+                let scratches = Arc::clone(&scratches);
+                ds.map_morsels(grain, move |worker, nodes| {
+                    scratches.with(worker, |(scratch, weights)| {
+                        vec![run_pass_a(nodes, scratch, weights, &b_graph, &b_stats)]
+                    })
                 })
-                .collect()
-        })
+            }
+            Scheduling::EqualCount => ds.map_partitions(move |_, nodes| {
+                let mut scratch = b_graph.scratch();
+                let mut weights = Vec::new();
+                vec![run_pass_a(nodes, &mut scratch, &mut weights, &b_graph, &b_stats)]
+            }),
+        }
+        .collect()
     };
-    let collected = pass_a.collect();
-    let mut node_stats = Vec::with_capacity(collected.len());
+    let mut node_stats = Vec::with_capacity(num_nodes);
     let mut all_weights = Vec::new();
-    for (s, fw) in collected {
-        node_stats.push(s);
+    for (s, fw) in pass_a {
+        node_stats.extend(s);
         all_weights.extend(fw);
     }
     let rule = resolve_rule(config.pruning, graph, &mut all_weights);
@@ -95,34 +214,51 @@ pub fn meta_blocking(
     let b_node_stats = ctx.broadcast(node_stats);
     let b_rule = ctx.broadcast(rule);
     let retained_ds = {
+        let b_graph_scratch = b_graph.clone();
         let b_graph = b_graph.clone();
         let b_stats = b_stats.clone();
-        ctx.parallelize_default((0..graph.num_profiles() as u32).collect::<Vec<_>>())
-            .map_partitions(move |_, nodes| {
-                let mut scratch = b_graph.scratch();
-                let mut out = Vec::new();
-                for &i in nodes {
-                    let node = ProfileId(i);
-                    for (j, acc) in b_graph.neighborhood_with(node, &mut scratch) {
-                        if node >= j {
-                            continue;
-                        }
-                        let w = scheme.weight(
-                            node,
-                            j,
-                            &acc,
-                            b_graph.blocks_of(node).len(),
-                            b_graph.blocks_of(j).len(),
-                            &b_stats,
-                            use_entropy,
-                        );
-                        if b_rule.keeps(w, &b_node_stats[i as usize], &b_node_stats[j.index()]) {
-                            out.push((Pair::new(node, j), w));
-                        }
+        let b_node_stats = b_node_stats.clone();
+        let b_rule = b_rule.clone();
+        let run_pass_b = move |nodes: &[u32],
+                               scratch: &mut crate::graph::NeighborhoodScratch|
+         -> Vec<(Pair, f64)> {
+            let mut out = Vec::new();
+            for &i in nodes {
+                let node = ProfileId(i);
+                let blocks_node = b_graph.blocks_of(node).len();
+                for &(j, ref acc) in b_graph.neighborhood_buffered(node, scratch) {
+                    if node >= j {
+                        continue;
+                    }
+                    let w = scheme.weight(
+                        node,
+                        j,
+                        acc,
+                        blocks_node,
+                        b_graph.blocks_of(j).len(),
+                        &b_stats,
+                        use_entropy,
+                    );
+                    if b_rule.keeps(w, &b_node_stats[i as usize], &b_node_stats[j.index()]) {
+                        out.push((Pair::new(node, j), w));
                     }
                 }
-                out
-            })
+            }
+            out
+        };
+        let ds = make_nodes();
+        match scheduling {
+            Scheduling::CostMorsel => {
+                let scratches = Arc::clone(&scratches);
+                ds.map_morsels(grain, move |worker, nodes| {
+                    scratches.with(worker, |(scratch, _)| run_pass_b(nodes, scratch))
+                })
+            }
+            Scheduling::EqualCount => ds.map_partitions(move |_, nodes| {
+                let mut scratch = b_graph_scratch.scratch();
+                run_pass_b(nodes, &mut scratch)
+            }),
+        }
     };
     // Nodes are range-partitioned in id order and each node emits only its
     // `node < j` edges sorted by j, so the concatenation is already sorted
@@ -161,6 +297,32 @@ mod tests {
         )
     }
 
+    /// A dirty collection with a contiguous hub region: the first tenth of
+    /// the profiles share a dedicated hot token, so low ids are far more
+    /// connected than the tail — the shape cost hints exist for.
+    fn skewed_collection(n: usize) -> ProfileCollection {
+        ProfileCollection::dirty(
+            (0..n)
+                .map(|i| {
+                    let mut b = Profile::builder(SourceId(0), i.to_string());
+                    if i < n / 10 {
+                        b = b.attr("hot", "hub0 hub1 hub2");
+                    }
+                    b.attr("name", format!("tok{} tok{}", i % 9, (i + 4) % 9))
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    const ALL_PRUNINGS: [PruningStrategy; 5] = [
+        PruningStrategy::Wep { factor: 1.0 },
+        PruningStrategy::Cep { retain: None },
+        PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
+        PruningStrategy::Cnp { k: None, reciprocal: false },
+        PruningStrategy::Blast { ratio: 0.35 },
+    ];
+
     #[test]
     fn parallel_matches_sequential_for_all_configs() {
         let coll = noisy_collection(60);
@@ -168,13 +330,7 @@ mod tests {
         let graph = Arc::new(BlockGraph::new(&blocks, None));
         let ctx = Context::new(4);
         for scheme in WeightScheme::ALL {
-            for pruning in [
-                PruningStrategy::Wep { factor: 1.0 },
-                PruningStrategy::Cep { retain: None },
-                PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
-                PruningStrategy::Cnp { k: None, reciprocal: false },
-                PruningStrategy::Blast { ratio: 0.35 },
-            ] {
+            for pruning in ALL_PRUNINGS {
                 let config = MetaBlockingConfig {
                     scheme,
                     pruning,
@@ -182,13 +338,31 @@ mod tests {
                 };
                 let seq = meta_blocking_graph(&graph, &config);
                 let par = meta_blocking(&ctx, &graph, &config);
-                assert_eq!(
-                    seq,
-                    par,
-                    "{}+{} diverged",
-                    scheme.name(),
-                    pruning.name()
-                );
+                assert_eq!(seq, par, "{}+{} diverged", scheme.name(), pruning.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_policies_are_byte_identical() {
+        // Cost-morsel scheduling must be a pure schedule change — on a
+        // hub-skewed graph (where the partitionings genuinely differ) every
+        // scheme × pruning gives the same bits under both policies.
+        let coll = skewed_collection(80);
+        let blocks = token_blocking(&coll);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
+        let ctx = Context::new(4);
+        for scheme in WeightScheme::ALL {
+            for pruning in ALL_PRUNINGS {
+                let config = MetaBlockingConfig {
+                    scheme,
+                    pruning,
+                    use_entropy: false,
+                };
+                let eq = meta_blocking_scheduled(&ctx, &graph, &config, Scheduling::EqualCount);
+                let cm = meta_blocking_scheduled(&ctx, &graph, &config, Scheduling::CostMorsel);
+                assert_eq!(eq, cm, "{}+{} diverged", scheme.name(), pruning.name());
+                assert_eq!(cm, meta_blocking_graph(&graph, &config));
             }
         }
     }
@@ -199,9 +373,16 @@ mod tests {
         let blocks = token_blocking(&coll);
         let graph = Arc::new(BlockGraph::new(&blocks, None));
         let config = MetaBlockingConfig::default();
-        let base = meta_blocking(&Context::new(1), &graph, &config);
-        for w in [2, 4, 8] {
-            assert_eq!(meta_blocking(&Context::new(w), &graph, &config), base);
+        for scheduling in [Scheduling::EqualCount, Scheduling::CostMorsel] {
+            let base = meta_blocking_scheduled(&Context::new(1), &graph, &config, scheduling);
+            for w in [2, 4, 8] {
+                assert_eq!(
+                    meta_blocking_scheduled(&Context::new(w), &graph, &config, scheduling),
+                    base,
+                    "{} diverged at {w} workers",
+                    scheduling.name(),
+                );
+            }
         }
     }
 
@@ -214,18 +395,58 @@ mod tests {
         meta_blocking(&ctx, &graph, &MetaBlockingConfig::default());
         let snap = ctx.metrics();
         assert!(snap.broadcasts >= 2, "graph + stats broadcast");
-        // Both node-parallel passes run as pool stages with time accounting.
-        let passes: Vec<_> = snap.stages.iter().filter(|s| s.name == "map_partitions").collect();
+        // Both node-parallel passes run as morsel stages with per-worker
+        // time accounting under the default scheduling.
+        let passes: Vec<_> = snap
+            .stages
+            .iter()
+            .filter(|s| s.name == "map_morsels")
+            .collect();
         assert!(passes.len() >= 2, "pass A + pass B are engine stages");
         assert!(passes.iter().all(|s| s.tasks > 0));
+        assert!(passes.iter().all(|s| !s.per_worker_busy.is_empty()));
         assert!(snap.total_busy_time() > std::time::Duration::ZERO);
     }
 
     #[test]
-    fn empty_graph_parallel() {
-        let blocks = sparker_blocking::BlockCollection::new(sparker_profiles::ErKind::Dirty, vec![]);
+    fn cost_morsel_runs_more_tasks_than_partitions() {
+        // Morsel execution splits each cost-balanced partition into many
+        // claimable tasks: on a graph larger than workers × 32 the pass
+        // stages must record strictly more tasks than the partition count.
+        let coll = noisy_collection(200);
+        let blocks = token_blocking(&coll);
         let graph = Arc::new(BlockGraph::new(&blocks, None));
         let ctx = Context::new(2);
-        assert!(meta_blocking(&ctx, &graph, &MetaBlockingConfig::default()).is_empty());
+        meta_blocking(&ctx, &graph, &MetaBlockingConfig::default());
+        let snap = ctx.metrics();
+        let morsel_tasks: usize = snap
+            .stages
+            .iter()
+            .filter(|s| s.name == "map_morsels")
+            .map(|s| s.tasks)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            morsel_tasks > ctx.default_partitions(),
+            "expected > {} tasks, got {morsel_tasks}",
+            ctx.default_partitions(),
+        );
+    }
+
+    #[test]
+    fn empty_graph_parallel() {
+        let blocks =
+            sparker_blocking::BlockCollection::new(sparker_profiles::ErKind::Dirty, vec![]);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
+        let ctx = Context::new(2);
+        for scheduling in [Scheduling::EqualCount, Scheduling::CostMorsel] {
+            assert!(meta_blocking_scheduled(
+                &ctx,
+                &graph,
+                &MetaBlockingConfig::default(),
+                scheduling
+            )
+            .is_empty());
+        }
     }
 }

@@ -117,9 +117,15 @@ pub(crate) struct NodeStats {
 }
 
 /// Per-node half of the first pass: materialize one node's neighborhood,
-/// weight its edges, and summarize. Returns the node's statistics plus (if
-/// `collect_weights`) the weights of its `node < j` edges, each edge
-/// counted once globally. This is the unit of work SparkER distributes.
+/// weight its edges, and summarize. This is the unit of work SparkER
+/// distributes, so it is the hot loop of meta-blocking — after warm-up it
+/// performs **zero heap allocation per node**: the neighborhood lives in
+/// `scratch`, the edge weights in the caller's reusable `weights` buffer,
+/// and (when `collect_weights`) the node's `node < j` edge weights are
+/// appended to `all_weights` so each edge is counted once globally. The
+/// CNP k-th weight uses an O(n) order-statistic selection instead of a
+/// full sort, and mean/max are folded in the same pass that computes the
+/// weights.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn node_pass_single(
     graph: &BlockGraph,
@@ -129,48 +135,45 @@ pub(crate) fn node_pass_single(
     use_entropy: bool,
     cnp_k: usize,
     collect_weights: bool,
+    all_weights: &mut Vec<f64>,
     scratch: &mut NeighborhoodScratch,
-) -> (NodeStats, Vec<f64>) {
-    let neighborhood = graph.neighborhood_with(node, scratch);
+    weights: &mut Vec<f64>,
+) -> NodeStats {
+    let neighborhood = graph.neighborhood_buffered(node, scratch);
     if neighborhood.is_empty() {
-        return (
-            NodeStats {
-                kth: f64::INFINITY,
-                ..NodeStats::default()
-            },
-            Vec::new(),
-        );
+        return NodeStats {
+            kth: f64::INFINITY,
+            ..NodeStats::default()
+        };
     }
-    let mut weights: Vec<f64> = Vec::with_capacity(neighborhood.len());
-    let mut forward_weights = Vec::new();
-    for (j, acc) in &neighborhood {
+    weights.clear();
+    let blocks_node = graph.blocks_of(node).len();
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    for &(j, ref acc) in neighborhood {
         let w = scheme.weight(
             node,
-            *j,
+            j,
             acc,
-            graph.blocks_of(node).len(),
-            graph.blocks_of(*j).len(),
+            blocks_node,
+            graph.blocks_of(j).len(),
             stats,
             use_entropy,
         );
         weights.push(w);
-        if collect_weights && node < *j {
-            forward_weights.push(w);
+        sum += w;
+        max = max.max(w);
+        if collect_weights && node < j {
+            all_weights.push(w);
         }
     }
-    let sum: f64 = weights.iter().sum();
-    let max = weights.iter().fold(0.0f64, |a, &b| a.max(b));
-    let mut sorted = weights.clone();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
-    let kth = sorted[(cnp_k.min(sorted.len())).saturating_sub(1)];
-    (
-        NodeStats {
-            mean: sum / weights.len() as f64,
-            max,
-            kth,
-        },
-        forward_weights,
-    )
+    let mean = sum / weights.len() as f64;
+    // k-th largest = element at rank k-1 of the descending order; selection
+    // yields exactly the value a full descending sort would put there.
+    let k = (cnp_k.min(weights.len())).saturating_sub(1);
+    let (_, kth, _) =
+        weights.select_nth_unstable_by(k, |a, b| b.partial_cmp(a).expect("weights are finite"));
+    NodeStats { mean, max, kth: *kth }
 }
 
 /// First pass: per-node statistics (and the global weight list when CEP
@@ -187,8 +190,9 @@ pub(crate) fn node_stats_pass(
     let mut node_stats = vec![NodeStats::default(); n];
     let mut all_weights = Vec::new();
     let mut scratch = graph.scratch();
+    let mut weights = Vec::new();
     for (i, slot) in node_stats.iter_mut().enumerate() {
-        let (s, fw) = node_pass_single(
+        *slot = node_pass_single(
             graph,
             ProfileId(i as u32),
             scheme,
@@ -196,12 +200,86 @@ pub(crate) fn node_stats_pass(
             use_entropy,
             cnp_k,
             collect_weights,
+            &mut all_weights,
             &mut scratch,
+            &mut weights,
         );
-        *slot = s;
-        all_weights.extend(fw);
     }
     (node_stats, all_weights)
+}
+
+/// Fold pass-A output into one scalar so benchmarks can consume (and
+/// cross-check) both pass variants without materializing results.
+fn pass_checksum(node_stats: &[NodeStats], all_weights: &[f64]) -> f64 {
+    let s: f64 = node_stats
+        .iter()
+        .map(|s| s.mean + s.max + if s.kth.is_finite() { s.kth } else { 0.0 })
+        .sum();
+    s + all_weights.iter().sum::<f64>()
+}
+
+/// Unstable hook for the in-repo node-pass micro-benchmark: run the full
+/// first (statistics) pass with the allocation-free per-node loop and
+/// return a checksum over its output. Not part of the public API.
+#[doc(hidden)]
+pub fn node_stats_pass_checksum(graph: &BlockGraph, config: &MetaBlockingConfig) -> f64 {
+    let stats = GlobalStats::for_scheme(graph, config.scheme);
+    let cnp_k = cnp_budget(config.pruning, graph);
+    let (ns, aw) = node_stats_pass(graph, config.scheme, &stats, config.use_entropy, cnp_k, true);
+    pass_checksum(&ns, &aw)
+}
+
+/// Unstable hook for the in-repo node-pass micro-benchmark: the pre-morsel
+/// per-node loop — a fresh weights `Vec` per node, an owned neighborhood
+/// `Vec`, and a full `clone` + descending `sort` for the CNP k-th weight.
+/// Produces the same checksum as [`node_stats_pass_checksum`] (asserted in
+/// tests) so the benchmark compares equal work. Not part of the public API.
+#[doc(hidden)]
+pub fn node_stats_pass_baseline_checksum(graph: &BlockGraph, config: &MetaBlockingConfig) -> f64 {
+    let stats = GlobalStats::for_scheme(graph, config.scheme);
+    let cnp_k = cnp_budget(config.pruning, graph);
+    let n = graph.num_profiles();
+    let mut scratch = graph.scratch();
+    let mut node_stats = Vec::with_capacity(n);
+    let mut all_weights = Vec::new();
+    for i in 0..n {
+        let node = ProfileId(i as u32);
+        let neighborhood = graph.neighborhood_with(node, &mut scratch);
+        if neighborhood.is_empty() {
+            node_stats.push(NodeStats {
+                kth: f64::INFINITY,
+                ..NodeStats::default()
+            });
+            continue;
+        }
+        let mut weights: Vec<f64> = Vec::with_capacity(neighborhood.len());
+        for (j, acc) in &neighborhood {
+            let w = config.scheme.weight(
+                node,
+                *j,
+                acc,
+                graph.blocks_of(node).len(),
+                graph.blocks_of(*j).len(),
+                &stats,
+                config.use_entropy,
+            );
+            weights.push(w);
+            if node < *j {
+                all_weights.push(w);
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        let max = weights.iter().fold(0.0f64, |a, &b| a.max(b));
+        let mut sorted = weights.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+        let kth = sorted[(cnp_k.min(sorted.len())).saturating_sub(1)];
+        node_stats.push(NodeStats {
+            mean: sum / weights.len() as f64,
+            max,
+            kth,
+        });
+    }
+    pass_checksum(&node_stats, &all_weights)
 }
 
 /// Resolved retention rule, shared by the sequential and parallel drivers.
@@ -320,15 +398,16 @@ pub fn meta_blocking_graph(graph: &BlockGraph, config: &MetaBlockingConfig) -> V
     let mut scratch = graph.scratch();
     for i in 0..graph.num_profiles() {
         let node = ProfileId(i as u32);
-        for (j, acc) in graph.neighborhood_with(node, &mut scratch) {
+        let blocks_node = graph.blocks_of(node).len();
+        for &(j, ref acc) in graph.neighborhood_buffered(node, &mut scratch) {
             if node >= j {
                 continue; // count each edge once
             }
             let w = config.scheme.weight(
                 node,
                 j,
-                &acc,
-                graph.blocks_of(node).len(),
+                acc,
+                blocks_node,
                 graph.blocks_of(j).len(),
                 &stats,
                 config.use_entropy,
@@ -644,6 +723,42 @@ mod tests {
                         pruning.name(),
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_free_pass_matches_sort_clone_baseline() {
+        // The micro-benchmark hooks must agree bit-for-bit: the O(n)
+        // selection and single-pass folds change no output.
+        let profiles: Vec<Profile> = (0..50)
+            .map(|i| {
+                Profile::builder(SourceId(0), i.to_string())
+                    .attr("name", format!("a{} b{} c{}", i % 6, i % 4, (i + 1) % 6))
+                    .build()
+            })
+            .collect();
+        let coll = ProfileCollection::dirty(profiles);
+        let graph = BlockGraph::new(&token_blocking(&coll), None);
+        for scheme in WeightScheme::ALL {
+            for pruning in [
+                PruningStrategy::Cnp { k: None, reciprocal: false },
+                PruningStrategy::Wep { factor: 1.0 },
+            ] {
+                let config = MetaBlockingConfig {
+                    scheme,
+                    pruning,
+                    use_entropy: false,
+                };
+                let fast = node_stats_pass_checksum(&graph, &config);
+                let slow = node_stats_pass_baseline_checksum(&graph, &config);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "{}+{} checksum diverged",
+                    scheme.name(),
+                    pruning.name(),
+                );
             }
         }
     }

@@ -6,10 +6,11 @@ use sparker_blocking::token_blocking;
 use sparker_dataflow::Context;
 use sparker_metablocking::{
     meta_blocking_graph, parallel, BlockEntropies, BlockGraph, MetaBlockingConfig,
-    PruningStrategy, WeightScheme,
+    PruningStrategy, Scheduling, WeightScheme,
 };
 use sparker_profiles::{Pair, Profile, ProfileCollection, SourceId};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 fn collection_strategy() -> impl Strategy<Value = ProfileCollection> {
     let profile = prop::collection::vec(0usize..10, 1..5).prop_map(|words| {
@@ -32,6 +33,36 @@ fn collection_strategy() -> impl Strategy<Value = ProfileCollection> {
                 .collect(),
         )
     })
+}
+
+/// Collections with a contiguous Zipfian hub prefix: the first profiles
+/// all share `hub0` (plus a rank-biased second hub token), so low ids form
+/// a dense hub region — the skew shape the cost-morsel scheduler targets.
+fn skewed_collection_strategy() -> impl Strategy<Value = ProfileCollection> {
+    let hub = (0usize..4, 0usize..10).prop_map(|(r, w)| format!("hub0 hub{r} tok{w}"));
+    let cold = prop::collection::vec(0usize..10, 1..4).prop_map(|ws| {
+        ws.into_iter()
+            .map(|w| format!("tok{w}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    });
+    (
+        prop::collection::vec(hub, 2..12),
+        prop::collection::vec(cold, 4..30),
+    )
+        .prop_map(|(hubs, colds)| {
+            ProfileCollection::dirty(
+                hubs.into_iter()
+                    .chain(colds)
+                    .enumerate()
+                    .map(|(i, v)| {
+                        Profile::builder(SourceId(0), i.to_string())
+                            .attr("text", v)
+                            .build()
+                    })
+                    .collect(),
+            )
+        })
 }
 
 fn config_strategy() -> impl Strategy<Value = MetaBlockingConfig> {
@@ -86,6 +117,25 @@ proptest! {
         let ctx = Context::new(workers);
         let par = parallel::meta_blocking(&ctx, &graph, &config);
         prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn scheduled_parallel_equals_sequential(
+        coll in prop_oneof![collection_strategy(), skewed_collection_strategy()],
+        config in config_strategy(),
+        workers in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        // Both scheduling policies — including the skew-aware cost-morsel
+        // default — must reproduce the sequential driver byte for byte, on
+        // hub-heavy graphs as well as uniform ones.
+        let blocks = token_blocking(&coll);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
+        let seq = meta_blocking_graph(&graph, &config);
+        let ctx = Context::new(workers);
+        for sched in [Scheduling::EqualCount, Scheduling::CostMorsel] {
+            let par = parallel::meta_blocking_scheduled(&ctx, &graph, &config, sched);
+            prop_assert_eq!(&seq, &par, "{} diverged at {} workers", sched.name(), workers);
+        }
     }
 
     #[test]
@@ -150,6 +200,57 @@ proptest! {
             let min = retained.iter().map(|(_, w)| *w).fold(f64::INFINITY, f64::min);
             let at_min = retained.iter().filter(|(_, w)| *w == min).count() as u64;
             prop_assert!(retained.len() as u64 - at_min < budget, "non-tie overflow");
+        }
+    }
+}
+
+/// Deterministic exhaustive companion to `scheduled_parallel_equals_sequential`:
+/// every `WeightScheme × PruningStrategy` at 1/2/8 workers, on one fixed
+/// hub-skewed and one fixed uniform collection.
+#[test]
+fn full_matrix_scheduling_parity_at_1_2_8_workers() {
+    let make = |skewed: bool| -> Arc<BlockGraph> {
+        let profiles = (0..60)
+            .map(|i| {
+                let mut text = format!("tok{} tok{}", i % 9, (i * 7 + 3) % 9);
+                if skewed && i < 8 {
+                    text.push_str(" hub0 hub1");
+                }
+                Profile::builder(SourceId(0), i.to_string())
+                    .attr("text", text)
+                    .build()
+            })
+            .collect();
+        let coll = ProfileCollection::dirty(profiles);
+        Arc::new(BlockGraph::new(&token_blocking(&coll), None))
+    };
+    let prunings = [
+        PruningStrategy::Wep { factor: 1.0 },
+        PruningStrategy::Cep { retain: Some(25) },
+        PruningStrategy::Wnp { factor: 1.0, reciprocal: true },
+        PruningStrategy::Cnp { k: Some(3), reciprocal: false },
+        PruningStrategy::Blast { ratio: 0.35 },
+    ];
+    for graph in [make(true), make(false)] {
+        for scheme in WeightScheme::ALL {
+            for pruning in prunings {
+                let config = MetaBlockingConfig { scheme, pruning, use_entropy: false };
+                let seq = meta_blocking_graph(&graph, &config);
+                for workers in [1usize, 2, 8] {
+                    let ctx = Context::new(workers);
+                    for sched in [Scheduling::EqualCount, Scheduling::CostMorsel] {
+                        assert_eq!(
+                            seq,
+                            parallel::meta_blocking_scheduled(&ctx, &graph, &config, sched),
+                            "{}/{} diverged under {} at {} workers",
+                            scheme.name(),
+                            pruning.name(),
+                            sched.name(),
+                            workers
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in bench result sets. Run from the repo root:
+# scripts/bench.sh [bench ...]   (default: blocking dataflow metablocking)
+#
+# Each bench binary dumps every measurement — including the instrumented
+# critical-path and per-worker busy rows the scheduling ablations record —
+# to BENCH_<name>.json via the vendored criterion shim's BENCH_JSON hook.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+  benches=(blocking dataflow metablocking)
+fi
+
+# Absolute path: cargo runs bench binaries with the package directory as
+# cwd, so a relative BENCH_JSON would land in crates/bench/.
+root="$PWD"
+for bench in "${benches[@]}"; do
+  echo "==> cargo bench -p sparker-bench --bench ${bench}  (-> BENCH_${bench}.json)"
+  BENCH_JSON="${root}/BENCH_${bench}.json" cargo bench -p sparker-bench --bench "${bench}"
+done

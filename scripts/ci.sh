@@ -13,4 +13,11 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Smoke-execute every bench body (1 sample, no warmup, no JSON dump) so
+# bench-only code paths can't rot between full scripts/bench.sh runs.
+for bench in blocking dataflow metablocking; do
+  echo "==> BENCH_SMOKE=1 cargo bench -p sparker-bench --bench ${bench}"
+  BENCH_SMOKE=1 cargo bench -p sparker-bench --bench "${bench}" > /dev/null
+done
+
 echo "CI OK"

@@ -74,6 +74,7 @@ proptest! {
             domain,
             noise: NoiseConfig::default(),
             seed,
+            skew: None,
         });
         let result = Pipeline::new(config).run(&ds.collection);
 

@@ -74,14 +74,23 @@ pub struct Bencher {
 
 impl Bencher {
     /// Time `routine`, one sample per invocation after a short warmup.
+    ///
+    /// With `BENCH_SMOKE` set in the environment the warmup is skipped and
+    /// exactly one sample is taken — CI uses this to execute every bench
+    /// body (catching panics and API drift) without paying measurement
+    /// time.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
-        // Warmup: two untimed runs populate caches and lazy state.
-        for _ in 0..2 {
-            black_box(routine());
+        let smoke = smoke_mode();
+        if !smoke {
+            // Warmup: two untimed runs populate caches and lazy state.
+            for _ in 0..2 {
+                black_box(routine());
+            }
         }
         let budget = Duration::from_secs(3);
         let started = Instant::now();
-        for _ in 0..self.sample_size {
+        let samples = if smoke { 1 } else { self.sample_size };
+        for _ in 0..samples {
             let t0 = Instant::now();
             black_box(routine());
             self.samples.push(t0.elapsed());
@@ -90,6 +99,12 @@ impl Bencher {
             }
         }
     }
+}
+
+/// `true` when `BENCH_SMOKE` is set (to anything non-empty): 1-sample,
+/// no-warmup smoke execution for CI.
+pub fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
 }
 
 /// The top-level harness (mirrors `criterion::Criterion`).
