@@ -1,11 +1,23 @@
 //! Criterion benches for the end-to-end pipeline (experiment E9's cost
 //! side): full runs under the schema-agnostic and Blast configurations,
-//! and the per-module split.
+//! the per-module split, and the `pipeline_10k` worker-scaling group for
+//! the pool-parallel pipeline (matcher + clusterer on the persistent pool).
+//!
+//! Run with `BENCH_JSON=BENCH_pipeline.json cargo bench -p sparker-bench
+//! --bench pipeline` to dump every measurement as JSON.
+//!
+//! Note on the scaling numbers: wall-clock cannot speed up on a
+//! single-core host, so alongside each wall time the `pipeline_10k` group
+//! records per-stage **critical paths** (the slowest worker slot's busy
+//! time, the wall-clock lower bound on a one-core-per-worker machine) from
+//! the engine's own stage metrics.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sparker_bench::abt_buy_like;
+use sparker_bench::{abt_buy_like, skewed_dirty};
 use sparker_core::{BlockingConfig, Pipeline, PipelineConfig};
+use sparker_dataflow::Context;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let ds = abt_buy_like(400);
@@ -37,5 +49,91 @@ fn bench_blocker_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_blocker_only);
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
+}
+
+/// Worker-scaling of the pool-parallel pipeline on the skewed 10k-profile
+/// preset (5k entities × dirty duplication). Wall times go through the
+/// normal sample loop; a separate instrumented run per worker count exports
+/// the matcher and clusterer stage critical paths, their combination (the
+/// headline matcher+clusterer scaling number), and the step-timing split,
+/// plus the sequential pipeline's step timings as the baseline.
+fn bench_pipeline_scaling(c: &mut Criterion) {
+    // 10k profiles in the real run; a few hundred under BENCH_SMOKE so CI
+    // exercises the exporter without paying the full workload.
+    let ds = if smoke() {
+        skewed_dirty(200)
+    } else {
+        skewed_dirty(5_000)
+    };
+    let pipeline = Pipeline::new(PipelineConfig::default());
+
+    let mut group = c.benchmark_group("pipeline_10k");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| pipeline.run(black_box(&ds.collection)))
+    });
+    for workers in WORKER_COUNTS {
+        let ctx = Context::new(workers);
+        group.bench_function(BenchmarkId::new("pool", workers), |b| {
+            b.iter(|| pipeline.run_pipeline_parallel(&ctx, black_box(&ds.collection)))
+        });
+    }
+    group.finish();
+
+    // Instrumented runs: per-stage critical paths out of the engine metrics
+    // + the pipeline's own step-timing split.
+    for workers in WORKER_COUNTS {
+        let ctx = Context::new(workers);
+        ctx.reset_metrics();
+        let result = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
+        let snap = ctx.metrics();
+        let prefix = format!("pipeline_10k/pool/{workers}");
+        let mut matcher = Duration::ZERO;
+        let mut clusterer = Duration::ZERO;
+        for stage in &snap.stages {
+            match stage.name.as_str() {
+                "match_candidates" => matcher += stage.critical_path(),
+                "cluster_components" => clusterer += stage.critical_path(),
+                _ => {}
+            }
+        }
+        c.record(format!("{prefix}/matcher/critical-path"), 1, matcher);
+        c.record(format!("{prefix}/clusterer/critical-path"), 1, clusterer);
+        c.record(
+            format!("{prefix}/matcher+clusterer/critical-path"),
+            1,
+            matcher + clusterer,
+        );
+        c.record(
+            format!("{prefix}/total/critical-path"),
+            1,
+            snap.total_critical_path(),
+        );
+        c.record(format!("{prefix}/step/blocking"), 1, result.timings.blocking);
+        c.record(format!("{prefix}/step/candidates"), 1, result.timings.candidates);
+        c.record(format!("{prefix}/step/matching"), 1, result.timings.matching);
+        c.record(format!("{prefix}/step/clustering"), 1, result.timings.clustering);
+    }
+    let seq = pipeline.run(&ds.collection);
+    c.record("pipeline_10k/sequential/step/blocking", 1, seq.timings.blocking);
+    c.record("pipeline_10k/sequential/step/candidates", 1, seq.timings.candidates);
+    c.record("pipeline_10k/sequential/step/matching", 1, seq.timings.matching);
+    c.record("pipeline_10k/sequential/step/clustering", 1, seq.timings.clustering);
+    c.record(
+        "pipeline_10k/sequential/matcher+clusterer/wall",
+        1,
+        seq.timings.matching + seq.timings.clustering,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_blocker_only,
+    bench_pipeline_scaling
+);
 criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end pipeline smoke: run the pool-parallel pipeline on a small
+//! skewed dataset with 2 workers and assert it is indistinguishable from
+//! the sequential pipeline (same clusters, same F1). Exercised by `ci.sh`.
+
+use sparker_bench::skewed_dirty;
+use sparker_core::{Pipeline, PipelineConfig};
+use sparker_dataflow::Context;
+
+fn main() {
+    let ds = skewed_dirty(250);
+    let pipeline = Pipeline::new(PipelineConfig::default());
+
+    let sequential = pipeline.run(&ds.collection);
+    let ctx = Context::new(2);
+    let parallel = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
+
+    assert_eq!(
+        sequential.clusters, parallel.clusters,
+        "parallel pipeline diverged from sequential clusters"
+    );
+    let seq_eval = sequential.evaluate(&ds.ground_truth);
+    let par_eval = parallel.evaluate(&ds.ground_truth);
+    assert_eq!(
+        seq_eval, par_eval,
+        "parallel pipeline diverged from sequential evaluation"
+    );
+
+    let snap = ctx.metrics();
+    assert!(
+        snap.stages.iter().any(|s| s.name == "match_candidates"),
+        "matcher did not run on the pool"
+    );
+    assert!(
+        snap.stages.iter().any(|s| s.name == "cluster_components"),
+        "clusterer did not run on the pool"
+    );
+
+    println!(
+        "pipeline smoke OK: {} profiles, {} clusters, clustering F1 {:.4} (parallel == sequential, 2 workers)",
+        ds.collection.len(),
+        parallel.clusters.num_clusters(),
+        par_eval.clustering.f1,
+    );
+}

@@ -25,7 +25,7 @@ fn sorted_edges(edges: &[(Pair, f64)]) -> Vec<(Pair, f64)> {
     e
 }
 
-fn labels_from_unionfind(mut uf: UnionFind) -> EntityClusters {
+pub(crate) fn labels_from_unionfind(mut uf: UnionFind) -> EntityClusters {
     EntityClusters::from_labels(uf.labels().into_iter().map(|l| l as u32).collect())
 }
 

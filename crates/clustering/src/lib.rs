@@ -28,6 +28,7 @@
 mod algorithms;
 mod clusters;
 mod dataflow;
+mod parallel;
 mod unionfind;
 
 pub use algorithms::{
@@ -36,4 +37,5 @@ pub use algorithms::{
 };
 pub use clusters::EntityClusters;
 pub use dataflow::connected_components_dataflow;
+pub use parallel::connected_components_pool;
 pub use unionfind::UnionFind;

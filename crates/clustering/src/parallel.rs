@@ -1,0 +1,116 @@
+//! Connected components on the persistent worker pool: per-worker local
+//! forests merged by [`UnionFind::absorb`].
+//!
+//! The dataflow label-propagation form
+//! ([`crate::connected_components_dataflow`]) mirrors GraphX and runs
+//! O(diameter) supersteps, re-shuffling every label each round. This module
+//! is the single-pass alternative the pipeline uses: each worker unions its
+//! edge morsels into a private [`UnionFind`] forest (no shared state, no
+//! locks), and the per-slot forests are absorbed sequentially afterwards.
+//! Union–find is a semilattice, so the final partition is independent of
+//! both the edge partitioning and the absorb order — the result is
+//! byte-identical to the sequential [`crate::connected_components`] at any
+//! worker count (pinned by proptests).
+
+use crate::algorithms::labels_from_unionfind;
+use crate::clusters::EntityClusters;
+use crate::unionfind::UnionFind;
+use sparker_dataflow::{Context, WorkerLocal};
+use sparker_profiles::Pair;
+use std::sync::Arc;
+
+/// Pool-parallel connected components over weighted matching pairs.
+///
+/// Scores are ignored (any retained edge joins its endpoints), matching
+/// [`crate::connected_components`]. Edges are split into morsels claimed
+/// dynamically by the pool; each worker slot owns a private forest, so the
+/// union pass is allocation- and contention-free. The sequential absorb of
+/// the per-slot forests is O(workers × profiles) with near-unit union cost.
+///
+/// ```
+/// use sparker_dataflow::Context;
+/// use sparker_profiles::{Pair, ProfileId};
+/// use sparker_clustering::{connected_components, connected_components_pool};
+///
+/// let edges = vec![
+///     (Pair::new(ProfileId(0), ProfileId(1)), 0.9),
+///     (Pair::new(ProfileId(1), ProfileId(2)), 0.8),
+/// ];
+/// let ctx = Context::new(4);
+/// let pool = connected_components_pool(&ctx, &edges, 5);
+/// assert_eq!(pool, connected_components(&edges, 5));
+/// ```
+pub fn connected_components_pool(
+    ctx: &Context,
+    edges: &[(Pair, f64)],
+    num_profiles: usize,
+) -> EntityClusters {
+    let forests = Arc::new(WorkerLocal::new(ctx.workers(), || {
+        UnionFind::new(num_profiles)
+    }));
+    let pairs: Vec<Pair> = edges.iter().map(|(p, _)| *p).collect();
+    let grain = (pairs.len() / (ctx.workers() * 32)).max(1);
+    let locals = Arc::clone(&forests);
+    ctx.parallelize_default(pairs)
+        .map_morsels_named("cluster_components", grain, move |worker, chunk| {
+            locals.with(worker, |uf| {
+                for p in chunk {
+                    uf.union(p.first.index(), p.second.index());
+                }
+            });
+            Vec::<()>::new()
+        });
+    let forests = Arc::try_unwrap(forests)
+        .expect("stage closures are dropped before the merge")
+        .into_inner();
+    let mut merged = UnionFind::new(num_profiles);
+    for forest in &forests {
+        merged.absorb(forest);
+    }
+    labels_from_unionfind(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::connected_components;
+    use sparker_profiles::ProfileId;
+
+    fn edge(a: u32, b: u32) -> (Pair, f64) {
+        (Pair::new(ProfileId(a), ProfileId(b)), 1.0)
+    }
+
+    #[test]
+    fn matches_sequential_at_any_worker_count() {
+        let edges: Vec<(Pair, f64)> = (0..40).map(|i| edge(i, (i * 7 + 3) % 50)).collect();
+        let seq = connected_components(&edges, 50);
+        for workers in [1, 2, 4, 8] {
+            let ctx = Context::new(workers);
+            assert_eq!(
+                connected_components_pool(&ctx, &edges, 50),
+                seq,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ctx = Context::new(2);
+        assert_eq!(connected_components_pool(&ctx, &[], 4).num_clusters(), 4);
+        assert_eq!(connected_components_pool(&ctx, &[], 0).num_profiles(), 0);
+    }
+
+    #[test]
+    fn records_its_own_stage() {
+        let ctx = Context::new(2);
+        ctx.reset_metrics();
+        connected_components_pool(&ctx, &[edge(0, 1)], 3);
+        let snap = ctx.metrics();
+        assert!(
+            snap.stages.iter().any(|s| s.name == "cluster_components"),
+            "expected a cluster_components stage, got {:?}",
+            snap.stages.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -72,6 +72,29 @@ impl UnionFind {
         self.size[r]
     }
 
+    /// Merge another forest over the *same* element universe into this one:
+    /// every union recorded in `other` is replayed here, so afterwards two
+    /// elements are connected iff they were connected in either forest.
+    ///
+    /// This is the merge step of parallel connected components: workers
+    /// build independent forests over disjoint edge shards, then the shards
+    /// are absorbed sequentially. Because union–find is a semilattice
+    /// (union is associative, commutative, idempotent), the resulting
+    /// partition — and hence [`UnionFind::labels`] — is independent of the
+    /// edge partitioning and the absorb order.
+    pub fn absorb(&mut self, other: &UnionFind) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "absorb requires forests over the same element universe"
+        );
+        for (i, &p) in other.parent.iter().enumerate() {
+            if p != i {
+                self.union(i, p);
+            }
+        }
+    }
+
     /// Canonical label per element: the *minimum element id* of its set.
     /// Stable across different union orders, so results are reproducible.
     pub fn labels(&mut self) -> Vec<usize> {
@@ -135,6 +158,56 @@ mod tests {
         assert!(uf.is_empty());
         assert_eq!(uf.num_components(), 0);
         assert!(uf.labels().is_empty());
+    }
+
+    #[test]
+    fn absorb_replays_unions() {
+        let mut a = UnionFind::new(6);
+        a.union(0, 1);
+        a.union(4, 5);
+        let mut b = UnionFind::new(6);
+        b.union(1, 2);
+        b.union(3, 4);
+        a.absorb(&b);
+        let mut single = UnionFind::new(6);
+        for (x, y) in [(0, 1), (4, 5), (1, 2), (3, 4)] {
+            single.union(x, y);
+        }
+        assert_eq!(a.labels(), single.labels());
+        assert_eq!(a.num_components(), 2);
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let shards: [&[(usize, usize)]; 3] = [&[(0, 1), (2, 3)], &[(1, 2)], &[(5, 6)]];
+        let build = |order: &[usize]| {
+            let mut acc = UnionFind::new(8);
+            for &i in order {
+                let mut f = UnionFind::new(8);
+                for &(x, y) in shards[i] {
+                    f.union(x, y);
+                }
+                acc.absorb(&f);
+            }
+            acc.labels()
+        };
+        assert_eq!(build(&[0, 1, 2]), build(&[2, 1, 0]));
+        assert_eq!(build(&[0, 1, 2]), build(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn absorb_empty_forest_is_identity() {
+        let mut a = UnionFind::new(4);
+        a.union(0, 3);
+        let before = a.clone().labels();
+        a.absorb(&UnionFind::new(4));
+        assert_eq!(a.labels(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "same element universe")]
+    fn absorb_rejects_mismatched_lengths() {
+        UnionFind::new(3).absorb(&UnionFind::new(4));
     }
 
     #[test]

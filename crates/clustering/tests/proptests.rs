@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 use sparker_clustering::{
     center_clustering, connected_components, connected_components_dataflow,
-    merge_center_clustering, star_clustering, unique_mapping_clustering, UnionFind,
+    connected_components_pool, merge_center_clustering, star_clustering,
+    unique_mapping_clustering, UnionFind,
 };
 use sparker_dataflow::Context;
 use sparker_profiles::{Pair, ProfileId};
@@ -127,6 +128,45 @@ proptest! {
             prop_assert_eq!(members.len(), 2, "clusters are pairs");
             prop_assert!(members[0].0 < 12 && members[1].0 >= 12, "one per source");
         }
+    }
+
+    #[test]
+    fn pool_cc_matches_unionfind(edges in edges_strategy(25), workers in 1usize..=8) {
+        let ctx = Context::new(workers);
+        prop_assert_eq!(
+            connected_components_pool(&ctx, &edges, 25),
+            connected_components(&edges, 25)
+        );
+    }
+
+    #[test]
+    fn shard_merged_unionfind_matches_single_pass(
+        edges in edges_strategy(25),
+        cuts in prop::collection::vec(0usize..=60, 0..4),
+    ) {
+        // Partition the edge list at arbitrary cut points, build one forest
+        // per shard, absorb them — must equal the single forest built from
+        // all edges at once, for *any* partitioning.
+        let n = 25usize;
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(edges.len())).collect();
+        cuts.push(0);
+        cuts.push(edges.len());
+        cuts.sort_unstable();
+
+        let mut merged = UnionFind::new(n);
+        for w in cuts.windows(2) {
+            let mut shard = UnionFind::new(n);
+            for (p, _) in &edges[w[0]..w[1]] {
+                shard.union(p.first.index(), p.second.index());
+            }
+            merged.absorb(&shard);
+        }
+        let mut single = UnionFind::new(n);
+        for (p, _) in &edges {
+            single.union(p.first.index(), p.second.index());
+        }
+        prop_assert_eq!(merged.labels(), single.labels());
+        prop_assert_eq!(merged.num_components(), single.num_components());
     }
 
     #[test]

@@ -14,16 +14,17 @@ use crate::config::PipelineConfig;
 use crate::pipeline::{BlockerOutput, Pipeline, PipelineResult, StepTimings};
 use sparker_blocking::{purge_by_comparison_level, purge_oversized, BlockCollection};
 use sparker_clustering::{
-    center_clustering, connected_components_dataflow, merge_center_clustering, star_clustering,
-    unique_mapping_clustering,
+    center_clustering, connected_components_dataflow, connected_components_pool,
+    merge_center_clustering, star_clustering, unique_mapping_clustering,
 };
 use sparker_dataflow::Context;
 use sparker_looseschema::{loose_schema_keys, partition_attributes, AttributePartitioning};
-use sparker_matching::{Matcher, ThresholdMatcher};
+use sparker_matching::{CandidateGraph, Matcher, ThresholdMatcher};
 use sparker_metablocking::{block_entropies, parallel, BlockGraph};
 use sparker_profiles::{ErKind, Pair, ProfileCollection};
 use std::collections::HashSet;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 impl Pipeline {
     /// Run the blocker with every data-parallel stage on the engine.
@@ -36,7 +37,19 @@ impl Pipeline {
         ctx: &Context,
         collection: &ProfileCollection,
     ) -> BlockerOutput {
+        self.run_blocker_dataflow_timed(ctx, collection).0
+    }
+
+    /// [`Pipeline::run_blocker_dataflow`] with the wall-clock split the
+    /// pipeline timings report: (output, block-construction time,
+    /// candidate-generation time). The boundary is the meta-blocking step.
+    pub(crate) fn run_blocker_dataflow_timed(
+        &self,
+        ctx: &Context,
+        collection: &ProfileCollection,
+    ) -> (BlockerOutput, Duration, Duration) {
         let bc = &self.config().blocking;
+        let t_blocking = Instant::now();
 
         let partitioning = bc
             .loose_schema
@@ -71,8 +84,10 @@ impl Pipeline {
         };
         let cleaned_blocks = blocks.len();
         let cleaned_comparisons = blocks.total_comparisons();
+        let blocking_time = t_blocking.elapsed();
 
         // Broadcast-join meta-blocking.
+        let t_candidates = Instant::now();
         let (candidates, weighted_candidates) = match &bc.meta_blocking {
             None => (blocks.candidate_pairs(), Vec::new()),
             Some(mb) => {
@@ -91,7 +106,9 @@ impl Pipeline {
             }
         };
 
-        BlockerOutput {
+        let candidates_time = t_candidates.elapsed();
+
+        let output = BlockerOutput {
             partitioning,
             initial_blocks,
             initial_comparisons,
@@ -99,15 +116,15 @@ impl Pipeline {
             cleaned_comparisons,
             candidates,
             weighted_candidates,
-        }
+        };
+        (output, blocking_time, candidates_time)
     }
 
     /// Run the full pipeline on the dataflow engine; equivalent to
     /// [`Pipeline::run`].
     pub fn run_dataflow(&self, ctx: &Context, collection: &ProfileCollection) -> PipelineResult {
-        let t0 = Instant::now();
-        let blocker = self.run_blocker_dataflow(ctx, collection);
-        let blocking_time = t0.elapsed();
+        let (blocker, blocking_time, candidates_time) =
+            self.run_blocker_dataflow_timed(ctx, collection);
 
         // Matching: candidate pairs distributed, profiles broadcast.
         let t1 = Instant::now();
@@ -155,6 +172,103 @@ impl Pipeline {
             clusters,
             StepTimings {
                 blocking: blocking_time,
+                candidates: candidates_time,
+                matching: matching_time,
+                clustering: clustering_time,
+            },
+            collection.comparable_pairs(),
+        )
+    }
+
+    /// Run the full pipeline on the persistent worker pool — the
+    /// morsel-driven counterpart of [`Pipeline::run_dataflow`].
+    ///
+    /// The blocker stages are shared with `run_dataflow`; matching and
+    /// clustering differ:
+    ///
+    /// * **Matching** streams candidate pairs out of a [`CandidateGraph`]'s
+    ///   per-profile neighbor lists (no global pair vector is materialized
+    ///   or sorted), with profile ids cost-partitioned by candidate degree
+    ///   into dynamically claimed morsels and the prepared profile views
+    ///   broadcast once. Each morsel emits a sorted similarity-graph shard;
+    ///   contiguous id cuts + slot-indexed merge keep the result
+    ///   byte-identical to the sequential matcher.
+    /// * **Clustering** (connected components) unions edge morsels into
+    ///   per-worker union–find forests merged sequentially — a single pass
+    ///   instead of label propagation's O(diameter) supersteps. The other
+    ///   algorithms are inherently sequential greedy scans and run on the
+    ///   driver, exactly as in `run_dataflow`.
+    ///
+    /// The result equals [`Pipeline::run`] at any worker count (pinned by
+    /// the cross-stage equivalence suite in `tests/pipeline_parity.rs`):
+    ///
+    /// ```
+    /// use sparker_core::{Pipeline, PipelineConfig};
+    /// use sparker_dataflow::Context;
+    /// use sparker_datasets::{generate, DatasetConfig};
+    ///
+    /// let ds = generate(&DatasetConfig { entities: 60, ..DatasetConfig::default() });
+    /// let pipeline = Pipeline::new(PipelineConfig::default());
+    ///
+    /// let parallel = pipeline.run_pipeline_parallel(&Context::new(4), &ds.collection);
+    /// let sequential = pipeline.run(&ds.collection);
+    /// assert_eq!(parallel.clusters, sequential.clusters);
+    /// ```
+    pub fn run_pipeline_parallel(
+        &self,
+        ctx: &Context,
+        collection: &ProfileCollection,
+    ) -> PipelineResult {
+        let (blocker, blocking_time, candidates_time) =
+            self.run_blocker_dataflow_timed(ctx, collection);
+
+        // Matching: candidates stream out of the CSR candidate graph.
+        let t1 = Instant::now();
+        let matcher = ThresholdMatcher::new(
+            self.config().matching.measure,
+            self.config().matching.threshold,
+        );
+        let graph = Arc::new(CandidateGraph::from_pairs(
+            collection.len(),
+            blocker.candidates.iter().copied(),
+        ));
+        let similarity = matcher.match_candidates_pool(ctx, collection, &graph);
+        let matching_time = t1.elapsed();
+
+        // Clustering: per-worker union–find forests for connected
+        // components; driver-side greedy scans otherwise.
+        let t2 = Instant::now();
+        let clusters = match self.config().clustering {
+            ClusteringAlgorithm::ConnectedComponents => {
+                connected_components_pool(ctx, similarity.edges(), collection.len())
+            }
+            ClusteringAlgorithm::Center => center_clustering(similarity.edges(), collection.len()),
+            ClusteringAlgorithm::MergeCenter => {
+                merge_center_clustering(similarity.edges(), collection.len())
+            }
+            ClusteringAlgorithm::Star => star_clustering(similarity.edges(), collection.len()),
+            ClusteringAlgorithm::UniqueMapping => {
+                assert_eq!(
+                    collection.kind(),
+                    ErKind::CleanClean,
+                    "unique-mapping clustering requires a clean-clean task"
+                );
+                unique_mapping_clustering(
+                    similarity.edges(),
+                    collection.len(),
+                    collection.separator(),
+                )
+            }
+        };
+        let clustering_time = t2.elapsed();
+
+        PipelineResult::assemble(
+            blocker,
+            similarity,
+            clusters,
+            StepTimings {
+                blocking: blocking_time,
+                candidates: candidates_time,
                 matching: matching_time,
                 clustering: clustering_time,
             },

@@ -20,13 +20,24 @@ use std::time::{Duration, Instant};
 /// Wall-clock time of each pipeline step.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepTimings {
-    /// Blocker (loose schema + blocking + purging + filtering +
-    /// meta-blocking).
+    /// Block construction: loose schema + blocking + purging + filtering.
     pub blocking: Duration,
+    /// Candidate generation: meta-blocking when enabled, plain pair
+    /// enumeration of the cleaned blocks otherwise. Split out of
+    /// [`StepTimings::blocking`] so block construction and graph pruning
+    /// can be compared independently.
+    pub candidates: Duration,
     /// Entity matcher.
     pub matching: Duration,
     /// Entity clusterer.
     pub clustering: Duration,
+}
+
+impl StepTimings {
+    /// Sum over all steps.
+    pub fn total(&self) -> Duration {
+        self.blocking + self.candidates + self.matching + self.clustering
+    }
 }
 
 /// Everything the blocker produced, kept for debugging and evaluation.
@@ -136,7 +147,18 @@ impl Pipeline {
 
     /// Run only the blocker module (Figure 4).
     pub fn run_blocker(&self, collection: &ProfileCollection) -> BlockerOutput {
+        self.run_blocker_timed(collection).0
+    }
+
+    /// [`Pipeline::run_blocker`] with the wall-clock split the pipeline
+    /// timings report: (output, block-construction time, candidate-generation
+    /// time). The boundary is the meta-blocking step.
+    pub(crate) fn run_blocker_timed(
+        &self,
+        collection: &ProfileCollection,
+    ) -> (BlockerOutput, Duration, Duration) {
         let bc = &self.config.blocking;
+        let t_blocking = Instant::now();
 
         // Loose schema generation (optional).
         let partitioning = bc
@@ -169,8 +191,10 @@ impl Pipeline {
         };
         let cleaned_blocks = blocks.len();
         let cleaned_comparisons = blocks.total_comparisons();
+        let blocking_time = t_blocking.elapsed();
 
         // Meta-blocking.
+        let t_candidates = Instant::now();
         let (candidates, weighted_candidates) = match &bc.meta_blocking {
             None => (blocks.candidate_pairs(), Vec::new()),
             Some(mb) => {
@@ -192,8 +216,9 @@ impl Pipeline {
                 (set, retained)
             }
         };
+        let candidates_time = t_candidates.elapsed();
 
-        BlockerOutput {
+        let output = BlockerOutput {
             partitioning,
             initial_blocks,
             initial_comparisons,
@@ -201,14 +226,13 @@ impl Pipeline {
             cleaned_comparisons,
             candidates,
             weighted_candidates,
-        }
+        };
+        (output, blocking_time, candidates_time)
     }
 
     /// Run the full pipeline.
     pub fn run(&self, collection: &ProfileCollection) -> PipelineResult {
-        let t0 = Instant::now();
-        let blocker = self.run_blocker(collection);
-        let blocking_time = t0.elapsed();
+        let (blocker, blocking_time, candidates_time) = self.run_blocker_timed(collection);
 
         let t1 = Instant::now();
         let matcher = ThresholdMatcher::new(self.config.matching.measure, self.config.matching.threshold);
@@ -246,6 +270,7 @@ impl Pipeline {
             clusters,
             timings: StepTimings {
                 blocking: blocking_time,
+                candidates: candidates_time,
                 matching: matching_time,
                 clustering: clustering_time,
             },
@@ -385,5 +410,24 @@ mod tests {
         let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
         // Durations are non-negative by type; just check the steps ran.
         assert!(result.timings.blocking.as_nanos() > 0);
+        assert!(result.timings.total() >= result.timings.blocking);
+    }
+
+    #[test]
+    fn candidate_timing_split_from_blocking() {
+        // The default config runs meta-blocking, so both halves of the old
+        // combined "blocking" step must be separately visible and non-zero:
+        // block construction in `blocking`, graph pruning in `candidates`.
+        let ds = dataset(120);
+        let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+        assert!(result.timings.blocking.as_nanos() > 0, "block construction timed");
+        assert!(result.timings.candidates.as_nanos() > 0, "meta-blocking timed");
+        assert_eq!(
+            result.timings.total(),
+            result.timings.blocking
+                + result.timings.candidates
+                + result.timings.matching
+                + result.timings.clustering
+        );
     }
 }

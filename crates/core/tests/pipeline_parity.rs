@@ -1,0 +1,162 @@
+//! Cross-stage equivalence suite: the pool-parallel pipeline
+//! (`run_pipeline_parallel`) must be *indistinguishable* from the sequential
+//! pipeline — identical similarity graphs, identical entity clusters,
+//! identical evaluations — for every clustering algorithm, for clean–clean
+//! and dirty tasks, on skewed and uniform datasets, at any worker count.
+
+use proptest::prelude::*;
+use sparker_core::{ClusteringAlgorithm, Pipeline, PipelineConfig};
+use sparker_dataflow::Context;
+use sparker_datasets::{generate, generate_dirty, DatasetConfig, GeneratedDataset, ZipfSkew};
+
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+const ALL_ALGORITHMS: [ClusteringAlgorithm; 5] = [
+    ClusteringAlgorithm::ConnectedComponents,
+    ClusteringAlgorithm::Center,
+    ClusteringAlgorithm::MergeCenter,
+    ClusteringAlgorithm::Star,
+    ClusteringAlgorithm::UniqueMapping,
+];
+
+fn clean_dataset(entities: usize, seed: u64, skewed: bool) -> GeneratedDataset {
+    generate(&DatasetConfig {
+        entities,
+        unmatched_per_source: entities / 4,
+        seed,
+        skew: skewed.then(ZipfSkew::default),
+        ..DatasetConfig::default()
+    })
+}
+
+fn dirty_dataset(entities: usize, seed: u64, skewed: bool) -> GeneratedDataset {
+    generate_dirty(
+        &DatasetConfig {
+            entities,
+            seed,
+            skew: skewed.then(ZipfSkew::default),
+            ..DatasetConfig::default()
+        },
+        2,
+    )
+}
+
+fn config_with(algorithm: ClusteringAlgorithm) -> PipelineConfig {
+    PipelineConfig {
+        clustering: algorithm,
+        ..PipelineConfig::default()
+    }
+}
+
+/// The full equivalence check at one worker count: every observable output
+/// of the parallel run equals the sequential run's.
+fn assert_parity(pipeline: &Pipeline, ds: &GeneratedDataset, workers: usize) {
+    let seq = pipeline.run(&ds.collection);
+    let ctx = Context::new(workers);
+    let par = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
+    assert_eq!(seq.blocker.candidates, par.blocker.candidates, "workers={workers}");
+    assert_eq!(seq.similarity, par.similarity, "workers={workers}");
+    assert_eq!(seq.clusters, par.clusters, "workers={workers}");
+    assert_eq!(
+        seq.evaluate(&ds.ground_truth),
+        par.evaluate(&ds.ground_truth),
+        "workers={workers}"
+    );
+}
+
+#[test]
+fn clean_clean_parity_all_algorithms_all_worker_counts() {
+    for skewed in [false, true] {
+        let ds = clean_dataset(90, 11, skewed);
+        for algorithm in ALL_ALGORITHMS {
+            let pipeline = Pipeline::new(config_with(algorithm));
+            for workers in WORKERS {
+                assert_parity(&pipeline, &ds, workers);
+            }
+        }
+    }
+}
+
+#[test]
+fn dirty_parity_all_algorithms_all_worker_counts() {
+    // Unique-mapping requires clean–clean and is covered above.
+    for skewed in [false, true] {
+        let ds = dirty_dataset(60, 23, skewed);
+        for algorithm in &ALL_ALGORITHMS[..4] {
+            let pipeline = Pipeline::new(config_with(*algorithm));
+            for workers in WORKERS {
+                assert_parity(&pipeline, &ds, workers);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_timings_cover_all_four_steps() {
+    let ds = clean_dataset(90, 5, true);
+    let ctx = Context::new(2);
+    let result = Pipeline::new(PipelineConfig::default()).run_pipeline_parallel(&ctx, &ds.collection);
+    assert!(result.timings.blocking.as_nanos() > 0);
+    assert!(result.timings.candidates.as_nanos() > 0);
+    assert!(result.timings.matching.as_nanos() > 0);
+    assert!(result.timings.total() >= result.timings.matching);
+}
+
+#[test]
+fn parallel_pipeline_records_matcher_and_clusterer_stages() {
+    let ds = clean_dataset(90, 5, true);
+    let ctx = Context::new(4);
+    ctx.reset_metrics();
+    Pipeline::new(PipelineConfig::default()).run_pipeline_parallel(&ctx, &ds.collection);
+    let names: Vec<String> = ctx.metrics().stages.iter().map(|s| s.name.clone()).collect();
+    assert!(
+        names.iter().any(|n| n == "match_candidates"),
+        "matcher stage missing from {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "cluster_components"),
+        "clusterer stage missing from {names:?}"
+    );
+}
+
+proptest! {
+    // Dataset generation + three pipeline runs per case: keep the case
+    // count modest; the deterministic sweeps above cover the full matrix.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn clean_clean_parity_proptest(
+        seed in 0u64..1_000,
+        entities in 30usize..80,
+        workers in prop::sample::select(&WORKERS[..]),
+        skewed in any::<bool>(),
+        algorithm in prop::sample::select(&ALL_ALGORITHMS[..]),
+    ) {
+        let ds = clean_dataset(entities, seed, skewed);
+        let pipeline = Pipeline::new(config_with(algorithm));
+        let seq = pipeline.run(&ds.collection);
+        let ctx = Context::new(workers);
+        let par = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
+        prop_assert_eq!(&seq.similarity, &par.similarity);
+        prop_assert_eq!(&seq.clusters, &par.clusters);
+        prop_assert_eq!(seq.evaluate(&ds.ground_truth), par.evaluate(&ds.ground_truth));
+    }
+
+    #[test]
+    fn dirty_parity_proptest(
+        seed in 0u64..1_000,
+        entities in 20usize..60,
+        workers in prop::sample::select(&WORKERS[..]),
+        skewed in any::<bool>(),
+        algorithm in prop::sample::select(&ALL_ALGORITHMS[..4]),
+    ) {
+        let ds = dirty_dataset(entities, seed, skewed);
+        let pipeline = Pipeline::new(config_with(algorithm));
+        let seq = pipeline.run(&ds.collection);
+        let ctx = Context::new(workers);
+        let par = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
+        prop_assert_eq!(&seq.similarity, &par.similarity);
+        prop_assert_eq!(&seq.clusters, &par.clusters);
+        prop_assert_eq!(seq.evaluate(&ds.ground_truth), par.evaluate(&ds.ground_truth));
+    }
+}

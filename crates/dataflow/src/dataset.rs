@@ -198,6 +198,18 @@ impl<T: Send + Sync> Dataset<T> {
         U: Send + Sync,
         F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
     {
+        self.map_morsels_named("map_morsels", grain, f)
+    }
+
+    /// [`Dataset::map_morsels`] recorded under an explicit stage name, so
+    /// pipeline-level operators (entity matching, clustering) appear as
+    /// their own stages in [`crate::MetricsSnapshot`] instead of an
+    /// anonymous `map_morsels` entry.
+    pub fn map_morsels_named<U, F>(&self, name: &str, grain: usize, f: F) -> Dataset<U>
+    where
+        U: Send + Sync,
+        F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    {
         let grain = grain.max(1);
         let t0 = Instant::now();
         // Morsel descriptors, partition-major: (partition, start, end).
@@ -236,7 +248,7 @@ impl<T: Send + Sync> Dataset<T> {
         }
         record_stage(
             &self.ctx,
-            "map_morsels",
+            name,
             morsels.len(),
             self.count() as u64,
             produced,
@@ -316,6 +328,24 @@ impl<T: Send + Sync> Dataset<T> {
             out.extend(p.iter().cloned());
         }
         out
+    }
+
+    /// Consume the dataset and return its partitions as owned vectors, in
+    /// partition order. Uniquely held partitions (the common case of a
+    /// fresh intermediate) are moved out without copying; shared ones are
+    /// cloned. Used where the partition boundaries themselves carry meaning
+    /// — e.g. merging per-partition result shards shard-by-shard.
+    pub fn into_partitions(self) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        self.parts
+            .into_iter()
+            .map(|p| match Arc::try_unwrap(p) {
+                Ok(owned) => owned,
+                Err(shared) => shared.to_vec(),
+            })
+            .collect()
     }
 
     /// Pair every record with its global index (partition-order positions).
@@ -1163,6 +1193,18 @@ mod tests {
     }
 
     #[test]
+    fn into_partitions_preserves_boundaries() {
+        let c = Context::new(2);
+        let ds = c.parallelize((0..10).collect::<Vec<_>>(), 4);
+        let keep = ds.clone(); // shared handle: forces the clone path
+        assert_eq!(
+            ds.into_partitions(),
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7], vec![8, 9]]
+        );
+        assert_eq!(keep.collect(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn map_morsels_matches_map_partitions() {
         let c = Context::with_partitions(4, 3);
         let ds = c.parallelize((0..103u64).collect::<Vec<_>>(), 3);
@@ -1185,6 +1227,17 @@ mod tests {
         assert_eq!(snap.stages[0].name, "map_morsels");
         assert_eq!(snap.stages[0].tasks, 8, "40 records / grain 5");
         assert_eq!(snap.stages[0].per_worker_busy.len(), 2);
+    }
+
+    #[test]
+    fn map_morsels_named_records_custom_stage_name() {
+        let c = Context::with_partitions(2, 2);
+        let ds = c.parallelize((0..20u64).collect::<Vec<_>>(), 2);
+        c.reset_metrics();
+        let out = ds.map_morsels_named("match_candidates", 4, |_, p| p.to_vec());
+        let snap = c.metrics();
+        assert_eq!(snap.stages[0].name, "match_candidates");
+        assert_eq!(out.collect(), (0..20u64).collect::<Vec<_>>());
     }
 
     #[test]

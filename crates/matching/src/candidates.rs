@@ -1,0 +1,230 @@
+//! Candidate graph: the pruned blocking graph's edges in CSR form, plus the
+//! pool-parallel batch scorer that streams them to a matcher.
+//!
+//! The blocker hands the matcher a *set* of candidate pairs. The dataflow
+//! matcher used to materialize that set as one global sorted `Vec<Pair>`
+//! before distributing it; at scale the sort and the copy are pure
+//! overhead, and equal-count pair partitions inherit the blocking graph's
+//! skew (a hub profile's pairs land contiguously). [`CandidateGraph`]
+//! instead lays the pairs out as per-profile neighbor lists — six-machine-
+//! word CSR, built by counting sort — so the scorer streams each profile's
+//! candidates out of its neighborhood, costs are per-profile degrees, and
+//! no global pair vector ever exists.
+//!
+//! [`score_candidates_pool`] is the execution half: profile ids are
+//! partitioned by candidate-degree cost hints (`parallelize_by_cost`),
+//! executed as dynamically claimed morsels with per-worker scratch
+//! ([`WorkerLocal`]), and each morsel emits a sorted [`SimilarityGraph`]
+//! shard. Contiguous id cuts + slot-indexed shard merge make the
+//! concatenation globally sorted, so the result is byte-identical to the
+//! sequential matcher at any worker count.
+
+use crate::graph::SimilarityGraph;
+use sparker_dataflow::{Broadcast, Context, WorkerLocal};
+use sparker_profiles::{Pair, ProfileId};
+use std::sync::Arc;
+
+/// The candidate pairs of a pruned blocking graph in CSR form: each pair is
+/// stored once, under its smaller endpoint, with neighbor lists sorted by
+/// id. Layout is a pure function of the pair *set* — building from any
+/// iteration order (e.g. a `HashSet`) yields identical bytes.
+#[derive(Debug, Clone)]
+pub struct CandidateGraph {
+    /// `offsets[i]..offsets[i + 1]` bounds profile `i`'s neighbor run.
+    offsets: Vec<usize>,
+    /// Larger endpoints, sorted ascending within each profile's run.
+    neighbors: Vec<ProfileId>,
+}
+
+impl CandidateGraph {
+    /// Build from candidate pairs by counting sort. The iterator is walked
+    /// twice (count, then fill), which is why it must be `Clone` — pass
+    /// `set.iter().copied()` style borrows, not owned buffers.
+    pub fn from_pairs<I>(num_profiles: usize, pairs: I) -> Self
+    where
+        I: Iterator<Item = Pair> + Clone,
+    {
+        let mut offsets = vec![0usize; num_profiles + 1];
+        for p in pairs.clone() {
+            assert!(
+                p.second.index() < num_profiles,
+                "candidate {p} out of range for {num_profiles} profiles"
+            );
+            offsets[p.first.index() + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![ProfileId(0); offsets[num_profiles]];
+        for p in pairs {
+            neighbors[cursor[p.first.index()]] = p.second;
+            cursor[p.first.index()] += 1;
+        }
+        // Neighbor runs sorted by id: emission order becomes globally
+        // sorted, independent of the input iteration order.
+        for i in 0..num_profiles {
+            neighbors[offsets[i]..offsets[i + 1]].sort_unstable();
+        }
+        CandidateGraph { offsets, neighbors }
+    }
+
+    /// Number of profiles (nodes).
+    pub fn num_profiles(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of candidate pairs (edges).
+    pub fn num_candidates(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The candidates stored under `id` (their larger endpoints), sorted.
+    pub fn candidates_of(&self, id: ProfileId) -> &[ProfileId] {
+        &self.neighbors[self.offsets[id.index()]..self.offsets[id.index() + 1]]
+    }
+
+    /// Per-profile scheduling cost: stored candidate degree + 1 (the +1
+    /// keeps isolated profiles advancing the cost prefix, as in the
+    /// meta-blocking scheduler).
+    pub fn costs(&self) -> Vec<u64> {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u64 + 1)
+            .collect()
+    }
+}
+
+/// Morsel grain shared with the meta-blocking scheduler: roughly
+/// `32 × workers` claimable tasks overall.
+fn morsel_grain(num_nodes: usize, ctx: &Context) -> usize {
+    (num_nodes / (ctx.workers() * 32)).max(1)
+}
+
+/// Score every candidate of `graph` on the worker pool and keep pairs with
+/// `score ≥ threshold`.
+///
+/// `scratch` builds one per-worker-slot value (reused across morsels —
+/// e.g. [`crate::similarity::EditScratch`] for edit-based measures);
+/// `score(scratch, a, b)` must be a pure function of the pair for the
+/// determinism guarantee to hold. Profile ids are cost-partitioned by
+/// candidate degree and executed as dynamically claimed morsels; each
+/// morsel's sorted shard is merged slot-indexed, so the output equals the
+/// sequential scorer's bytes at any worker count.
+pub fn score_candidates_pool<W, F>(
+    ctx: &Context,
+    graph: &Arc<CandidateGraph>,
+    threshold: f64,
+    scratch: impl FnMut() -> W,
+    score: F,
+) -> SimilarityGraph
+where
+    W: Send,
+    F: Fn(&mut W, ProfileId, ProfileId) -> f64 + Send + Sync,
+{
+    let num_nodes = graph.num_profiles();
+    let costs = graph.costs();
+    let grain = morsel_grain(num_nodes, ctx);
+    let b_graph: Broadcast<CandidateGraph> = ctx.broadcast(Arc::clone(graph));
+    let locals = Arc::new(WorkerLocal::new(ctx.workers(), scratch));
+    let ids: Vec<u32> = (0..num_nodes as u32).collect();
+    let shards = ctx
+        .parallelize_by_cost_default(ids, &costs)
+        .map_morsels_named("match_candidates", grain, move |worker, nodes| {
+            locals.with(worker, |scr| {
+                let mut shard = Vec::new();
+                for &i in nodes {
+                    let node = ProfileId(i);
+                    for &j in b_graph.candidates_of(node) {
+                        let s = score(scr, node, j);
+                        if s >= threshold {
+                            shard.push((Pair::new(node, j), s));
+                        }
+                    }
+                }
+                shard
+            })
+        });
+    SimilarityGraph::from_sorted_shards(shards.into_partitions())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn pair(a: u32, b: u32) -> Pair {
+        Pair::new(ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn csr_layout_independent_of_input_order() {
+        let fwd = [pair(0, 3), pair(0, 1), pair(2, 3), pair(1, 4)];
+        let mut rev = fwd;
+        rev.reverse();
+        let a = CandidateGraph::from_pairs(5, fwd.iter().copied());
+        let b = CandidateGraph::from_pairs(5, rev.iter().copied());
+        assert_eq!(a.candidates_of(ProfileId(0)), &[ProfileId(1), ProfileId(3)]);
+        assert_eq!(a.candidates_of(ProfileId(3)), &[] as &[ProfileId]);
+        for i in 0..5 {
+            assert_eq!(a.candidates_of(ProfileId(i)), b.candidates_of(ProfileId(i)));
+        }
+        assert_eq!(a.num_candidates(), 4);
+        assert_eq!(a.num_profiles(), 5);
+    }
+
+    #[test]
+    fn costs_are_degree_plus_one() {
+        let g = CandidateGraph::from_pairs(4, [pair(0, 1), pair(0, 2), pair(1, 3)].into_iter());
+        assert_eq!(g.costs(), vec![3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn from_hashset_iteration_is_deterministic() {
+        let set: HashSet<Pair> = (0..20u32)
+            .flat_map(|a| (a + 1..20).map(move |b| pair(a, b)))
+            .collect();
+        let a = CandidateGraph::from_pairs(20, set.iter().copied());
+        let b = CandidateGraph::from_pairs(20, set.iter().copied());
+        for i in 0..20 {
+            assert_eq!(a.candidates_of(ProfileId(i)), b.candidates_of(ProfileId(i)));
+        }
+        assert_eq!(a.num_candidates(), 190);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_candidate_rejected() {
+        CandidateGraph::from_pairs(3, [pair(0, 7)].into_iter());
+    }
+
+    #[test]
+    fn pool_scorer_equals_sequential_filtering() {
+        let pairs = [pair(0, 1), pair(0, 2), pair(1, 2), pair(2, 3)];
+        let g = Arc::new(CandidateGraph::from_pairs(4, pairs.iter().copied()));
+        // Deterministic synthetic score: depends only on the pair.
+        let score = |a: ProfileId, b: ProfileId| f64::from(a.0 + b.0) / 10.0;
+        let expected = SimilarityGraph::new(
+            pairs
+                .iter()
+                .filter_map(|p| {
+                    let s = score(p.first, p.second);
+                    (s >= 0.3).then_some((*p, s))
+                })
+                .collect::<Vec<_>>(),
+        );
+        for workers in [1, 2, 8] {
+            let ctx = Context::new(workers);
+            let got = score_candidates_pool(&ctx, &g, 0.3, || (), move |_, a, b| score(a, b));
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_scorer_empty_graph() {
+        let g = Arc::new(CandidateGraph::from_pairs(3, std::iter::empty()));
+        let ctx = Context::new(2);
+        let out = score_candidates_pool(&ctx, &g, 0.5, || (), |_: &mut (), _, _| 1.0);
+        assert!(out.is_empty());
+    }
+}

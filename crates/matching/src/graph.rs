@@ -26,6 +26,29 @@ impl SimilarityGraph {
         SimilarityGraph { edges }
     }
 
+    /// Assemble from slot-ordered shards whose concatenation is already
+    /// sorted by pair with no duplicates — the shape the pool-parallel
+    /// matcher produces (contiguous id cuts, per-node sorted emission).
+    ///
+    /// Skips [`SimilarityGraph::new`]'s hash-dedup and sort; the required
+    /// invariants (strictly ascending pairs, no NaN scores) are asserted in
+    /// one cheap pass, so a malformed shard set panics instead of silently
+    /// corrupting the graph.
+    pub fn from_sorted_shards(shards: Vec<Vec<(Pair, f64)>>) -> Self {
+        let mut edges: Vec<(Pair, f64)> = Vec::with_capacity(shards.iter().map(Vec::len).sum());
+        for shard in shards {
+            edges.extend(shard);
+        }
+        for w in edges.windows(2) {
+            assert!(w[0].0 < w[1].0, "shards must concatenate strictly sorted");
+        }
+        assert!(
+            edges.iter().all(|(_, s)| !s.is_nan()),
+            "similarity scores must not be NaN"
+        );
+        SimilarityGraph { edges }
+    }
+
     /// All edges, sorted by pair.
     pub fn edges(&self) -> &[(Pair, f64)] {
         &self.edges
@@ -119,5 +142,40 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         SimilarityGraph::new(vec![(pair(0, 1), f64::NAN)]);
+    }
+
+    #[test]
+    fn sorted_shards_assemble_without_resorting() {
+        let shards = vec![
+            vec![(pair(0, 1), 0.9), (pair(0, 2), 0.4)],
+            vec![],
+            vec![(pair(1, 2), 0.7), (pair(2, 3), 0.5)],
+        ];
+        let g = SimilarityGraph::from_sorted_shards(shards);
+        let same = SimilarityGraph::new(vec![
+            (pair(2, 3), 0.5),
+            (pair(0, 1), 0.9),
+            (pair(1, 2), 0.7),
+            (pair(0, 2), 0.4),
+        ]);
+        assert_eq!(g, same);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn unsorted_shards_rejected() {
+        SimilarityGraph::from_sorted_shards(vec![
+            vec![(pair(1, 2), 0.7)],
+            vec![(pair(0, 1), 0.9)],
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn duplicate_across_shards_rejected() {
+        SimilarityGraph::from_sorted_shards(vec![
+            vec![(pair(0, 1), 0.7)],
+            vec![(pair(0, 1), 0.9)],
+        ]);
     }
 }

@@ -21,14 +21,20 @@
 //!   features, standing in for Magellan's learned matchers (which need
 //!   labelled pairs, exactly as the paper's supervised mode describes).
 //! * [`SimilarityGraph`] — the matcher output: weighted matching pairs.
+//! * [`CandidateGraph`] + [`score_candidates_pool`] — the pool-parallel
+//!   batch scorer: candidate pairs in CSR form streamed per profile,
+//!   degree-cost morsel scheduling, per-worker scratch, sorted shard
+//!   output byte-identical to the sequential matchers.
 
 pub mod similarity;
 
+mod candidates;
 mod graph;
 mod matcher;
 mod perceptron;
 mod tfidf;
 
+pub use candidates::{score_candidates_pool, CandidateGraph};
 pub use graph::SimilarityGraph;
 pub use matcher::{
     Matcher, PreparedProfile, SimilarityMeasure, TfIdfMatcher, ThresholdMatcher, WeightedRule,

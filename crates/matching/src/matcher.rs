@@ -1,10 +1,12 @@
 //! Matchers: turn candidate pairs into a similarity graph.
 
+use crate::candidates::{score_candidates_pool, CandidateGraph};
 use crate::graph::SimilarityGraph;
 use crate::similarity;
 use crate::tfidf::TfIdfIndex;
 use sparker_dataflow::Context;
 use sparker_profiles::{Pair, Profile, ProfileCollection};
+use std::sync::Arc;
 
 /// A whole-profile similarity measure selectable by name — the paper's
 /// "wide range of similarity (or distance) scores" the user can pick in the
@@ -75,6 +77,26 @@ impl SimilarityMeasure {
             SimilarityMeasure::MongeElkan => {
                 similarity::monge_elkan(&a.concatenated, &b.concatenated)
             }
+        }
+    }
+
+    /// [`SimilarityMeasure::score_prepared`] with reusable edit-distance
+    /// buffers — identical bits; Levenshtein stops allocating its DP rows
+    /// per pair. The batch matchers keep one [`similarity::EditScratch`]
+    /// per worker slot.
+    pub fn score_prepared_with(
+        &self,
+        a: &PreparedProfile,
+        b: &PreparedProfile,
+        scratch: &mut similarity::EditScratch,
+    ) -> f64 {
+        match self {
+            SimilarityMeasure::Levenshtein => similarity::levenshtein_similarity_with(
+                &a.concatenated,
+                &b.concatenated,
+                scratch,
+            ),
+            _ => self.score_prepared(a, b),
         }
     }
 }
@@ -170,6 +192,31 @@ impl ThresholdMatcher {
             "threshold must be in [0, 1], got {threshold}"
         );
         ThresholdMatcher { measure, threshold }
+    }
+
+    /// Pool-parallel batch scoring over a [`CandidateGraph`]: candidates
+    /// stream out of the graph's per-profile neighbor lists (no global pair
+    /// vector), the prepared profile views are broadcast once, and ids are
+    /// cost-partitioned by candidate degree into dynamically claimed
+    /// morsels with per-worker edit-distance scratch. Byte-identical to
+    /// [`Matcher::match_pairs`] over the same pair set at any worker count.
+    pub fn match_candidates_pool(
+        &self,
+        ctx: &Context,
+        collection: &ProfileCollection,
+        graph: &Arc<CandidateGraph>,
+    ) -> SimilarityGraph {
+        let prepared = ctx.broadcast(PreparedProfile::prepare_all(collection));
+        let measure = self.measure;
+        score_candidates_pool(
+            ctx,
+            graph,
+            self.threshold,
+            similarity::EditScratch::default,
+            move |scratch, a, b| {
+                measure.score_prepared_with(&prepared[a.index()], &prepared[b.index()], scratch)
+            },
+        )
     }
 }
 
@@ -331,6 +378,20 @@ impl TfIdfMatcher {
             index: TfIdfIndex::build(collection),
             threshold,
         }
+    }
+
+    /// Pool-parallel batch scoring over a [`CandidateGraph`] with the
+    /// TF-IDF index broadcast once to every task; byte-identical to
+    /// [`Matcher::match_pairs`] over the same pair set at any worker count.
+    pub fn match_candidates_pool(
+        &self,
+        ctx: &Context,
+        graph: &Arc<CandidateGraph>,
+    ) -> SimilarityGraph {
+        let index = ctx.broadcast(self.index.clone());
+        score_candidates_pool(ctx, graph, self.threshold, || (), move |_, a, b| {
+            index.cosine(a, b)
+        })
     }
 }
 

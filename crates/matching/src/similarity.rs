@@ -50,24 +50,46 @@ pub fn cosine_tokens(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
 // String (edit-based) measures.
 // ---------------------------------------------------------------------------
 
+/// Reusable buffers for [`levenshtein_with`]: the decoded char runs and the
+/// two DP rows. One `EditScratch` per worker slot keeps the batch matchers'
+/// edit-distance inner loop allocation-free after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct EditScratch {
+    a: Vec<char>,
+    b: Vec<char>,
+    prev: Vec<usize>,
+    curr: Vec<usize>,
+}
+
 /// Levenshtein edit distance (two-row dynamic program, O(|a|·|b|) time,
 /// O(min) space).
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    levenshtein_with(a, b, &mut EditScratch::default())
+}
+
+/// [`levenshtein`] over caller-provided buffers — identical result, no
+/// allocation once the scratch has grown to the working size.
+pub fn levenshtein_with(a: &str, b: &str, scratch: &mut EditScratch) -> usize {
+    let EditScratch { a: ca, b: cb, prev, curr } = scratch;
+    ca.clear();
+    ca.extend(a.chars());
+    cb.clear();
+    cb.extend(b.chars());
+    let (short, long) = if ca.len() <= cb.len() { (&*ca, &*cb) } else { (&*cb, &*ca) };
     if short.is_empty() {
         return long.len();
     }
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut curr = vec![0usize; short.len() + 1];
+    prev.clear();
+    prev.extend(0..=short.len());
+    curr.clear();
+    curr.resize(short.len() + 1, 0);
     for (i, &lc) in long.iter().enumerate() {
         curr[0] = i + 1;
         for (j, &sc) in short.iter().enumerate() {
             let cost = usize::from(lc != sc);
             curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     prev[short.len()]
 }
@@ -75,11 +97,16 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 /// Levenshtein similarity: `1 − distance / max(|a|, |b|)`; 1 for two empty
 /// strings.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    levenshtein_similarity_with(a, b, &mut EditScratch::default())
+}
+
+/// [`levenshtein_similarity`] over caller-provided buffers.
+pub fn levenshtein_similarity_with(a: &str, b: &str, scratch: &mut EditScratch) -> f64 {
     let max_len = a.chars().count().max(b.chars().count());
     if max_len == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max_len as f64
+    1.0 - levenshtein_with(a, b, scratch) as f64 / max_len as f64
 }
 
 /// Jaro similarity.
@@ -139,8 +166,10 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 }
 
 /// Monge–Elkan similarity: for each token of the shorter side, the best
-/// Jaro–Winkler match on the other side, averaged. Robust to token
-/// reordering ("Sony Bravia TV" vs "TV Sony BRAVIA").
+/// Jaro–Winkler match on the other side, averaged; on equal token counts,
+/// the better of the two directions (making the measure symmetric, a
+/// property the matcher-level tests pin). Robust to token reordering
+/// ("Sony Bravia TV" vs "TV Sony BRAVIA").
 pub fn monge_elkan(a: &str, b: &str) -> f64 {
     let ta: Vec<&str> = a.split_whitespace().collect();
     let tb: Vec<&str> = b.split_whitespace().collect();
@@ -150,17 +179,23 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
     if ta.is_empty() || tb.is_empty() {
         return 0.0;
     }
-    let (outer, inner) = if ta.len() <= tb.len() { (&ta, &tb) } else { (&tb, &ta) };
-    let sum: f64 = outer
-        .iter()
-        .map(|x| {
-            inner
-                .iter()
-                .map(|y| jaro_winkler(&x.to_lowercase(), &y.to_lowercase()))
-                .fold(0.0, f64::max)
-        })
-        .sum();
-    sum / outer.len() as f64
+    let directed = |outer: &[&str], inner: &[&str]| -> f64 {
+        let sum: f64 = outer
+            .iter()
+            .map(|x| {
+                inner
+                    .iter()
+                    .map(|y| jaro_winkler(&x.to_lowercase(), &y.to_lowercase()))
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        sum / outer.len() as f64
+    };
+    match ta.len().cmp(&tb.len()) {
+        std::cmp::Ordering::Less => directed(&ta, &tb),
+        std::cmp::Ordering::Greater => directed(&tb, &ta),
+        std::cmp::Ordering::Equal => directed(&ta, &tb).max(directed(&tb, &ta)),
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +250,23 @@ mod tests {
         assert_eq!(levenshtein("abc", "abc"), 0);
         assert_eq!(levenshtein("flaw", "lawn"), 2);
         assert_eq!(levenshtein("café", "cafe"), 1, "unicode is per-char");
+    }
+
+    #[test]
+    fn levenshtein_scratch_reuse_is_identical() {
+        // One scratch across pairs of very different lengths: stale buffer
+        // contents must never leak into a later distance.
+        let mut scratch = EditScratch::default();
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("abcdefghij", "x"),
+            ("abc", ""),
+            ("same", "same"),
+            ("café", "cafe"),
+        ] {
+            assert_eq!(levenshtein_with(a, b, &mut scratch), levenshtein(a, b), "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -1,9 +1,27 @@
 //! Property-based tests of the similarity measures: bounds, symmetry,
-//! identity, and known orderings.
+//! identity, and known orderings — at the raw-function level and at the
+//! [`SimilarityMeasure`] level the matchers use.
 
 use proptest::prelude::*;
 use sparker_matching::similarity::*;
+use sparker_matching::{PreparedProfile, SimilarityMeasure};
+use sparker_profiles::{Profile, SourceId};
 use std::collections::BTreeSet;
+
+/// A prepared profile built from generated attribute values (possibly
+/// empty — empty values produce an empty token set and empty concatenation,
+/// the degenerate shape real datasets contain).
+fn prepared(values: &[String]) -> PreparedProfile {
+    let mut b = Profile::builder(SourceId(0), "p");
+    for (i, v) in values.iter().enumerate() {
+        b = b.attr(format!("a{i}"), v.clone());
+    }
+    PreparedProfile::new(&b.build())
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z ]{0,12}", 1..4)
+}
 
 fn token_set() -> impl Strategy<Value = BTreeSet<String>> {
     prop::collection::btree_set("[a-z]{1,6}", 0..12)
@@ -79,5 +97,54 @@ proptest! {
         prop_assert_eq!(levenshtein(&s, &edited), 1);
         let sim = levenshtein_similarity(&s, &edited);
         prop_assert!(sim >= 1.0 - 1.0 / s.chars().count() as f64 - 1e-12);
+    }
+
+    #[test]
+    fn measures_bounded_and_symmetric(a in values_strategy(), b in values_strategy()) {
+        // Every selectable measure is symmetric and lands in [0, 1], even on
+        // degenerate (empty-valued) profiles.
+        let (pa, pb) = (prepared(&a), prepared(&b));
+        for measure in SimilarityMeasure::ALL {
+            let ab = measure.score_prepared(&pa, &pb);
+            let ba = measure.score_prepared(&pb, &pa);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ab), "{}: {ab}", measure.name());
+            prop_assert!((ab - ba).abs() < 1e-12, "{}: {ab} != {ba}", measure.name());
+        }
+    }
+
+    #[test]
+    fn measures_identity_on_nonempty_profiles(a in prop::collection::vec("[a-z]{1,8}", 1..4)) {
+        let p = prepared(&a);
+        for measure in SimilarityMeasure::ALL {
+            let s = measure.score_prepared(&p, &p);
+            prop_assert!((s - 1.0).abs() < 1e-12, "{}: self-score {s}", measure.name());
+        }
+    }
+
+    #[test]
+    fn scratch_scoring_is_bit_identical(a in values_strategy(), b in values_strategy()) {
+        // The per-worker-scratch path the pool matcher uses must produce the
+        // same bits as the allocating path, for every measure.
+        let (pa, pb) = (prepared(&a), prepared(&b));
+        let mut scratch = EditScratch::default();
+        for measure in SimilarityMeasure::ALL {
+            let plain = measure.score_prepared(&pa, &pb);
+            let with = measure.score_prepared_with(&pa, &pb, &mut scratch);
+            prop_assert_eq!(plain.to_bits(), with.to_bits(), "{}", measure.name());
+        }
+    }
+
+    #[test]
+    fn edit_based_measures_tolerate_empty_strings(s in "[a-z ]{0,15}") {
+        // Monge–Elkan and Jaro–Winkler must not panic on empty inputs and
+        // must stay bounded; both directions and the empty–empty case.
+        for f in [monge_elkan, jaro_winkler] {
+            for (x, y) in [(s.as_str(), ""), ("", s.as_str()), ("", "")] {
+                let v = f(x, y);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{v}");
+            }
+        }
+        prop_assert_eq!(monge_elkan("", ""), 1.0);
+        prop_assert_eq!(jaro_winkler("", ""), 1.0);
     }
 }

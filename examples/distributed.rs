@@ -1,12 +1,14 @@
 //! The distributed mode: the whole pipeline on the dataflow engine.
 //!
 //! SparkER's reason to exist is scaling ER on a cluster; this example runs
-//! the same pipeline twice — once on the sequential driver, once entirely
-//! as engine stages (dataflow blocking, dataflow filtering, broadcast-join
+//! the same pipeline three times — on the sequential driver, entirely as
+//! engine stages (dataflow blocking, dataflow filtering, broadcast-join
 //! meta-blocking, broadcast matching, label-propagation connected
-//! components) — asserts the results are identical, and prints the engine's
-//! per-stage accounting: the tasks/shuffle-volume numbers that determine
-//! cluster cost.
+//! components), and as the morsel-driven pool pipeline
+//! (`run_pipeline_parallel`: CSR candidate streaming + per-worker
+//! union–find) — asserts the results are identical, and prints the
+//! engine's per-stage accounting: the tasks/shuffle-volume numbers that
+//! determine cluster cost.
 //!
 //! ```text
 //! cargo run --release --example distributed
@@ -29,8 +31,8 @@ fn main() {
     // Sequential driver.
     let seq = pipeline.run(&ds.collection);
     println!(
-        "sequential: blocking {:.1?}, matching {:.1?}, clustering {:.1?}",
-        seq.timings.blocking, seq.timings.matching, seq.timings.clustering
+        "sequential: blocking {:.1?}, candidates {:.1?}, matching {:.1?}, clustering {:.1?}",
+        seq.timings.blocking, seq.timings.candidates, seq.timings.matching, seq.timings.clustering
     );
 
     // Dataflow engine.
@@ -38,14 +40,24 @@ fn main() {
     let ctx = Context::new(workers);
     let par = pipeline.run_dataflow(&ctx, &ds.collection);
     println!(
-        "dataflow ({workers} workers): blocking {:.1?}, matching {:.1?}, clustering {:.1?}",
-        par.timings.blocking, par.timings.matching, par.timings.clustering
+        "dataflow ({workers} workers): blocking {:.1?}, candidates {:.1?}, matching {:.1?}, clustering {:.1?}",
+        par.timings.blocking, par.timings.candidates, par.timings.matching, par.timings.clustering
     );
 
-    // The defining property: identical results.
+    // Morsel-driven pool pipeline: candidates streamed out of the CSR
+    // candidate graph, per-worker union-find clustering.
+    let pool = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
+    println!(
+        "pool ({workers} workers): blocking {:.1?}, candidates {:.1?}, matching {:.1?}, clustering {:.1?}",
+        pool.timings.blocking, pool.timings.candidates, pool.timings.matching, pool.timings.clustering
+    );
+
+    // The defining property: identical results from all three modes.
     assert_eq!(seq.blocker.candidates, par.blocker.candidates);
     assert_eq!(seq.similarity, par.similarity);
     assert_eq!(seq.clusters, par.clusters);
+    assert_eq!(seq.similarity, pool.similarity);
+    assert_eq!(seq.clusters, pool.clusters);
     println!(
         "\nresults identical: {} candidates, {} matches, {} entities\n",
         par.blocker.candidates.len(),

@@ -67,7 +67,10 @@ fn main() {
     );
 
     println!(
-        "\ntimings: blocking {:.1?}, matching {:.1?}, clustering {:.1?}",
-        result.timings.blocking, result.timings.matching, result.timings.clustering
+        "\ntimings: blocking {:.1?}, candidates {:.1?}, matching {:.1?}, clustering {:.1?}",
+        result.timings.blocking,
+        result.timings.candidates,
+        result.timings.matching,
+        result.timings.clustering
     );
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate the checked-in bench result sets. Run from the repo root:
-# scripts/bench.sh [bench ...]   (default: blocking dataflow metablocking)
+# scripts/bench.sh [bench ...]   (default: blocking dataflow metablocking
+# pipeline)
 #
 # Each bench binary dumps every measurement — including the instrumented
 # critical-path and per-worker busy rows the scheduling ablations record —
@@ -10,7 +11,7 @@ cd "$(dirname "$0")/.."
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-  benches=(blocking dataflow metablocking)
+  benches=(blocking dataflow metablocking pipeline)
 fi
 
 # Absolute path: cargo runs bench binaries with the package directory as

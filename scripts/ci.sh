@@ -15,9 +15,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-execute every bench body (1 sample, no warmup, no JSON dump) so
 # bench-only code paths can't rot between full scripts/bench.sh runs.
-for bench in blocking dataflow metablocking; do
+for bench in blocking dataflow metablocking pipeline; do
   echo "==> BENCH_SMOKE=1 cargo bench -p sparker-bench --bench ${bench}"
   BENCH_SMOKE=1 cargo bench -p sparker-bench --bench "${bench}" > /dev/null
 done
+
+# End-to-end pipeline smoke: pool-parallel run (2 workers) must match the
+# sequential pipeline bit for bit (clusters and F1).
+echo "==> cargo run --release -p sparker-bench --bin smoke_pipeline"
+cargo run -q --release -p sparker-bench --bin smoke_pipeline
 
 echo "CI OK"

@@ -191,11 +191,15 @@ fn run() -> Result<(), String> {
         None => pipeline.run(&collection),
     };
     println!(
-        "blocker: {} blocks -> {} cleaned, {} candidate pairs ({:.1?})",
+        "blocker: {} blocks -> {} cleaned ({:.1?})",
         result.blocker.initial_blocks,
         result.blocker.cleaned_blocks,
-        result.blocker.candidates.len(),
         result.timings.blocking,
+    );
+    println!(
+        "candidates: {} pairs ({:.1?})",
+        result.blocker.candidates.len(),
+        result.timings.candidates,
     );
     println!(
         "matcher: {} matching pairs ({:.1?})",
