@@ -86,15 +86,15 @@ fn bench_tfidf(c: &mut Criterion) {
     let index = TfIdfIndex::build(coll);
     let sep = coll.separator();
     let pairs: Vec<(ProfileId, ProfileId)> = (0..1000u32)
-        .map(|i| (ProfileId(i % sep), ProfileId(sep + (i * 7) % (coll.len() as u32 - sep))))
+        .map(|i| {
+            (
+                ProfileId(i % sep),
+                ProfileId(sep + (i * 7) % (coll.len() as u32 - sep)),
+            )
+        })
         .collect();
     group.bench_function("probe-1k-pairs", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .map(|&(x, y)| index.cosine(x, y))
-                .sum::<f64>()
-        })
+        b.iter(|| pairs.iter().map(|&(x, y)| index.cosine(x, y)).sum::<f64>())
     });
     group.finish();
 }

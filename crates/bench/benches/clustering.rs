@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparker_clustering::{
-    center_clustering, connected_components, connected_components_dataflow,
-    merge_center_clustering,
+    center_clustering, connected_components, connected_components_dataflow, merge_center_clustering,
 };
 use sparker_dataflow::Context;
 use sparker_profiles::{Pair, ProfileId};

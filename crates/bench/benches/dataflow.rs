@@ -20,7 +20,9 @@ fn bench_narrow_ops(c: &mut Criterion) {
     group.bench_function("filter", |b| {
         b.iter(|| black_box(&ds).filter(|x| x % 3 == 0).count())
     });
-    group.bench_function("fold", |b| b.iter(|| black_box(&ds).fold(0u64, |a, b| a + b)));
+    group.bench_function("fold", |b| {
+        b.iter(|| black_box(&ds).fold(0u64, |a, b| a + b))
+    });
     group.finish();
 }
 
@@ -61,9 +63,7 @@ fn spin(iters: u64) -> u64 {
 fn bench_worker_scaling(c: &mut Criterion) {
     const N: usize = 4_096;
     const HUB: usize = N / 8;
-    let costs: Vec<u64> = (0..N)
-        .map(|i| if i < HUB { 20_000 } else { 400 })
-        .collect();
+    let costs: Vec<u64> = (0..N).map(|i| if i < HUB { 20_000 } else { 400 }).collect();
     let mut group = c.benchmark_group("dataflow/worker-scaling");
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
@@ -101,7 +101,11 @@ fn bench_worker_scaling(c: &mut Criterion) {
             };
             let snap = ctx.metrics();
             let prefix = format!("dataflow/worker-scaling/{policy}/{workers}");
-            c.record(format!("{prefix}/critical-path"), 1, snap.total_critical_path());
+            c.record(
+                format!("{prefix}/critical-path"),
+                1,
+                snap.total_critical_path(),
+            );
             for (slot, busy) in snap.stage_worker_busy().iter().enumerate() {
                 c.record(format!("{prefix}/busy-worker-{slot}"), 1, *busy);
             }
@@ -208,7 +212,9 @@ fn record_stage_metrics(c: &mut Criterion) {
     let pairs: Vec<(u32, u64)> = (0..100_000).map(|i| (i % 1000, i as u64)).collect();
     ctx.reset_metrics();
     let grouped = ctx.parallelize(pairs, 8).group_by_key();
-    let _ = grouped.map(|(_, vs)| vs.len() as u64).fold(0u64, |a, b| a + b);
+    let _ = grouped
+        .map(|(_, vs)| vs.len() as u64)
+        .fold(0u64, |a, b| a + b);
     let snap = ctx.metrics();
     for (i, stage) in snap.stages.iter().enumerate() {
         c.record(

@@ -27,7 +27,9 @@ fn bench_partitioning(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(ds.collection.len()),
             &ds,
-            |b, ds| b.iter(|| partition_attributes(black_box(&ds.collection), &LshConfig::default())),
+            |b, ds| {
+                b.iter(|| partition_attributes(black_box(&ds.collection), &LshConfig::default()))
+            },
         );
     }
     group.finish();

@@ -15,8 +15,12 @@ fn bench_measures(c: &mut Criterion) {
         sparker_profiles::tokenize(b).collect(),
     );
     let mut group = c.benchmark_group("similarity");
-    group.bench_function("jaccard", |bch| bch.iter(|| similarity::jaccard(black_box(&ta), black_box(&tb))));
-    group.bench_function("dice", |bch| bch.iter(|| similarity::dice(black_box(&ta), black_box(&tb))));
+    group.bench_function("jaccard", |bch| {
+        bch.iter(|| similarity::jaccard(black_box(&ta), black_box(&tb)))
+    });
+    group.bench_function("dice", |bch| {
+        bch.iter(|| similarity::dice(black_box(&ta), black_box(&tb)))
+    });
     group.bench_function("cosine", |bch| {
         bch.iter(|| similarity::cosine_tokens(black_box(&ta), black_box(&tb)))
     });

@@ -47,11 +47,7 @@ fn scaling_graph(skewed: bool) -> Arc<BlockGraph> {
     } else {
         uniform_dirty(3000)
     };
-    let blocks = purge_oversized(
-        token_blocking(&ds.collection),
-        ds.collection.len(),
-        0.05,
-    );
+    let blocks = purge_oversized(token_blocking(&ds.collection), ds.collection.len(), 0.05);
     let blocks = block_filtering(blocks, 0.25);
     Arc::new(BlockGraph::new(&blocks, None))
 }
@@ -62,12 +58,17 @@ fn bench_weight_schemes(c: &mut Criterion) {
     for scheme in WeightScheme::ALL {
         let config = MetaBlockingConfig {
             scheme,
-            pruning: PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
+            pruning: PruningStrategy::Wnp {
+                factor: 1.0,
+                reciprocal: false,
+            },
             use_entropy: false,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &config, |b, cfg| {
-            b.iter(|| meta_blocking_graph(black_box(&g), cfg))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &config,
+            |b, cfg| b.iter(|| meta_blocking_graph(black_box(&g), cfg)),
+        );
     }
     group.finish();
 }
@@ -78,8 +79,14 @@ fn bench_pruning_strategies(c: &mut Criterion) {
     for pruning in [
         PruningStrategy::Wep { factor: 1.0 },
         PruningStrategy::Cep { retain: None },
-        PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
-        PruningStrategy::Cnp { k: None, reciprocal: false },
+        PruningStrategy::Wnp {
+            factor: 1.0,
+            reciprocal: false,
+        },
+        PruningStrategy::Cnp {
+            k: None,
+            reciprocal: false,
+        },
         PruningStrategy::Blast { ratio: 0.35 },
     ] {
         let config = MetaBlockingConfig {
@@ -134,7 +141,9 @@ fn bench_worker_scaling(c: &mut Criterion) {
             for workers in WORKER_COUNTS {
                 let ctx = Context::new(workers);
                 group.bench_function(BenchmarkId::new(sched.name(), workers), |b| {
-                    b.iter(|| parallel::meta_blocking_scheduled(&ctx, black_box(&g), &config, sched))
+                    b.iter(|| {
+                        parallel::meta_blocking_scheduled(&ctx, black_box(&g), &config, sched)
+                    })
                 });
             }
         }
@@ -145,9 +154,15 @@ fn bench_worker_scaling(c: &mut Criterion) {
                 ctx.reset_metrics();
                 let _ = parallel::meta_blocking_scheduled(&ctx, &g, &config, sched);
                 let snap = ctx.metrics();
-                let prefix =
-                    format!("metablocking/worker-scaling/{kind}/{}/{workers}", sched.name());
-                c.record(format!("{prefix}/critical-path"), 1, snap.total_critical_path());
+                let prefix = format!(
+                    "metablocking/worker-scaling/{kind}/{}/{workers}",
+                    sched.name()
+                );
+                c.record(
+                    format!("{prefix}/critical-path"),
+                    1,
+                    snap.total_critical_path(),
+                );
                 for (slot, busy) in snap.stage_worker_busy().iter().enumerate() {
                     c.record(format!("{prefix}/busy-worker-{slot}"), 1, *busy);
                 }
@@ -165,7 +180,10 @@ fn bench_node_pass(c: &mut Criterion) {
     let g = graph();
     let config = MetaBlockingConfig {
         scheme: WeightScheme::Cbs,
-        pruning: PruningStrategy::Cnp { k: None, reciprocal: false },
+        pruning: PruningStrategy::Cnp {
+            k: None,
+            reciprocal: false,
+        },
         use_entropy: false,
     };
     assert_eq!(

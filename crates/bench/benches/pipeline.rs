@@ -14,7 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparker_bench::{abt_buy_like, skewed_dirty};
-use sparker_core::{BlockingConfig, Pipeline, PipelineConfig};
+use sparker_core::{BlockingConfig, ExecutionBackend, Pipeline, PipelineConfig};
 use sparker_dataflow::Context;
 use std::hint::black_box;
 use std::time::Duration;
@@ -113,16 +113,48 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
             1,
             snap.total_critical_path(),
         );
-        c.record(format!("{prefix}/step/blocking"), 1, result.timings.blocking);
-        c.record(format!("{prefix}/step/candidates"), 1, result.timings.candidates);
-        c.record(format!("{prefix}/step/matching"), 1, result.timings.matching);
-        c.record(format!("{prefix}/step/clustering"), 1, result.timings.clustering);
+        c.record(
+            format!("{prefix}/step/blocking"),
+            1,
+            result.timings.blocking,
+        );
+        c.record(
+            format!("{prefix}/step/candidates"),
+            1,
+            result.timings.candidates,
+        );
+        c.record(
+            format!("{prefix}/step/matching"),
+            1,
+            result.timings.matching,
+        );
+        c.record(
+            format!("{prefix}/step/clustering"),
+            1,
+            result.timings.clustering,
+        );
     }
     let seq = pipeline.run(&ds.collection);
-    c.record("pipeline_10k/sequential/step/blocking", 1, seq.timings.blocking);
-    c.record("pipeline_10k/sequential/step/candidates", 1, seq.timings.candidates);
-    c.record("pipeline_10k/sequential/step/matching", 1, seq.timings.matching);
-    c.record("pipeline_10k/sequential/step/clustering", 1, seq.timings.clustering);
+    c.record(
+        "pipeline_10k/sequential/step/blocking",
+        1,
+        seq.timings.blocking,
+    );
+    c.record(
+        "pipeline_10k/sequential/step/candidates",
+        1,
+        seq.timings.candidates,
+    );
+    c.record(
+        "pipeline_10k/sequential/step/matching",
+        1,
+        seq.timings.matching,
+    );
+    c.record(
+        "pipeline_10k/sequential/step/clustering",
+        1,
+        seq.timings.clustering,
+    );
     c.record(
         "pipeline_10k/sequential/matcher+clusterer/wall",
         1,
@@ -130,10 +162,59 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
     );
 }
 
+/// One instrumented `Pipeline::run_on` per execution backend, exporting
+/// each run's structured `PipelineReport`: per-stage wall and busy time go
+/// into the criterion measurement stream (so `BENCH_JSON` carries them),
+/// and the raw report JSON documents land in the file named by the
+/// `PIPELINE_REPORT_JSON` env var (one JSON array entry per backend —
+/// `scripts/bench.sh` points it at `results/pipeline_reports.json`; the
+/// schema is documented in the README).
+fn bench_backend_reports(c: &mut Criterion) {
+    let ds = if smoke() {
+        skewed_dirty(200)
+    } else {
+        skewed_dirty(5_000)
+    };
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let workers = 4;
+    let backends = [
+        ExecutionBackend::Sequential,
+        ExecutionBackend::dataflow(workers),
+        ExecutionBackend::pool(workers),
+    ];
+
+    let mut reports = Vec::new();
+    for backend in &backends {
+        let result = pipeline.run_on(backend, &ds.collection);
+        let report = &result.report;
+        let prefix = format!("pipeline_report/{}/{}", report.backend, report.workers);
+        for stage in &report.stages {
+            c.record(
+                format!("{prefix}/{}/wall", stage.stage.name()),
+                1,
+                stage.wall,
+            );
+            c.record(
+                format!("{prefix}/{}/busy", stage.stage.name()),
+                1,
+                stage.busy,
+            );
+        }
+        c.record(format!("{prefix}/total/wall"), 1, report.total_wall());
+        reports.push(report.to_json());
+    }
+
+    if let Ok(path) = std::env::var("PIPELINE_REPORT_JSON") {
+        let json = format!("[\n{}\n]\n", reports.join(",\n"));
+        std::fs::write(&path, json).expect("write PIPELINE_REPORT_JSON");
+    }
+}
+
 criterion_group!(
     benches,
     bench_full_pipeline,
     bench_blocker_only,
-    bench_pipeline_scaling
+    bench_pipeline_scaling,
+    bench_backend_reports
 );
 criterion_main!(benches);

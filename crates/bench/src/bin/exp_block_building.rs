@@ -16,8 +16,8 @@
 
 use sparker_bench::{f, Table};
 use sparker_blocking::{
-    canopy_blocking, ngram_blocking, rarest_token_key, sorted_neighborhood,
-    sorted_neighborhood_by, token_blocking,
+    canopy_blocking, ngram_blocking, rarest_token_key, sorted_neighborhood, sorted_neighborhood_by,
+    token_blocking,
 };
 use sparker_core::BlockingQuality;
 use sparker_datasets::{generate, DatasetConfig, Domain, NoiseConfig};
@@ -48,7 +48,10 @@ fn main() {
                 "3-gram-blocking",
                 ngram_blocking(&ds.collection, 3).candidate_pairs(),
             ),
-            ("sorted-neighborhood-5", sorted_neighborhood(&ds.collection, 5)),
+            (
+                "sorted-neighborhood-5",
+                sorted_neighborhood(&ds.collection, 5),
+            ),
             (
                 "sorted-neighborhood-20",
                 sorted_neighborhood(&ds.collection, 20),

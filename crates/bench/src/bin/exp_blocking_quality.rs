@@ -17,9 +17,7 @@ use sparker_blocking::{block_filtering, purge_oversized, token_blocking, BlockCo
 use sparker_core::BlockingQuality;
 use sparker_datasets::GeneratedDataset;
 use sparker_looseschema::{loose_schema_keys, partition_attributes, LshConfig};
-use sparker_metablocking::{
-    block_entropies, meta_blocking_graph, BlockGraph, MetaBlockingConfig,
-};
+use sparker_metablocking::{block_entropies, meta_blocking_graph, BlockGraph, MetaBlockingConfig};
 use sparker_profiles::Pair;
 use std::collections::HashSet;
 
@@ -73,7 +71,14 @@ fn main() {
 
     println!("== E6: blocking quality per stage ==\n");
     let mut t = Table::new(&[
-        "dataset", "variant", "stage", "blocks", "candidates", "PC", "PQ", "RR",
+        "dataset",
+        "variant",
+        "stage",
+        "blocks",
+        "candidates",
+        "PC",
+        "PQ",
+        "RR",
     ]);
     for (name, ds) in &suite {
         stage_rows(name, ds, false, &mut t);
@@ -86,9 +91,8 @@ fn main() {
     let mut t = Table::new(&["dataset", "entropy", "candidates", "PC", "PQ"]);
     for (name, ds) in &suite {
         let parts = partition_attributes(&ds.collection, &LshConfig::default());
-        let blocks = sparker_blocking::keyed_blocking(&ds.collection, |pr| {
-            loose_schema_keys(pr, &parts)
-        });
+        let blocks =
+            sparker_blocking::keyed_blocking(&ds.collection, |pr| loose_schema_keys(pr, &parts));
         let blocks = purge_oversized(blocks, ds.collection.len(), 0.5);
         let blocks = block_filtering(blocks, 0.8);
         let entropies = block_entropies(&blocks, &parts);

@@ -29,13 +29,13 @@ fn main() {
     for (label, threshold) in [("strict matcher (0.5)", 0.5), ("loose matcher (0.2)", 0.2)] {
         let matcher = ThresholdMatcher::new(SimilarityMeasure::Jaccard, threshold);
         let graph = matcher.match_pairs(&ds.collection, blocker.candidates.iter().copied());
-        println!(
-            "== {label}: {} matching edges ==\n",
-            graph.len()
-        );
+        println!("== {label}: {} matching edges ==\n", graph.len());
         let n = ds.collection.len();
         let algos: Vec<(&str, EntityClusters)> = vec![
-            ("connected-components", connected_components(graph.edges(), n)),
+            (
+                "connected-components",
+                connected_components(graph.edges(), n),
+            ),
             ("center", center_clustering(graph.edges(), n)),
             ("merge-center", merge_center_clustering(graph.edges(), n)),
             ("star", star_clustering(graph.edges(), n)),

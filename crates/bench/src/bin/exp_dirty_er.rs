@@ -95,7 +95,12 @@ fn main() {
         },
         5,
     );
-    let mut t = Table::new(&["algorithm", "cluster-precision", "cluster-recall", "cluster-F1"]);
+    let mut t = Table::new(&[
+        "algorithm",
+        "cluster-precision",
+        "cluster-recall",
+        "cluster-F1",
+    ]);
     for algo in [
         ClusteringAlgorithm::ConnectedComponents,
         ClusteringAlgorithm::Center,

@@ -46,12 +46,11 @@ fn main() {
                 f(eval.matching.precision),
                 f(eval.clustering.f1),
             ]);
-            if best.as_ref().is_none_or(|(b, _, _)| eval.clustering.f1 > *b) {
-                best = Some((
-                    eval.clustering.f1,
-                    measure.name().to_string(),
-                    threshold,
-                ));
+            if best
+                .as_ref()
+                .is_none_or(|(b, _, _)| eval.clustering.f1 > *b)
+            {
+                best = Some((eval.clustering.f1, measure.name().to_string(), threshold));
             }
         }
     }
@@ -84,7 +83,10 @@ fn main() {
     }
     t.print();
     let (best_f1, best_measure, best_threshold) = best.unwrap();
-    println!("\nbest: {best_measure}@{best_threshold:.2} with cluster F1 {}", f(best_f1));
+    println!(
+        "\nbest: {best_measure}@{best_threshold:.2} with cluster F1 {}",
+        f(best_f1)
+    );
 
     println!("\n== blocker variants, each at its own best matcher setting ==\n");
     // Comparing blockers at a matcher tuned for one of them is biased (the
@@ -108,8 +110,7 @@ fn main() {
             ..PipelineConfig::default()
         };
         let blocker = Pipeline::new(config).run_blocker(&ds.collection);
-        let candidates: Vec<sparker_profiles::Pair> =
-            blocker.candidates.iter().copied().collect();
+        let candidates: Vec<sparker_profiles::Pair> = blocker.candidates.iter().copied().collect();
         let block_quality = sparker_core::BlockingQuality::measure(
             &blocker.candidates,
             &ds.ground_truth,
@@ -124,10 +125,8 @@ fn main() {
                     &ds.collection,
                     candidates.iter().copied(),
                 );
-                let clusters = sparker_clustering::connected_components(
-                    graph.edges(),
-                    ds.collection.len(),
-                );
+                let clusters =
+                    sparker_clustering::connected_components(graph.edges(), ds.collection.len());
                 let q = sparker_core::PairQuality::of_clusters(&clusters, &ds.ground_truth);
                 if best.as_ref().is_none_or(|(b, _, _)| q.f1 > *b) {
                     best = Some((q.f1, format!("{}@{threshold:.2}", measure.name()), q));

@@ -12,11 +12,11 @@
 //! ```
 
 use sparker_bench::{abt_buy_like, f, Table};
+use sparker_blocking::{block_filtering, keyed_blocking, purge_oversized};
 use sparker_core::looseschema::AttributePartitioning;
 use sparker_core::metablocking::{block_entropies, meta_blocking_graph, BlockGraph};
 use sparker_core::profiles::{Pair, SourceId};
 use sparker_core::{BlockingQuality, LostPairsReport, Pipeline, PipelineConfig};
-use sparker_blocking::{block_filtering, keyed_blocking, purge_oversized};
 use sparker_looseschema::loose_schema_keys;
 use std::collections::HashSet;
 
@@ -46,9 +46,7 @@ fn main() {
     let mut auto_config = PipelineConfig::default();
     auto_config.blocking.loose_schema = Some(Default::default());
     let auto_out = Pipeline::new(auto_config).run_blocker(&ds.collection);
-    let auto_parts = auto_out
-        .partitioning
-        .expect("loose schema enabled");
+    let auto_parts = auto_out.partitioning.expect("loose schema enabled");
 
     // The user's manual edit: split names from descriptions (Figure 6(c)).
     let manual_parts = AttributePartitioning::manual(
@@ -107,7 +105,12 @@ fn main() {
             "  {} <-> {} | shared keys: {}",
             fp.original_ids.0,
             fp.original_ids.1,
-            fp.shared_tokens.iter().take(8).cloned().collect::<Vec<_>>().join(", ")
+            fp.shared_tokens
+                .iter()
+                .take(8)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     let common = report.most_common_shared_tokens(8);

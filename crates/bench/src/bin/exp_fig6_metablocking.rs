@@ -13,9 +13,7 @@ use sparker_bench::{abt_buy_like, f, Table};
 use sparker_blocking::{block_filtering, keyed_blocking, purge_oversized};
 use sparker_core::{BlockingQuality, Pipeline, PipelineConfig};
 use sparker_looseschema::{loose_schema_keys, partition_attributes, LshConfig};
-use sparker_metablocking::{
-    block_entropies, meta_blocking_graph, BlockGraph, MetaBlockingConfig,
-};
+use sparker_metablocking::{block_entropies, meta_blocking_graph, BlockGraph, MetaBlockingConfig};
 use sparker_profiles::Pair;
 use std::collections::HashSet;
 

@@ -53,7 +53,12 @@ fn main() {
     let best = rows
         .iter()
         .filter(|r| r.attribute_partitions > 1)
-        .max_by(|a, b| a.quality.precision.partial_cmp(&b.quality.precision).unwrap());
+        .max_by(|a, b| {
+            a.quality
+                .precision
+                .partial_cmp(&b.quality.precision)
+                .unwrap()
+        });
     if let Some(best) = best {
         println!(
             "\npaper's Figure 6(a)->(b) effect: at threshold 1.0 all attributes share the blob\n\

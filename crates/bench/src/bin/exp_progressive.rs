@@ -18,11 +18,7 @@ use sparker_metablocking::{progressive_global, progressive_node_first, BlockGrap
 use sparker_profiles::Pair;
 
 fn recall_at(order: &[Pair], gt: &sparker_profiles::GroundTruth, budget: usize) -> f64 {
-    let found = order
-        .iter()
-        .take(budget)
-        .filter(|p| gt.contains(p))
-        .count();
+    let found = order.iter().take(budget).filter(|p| gt.contains(p)).count();
     found as f64 / gt.len() as f64
 }
 

@@ -35,10 +35,22 @@ fn main() {
     let strategies = [
         PruningStrategy::Wep { factor: 1.0 },
         PruningStrategy::Cep { retain: None },
-        PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
-        PruningStrategy::Wnp { factor: 1.0, reciprocal: true },
-        PruningStrategy::Cnp { k: None, reciprocal: false },
-        PruningStrategy::Cnp { k: None, reciprocal: true },
+        PruningStrategy::Wnp {
+            factor: 1.0,
+            reciprocal: false,
+        },
+        PruningStrategy::Wnp {
+            factor: 1.0,
+            reciprocal: true,
+        },
+        PruningStrategy::Cnp {
+            k: None,
+            reciprocal: false,
+        },
+        PruningStrategy::Cnp {
+            k: None,
+            reciprocal: true,
+        },
         PruningStrategy::Blast { ratio: 0.35 },
     ];
 
@@ -54,8 +66,12 @@ fn main() {
             let candidates: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
             let q = BlockingQuality::measure(&candidates, &ds.ground_truth, &ds.collection);
             let pruning_label = match pruning {
-                PruningStrategy::Wnp { reciprocal: true, .. } => "WNP-recip".to_string(),
-                PruningStrategy::Cnp { reciprocal: true, .. } => "CNP-recip".to_string(),
+                PruningStrategy::Wnp {
+                    reciprocal: true, ..
+                } => "WNP-recip".to_string(),
+                PruningStrategy::Cnp {
+                    reciprocal: true, ..
+                } => "CNP-recip".to_string(),
                 other => other.name().to_string(),
             };
             t.row(vec![
@@ -64,7 +80,10 @@ fn main() {
                 q.candidates.to_string(),
                 f(q.recall),
                 f(q.precision),
-                format!("{:.1}%", 100.0 * q.candidates as f64 / q0.candidates.max(1) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * q.candidates as f64 / q0.candidates.max(1) as f64
+                ),
             ]);
         }
     }

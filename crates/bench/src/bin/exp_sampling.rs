@@ -30,7 +30,15 @@ fn main() {
     println!("full-data blocker time: {full_time:?}\n");
 
     let mut t = Table::new(&[
-        "K", "k", "sample-size", "pct-of-data", "pairs-kept", "pair-recall", "vs-random", "blocker-ms", "speedup",
+        "K",
+        "k",
+        "sample-size",
+        "pct-of-data",
+        "pairs-kept",
+        "pair-recall",
+        "vs-random",
+        "blocker-ms",
+        "speedup",
     ]);
     for seeds in [50usize, 100, 200, 400] {
         for companions in [4usize, 10, 20] {
@@ -79,7 +87,10 @@ fn main() {
                 format!("{recall:.3}"),
                 format!("{:.1}x", recall / random_recall.max(1e-9)),
                 format!("{:.1}", sample_time.as_secs_f64() * 1e3),
-                format!("{:.1}x", full_time.as_secs_f64() / sample_time.as_secs_f64()),
+                format!(
+                    "{:.1}x",
+                    full_time.as_secs_f64() / sample_time.as_secs_f64()
+                ),
             ]);
         }
     }

@@ -110,7 +110,9 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nnote: simonini_0 (author) blocks p1,p3; simonini_1 would hold only p2 -> no block.");
+    println!(
+        "\nnote: simonini_0 (author) blocks p1,p3; simonini_1 would hold only p2 -> no block."
+    );
 
     println!("\n== Figure 2(c): entropy-weighted meta-blocking ==\n");
     let entropies = BlockEntropies::new(vec![0.4, 0.4, 0.8, 0.8, 0.4]);

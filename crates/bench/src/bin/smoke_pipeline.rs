@@ -1,44 +1,55 @@
-//! End-to-end pipeline smoke: run the pool-parallel pipeline on a small
-//! skewed dataset with 2 workers and assert it is indistinguishable from
-//! the sequential pipeline (same clusters, same F1). Exercised by `ci.sh`.
+//! End-to-end pipeline smoke: run the unified driver on a small skewed
+//! dataset once per execution backend (2 workers for the engine backends)
+//! and assert every backend is indistinguishable from the sequential
+//! reference (same clusters, same evaluation). Exercised by `ci.sh`.
 
 use sparker_bench::skewed_dirty;
-use sparker_core::{Pipeline, PipelineConfig};
-use sparker_dataflow::Context;
+use sparker_core::{ExecutionBackend, Pipeline, PipelineConfig};
 
 fn main() {
     let ds = skewed_dirty(250);
     let pipeline = Pipeline::new(PipelineConfig::default());
 
-    let sequential = pipeline.run(&ds.collection);
-    let ctx = Context::new(2);
-    let parallel = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
-
-    assert_eq!(
-        sequential.clusters, parallel.clusters,
-        "parallel pipeline diverged from sequential clusters"
-    );
+    let sequential = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
     let seq_eval = sequential.evaluate(&ds.ground_truth);
-    let par_eval = parallel.evaluate(&ds.ground_truth);
-    assert_eq!(
-        seq_eval, par_eval,
-        "parallel pipeline diverged from sequential evaluation"
-    );
 
-    let snap = ctx.metrics();
-    assert!(
-        snap.stages.iter().any(|s| s.name == "match_candidates"),
-        "matcher did not run on the pool"
-    );
-    assert!(
-        snap.stages.iter().any(|s| s.name == "cluster_components"),
-        "clusterer did not run on the pool"
-    );
+    for backend in [ExecutionBackend::dataflow(2), ExecutionBackend::pool(2)] {
+        let result = pipeline.run_on(&backend, &ds.collection);
+        assert_eq!(
+            sequential.clusters,
+            result.clusters,
+            "{} backend diverged from sequential clusters",
+            backend.name()
+        );
+        assert_eq!(
+            seq_eval,
+            result.evaluate(&ds.ground_truth),
+            "{} backend diverged from sequential evaluation",
+            backend.name()
+        );
+        assert_eq!(result.report.backend, backend.name());
+
+        let snap = backend.context().unwrap().metrics();
+        let has = |name: &str| snap.stages.iter().any(|s| s.name == name);
+        assert!(
+            has("pipeline/score_pairs") && has("pipeline/cluster_edges"),
+            "{} backend missing stage-scope markers",
+            backend.name()
+        );
+        if backend.name() == "pool" {
+            assert!(has("match_candidates"), "matcher did not run on the pool");
+            assert!(
+                has("cluster_components"),
+                "clusterer did not run on the pool"
+            );
+        }
+    }
 
     println!(
-        "pipeline smoke OK: {} profiles, {} clusters, clustering F1 {:.4} (parallel == sequential, 2 workers)",
+        "pipeline smoke OK: {} profiles, {} clusters, clustering F1 {:.4} \
+         (dataflow == pool == sequential, 2 workers)",
         ds.collection.len(),
-        parallel.clusters.num_clusters(),
-        par_eval.clustering.f1,
+        sequential.clusters.num_clusters(),
+        seq_eval.clustering.f1,
     );
 }

@@ -176,6 +176,9 @@ mod tests {
     #[test]
     fn all_members_crosses_sources() {
         let b = Block::clean_clean("k", vec![pid(2)], vec![pid(7), pid(4)]);
-        assert_eq!(b.all_members().collect::<Vec<_>>(), vec![pid(2), pid(4), pid(7)]);
+        assert_eq!(
+            b.all_members().collect::<Vec<_>>(),
+            vec![pid(2), pid(4), pid(7)]
+        );
     }
 }

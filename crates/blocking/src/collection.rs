@@ -108,10 +108,7 @@ pub struct ProfileBlocksIndex {
 impl ProfileBlocksIndex {
     /// Blocks containing `id` (empty for unknown/blocked-out profiles).
     pub fn blocks_of(&self, id: ProfileId) -> &[BlockId] {
-        self.index
-            .get(id.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.index.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of profile slots (max profile id + 1).

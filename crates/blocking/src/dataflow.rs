@@ -120,11 +120,7 @@ pub fn keyed_blocking(
 /// pairs, group by profile, keep each profile's smallest `ratio` fraction,
 /// then regroup by block.
 #[allow(clippy::type_complexity)]
-pub fn block_filtering(
-    ctx: &Context,
-    blocks: BlockCollection,
-    ratio: f64,
-) -> BlockCollection {
+pub fn block_filtering(ctx: &Context, blocks: BlockCollection, ratio: f64) -> BlockCollection {
     assert!(
         (0.0..=1.0).contains(&ratio) && ratio > 0.0,
         "filter ratio must be in (0, 1], got {ratio}"
@@ -234,8 +230,12 @@ mod tests {
     #[test]
     fn dataflow_blocking_clean_clean() {
         let coll = ProfileCollection::clean_clean(
-            vec![Profile::builder(SourceId(0), "a").attr("n", "x common").build()],
-            vec![Profile::builder(SourceId(1), "b").attr("m", "common y").build()],
+            vec![Profile::builder(SourceId(0), "a")
+                .attr("n", "x common")
+                .build()],
+            vec![Profile::builder(SourceId(1), "b")
+                .attr("m", "common y")
+                .build()],
         );
         let ctx = Context::new(2);
         let bc = token_blocking(&ctx, &coll);

@@ -23,7 +23,11 @@ pub fn block_filtering(blocks: BlockCollection, ratio: f64) -> BlockCollection {
     let index = blocks.profile_index();
 
     // Pre-compute block comparison counts once.
-    let cardinality: Vec<u64> = blocks.blocks().iter().map(|b| b.comparisons(kind)).collect();
+    let cardinality: Vec<u64> = blocks
+        .blocks()
+        .iter()
+        .map(|b| b.comparisons(kind))
+        .collect();
 
     // For every profile decide which blocks to stay in.
     let mut keep: Vec<Vec<bool>> = blocks
@@ -106,7 +110,11 @@ mod proptests {
     fn model_retained(blocks: &BlockCollection, ratio: f64) -> Vec<(ProfileId, BTreeSet<String>)> {
         let kind = blocks.kind();
         let index = blocks.profile_index();
-        let cardinality: Vec<u64> = blocks.blocks().iter().map(|b| b.comparisons(kind)).collect();
+        let cardinality: Vec<u64> = blocks
+            .blocks()
+            .iter()
+            .map(|b| b.comparisons(kind))
+            .collect();
         let mut out = Vec::new();
         for (p, bids) in index.iter() {
             let mut ordered: Vec<u32> = bids.iter().map(|b| b.0).collect();
@@ -212,15 +220,15 @@ mod tests {
         // in ceil(5*0.8)=4 blocks → it leaves exactly the huge one.
         let mut blocks = vec![Block::dirty("huge", (0..30).map(ProfileId).collect())];
         for i in 0..4 {
-            blocks.push(Block::dirty(
-                format!("small{i}"),
-                vec![pid(0), pid(10 + i)],
-            ));
+            blocks.push(Block::dirty(format!("small{i}"), vec![pid(0), pid(10 + i)]));
         }
         let bc = BlockCollection::new(ErKind::Dirty, blocks);
         let filtered = block_filtering(bc, 0.8);
         let huge = filtered.blocks().iter().find(|b| b.key == "huge").unwrap();
-        assert!(!huge.all_members().any(|p| p == pid(0)), "p0 left the huge block");
+        assert!(
+            !huge.all_members().any(|p| p == pid(0)),
+            "p0 left the huge block"
+        );
         for i in 0..4 {
             let b = filtered
                 .blocks()
@@ -261,7 +269,11 @@ mod tests {
         let bc = BlockCollection::new(
             ErKind::CleanClean,
             vec![
-                Block::clean_clean("big", (0..10).map(ProfileId).collect(), (10..20).map(ProfileId).collect()),
+                Block::clean_clean(
+                    "big",
+                    (0..10).map(ProfileId).collect(),
+                    (10..20).map(ProfileId).collect(),
+                ),
                 Block::clean_clean("small", vec![pid(0)], vec![pid(10)]),
             ],
         );
@@ -270,7 +282,9 @@ mod tests {
         // so p0/p10 keep only the small block; others keep "big".
         let small = filtered.blocks().iter().find(|b| b.key == "small").unwrap();
         assert_eq!(small.comparisons(ErKind::CleanClean), 1);
-        assert!(small.pairs(ErKind::CleanClean).contains(&Pair::new(pid(0), pid(10))));
+        assert!(small
+            .pairs(ErKind::CleanClean)
+            .contains(&Pair::new(pid(0), pid(10))));
         let big = filtered.blocks().iter().find(|b| b.key == "big").unwrap();
         assert!(!big.all_members().any(|p| p == pid(0) || p == pid(10)));
     }

@@ -47,8 +47,7 @@ pub use collection::{BlockCollection, ProfileBlocksIndex};
 pub use csr::{CompactBlocks, ProfileKeys};
 pub use filtering::block_filtering;
 pub use methods::{
-    canopy_blocking, ngram_blocking, rarest_token_key, sorted_neighborhood,
-    sorted_neighborhood_by,
+    canopy_blocking, ngram_blocking, rarest_token_key, sorted_neighborhood, sorted_neighborhood_by,
 };
 pub use purging::{purge_by_comparison_level, purge_oversized};
 pub use tokenblocking::{

@@ -62,7 +62,10 @@ pub fn sorted_neighborhood_by(
     window: usize,
     key_fn: impl Fn(&Profile) -> String,
 ) -> HashSet<Pair> {
-    assert!(window >= 2, "window must cover at least 2 profiles, got {window}");
+    assert!(
+        window >= 2,
+        "window must cover at least 2 profiles, got {window}"
+    );
     let mut keyed: Vec<(String, &Profile)> = collection
         .profiles()
         .iter()
@@ -100,11 +103,7 @@ pub fn sorted_neighborhood_by(
 /// Returns the canopies as a [`BlockCollection`] (one block per canopy,
 /// keyed by the seed's id), so the standard purging/filtering/meta-blocking
 /// stack composes on top.
-pub fn canopy_blocking(
-    collection: &ProfileCollection,
-    loose: f64,
-    tight: f64,
-) -> BlockCollection {
+pub fn canopy_blocking(collection: &ProfileCollection, loose: f64, tight: f64) -> BlockCollection {
     assert!(
         0.0 < loose && loose <= tight && tight <= 1.0,
         "need 0 < loose ({loose}) <= tight ({tight}) <= 1"
@@ -141,10 +140,8 @@ pub fn canopy_blocking(
                 }
             }
         }
-        let mut members: Vec<(u8, ProfileId)> = vec![(
-            collection.profiles()[seed].source.0,
-            ProfileId(seed as u32),
-        )];
+        let mut members: Vec<(u8, ProfileId)> =
+            vec![(collection.profiles()[seed].source.0, ProfileId(seed as u32))];
         for (&other, &inter) in &shared {
             let o = other as usize;
             let union = token_sets[seed].len() + token_sets[o].len() - inter as usize;
@@ -160,8 +157,16 @@ pub fn canopy_blocking(
             continue;
         }
         let key = format!("canopy-{seed}");
-        let s0: Vec<ProfileId> = members.iter().filter(|(s, _)| *s == 0).map(|(_, p)| *p).collect();
-        let s1: Vec<ProfileId> = members.iter().filter(|(s, _)| *s == 1).map(|(_, p)| *p).collect();
+        let s0: Vec<ProfileId> = members
+            .iter()
+            .filter(|(s, _)| *s == 0)
+            .map(|(_, p)| *p)
+            .collect();
+        let s1: Vec<ProfileId> = members
+            .iter()
+            .filter(|(s, _)| *s == 1)
+            .map(|(_, p)| *p)
+            .collect();
         blocks.push(match collection.kind() {
             ErKind::Dirty => crate::block::Block::dirty(key, s0),
             ErKind::CleanClean => crate::block::Block::clean_clean(key, s0, s1),
@@ -185,11 +190,7 @@ pub fn rarest_token_key(collection: &ProfileCollection) -> impl Fn(&Profile) -> 
     move |profile: &Profile| {
         let mut tokens: Vec<String> = profile.token_set().into_iter().collect();
         tokens.sort_by_key(|t| (freq.get(t).copied().unwrap_or(0), t.clone()));
-        tokens
-            .into_iter()
-            .take(2)
-            .collect::<Vec<_>>()
-            .join("\u{1}")
+        tokens.into_iter().take(2).collect::<Vec<_>>().join("\u{1}")
     }
 }
 
@@ -201,10 +202,10 @@ mod tests {
     fn collection() -> ProfileCollection {
         ProfileCollection::dirty(
             [
-                "bravia television",  // p0
-                "brevia television",  // p1: typo'd duplicate of p0
-                "galaxy phone",       // p2
-                "walkman player",     // p3
+                "bravia television", // p0
+                "brevia television", // p1: typo'd duplicate of p0
+                "galaxy phone",      // p2
+                "walkman player",    // p3
             ]
             .iter()
             .enumerate()
@@ -262,10 +263,16 @@ mod tests {
     fn clean_clean_keeps_cross_source_only() {
         let coll = ProfileCollection::clean_clean(
             vec![
-                Profile::builder(SourceId(0), "a").attr("n", "alpha one").build(),
-                Profile::builder(SourceId(0), "b").attr("n", "alpha two").build(),
+                Profile::builder(SourceId(0), "a")
+                    .attr("n", "alpha one")
+                    .build(),
+                Profile::builder(SourceId(0), "b")
+                    .attr("n", "alpha two")
+                    .build(),
             ],
-            vec![Profile::builder(SourceId(1), "c").attr("n", "alpha three").build()],
+            vec![Profile::builder(SourceId(1), "c")
+                .attr("n", "alpha three")
+                .build()],
         );
         let pairs = sorted_neighborhood(&coll, 3);
         for p in &pairs {

@@ -50,7 +50,11 @@ pub fn purge_by_comparison_level(blocks: BlockCollection, smoothing: f64) -> Blo
     }
 
     // Distinct per-block comparison counts, ascending.
-    let mut levels: Vec<u64> = blocks.blocks().iter().map(|b| b.comparisons(kind)).collect();
+    let mut levels: Vec<u64> = blocks
+        .blocks()
+        .iter()
+        .map(|b| b.comparisons(kind))
+        .collect();
     levels.sort_unstable();
     levels.dedup();
 

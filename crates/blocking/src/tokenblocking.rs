@@ -35,16 +35,14 @@ pub fn token_blocking(collection: &ProfileCollection) -> BlockCollection {
 /// Single-pass interned Token Blocking: tokenizes the collection exactly
 /// once, interning tokens to provisional ids *while* collecting each
 /// profile's key list (one hash probe per occurrence), then remaps the
-/// recorded ids to final lexicographic [`TokenId`]s through the
+/// recorded ids to final lexicographic [`sparker_profiles::TokenId`]s through the
 /// permutation [`DictBuilder::finish`] returns and counting-sorts them
 /// into the CSR [`CompactBlocks`]. No second tokenization pass, no
 /// per-occurrence binary search, no strings hashed twice.
 ///
 /// Returns the dictionary alongside the blocks so downstream stages
 /// (meta-blocking, TF-IDF, materialization) share the same id space.
-pub fn token_blocking_with_dict(
-    collection: &ProfileCollection,
-) -> (TokenDict, CompactBlocks) {
+pub fn token_blocking_with_dict(collection: &ProfileCollection) -> (TokenDict, CompactBlocks) {
     let mut builder = DictBuilder::new();
     let mut scratch = String::new();
     let mut keys = ProfileKeys::collect(collection.profiles(), |p, buf| {
@@ -73,10 +71,7 @@ pub fn token_blocking_with_dict(
 /// lexicographic token order) is exactly the sorted-key order of
 /// [`token_blocking`]; `materialize(&dict)` yields the identical
 /// [`BlockCollection`].
-pub fn token_blocking_interned(
-    collection: &ProfileCollection,
-    dict: &TokenDict,
-) -> CompactBlocks {
+pub fn token_blocking_interned(collection: &ProfileCollection, dict: &TokenDict) -> CompactBlocks {
     let mut scratch = String::new();
     let keys = ProfileKeys::collect(collection.profiles(), |p, buf| {
         for a in &p.attributes {
@@ -87,12 +82,7 @@ pub fn token_blocking_interned(
             });
         }
     });
-    CompactBlocks::from_profile_keys(
-        collection.kind(),
-        collection.separator(),
-        dict.len(),
-        &keys,
-    )
+    CompactBlocks::from_profile_keys(collection.kind(), collection.separator(), dict.len(), &keys)
 }
 
 /// The original string-keyed Token Blocking: buckets into a
@@ -251,9 +241,15 @@ mod tests {
     #[test]
     fn dirty_blocking_blocks_within_source() {
         let coll = ProfileCollection::dirty(vec![
-            Profile::builder(SourceId(0), "a").attr("n", "alpha beta").build(),
-            Profile::builder(SourceId(0), "b").attr("n", "beta gamma").build(),
-            Profile::builder(SourceId(0), "c").attr("n", "delta").build(),
+            Profile::builder(SourceId(0), "a")
+                .attr("n", "alpha beta")
+                .build(),
+            Profile::builder(SourceId(0), "b")
+                .attr("n", "beta gamma")
+                .build(),
+            Profile::builder(SourceId(0), "c")
+                .attr("n", "delta")
+                .build(),
         ]);
         let bc = token_blocking(&coll);
         assert_eq!(bc.len(), 1);
@@ -284,7 +280,10 @@ mod tests {
         // Key every profile by its first author token suffixed with a
         // partition marker — a tiny loose-schema stand-in.
         let bc = keyed_blocking(&coll, |p| {
-            p.token_set().into_iter().map(|t| format!("{t}_1")).collect()
+            p.token_set()
+                .into_iter()
+                .map(|t| format!("{t}_1"))
+                .collect()
         });
         assert!(bc.blocks().iter().all(|b| b.key.ends_with("_1")));
         assert_eq!(bc.len(), 5);
@@ -317,8 +316,12 @@ mod tests {
     #[test]
     fn keyed_matches_string_reference() {
         let coll = figure1_collection();
-        let key_fn =
-            |p: &Profile| p.token_set().into_iter().map(|t| format!("{t}_9")).collect();
+        let key_fn = |p: &Profile| {
+            p.token_set()
+                .into_iter()
+                .map(|t| format!("{t}_9"))
+                .collect()
+        };
         assert_eq!(
             keyed_blocking(&coll, key_fn).blocks(),
             keyed_blocking_string(&coll, key_fn).blocks()

@@ -48,17 +48,16 @@ fn collection_strategy(dirty: bool) -> impl Strategy<Value = ProfileCollection> 
 /// exercised by the interned-vs-string equality test.
 fn noisy_collection_strategy(dirty: bool) -> impl Strategy<Value = ProfileCollection> {
     const VOCAB: [&str; 12] = [
-        "tok0", "Tok1", "TOK2", "café", "Modène", "ǅungla", "42", "x9y",
-        "MiXeD3", "été", "tok0tok0", "ß1",
+        "tok0", "Tok1", "TOK2", "café", "Modène", "ǅungla", "42", "x9y", "MiXeD3", "été",
+        "tok0tok0", "ß1",
     ];
-    let profile = prop::collection::vec(0usize..VOCAB.len(), 1..6)
-        .prop_map(|words| {
-            words
-                .into_iter()
-                .map(|w| VOCAB[w])
-                .collect::<Vec<_>>()
-                .join(" ")
-        });
+    let profile = prop::collection::vec(0usize..VOCAB.len(), 1..6).prop_map(|words| {
+        words
+            .into_iter()
+            .map(|w| VOCAB[w])
+            .collect::<Vec<_>>()
+            .join(" ")
+    });
     prop::collection::vec(profile, 2..25).prop_map(move |values| {
         let build = |src: u8, vals: &[String], off: usize| {
             vals.iter()

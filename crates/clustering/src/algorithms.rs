@@ -135,7 +135,8 @@ pub fn star_clustering(edges: &[(Pair, f64)], num_profiles: usize) -> EntityClus
     }
     for neighbors in &mut adjacency {
         neighbors.sort_by(|(na, wa), (nb, wb)| {
-            na.cmp(nb).then(wb.partial_cmp(wa).expect("NaN checked above"))
+            na.cmp(nb)
+                .then(wb.partial_cmp(wa).expect("NaN checked above"))
         });
         neighbors.dedup_by_key(|(n, _)| *n); // keeps the max weight per neighbor
     }
@@ -258,10 +259,7 @@ mod tests {
     fn merge_center_merges_via_shared_child() {
         // {0,1} forms with center 0; {2,3} forms with center 2; then an edge
         // from child 1 to center 2 merges the clusters.
-        let c = merge_center_clustering(
-            &[edge(0, 1, 0.9), edge(2, 3, 0.85), edge(1, 2, 0.8)],
-            4,
-        );
+        let c = merge_center_clustering(&[edge(0, 1, 0.9), edge(2, 3, 0.85), edge(1, 2, 0.8)], 4);
         assert!(c.same_entity(pid(0), pid(3)));
         assert_eq!(c.num_clusters(), 1);
         // Plain center clustering keeps them apart.
@@ -273,11 +271,8 @@ mod tests {
     fn unique_mapping_is_one_to_one() {
         // Source 0 = {0,1}, source 1 = {2,3} (separator 2). Profile 0 is
         // similar to both 2 and 3; it must claim only the best (3).
-        let c = unique_mapping_clustering(
-            &[edge(0, 3, 0.95), edge(0, 2, 0.9), edge(1, 2, 0.8)],
-            4,
-            2,
-        );
+        let c =
+            unique_mapping_clustering(&[edge(0, 3, 0.95), edge(0, 2, 0.9), edge(1, 2, 0.8)], 4, 2);
         assert!(c.same_entity(pid(0), pid(3)));
         assert!(c.same_entity(pid(1), pid(2)));
         assert!(!c.same_entity(pid(0), pid(2)));

@@ -31,7 +31,8 @@ pub fn connected_components_dataflow(
     let edges_ds = ctx.parallelize_default(sym);
 
     // Initial labels: every node is its own component.
-    let mut labels = ctx.parallelize_default((0..num_profiles as u32).map(|i| (i, i)).collect::<Vec<_>>());
+    let mut labels =
+        ctx.parallelize_default((0..num_profiles as u32).map(|i| (i, i)).collect::<Vec<_>>());
     let mut current: Vec<u32> = (0..num_profiles as u32).collect();
 
     loop {
@@ -43,9 +44,7 @@ pub fn connected_components_dataflow(
             .join(&labels)
             .map(|(_, (neighbor, label))| (*neighbor, *label));
         // …and keeps the minimum of its own label and all offers.
-        let next = labels
-            .union(&offers)
-            .reduce_by_key(|a, b| a.min(*b));
+        let next = labels.union(&offers).reduce_by_key(|a, b| a.min(*b));
 
         let mut snapshot = vec![u32::MAX; num_profiles];
         for (node, label) in next.collect() {

@@ -1,0 +1,193 @@
+//! Algorithm selection and the single clustering dispatch.
+//!
+//! [`cluster_edges`] is the one place in the workspace where a
+//! [`ClusteringAlgorithm`] is mapped to an implementation. Every pipeline
+//! driver — sequential, dataflow, pool — goes through it; the only thing
+//! that varies per execution backend is how connected components are
+//! computed ([`ComponentsMode`]), because the alternative algorithms are
+//! inherently sequential greedy scans and run on the driver, exactly as
+//! they would in SparkER.
+
+use crate::algorithms::{
+    center_clustering, connected_components, merge_center_clustering, star_clustering,
+    unique_mapping_clustering,
+};
+use crate::clusters::EntityClusters;
+use crate::dataflow::connected_components_dataflow;
+use crate::parallel::connected_components_pool;
+use sparker_dataflow::Context;
+use sparker_profiles::{ErKind, Pair};
+
+/// Entity-clusterer algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusteringAlgorithm {
+    /// The paper's default (GraphX connected components).
+    ConnectedComponents,
+    /// Center clustering (Hassanzadeh et al.).
+    Center,
+    /// Merge–center clustering.
+    MergeCenter,
+    /// Star clustering (degree-ordered hubs).
+    Star,
+    /// Unique-mapping (clean–clean only).
+    UniqueMapping,
+}
+
+impl ClusteringAlgorithm {
+    /// Every algorithm, in the stable order used by configuration parsing
+    /// and experiment sweeps.
+    pub const ALL: [ClusteringAlgorithm; 5] = [
+        ClusteringAlgorithm::ConnectedComponents,
+        ClusteringAlgorithm::Center,
+        ClusteringAlgorithm::MergeCenter,
+        ClusteringAlgorithm::Star,
+        ClusteringAlgorithm::UniqueMapping,
+    ];
+
+    /// Stable name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusteringAlgorithm::ConnectedComponents => "connected-components",
+            ClusteringAlgorithm::Center => "center",
+            ClusteringAlgorithm::MergeCenter => "merge-center",
+            ClusteringAlgorithm::Star => "star",
+            ClusteringAlgorithm::UniqueMapping => "unique-mapping",
+        }
+    }
+}
+
+/// How connected components are computed — the only clustering stage with
+/// per-backend implementations.
+#[derive(Debug, Clone, Copy)]
+pub enum ComponentsMode<'a> {
+    /// Driver-side union–find.
+    Sequential,
+    /// Label propagation on the dataflow engine (the GraphX path).
+    Dataflow(&'a Context),
+    /// Per-worker union–find forests on the persistent pool, merged via
+    /// the semilattice `absorb`.
+    Pool(&'a Context),
+}
+
+/// Properties of the profile collection the clusterer needs: its size, its
+/// ER kind (unique-mapping is only valid for clean–clean tasks) and the
+/// clean–clean source separator.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionShape {
+    /// Number of profiles (cluster id space).
+    pub num_profiles: usize,
+    /// Dirty or clean–clean.
+    pub kind: ErKind,
+    /// First profile id of the second source (clean–clean); equals
+    /// `num_profiles` for dirty tasks.
+    pub separator: u32,
+}
+
+/// Cluster a similarity graph with the selected algorithm.
+///
+/// This is the *single* algorithm dispatch of the workspace: all three
+/// execution backends call it, differing only in the [`ComponentsMode`]
+/// they pass for connected components.
+///
+/// # Panics
+///
+/// [`ClusteringAlgorithm::UniqueMapping`] panics on a dirty collection —
+/// it is only defined for clean–clean tasks.
+pub fn cluster_edges(
+    algorithm: ClusteringAlgorithm,
+    mode: ComponentsMode<'_>,
+    edges: &[(Pair, f64)],
+    shape: CollectionShape,
+) -> EntityClusters {
+    let n = shape.num_profiles;
+    match algorithm {
+        ClusteringAlgorithm::ConnectedComponents => match mode {
+            ComponentsMode::Sequential => connected_components(edges, n),
+            ComponentsMode::Dataflow(ctx) => connected_components_dataflow(ctx, edges, n),
+            ComponentsMode::Pool(ctx) => connected_components_pool(ctx, edges, n),
+        },
+        ClusteringAlgorithm::Center => center_clustering(edges, n),
+        ClusteringAlgorithm::MergeCenter => merge_center_clustering(edges, n),
+        ClusteringAlgorithm::Star => star_clustering(edges, n),
+        ClusteringAlgorithm::UniqueMapping => {
+            assert_eq!(
+                shape.kind,
+                ErKind::CleanClean,
+                "unique-mapping clustering requires a clean-clean task"
+            );
+            unique_mapping_clustering(edges, n, shape.separator)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparker_profiles::ProfileId;
+
+    fn edges() -> Vec<(Pair, f64)> {
+        vec![
+            (Pair::new(ProfileId(0), ProfileId(2)), 0.9),
+            (Pair::new(ProfileId(1), ProfileId(3)), 0.8),
+        ]
+    }
+
+    fn shape() -> CollectionShape {
+        CollectionShape {
+            num_profiles: 4,
+            kind: ErKind::CleanClean,
+            separator: 2,
+        }
+    }
+
+    #[test]
+    fn every_algorithm_dispatches() {
+        for algorithm in ClusteringAlgorithm::ALL {
+            let clusters = cluster_edges(algorithm, ComponentsMode::Sequential, &edges(), shape());
+            assert_eq!(
+                clusters.cluster_of(ProfileId(0)),
+                clusters.cluster_of(ProfileId(2)),
+                "{}",
+                algorithm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn components_modes_agree() {
+        let ctx = Context::new(2);
+        let sequential = cluster_edges(
+            ClusteringAlgorithm::ConnectedComponents,
+            ComponentsMode::Sequential,
+            &edges(),
+            shape(),
+        );
+        for mode in [ComponentsMode::Dataflow(&ctx), ComponentsMode::Pool(&ctx)] {
+            assert_eq!(
+                sequential,
+                cluster_edges(
+                    ClusteringAlgorithm::ConnectedComponents,
+                    mode,
+                    &edges(),
+                    shape()
+                )
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clean-clean")]
+    fn unique_mapping_rejects_dirty() {
+        let dirty = CollectionShape {
+            kind: ErKind::Dirty,
+            separator: 4,
+            ..shape()
+        };
+        cluster_edges(
+            ClusteringAlgorithm::UniqueMapping,
+            ComponentsMode::Sequential,
+            &edges(),
+            dirty,
+        );
+    }
+}

@@ -28,6 +28,7 @@
 mod algorithms;
 mod clusters;
 mod dataflow;
+mod dispatch;
 mod parallel;
 mod unionfind;
 
@@ -37,5 +38,6 @@ pub use algorithms::{
 };
 pub use clusters::EntityClusters;
 pub use dataflow::connected_components_dataflow;
+pub use dispatch::{cluster_edges, ClusteringAlgorithm, CollectionShape, ComponentsMode};
 pub use parallel::connected_components_pool;
 pub use unionfind::UnionFind;

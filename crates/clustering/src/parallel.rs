@@ -51,15 +51,18 @@ pub fn connected_components_pool(
     let pairs: Vec<Pair> = edges.iter().map(|(p, _)| *p).collect();
     let grain = (pairs.len() / (ctx.workers() * 32)).max(1);
     let locals = Arc::clone(&forests);
-    ctx.parallelize_default(pairs)
-        .map_morsels_named("cluster_components", grain, move |worker, chunk| {
+    ctx.parallelize_default(pairs).map_morsels_named(
+        "cluster_components",
+        grain,
+        move |worker, chunk| {
             locals.with(worker, |uf| {
                 for p in chunk {
                     uf.union(p.first.index(), p.second.index());
                 }
             });
             Vec::<()>::new()
-        });
+        },
+    );
     let forests = Arc::try_unwrap(forests)
         .expect("stage closures are dropped before the merge")
         .into_inner();
@@ -110,7 +113,10 @@ mod tests {
         assert!(
             snap.stages.iter().any(|s| s.name == "cluster_components"),
             "expected a cluster_components stage, got {:?}",
-            snap.stages.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
+            snap.stages
+                .iter()
+                .map(|s| s.name.clone())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use sparker_clustering::{
     center_clustering, connected_components, connected_components_dataflow,
-    connected_components_pool, merge_center_clustering, star_clustering,
-    unique_mapping_clustering, UnionFind,
+    connected_components_pool, merge_center_clustering, star_clustering, unique_mapping_clustering,
+    UnionFind,
 };
 use sparker_dataflow::Context;
 use sparker_profiles::{Pair, ProfileId};
@@ -14,7 +14,12 @@ use std::collections::{HashSet, VecDeque};
 fn edges_strategy(n: u32) -> impl Strategy<Value = Vec<(Pair, f64)>> {
     prop::collection::vec(
         (0..n, 0..n, 0.0f64..1.0).prop_filter_map("self loop", move |(a, b, s)| {
-            (a != b).then(|| (Pair::new(ProfileId(a), ProfileId(b)), (s * 100.0).round() / 100.0))
+            (a != b).then(|| {
+                (
+                    Pair::new(ProfileId(a), ProfileId(b)),
+                    (s * 100.0).round() / 100.0,
+                )
+            })
         }),
         0..60,
     )

@@ -1,0 +1,234 @@
+//! Pluggable execution substrates for the unified pipeline driver.
+//!
+//! SparkER's defining claim is that *one* ER pipeline runs unchanged on a
+//! parallel substrate. [`ExecutionBackend`] is that seam in this
+//! reproduction: the single driver ([`crate::Pipeline::run_on`]) owns stage
+//! ordering, timing and result assembly, and delegates each stage —
+//! [`build_blocks`](ExecutionBackend::build_blocks),
+//! [`filter_blocks`](ExecutionBackend::filter_blocks),
+//! [`prune_candidates`](ExecutionBackend::prune_candidates),
+//! [`score_pairs`](ExecutionBackend::score_pairs),
+//! [`cluster_edges`](ExecutionBackend::cluster_edges) — to the selected
+//! backend. Adding a new substrate means implementing these five entry
+//! points, not writing a fourth driver.
+
+use sparker_blocking::{block_filtering, keyed_blocking, token_blocking, BlockCollection};
+use sparker_clustering::{
+    cluster_edges, ClusteringAlgorithm, CollectionShape, ComponentsMode, EntityClusters,
+};
+use sparker_dataflow::Context;
+use sparker_looseschema::{loose_schema_keys, AttributePartitioning};
+use sparker_matching::{CandidateGraph, Matcher, SimilarityGraph, ThresholdMatcher};
+use sparker_metablocking::{
+    meta_blocking_graph, parallel, BlockEntropies, BlockGraph, MetaBlockingConfig,
+};
+use sparker_profiles::{Pair, ProfileCollection};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An execution substrate for the ER pipeline.
+///
+/// Each variant is a thin strategy over a pre-existing implementation; the
+/// three correspond to the historical drivers `Pipeline::run`,
+/// `Pipeline::run_dataflow` and `Pipeline::run_pipeline_parallel`, which
+/// are now one-line wrappers over [`crate::Pipeline::run_on`] with the
+/// matching backend. All backends produce byte-identical results at any
+/// worker count (pinned by the backend-matrix parity suite).
+#[derive(Debug, Clone)]
+pub enum ExecutionBackend {
+    /// Single-threaded driver loops.
+    Sequential,
+    /// Every data-parallel stage as dataflow operators: shuffle-based
+    /// blocking and filtering, broadcast-join meta-blocking, broadcast
+    /// matching, label-propagation connected components (the GraphX path).
+    Dataflow(Context),
+    /// Morsel-driven persistent worker pool: dataflow blocker stages, CSR
+    /// candidate streaming with degree-cost morsels in the matcher,
+    /// per-worker union–find forests in the clusterer.
+    Pool(Context),
+}
+
+impl ExecutionBackend {
+    /// The dataflow backend on a fresh engine context with `workers`
+    /// workers.
+    pub fn dataflow(workers: usize) -> Self {
+        ExecutionBackend::Dataflow(Context::new(workers))
+    }
+
+    /// The pool backend on a fresh engine context with `workers` workers.
+    pub fn pool(workers: usize) -> Self {
+        ExecutionBackend::Pool(Context::new(workers))
+    }
+
+    /// Parse a backend name (`"sequential"`, `"dataflow"`, `"pool"`),
+    /// attaching a `workers`-sized engine context where one is needed.
+    pub fn parse(name: &str, workers: usize) -> Result<Self, String> {
+        match name {
+            "sequential" => Ok(ExecutionBackend::Sequential),
+            "dataflow" => Ok(ExecutionBackend::dataflow(workers)),
+            "pool" => Ok(ExecutionBackend::pool(workers)),
+            other => Err(format!(
+                "unknown backend {other:?}; expected sequential, dataflow or pool"
+            )),
+        }
+    }
+
+    /// Stable backend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionBackend::Sequential => "sequential",
+            ExecutionBackend::Dataflow(_) => "dataflow",
+            ExecutionBackend::Pool(_) => "pool",
+        }
+    }
+
+    /// The engine context of an engine-backed variant (`None` for
+    /// [`ExecutionBackend::Sequential`]).
+    pub fn context(&self) -> Option<&Context> {
+        match self {
+            ExecutionBackend::Sequential => None,
+            ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => Some(ctx),
+        }
+    }
+
+    /// Worker count (1 for the sequential backend).
+    pub fn workers(&self) -> usize {
+        self.context().map_or(1, Context::workers)
+    }
+
+    /// Stage 1 — (token / loose-schema-keyed) blocking.
+    ///
+    /// Loose-schema generation itself stays on the driver (it reduces over
+    /// a handful of attributes — SparkER does the same); this entry point
+    /// turns the collection into blocks on the backend's substrate.
+    pub fn build_blocks(
+        &self,
+        collection: &ProfileCollection,
+        partitioning: Option<&AttributePartitioning>,
+    ) -> BlockCollection {
+        match (self, partitioning) {
+            (ExecutionBackend::Sequential, Some(parts)) => {
+                keyed_blocking(collection, |p| loose_schema_keys(p, parts))
+            }
+            (ExecutionBackend::Sequential, None) => token_blocking(collection),
+            (ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx), Some(parts)) => {
+                sparker_blocking::dataflow::keyed_blocking(ctx, collection, |p| {
+                    loose_schema_keys(p, parts)
+                })
+            }
+            (ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx), None) => {
+                sparker_blocking::dataflow::token_blocking(ctx, collection)
+            }
+        }
+    }
+
+    /// Stage 2 (second half) — block filtering at `ratio`.
+    ///
+    /// Block *purging* is a metadata-level filter over block statistics —
+    /// cheap on the driver on every backend (SparkER's purging likewise
+    /// reduces tiny per-block stats) — so the driver applies it directly;
+    /// only filtering is a backend entry point.
+    pub fn filter_blocks(&self, blocks: BlockCollection, ratio: f64) -> BlockCollection {
+        match self {
+            ExecutionBackend::Sequential => block_filtering(blocks, ratio),
+            ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => {
+                sparker_blocking::dataflow::block_filtering(ctx, blocks, ratio)
+            }
+        }
+    }
+
+    /// Stage 3 — meta-blocking: build the block graph and prune it to the
+    /// retained weighted candidate edges.
+    pub fn prune_candidates(
+        &self,
+        blocks: &BlockCollection,
+        entropies: Option<&BlockEntropies>,
+        config: &MetaBlockingConfig,
+    ) -> Vec<(Pair, f64)> {
+        match self {
+            ExecutionBackend::Sequential => {
+                let graph = BlockGraph::new(blocks, entropies);
+                meta_blocking_graph(&graph, config)
+            }
+            ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => {
+                let graph = Arc::new(BlockGraph::new(blocks, entropies));
+                parallel::meta_blocking(ctx, &graph, config)
+            }
+        }
+    }
+
+    /// Stage 4 — entity matching: score every candidate pair, keep those
+    /// at or above the matcher's threshold.
+    pub fn score_pairs(
+        &self,
+        matcher: &ThresholdMatcher,
+        collection: &ProfileCollection,
+        candidates: &HashSet<Pair>,
+    ) -> SimilarityGraph {
+        match self {
+            ExecutionBackend::Sequential => {
+                matcher.match_pairs(collection, candidates.iter().copied())
+            }
+            ExecutionBackend::Dataflow(ctx) => {
+                let mut pairs: Vec<Pair> = candidates.iter().copied().collect();
+                pairs.sort_unstable();
+                matcher.match_pairs_dataflow(ctx, collection, pairs)
+            }
+            ExecutionBackend::Pool(ctx) => {
+                let graph = Arc::new(CandidateGraph::from_pairs(
+                    collection.len(),
+                    candidates.iter().copied(),
+                ));
+                matcher.match_candidates_pool(ctx, collection, &graph)
+            }
+        }
+    }
+
+    /// Stage 5 — entity clustering of the similarity graph.
+    ///
+    /// Delegates to the workspace's single [`cluster_edges`] dispatch; the
+    /// backend only selects the [`ComponentsMode`] for connected
+    /// components.
+    pub fn cluster_edges(
+        &self,
+        algorithm: ClusteringAlgorithm,
+        edges: &[(Pair, f64)],
+        collection: &ProfileCollection,
+    ) -> EntityClusters {
+        let mode = match self {
+            ExecutionBackend::Sequential => ComponentsMode::Sequential,
+            ExecutionBackend::Dataflow(ctx) => ComponentsMode::Dataflow(ctx),
+            ExecutionBackend::Pool(ctx) => ComponentsMode::Pool(ctx),
+        };
+        cluster_edges(
+            algorithm,
+            mode,
+            edges,
+            CollectionShape {
+                num_profiles: collection.len(),
+                kind: collection.kind(),
+                separator: collection.separator(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_backend() {
+        for name in ["sequential", "dataflow", "pool"] {
+            let backend = ExecutionBackend::parse(name, 3).unwrap();
+            assert_eq!(backend.name(), name);
+            if name == "sequential" {
+                assert!(backend.context().is_none());
+                assert_eq!(backend.workers(), 1);
+            } else {
+                assert_eq!(backend.workers(), 3);
+            }
+        }
+        assert!(ExecutionBackend::parse("spark", 2).is_err());
+    }
+}

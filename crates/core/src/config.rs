@@ -90,33 +90,10 @@ impl Default for MatcherConfig {
     }
 }
 
-/// Entity-clusterer algorithm selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ClusteringAlgorithm {
-    /// The paper's default (GraphX connected components).
-    ConnectedComponents,
-    /// Center clustering (Hassanzadeh et al.).
-    Center,
-    /// Merge–center clustering.
-    MergeCenter,
-    /// Star clustering (degree-ordered hubs).
-    Star,
-    /// Unique-mapping (clean–clean only).
-    UniqueMapping,
-}
-
-impl ClusteringAlgorithm {
-    /// Stable name for experiment output.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ClusteringAlgorithm::ConnectedComponents => "connected-components",
-            ClusteringAlgorithm::Center => "center",
-            ClusteringAlgorithm::MergeCenter => "merge-center",
-            ClusteringAlgorithm::Star => "star",
-            ClusteringAlgorithm::UniqueMapping => "unique-mapping",
-        }
-    }
-}
+// The algorithm enum lives next to the single `cluster_edges` dispatch in
+// `sparker-clustering`; re-exported here so `sparker_core::ClusteringAlgorithm`
+// keeps working.
+pub use sparker_clustering::ClusteringAlgorithm;
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone)]
@@ -176,10 +153,16 @@ impl PipelineConfig {
                 let p = match mb.pruning {
                     PruningStrategy::Wep { factor } => format!("WEP {factor}"),
                     PruningStrategy::Cep { retain } => {
-                        format!("CEP {}", retain.map_or("auto".to_string(), |r| r.to_string()))
+                        format!(
+                            "CEP {}",
+                            retain.map_or("auto".to_string(), |r| r.to_string())
+                        )
                     }
                     PruningStrategy::Wnp { factor, reciprocal } => {
-                        format!("WNP {factor}{}", if reciprocal { " reciprocal" } else { "" })
+                        format!(
+                            "WNP {factor}{}",
+                            if reciprocal { " reciprocal" } else { "" }
+                        )
                     }
                     PruningStrategy::Cnp { k, reciprocal } => {
                         format!(
@@ -230,9 +213,13 @@ impl PipelineConfig {
                 "lsh.num_hashes" => {
                     lsh.num_hashes = value.parse().map_err(|_| err(i + 1, "invalid integer"))?
                 }
-                "lsh.bands" => lsh.bands = value.parse().map_err(|_| err(i + 1, "invalid integer"))?,
+                "lsh.bands" => {
+                    lsh.bands = value.parse().map_err(|_| err(i + 1, "invalid integer"))?
+                }
                 "lsh.threshold" => lsh.threshold = parse_f64(value)?,
-                "lsh.seed" => lsh.seed = value.parse().map_err(|_| err(i + 1, "invalid integer"))?,
+                "lsh.seed" => {
+                    lsh.seed = value.parse().map_err(|_| err(i + 1, "invalid integer"))?
+                }
                 "purge" => {
                     config.blocking.purge = if value == "off" {
                         PurgeConfig::Off
@@ -308,16 +295,10 @@ impl PipelineConfig {
                 }
                 "matcher.threshold" => config.matching.threshold = parse_f64(value)?,
                 "clustering" => {
-                    config.clustering = [
-                        ClusteringAlgorithm::ConnectedComponents,
-                        ClusteringAlgorithm::Center,
-                        ClusteringAlgorithm::MergeCenter,
-                        ClusteringAlgorithm::Star,
-                        ClusteringAlgorithm::UniqueMapping,
-                    ]
-                    .into_iter()
-                    .find(|c| c.name() == value)
-                    .ok_or_else(|| err(i + 1, "unknown clustering algorithm"))?
+                    config.clustering = ClusteringAlgorithm::ALL
+                        .into_iter()
+                        .find(|c| c.name() == value)
+                        .ok_or_else(|| err(i + 1, "unknown clustering algorithm"))?
                 }
                 _ => return Err(err(i + 1, "unknown key")),
             }
@@ -339,7 +320,11 @@ pub struct ConfigParseError {
 
 impl fmt::Display for ConfigParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "config parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "config parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -380,11 +365,26 @@ mod tests {
             PruningStrategy::Wep { factor: 1.5 },
             PruningStrategy::Cep { retain: Some(100) },
             PruningStrategy::Cep { retain: None },
-            PruningStrategy::Wnp { factor: 0.8, reciprocal: false },
-            PruningStrategy::Wnp { factor: 1.2, reciprocal: true },
-            PruningStrategy::Cnp { k: Some(3), reciprocal: false },
-            PruningStrategy::Cnp { k: None, reciprocal: true },
-            PruningStrategy::Cnp { k: None, reciprocal: false },
+            PruningStrategy::Wnp {
+                factor: 0.8,
+                reciprocal: false,
+            },
+            PruningStrategy::Wnp {
+                factor: 1.2,
+                reciprocal: true,
+            },
+            PruningStrategy::Cnp {
+                k: Some(3),
+                reciprocal: false,
+            },
+            PruningStrategy::Cnp {
+                k: None,
+                reciprocal: true,
+            },
+            PruningStrategy::Cnp {
+                k: None,
+                reciprocal: false,
+            },
             PruningStrategy::Blast { ratio: 0.35 },
         ] {
             let mut c = PipelineConfig::default();
@@ -412,8 +412,7 @@ mod tests {
         assert!(err.to_string().contains("unknown key"));
         let err = PipelineConfig::from_config_string("filter 0.8\n").unwrap_err();
         assert!(err.message.contains("key = value"));
-        let err =
-            PipelineConfig::from_config_string("matcher.measure = nope\n").unwrap_err();
+        let err = PipelineConfig::from_config_string("matcher.measure = nope\n").unwrap_err();
         assert!(err.message.contains("similarity"));
     }
 

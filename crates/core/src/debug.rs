@@ -200,21 +200,14 @@ pub fn threshold_sweep(
         .iter()
         .map(|&threshold| {
             let mut config = base.clone();
-            let mut lsh = config
-                .blocking
-                .loose_schema
-                .clone()
-                .unwrap_or_default();
+            let mut lsh = config.blocking.loose_schema.clone().unwrap_or_default();
             lsh.threshold = threshold;
             config.blocking.loose_schema = Some(lsh);
             let out = Pipeline::new(config).run_blocker(collection);
             let quality = BlockingQuality::measure(&out.candidates, ground_truth, collection);
             ThresholdSweepRow {
                 threshold,
-                attribute_partitions: out
-                    .partitioning
-                    .as_ref()
-                    .map_or(1, |p| p.len()),
+                attribute_partitions: out.partitioning.as_ref().map_or(1, |p| p.len()),
                 blocks: out.cleaned_blocks,
                 quality,
             }
@@ -322,12 +315,7 @@ mod tests {
         let ds = dataset();
         let mut base = PipelineConfig::default();
         base.blocking.loose_schema = Some(Default::default());
-        let rows = threshold_sweep(
-            &ds.collection,
-            &ds.ground_truth,
-            &base,
-            &[1.01, 0.3],
-        );
+        let rows = threshold_sweep(&ds.collection, &ds.ground_truth, &base, &[1.01, 0.3]);
         assert_eq!(rows.len(), 2);
         // Threshold above 1: blob only (schema-agnostic).
         assert_eq!(rows[0].attribute_partitions, 1);

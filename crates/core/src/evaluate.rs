@@ -31,18 +31,32 @@ impl BlockingQuality {
         ground_truth: &GroundTruth,
         collection: &ProfileCollection,
     ) -> Self {
-        let recall = ground_truth.recall_of(candidates.iter());
+        Self::measure_with_total(candidates, ground_truth, collection.comparable_pairs())
+    }
+
+    /// [`BlockingQuality::measure`] with an explicit comparable-pair total
+    /// (the reduction-ratio baseline). The ground truth is scanned once:
+    /// the found-match count drives both `recall` and `lost_matches`.
+    pub fn measure_with_total(
+        candidates: &HashSet<Pair>,
+        ground_truth: &GroundTruth,
+        total: u64,
+    ) -> Self {
+        let found = ground_truth
+            .iter()
+            .filter(|p| candidates.contains(p))
+            .count() as u64;
+        let recall = if ground_truth.is_empty() {
+            1.0
+        } else {
+            found as f64 / ground_truth.len() as f64
+        };
         let precision = ground_truth.precision_of(candidates.iter());
-        let total = collection.comparable_pairs();
         let reduction_ratio = if total == 0 {
             0.0
         } else {
             1.0 - candidates.len() as f64 / total as f64
         };
-        let found = ground_truth
-            .iter()
-            .filter(|p| candidates.contains(p))
-            .count() as u64;
         BlockingQuality {
             recall,
             precision,

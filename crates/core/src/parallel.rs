@@ -1,206 +1,46 @@
-//! The fully distributed pipeline: every stage on the dataflow engine.
+//! Engine-backed entry points, kept for API compatibility.
 //!
 //! SparkER's defining property is that the *whole* ER stack runs on Spark —
 //! "composed by different modules designed to be parallelizable on Apache
-//! Spark". [`run_dataflow`] is that mode on the `sparker-dataflow`
-//! substrate: dataflow (keyed) token blocking, dataflow block filtering,
-//! broadcast-join meta-blocking, broadcast matching and label-propagation
-//! connected components. Results are identical to [`crate::Pipeline::run`]
-//! (asserted by tests), at every worker count.
+//! Spark". Since the unification behind [`ExecutionBackend`], these methods
+//! are one-line wrappers selecting the matching backend for
+//! [`Pipeline::run_on`]: [`Pipeline::run_dataflow`] is the shuffle-based
+//! dataflow substrate (the GraphX path), [`Pipeline::run_pipeline_parallel`]
+//! the morsel-driven persistent pool. Results are identical to
+//! [`Pipeline::run`] at every worker count (asserted by the backend-matrix
+//! parity suite in `tests/pipeline_parity.rs`).
 
-use crate::config::{ClusteringAlgorithm, PurgeConfig};
-#[cfg(test)]
-use crate::config::PipelineConfig;
-use crate::pipeline::{BlockerOutput, Pipeline, PipelineResult, StepTimings};
-use sparker_blocking::{purge_by_comparison_level, purge_oversized, BlockCollection};
-use sparker_clustering::{
-    center_clustering, connected_components_dataflow, connected_components_pool,
-    merge_center_clustering, star_clustering, unique_mapping_clustering,
-};
+use crate::backend::ExecutionBackend;
+use crate::pipeline::{BlockerOutput, Pipeline, PipelineResult};
 use sparker_dataflow::Context;
-use sparker_looseschema::{loose_schema_keys, partition_attributes, AttributePartitioning};
-use sparker_matching::{CandidateGraph, Matcher, ThresholdMatcher};
-use sparker_metablocking::{block_entropies, parallel, BlockGraph};
-use sparker_profiles::{ErKind, Pair, ProfileCollection};
-use std::collections::HashSet;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use sparker_profiles::ProfileCollection;
 
 impl Pipeline {
-    /// Run the blocker with every data-parallel stage on the engine.
-    ///
-    /// Loose-schema generation stays on the driver (it reduces over a
-    /// handful of attributes — SparkER does the same); blocking, filtering
-    /// and meta-blocking are engine stages.
+    /// Run the blocker with every data-parallel stage on the dataflow
+    /// engine. Equivalent to [`Pipeline::run_blocker`].
     pub fn run_blocker_dataflow(
         &self,
         ctx: &Context,
         collection: &ProfileCollection,
     ) -> BlockerOutput {
-        self.run_blocker_dataflow_timed(ctx, collection).0
+        self.run_blocker_on(&ExecutionBackend::Dataflow(ctx.clone()), collection)
+            .0
     }
 
-    /// [`Pipeline::run_blocker_dataflow`] with the wall-clock split the
-    /// pipeline timings report: (output, block-construction time,
-    /// candidate-generation time). The boundary is the meta-blocking step.
-    pub(crate) fn run_blocker_dataflow_timed(
-        &self,
-        ctx: &Context,
-        collection: &ProfileCollection,
-    ) -> (BlockerOutput, Duration, Duration) {
-        let bc = &self.config().blocking;
-        let t_blocking = Instant::now();
-
-        let partitioning = bc
-            .loose_schema
-            .as_ref()
-            .map(|lsh| partition_attributes(collection, lsh));
-
-        // Dataflow (keyed) token blocking.
-        let blocks: BlockCollection = match &partitioning {
-            Some(parts) => sparker_blocking::dataflow::keyed_blocking(ctx, collection, |p| {
-                loose_schema_keys(p, parts)
-            }),
-            None => sparker_blocking::dataflow::token_blocking(ctx, collection),
-        };
-        let initial_blocks = blocks.len();
-        let initial_comparisons = blocks.total_comparisons();
-
-        // Purging is a metadata-level filter over block statistics — cheap
-        // on the driver (SparkER's purging likewise reduces tiny per-block
-        // stats); filtering is an engine stage.
-        let blocks = match bc.purge {
-            PurgeConfig::Off => blocks,
-            PurgeConfig::Oversized { max_fraction } => {
-                purge_oversized(blocks, collection.len(), max_fraction)
-            }
-            PurgeConfig::ComparisonLevel { smoothing } => {
-                purge_by_comparison_level(blocks, smoothing)
-            }
-        };
-        let blocks = match bc.filter_ratio {
-            Some(ratio) => sparker_blocking::dataflow::block_filtering(ctx, blocks, ratio),
-            None => blocks,
-        };
-        let cleaned_blocks = blocks.len();
-        let cleaned_comparisons = blocks.total_comparisons();
-        let blocking_time = t_blocking.elapsed();
-
-        // Broadcast-join meta-blocking.
-        let t_candidates = Instant::now();
-        let (candidates, weighted_candidates) = match &bc.meta_blocking {
-            None => (blocks.candidate_pairs(), Vec::new()),
-            Some(mb) => {
-                let entropies = if mb.use_entropy {
-                    let parts = partitioning
-                        .clone()
-                        .unwrap_or_else(|| AttributePartitioning::manual(collection, vec![]));
-                    Some(block_entropies(&blocks, &parts))
-                } else {
-                    None
-                };
-                let graph = std::sync::Arc::new(BlockGraph::new(&blocks, entropies.as_ref()));
-                let retained = parallel::meta_blocking(ctx, &graph, mb);
-                let set: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
-                (set, retained)
-            }
-        };
-
-        let candidates_time = t_candidates.elapsed();
-
-        let output = BlockerOutput {
-            partitioning,
-            initial_blocks,
-            initial_comparisons,
-            cleaned_blocks,
-            cleaned_comparisons,
-            candidates,
-            weighted_candidates,
-        };
-        (output, blocking_time, candidates_time)
-    }
-
-    /// Run the full pipeline on the dataflow engine; equivalent to
-    /// [`Pipeline::run`].
+    /// Run the full pipeline on the dataflow engine
+    /// ([`ExecutionBackend::Dataflow`]); equivalent to [`Pipeline::run`].
     pub fn run_dataflow(&self, ctx: &Context, collection: &ProfileCollection) -> PipelineResult {
-        let (blocker, blocking_time, candidates_time) =
-            self.run_blocker_dataflow_timed(ctx, collection);
-
-        // Matching: candidate pairs distributed, profiles broadcast.
-        let t1 = Instant::now();
-        let matcher = ThresholdMatcher::new(
-            self.config().matching.measure,
-            self.config().matching.threshold,
-        );
-        let mut candidates: Vec<Pair> = blocker.candidates.iter().copied().collect();
-        candidates.sort_unstable();
-        let similarity = matcher.match_pairs_dataflow(ctx, collection, candidates);
-        let matching_time = t1.elapsed();
-
-        // Clustering: label propagation for connected components (the
-        // GraphX path); the alternative algorithms are inherently
-        // sequential greedy scans and run on the driver, as they would in
-        // SparkER.
-        let t2 = Instant::now();
-        let clusters = match self.config().clustering {
-            ClusteringAlgorithm::ConnectedComponents => {
-                connected_components_dataflow(ctx, similarity.edges(), collection.len())
-            }
-            ClusteringAlgorithm::Center => center_clustering(similarity.edges(), collection.len()),
-            ClusteringAlgorithm::MergeCenter => {
-                merge_center_clustering(similarity.edges(), collection.len())
-            }
-            ClusteringAlgorithm::Star => star_clustering(similarity.edges(), collection.len()),
-            ClusteringAlgorithm::UniqueMapping => {
-                assert_eq!(
-                    collection.kind(),
-                    ErKind::CleanClean,
-                    "unique-mapping clustering requires a clean-clean task"
-                );
-                unique_mapping_clustering(
-                    similarity.edges(),
-                    collection.len(),
-                    collection.separator(),
-                )
-            }
-        };
-        let clustering_time = t2.elapsed();
-
-        PipelineResult::assemble(
-            blocker,
-            similarity,
-            clusters,
-            StepTimings {
-                blocking: blocking_time,
-                candidates: candidates_time,
-                matching: matching_time,
-                clustering: clustering_time,
-            },
-            collection.comparable_pairs(),
-        )
+        self.run_on(&ExecutionBackend::Dataflow(ctx.clone()), collection)
     }
 
-    /// Run the full pipeline on the persistent worker pool — the
-    /// morsel-driven counterpart of [`Pipeline::run_dataflow`].
+    /// Run the full pipeline on the persistent worker pool
+    /// ([`ExecutionBackend::Pool`]) — the morsel-driven counterpart of
+    /// [`Pipeline::run_dataflow`]; equivalent to [`Pipeline::run`].
     ///
-    /// The blocker stages are shared with `run_dataflow`; matching and
-    /// clustering differ:
-    ///
-    /// * **Matching** streams candidate pairs out of a [`CandidateGraph`]'s
-    ///   per-profile neighbor lists (no global pair vector is materialized
-    ///   or sorted), with profile ids cost-partitioned by candidate degree
-    ///   into dynamically claimed morsels and the prepared profile views
-    ///   broadcast once. Each morsel emits a sorted similarity-graph shard;
-    ///   contiguous id cuts + slot-indexed merge keep the result
-    ///   byte-identical to the sequential matcher.
-    /// * **Clustering** (connected components) unions edge morsels into
-    ///   per-worker union–find forests merged sequentially — a single pass
-    ///   instead of label propagation's O(diameter) supersteps. The other
-    ///   algorithms are inherently sequential greedy scans and run on the
-    ///   driver, exactly as in `run_dataflow`.
-    ///
-    /// The result equals [`Pipeline::run`] at any worker count (pinned by
-    /// the cross-stage equivalence suite in `tests/pipeline_parity.rs`):
+    /// The blocker stages are shared with the dataflow backend; matching
+    /// streams candidates out of a CSR `CandidateGraph` with degree-cost
+    /// morsels, and connected components run as per-worker union–find
+    /// forests merged via the semilattice `absorb`.
     ///
     /// ```
     /// use sparker_core::{Pipeline, PipelineConfig};
@@ -219,68 +59,15 @@ impl Pipeline {
         ctx: &Context,
         collection: &ProfileCollection,
     ) -> PipelineResult {
-        let (blocker, blocking_time, candidates_time) =
-            self.run_blocker_dataflow_timed(ctx, collection);
-
-        // Matching: candidates stream out of the CSR candidate graph.
-        let t1 = Instant::now();
-        let matcher = ThresholdMatcher::new(
-            self.config().matching.measure,
-            self.config().matching.threshold,
-        );
-        let graph = Arc::new(CandidateGraph::from_pairs(
-            collection.len(),
-            blocker.candidates.iter().copied(),
-        ));
-        let similarity = matcher.match_candidates_pool(ctx, collection, &graph);
-        let matching_time = t1.elapsed();
-
-        // Clustering: per-worker union–find forests for connected
-        // components; driver-side greedy scans otherwise.
-        let t2 = Instant::now();
-        let clusters = match self.config().clustering {
-            ClusteringAlgorithm::ConnectedComponents => {
-                connected_components_pool(ctx, similarity.edges(), collection.len())
-            }
-            ClusteringAlgorithm::Center => center_clustering(similarity.edges(), collection.len()),
-            ClusteringAlgorithm::MergeCenter => {
-                merge_center_clustering(similarity.edges(), collection.len())
-            }
-            ClusteringAlgorithm::Star => star_clustering(similarity.edges(), collection.len()),
-            ClusteringAlgorithm::UniqueMapping => {
-                assert_eq!(
-                    collection.kind(),
-                    ErKind::CleanClean,
-                    "unique-mapping clustering requires a clean-clean task"
-                );
-                unique_mapping_clustering(
-                    similarity.edges(),
-                    collection.len(),
-                    collection.separator(),
-                )
-            }
-        };
-        let clustering_time = t2.elapsed();
-
-        PipelineResult::assemble(
-            blocker,
-            similarity,
-            clusters,
-            StepTimings {
-                blocking: blocking_time,
-                candidates: candidates_time,
-                matching: matching_time,
-                clustering: clustering_time,
-            },
-            collection.comparable_pairs(),
-        )
+        self.run_on(&ExecutionBackend::Pool(ctx.clone()), collection)
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::config::BlockingConfig;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::Pipeline;
+    use sparker_dataflow::Context;
     use sparker_datasets::{generate, DatasetConfig};
 
     fn dataset() -> sparker_datasets::GeneratedDataset {
@@ -293,63 +80,46 @@ mod tests {
     }
 
     #[test]
-    fn dataflow_pipeline_equals_sequential_default() {
-        let ds = dataset();
-        let pipeline = Pipeline::new(PipelineConfig::default());
-        let seq = pipeline.run(&ds.collection);
-        let ctx = Context::new(4);
-        let par = pipeline.run_dataflow(&ctx, &ds.collection);
-        assert_eq!(seq.blocker.candidates, par.blocker.candidates);
-        assert_eq!(seq.similarity, par.similarity);
-        assert_eq!(seq.clusters, par.clusters);
-        assert_eq!(seq.blocker.initial_blocks, par.blocker.initial_blocks);
-        assert_eq!(
-            seq.blocker.cleaned_comparisons,
-            par.blocker.cleaned_comparisons
-        );
-    }
-
-    #[test]
-    fn dataflow_pipeline_equals_sequential_blast() {
-        let ds = dataset();
-        let pipeline = Pipeline::new(PipelineConfig {
-            blocking: BlockingConfig::blast(),
-            ..PipelineConfig::default()
-        });
-        let seq = pipeline.run(&ds.collection);
-        let ctx = Context::new(3);
-        let par = pipeline.run_dataflow(&ctx, &ds.collection);
-        assert_eq!(seq.blocker.candidates, par.blocker.candidates);
-        assert_eq!(seq.clusters, par.clusters);
-        assert_eq!(seq.blocker.weighted_candidates, par.blocker.weighted_candidates);
-    }
-
-    #[test]
-    fn worker_count_invariance() {
-        let ds = dataset();
-        let pipeline = Pipeline::new(PipelineConfig::default());
-        let base = pipeline.run_dataflow(&Context::new(1), &ds.collection);
-        for w in [2, 8] {
-            let other = pipeline.run_dataflow(&Context::new(w), &ds.collection);
-            assert_eq!(base.clusters, other.clusters, "workers={w}");
-        }
-    }
-
-    #[test]
     fn engine_metrics_cover_all_stages() {
         let ds = dataset();
         let ctx = Context::new(2);
         Pipeline::new(PipelineConfig::default()).run_dataflow(&ctx, &ds.collection);
         let snap = ctx.metrics();
-        assert!(snap.stages.iter().any(|s| s.name == "group_by_key"), "blocking shuffles");
+        assert!(
+            snap.stages.iter().any(|s| s.name == "group_by_key"),
+            "blocking shuffles"
+        );
         assert!(snap.broadcasts >= 2, "meta-blocking + matching broadcasts");
         assert!(snap.total_shuffle_records() > 0);
         // The persistent pool's accounting flows through to the pipeline:
-        // stages carry wall + busy time, and the context reports cumulative
-        // per-worker busy time for its pool.
-        assert!(snap.stages.iter().all(|s| s.wall_time >= s.busy_time || s.tasks > 1));
+        // operator stages carry wall + busy time, and the context reports
+        // cumulative per-worker busy time for its pool. (Driver-recorded
+        // `pipeline/…` scope markers aggregate many operators, so they are
+        // excluded from the per-operator invariant.)
+        assert!(snap
+            .stages
+            .iter()
+            .filter(|s| !s.name.starts_with("pipeline/"))
+            .all(|s| s.wall_time >= s.busy_time || s.tasks > 1));
         assert!(snap.total_busy_time() > std::time::Duration::ZERO);
         assert_eq!(snap.worker_busy.len(), ctx.workers());
         assert!(snap.worker_busy.iter().sum::<std::time::Duration>() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_scope_markers_cover_every_pipeline_stage() {
+        let ds = dataset();
+        let ctx = Context::new(2);
+        Pipeline::new(PipelineConfig::default()).run_dataflow(&ctx, &ds.collection);
+        let snap = ctx.metrics();
+        for stage in crate::report::PipelineStage::ALL {
+            assert!(
+                snap.stages
+                    .iter()
+                    .any(|s| s.name == format!("pipeline/{}", stage.name())),
+                "missing scope marker for {}",
+                stage.name()
+            );
+        }
     }
 }

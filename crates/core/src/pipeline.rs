@@ -1,35 +1,38 @@
-//! The three-module pipeline of the paper's Figure 3.
+//! The three-module pipeline of the paper's Figure 3, as one unified
+//! driver over a pluggable [`ExecutionBackend`].
+//!
+//! [`Pipeline::run_on`] is the single source of truth for stage ordering,
+//! timing and result assembly; the historical entry points
+//! ([`Pipeline::run`], `run_dataflow`, `run_pipeline_parallel`) are
+//! one-line wrappers selecting a backend.
 
-use crate::config::{ClusteringAlgorithm, PipelineConfig, PurgeConfig};
+use crate::backend::ExecutionBackend;
+use crate::config::{PipelineConfig, PurgeConfig};
 use crate::evaluate::{BlockingQuality, PairQuality, PipelineEvaluation};
-use sparker_blocking::{
-    block_filtering, keyed_blocking, purge_by_comparison_level, purge_oversized, token_blocking,
-    BlockCollection,
-};
-use sparker_clustering::{
-    center_clustering, connected_components, merge_center_clustering, star_clustering,
-    unique_mapping_clustering, EntityClusters,
-};
-use sparker_looseschema::{loose_schema_keys, partition_attributes, AttributePartitioning};
-use sparker_matching::{Matcher, SimilarityGraph, ThresholdMatcher};
-use sparker_metablocking::{block_entropies, meta_blocking_graph, BlockGraph};
-use sparker_profiles::{ErKind, GroundTruth, Pair, ProfileCollection};
+use crate::report::{PipelineReport, PipelineStage, StageReport, StageScope};
+use sparker_blocking::{purge_by_comparison_level, purge_oversized};
+use sparker_clustering::EntityClusters;
+use sparker_looseschema::{partition_attributes, AttributePartitioning};
+use sparker_matching::{SimilarityGraph, ThresholdMatcher};
+use sparker_metablocking::block_entropies;
+use sparker_profiles::{GroundTruth, Pair, ProfileCollection};
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Wall-clock time of each pipeline step.
+/// Wall-clock time of each pipeline step — the legacy four-way split,
+/// derived from the per-stage [`PipelineReport`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepTimings {
-    /// Block construction: loose schema + blocking + purging + filtering.
+    /// Block construction: loose schema + blocking + purging + filtering
+    /// (the report's `build_blocks` + `filter_blocks` stages).
     pub blocking: Duration,
     /// Candidate generation: meta-blocking when enabled, plain pair
-    /// enumeration of the cleaned blocks otherwise. Split out of
-    /// [`StepTimings::blocking`] so block construction and graph pruning
-    /// can be compared independently.
+    /// enumeration of the cleaned blocks otherwise (the report's
+    /// `prune_candidates` stage).
     pub candidates: Duration,
-    /// Entity matcher.
+    /// Entity matcher (the report's `score_pairs` stage).
     pub matching: Duration,
-    /// Entity clusterer.
+    /// Entity clusterer (the report's `cluster_edges` stage).
     pub clustering: Duration,
 }
 
@@ -69,54 +72,23 @@ pub struct PipelineResult {
     pub similarity: SimilarityGraph,
     /// The final entity clusters.
     pub clusters: EntityClusters,
-    /// Per-step wall-clock times.
+    /// Per-step wall-clock times (derived from [`PipelineResult::report`]).
     pub timings: StepTimings,
+    /// Structured per-stage report: backend, workers, and wall/busy time
+    /// plus input/output cardinalities for every stage.
+    pub report: PipelineReport,
     /// Comparable pairs of the input collection (reduction-ratio baseline).
     comparable_pairs: u64,
 }
 
 impl PipelineResult {
-    /// Assemble a result from its parts (shared by the sequential and
-    /// dataflow runners).
-    pub(crate) fn assemble(
-        blocker: BlockerOutput,
-        similarity: SimilarityGraph,
-        clusters: EntityClusters,
-        timings: StepTimings,
-        comparable_pairs: u64,
-    ) -> Self {
-        PipelineResult {
-            blocker,
-            similarity,
-            clusters,
-            timings,
-            comparable_pairs,
-        }
-    }
-
     /// Evaluate every step against a ground truth.
     pub fn evaluate(&self, ground_truth: &GroundTruth) -> PipelineEvaluation {
-        let total = self.comparable_pairs;
-        let blocking = {
-            let recall = ground_truth.recall_of(self.blocker.candidates.iter());
-            let precision = ground_truth.precision_of(self.blocker.candidates.iter());
-            let reduction_ratio = if total == 0 {
-                0.0
-            } else {
-                1.0 - self.blocker.candidates.len() as f64 / total as f64
-            };
-            let found = ground_truth
-                .iter()
-                .filter(|p| self.blocker.candidates.contains(p))
-                .count() as u64;
-            BlockingQuality {
-                recall,
-                precision,
-                reduction_ratio,
-                candidates: self.blocker.candidates.len() as u64,
-                lost_matches: ground_truth.len() as u64 - found,
-            }
-        };
+        let blocking = BlockingQuality::measure_with_total(
+            &self.blocker.candidates,
+            ground_truth,
+            self.comparable_pairs,
+        );
         let matching =
             PairQuality::measure(self.similarity.edges().iter().map(|(p, _)| p), ground_truth);
         let clustering = PairQuality::of_clusters(&self.clusters, ground_truth);
@@ -145,36 +117,39 @@ impl Pipeline {
         &self.config
     }
 
-    /// Run only the blocker module (Figure 4).
+    /// Run only the blocker module (Figure 4) on the sequential backend.
     pub fn run_blocker(&self, collection: &ProfileCollection) -> BlockerOutput {
-        self.run_blocker_timed(collection).0
+        self.run_blocker_on(&ExecutionBackend::Sequential, collection)
+            .0
     }
 
-    /// [`Pipeline::run_blocker`] with the wall-clock split the pipeline
-    /// timings report: (output, block-construction time, candidate-generation
-    /// time). The boundary is the meta-blocking step.
-    pub(crate) fn run_blocker_timed(
+    /// The blocker half of the unified driver: `build_blocks`,
+    /// `filter_blocks` and `prune_candidates` on the given backend, each
+    /// inside a [`StageScope`]. Returns the blocker output plus the three
+    /// stage-report rows.
+    pub(crate) fn run_blocker_on(
         &self,
+        backend: &ExecutionBackend,
         collection: &ProfileCollection,
-    ) -> (BlockerOutput, Duration, Duration) {
+    ) -> (BlockerOutput, Vec<StageReport>) {
         let bc = &self.config.blocking;
-        let t_blocking = Instant::now();
+        let ctx = backend.context();
+        let mut stages = Vec::with_capacity(PipelineStage::ALL.len());
 
-        // Loose schema generation (optional).
+        // Stage 1: loose schema (driver) + (token/keyed) blocking.
+        let scope = StageScope::begin(PipelineStage::BuildBlocks, ctx);
         let partitioning = bc
             .loose_schema
             .as_ref()
             .map(|lsh| partition_attributes(collection, lsh));
-
-        // (Token / loose-schema-keyed) blocking.
-        let blocks: BlockCollection = match &partitioning {
-            Some(parts) => keyed_blocking(collection, |p| loose_schema_keys(p, parts)),
-            None => token_blocking(collection),
-        };
+        let blocks = backend.build_blocks(collection, partitioning.as_ref());
         let initial_blocks = blocks.len();
         let initial_comparisons = blocks.total_comparisons();
+        stages.push(scope.finish(collection.len() as u64, initial_blocks as u64));
 
-        // Block purging.
+        // Stage 2: block purging (a driver-side metadata filter on every
+        // backend) + block filtering (a backend stage).
+        let scope = StageScope::begin(PipelineStage::FilterBlocks, ctx);
         let blocks = match bc.purge {
             PurgeConfig::Off => blocks,
             PurgeConfig::Oversized { max_fraction } => {
@@ -184,39 +159,45 @@ impl Pipeline {
                 purge_by_comparison_level(blocks, smoothing)
             }
         };
-        // Block filtering.
         let blocks = match bc.filter_ratio {
-            Some(ratio) => block_filtering(blocks, ratio),
+            Some(ratio) => backend.filter_blocks(blocks, ratio),
             None => blocks,
         };
         let cleaned_blocks = blocks.len();
         let cleaned_comparisons = blocks.total_comparisons();
-        let blocking_time = t_blocking.elapsed();
+        stages.push(scope.finish(initial_blocks as u64, cleaned_blocks as u64));
 
-        // Meta-blocking.
-        let t_candidates = Instant::now();
+        // Stage 3: meta-blocking when enabled, plain pair enumeration of
+        // the cleaned blocks otherwise.
+        let scope = StageScope::begin(PipelineStage::PruneCandidates, ctx);
         let (candidates, weighted_candidates) = match &bc.meta_blocking {
             None => (blocks.candidate_pairs(), Vec::new()),
             Some(mb) => {
                 // Entropy re-weighting needs per-block entropies; without a
                 // loose-schema partitioning every key falls in a blob
                 // partition whose entropy is constant, so entropy weighting
-                // degenerates gracefully to the unweighted scheme.
+                // degenerates gracefully to the unweighted scheme. The
+                // fallback partitioning is built in place — the real one is
+                // borrowed, never cloned.
+                let fallback;
                 let entropies = if mb.use_entropy {
-                    let parts = partitioning.clone().unwrap_or_else(|| {
-                        AttributePartitioning::manual(collection, vec![])
-                    });
-                    Some(block_entropies(&blocks, &parts))
+                    let parts = match &partitioning {
+                        Some(parts) => parts,
+                        None => {
+                            fallback = AttributePartitioning::manual(collection, vec![]);
+                            &fallback
+                        }
+                    };
+                    Some(block_entropies(&blocks, parts))
                 } else {
                     None
                 };
-                let graph = BlockGraph::new(&blocks, entropies.as_ref());
-                let retained = meta_blocking_graph(&graph, mb);
+                let retained = backend.prune_candidates(&blocks, entropies.as_ref(), mb);
                 let set: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
                 (set, retained)
             }
         };
-        let candidates_time = t_candidates.elapsed();
+        stages.push(scope.finish(cleaned_comparisons, candidates.len() as u64));
 
         let output = BlockerOutput {
             partitioning,
@@ -227,62 +208,74 @@ impl Pipeline {
             candidates,
             weighted_candidates,
         };
-        (output, blocking_time, candidates_time)
+        (output, stages)
     }
 
-    /// Run the full pipeline.
-    pub fn run(&self, collection: &ProfileCollection) -> PipelineResult {
-        let (blocker, blocking_time, candidates_time) = self.run_blocker_timed(collection);
+    /// Run the full pipeline on the given backend — the single
+    /// stage-ordering/timing/assembly code path of the workspace.
+    ///
+    /// All backends produce byte-identical results at any worker count
+    /// (pinned by the backend-matrix parity suite in
+    /// `tests/pipeline_parity.rs`):
+    ///
+    /// ```
+    /// use sparker_core::{ExecutionBackend, Pipeline, PipelineConfig};
+    /// use sparker_datasets::{generate, DatasetConfig};
+    ///
+    /// let ds = generate(&DatasetConfig { entities: 60, ..DatasetConfig::default() });
+    /// let pipeline = Pipeline::new(PipelineConfig::default());
+    ///
+    /// let sequential = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+    /// let pool = pipeline.run_on(&ExecutionBackend::pool(4), &ds.collection);
+    /// assert_eq!(sequential.clusters, pool.clusters);
+    /// ```
+    pub fn run_on(
+        &self,
+        backend: &ExecutionBackend,
+        collection: &ProfileCollection,
+    ) -> PipelineResult {
+        let (blocker, mut stages) = self.run_blocker_on(backend, collection);
+        let ctx = backend.context();
 
-        let t1 = Instant::now();
-        let matcher = ThresholdMatcher::new(self.config.matching.measure, self.config.matching.threshold);
-        let similarity = matcher.match_pairs(collection, blocker.candidates.iter().copied());
-        let matching_time = t1.elapsed();
+        // Stage 4: entity matching.
+        let scope = StageScope::begin(PipelineStage::ScorePairs, ctx);
+        let matcher =
+            ThresholdMatcher::new(self.config.matching.measure, self.config.matching.threshold);
+        let similarity = backend.score_pairs(&matcher, collection, &blocker.candidates);
+        stages.push(scope.finish(blocker.candidates.len() as u64, similarity.len() as u64));
 
-        let t2 = Instant::now();
-        let clusters = match self.config.clustering {
-            ClusteringAlgorithm::ConnectedComponents => {
-                connected_components(similarity.edges(), collection.len())
-            }
-            ClusteringAlgorithm::Center => center_clustering(similarity.edges(), collection.len()),
-            ClusteringAlgorithm::MergeCenter => {
-                merge_center_clustering(similarity.edges(), collection.len())
-            }
-            ClusteringAlgorithm::Star => star_clustering(similarity.edges(), collection.len()),
-            ClusteringAlgorithm::UniqueMapping => {
-                assert_eq!(
-                    collection.kind(),
-                    ErKind::CleanClean,
-                    "unique-mapping clustering requires a clean-clean task"
-                );
-                unique_mapping_clustering(
-                    similarity.edges(),
-                    collection.len(),
-                    collection.separator(),
-                )
-            }
+        // Stage 5: entity clustering.
+        let scope = StageScope::begin(PipelineStage::ClusterEdges, ctx);
+        let clusters =
+            backend.cluster_edges(self.config.clustering, similarity.edges(), collection);
+        stages.push(scope.finish(similarity.len() as u64, clusters.num_clusters() as u64));
+
+        let report = PipelineReport {
+            backend: backend.name(),
+            workers: backend.workers(),
+            stages,
         };
-        let clustering_time = t2.elapsed();
-
+        let timings = report.step_timings();
         PipelineResult {
             blocker,
             similarity,
             clusters,
-            timings: StepTimings {
-                blocking: blocking_time,
-                candidates: candidates_time,
-                matching: matching_time,
-                clustering: clustering_time,
-            },
+            timings,
+            report,
             comparable_pairs: collection.comparable_pairs(),
         }
+    }
+
+    /// Run the full pipeline on the sequential backend.
+    pub fn run(&self, collection: &ProfileCollection) -> PipelineResult {
+        self.run_on(&ExecutionBackend::Sequential, collection)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::BlockingConfig;
+    use crate::config::{BlockingConfig, ClusteringAlgorithm};
     use sparker_datasets::{generate, DatasetConfig, NoiseConfig};
 
     fn dataset(entities: usize) -> sparker_datasets::GeneratedDataset {
@@ -298,13 +291,21 @@ mod tests {
         let ds = dataset(100);
         let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
         let eval = result.evaluate(&ds.ground_truth);
-        assert!(eval.blocking.recall > 0.85, "blocking recall {}", eval.blocking.recall);
+        assert!(
+            eval.blocking.recall > 0.85,
+            "blocking recall {}",
+            eval.blocking.recall
+        );
         assert!(
             eval.blocking.reduction_ratio > 0.5,
             "reduction {}",
             eval.blocking.reduction_ratio
         );
-        assert!(eval.clustering.f1 > 0.6, "cluster F1 {}", eval.clustering.f1);
+        assert!(
+            eval.clustering.f1 > 0.6,
+            "cluster F1 {}",
+            eval.clustering.f1
+        );
         assert!(result.blocker.initial_blocks > 0);
         assert!(result.blocker.cleaned_comparisons <= result.blocker.initial_comparisons);
     }
@@ -319,7 +320,11 @@ mod tests {
         let result = Pipeline::new(config).run(&ds.collection);
         assert!(result.blocker.partitioning.is_some());
         let eval = result.evaluate(&ds.ground_truth);
-        assert!(eval.blocking.recall > 0.7, "blast recall {}", eval.blocking.recall);
+        assert!(
+            eval.blocking.recall > 0.7,
+            "blast recall {}",
+            eval.blocking.recall
+        );
         assert!(!result.blocker.weighted_candidates.is_empty());
     }
 
@@ -354,7 +359,12 @@ mod tests {
             };
             let result = Pipeline::new(config).run(&ds.collection);
             let eval = result.evaluate(&ds.ground_truth);
-            assert!(eval.clustering.f1 > 0.4, "{}: F1 {}", algo.name(), eval.clustering.f1);
+            assert!(
+                eval.clustering.f1 > 0.4,
+                "{}: F1 {}",
+                algo.name(),
+                eval.clustering.f1
+            );
         }
     }
 
@@ -387,7 +397,11 @@ mod tests {
         );
         let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
         let eval = result.evaluate(&ds.ground_truth);
-        assert!(eval.blocking.recall > 0.8, "dirty recall {}", eval.blocking.recall);
+        assert!(
+            eval.blocking.recall > 0.8,
+            "dirty recall {}",
+            eval.blocking.recall
+        );
     }
 
     #[test]
@@ -420,8 +434,14 @@ mod tests {
         // block construction in `blocking`, graph pruning in `candidates`.
         let ds = dataset(120);
         let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
-        assert!(result.timings.blocking.as_nanos() > 0, "block construction timed");
-        assert!(result.timings.candidates.as_nanos() > 0, "meta-blocking timed");
+        assert!(
+            result.timings.blocking.as_nanos() > 0,
+            "block construction timed"
+        );
+        assert!(
+            result.timings.candidates.as_nanos() > 0,
+            "meta-blocking timed"
+        );
         assert_eq!(
             result.timings.total(),
             result.timings.blocking
@@ -429,5 +449,51 @@ mod tests {
                 + result.timings.matching
                 + result.timings.clustering
         );
+    }
+
+    #[test]
+    fn report_covers_all_stages_and_matches_outputs() {
+        use crate::report::PipelineStage;
+        let ds = dataset(100);
+        let result = Pipeline::new(PipelineConfig::default()).run(&ds.collection);
+        let report = &result.report;
+        assert_eq!(report.backend, "sequential");
+        assert_eq!(report.workers, 1);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.stage.name()).collect();
+        assert_eq!(
+            names,
+            PipelineStage::ALL
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+        );
+        // Cardinalities line up with the assembled outputs.
+        let stage = |s| report.stage(s).unwrap();
+        assert_eq!(
+            stage(PipelineStage::BuildBlocks).input,
+            ds.collection.len() as u64
+        );
+        assert_eq!(
+            stage(PipelineStage::BuildBlocks).output,
+            result.blocker.initial_blocks as u64
+        );
+        assert_eq!(
+            stage(PipelineStage::FilterBlocks).output,
+            result.blocker.cleaned_blocks as u64
+        );
+        assert_eq!(
+            stage(PipelineStage::PruneCandidates).output,
+            result.blocker.candidates.len() as u64
+        );
+        assert_eq!(
+            stage(PipelineStage::ScorePairs).output,
+            result.similarity.len() as u64
+        );
+        assert_eq!(
+            stage(PipelineStage::ClusterEdges).output,
+            result.clusters.num_clusters() as u64
+        );
+        // The derived legacy split sums to the report's total.
+        assert_eq!(result.timings.total(), report.total_wall());
     }
 }

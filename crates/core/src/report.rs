@@ -1,0 +1,371 @@
+//! Stage-scoped observability: one structured report per pipeline run.
+//!
+//! Every stage of the unified driver — on every [`crate::ExecutionBackend`]
+//! — runs inside a [`StageScope`] that records wall-clock time, engine busy
+//! time and input/output cardinalities into a [`PipelineReport`]. The
+//! report subsumes the old ad-hoc `StepTimings` stopwatch (still derivable
+//! via [`PipelineReport::step_timings`]) and the counters that used to be
+//! scattered over `BlockerOutput`; the `sparker` CLI renders it as a table
+//! and the bench harness dumps it as JSON (see
+//! [`PipelineReport::to_json`]).
+
+use crate::pipeline::StepTimings;
+use sparker_dataflow::{Context, StageMetrics};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The five stages of the unified pipeline driver, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// Loose-schema generation + (token/keyed) blocking.
+    BuildBlocks,
+    /// Block purging + block filtering.
+    FilterBlocks,
+    /// Candidate generation: meta-blocking when enabled, plain pair
+    /// enumeration otherwise.
+    PruneCandidates,
+    /// Entity matching: similarity scoring of the candidate pairs.
+    ScorePairs,
+    /// Entity clustering of the similarity graph.
+    ClusterEdges,
+}
+
+impl PipelineStage {
+    /// All stages, in execution order.
+    pub const ALL: [PipelineStage; 5] = [
+        PipelineStage::BuildBlocks,
+        PipelineStage::FilterBlocks,
+        PipelineStage::PruneCandidates,
+        PipelineStage::ScorePairs,
+        PipelineStage::ClusterEdges,
+    ];
+
+    /// Stable stage name (used in the JSON schema and the CLI table).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineStage::BuildBlocks => "build_blocks",
+            PipelineStage::FilterBlocks => "filter_blocks",
+            PipelineStage::PruneCandidates => "prune_candidates",
+            PipelineStage::ScorePairs => "score_pairs",
+            PipelineStage::ClusterEdges => "cluster_edges",
+        }
+    }
+
+    /// What the stage consumes (unit of [`StageReport::input`]).
+    pub fn input_unit(&self) -> &'static str {
+        match self {
+            PipelineStage::BuildBlocks => "profiles",
+            PipelineStage::FilterBlocks => "blocks",
+            PipelineStage::PruneCandidates => "comparisons",
+            PipelineStage::ScorePairs => "candidates",
+            PipelineStage::ClusterEdges => "edges",
+        }
+    }
+
+    /// What the stage produces (unit of [`StageReport::output`]).
+    pub fn output_unit(&self) -> &'static str {
+        match self {
+            PipelineStage::BuildBlocks => "blocks",
+            PipelineStage::FilterBlocks => "blocks",
+            PipelineStage::PruneCandidates => "candidates",
+            PipelineStage::ScorePairs => "edges",
+            PipelineStage::ClusterEdges => "clusters",
+        }
+    }
+}
+
+/// Measurements of one executed pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageReport {
+    /// Which stage this row describes.
+    pub stage: PipelineStage,
+    /// Wall-clock time of the stage on the driver.
+    pub wall: Duration,
+    /// Worker busy time attributed to the stage: the summed task CPU time
+    /// of every engine operator the stage submitted. Equals `wall` on the
+    /// sequential backend (one fully busy driver thread); may exceed
+    /// `wall` on the engine backends when workers run concurrently.
+    pub busy: Duration,
+    /// Input cardinality, in [`PipelineStage::input_unit`] units.
+    pub input: u64,
+    /// Output cardinality, in [`PipelineStage::output_unit`] units.
+    pub output: u64,
+}
+
+/// Structured per-stage report of one pipeline run: which backend ran it,
+/// with how many workers, and what every stage saw and cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Backend name (`"sequential"`, `"dataflow"` or `"pool"`).
+    pub backend: &'static str,
+    /// Worker count (1 for the sequential backend).
+    pub workers: usize,
+    /// One row per executed stage, in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// Total wall-clock time across all stages.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Total attributed busy time across all stages.
+    pub fn total_busy(&self) -> Duration {
+        self.stages.iter().map(|s| s.busy).sum()
+    }
+
+    /// The report row for `stage`, if that stage executed.
+    pub fn stage(&self, stage: PipelineStage) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// The legacy four-step wall-clock split ([`StepTimings`]): block
+    /// construction (`build_blocks` + `filter_blocks`), candidate
+    /// generation, matching, clustering.
+    pub fn step_timings(&self) -> StepTimings {
+        let wall = |stage| self.stage(stage).map_or(Duration::ZERO, |s| s.wall);
+        StepTimings {
+            blocking: wall(PipelineStage::BuildBlocks) + wall(PipelineStage::FilterBlocks),
+            candidates: wall(PipelineStage::PruneCandidates),
+            matching: wall(PipelineStage::ScorePairs),
+            clustering: wall(PipelineStage::ClusterEdges),
+        }
+    }
+
+    /// Render the report as the aligned table the `sparker` CLI prints.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12} {:>11} {:>11}  units",
+            "stage", "input", "output", "wall", "busy"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>12} {:>12} {:>11} {:>11}  {} -> {}",
+                s.stage.name(),
+                s.input,
+                s.output,
+                format!("{:.1?}", s.wall),
+                format!("{:.1?}", s.busy),
+                s.stage.input_unit(),
+                s.stage.output_unit(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12} {:>11} {:>11}  backend={} workers={}",
+            "total",
+            "",
+            "",
+            format!("{:.1?}", self.total_wall()),
+            format!("{:.1?}", self.total_busy()),
+            self.backend,
+            self.workers,
+        );
+        out
+    }
+
+    /// Serialize the report to JSON (the schema documented in the README
+    /// and consumed by `scripts/bench.sh` dumps). Durations are fractional
+    /// seconds:
+    ///
+    /// ```json
+    /// {
+    ///   "backend": "pool",
+    ///   "workers": 4,
+    ///   "stages": [
+    ///     {"stage": "build_blocks", "input": 1000, "output": 1523,
+    ///      "input_unit": "profiles", "output_unit": "blocks",
+    ///      "wall_s": 0.0123, "busy_s": 0.0311},
+    ///     ...
+    ///   ],
+    ///   "total_wall_s": 0.2031,
+    ///   "total_busy_s": 0.5120
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"backend\":\"{}\",\"workers\":{},\"stages\":[",
+            self.backend, self.workers
+        );
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":\"{}\",\"input\":{},\"output\":{},\
+                 \"input_unit\":\"{}\",\"output_unit\":\"{}\",\
+                 \"wall_s\":{:.9},\"busy_s\":{:.9}}}",
+                s.stage.name(),
+                s.input,
+                s.output,
+                s.stage.input_unit(),
+                s.stage.output_unit(),
+                s.wall.as_secs_f64(),
+                s.busy.as_secs_f64(),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"total_wall_s\":{:.9},\"total_busy_s\":{:.9}}}",
+            self.total_wall().as_secs_f64(),
+            self.total_busy().as_secs_f64(),
+        );
+        out
+    }
+}
+
+/// An open stage measurement: created when a stage starts, closed with the
+/// stage's input/output cardinalities.
+///
+/// On an engine backend the scope snapshots the engine's stage-metrics
+/// count at entry, so at [`StageScope::finish`] it can attribute exactly
+/// the operator stages submitted in between (their summed task CPU time
+/// becomes [`StageReport::busy`]) and append a `pipeline/<stage>` marker to
+/// the engine's metrics stream. On the sequential backend busy time equals
+/// wall time.
+pub struct StageScope<'a> {
+    stage: PipelineStage,
+    ctx: Option<&'a Context>,
+    engine_stages_before: usize,
+    start: Instant,
+}
+
+impl<'a> StageScope<'a> {
+    /// Open a scope for `stage`; `ctx` is the engine context of the active
+    /// backend, or `None` on the sequential driver.
+    pub fn begin(stage: PipelineStage, ctx: Option<&'a Context>) -> Self {
+        StageScope {
+            stage,
+            ctx,
+            engine_stages_before: ctx.map_or(0, |c| c.metrics().stages.len()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Close the scope, recording cardinalities and times.
+    pub fn finish(self, input: u64, output: u64) -> StageReport {
+        let wall = self.start.elapsed();
+        let busy = match self.ctx {
+            None => wall,
+            Some(ctx) => {
+                let snap = ctx.metrics();
+                let busy = snap
+                    .stages
+                    .iter()
+                    .skip(self.engine_stages_before)
+                    .map(|s| s.busy_time)
+                    .sum();
+                // Feed a named scope marker back into the engine metrics so
+                // snapshots can attribute operator stages to pipeline stages.
+                let mut marker = StageMetrics::named(&format!("pipeline/{}", self.stage.name()));
+                marker.input_records = input;
+                marker.output_records = output;
+                marker.wall_time = wall;
+                marker.busy_time = busy;
+                ctx.record_stage(marker);
+                busy
+            }
+        };
+        StageReport {
+            stage: self.stage,
+            wall,
+            busy,
+            input,
+            output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PipelineReport {
+        PipelineReport {
+            backend: "sequential",
+            workers: 1,
+            stages: PipelineStage::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &stage)| StageReport {
+                    stage,
+                    wall: Duration::from_millis(i as u64 + 1),
+                    busy: Duration::from_millis(i as u64 + 1),
+                    input: 10 * (i as u64 + 1),
+                    output: 10 * (i as u64 + 2),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn step_timings_fold_the_block_stages() {
+        let r = report();
+        let t = r.step_timings();
+        assert_eq!(t.blocking, Duration::from_millis(3)); // 1ms + 2ms
+        assert_eq!(t.candidates, Duration::from_millis(3));
+        assert_eq!(t.matching, Duration::from_millis(4));
+        assert_eq!(t.clustering, Duration::from_millis(5));
+        assert_eq!(t.total(), r.total_wall());
+    }
+
+    #[test]
+    fn json_has_every_stage_and_scalar() {
+        let json = report().to_json();
+        for stage in PipelineStage::ALL {
+            assert!(
+                json.contains(&format!("\"stage\":\"{}\"", stage.name())),
+                "{json}"
+            );
+        }
+        assert!(json.contains("\"backend\":\"sequential\""));
+        assert!(json.contains("\"workers\":1"));
+        assert!(json.contains("\"total_wall_s\":"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let table = report().render_table();
+        assert_eq!(table.lines().count(), 1 + PipelineStage::ALL.len() + 1);
+        assert!(table.contains("score_pairs"));
+        assert!(table.contains("backend=sequential workers=1"));
+    }
+
+    #[test]
+    fn sequential_scope_busy_equals_wall() {
+        let scope = StageScope::begin(PipelineStage::ScorePairs, None);
+        std::thread::sleep(Duration::from_millis(2));
+        let row = scope.finish(7, 3);
+        assert_eq!(row.wall, row.busy);
+        assert!(row.wall >= Duration::from_millis(2));
+        assert_eq!((row.input, row.output), (7, 3));
+    }
+
+    #[test]
+    fn engine_scope_records_marker_stage() {
+        let ctx = Context::new(2);
+        let scope = StageScope::begin(PipelineStage::BuildBlocks, Some(&ctx));
+        // Run an engine stage inside the scope.
+        let ds = ctx.parallelize((0..100).collect::<Vec<i32>>(), 4);
+        let total: i32 = ds.map(|x| x * 2).collect().into_iter().sum();
+        assert_eq!(total, 9900);
+        let row = scope.finish(100, 1);
+        let snap = ctx.metrics();
+        let marker = snap
+            .stages
+            .iter()
+            .find(|s| s.name == "pipeline/build_blocks")
+            .expect("scope marker recorded");
+        assert_eq!(marker.input_records, 100);
+        assert_eq!(marker.wall_time, row.wall);
+        assert_eq!(marker.busy_time, row.busy);
+    }
+}

@@ -1,23 +1,19 @@
-//! Cross-stage equivalence suite: the pool-parallel pipeline
-//! (`run_pipeline_parallel`) must be *indistinguishable* from the sequential
-//! pipeline — identical similarity graphs, identical entity clusters,
-//! identical evaluations — for every clustering algorithm, for clean–clean
-//! and dirty tasks, on skewed and uniform datasets, at any worker count.
+//! Backend-matrix parity suite, driven through the *unified* driver.
+//!
+//! Every cell of `backend ∈ {Sequential, Dataflow(w), Pool(w)} ×
+//! {CleanClean, Dirty} × {default, blast} × workers ∈ {1, 2, 8}` must be
+//! *indistinguishable* from the sequential reference run: identical
+//! candidate sets, identical similarity graphs, identical entity clusters,
+//! identical evaluations. One helper asserts the whole matrix — there is
+//! no per-driver test copy anywhere else.
 
 use proptest::prelude::*;
-use sparker_core::{ClusteringAlgorithm, Pipeline, PipelineConfig};
-use sparker_dataflow::Context;
+use sparker_core::{
+    BlockingConfig, ClusteringAlgorithm, ExecutionBackend, Pipeline, PipelineConfig, PipelineResult,
+};
 use sparker_datasets::{generate, generate_dirty, DatasetConfig, GeneratedDataset, ZipfSkew};
 
 const WORKERS: [usize; 3] = [1, 2, 8];
-
-const ALL_ALGORITHMS: [ClusteringAlgorithm; 5] = [
-    ClusteringAlgorithm::ConnectedComponents,
-    ClusteringAlgorithm::Center,
-    ClusteringAlgorithm::MergeCenter,
-    ClusteringAlgorithm::Star,
-    ClusteringAlgorithm::UniqueMapping,
-];
 
 fn clean_dataset(entities: usize, seed: u64, skewed: bool) -> GeneratedDataset {
     generate(&DatasetConfig {
@@ -48,67 +44,168 @@ fn config_with(algorithm: ClusteringAlgorithm) -> PipelineConfig {
     }
 }
 
-/// The full equivalence check at one worker count: every observable output
-/// of the parallel run equals the sequential run's.
-fn assert_parity(pipeline: &Pipeline, ds: &GeneratedDataset, workers: usize) {
-    let seq = pipeline.run(&ds.collection);
-    let ctx = Context::new(workers);
-    let par = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
-    assert_eq!(seq.blocker.candidates, par.blocker.candidates, "workers={workers}");
-    assert_eq!(seq.similarity, par.similarity, "workers={workers}");
-    assert_eq!(seq.clusters, par.clusters, "workers={workers}");
+/// The engine-backed backends at one worker count.
+fn engine_backends(workers: usize) -> [ExecutionBackend; 2] {
+    [
+        ExecutionBackend::dataflow(workers),
+        ExecutionBackend::pool(workers),
+    ]
+}
+
+/// Every observable output of `run` equals the sequential reference's.
+fn assert_equivalent(
+    reference: &PipelineResult,
+    run: &PipelineResult,
+    ds: &GeneratedDataset,
+    tag: &str,
+) {
     assert_eq!(
-        seq.evaluate(&ds.ground_truth),
-        par.evaluate(&ds.ground_truth),
-        "workers={workers}"
+        reference.blocker.candidates, run.blocker.candidates,
+        "{tag}"
+    );
+    assert_eq!(reference.similarity, run.similarity, "{tag}");
+    assert_eq!(reference.clusters, run.clusters, "{tag}");
+    assert_eq!(
+        reference.blocker.initial_blocks, run.blocker.initial_blocks,
+        "{tag}"
+    );
+    assert_eq!(
+        reference.blocker.cleaned_comparisons, run.blocker.cleaned_comparisons,
+        "{tag}"
+    );
+    assert_eq!(
+        reference.evaluate(&ds.ground_truth),
+        run.evaluate(&ds.ground_truth),
+        "{tag}"
     );
 }
 
+/// Run the full backend matrix for one pipeline on one dataset: the
+/// sequential backend is the reference; dataflow and pool must match it
+/// at 1, 2 and 8 workers.
+fn assert_backend_matrix(pipeline: &Pipeline, ds: &GeneratedDataset) {
+    let reference = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+    assert_eq!(reference.report.backend, "sequential");
+    for workers in WORKERS {
+        for backend in engine_backends(workers) {
+            let run = pipeline.run_on(&backend, &ds.collection);
+            let tag = format!("backend={} workers={workers}", backend.name());
+            assert_eq!(run.report.backend, backend.name(), "{tag}");
+            assert_eq!(run.report.workers, workers, "{tag}");
+            assert_equivalent(&reference, &run, ds, &tag);
+        }
+    }
+}
+
 #[test]
-fn clean_clean_parity_all_algorithms_all_worker_counts() {
+fn backend_matrix_clean_clean_default_and_blast() {
     for skewed in [false, true] {
         let ds = clean_dataset(90, 11, skewed);
-        for algorithm in ALL_ALGORITHMS {
-            let pipeline = Pipeline::new(config_with(algorithm));
-            for workers in WORKERS {
-                assert_parity(&pipeline, &ds, workers);
-            }
+        for blocking in [BlockingConfig::default(), BlockingConfig::blast()] {
+            let pipeline = Pipeline::new(PipelineConfig {
+                blocking,
+                ..PipelineConfig::default()
+            });
+            assert_backend_matrix(&pipeline, &ds);
         }
     }
 }
 
 #[test]
-fn dirty_parity_all_algorithms_all_worker_counts() {
-    // Unique-mapping requires clean–clean and is covered above.
+fn backend_matrix_dirty_default_and_blast() {
     for skewed in [false, true] {
         let ds = dirty_dataset(60, 23, skewed);
-        for algorithm in &ALL_ALGORITHMS[..4] {
-            let pipeline = Pipeline::new(config_with(*algorithm));
-            for workers in WORKERS {
-                assert_parity(&pipeline, &ds, workers);
-            }
+        for blocking in [BlockingConfig::default(), BlockingConfig::blast()] {
+            let pipeline = Pipeline::new(PipelineConfig {
+                blocking,
+                ..PipelineConfig::default()
+            });
+            assert_backend_matrix(&pipeline, &ds);
         }
     }
 }
 
 #[test]
-fn parallel_timings_cover_all_four_steps() {
-    let ds = clean_dataset(90, 5, true);
-    let ctx = Context::new(2);
-    let result = Pipeline::new(PipelineConfig::default()).run_pipeline_parallel(&ctx, &ds.collection);
-    assert!(result.timings.blocking.as_nanos() > 0);
-    assert!(result.timings.candidates.as_nanos() > 0);
-    assert!(result.timings.matching.as_nanos() > 0);
-    assert!(result.timings.total() >= result.timings.matching);
+fn backend_matrix_all_clustering_algorithms() {
+    // Clean–clean covers all five algorithms; dirty skips unique-mapping
+    // (clean–clean only). One worker count per cell — worker invariance is
+    // covered by the matrix tests above.
+    let clean = clean_dataset(90, 11, true);
+    for algorithm in ClusteringAlgorithm::ALL {
+        let pipeline = Pipeline::new(config_with(algorithm));
+        let reference = pipeline.run_on(&ExecutionBackend::Sequential, &clean.collection);
+        for backend in engine_backends(4) {
+            let run = pipeline.run_on(&backend, &clean.collection);
+            let tag = format!("{} on {}", algorithm.name(), backend.name());
+            assert_equivalent(&reference, &run, &clean, &tag);
+        }
+    }
+    let dirty = dirty_dataset(60, 23, true);
+    for algorithm in &ClusteringAlgorithm::ALL[..4] {
+        let pipeline = Pipeline::new(config_with(*algorithm));
+        let reference = pipeline.run_on(&ExecutionBackend::Sequential, &dirty.collection);
+        for backend in engine_backends(4) {
+            let run = pipeline.run_on(&backend, &dirty.collection);
+            let tag = format!("{} on {}", algorithm.name(), backend.name());
+            assert_equivalent(&reference, &run, &dirty, &tag);
+        }
+    }
 }
 
 #[test]
-fn parallel_pipeline_records_matcher_and_clusterer_stages() {
+fn report_is_stage_complete_on_every_backend() {
+    use sparker_core::PipelineStage;
     let ds = clean_dataset(90, 5, true);
-    let ctx = Context::new(4);
-    ctx.reset_metrics();
-    Pipeline::new(PipelineConfig::default()).run_pipeline_parallel(&ctx, &ds.collection);
-    let names: Vec<String> = ctx.metrics().stages.iter().map(|s| s.name.clone()).collect();
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let backends = [
+        ExecutionBackend::Sequential,
+        ExecutionBackend::dataflow(2),
+        ExecutionBackend::pool(2),
+    ];
+    for backend in backends {
+        let result = pipeline.run_on(&backend, &ds.collection);
+        let names: Vec<&str> = result
+            .report
+            .stages
+            .iter()
+            .map(|s| s.stage.name())
+            .collect();
+        assert_eq!(
+            names,
+            PipelineStage::ALL
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>(),
+            "backend={}",
+            backend.name()
+        );
+        assert!(
+            result.timings.blocking.as_nanos() > 0,
+            "backend={}",
+            backend.name()
+        );
+        assert_eq!(result.timings.total(), result.report.total_wall());
+        // The JSON dump carries every stage row.
+        let json = result.report.to_json();
+        for stage in PipelineStage::ALL {
+            assert!(json.contains(stage.name()), "{json}");
+        }
+    }
+}
+
+#[test]
+fn engine_backends_record_matcher_and_clusterer_stages() {
+    let ds = clean_dataset(90, 5, true);
+    let pool = ExecutionBackend::pool(4);
+    Pipeline::new(PipelineConfig::default()).run_on(&pool, &ds.collection);
+    let names: Vec<String> = pool
+        .context()
+        .unwrap()
+        .metrics()
+        .stages
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
     assert!(
         names.iter().any(|n| n == "match_candidates"),
         "matcher stage missing from {names:?}"
@@ -117,11 +214,17 @@ fn parallel_pipeline_records_matcher_and_clusterer_stages() {
         names.iter().any(|n| n == "cluster_components"),
         "clusterer stage missing from {names:?}"
     );
+    // The stage scopes land in the same metrics stream.
+    assert!(
+        names.iter().any(|n| n == "pipeline/score_pairs"),
+        "scope marker missing from {names:?}"
+    );
 }
 
 proptest! {
     // Dataset generation + three pipeline runs per case: keep the case
-    // count modest; the deterministic sweeps above cover the full matrix.
+    // count modest; the deterministic matrix sweeps above cover the full
+    // grid.
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
@@ -130,16 +233,20 @@ proptest! {
         entities in 30usize..80,
         workers in prop::sample::select(&WORKERS[..]),
         skewed in any::<bool>(),
-        algorithm in prop::sample::select(&ALL_ALGORITHMS[..]),
+        algorithm in prop::sample::select(&ClusteringAlgorithm::ALL[..]),
     ) {
         let ds = clean_dataset(entities, seed, skewed);
         let pipeline = Pipeline::new(config_with(algorithm));
-        let seq = pipeline.run(&ds.collection);
-        let ctx = Context::new(workers);
-        let par = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
-        prop_assert_eq!(&seq.similarity, &par.similarity);
-        prop_assert_eq!(&seq.clusters, &par.clusters);
-        prop_assert_eq!(seq.evaluate(&ds.ground_truth), par.evaluate(&ds.ground_truth));
+        let reference = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+        for backend in engine_backends(workers) {
+            let run = pipeline.run_on(&backend, &ds.collection);
+            prop_assert_eq!(&reference.similarity, &run.similarity);
+            prop_assert_eq!(&reference.clusters, &run.clusters);
+            prop_assert_eq!(
+                reference.evaluate(&ds.ground_truth),
+                run.evaluate(&ds.ground_truth)
+            );
+        }
     }
 
     #[test]
@@ -148,15 +255,19 @@ proptest! {
         entities in 20usize..60,
         workers in prop::sample::select(&WORKERS[..]),
         skewed in any::<bool>(),
-        algorithm in prop::sample::select(&ALL_ALGORITHMS[..4]),
+        algorithm in prop::sample::select(&ClusteringAlgorithm::ALL[..4]),
     ) {
         let ds = dirty_dataset(entities, seed, skewed);
         let pipeline = Pipeline::new(config_with(algorithm));
-        let seq = pipeline.run(&ds.collection);
-        let ctx = Context::new(workers);
-        let par = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
-        prop_assert_eq!(&seq.similarity, &par.similarity);
-        prop_assert_eq!(&seq.clusters, &par.clusters);
-        prop_assert_eq!(seq.evaluate(&ds.ground_truth), par.evaluate(&ds.ground_truth));
+        let reference = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+        for backend in engine_backends(workers) {
+            let run = pipeline.run_on(&backend, &ds.collection);
+            prop_assert_eq!(&reference.similarity, &run.similarity);
+            prop_assert_eq!(&reference.clusters, &run.clusters);
+            prop_assert_eq!(
+                reference.evaluate(&ds.ground_truth),
+                run.evaluate(&ds.ground_truth)
+            );
+        }
     }
 }

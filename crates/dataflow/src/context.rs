@@ -69,6 +69,17 @@ impl Context {
         self.metrics.reset()
     }
 
+    /// Record a driver-named stage into the metrics stream.
+    ///
+    /// Pipeline drivers use this to append stage-scope markers (e.g.
+    /// `"pipeline/score_pairs"`) alongside the operator stages the engine
+    /// records itself, so a [`MetricsSnapshot`] can attribute operator work
+    /// to pipeline stages. Driver-recorded stages carry whatever fields the
+    /// caller filled in; `per_worker_busy` stays empty for them.
+    pub fn record_stage(&self, stage: crate::StageMetrics) {
+        self.metrics.record_stage(stage)
+    }
+
     /// Distribute `data` over `num_partitions` contiguous slices.
     ///
     /// Partitioning is by contiguous ranges (like Spark's `parallelize`), so

@@ -96,7 +96,14 @@ impl<T: Send + Sync> Dataset<T> {
         self.count() == 0
     }
 
-    fn record_stage(&self, name: &str, output_records: u64, shuffle_records: u64, t0: Instant, stats: StageStats) {
+    fn record_stage(
+        &self,
+        name: &str,
+        output_records: u64,
+        shuffle_records: u64,
+        t0: Instant,
+        stats: StageStats,
+    ) {
         record_stage(
             &self.ctx,
             name,
@@ -409,9 +416,11 @@ impl<T: Send + Sync> Dataset<T> {
     where
         T: Clone + Hash + Eq,
     {
-        self.narrow_stage_owned("map", |p| p.into_iter().map(|x| (x, ())).collect::<Vec<_>>())
-            .group_by_key()
-            .narrow_stage_owned("distinct", |p| p.into_iter().map(|(k, _)| k).collect())
+        self.narrow_stage_owned("map", |p| {
+            p.into_iter().map(|x| (x, ())).collect::<Vec<_>>()
+        })
+        .group_by_key()
+        .narrow_stage_owned("distinct", |p| p.into_iter().map(|(k, _)| k).collect())
     }
 
     /// Total order sort by a key function (driver-side merge, like a 1-stage
@@ -445,7 +454,9 @@ impl<T: Send + Sync> Dataset<T> {
         let threshold = (fraction * u64::MAX as f64) as u64;
         self.zip_with_index().narrow_stage("sample", move |_, p| {
             p.iter()
-                .filter(|(_, idx)| splitmix64(seed ^ idx.wrapping_mul(0x9E3779B97F4A7C15)) <= threshold)
+                .filter(|(_, idx)| {
+                    splitmix64(seed ^ idx.wrapping_mul(0x9E3779B97F4A7C15)) <= threshold
+                })
                 .map(|(x, _)| x.clone())
                 .collect()
         })
@@ -534,7 +545,11 @@ where
     /// every downstream grouping deterministic. A partition whose `Arc` is
     /// uniquely held is unwrapped and its records *moved* into the buckets;
     /// shared partitions fall back to per-record cloning.
-    fn shuffle_parts(ctx: &Context, parts: Vec<Arc<Vec<(K, V)>>>, n: usize) -> (Vec<Vec<(K, V)>>, StageStats) {
+    fn shuffle_parts(
+        ctx: &Context,
+        parts: Vec<Arc<Vec<(K, V)>>>,
+        n: usize,
+    ) -> (Vec<Vec<(K, V)>>, StageStats) {
         let n = n.max(1);
         // Map side: bucket each input partition.
         let (bucketed, stats) = ctx.pool().run_owned(parts, |_, part| {
@@ -583,7 +598,16 @@ where
             .pool()
             .run_owned(shuffled, |_, bucket| group_preserving_order(bucket));
         let produced: u64 = grouped.iter().map(|p| p.len() as u64).sum();
-        record_stage(&ctx, "group_by_key", tasks, input, produced, moved, t0, map_stats + reduce_stats);
+        record_stage(
+            &ctx,
+            "group_by_key",
+            tasks,
+            input,
+            produced,
+            moved,
+            t0,
+            map_stats + reduce_stats,
+        );
         Dataset::from_parts(ctx, grouped.into_iter().map(Arc::new).collect())
     }
 
@@ -626,7 +650,8 @@ where
         });
         // The combined partitions are freshly built, so wrapping them in new
         // `Arc`s keeps the shuffle on the owned (move) path.
-        let (shuffled, map_stats) = Self::shuffle_parts(&ctx, combined.into_iter().map(Arc::new).collect(), n);
+        let (shuffled, map_stats) =
+            Self::shuffle_parts(&ctx, combined.into_iter().map(Arc::new).collect(), n);
         let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
         let (reduced, reduce_stats) = ctx.pool().run_owned(shuffled, |_, bucket| {
             group_preserving_order(bucket)
@@ -692,8 +717,8 @@ where
         let input: u64 = parts.iter().map(|p| p.len() as u64).sum::<u64>() + other.count() as u64;
         let (left, left_stats) = Self::shuffle_parts(&ctx, parts, n);
         let (right, right_stats) = Dataset::<(K, W)>::shuffle_parts(&ctx, other.parts.clone(), n);
-        let moved: u64 =
-            left.iter().map(|p| p.len() as u64).sum::<u64>() + right.iter().map(|p| p.len() as u64).sum::<u64>();
+        let moved: u64 = left.iter().map(|p| p.len() as u64).sum::<u64>()
+            + right.iter().map(|p| p.len() as u64).sum::<u64>();
         let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = left.into_iter().zip(right).collect();
         let (merged, merge_stats) = ctx.pool().run_owned(zipped, |_, (lv, rv)| {
             let mut index: HashMap<K, usize> = HashMap::new();
@@ -753,21 +778,22 @@ where
     where
         W: Clone + Send + Sync,
     {
-        self.cogroup(other).narrow_stage_owned("left_outer_join", |p| {
-            let mut out = Vec::new();
-            for (k, (vs, ws)) in p {
-                for v in vs {
-                    if ws.is_empty() {
-                        out.push((k.clone(), (v.clone(), None)));
-                    } else {
-                        for w in &ws {
-                            out.push((k.clone(), (v.clone(), Some(w.clone()))));
+        self.cogroup(other)
+            .narrow_stage_owned("left_outer_join", |p| {
+                let mut out = Vec::new();
+                for (k, (vs, ws)) in p {
+                    for v in vs {
+                        if ws.is_empty() {
+                            out.push((k.clone(), (v.clone(), None)));
+                        } else {
+                            for w in &ws {
+                                out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                            }
                         }
                     }
                 }
-            }
-            out
-        })
+                out
+            })
     }
 
     /// Hash-partition by key into `n` partitions (no grouping); used to
@@ -779,7 +805,16 @@ where
         let input: u64 = parts.iter().map(|p| p.len() as u64).sum();
         let (shuffled, stats) = Self::shuffle_parts(&ctx, parts, n);
         let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
-        record_stage(&ctx, "partition_by_key", tasks, input, moved, moved, t0, stats);
+        record_stage(
+            &ctx,
+            "partition_by_key",
+            tasks,
+            input,
+            moved,
+            moved,
+            t0,
+            stats,
+        );
         Dataset::from_parts(ctx, shuffled.into_iter().map(Arc::new).collect())
     }
 
@@ -822,7 +857,9 @@ fn group_preserving_order<K: Hash + Eq, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>
             empty => *empty = Some((k, vec![v])),
         }
     }
-    out.into_iter().map(|g| g.expect("every group slot is filled")).collect()
+    out.into_iter()
+        .map(|g| g.expect("every group slot is filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -851,10 +888,7 @@ mod tests {
     #[test]
     fn filter_keeps_order() {
         let ds = ctx().parallelize((0..20).collect::<Vec<_>>(), 4);
-        assert_eq!(
-            ds.filter(|x| x % 5 == 0).collect(),
-            vec![0, 5, 10, 15]
-        );
+        assert_eq!(ds.filter(|x| x % 5 == 0).collect(), vec![0, 5, 10, 15]);
     }
 
     #[test]
@@ -904,9 +938,7 @@ mod tests {
 
     #[test]
     fn reduce_by_key_matches_group_then_fold() {
-        let pairs: Vec<(String, u64)> = (0..50)
-            .map(|i| (format!("k{}", i % 4), i))
-            .collect();
+        let pairs: Vec<(String, u64)> = (0..50).map(|i| (format!("k{}", i % 4), i)).collect();
         let ds = ctx().parallelize(pairs, 5);
         let mut reduced = ds.reduce_by_key(|a, b| a + b).collect();
         reduced.sort();
@@ -936,7 +968,12 @@ mod tests {
         out.sort();
         assert_eq!(
             out,
-            vec![(1, ("a", 10)), (1, ("b", 10)), (2, ("c", 20)), (2, ("c", 30))]
+            vec![
+                (1, ("a", 10)),
+                (1, ("b", 10)),
+                (2, ("c", 20)),
+                (2, ("c", 30))
+            ]
         );
     }
 
@@ -1060,7 +1097,11 @@ mod tests {
         let snap = c.metrics();
         assert_eq!(snap.stages[0].name, "fold");
         assert!(snap.stages[0].busy_time > Duration::ZERO);
-        assert_eq!(snap.worker_busy.len(), 2, "one busy counter per worker slot");
+        assert_eq!(
+            snap.worker_busy.len(),
+            2,
+            "one busy counter per worker slot"
+        );
         assert!(snap.total_busy_time() > Duration::ZERO);
     }
 

@@ -59,7 +59,11 @@ impl StageMetrics {
     /// The slowest worker's busy time in this stage — the stage's critical
     /// path (wall-clock lower bound on a one-core-per-worker machine).
     pub fn critical_path(&self) -> Duration {
-        self.per_worker_busy.iter().copied().max().unwrap_or_default()
+        self.per_worker_busy
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or_default()
     }
 }
 

@@ -49,7 +49,11 @@ pub struct StageStats {
 impl StageStats {
     /// The slowest worker's busy time — the stage's critical path.
     pub fn critical_path(&self) -> Duration {
-        self.per_worker_busy.iter().copied().max().unwrap_or_default()
+        self.per_worker_busy
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or_default()
     }
 }
 
@@ -91,7 +95,10 @@ fn thread_cpu_ns() -> u64 {
     extern "C" {
         fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
     }
-    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: `ts` is a valid out-pointer and the clock id is a constant
     // every Linux kernel supports; the call writes `ts` and nothing else.
     let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
@@ -160,14 +167,19 @@ impl Batch {
                 // SAFETY: `i < num_tasks` and `remaining > 0` (this task has
                 // not completed), so the submitter is still blocked and the
                 // closure is alive.
-                let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.task.0)(worker_slot, i) }));
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    (*self.task.0)(worker_slot, i)
+                }));
                 let dt = thread_cpu_ns().saturating_sub(t0);
                 self.busy_ns.fetch_add(dt, Ordering::Relaxed);
                 self.worker_busy_ns[worker_slot].fetch_add(dt, Ordering::Relaxed);
                 shared.busy_ns[worker_slot].fetch_add(dt, Ordering::Relaxed);
                 if let Err(payload) = result {
                     self.abort.store(true, Ordering::Relaxed);
-                    let mut slot = self.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let mut slot = self
+                        .panic
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
@@ -177,7 +189,12 @@ impl Batch {
                 // Last task done: wake the submitter. Lock/unlock pairs the
                 // notification with the submitter's wait loop so it cannot
                 // be missed.
-                drop(shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+                drop(
+                    shared
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
                 shared.done_cv.notify_all();
             }
         }
@@ -228,7 +245,14 @@ impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("workers", &self.workers)
-            .field("spawned", &self.threads.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len())
+            .field(
+                "spawned",
+                &self
+                    .threads
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len(),
+            )
             .finish()
     }
 }
@@ -274,7 +298,10 @@ impl WorkerPool {
 
     /// Spawn the persistent threads if they are not running yet.
     fn ensure_spawned(&self) {
-        let mut threads = self.threads.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut threads = self
+            .threads
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !threads.is_empty() {
             return;
         }
@@ -413,14 +440,18 @@ impl WorkerPool {
         }
 
         self.ensure_spawned();
-        let _stage = self.stage_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _stage = self
+            .stage_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
 
         // SAFETY: see `TaskRef` — the reference is only used while this
         // call frame is alive (we block on `remaining == 0` below).
         let task: TaskRef = TaskRef(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize, usize) + Sync), *const (dyn Fn(usize, usize) + Sync)>(
-                runner as *const (dyn Fn(usize, usize) + Sync),
-            )
+            std::mem::transmute::<
+                *const (dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync),
+            >(runner as *const (dyn Fn(usize, usize) + Sync))
         });
         let batch = Arc::new(Batch {
             task,
@@ -436,7 +467,11 @@ impl WorkerPool {
         });
 
         {
-            let mut st = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             st.epoch += 1;
             st.batch = Some(Arc::clone(&batch));
         }
@@ -449,14 +484,27 @@ impl WorkerPool {
 
         // Wait for the stragglers.
         {
-            let mut st = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             while batch.remaining.load(Ordering::Acquire) != 0 {
-                st = self.shared.done_cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             st.batch = None;
         }
 
-        if let Some(payload) = batch.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take() {
+        if let Some(payload) = batch
+            .panic
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
             resume_unwind(payload);
         }
 
@@ -475,11 +523,20 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             st.shutdown = true;
         }
         self.shared.work_cv.notify_all();
-        for handle in self.threads.lock().unwrap_or_else(std::sync::PoisonError::into_inner).drain(..) {
+        for handle in self
+            .threads
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
             let _ = handle.join();
         }
     }
@@ -490,7 +547,10 @@ fn worker_loop(shared: Arc<Shared>, slot: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let batch = {
-            let mut st = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut st = shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if st.shutdown {
                     return;
@@ -501,7 +561,10 @@ fn worker_loop(shared: Arc<Shared>, slot: usize) {
                         break Arc::clone(batch);
                     }
                 }
-                st = shared.work_cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         batch.drain(slot, &shared);
@@ -588,13 +651,24 @@ mod tests {
     fn threads_persist_across_batches() {
         let pool = WorkerPool::new(4);
         pool.run(16, |i| i);
-        let spawned = pool.threads.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len();
+        let spawned = pool
+            .threads
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
         assert_eq!(spawned, 3, "workers - 1 persistent threads");
         for round in 0..50 {
             let out = pool.run(32, move |i| i + round);
             assert_eq!(out, (round..32 + round).collect::<Vec<_>>());
         }
-        assert_eq!(pool.threads.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len(), spawned, "no respawn");
+        assert_eq!(
+            pool.threads
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len(),
+            spawned,
+            "no respawn"
+        );
     }
 
     #[test]
@@ -656,7 +730,10 @@ mod tests {
         }));
         assert!(result.is_err());
         // The pool still works after a panicked stage.
-        assert_eq!(pool.run(8, |i| i * 2), (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(
+            pool.run(8, |i| i * 2),
+            (0..8).map(|i| i * 2).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -671,7 +748,9 @@ mod tests {
     fn nested_runs_fall_back_to_inline() {
         let pool = Arc::new(WorkerPool::new(4));
         let inner = Arc::clone(&pool);
-        let out = pool.run(4, move |i| inner.run(3, |j| i * 10 + j).iter().sum::<usize>());
+        let out = pool.run(4, move |i| {
+            inner.run(3, |j| i * 10 + j).iter().sum::<usize>()
+        });
         assert_eq!(out, vec![3, 33, 63, 93]);
     }
 
@@ -703,7 +782,11 @@ mod tests {
         let (_, stats) = pool.run_with_stats(8, |_| {
             burn_cpu(Duration::from_millis(2));
         });
-        assert!(stats.busy_time >= Duration::from_millis(10), "got {:?}", stats.busy_time);
+        assert!(
+            stats.busy_time >= Duration::from_millis(10),
+            "got {:?}",
+            stats.busy_time
+        );
         let busy = pool.worker_busy_times();
         assert_eq!(busy.len(), 2);
         assert!(busy.iter().sum::<Duration>() >= stats.busy_time);

@@ -65,13 +65,18 @@ impl<T> WorkerLocal<T> {
 
     /// Consume the structure and return the per-slot values in slot order.
     pub fn into_inner(self) -> Vec<T> {
-        self.slots.into_iter().map(|(_, c)| c.into_inner()).collect()
+        self.slots
+            .into_iter()
+            .map(|(_, c)| c.into_inner())
+            .collect()
     }
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for WorkerLocal<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerLocal").field("slots", &self.len()).finish()
+        f.debug_struct("WorkerLocal")
+            .field("slots", &self.len())
+            .finish()
     }
 }
 

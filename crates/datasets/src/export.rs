@@ -164,10 +164,7 @@ mod tests {
     };
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "sparker-export-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("sparker-export-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -209,11 +206,7 @@ mod tests {
             assert_eq!(a.token_set(), b.token_set(), "{}", a.original_id);
         }
         // Ground truth resolves against the reloaded collection.
-        let rows = parse_csv(
-            &std::fs::read_to_string(&files.ground_truth).unwrap(),
-            ',',
-        )
-        .unwrap();
+        let rows = parse_csv(&std::fs::read_to_string(&files.ground_truth).unwrap(), ',').unwrap();
         let gt = GroundTruth::from_original_ids(
             &reloaded,
             rows.iter().skip(1).map(|r| (r[0].as_str(), r[1].as_str())),

@@ -1,7 +1,7 @@
 //! Dataset generators: canonical entities → noisy per-source profiles.
 
-use crate::noise::{corrupt_value, drop_attribute};
 pub use crate::noise::NoiseConfig;
+use crate::noise::{corrupt_value, drop_attribute};
 use crate::vocab;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -90,10 +90,8 @@ impl Domain {
                 // whose integer parts collide with description sizes.
                 let price = pick(vocab::PRICE_POINTS, rng).to_string();
                 // Source 0: terse name, description repeats the full title.
-                let description0 = format!(
-                    "{title} {} {size} inch {spec} display",
-                    filler.join(" ")
-                );
+                let description0 =
+                    format!("{title} {} {size} inch {spec} display", filler.join(" "));
                 let name0 = format!("{brand} {model}");
                 // Source 1: full title; the description repeats the title
                 // plus specs — but is missing entirely for a large share of
@@ -116,7 +114,9 @@ impl Domain {
             }
             Domain::Bibliographic => {
                 let n_title = rng.gen_range(4..8);
-                let title: Vec<&str> = (0..n_title).map(|_| pick(vocab::TOPIC_WORDS, rng)).collect();
+                let title: Vec<&str> = (0..n_title)
+                    .map(|_| pick(vocab::TOPIC_WORDS, rng))
+                    .collect();
                 let n_auth = rng.gen_range(2..5);
                 let authors: Vec<String> = (0..n_auth)
                     .map(|_| {
@@ -137,8 +137,9 @@ impl Domain {
             }
             Domain::Citations => {
                 let n_title = rng.gen_range(4..8);
-                let title: Vec<&str> =
-                    (0..n_title).map(|_| pick(vocab::TOPIC_WORDS, rng)).collect();
+                let title: Vec<&str> = (0..n_title)
+                    .map(|_| pick(vocab::TOPIC_WORDS, rng))
+                    .collect();
                 let title = format!("{} {id}", title.join(" "));
                 let n_auth = rng.gen_range(1..4);
                 let authors: Vec<String> = (0..n_auth)
@@ -170,7 +171,9 @@ impl Domain {
             }
             Domain::Movies => {
                 let n_title = rng.gen_range(2..5);
-                let title: Vec<&str> = (0..n_title).map(|_| pick(vocab::MOVIE_WORDS, rng)).collect();
+                let title: Vec<&str> = (0..n_title)
+                    .map(|_| pick(vocab::MOVIE_WORDS, rng))
+                    .collect();
                 let director = format!(
                     "{}. {}",
                     (b'a' + rng.gen_range(0..26u8)) as char,
@@ -495,10 +498,7 @@ mod tests {
         let b = generate(&config);
         assert_eq!(a.collection.profiles(), b.collection.profiles());
         assert_eq!(a.ground_truth, b.ground_truth);
-        let c = generate(&DatasetConfig {
-            seed: 43,
-            ..config
-        });
+        let c = generate(&DatasetConfig { seed: 43, ..config });
         assert_ne!(a.collection.profiles(), c.collection.profiles());
     }
 
@@ -578,11 +578,11 @@ mod tests {
                 ..DatasetConfig::default()
             });
             assert_eq!(ds.collection.len(), 50, "{}", domain.name());
-            assert!(ds
-                .collection
-                .profiles()
-                .iter()
-                .all(|p| !p.is_blank()), "{}", domain.name());
+            assert!(
+                ds.collection.profiles().iter().all(|p| !p.is_blank()),
+                "{}",
+                domain.name()
+            );
         }
     }
 
@@ -624,11 +624,7 @@ mod tests {
         for p in ds.ground_truth.iter() {
             let a = &ds.collection.get(p.first).original_id;
             let b = &ds.collection.get(p.second).original_id;
-            assert_eq!(
-                a.split('-').next(),
-                b.split('-').next(),
-                "{a} vs {b}"
-            );
+            assert_eq!(a.split('-').next(), b.split('-').next(), "{a} vs {b}");
         }
     }
 

@@ -61,7 +61,10 @@ impl NoiseConfig {
             ("abbreviate", self.abbreviate),
             ("missing_attribute", self.missing_attribute),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} probability {p} out of range");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability {p} out of range"
+            );
         }
     }
 }
@@ -191,7 +194,10 @@ mod tests {
             }
         }
         let ratio = survived as f64 / total as f64;
-        assert!(ratio > 0.6, "only {ratio:.2} of tokens survive default noise");
+        assert!(
+            ratio > 0.6,
+            "only {ratio:.2} of tokens survive default noise"
+        );
     }
 
     #[test]

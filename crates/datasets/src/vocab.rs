@@ -6,20 +6,72 @@
 //! while model numbers keep entities distinguishable.
 
 pub const BRANDS: &[&str] = &[
-    "sony", "samsung", "apple", "canon", "nikon", "bose", "dell", "lenovo", "panasonic", "philips",
-    "jbl", "logitech", "asus", "acer", "garmin", "sandisk", "toshiba", "epson", "brother", "dyson",
+    "sony",
+    "samsung",
+    "apple",
+    "canon",
+    "nikon",
+    "bose",
+    "dell",
+    "lenovo",
+    "panasonic",
+    "philips",
+    "jbl",
+    "logitech",
+    "asus",
+    "acer",
+    "garmin",
+    "sandisk",
+    "toshiba",
+    "epson",
+    "brother",
+    "dyson",
 ];
 
 pub const PRODUCT_TYPES: &[&str] = &[
-    "television", "laptop", "camera", "headphones", "speaker", "printer", "monitor", "router",
-    "keyboard", "mouse", "tablet", "smartphone", "projector", "microwave", "blender", "vacuum",
-    "drive", "charger", "soundbar", "watch",
+    "television",
+    "laptop",
+    "camera",
+    "headphones",
+    "speaker",
+    "printer",
+    "monitor",
+    "router",
+    "keyboard",
+    "mouse",
+    "tablet",
+    "smartphone",
+    "projector",
+    "microwave",
+    "blender",
+    "vacuum",
+    "drive",
+    "charger",
+    "soundbar",
+    "watch",
 ];
 
 pub const ADJECTIVES: &[&str] = &[
-    "wireless", "portable", "compact", "digital", "smart", "premium", "professional", "ultra",
-    "slim", "gaming", "bluetooth", "rechargeable", "waterproof", "ergonomic", "hd", "noise",
-    "cancelling", "stereo", "led", "curved",
+    "wireless",
+    "portable",
+    "compact",
+    "digital",
+    "smart",
+    "premium",
+    "professional",
+    "ultra",
+    "slim",
+    "gaming",
+    "bluetooth",
+    "rechargeable",
+    "waterproof",
+    "ergonomic",
+    "hd",
+    "noise",
+    "cancelling",
+    "stereo",
+    "led",
+    "curved",
 ];
 
 pub const COLORS: &[&str] = &[
@@ -47,22 +99,88 @@ pub const PRICE_POINTS: &[&str] = &[
 ];
 
 pub const DESCRIPTION_FILLER: &[&str] = &[
-    "features", "includes", "designed", "quality", "performance", "battery", "display", "warranty",
-    "lightweight", "powerful", "storage", "connectivity", "resolution", "adjustable", "control",
-    "remote", "system", "technology", "energy", "efficient", "audio", "video", "usb", "wifi",
+    "features",
+    "includes",
+    "designed",
+    "quality",
+    "performance",
+    "battery",
+    "display",
+    "warranty",
+    "lightweight",
+    "powerful",
+    "storage",
+    "connectivity",
+    "resolution",
+    "adjustable",
+    "control",
+    "remote",
+    "system",
+    "technology",
+    "energy",
+    "efficient",
+    "audio",
+    "video",
+    "usb",
+    "wifi",
 ];
 
 pub const SURNAMES: &[&str] = &[
-    "simonini", "gagliardelli", "beneventano", "bergamaschi", "papadakis", "palpanas", "chen",
-    "kumar", "garcia", "mueller", "tanaka", "rossi", "novak", "silva", "jones", "nguyen",
-    "hansen", "kowalski", "dubois", "martin", "lopez", "kim", "patel", "ivanov",
+    "simonini",
+    "gagliardelli",
+    "beneventano",
+    "bergamaschi",
+    "papadakis",
+    "palpanas",
+    "chen",
+    "kumar",
+    "garcia",
+    "mueller",
+    "tanaka",
+    "rossi",
+    "novak",
+    "silva",
+    "jones",
+    "nguyen",
+    "hansen",
+    "kowalski",
+    "dubois",
+    "martin",
+    "lopez",
+    "kim",
+    "patel",
+    "ivanov",
 ];
 
 pub const TOPIC_WORDS: &[&str] = &[
-    "entity", "resolution", "blocking", "distributed", "parallel", "query", "optimization",
-    "learning", "graph", "stream", "index", "schema", "integration", "matching", "clustering",
-    "database", "scalable", "approximate", "semantic", "knowledge", "neural", "transaction",
-    "storage", "privacy", "crowdsourcing", "provenance", "workflow", "benchmark",
+    "entity",
+    "resolution",
+    "blocking",
+    "distributed",
+    "parallel",
+    "query",
+    "optimization",
+    "learning",
+    "graph",
+    "stream",
+    "index",
+    "schema",
+    "integration",
+    "matching",
+    "clustering",
+    "database",
+    "scalable",
+    "approximate",
+    "semantic",
+    "knowledge",
+    "neural",
+    "transaction",
+    "storage",
+    "privacy",
+    "crowdsourcing",
+    "provenance",
+    "workflow",
+    "benchmark",
 ];
 
 pub const VENUES: &[&str] = &[
@@ -70,13 +188,42 @@ pub const VENUES: &[&str] = &[
 ];
 
 pub const MOVIE_WORDS: &[&str] = &[
-    "shadow", "night", "return", "legend", "last", "dark", "city", "dream", "lost", "king",
-    "summer", "winter", "secret", "broken", "silent", "golden", "midnight", "forgotten", "rising",
-    "falling", "crimson", "hidden", "eternal", "savage", "electric",
+    "shadow",
+    "night",
+    "return",
+    "legend",
+    "last",
+    "dark",
+    "city",
+    "dream",
+    "lost",
+    "king",
+    "summer",
+    "winter",
+    "secret",
+    "broken",
+    "silent",
+    "golden",
+    "midnight",
+    "forgotten",
+    "rising",
+    "falling",
+    "crimson",
+    "hidden",
+    "eternal",
+    "savage",
+    "electric",
 ];
 
 pub const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "action", "documentary", "horror", "romance", "scifi",
+    "drama",
+    "comedy",
+    "thriller",
+    "action",
+    "documentary",
+    "horror",
+    "romance",
+    "scifi",
 ];
 
 #[cfg(test)]
@@ -107,7 +254,15 @@ mod tests {
 
     #[test]
     fn no_duplicates_within_pools() {
-        for pool in [BRANDS, PRODUCT_TYPES, SURNAMES, TOPIC_WORDS, SIZES, SPECS, PRICE_POINTS] {
+        for pool in [
+            BRANDS,
+            PRODUCT_TYPES,
+            SURNAMES,
+            TOPIC_WORDS,
+            SIZES,
+            SPECS,
+            PRICE_POINTS,
+        ] {
             let set: std::collections::HashSet<&&str> = pool.iter().collect();
             assert_eq!(set.len(), pool.len());
         }

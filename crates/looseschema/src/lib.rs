@@ -57,4 +57,6 @@ pub use entropy::shannon_entropy;
 pub use keys::loose_schema_keys;
 pub use lsh::{lsh_candidate_pairs, LshConfig};
 pub use minhash::MinHasher;
-pub use partitioning::{partition_attributes, AttributePartition, AttributePartitioning, PartitionId};
+pub use partitioning::{
+    partition_attributes, AttributePartition, AttributePartitioning, PartitionId,
+};

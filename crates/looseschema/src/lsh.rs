@@ -120,7 +120,10 @@ mod tests {
         let (_, sigs) = signatures_of(&token_sets(), 128, 7);
         let config = LshConfig::default();
         let cands = lsh_candidate_pairs(&sigs, &config);
-        assert!(cands.contains(&(0, 1)), "highly similar pair missed: {cands:?}");
+        assert!(
+            cands.contains(&(0, 1)),
+            "highly similar pair missed: {cands:?}"
+        );
         assert!(cands.contains(&(2, 3)));
         assert!(!cands.contains(&(0, 2)), "disjoint pair became a candidate");
         assert!(!cands.contains(&(1, 3)));

@@ -50,7 +50,11 @@ impl MinHasher {
     /// Estimate Jaccard similarity from two signatures.
     pub fn estimate_jaccard(&self, a: &[u64], b: &[u64]) -> f64 {
         assert_eq!(a.len(), b.len(), "signatures must have equal length");
-        assert_eq!(a.len(), self.seeds.len(), "signature from a different hasher");
+        assert_eq!(
+            a.len(),
+            self.seeds.len(),
+            "signature from a different hasher"
+        );
         let matches = a.iter().zip(b).filter(|(x, y)| x == y).count();
         matches as f64 / a.len() as f64
     }
@@ -118,7 +122,10 @@ mod tests {
         let a: Vec<String> = (0..100).map(|i| format!("t{i}")).collect();
         let b: Vec<String> = (50..150).map(|i| format!("t{i}")).collect();
         let est = mh.estimate_jaccard(&mh.signature(a.iter()), &mh.signature(b.iter()));
-        assert!((est - 1.0 / 3.0).abs() < 0.12, "estimate {est} too far from 1/3");
+        assert!(
+            (est - 1.0 / 3.0).abs() < 0.12,
+            "estimate {est} too far from 1/3"
+        );
     }
 
     #[test]

@@ -229,7 +229,8 @@ pub fn partition_attributes(
         }
         for (a, b) in [(i, j), (j, i)] {
             match best[a] {
-                Some((prev, prev_sim)) if (prev_sim, std::cmp::Reverse(prev)) >= (sim, std::cmp::Reverse(b)) => {}
+                Some((prev, prev_sim))
+                    if (prev_sim, std::cmp::Reverse(prev)) >= (sim, std::cmp::Reverse(b)) => {}
                 _ => best[a] = Some((b, sim)),
             }
         }
@@ -298,9 +299,15 @@ mod tests {
     /// Two product sources with aligned-but-renamed attributes.
     fn product_collection() -> ProfileCollection {
         let names = [
-            "sony bravia tv", "samsung galaxy phone", "apple macbook laptop",
-            "dell xps laptop", "lg oled tv", "bose quiet headphones",
-            "canon eos camera", "nikon d5 camera", "sony walkman player",
+            "sony bravia tv",
+            "samsung galaxy phone",
+            "apple macbook laptop",
+            "dell xps laptop",
+            "lg oled tv",
+            "bose quiet headphones",
+            "canon eos camera",
+            "nikon d5 camera",
+            "sony walkman player",
             "jbl charge speaker",
         ];
         let s0: Vec<Profile> = names

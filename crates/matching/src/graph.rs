@@ -164,18 +164,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly sorted")]
     fn unsorted_shards_rejected() {
-        SimilarityGraph::from_sorted_shards(vec![
-            vec![(pair(1, 2), 0.7)],
-            vec![(pair(0, 1), 0.9)],
-        ]);
+        SimilarityGraph::from_sorted_shards(vec![vec![(pair(1, 2), 0.7)], vec![(pair(0, 1), 0.9)]]);
     }
 
     #[test]
     #[should_panic(expected = "strictly sorted")]
     fn duplicate_across_shards_rejected() {
-        SimilarityGraph::from_sorted_shards(vec![
-            vec![(pair(0, 1), 0.7)],
-            vec![(pair(0, 1), 0.9)],
-        ]);
+        SimilarityGraph::from_sorted_shards(vec![vec![(pair(0, 1), 0.7)], vec![(pair(0, 1), 0.9)]]);
     }
 }

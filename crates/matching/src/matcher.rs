@@ -91,11 +91,9 @@ impl SimilarityMeasure {
         scratch: &mut similarity::EditScratch,
     ) -> f64 {
         match self {
-            SimilarityMeasure::Levenshtein => similarity::levenshtein_similarity_with(
-                &a.concatenated,
-                &b.concatenated,
-                scratch,
-            ),
+            SimilarityMeasure::Levenshtein => {
+                similarity::levenshtein_similarity_with(&a.concatenated, &b.concatenated, scratch)
+            }
             _ => self.score_prepared(a, b),
         }
     }
@@ -122,7 +120,11 @@ impl PreparedProfile {
 
     /// Prepare every profile of a collection (index = profile id).
     pub fn prepare_all(collection: &ProfileCollection) -> Vec<PreparedProfile> {
-        collection.profiles().iter().map(PreparedProfile::new).collect()
+        collection
+            .profiles()
+            .iter()
+            .map(PreparedProfile::new)
+            .collect()
     }
 }
 
@@ -240,9 +242,10 @@ impl Matcher for ThresholdMatcher {
         let prepared = PreparedProfile::prepare_all(collection);
         let t = self.threshold;
         SimilarityGraph::new(candidates.into_iter().filter_map(|pair| {
-            let s = self
-                .measure
-                .score_prepared(&prepared[pair.first.index()], &prepared[pair.second.index()]);
+            let s = self.measure.score_prepared(
+                &prepared[pair.first.index()],
+                &prepared[pair.second.index()],
+            );
             (s >= t).then_some((pair, s))
         }))
     }
@@ -389,9 +392,13 @@ impl TfIdfMatcher {
         graph: &Arc<CandidateGraph>,
     ) -> SimilarityGraph {
         let index = ctx.broadcast(self.index.clone());
-        score_candidates_pool(ctx, graph, self.threshold, || (), move |_, a, b| {
-            index.cosine(a, b)
-        })
+        score_candidates_pool(
+            ctx,
+            graph,
+            self.threshold,
+            || (),
+            move |_, a, b| index.cosine(a, b),
+        )
     }
 }
 

@@ -119,9 +119,7 @@ impl PerceptronMatcher {
     /// Match probability of a pair (sigmoid of the linear score).
     pub fn predict_proba(&self, a: &Profile, b: &Profile) -> f64 {
         let f = pair_features(a, b);
-        sigmoid(
-            self.weights.iter().zip(&f).map(|(w, x)| w * x).sum::<f64>() + self.bias,
-        )
+        sigmoid(self.weights.iter().zip(&f).map(|(w, x)| w * x).sum::<f64>() + self.bias)
     }
 
     /// Learned feature weights, index-aligned with [`FEATURE_NAMES`].

@@ -70,12 +70,21 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 /// [`levenshtein`] over caller-provided buffers — identical result, no
 /// allocation once the scratch has grown to the working size.
 pub fn levenshtein_with(a: &str, b: &str, scratch: &mut EditScratch) -> usize {
-    let EditScratch { a: ca, b: cb, prev, curr } = scratch;
+    let EditScratch {
+        a: ca,
+        b: cb,
+        prev,
+        curr,
+    } = scratch;
     ca.clear();
     ca.extend(a.chars());
     cb.clear();
     cb.extend(b.chars());
-    let (short, long) = if ca.len() <= cb.len() { (&*ca, &*cb) } else { (&*cb, &*ca) };
+    let (short, long) = if ca.len() <= cb.len() {
+        (&*ca, &*cb)
+    } else {
+        (&*cb, &*ca)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -265,7 +274,11 @@ mod tests {
             ("same", "same"),
             ("café", "cafe"),
         ] {
-            assert_eq!(levenshtein_with(a, b, &mut scratch), levenshtein(a, b), "{a} vs {b}");
+            assert_eq!(
+                levenshtein_with(a, b, &mut scratch),
+                levenshtein(a, b),
+                "{a} vs {b}"
+            );
         }
     }
 

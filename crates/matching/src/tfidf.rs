@@ -74,7 +74,13 @@ impl TfIdfIndex {
 
         let idf: Vec<f64> = df
             .iter()
-            .map(|&d| if d == 0 { 0.0 } else { (n as f64 / d as f64).ln() })
+            .map(|&d| {
+                if d == 0 {
+                    0.0
+                } else {
+                    (n as f64 / d as f64).ln()
+                }
+            })
             .collect();
         let vectors: Vec<Vec<(u32, f64)>> = tfs
             .into_iter()
@@ -203,7 +209,9 @@ mod tests {
     fn blank_profiles_score_zero() {
         let coll = ProfileCollection::dirty(vec![
             Profile::builder(SourceId(0), "a").build(),
-            Profile::builder(SourceId(0), "b").attr("n", "thing").build(),
+            Profile::builder(SourceId(0), "b")
+                .attr("n", "thing")
+                .build(),
         ]);
         let idx = TfIdfIndex::build(&coll);
         assert_eq!(idx.cosine(ProfileId(0), ProfileId(1)), 0.0);
@@ -222,9 +230,15 @@ mod tests {
     #[test]
     fn repeated_tokens_raise_tf() {
         let coll = ProfileCollection::dirty(vec![
-            Profile::builder(SourceId(0), "a").attr("n", "rare rare rare common").build(),
-            Profile::builder(SourceId(0), "b").attr("n", "rare common").build(),
-            Profile::builder(SourceId(0), "c").attr("n", "common other").build(),
+            Profile::builder(SourceId(0), "a")
+                .attr("n", "rare rare rare common")
+                .build(),
+            Profile::builder(SourceId(0), "b")
+                .attr("n", "rare common")
+                .build(),
+            Profile::builder(SourceId(0), "c")
+                .attr("n", "common other")
+                .build(),
         ]);
         let idx = TfIdfIndex::build(&coll);
         // "rare" (df 2 of 3) carries weight; tf 3 in profile a.

@@ -140,7 +140,10 @@ mod tests {
         let coll = collection();
         let parts = AttributePartitioning::manual(&coll, vec![]);
         let blocks = keyed_blocking(&coll, |p| {
-            p.token_set().into_iter().map(|t| format!("{t}_99")).collect()
+            p.token_set()
+                .into_iter()
+                .map(|t| format!("{t}_99"))
+                .collect()
         });
         let entropies = block_entropies(&blocks, &parts);
         let blob = parts.entropy_of(parts.blob_id());

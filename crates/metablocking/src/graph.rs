@@ -334,9 +334,9 @@ impl BlockGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
     use sparker_blocking::token_blocking;
     use sparker_profiles::{Profile, ProfileCollection, SourceId};
+    use std::collections::HashMap;
 
     pub(crate) fn figure1() -> (ProfileCollection, BlockCollection) {
         let p1 = Profile::builder(SourceId(0), "p1")
@@ -371,13 +371,11 @@ mod tests {
         let (_, blocks) = figure1();
         let g = BlockGraph::new(&blocks, None);
         let n1 = g.neighborhood(ProfileId(0));
-        let weights: HashMap<u32, u32> =
-            n1.iter().map(|(p, a)| (p.0, a.shared_blocks)).collect();
+        let weights: HashMap<u32, u32> = n1.iter().map(|(p, a)| (p.0, a.shared_blocks)).collect();
         assert_eq!(weights[&2], 3);
         assert_eq!(weights[&3], 1);
         let n2 = g.neighborhood(ProfileId(1));
-        let weights: HashMap<u32, u32> =
-            n2.iter().map(|(p, a)| (p.0, a.shared_blocks)).collect();
+        let weights: HashMap<u32, u32> = n2.iter().map(|(p, a)| (p.0, a.shared_blocks)).collect();
         assert_eq!(weights[&2], 2);
         assert_eq!(weights[&3], 2);
     }
@@ -493,7 +491,10 @@ mod tests {
         assert!(g.has_entropies());
         let n1 = g.neighborhood(ProfileId(0));
         let (_, acc) = n1.iter().find(|(p, _)| p.0 == 2).unwrap();
-        assert!((acc.entropy_sum - 1.5).abs() < 1e-12, "3 shared blocks × 0.5");
+        assert!(
+            (acc.entropy_sum - 1.5).abs() < 1e-12,
+            "3 shared blocks × 0.5"
+        );
     }
 
     #[test]

@@ -197,7 +197,13 @@ pub fn meta_blocking_scheduled(
             Scheduling::EqualCount => ds.map_partitions(move |_, nodes| {
                 let mut scratch = b_graph.scratch();
                 let mut weights = Vec::new();
-                vec![run_pass_a(nodes, &mut scratch, &mut weights, &b_graph, &b_stats)]
+                vec![run_pass_a(
+                    nodes,
+                    &mut scratch,
+                    &mut weights,
+                    &b_graph,
+                    &b_stats,
+                )]
             }),
         }
         .collect()
@@ -221,7 +227,7 @@ pub fn meta_blocking_scheduled(
         let b_rule = b_rule.clone();
         let run_pass_b = move |nodes: &[u32],
                                scratch: &mut crate::graph::NeighborhoodScratch|
-         -> Vec<(Pair, f64)> {
+              -> Vec<(Pair, f64)> {
             let mut out = Vec::new();
             for &i in nodes {
                 let node = ProfileId(i);
@@ -318,8 +324,14 @@ mod tests {
     const ALL_PRUNINGS: [PruningStrategy; 5] = [
         PruningStrategy::Wep { factor: 1.0 },
         PruningStrategy::Cep { retain: None },
-        PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
-        PruningStrategy::Cnp { k: None, reciprocal: false },
+        PruningStrategy::Wnp {
+            factor: 1.0,
+            reciprocal: false,
+        },
+        PruningStrategy::Cnp {
+            k: None,
+            reciprocal: false,
+        },
         PruningStrategy::Blast { ratio: 0.35 },
     ];
 

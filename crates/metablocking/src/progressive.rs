@@ -103,7 +103,9 @@ pub fn progressive_node_first(
             })
             .collect();
         edges.sort_by(|(pa, wa), (pb, wb)| {
-            wb.partial_cmp(wa).expect("weights are finite").then(pa.cmp(pb))
+            wb.partial_cmp(wa)
+                .expect("weights are finite")
+                .then(pa.cmp(pb))
         });
         neighborhoods.push(edges);
     }
@@ -111,9 +113,15 @@ pub fn progressive_node_first(
     // Visit nodes by their strongest edge.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        let wa = neighborhoods[a].first().map_or(f64::NEG_INFINITY, |(_, w)| *w);
-        let wb = neighborhoods[b].first().map_or(f64::NEG_INFINITY, |(_, w)| *w);
-        wb.partial_cmp(&wa).expect("weights are finite").then(a.cmp(&b))
+        let wa = neighborhoods[a]
+            .first()
+            .map_or(f64::NEG_INFINITY, |(_, w)| *w);
+        let wb = neighborhoods[b]
+            .first()
+            .map_or(f64::NEG_INFINITY, |(_, w)| *w);
+        wb.partial_cmp(&wa)
+            .expect("weights are finite")
+            .then(a.cmp(&b))
     });
 
     let mut emitted = std::collections::HashSet::new();
@@ -197,7 +205,10 @@ mod tests {
             .map(|(p, _)| (p.first.0, p.second.0))
             .collect();
         for (a, b) in firsts {
-            assert!(a < 3 && b < 3, "non-duplicate pair ({a},{b}) ranked too high");
+            assert!(
+                a < 3 && b < 3,
+                "non-duplicate pair ({a},{b}) ranked too high"
+            );
         }
     }
 
@@ -219,7 +230,10 @@ mod tests {
         let graph = BlockGraph::new(&blocks, None);
         let edges = progressive_node_first(&graph, WeightScheme::Cbs, false);
         let (p, _) = edges[0];
-        assert!(p.first.0 < 3 && p.second.0 < 3, "first emit {p} is not a duplicate");
+        assert!(
+            p.first.0 < 3 && p.second.0 < 3,
+            "first emit {p} is not a duplicate"
+        );
     }
 
     #[test]
@@ -238,7 +252,8 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let blocks = sparker_blocking::BlockCollection::new(sparker_profiles::ErKind::Dirty, vec![]);
+        let blocks =
+            sparker_blocking::BlockCollection::new(sparker_profiles::ErKind::Dirty, vec![]);
         let graph = BlockGraph::new(&blocks, None);
         assert!(progressive_global(&graph, WeightScheme::Cbs, false).is_empty());
         assert!(progressive_node_first(&graph, WeightScheme::Cbs, false).is_empty());

@@ -173,7 +173,11 @@ pub(crate) fn node_pass_single(
     let k = (cnp_k.min(weights.len())).saturating_sub(1);
     let (_, kth, _) =
         weights.select_nth_unstable_by(k, |a, b| b.partial_cmp(a).expect("weights are finite"));
-    NodeStats { mean, max, kth: *kth }
+    NodeStats {
+        mean,
+        max,
+        kth: *kth,
+    }
 }
 
 /// First pass: per-node statistics (and the global weight list when CEP
@@ -225,7 +229,14 @@ fn pass_checksum(node_stats: &[NodeStats], all_weights: &[f64]) -> f64 {
 pub fn node_stats_pass_checksum(graph: &BlockGraph, config: &MetaBlockingConfig) -> f64 {
     let stats = GlobalStats::for_scheme(graph, config.scheme);
     let cnp_k = cnp_budget(config.pruning, graph);
-    let (ns, aw) = node_stats_pass(graph, config.scheme, &stats, config.use_entropy, cnp_k, true);
+    let (ns, aw) = node_stats_pass(
+        graph,
+        config.scheme,
+        &stats,
+        config.use_entropy,
+        cnp_k,
+        true,
+    );
     pass_checksum(&ns, &aw)
 }
 
@@ -567,7 +578,10 @@ mod tests {
         let pruned = meta_blocking(
             &blocks,
             &MetaBlockingConfig {
-                pruning: PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
+                pruning: PruningStrategy::Wnp {
+                    factor: 1.0,
+                    reciprocal: false,
+                },
                 ..MetaBlockingConfig::default()
             },
         );
@@ -596,8 +610,7 @@ mod tests {
         let union = run(false);
         let inter = run(true);
         // Reciprocal retains a subset of the redefined (union) variant.
-        let union_pairs: std::collections::HashSet<Pair> =
-            union.iter().map(|(p, _)| *p).collect();
+        let union_pairs: std::collections::HashSet<Pair> = union.iter().map(|(p, _)| *p).collect();
         for (p, _) in &inter {
             assert!(union_pairs.contains(p));
         }
@@ -613,7 +626,10 @@ mod tests {
         let pruned = meta_blocking(
             &blocks,
             &MetaBlockingConfig {
-                pruning: PruningStrategy::Cnp { k: Some(1), reciprocal: false },
+                pruning: PruningStrategy::Cnp {
+                    k: Some(1),
+                    reciprocal: false,
+                },
                 ..MetaBlockingConfig::default()
             },
         );
@@ -649,8 +665,14 @@ mod tests {
         for pruning in [
             PruningStrategy::Wep { factor: 1.0 },
             PruningStrategy::Cep { retain: None },
-            PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
-            PruningStrategy::Cnp { k: None, reciprocal: false },
+            PruningStrategy::Wnp {
+                factor: 1.0,
+                reciprocal: false,
+            },
+            PruningStrategy::Cnp {
+                k: None,
+                reciprocal: false,
+            },
             PruningStrategy::Blast { ratio: 0.35 },
         ] {
             let out = meta_blocking(
@@ -689,8 +711,14 @@ mod tests {
             for pruning in [
                 PruningStrategy::Wep { factor: 1.0 },
                 PruningStrategy::Cep { retain: None },
-                PruningStrategy::Wnp { factor: 1.0, reciprocal: false },
-                PruningStrategy::Cnp { k: None, reciprocal: false },
+                PruningStrategy::Wnp {
+                    factor: 1.0,
+                    reciprocal: false,
+                },
+                PruningStrategy::Cnp {
+                    k: None,
+                    reciprocal: false,
+                },
                 PruningStrategy::Blast { ratio: 0.35 },
             ] {
                 let out = meta_blocking_graph(
@@ -742,7 +770,10 @@ mod tests {
         let graph = BlockGraph::new(&token_blocking(&coll), None);
         for scheme in WeightScheme::ALL {
             for pruning in [
-                PruningStrategy::Cnp { k: None, reciprocal: false },
+                PruningStrategy::Cnp {
+                    k: None,
+                    reciprocal: false,
+                },
                 PruningStrategy::Wep { factor: 1.0 },
             ] {
                 let config = MetaBlockingConfig {
@@ -781,6 +812,8 @@ mod tests {
         let c = MetaBlockingConfig::blast();
         assert_eq!(c.scheme, WeightScheme::ChiSquare);
         assert!(c.use_entropy);
-        assert!(matches!(c.pruning, PruningStrategy::Blast { ratio } if (ratio - 0.35).abs() < 1e-12));
+        assert!(
+            matches!(c.pruning, PruningStrategy::Blast { ratio } if (ratio - 0.35).abs() < 1e-12)
+        );
     }
 }

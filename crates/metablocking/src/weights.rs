@@ -146,9 +146,7 @@ impl WeightScheme {
                     * (nb / (blocks_a.max(1)) as f64).ln().max(0.0)
                     * (nb / (blocks_b.max(1)) as f64).ln().max(0.0)
             }
-            WeightScheme::Js => {
-                shared / (blocks_a as f64 + blocks_b as f64 - shared)
-            }
+            WeightScheme::Js => shared / (blocks_a as f64 + blocks_b as f64 - shared),
             WeightScheme::Ejs => {
                 let js = shared / (blocks_a as f64 + blocks_b as f64 - shared);
                 let e = stats.num_edges.max(1) as f64;
@@ -186,12 +184,7 @@ fn chi_square_2x2(n11: f64, n10: f64, n01: f64, n00: f64) -> f64 {
     let c1 = n11 + n01;
     let c0 = n10 + n00;
     let mut chi = 0.0;
-    for (observed, row, col) in [
-        (n11, r1, c1),
-        (n10, r1, c0),
-        (n01, r0, c1),
-        (n00, r0, c0),
-    ] {
+    for (observed, row, col) in [(n11, r1, c1), (n10, r1, c0), (n01, r0, c1), (n00, r0, c0)] {
         let expected = row * col / total;
         if expected > 0.0 {
             let d = observed - expected;
@@ -221,30 +214,54 @@ mod tests {
         }
     }
 
-    fn w(scheme: WeightScheme, a: &EdgeAccumulator, ba: usize, bb: usize, s: &GlobalStats, ent: bool) -> f64 {
+    fn w(
+        scheme: WeightScheme,
+        a: &EdgeAccumulator,
+        ba: usize,
+        bb: usize,
+        s: &GlobalStats,
+        ent: bool,
+    ) -> f64 {
         scheme.weight(ProfileId(0), ProfileId(2), a, ba, bb, s, ent)
     }
 
     #[test]
     fn cbs_counts_shared_blocks() {
-        assert_eq!(w(WeightScheme::Cbs, &acc(3, 1.5, 1.2), 4, 4, &stats(5), false), 3.0);
+        assert_eq!(
+            w(WeightScheme::Cbs, &acc(3, 1.5, 1.2), 4, 4, &stats(5), false),
+            3.0
+        );
     }
 
     #[test]
     fn cbs_with_entropy_sums_entropies() {
         // Figure 2(c): w(p1,p3) = 0.4 + 0.8 + 0.4 = 1.6.
-        assert!((w(WeightScheme::Cbs, &acc(3, 1.5, 1.6), 4, 4, &stats(5), true) - 1.6).abs() < 1e-12);
+        assert!(
+            (w(WeightScheme::Cbs, &acc(3, 1.5, 1.6), 4, 4, &stats(5), true) - 1.6).abs() < 1e-12
+        );
     }
 
     #[test]
     fn js_is_jaccard_of_block_sets() {
         // 3 shared, 4+4 total → 3/5.
-        assert!((w(WeightScheme::Js, &acc(3, 0.0, 0.0), 4, 4, &stats(5), false) - 0.6).abs() < 1e-12);
+        assert!(
+            (w(WeightScheme::Js, &acc(3, 0.0, 0.0), 4, 4, &stats(5), false) - 0.6).abs() < 1e-12
+        );
     }
 
     #[test]
     fn arcs_passes_through_accumulator() {
-        assert_eq!(w(WeightScheme::Arcs, &acc(2, 0.75, 0.0), 4, 4, &stats(5), false), 0.75);
+        assert_eq!(
+            w(
+                WeightScheme::Arcs,
+                &acc(2, 0.75, 0.0),
+                4,
+                4,
+                &stats(5),
+                false
+            ),
+            0.75
+        );
     }
 
     #[test]
@@ -287,8 +304,22 @@ mod tests {
     fn chi_square_detects_association() {
         // Perfect co-occurrence vs independence.
         let s = stats(100);
-        let associated = w(WeightScheme::ChiSquare, &acc(10, 0.0, 0.0), 10, 10, &s, false);
-        let independent = w(WeightScheme::ChiSquare, &acc(1, 0.0, 0.0), 10, 10, &s, false);
+        let associated = w(
+            WeightScheme::ChiSquare,
+            &acc(10, 0.0, 0.0),
+            10,
+            10,
+            &s,
+            false,
+        );
+        let independent = w(
+            WeightScheme::ChiSquare,
+            &acc(1, 0.0, 0.0),
+            10,
+            10,
+            &s,
+            false,
+        );
         assert!(associated > independent);
         assert!(associated > 0.0);
     }

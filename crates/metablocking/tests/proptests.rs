@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use sparker_blocking::token_blocking;
 use sparker_dataflow::Context;
 use sparker_metablocking::{
-    meta_blocking_graph, parallel, BlockEntropies, BlockGraph, MetaBlockingConfig,
-    PruningStrategy, Scheduling, WeightScheme,
+    meta_blocking_graph, parallel, BlockEntropies, BlockGraph, MetaBlockingConfig, PruningStrategy,
+    Scheduling, WeightScheme,
 };
 use sparker_profiles::{Pair, Profile, ProfileCollection, SourceId};
 use std::collections::HashSet;
@@ -227,14 +227,24 @@ fn full_matrix_scheduling_parity_at_1_2_8_workers() {
     let prunings = [
         PruningStrategy::Wep { factor: 1.0 },
         PruningStrategy::Cep { retain: Some(25) },
-        PruningStrategy::Wnp { factor: 1.0, reciprocal: true },
-        PruningStrategy::Cnp { k: Some(3), reciprocal: false },
+        PruningStrategy::Wnp {
+            factor: 1.0,
+            reciprocal: true,
+        },
+        PruningStrategy::Cnp {
+            k: Some(3),
+            reciprocal: false,
+        },
         PruningStrategy::Blast { ratio: 0.35 },
     ];
     for graph in [make(true), make(false)] {
         for scheme in WeightScheme::ALL {
             for pruning in prunings {
-                let config = MetaBlockingConfig { scheme, pruning, use_entropy: false };
+                let config = MetaBlockingConfig {
+                    scheme,
+                    pruning,
+                    use_entropy: false,
+                };
                 let seq = meta_blocking_graph(&graph, &config);
                 for workers in [1usize, 2, 8] {
                     let ctx = Context::new(workers);

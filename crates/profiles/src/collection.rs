@@ -156,7 +156,9 @@ mod tests {
     use super::*;
 
     fn profile(oid: &str, name: &str) -> Profile {
-        Profile::builder(SourceId(0), oid).attr("name", name).build()
+        Profile::builder(SourceId(0), oid)
+            .attr("name", name)
+            .build()
     }
 
     #[test]
@@ -196,12 +198,16 @@ mod tests {
         );
         assert!(!cc.is_comparable(ProfileId(0), ProfileId(1)), "same source");
         assert!(cc.is_comparable(ProfileId(0), ProfileId(2)));
-        assert!(cc.is_comparable(ProfileId(2), ProfileId(1)), "order-insensitive");
+        assert!(
+            cc.is_comparable(ProfileId(2), ProfileId(1)),
+            "order-insensitive"
+        );
     }
 
     #[test]
     fn comparable_pairs_counts() {
-        let dirty = ProfileCollection::dirty((0..10).map(|i| profile(&i.to_string(), "v")).collect());
+        let dirty =
+            ProfileCollection::dirty((0..10).map(|i| profile(&i.to_string(), "v")).collect());
         assert_eq!(dirty.comparable_pairs(), 45);
         let cc = ProfileCollection::clean_clean(
             (0..4).map(|i| profile(&i.to_string(), "v")).collect(),
@@ -227,7 +233,9 @@ mod tests {
             .attr("name", "x")
             .attr("price", "1")
             .build()];
-        let s1 = vec![Profile::builder(SourceId(0), "b").attr("title", "y").build()];
+        let s1 = vec![Profile::builder(SourceId(0), "b")
+            .attr("title", "y")
+            .build()];
         let cc = ProfileCollection::clean_clean(s0, s1);
         let names = cc.attribute_names();
         assert_eq!(

@@ -125,7 +125,11 @@ pub fn write_csv(rows: &[Vec<String>], separator: char) -> String {
 /// Load profiles from CSV text: each row becomes one profile, each non-id
 /// column an attribute (header names, or `col0`, `col1`, … without a
 /// header). Empty cells are skipped.
-pub fn profiles_from_csv(text: &str, source: SourceId, options: &CsvOptions) -> Result<Vec<Profile>> {
+pub fn profiles_from_csv(
+    text: &str,
+    source: SourceId,
+    options: &CsvOptions,
+) -> Result<Vec<Profile>> {
     let rows = parse_csv(text, options.separator)?;
     let mut it = rows.into_iter();
     let header: Option<Vec<String>> = if options.has_header { it.next() } else { None };
@@ -227,7 +231,10 @@ mod tests {
         assert_eq!(ps[0].original_id, "abt-1");
         assert_eq!(ps[0].value_of("name"), Some("Sony TV"));
         assert_eq!(ps[0].value_of("price"), Some("699"));
-        assert!(ps[0].value_of("id").is_none(), "id column is not an attribute");
+        assert!(
+            ps[0].value_of("id").is_none(),
+            "id column is not an attribute"
+        );
         assert!(ps[1].is_blank(), "empty cells skipped");
     }
 

@@ -184,12 +184,7 @@ impl TokenDict {
 
     /// [`TokenDict::token_ids`] into reusable buffers (`out` is cleared
     /// first) — the allocation-free loop shape interned blocking uses.
-    pub fn token_ids_into(
-        &self,
-        profile: &Profile,
-        scratch: &mut String,
-        out: &mut Vec<TokenId>,
-    ) {
+    pub fn token_ids_into(&self, profile: &Profile, scratch: &mut String, out: &mut Vec<TokenId>) {
         out.clear();
         for a in &profile.attributes {
             each_token(&a.value, scratch, |t| {
@@ -322,7 +317,10 @@ mod tests {
             let ids = dict.token_ids(p);
             let strings: Vec<&str> = ids.iter().map(|&i| dict.resolve(i)).collect();
             let expected: Vec<Token> = p.token_set().into_iter().collect();
-            assert_eq!(strings, expected.iter().map(String::as_str).collect::<Vec<_>>());
+            assert_eq!(
+                strings,
+                expected.iter().map(String::as_str).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -118,7 +118,12 @@ impl GroundTruth {
 
     /// All true matches involving `id`.
     pub fn matches_of(&self, id: ProfileId) -> Vec<Pair> {
-        let mut out: Vec<Pair> = self.matches.iter().filter(|p| p.contains(id)).copied().collect();
+        let mut out: Vec<Pair> = self
+            .matches
+            .iter()
+            .filter(|p| p.contains(id))
+            .copied()
+            .collect();
         out.sort();
         out
     }
@@ -166,8 +171,12 @@ mod tests {
     #[test]
     fn resolves_original_ids() {
         let coll = ProfileCollection::clean_clean(
-            vec![Profile::builder(SourceId(0), "abt-1").attr("n", "x").build()],
-            vec![Profile::builder(SourceId(1), "buy-9").attr("n", "x").build()],
+            vec![Profile::builder(SourceId(0), "abt-1")
+                .attr("n", "x")
+                .build()],
+            vec![Profile::builder(SourceId(1), "buy-9")
+                .attr("n", "x")
+                .build()],
         );
         let gt = GroundTruth::from_original_ids(&coll, vec![("abt-1", "buy-9")]).unwrap();
         assert_eq!(gt.len(), 1);

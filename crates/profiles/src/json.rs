@@ -269,8 +269,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined).ok_or_else(|| self.err("bad codepoint"))?
                             } else {
                                 char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?
@@ -402,7 +401,9 @@ mod tests {
         let v = parse_json(r#"{"a":[1,{"b":null}],"c":"x"}"#).unwrap();
         let JsonValue::Object(map) = &v else { panic!() };
         assert_eq!(map.len(), 2);
-        let JsonValue::Array(items) = &map["a"] else { panic!() };
+        let JsonValue::Array(items) = &map["a"] else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
     }
 
@@ -410,7 +411,10 @@ mod tests {
     fn string_escapes_roundtrip() {
         let input = r#""line\nbreak \"quoted\" tab\t back\\slash""#;
         let v = parse_json(input).unwrap();
-        assert_eq!(v.as_str().unwrap(), "line\nbreak \"quoted\" tab\t back\\slash");
+        assert_eq!(
+            v.as_str().unwrap(),
+            "line\nbreak \"quoted\" tab\t back\\slash"
+        );
         // Display re-escapes; reparsing gives the same value.
         assert_eq!(parse_json(&v.to_string()).unwrap(), v);
     }
@@ -418,10 +422,7 @@ mod tests {
     #[test]
     fn unicode_escapes_incl_surrogates() {
         assert_eq!(parse_json(r#""é""#).unwrap().as_str().unwrap(), "é");
-        assert_eq!(
-            parse_json(r#""😀""#).unwrap().as_str().unwrap(),
-            "😀"
-        );
+        assert_eq!(parse_json(r#""😀""#).unwrap().as_str().unwrap(), "😀");
         assert!(parse_json(r#""\ud83d""#).is_err(), "unpaired surrogate");
     }
 
@@ -470,7 +471,10 @@ mod tests {
         assert_eq!(ps[0].original_id, "b1");
         let authors: Vec<&str> = ps[0].values_of("authors").collect();
         assert_eq!(authors, vec!["Simonini", "Bergamaschi"]);
-        assert_eq!(ps[1].original_id, "2", "missing id falls back to line number");
+        assert_eq!(
+            ps[1].original_id, "2",
+            "missing id falls back to line number"
+        );
         assert_eq!(ps[1].value_of("year"), Some("2017"));
     }
 

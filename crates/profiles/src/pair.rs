@@ -22,9 +22,15 @@ impl Pair {
     pub fn new(a: ProfileId, b: ProfileId) -> Self {
         assert_ne!(a, b, "a pair requires two distinct profiles");
         if a < b {
-            Pair { first: a, second: b }
+            Pair {
+                first: a,
+                second: b,
+            }
         } else {
-            Pair { first: b, second: a }
+            Pair {
+                first: b,
+                second: a,
+            }
         }
     }
 
@@ -82,6 +88,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Pair::new(ProfileId(1), ProfileId(2)).to_string(), "(p1, p2)");
+        assert_eq!(
+            Pair::new(ProfileId(1), ProfileId(2)).to_string(),
+            "(p1, p2)"
+        );
     }
 }

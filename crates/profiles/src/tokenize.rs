@@ -116,10 +116,7 @@ pub fn ngrams(text: &str, n: usize) -> Vec<String> {
     if normalized.len() <= n {
         return vec![normalized.into_iter().collect()];
     }
-    normalized
-        .windows(n)
-        .map(|w| w.iter().collect())
-        .collect()
+    normalized.windows(n).map(|w| w.iter().collect()).collect()
 }
 
 #[cfg(test)]

@@ -14,8 +14,8 @@
 use sparker::datasets::{generate_dirty, DatasetConfig, Domain};
 use sparker::{PairQuality, Pipeline, PipelineConfig};
 use sparker_core::clustering::connected_components;
-use sparker_core::matching::{Matcher, PerceptronMatcher, ThresholdMatcher, TrainConfig};
 use sparker_core::matching::SimilarityMeasure;
+use sparker_core::matching::{Matcher, PerceptronMatcher, ThresholdMatcher, TrainConfig};
 use sparker_core::profiles::Pair;
 
 fn main() {

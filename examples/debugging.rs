@@ -12,8 +12,7 @@
 
 use sparker::datasets::{generate, DatasetConfig, Domain};
 use sparker::{
-    representative_sample, threshold_sweep, LostPairsReport, Pipeline, PipelineConfig,
-    SampleConfig,
+    representative_sample, threshold_sweep, LostPairsReport, Pipeline, PipelineConfig, SampleConfig,
 };
 use sparker_core::profiles::{GroundTruth, Pair, ProfileCollection};
 use std::collections::HashSet;
@@ -67,11 +66,9 @@ fn main() {
             )
         })
         .collect();
-    let sample_gt = GroundTruth::from_original_ids(
-        &sample,
-        kept.iter().map(|(a, b)| (a.as_str(), b.as_str())),
-    )
-    .expect("sampled ids resolve");
+    let sample_gt =
+        GroundTruth::from_original_ids(&sample, kept.iter().map(|(a, b)| (a.as_str(), b.as_str())))
+            .expect("sampled ids resolve");
     println!(
         "sample: {} profiles, {} matches ({}x smaller)\n",
         sample.len(),

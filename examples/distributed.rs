@@ -1,22 +1,21 @@
-//! The distributed mode: the whole pipeline on the dataflow engine.
+//! The distributed mode: one pipeline, three execution backends.
 //!
 //! SparkER's reason to exist is scaling ER on a cluster; this example runs
-//! the same pipeline three times — on the sequential driver, entirely as
-//! engine stages (dataflow blocking, dataflow filtering, broadcast-join
-//! meta-blocking, broadcast matching, label-propagation connected
-//! components), and as the morsel-driven pool pipeline
-//! (`run_pipeline_parallel`: CSR candidate streaming + per-worker
-//! union–find) — asserts the results are identical, and prints the
-//! engine's per-stage accounting: the tasks/shuffle-volume numbers that
-//! determine cluster cost.
+//! the *same* unified driver (`Pipeline::run_on`) once per
+//! `ExecutionBackend` — sequential driver loops, the shuffle-based
+//! dataflow engine (broadcast-join meta-blocking, label-propagation
+//! connected components) and the morsel-driven pool (CSR candidate
+//! streaming + per-worker union–find) — asserts the results are
+//! identical, prints each run's per-stage `PipelineReport` table, and
+//! dumps the engine's per-stage accounting: the tasks/shuffle-volume
+//! numbers that determine cluster cost.
 //!
 //! ```text
 //! cargo run --release --example distributed
 //! ```
 
 use sparker::datasets::{generate, DatasetConfig, Domain};
-use sparker::{Pipeline, PipelineConfig};
-use sparker_core::dataflow::Context;
+use sparker::{ExecutionBackend, Pipeline, PipelineConfig};
 
 fn main() {
     let ds = generate(&DatasetConfig {
@@ -28,52 +27,53 @@ fn main() {
     });
     let pipeline = Pipeline::new(PipelineConfig::default());
 
-    // Sequential driver.
-    let seq = pipeline.run(&ds.collection);
-    println!(
-        "sequential: blocking {:.1?}, candidates {:.1?}, matching {:.1?}, clustering {:.1?}",
-        seq.timings.blocking, seq.timings.candidates, seq.timings.matching, seq.timings.clustering
-    );
-
-    // Dataflow engine.
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let ctx = Context::new(workers);
-    let par = pipeline.run_dataflow(&ctx, &ds.collection);
-    println!(
-        "dataflow ({workers} workers): blocking {:.1?}, candidates {:.1?}, matching {:.1?}, clustering {:.1?}",
-        par.timings.blocking, par.timings.candidates, par.timings.matching, par.timings.clustering
-    );
+    let backends = [
+        ExecutionBackend::Sequential,
+        ExecutionBackend::dataflow(workers),
+        ExecutionBackend::pool(workers),
+    ];
 
-    // Morsel-driven pool pipeline: candidates streamed out of the CSR
-    // candidate graph, per-worker union-find clustering.
-    let pool = pipeline.run_pipeline_parallel(&ctx, &ds.collection);
-    println!(
-        "pool ({workers} workers): blocking {:.1?}, candidates {:.1?}, matching {:.1?}, clustering {:.1?}",
-        pool.timings.blocking, pool.timings.candidates, pool.timings.matching, pool.timings.clustering
-    );
+    let mut results = Vec::new();
+    for backend in &backends {
+        let result = pipeline.run_on(backend, &ds.collection);
+        println!(
+            "--- {} ({} worker{}) ---",
+            backend.name(),
+            backend.workers(),
+            if backend.workers() == 1 { "" } else { "s" },
+        );
+        print!("{}", result.report.render_table());
+        println!();
+        results.push(result);
+    }
 
-    // The defining property: identical results from all three modes.
-    assert_eq!(seq.blocker.candidates, par.blocker.candidates);
-    assert_eq!(seq.similarity, par.similarity);
-    assert_eq!(seq.clusters, par.clusters);
+    // The defining property: identical results from all three backends.
+    let [seq, df, pool] = &results[..] else {
+        unreachable!()
+    };
+    assert_eq!(seq.blocker.candidates, df.blocker.candidates);
+    assert_eq!(seq.similarity, df.similarity);
+    assert_eq!(seq.clusters, df.clusters);
     assert_eq!(seq.similarity, pool.similarity);
     assert_eq!(seq.clusters, pool.clusters);
     println!(
-        "\nresults identical: {} candidates, {} matches, {} entities\n",
-        par.blocker.candidates.len(),
-        par.similarity.len(),
-        par.clusters.num_clusters()
+        "results identical: {} candidates, {} matches, {} entities\n",
+        df.blocker.candidates.len(),
+        df.similarity.len(),
+        df.clusters.num_clusters()
     );
 
-    // Engine accounting: what a Spark UI would show.
-    let snap = ctx.metrics();
+    // Engine accounting of the pool run: what a Spark UI would show. The
+    // `pipeline/...` rows are the driver's stage-scope markers.
+    let snap = backends[2].context().unwrap().metrics();
     println!(
-        "{:<18} {:>6} {:>12} {:>12} {:>10}",
+        "{:<24} {:>6} {:>12} {:>12} {:>10}",
         "stage", "tasks", "in-records", "out-records", "shuffled"
     );
     for s in &snap.stages {
         println!(
-            "{:<18} {:>6} {:>12} {:>12} {:>10}",
+            "{:<24} {:>6} {:>12} {:>12} {:>10}",
             s.name, s.tasks, s.input_records, s.output_records, s.shuffle_records
         );
     }
@@ -84,7 +84,7 @@ fn main() {
         snap.broadcasts,
         snap.total_shuffle_records()
     );
-    let eval = par.evaluate(&ds.ground_truth);
+    let eval = pool.evaluate(&ds.ground_truth);
     println!(
         "quality: blocking recall {:.4}, cluster F1 {:.4}",
         eval.blocking.recall, eval.clustering.f1

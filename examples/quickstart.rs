@@ -52,7 +52,10 @@ fn main() {
 
     // 3. Per-step evaluation, exactly what the paper's GUI displays.
     let eval = result.evaluate(&ds.ground_truth);
-    println!("\n{:<12} {:>8} {:>10} {:>10}", "step", "recall", "precision", "F1/RR");
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>10}",
+        "step", "recall", "precision", "F1/RR"
+    );
     println!(
         "{:<12} {:>8.4} {:>10.4} {:>10.4}",
         "blocking", eval.blocking.recall, eval.blocking.precision, eval.blocking.reduction_ratio

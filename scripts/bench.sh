@@ -19,5 +19,9 @@ fi
 root="$PWD"
 for bench in "${benches[@]}"; do
   echo "==> cargo bench -p sparker-bench --bench ${bench}  (-> BENCH_${bench}.json)"
-  BENCH_JSON="${root}/BENCH_${bench}.json" cargo bench -p sparker-bench --bench "${bench}"
+  # The pipeline bench additionally dumps the structured per-stage
+  # PipelineReport of one run per execution backend (schema in README.md).
+  BENCH_JSON="${root}/BENCH_${bench}.json" \
+    PIPELINE_REPORT_JSON="${root}/BENCH_pipeline_reports.json" \
+    cargo bench -p sparker-bench --bench "${bench}"
 done

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: release build, full test suite, clippy with warnings
-# denied. Run from the repo root: scripts/ci.sh
+# Tier-1 CI gate: formatting, release build, full test suite, clippy and
+# rustdoc with warnings denied, bench smoke, end-to-end pipeline smoke and
+# a CLI backend-matrix smoke. Run from the repo root: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -13,6 +17,9 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 # Smoke-execute every bench body (1 sample, no warmup, no JSON dump) so
 # bench-only code paths can't rot between full scripts/bench.sh runs.
 for bench in blocking dataflow metablocking pipeline; do
@@ -20,9 +27,25 @@ for bench in blocking dataflow metablocking pipeline; do
   BENCH_SMOKE=1 cargo bench -p sparker-bench --bench "${bench}" > /dev/null
 done
 
-# End-to-end pipeline smoke: pool-parallel run (2 workers) must match the
-# sequential pipeline bit for bit (clusters and F1).
+# End-to-end pipeline smoke: every execution backend (2 workers) must match
+# the sequential pipeline bit for bit (clusters and evaluation).
 echo "==> cargo run --release -p sparker-bench --bin smoke_pipeline"
 cargo run -q --release -p sparker-bench --bin smoke_pipeline
+
+# CLI backend-matrix smoke: the sparker binary must report identical result
+# counts on all three backends.
+echo "==> sparker --demo --backend {sequential,dataflow,pool}"
+counts=""
+for backend in sequential dataflow pool; do
+  out="$(cargo run -q --release --bin sparker -- --demo --backend "${backend}" --workers 2)"
+  line="$(printf '%s\n' "${out}" | grep '^result counts:')"
+  echo "    ${backend}: ${line#result counts: }"
+  if [ -z "${counts}" ]; then
+    counts="${line}"
+  elif [ "${counts}" != "${line}" ]; then
+    echo "backend ${backend} disagrees: '${line}' != '${counts}'" >&2
+    exit 1
+  fi
+done
 
 echo "CI OK"

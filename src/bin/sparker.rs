@@ -19,7 +19,7 @@ use sparker::profiles::{
     parse_csv, profiles_from_csv, profiles_from_json_lines, write_csv, CsvOptions, GroundTruth,
     Profile, ProfileCollection, SourceId,
 };
-use sparker::{LostPairsReport, Pipeline, PipelineConfig};
+use sparker::{ExecutionBackend, LostPairsReport, Pipeline, PipelineConfig};
 use std::process::ExitCode;
 
 #[derive(Default)]
@@ -32,6 +32,7 @@ struct Args {
     id_column: String,
     demo: bool,
     show_lost: bool,
+    backend: Option<String>,
     workers: Option<usize>,
 }
 
@@ -50,8 +51,10 @@ OPTIONS:
                            (PipelineConfig::to_config_string); default config otherwise.
     --output <file>        Write resolved entities as CSV (entity_id,source,original_id).
     --id-column <name>     CSV column holding record ids (default: id).
-    --workers <n>          Run the fully distributed pipeline on the dataflow
-                           engine with n workers (default: sequential driver).
+    --backend <name>       Execution backend: sequential, dataflow, or pool
+                           (default: pool). All backends produce identical results.
+    --workers <n>          Worker count for the dataflow/pool backends
+                           (default: available parallelism).
     --show-lost            With a ground truth: print the blocking false-positive
                            drill-down (lost pairs and their shared keys).
     --demo                 Run on a generated Abt-Buy-shaped dataset instead of files.
@@ -65,10 +68,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--source-a" => args.source_a = Some(value("--source-a")?),
             "--source-b" => args.source_b = Some(value("--source-b")?),
@@ -76,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
             "--config" => args.config = Some(value("--config")?),
             "--output" => args.output = Some(value("--output")?),
             "--id-column" => args.id_column = value("--id-column")?,
+            "--backend" => args.backend = Some(value("--backend")?),
             "--workers" => {
                 let v = value("--workers")?;
                 args.workers = Some(
@@ -130,6 +131,12 @@ fn load_ground_truth(path: &str, collection: &ProfileCollection) -> Result<Groun
 fn run() -> Result<(), String> {
     let args = parse_args()?;
 
+    // Backend selection (validated before any data is loaded).
+    let workers = args
+        .workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+    let backend = ExecutionBackend::parse(args.backend.as_deref().unwrap_or("pool"), workers)?;
+
     // Data.
     let (collection, ground_truth) = if args.demo {
         let ds = generate(&DatasetConfig {
@@ -140,7 +147,11 @@ fn run() -> Result<(), String> {
         println!("demo mode: generated Abt-Buy-shaped dataset");
         (ds.collection, Some(ds.ground_truth))
     } else {
-        let a = load_source(args.source_a.as_ref().unwrap(), SourceId(0), &args.id_column)?;
+        let a = load_source(
+            args.source_a.as_ref().unwrap(),
+            SourceId(0),
+            &args.id_column,
+        )?;
         let collection = match &args.source_b {
             Some(b) => {
                 let b = load_source(b, SourceId(1), &args.id_column)?;
@@ -165,36 +176,31 @@ fn run() -> Result<(), String> {
     // Configuration.
     let config = match &args.config {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             PipelineConfig::from_config_string(&text).map_err(|e| e.to_string())?
         }
         None => PipelineConfig::default(),
     };
 
-    // Run (sequential driver, or the dataflow engine when --workers given).
+    // Run on the selected backend (default: the pool engine).
     let pipeline = Pipeline::new(config);
-    let result = match args.workers {
-        Some(workers) => {
-            let ctx = sparker::dataflow::Context::new(workers);
-            let result = pipeline.run_dataflow(&ctx, &collection);
-            let snap = ctx.metrics();
-            println!(
-                "dataflow engine: {} workers, {} stages, {} tasks, {} shuffled records",
-                ctx.workers(),
-                snap.stages.len(),
-                snap.total_tasks(),
-                snap.total_shuffle_records(),
-            );
-            result
-        }
-        None => pipeline.run(&collection),
-    };
+    let result = pipeline.run_on(&backend, &collection);
+
+    if let Some(ctx) = backend.context() {
+        let snap = ctx.metrics();
+        println!(
+            "{} engine: {} workers, {} stages, {} tasks, {} shuffled records",
+            backend.name(),
+            ctx.workers(),
+            snap.stages.len(),
+            snap.total_tasks(),
+            snap.total_shuffle_records(),
+        );
+    }
+    print!("{}", result.report.render_table());
     println!(
         "blocker: {} blocks -> {} cleaned ({:.1?})",
-        result.blocker.initial_blocks,
-        result.blocker.cleaned_blocks,
-        result.timings.blocking,
+        result.blocker.initial_blocks, result.blocker.cleaned_blocks, result.timings.blocking,
     );
     println!(
         "candidates: {} pairs ({:.1?})",
@@ -211,6 +217,12 @@ fn run() -> Result<(), String> {
         result.clusters.num_clusters(),
         result.clusters.non_trivial_clusters().len(),
         result.timings.clustering,
+    );
+    println!(
+        "result counts: candidates={} matches={} entities={}",
+        result.blocker.candidates.len(),
+        result.similarity.len(),
+        result.clusters.num_clusters(),
     );
 
     // Evaluation.
@@ -260,8 +272,7 @@ fn run() -> Result<(), String> {
                 ]);
             }
         }
-        std::fs::write(path, write_csv(&rows, ','))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(path, write_csv(&rows, ',')).map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nwrote {} entity rows to {path}", rows.len() - 1);
     }
     Ok(())

@@ -36,14 +36,22 @@ fn clean_clean_csv_run_with_ground_truth_and_output() {
 
     let result = sparker()
         .args([
-            "--source-a", &a,
-            "--source-b", &b,
-            "--ground-truth", &gt,
-            "--output", out.to_str().unwrap(),
+            "--source-a",
+            &a,
+            "--source-b",
+            &b,
+            "--ground-truth",
+            &gt,
+            "--output",
+            out.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    assert!(
+        result.status.success(),
+        "{}",
+        String::from_utf8_lossy(&result.stderr)
+    );
     let stdout = String::from_utf8_lossy(&result.stdout);
     assert!(stdout.contains("loaded 4 profiles"), "{stdout}");
     assert!(stdout.contains("clustering recall 1.0000"), "{stdout}");
@@ -75,7 +83,11 @@ fn dirty_jsonl_run() {
         ),
     );
     let result = sparker().args(["--source-a", &src]).output().unwrap();
-    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    assert!(
+        result.status.success(),
+        "{}",
+        String::from_utf8_lossy(&result.stderr)
+    );
     let stdout = String::from_utf8_lossy(&result.stdout);
     assert!(stdout.contains("loaded 3 profiles (Dirty)"), "{stdout}");
     assert!(stdout.contains("1 with >1 profile"), "{stdout}");
@@ -98,14 +110,18 @@ fn config_file_is_honoured() {
         .args(["--source-a", &a, "--source-b", &b, "--config", &config])
         .output()
         .unwrap();
-    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    assert!(
+        result.status.success(),
+        "{}",
+        String::from_utf8_lossy(&result.stderr)
+    );
     let stdout = String::from_utf8_lossy(&result.stdout);
     assert!(stdout.contains("1 with >1 profile"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-fn dataflow_mode_matches_sequential() {
+fn backends_agree_on_result_counts() {
     let dir = tempdir("workers");
     let a = write(
         &dir,
@@ -123,27 +139,64 @@ b1,sony kd40 bravia television
 b2,apple iphone
 ",
     );
-    let seq = sparker()
-        .args(["--source-a", &a, "--source-b", &b])
-        .output()
-        .unwrap();
-    let par = sparker()
-        .args(["--source-a", &a, "--source-b", &b, "--workers", "4"])
-        .output()
-        .unwrap();
-    assert!(seq.status.success() && par.status.success());
-    let seq_out = String::from_utf8_lossy(&seq.stdout);
-    let par_out = String::from_utf8_lossy(&par.stdout);
-    assert!(par_out.contains("dataflow engine: 4 workers"), "{par_out}");
-    // Same entity counts from both drivers (strip the timing suffix).
-    let entities = |s: &str| {
-        s.lines()
-            .find(|l| l.starts_with("clusterer:"))
-            .and_then(|l| l.split('(').next())
-            .map(|l| l.trim().to_string())
+    let run = |backend: &str| {
+        let result = sparker()
+            .args([
+                "--source-a",
+                &a,
+                "--source-b",
+                &b,
+                "--backend",
+                backend,
+                "--workers",
+                "4",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            result.status.success(),
+            "{backend}: {}",
+            String::from_utf8_lossy(&result.stderr)
+        );
+        String::from_utf8_lossy(&result.stdout).into_owned()
     };
-    assert_eq!(entities(&seq_out), entities(&par_out));
+    let seq_out = run("sequential");
+    let df_out = run("dataflow");
+    let pool_out = run("pool");
+    assert!(df_out.contains("dataflow engine: 4 workers"), "{df_out}");
+    assert!(pool_out.contains("pool engine: 4 workers"), "{pool_out}");
+    // Every backend prints the per-stage report table...
+    for out in [&seq_out, &df_out, &pool_out] {
+        for stage in [
+            "build_blocks",
+            "filter_blocks",
+            "prune_candidates",
+            "score_pairs",
+            "cluster_edges",
+        ] {
+            assert!(out.contains(stage), "missing {stage} in {out}");
+        }
+    }
+    // ...and all three agree on the result counts.
+    let counts = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("result counts:"))
+            .map(|l| l.to_string())
+            .expect("result counts line")
+    };
+    assert_eq!(counts(&seq_out), counts(&df_out));
+    assert_eq!(counts(&seq_out), counts(&pool_out));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_backend_fails_cleanly() {
+    let result = sparker()
+        .args(["--demo", "--backend", "spark"])
+        .output()
+        .unwrap();
+    assert!(!result.status.success());
+    assert!(String::from_utf8_lossy(&result.stderr).contains("unknown backend"));
 }
 
 #[test]

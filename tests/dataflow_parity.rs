@@ -59,7 +59,10 @@ fn meta_blocking_parity_over_configs_and_workers() {
     for scheme in [WeightScheme::Cbs, WeightScheme::Js, WeightScheme::ChiSquare] {
         for pruning in [
             PruningStrategy::Wep { factor: 1.0 },
-            PruningStrategy::Cnp { k: None, reciprocal: false },
+            PruningStrategy::Cnp {
+                k: None,
+                reciprocal: false,
+            },
             PruningStrategy::Blast { ratio: 0.35 },
         ] {
             let config = MetaBlockingConfig {

@@ -1,9 +1,7 @@
 //! End-to-end integration tests spanning every crate through the facade.
 
 use sparker::datasets::{generate, generate_dirty, DatasetConfig, Domain, NoiseConfig};
-use sparker::{
-    BlockingConfig, ClusteringAlgorithm, MatcherConfig, Pipeline, PipelineConfig,
-};
+use sparker::{BlockingConfig, ClusteringAlgorithm, MatcherConfig, Pipeline, PipelineConfig};
 use sparker_core::matching::SimilarityMeasure;
 
 fn abt_buy(entities: usize, seed: u64) -> sparker::datasets::GeneratedDataset {
@@ -155,7 +153,9 @@ fn matcher_threshold_trades_precision_for_recall() {
             },
             ..PipelineConfig::default()
         };
-        Pipeline::new(config).run(&ds.collection).evaluate(&ds.ground_truth)
+        Pipeline::new(config)
+            .run(&ds.collection)
+            .evaluate(&ds.ground_truth)
     };
     let loose = eval_at(0.15);
     let strict = eval_at(0.7);

@@ -1,11 +1,11 @@
 //! Integration tests pinning the paper's toy walk-throughs (Figures 1–2)
 //! end to end through the public API.
 
+use sparker::blocking::{token_blocking, Block, BlockCollection};
 use sparker::metablocking::{
     meta_blocking_graph, BlockEntropies, BlockGraph, MetaBlockingConfig, PruningStrategy,
     WeightScheme,
 };
-use sparker::blocking::{token_blocking, Block, BlockCollection};
 use sparker::profiles::{ErKind, Pair, Profile, ProfileCollection, ProfileId, SourceId};
 
 fn figure1_collection() -> ProfileCollection {

@@ -19,9 +19,8 @@ fn config_strategy() -> impl Strategy<Value = PipelineConfig> {
     let scheme = prop::sample::select(WeightScheme::ALL.to_vec());
     let pruning = prop_oneof![
         (0.5f64..1.5).prop_map(|factor| PruningStrategy::Wep { factor }),
-        (0.5f64..1.5, proptest::bool::ANY).prop_map(|(factor, reciprocal)| {
-            PruningStrategy::Wnp { factor, reciprocal }
-        }),
+        (0.5f64..1.5, proptest::bool::ANY)
+            .prop_map(|(factor, reciprocal)| { PruningStrategy::Wnp { factor, reciprocal } }),
         (0.1f64..0.9).prop_map(|ratio| PruningStrategy::Blast { ratio }),
     ];
     let meta = prop::option::of((scheme, pruning, proptest::bool::ANY).prop_map(

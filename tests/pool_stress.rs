@@ -18,13 +18,12 @@ fn run_pipeline(workers: usize) -> (Vec<u64>, usize) {
     for stage in 0..STAGES {
         ds = match stage % 1000 {
             // An occasional full shuffle keeps the wide path honest.
-            999 => ds
-                .map(|&x| (x % 64, x))
-                .group_by_key()
-                .flat_map(|(k, vs)| {
-                    let sum = vs.iter().fold(0u64, |a, &b| a.wrapping_add(b));
-                    vs.iter().map(move |&v| v ^ (sum % 2) ^ (k & 1)).collect::<Vec<_>>()
-                }),
+            999 => ds.map(|&x| (x % 64, x)).group_by_key().flat_map(|(k, vs)| {
+                let sum = vs.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+                vs.iter()
+                    .map(move |&v| v ^ (sum % 2) ^ (k & 1))
+                    .collect::<Vec<_>>()
+            }),
             n if n % 2 == 0 => ds.map(|&x| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(7)),
             _ => ds.map(|&x| x.rotate_right(7).wrapping_mul(0xF1DE83E19C6A336D)),
         };

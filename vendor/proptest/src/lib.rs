@@ -946,8 +946,7 @@ mod tests {
     #[test]
     fn collections_and_combinators() {
         let mut rng = crate::TestRng::deterministic();
-        let strat = prop::collection::vec((0u8..10, crate::bool::ANY), 0..30)
-            .prop_map(|v| v.len());
+        let strat = prop::collection::vec((0u8..10, crate::bool::ANY), 0..30).prop_map(|v| v.len());
         for _ in 0..50 {
             assert!(strat.generate(&mut rng) < 30);
             let m = prop::collection::btree_map("[a-z]{1,6}", 0u32..5, 0..4).generate(&mut rng);
