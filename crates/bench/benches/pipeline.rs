@@ -15,8 +15,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparker_bench::{abt_buy_like, skewed_dirty};
 use sparker_core::{BlockingConfig, ExecutionBackend, Pipeline, PipelineConfig};
-use sparker_dataflow::Context;
+use sparker_dataflow::{Context, MetricsSnapshot};
+use sparker_matching::{CandidateGraph, ScoringMode, SimilarityMeasure, ThresholdMatcher};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_full_pipeline(c: &mut Criterion) {
@@ -55,6 +57,26 @@ fn smoke() -> bool {
     std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
 }
 
+/// Summed critical path of every engine operator stage submitted inside
+/// the named pipeline stage scope. Operator stages are attributed to the
+/// `pipeline/<scope>` marker that *follows* them in the metrics stream
+/// (the scope appends its marker at `finish`).
+fn scope_critical_path(snap: &MetricsSnapshot, scope: &str) -> Duration {
+    let mut acc = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for stage in &snap.stages {
+        if let Some(name) = stage.name.strip_prefix("pipeline/") {
+            if name == scope {
+                total += acc;
+            }
+            acc = Duration::ZERO;
+        } else {
+            acc += stage.critical_path();
+        }
+    }
+    total
+}
+
 /// Worker-scaling of the pool-parallel pipeline on the skewed 10k-profile
 /// preset (5k entities × dirty duplication). Wall times go through the
 /// normal sample loop; a separate instrumented run per worker count exports
@@ -86,6 +108,7 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
 
     // Instrumented runs: per-stage critical paths out of the engine metrics
     // + the pipeline's own step-timing split.
+    let mut candidate_cps: Vec<(usize, Duration)> = Vec::new();
     for workers in WORKER_COUNTS {
         let ctx = Context::new(workers);
         ctx.reset_metrics();
@@ -101,6 +124,13 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
                 _ => {}
             }
         }
+        let candidates_cp = scope_critical_path(&snap, "prune_candidates");
+        candidate_cps.push((workers, candidates_cp));
+        c.record(
+            format!("{prefix}/candidates/critical-path"),
+            1,
+            candidates_cp,
+        );
         c.record(format!("{prefix}/matcher/critical-path"), 1, matcher);
         c.record(format!("{prefix}/clusterer/critical-path"), 1, clusterer);
         c.record(
@@ -134,6 +164,24 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
             result.timings.clustering,
         );
     }
+    // The candidates step must actually scale now that its degree pass
+    // runs node-parallel instead of serially on the driver: its engine
+    // critical path (max per-worker-slot busy time — the wall-clock lower
+    // bound with one core per worker) has to shrink from 1 to 4 workers.
+    let cp = |w: usize| {
+        candidate_cps
+            .iter()
+            .find(|(ws, _)| *ws == w)
+            .expect("worker count benched")
+            .1
+    };
+    assert!(
+        cp(4) < cp(1),
+        "candidates critical path did not scale: 1 worker {:?} vs 4 workers {:?}",
+        cp(1),
+        cp(4),
+    );
+
     let seq = pipeline.run(&ds.collection);
     c.record(
         "pipeline_10k/sequential/step/blocking",
@@ -160,6 +208,64 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
         1,
         seq.timings.matching + seq.timings.clustering,
     );
+}
+
+/// Filter–verify cascade vs the naive score-everything matcher on the
+/// pool matcher at one worker, per similarity measure at the default
+/// threshold: the wall ratio is the cascade's speedup on the matcher
+/// critical path. A second instrumented pass exports the cascade's filter
+/// statistics — how many pairs each tier disposed of (bound-rejected
+/// without any token comparison, abandoned mid-kernel, fully verified,
+/// kept) — as count entries whose `samples` field carries the count and
+/// whose duration is zero.
+fn bench_matcher_kernels(c: &mut Criterion) {
+    // Smaller than the scaling preset: the edit-based naive kernels are
+    // quadratic per pair, and every measure runs in both modes.
+    let ds = if smoke() {
+        skewed_dirty(200)
+    } else {
+        skewed_dirty(600)
+    };
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let blocker = pipeline.run_blocker(&ds.collection);
+    let graph = Arc::new(CandidateGraph::from_pairs(
+        ds.collection.len(),
+        blocker.candidates.iter().copied(),
+    ));
+    let threshold = PipelineConfig::default().matching.threshold;
+    let ctx = Context::new(1);
+
+    let mut group = c.benchmark_group("matcher_kernels");
+    group.sample_size(3);
+    for measure in SimilarityMeasure::ALL {
+        for (mode_name, mode) in [
+            ("naive", ScoringMode::Naive),
+            ("cascade", ScoringMode::Cascade),
+        ] {
+            let matcher = ThresholdMatcher::with_mode(measure, threshold, mode);
+            group.bench_with_input(
+                BenchmarkId::new(measure.name(), mode_name),
+                &matcher,
+                |b, m| b.iter(|| m.match_candidates_pool(&ctx, black_box(&ds.collection), &graph)),
+            );
+        }
+    }
+    group.finish();
+
+    for measure in SimilarityMeasure::ALL {
+        let matcher = ThresholdMatcher::with_mode(measure, threshold, ScoringMode::Cascade);
+        let (_, stats) = matcher.match_candidates_pool_stats(&ctx, &ds.collection, &graph);
+        let prefix = format!("matcher_kernels/{}/filter", measure.name());
+        for (name, count) in [
+            ("pairs", stats.pairs),
+            ("bound-rejected", stats.bound_rejected),
+            ("abandoned", stats.abandoned),
+            ("verified", stats.verified),
+            ("kept", stats.kept),
+        ] {
+            c.record(format!("{prefix}/{name}"), count as usize, Duration::ZERO);
+        }
+    }
 }
 
 /// One instrumented `Pipeline::run_on` per execution backend, exporting
@@ -215,6 +321,7 @@ criterion_group!(
     bench_full_pipeline,
     bench_blocker_only,
     bench_pipeline_scaling,
+    bench_matcher_kernels,
     bench_backend_reports
 );
 criterion_main!(benches);

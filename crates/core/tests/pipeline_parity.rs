@@ -153,6 +153,42 @@ fn backend_matrix_all_clustering_algorithms() {
 }
 
 #[test]
+fn cascade_matches_naive_scorer_across_backends() {
+    // The filter–verify cascade is the default scoring path on every
+    // backend; it must retain exactly the pairs the naive score-everything
+    // matcher retains, with bit-identical scores — for every similarity
+    // measure, at permissive / default-ish / strict thresholds, through
+    // the sequential, dataflow and pool matchers alike.
+    use sparker_matching::{Matcher, ScoringMode, SimilarityMeasure, ThresholdMatcher};
+    let ds = dirty_dataset(60, 23, true);
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let blocked = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+    let candidates = &blocked.blocker.candidates;
+    assert!(!candidates.is_empty());
+    for measure in SimilarityMeasure::ALL {
+        for threshold in [0.3, 0.5, 0.8] {
+            let naive = ThresholdMatcher::with_mode(measure, threshold, ScoringMode::Naive)
+                .match_pairs(&ds.collection, candidates.iter().copied());
+            let cascade = ThresholdMatcher::with_mode(measure, threshold, ScoringMode::Cascade);
+            for backend in [
+                ExecutionBackend::Sequential,
+                ExecutionBackend::dataflow(2),
+                ExecutionBackend::pool(2),
+            ] {
+                let got = backend.score_pairs(&cascade, &ds.collection, candidates);
+                assert_eq!(
+                    got,
+                    naive,
+                    "cascade diverged from naive: {} @ {threshold} on {}",
+                    measure.name(),
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn report_is_stage_complete_on_every_backend() {
     use sparker_core::PipelineStage;
     let ds = clean_dataset(90, 5, true);

@@ -101,16 +101,61 @@ fn morsel_grain(num_nodes: usize, ctx: &Context) -> usize {
     (num_nodes / (ctx.workers() * 32)).max(1)
 }
 
-/// Score every candidate of `graph` on the worker pool and keep pairs with
-/// `score ≥ threshold`.
+/// Decide every candidate of `graph` on the worker pool: `decide(scratch,
+/// a, b)` returns `Some(score)` for pairs to retain — the seam the
+/// filter–verify cascade plugs into (a pair can be rejected without ever
+/// computing its score).
 ///
-/// `scratch` builds one per-worker-slot value (reused across morsels —
-/// e.g. [`crate::similarity::EditScratch`] for edit-based measures);
-/// `score(scratch, a, b)` must be a pure function of the pair for the
+/// `locals` holds one per-worker-slot scratch value (reused across
+/// morsels); the caller keeps the `Arc` and can drain per-slot state (e.g.
+/// filter statistics) after the run, when the pool's clone has been
+/// dropped. `decide` must be a pure function of the pair for the
 /// determinism guarantee to hold. Profile ids are cost-partitioned by
 /// candidate degree and executed as dynamically claimed morsels; each
 /// morsel's sorted shard is merged slot-indexed, so the output equals the
 /// sequential scorer's bytes at any worker count.
+pub fn filter_candidates_pool<W, F>(
+    ctx: &Context,
+    graph: &Arc<CandidateGraph>,
+    locals: &Arc<WorkerLocal<W>>,
+    decide: F,
+) -> SimilarityGraph
+where
+    W: Send,
+    F: Fn(&mut W, ProfileId, ProfileId) -> Option<f64> + Send + Sync,
+{
+    let num_nodes = graph.num_profiles();
+    let costs = graph.costs();
+    let grain = morsel_grain(num_nodes, ctx);
+    let b_graph: Broadcast<CandidateGraph> = ctx.broadcast(Arc::clone(graph));
+    let locals = Arc::clone(locals);
+    let ids: Vec<u32> = (0..num_nodes as u32).collect();
+    let shards = ctx
+        .parallelize_by_cost_default(ids, &costs)
+        .map_morsels_named("match_candidates", grain, move |worker, nodes| {
+            locals.with(worker, |scr| {
+                let mut shard = Vec::new();
+                for &i in nodes {
+                    let node = ProfileId(i);
+                    for &j in b_graph.candidates_of(node) {
+                        if let Some(s) = decide(scr, node, j) {
+                            shard.push((Pair::new(node, j), s));
+                        }
+                    }
+                }
+                shard
+            })
+        });
+    SimilarityGraph::from_sorted_shards(shards.into_partitions())
+}
+
+/// Score every candidate of `graph` on the worker pool and keep pairs with
+/// `score ≥ threshold`.
+///
+/// `scratch` builds one per-worker-slot value (reused across morsels —
+/// e.g. [`crate::similarity::EditScratch`] for edit-based measures). A thin
+/// wrapper over [`filter_candidates_pool`] with the threshold folded into
+/// the decision; same determinism contract.
 pub fn score_candidates_pool<W, F>(
     ctx: &Context,
     graph: &Arc<CandidateGraph>,
@@ -122,30 +167,11 @@ where
     W: Send,
     F: Fn(&mut W, ProfileId, ProfileId) -> f64 + Send + Sync,
 {
-    let num_nodes = graph.num_profiles();
-    let costs = graph.costs();
-    let grain = morsel_grain(num_nodes, ctx);
-    let b_graph: Broadcast<CandidateGraph> = ctx.broadcast(Arc::clone(graph));
     let locals = Arc::new(WorkerLocal::new(ctx.workers(), scratch));
-    let ids: Vec<u32> = (0..num_nodes as u32).collect();
-    let shards = ctx
-        .parallelize_by_cost_default(ids, &costs)
-        .map_morsels_named("match_candidates", grain, move |worker, nodes| {
-            locals.with(worker, |scr| {
-                let mut shard = Vec::new();
-                for &i in nodes {
-                    let node = ProfileId(i);
-                    for &j in b_graph.candidates_of(node) {
-                        let s = score(scr, node, j);
-                        if s >= threshold {
-                            shard.push((Pair::new(node, j), s));
-                        }
-                    }
-                }
-                shard
-            })
-        });
-    SimilarityGraph::from_sorted_shards(shards.into_partitions())
+    filter_candidates_pool(ctx, graph, &locals, move |scr, a, b| {
+        let s = score(scr, a, b);
+        (s >= threshold).then_some(s)
+    })
 }
 
 #[cfg(test)]

@@ -21,10 +21,19 @@
 //!   features, standing in for Magellan's learned matchers (which need
 //!   labelled pairs, exactly as the paper's supervised mode describes).
 //! * [`SimilarityGraph`] — the matcher output: weighted matching pairs.
-//! * [`CandidateGraph`] + [`score_candidates_pool`] — the pool-parallel
-//!   batch scorer: candidate pairs in CSR form streamed per profile,
-//!   degree-cost morsel scheduling, per-worker scratch, sorted shard
-//!   output byte-identical to the sequential matchers.
+//! * [`CandidateGraph`] + [`score_candidates_pool`] /
+//!   [`filter_candidates_pool`] — the pool-parallel batch scorer:
+//!   candidate pairs in CSR form streamed per profile, degree-cost morsel
+//!   scheduling, per-worker scratch, sorted shard output byte-identical to
+//!   the sequential matchers.
+//!
+//! The batch matchers score through a **filter–verify cascade** by
+//! default: cheap [`ScoreBound`]s computed from cached token/char counts
+//! reject most candidate pairs before any token comparison, and the
+//! survivors are verified with early-abandoning kernels (budgeted
+//! merge-joins, banded Levenshtein). The cascade retains exactly the naive
+//! scorer's pairs with bit-identical scores; `SPARKER_NAIVE_MATCHER=1` (or
+//! [`ScoringMode::Naive`]) switches back to score-everything.
 
 pub mod similarity;
 
@@ -34,11 +43,11 @@ mod matcher;
 mod perceptron;
 mod tfidf;
 
-pub use candidates::{score_candidates_pool, CandidateGraph};
+pub use candidates::{filter_candidates_pool, score_candidates_pool, CandidateGraph};
 pub use graph::SimilarityGraph;
 pub use matcher::{
-    Matcher, PreparedProfile, SimilarityMeasure, TfIdfMatcher, ThresholdMatcher, WeightedRule,
-    WeightedRuleMatcher,
+    FilterStats, Matcher, PreparedProfile, ScoreBound, ScoringMode, SimilarityMeasure,
+    TfIdfMatcher, ThresholdMatcher, WeightedRule, WeightedRuleMatcher,
 };
 pub use perceptron::{pair_features, PerceptronMatcher, TrainConfig, FEATURE_NAMES};
 pub use tfidf::TfIdfIndex;

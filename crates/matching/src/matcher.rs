@@ -1,11 +1,20 @@
 //! Matchers: turn candidate pairs into a similarity graph.
+//!
+//! The batch matchers run a **filter–verify cascade** (the standard
+//! discipline of the set-similarity-join literature): every candidate pair
+//! first passes through a cheap [`ScoreBound`] computed from cached sizes
+//! alone, most pairs are rejected or handed an early-abandon budget, and
+//! only the survivors pay for full verification. The cascade is
+//! *exact* — the retained pairs and their scores are byte-identical to the
+//! naive score-everything loop, which remains available as
+//! [`ScoringMode::Naive`] (escape hatch: set `SPARKER_NAIVE_MATCHER=1`).
 
-use crate::candidates::{score_candidates_pool, CandidateGraph};
+use crate::candidates::{filter_candidates_pool, CandidateGraph};
 use crate::graph::SimilarityGraph;
-use crate::similarity;
+use crate::similarity::{self, MatchScratch};
 use crate::tfidf::TfIdfIndex;
-use sparker_dataflow::Context;
-use sparker_profiles::{Pair, Profile, ProfileCollection};
+use sparker_dataflow::{Context, WorkerLocal};
+use sparker_profiles::{DictBuilder, Pair, Profile, ProfileCollection};
 use std::sync::Arc;
 
 /// A whole-profile similarity measure selectable by name — the paper's
@@ -56,74 +65,402 @@ impl SimilarityMeasure {
 
     /// Score two profiles in `[0, 1]`.
     pub fn score(&self, a: &Profile, b: &Profile) -> f64 {
-        self.score_prepared(&PreparedProfile::new(a), &PreparedProfile::new(b))
+        let (pa, pb) = PreparedProfile::pair(a, b);
+        self.score_prepared(&pa, &pb)
     }
 
-    /// Score two [`PreparedProfile`]s — the allocation-free inner loop used
-    /// by the batch matchers, which prepare each profile once instead of
-    /// re-tokenizing it per candidate pair.
+    /// Score two [`PreparedProfile`]s — the allocation-light inner loop
+    /// used by the batch matchers, which prepare each profile once instead
+    /// of re-tokenizing it per candidate pair.
+    ///
+    /// Both profiles must have been prepared against the **same**
+    /// [`DictBuilder`] (see [`PreparedProfile`]); ids from different
+    /// interning spaces are not comparable.
     pub fn score_prepared(&self, a: &PreparedProfile, b: &PreparedProfile) -> f64 {
-        match self {
-            SimilarityMeasure::Jaccard => similarity::jaccard(&a.tokens, &b.tokens),
-            SimilarityMeasure::Dice => similarity::dice(&a.tokens, &b.tokens),
-            SimilarityMeasure::Overlap => similarity::overlap(&a.tokens, &b.tokens),
-            SimilarityMeasure::CosineTokens => similarity::cosine_tokens(&a.tokens, &b.tokens),
-            SimilarityMeasure::Levenshtein => {
-                similarity::levenshtein_similarity(&a.concatenated, &b.concatenated)
-            }
-            SimilarityMeasure::JaroWinkler => {
-                similarity::jaro_winkler(&a.concatenated, &b.concatenated)
-            }
-            SimilarityMeasure::MongeElkan => {
-                similarity::monge_elkan(&a.concatenated, &b.concatenated)
-            }
-        }
+        self.score_prepared_with(a, b, &mut MatchScratch::default())
     }
 
-    /// [`SimilarityMeasure::score_prepared`] with reusable edit-distance
-    /// buffers — identical bits; Levenshtein stops allocating its DP rows
-    /// per pair. The batch matchers keep one [`similarity::EditScratch`]
-    /// per worker slot.
+    /// [`SimilarityMeasure::score_prepared`] with reusable kernel buffers —
+    /// identical bits; the string measures stop allocating their DP rows,
+    /// match bookkeeping and lowercase arenas per pair. The batch matchers
+    /// keep one [`MatchScratch`] per worker slot.
     pub fn score_prepared_with(
         &self,
         a: &PreparedProfile,
         b: &PreparedProfile,
-        scratch: &mut similarity::EditScratch,
+        scratch: &mut MatchScratch,
     ) -> f64 {
         match self {
-            SimilarityMeasure::Levenshtein => {
-                similarity::levenshtein_similarity_with(&a.concatenated, &b.concatenated, scratch)
+            SimilarityMeasure::Jaccard => similarity::jaccard_ids(&a.token_ids, &b.token_ids),
+            SimilarityMeasure::Dice => similarity::dice_ids(&a.token_ids, &b.token_ids),
+            SimilarityMeasure::Overlap => similarity::overlap_ids(&a.token_ids, &b.token_ids),
+            SimilarityMeasure::CosineTokens => similarity::cosine_ids(&a.token_ids, &b.token_ids),
+            SimilarityMeasure::Levenshtein => similarity::levenshtein_similarity_with(
+                &a.concatenated,
+                &b.concatenated,
+                &mut scratch.edit,
+            ),
+            SimilarityMeasure::JaroWinkler => {
+                similarity::jaro_winkler_with(&a.concatenated, &b.concatenated, scratch)
             }
-            _ => self.score_prepared(a, b),
+            SimilarityMeasure::MongeElkan => {
+                similarity::monge_elkan_with(&a.concatenated, &b.concatenated, scratch)
+            }
+        }
+    }
+
+    /// The shared set-measure formula over an intersection count — the one
+    /// computation both the cascade's bound search and its verification use,
+    /// so they agree with the naive scorer bit for bit.
+    fn set_score_counts(&self, inter: usize, la: usize, lb: usize) -> f64 {
+        match self {
+            SimilarityMeasure::Jaccard => similarity::jaccard_counts(inter, la, lb),
+            SimilarityMeasure::Dice => similarity::dice_counts(inter, la, lb),
+            SimilarityMeasure::Overlap => similarity::overlap_counts(inter, la, lb),
+            SimilarityMeasure::CosineTokens => similarity::cosine_counts(inter, la, lb),
+            _ => unreachable!("set_score_counts called on a string measure"),
+        }
+    }
+
+    /// The cheap pre-verification filter of the cascade, computed from the
+    /// cached sizes of the two prepared views alone (no token or char
+    /// comparison).
+    ///
+    /// The contract, which makes the cascade exact: a pair scoring
+    /// `≥ threshold` under the naive scorer is never mapped to
+    /// [`ScoreBound::Reject`], a [`ScoreBound::MinOverlap`]/
+    /// [`ScoreBound::MaxDistance`] budget is never tight enough to abandon
+    /// such a pair during verification, and every budgeted verification
+    /// that completes reproduces the naive score exactly.
+    pub fn score_bound(
+        &self,
+        a: &PreparedProfile,
+        b: &PreparedProfile,
+        threshold: f64,
+    ) -> ScoreBound {
+        match self {
+            SimilarityMeasure::Jaccard
+            | SimilarityMeasure::Dice
+            | SimilarityMeasure::Overlap
+            | SimilarityMeasure::CosineTokens => {
+                let (la, lb) = (a.token_ids.len(), b.token_ids.len());
+                // Smallest intersection count whose score reaches the
+                // threshold, under the exact scoring formula (monotone in
+                // the count). None even at full overlap ⇒ the sizes alone
+                // rule the pair out — the classic length filter.
+                match required_overlap(|c| self.set_score_counts(c, la, lb), la.min(lb), threshold)
+                {
+                    Some(need) => ScoreBound::MinOverlap(need),
+                    None => ScoreBound::Reject,
+                }
+            }
+            SimilarityMeasure::Levenshtein => {
+                let max = a.chars.max(b.chars);
+                if max == 0 {
+                    // Both concatenations empty: exact score is 1.0.
+                    return ScoreBound::MaxDistance(0);
+                }
+                // Largest edit distance whose similarity still reaches the
+                // threshold (same formula as verification; monotone in d,
+                // and d = 0 always passes since threshold ≤ 1).
+                let sim = |d: usize| 1.0 - d as f64 / max as f64;
+                let k = if sim(max) >= threshold {
+                    max
+                } else {
+                    let (mut lo, mut hi) = (0usize, max);
+                    while hi - lo > 1 {
+                        let mid = lo + (hi - lo) / 2;
+                        if sim(mid) >= threshold {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    lo
+                };
+                if a.chars.abs_diff(b.chars) > k {
+                    // The length difference alone exceeds the budget.
+                    ScoreBound::Reject
+                } else {
+                    ScoreBound::MaxDistance(k)
+                }
+            }
+            SimilarityMeasure::JaroWinkler => {
+                let (min, max) = (a.chars.min(b.chars), a.chars.max(b.chars));
+                if max == 0 {
+                    return ScoreBound::Verify; // both empty: exact score is 1.0
+                }
+                if min == 0 {
+                    // One side empty: exact score is 0.0.
+                    return if 0.0 >= threshold {
+                        ScoreBound::Verify
+                    } else {
+                        ScoreBound::Reject
+                    };
+                }
+                // Jaro matches are capped by the shorter side, so
+                // jaro ≤ (2 + min/max)/3; Winkler (boost threshold 0.7,
+                // prefix ≤ 4) then caps the final score at 0.6·bj + 0.4
+                // when bj exceeds the boost threshold. The 1e-9 margin
+                // absorbs rounding in the bound itself — verification,
+                // not the bound, decides borderline pairs.
+                let bj = (2.0 + min as f64 / max as f64) / 3.0;
+                let bound = if bj > 0.7 { 0.6 * bj + 0.4 } else { bj };
+                if bound < threshold - 1e-9 {
+                    ScoreBound::Reject
+                } else {
+                    ScoreBound::Verify
+                }
+            }
+            SimilarityMeasure::MongeElkan => ScoreBound::Verify,
+        }
+    }
+
+    /// Run the full cascade on one pair: bound, then budgeted or plain
+    /// verification. Returns `Some(score)` **iff** the naive scorer would
+    /// retain the pair at `threshold`, with the exact same score bits.
+    pub fn verify_prepared(
+        &self,
+        a: &PreparedProfile,
+        b: &PreparedProfile,
+        threshold: f64,
+        scratch: &mut MatchScratch,
+        stats: &mut FilterStats,
+    ) -> Option<f64> {
+        stats.pairs += 1;
+        match self.score_bound(a, b, threshold) {
+            ScoreBound::Reject => {
+                stats.bound_rejected += 1;
+                None
+            }
+            ScoreBound::MinOverlap(need) => {
+                match similarity::intersect_ids_at_least(&a.token_ids, &b.token_ids, need) {
+                    None => {
+                        stats.abandoned += 1;
+                        None
+                    }
+                    Some(inter) => {
+                        // Completion implies inter ≥ need, and `need` is the
+                        // smallest count that reaches the threshold — the
+                        // pair is a match by construction.
+                        stats.verified += 1;
+                        stats.kept += 1;
+                        Some(self.set_score_counts(inter, a.token_ids.len(), b.token_ids.len()))
+                    }
+                }
+            }
+            ScoreBound::MaxDistance(k) => {
+                match similarity::levenshtein_within_with(
+                    &a.concatenated,
+                    &b.concatenated,
+                    k,
+                    &mut scratch.edit,
+                ) {
+                    None => {
+                        stats.abandoned += 1;
+                        None
+                    }
+                    Some(d) => {
+                        stats.verified += 1;
+                        stats.kept += 1;
+                        let max = a.chars.max(b.chars);
+                        Some(if max == 0 {
+                            1.0
+                        } else {
+                            1.0 - d as f64 / max as f64
+                        })
+                    }
+                }
+            }
+            ScoreBound::Verify => {
+                stats.verified += 1;
+                let s = self.score_prepared_with(a, b, scratch);
+                if s >= threshold {
+                    stats.kept += 1;
+                    Some(s)
+                } else {
+                    None
+                }
+            }
         }
     }
 }
 
-/// A profile's derived matching views (token set + concatenated values),
-/// computed once so candidate loops don't re-derive them per pair.
-#[derive(Debug, Clone)]
+/// Smallest intersection count in `0..=m` whose (monotone nondecreasing)
+/// score reaches `t`, or `None` if even `m` falls short.
+fn required_overlap(f: impl Fn(usize) -> f64, m: usize, t: f64) -> Option<usize> {
+    if f(m) < t {
+        return None;
+    }
+    if f(0) >= t {
+        return Some(0);
+    }
+    // Invariant: f(lo) < t ≤ f(hi).
+    let (mut lo, mut hi) = (0usize, m);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if f(mid) >= t {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// What the pre-verification filter decided for one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreBound {
+    /// The sizes alone prove the score cannot reach the threshold.
+    Reject,
+    /// Set measure: a match needs at least this intersection count; the
+    /// merge-join may abandon once the count is unreachable.
+    MinOverlap(usize),
+    /// Levenshtein: a match needs edit distance at most this; the banded DP
+    /// may abandon once every path exceeds it.
+    MaxDistance(usize),
+    /// No useful bound — verify with the full kernel.
+    Verify,
+}
+
+/// Counters of the cascade's filtering effectiveness, merged across worker
+/// slots. `pairs = bound_rejected + abandoned + verified`, and
+/// `kept ≤ verified`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Candidate pairs examined.
+    pub pairs: u64,
+    /// Rejected by the size bound alone (no token/char comparison).
+    pub bound_rejected: u64,
+    /// Abandoned mid-verification by an overlap or distance budget.
+    pub abandoned: u64,
+    /// Fully verified (budget met or no bound available).
+    pub verified: u64,
+    /// Retained as matches.
+    pub kept: u64,
+}
+
+impl FilterStats {
+    /// Accumulate another slot's counters.
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.pairs += other.pairs;
+        self.bound_rejected += other.bound_rejected;
+        self.abandoned += other.abandoned;
+        self.verified += other.verified;
+        self.kept += other.kept;
+    }
+
+    /// Pairs that never paid for full verification.
+    pub fn filtered(&self) -> u64 {
+        self.bound_rejected + self.abandoned
+    }
+}
+
+/// How [`ThresholdMatcher`] scores candidate pairs. Both modes retain the
+/// same pairs with the same score bits; `Naive` exists as an escape hatch
+/// and as the reference side of the equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Filter–verify cascade (the default).
+    #[default]
+    Cascade,
+    /// Score every candidate pair with the full kernel.
+    Naive,
+}
+
+impl ScoringMode {
+    /// Read the mode from the environment: `SPARKER_NAIVE_MATCHER` set to
+    /// anything non-empty selects [`ScoringMode::Naive`].
+    pub fn from_env() -> Self {
+        match std::env::var("SPARKER_NAIVE_MATCHER") {
+            Ok(v) if !v.is_empty() => ScoringMode::Naive,
+            _ => ScoringMode::Cascade,
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScoringMode::Cascade => "cascade",
+            ScoringMode::Naive => "naive",
+        }
+    }
+}
+
+/// A profile's derived matching views, computed once so candidate loops
+/// don't re-derive them per pair: the interned, sorted token-id vector (set
+/// measures become `u32` merge-joins), the concatenated values (string
+/// measures) and the cached char count of the concatenation (length
+/// filters).
+///
+/// Token ids are **provisional** ids from a caller-supplied
+/// [`DictBuilder`]: two views are only comparable when prepared against the
+/// same builder. Set-measure scores depend only on intersection counts and
+/// set sizes, which any injective token → id mapping preserves, so the
+/// builder's insertion-order ids need no lexicographic remap.
+#[derive(Debug, Clone, Default)]
 pub struct PreparedProfile {
-    /// Schema-agnostic token set.
-    pub tokens: std::collections::BTreeSet<String>,
+    /// Sorted, deduplicated interned token ids of the schema-agnostic
+    /// token set.
+    pub token_ids: Vec<u32>,
     /// All values joined by spaces.
     pub concatenated: String,
+    /// Char count of `concatenated` (cached for length filters).
+    pub chars: usize,
 }
 
 impl PreparedProfile {
-    /// Derive the matching views of one profile.
-    pub fn new(profile: &Profile) -> Self {
+    /// Derive the matching views of one profile against `dict`.
+    pub fn from_profile(profile: &Profile, dict: &mut DictBuilder, scratch: &mut String) -> Self {
+        let mut token_ids = Vec::new();
+        for a in &profile.attributes {
+            dict.intern_tokens(&a.value, scratch, &mut token_ids);
+        }
+        token_ids.sort_unstable();
+        token_ids.dedup();
+        let concatenated = profile.concatenated_values();
+        let chars = concatenated.chars().count();
         PreparedProfile {
-            tokens: profile.token_set(),
-            concatenated: profile.concatenated_values(),
+            token_ids,
+            concatenated,
+            chars,
         }
     }
 
-    /// Prepare every profile of a collection (index = profile id).
+    /// Prepare a bare attribute value (used by [`WeightedRuleMatcher`],
+    /// whose rules compare single values rather than whole profiles).
+    pub fn from_value(value: &str, dict: &mut DictBuilder, scratch: &mut String) -> Self {
+        let mut token_ids = Vec::new();
+        dict.intern_tokens(value, scratch, &mut token_ids);
+        token_ids.sort_unstable();
+        token_ids.dedup();
+        PreparedProfile {
+            token_ids,
+            concatenated: value.to_string(),
+            chars: value.chars().count(),
+        }
+    }
+
+    /// Prepare two profiles against a fresh shared interner — the
+    /// convenience path for one-off [`SimilarityMeasure::score`] calls.
+    pub fn pair(a: &Profile, b: &Profile) -> (Self, Self) {
+        let mut dict = DictBuilder::new();
+        let mut scratch = String::new();
+        (
+            Self::from_profile(a, &mut dict, &mut scratch),
+            Self::from_profile(b, &mut dict, &mut scratch),
+        )
+    }
+
+    /// Prepare every profile of a collection against one shared interner
+    /// (index = profile id).
     pub fn prepare_all(collection: &ProfileCollection) -> Vec<PreparedProfile> {
+        let mut dict = DictBuilder::new();
+        let mut scratch = String::new();
         collection
             .profiles()
             .iter()
-            .map(PreparedProfile::new)
+            .map(|p| PreparedProfile::from_profile(p, &mut dict, &mut scratch))
             .collect()
     }
 }
@@ -178,29 +515,77 @@ pub trait Matcher {
 }
 
 /// The unsupervised matcher: one similarity measure plus one threshold.
+///
+/// Scoring runs the filter–verify cascade by default; see [`ScoringMode`].
 #[derive(Debug, Clone)]
 pub struct ThresholdMatcher {
     /// Measure to apply to each candidate pair.
     pub measure: SimilarityMeasure,
     /// Minimum score to call a pair a match.
     pub threshold: f64,
+    mode: ScoringMode,
 }
 
 impl ThresholdMatcher {
-    /// Create a matcher; `threshold` must be in `[0, 1]`.
+    /// Create a matcher; `threshold` must be in `[0, 1]`. The scoring mode
+    /// is read from the environment once here (see
+    /// [`ScoringMode::from_env`]); use [`ThresholdMatcher::with_mode`] to
+    /// pick it explicitly.
     pub fn new(measure: SimilarityMeasure, threshold: f64) -> Self {
+        Self::with_mode(measure, threshold, ScoringMode::from_env())
+    }
+
+    /// Create a matcher with an explicit scoring mode.
+    pub fn with_mode(measure: SimilarityMeasure, threshold: f64, mode: ScoringMode) -> Self {
         assert!(
             (0.0..=1.0).contains(&threshold),
             "threshold must be in [0, 1], got {threshold}"
         );
-        ThresholdMatcher { measure, threshold }
+        ThresholdMatcher {
+            measure,
+            threshold,
+            mode,
+        }
+    }
+
+    /// The active scoring mode.
+    pub fn mode(&self) -> ScoringMode {
+        self.mode
+    }
+
+    /// Score one prepared pair under the configured mode: `Some(score)` iff
+    /// the pair is retained at the matcher's threshold.
+    fn decide(
+        &self,
+        a: &PreparedProfile,
+        b: &PreparedProfile,
+        scratch: &mut MatchScratch,
+        stats: &mut FilterStats,
+    ) -> Option<f64> {
+        match self.mode {
+            ScoringMode::Cascade => {
+                self.measure
+                    .verify_prepared(a, b, self.threshold, scratch, stats)
+            }
+            ScoringMode::Naive => {
+                stats.pairs += 1;
+                stats.verified += 1;
+                let s = self.measure.score_prepared_with(a, b, scratch);
+                if s >= self.threshold {
+                    stats.kept += 1;
+                    Some(s)
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// Pool-parallel batch scoring over a [`CandidateGraph`]: candidates
     /// stream out of the graph's per-profile neighbor lists (no global pair
     /// vector), the prepared profile views are broadcast once, and ids are
     /// cost-partitioned by candidate degree into dynamically claimed
-    /// morsels with per-worker edit-distance scratch. Byte-identical to
+    /// morsels with per-worker kernel scratch. Byte-identical to
     /// [`Matcher::match_pairs`] over the same pair set at any worker count.
     pub fn match_candidates_pool(
         &self,
@@ -208,17 +593,37 @@ impl ThresholdMatcher {
         collection: &ProfileCollection,
         graph: &Arc<CandidateGraph>,
     ) -> SimilarityGraph {
+        self.match_candidates_pool_stats(ctx, collection, graph).0
+    }
+
+    /// [`ThresholdMatcher::match_candidates_pool`] plus the cascade's
+    /// merged [`FilterStats`] (what fraction of pairs the bounds filtered).
+    pub fn match_candidates_pool_stats(
+        &self,
+        ctx: &Context,
+        collection: &ProfileCollection,
+        graph: &Arc<CandidateGraph>,
+    ) -> (SimilarityGraph, FilterStats) {
         let prepared = ctx.broadcast(PreparedProfile::prepare_all(collection));
-        let measure = self.measure;
-        score_candidates_pool(
-            ctx,
-            graph,
-            self.threshold,
-            similarity::EditScratch::default,
-            move |scratch, a, b| {
-                measure.score_prepared_with(&prepared[a.index()], &prepared[b.index()], scratch)
-            },
-        )
+        let matcher = self.clone();
+        let locals = Arc::new(WorkerLocal::new(ctx.workers(), || {
+            (MatchScratch::default(), FilterStats::default())
+        }));
+        let graph_out = filter_candidates_pool(ctx, graph, &locals, move |state, a, b| {
+            let (scratch, stats) = state;
+            matcher.decide(&prepared[a.index()], &prepared[b.index()], scratch, stats)
+        });
+        let stats = match Arc::try_unwrap(locals) {
+            Ok(locals) => {
+                let mut merged = FilterStats::default();
+                for (_, slot) in locals.into_inner() {
+                    merged.merge(&slot);
+                }
+                merged
+            }
+            Err(_) => FilterStats::default(),
+        };
+        (graph_out, stats)
     }
 }
 
@@ -240,13 +645,16 @@ impl Matcher for ThresholdMatcher {
         // same profiles many times, and tokenization dominates the naive
         // per-pair loop.
         let prepared = PreparedProfile::prepare_all(collection);
-        let t = self.threshold;
+        let mut scratch = MatchScratch::default();
+        let mut stats = FilterStats::default();
         SimilarityGraph::new(candidates.into_iter().filter_map(|pair| {
-            let s = self.measure.score_prepared(
+            self.decide(
                 &prepared[pair.first.index()],
                 &prepared[pair.second.index()],
-            );
-            (s >= t).then_some((pair, s))
+                &mut scratch,
+                &mut stats,
+            )
+            .map(|s| (pair, s))
         }))
     }
 
@@ -257,21 +665,27 @@ impl Matcher for ThresholdMatcher {
         candidates: Vec<Pair>,
     ) -> SimilarityGraph {
         // Broadcast the prepared views instead of the raw collection: every
-        // task scores from the shared cache.
+        // task scores from the shared cache. Partition-granular mapping
+        // gives each task one scratch warmed across its whole slice.
         let prepared = ctx.broadcast(PreparedProfile::prepare_all(collection));
-        let measure = self.measure;
-        let t = self.threshold;
+        let matcher = self.clone();
         let ds = ctx.parallelize_default(candidates);
-        let scored = ds.flat_map(move |pair| {
-            let s = measure.score_prepared(
-                &prepared[pair.first.index()],
-                &prepared[pair.second.index()],
-            );
-            if s >= t {
-                vec![(*pair, s)]
-            } else {
-                Vec::new()
-            }
+        let scored = ds.map_partitions(move |_, pairs| {
+            let mut scratch = MatchScratch::default();
+            let mut stats = FilterStats::default();
+            pairs
+                .iter()
+                .filter_map(|pair| {
+                    matcher
+                        .decide(
+                            &prepared[pair.first.index()],
+                            &prepared[pair.second.index()],
+                            &mut scratch,
+                            &mut stats,
+                        )
+                        .map(|s| (*pair, s))
+                })
+                .collect()
         });
         SimilarityGraph::new(scored.collect())
     }
@@ -321,6 +735,16 @@ impl WeightedRuleMatcher {
     pub fn rules(&self) -> &[WeightedRule] {
         &self.rules
     }
+
+    /// Rule score of two raw attribute values (fresh shared interner, so
+    /// the result equals scoring the same values from any cache).
+    fn value_score(measure: SimilarityMeasure, va: &str, vb: &str) -> f64 {
+        let mut dict = DictBuilder::new();
+        let mut scratch = String::new();
+        let pa = PreparedProfile::from_value(va, &mut dict, &mut scratch);
+        let pb = PreparedProfile::from_value(vb, &mut dict, &mut scratch);
+        measure.score_prepared(&pa, &pb)
+    }
 }
 
 impl Matcher for WeightedRuleMatcher {
@@ -329,24 +753,24 @@ impl Matcher for WeightedRuleMatcher {
         let mut total = 0.0;
         for rule in &self.rules {
             // Rules are directional on attribute names but profiles may
-            // arrive in either order; try both orientations.
-            let pair = match (a.value_of(&rule.attribute_a), b.value_of(&rule.attribute_b)) {
-                (Some(va), Some(vb)) => Some((va, vb)),
-                _ => match (b.value_of(&rule.attribute_a), a.value_of(&rule.attribute_b)) {
-                    (Some(va), Some(vb)) => Some((va, vb)),
-                    _ => None,
-                },
+            // arrive in either order; evaluate every orientation that
+            // resolves and take the better one. `max` commutes under
+            // argument swap, so the combined score is symmetric (a
+            // first-orientation-wins preference is not).
+            let fwd = match (a.value_of(&rule.attribute_a), b.value_of(&rule.attribute_b)) {
+                (Some(va), Some(vb)) => Some(Self::value_score(rule.measure, va, vb)),
+                _ => None,
             };
-            if let Some((va, vb)) = pair {
-                let pa = PreparedProfile {
-                    tokens: sparker_profiles::tokenize(va).collect(),
-                    concatenated: va.to_string(),
-                };
-                let pb = PreparedProfile {
-                    tokens: sparker_profiles::tokenize(vb).collect(),
-                    concatenated: vb.to_string(),
-                };
-                total += rule.weight * rule.measure.score_prepared(&pa, &pb);
+            let rev = match (b.value_of(&rule.attribute_a), a.value_of(&rule.attribute_b)) {
+                (Some(va), Some(vb)) => Some(Self::value_score(rule.measure, va, vb)),
+                _ => None,
+            };
+            let s = match (fwd, rev) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            };
+            if let Some(s) = s {
+                total += rule.weight * s;
                 total_weight += rule.weight;
             }
         }
@@ -359,6 +783,79 @@ impl Matcher for WeightedRuleMatcher {
 
     fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    fn match_pairs(
+        &self,
+        collection: &ProfileCollection,
+        candidates: impl IntoIterator<Item = Pair>,
+    ) -> SimilarityGraph {
+        // Cache prepared attribute views per (profile, rule attribute)
+        // across the candidate loop — the naive path re-tokenized both
+        // values for every rule on every pair. One shared interner keeps
+        // ids comparable across all cached views, and set-measure scores
+        // only depend on intersection counts, so cached scoring is
+        // bit-identical to `score`.
+        let mut names: Vec<&str> = self
+            .rules
+            .iter()
+            .flat_map(|r| [r.attribute_a.as_str(), r.attribute_b.as_str()])
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let width = names.len();
+        // cache[profile * width + name]: None = not derived yet,
+        // Some(None) = attribute missing on that profile.
+        let mut cache: Vec<Option<Option<PreparedProfile>>> = vec![None; collection.len() * width];
+        let mut dict = DictBuilder::new();
+        let mut tok_scratch = String::new();
+        let mut retained = Vec::new();
+        for pair in candidates {
+            let (pa, pb) = (collection.get(pair.first), collection.get(pair.second));
+            let mut total_weight = 0.0;
+            let mut total = 0.0;
+            for rule in &self.rules {
+                let ia = names.binary_search(&rule.attribute_a.as_str()).unwrap();
+                let ib = names.binary_search(&rule.attribute_b.as_str()).unwrap();
+                for (p, ni) in [(pa, ia), (pb, ib), (pb, ia), (pa, ib)] {
+                    let slot = p.id.index() * width + ni;
+                    if cache[slot].is_none() {
+                        cache[slot] =
+                            Some(p.value_of(names[ni]).map(|v| {
+                                PreparedProfile::from_value(v, &mut dict, &mut tok_scratch)
+                            }));
+                    }
+                }
+                let view = |p: &Profile, ni: usize| -> Option<&PreparedProfile> {
+                    cache[p.id.index() * width + ni].as_ref().unwrap().as_ref()
+                };
+                let fwd = match (view(pa, ia), view(pb, ib)) {
+                    (Some(x), Some(y)) => Some(rule.measure.score_prepared(x, y)),
+                    _ => None,
+                };
+                let rev = match (view(pb, ia), view(pa, ib)) {
+                    (Some(x), Some(y)) => Some(rule.measure.score_prepared(x, y)),
+                    _ => None,
+                };
+                let s = match (fwd, rev) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                };
+                if let Some(s) = s {
+                    total += rule.weight * s;
+                    total_weight += rule.weight;
+                }
+            }
+            let score = if total_weight == 0.0 {
+                0.0
+            } else {
+                total / total_weight
+            };
+            if score >= self.threshold {
+                retained.push((pair, score));
+            }
+        }
+        SimilarityGraph::new(retained)
     }
 }
 
@@ -392,7 +889,7 @@ impl TfIdfMatcher {
         graph: &Arc<CandidateGraph>,
     ) -> SimilarityGraph {
         let index = ctx.broadcast(self.index.clone());
-        score_candidates_pool(
+        crate::candidates::score_candidates_pool(
             ctx,
             graph,
             self.threshold,
@@ -479,6 +976,85 @@ mod tests {
     }
 
     #[test]
+    fn cascade_equals_naive_on_every_measure_and_threshold() {
+        let coll = collection();
+        for measure in SimilarityMeasure::ALL {
+            for threshold in [0.0, 0.3, 0.5, 0.8, 1.0] {
+                let naive = ThresholdMatcher::with_mode(measure, threshold, ScoringMode::Naive)
+                    .match_pairs(&coll, all_candidates(&coll));
+                let cascade = ThresholdMatcher::with_mode(measure, threshold, ScoringMode::Cascade)
+                    .match_pairs(&coll, all_candidates(&coll));
+                assert_eq!(naive, cascade, "{} @ {threshold}", measure.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_handles_blank_profiles() {
+        // Blank profiles prepare to empty token sets and empty
+        // concatenations — the bound paths must reproduce each measure's
+        // empty-input convention exactly.
+        let coll = ProfileCollection::clean_clean(
+            vec![
+                Profile::builder(SourceId(0), "a1").build(),
+                Profile::builder(SourceId(0), "a2")
+                    .attr("name", "sony tv")
+                    .build(),
+            ],
+            vec![
+                Profile::builder(SourceId(1), "b1").build(),
+                Profile::builder(SourceId(1), "b2")
+                    .attr("title", "sony tv")
+                    .build(),
+            ],
+        );
+        for measure in SimilarityMeasure::ALL {
+            for threshold in [0.0, 0.5, 1.0] {
+                let naive = ThresholdMatcher::with_mode(measure, threshold, ScoringMode::Naive)
+                    .match_pairs(&coll, all_candidates(&coll));
+                let cascade = ThresholdMatcher::with_mode(measure, threshold, ScoringMode::Cascade)
+                    .match_pairs(&coll, all_candidates(&coll));
+                assert_eq!(naive, cascade, "{} @ {threshold}", measure.name());
+            }
+        }
+    }
+
+    #[test]
+    fn filter_stats_account_for_every_pair() {
+        let coll = collection();
+        let candidates = all_candidates(&coll);
+        let ctx = Context::new(2);
+        let graph = Arc::new(CandidateGraph::from_pairs(
+            coll.len(),
+            candidates.iter().copied(),
+        ));
+        let m = ThresholdMatcher::with_mode(SimilarityMeasure::Jaccard, 0.4, ScoringMode::Cascade);
+        let (g, stats) = m.match_candidates_pool_stats(&ctx, &coll, &graph);
+        assert_eq!(stats.pairs, candidates.len() as u64);
+        assert_eq!(stats.kept, g.len() as u64);
+        assert_eq!(
+            stats.pairs,
+            stats.bound_rejected + stats.abandoned + stats.verified
+        );
+        assert!(stats.kept <= stats.verified);
+        // At threshold 0.4 the dissimilar pairs are size-filterable or
+        // abandoned: the cascade must actually filter something here.
+        assert!(stats.filtered() > 0, "cascade filtered nothing: {stats:?}");
+    }
+
+    #[test]
+    fn scoring_mode_env_escape_hatch_parses() {
+        // Can't mutate the process environment safely in a parallel test
+        // run; `from_env` is exercised for the unset case and the explicit
+        // constructor covers the rest.
+        assert_eq!(ScoringMode::default(), ScoringMode::Cascade);
+        assert_eq!(ScoringMode::Cascade.name(), "cascade");
+        assert_eq!(ScoringMode::Naive.name(), "naive");
+        let m = ThresholdMatcher::with_mode(SimilarityMeasure::Dice, 0.3, ScoringMode::Naive);
+        assert_eq!(m.mode(), ScoringMode::Naive);
+    }
+
+    #[test]
     fn dataflow_matching_equals_sequential() {
         let coll = collection();
         let m = ThresholdMatcher::new(SimilarityMeasure::Dice, 0.3);
@@ -514,6 +1090,73 @@ mod tests {
         let a = coll.get(ProfileId(0));
         let b = coll.get(ProfileId(2));
         assert!((m.score(a, b) - m.score(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_rules_symmetric_when_both_orientations_resolve() {
+        // Regression: both profiles carry both rule attributes, so both
+        // orientations resolve with *different* value pairs. The score must
+        // still be exactly symmetric (max over orientations, not
+        // first-orientation-wins).
+        let coll = ProfileCollection::dirty(vec![
+            Profile::builder(SourceId(0), "p0")
+                .attr("x", "foo bar")
+                .attr("y", "baz")
+                .build(),
+            Profile::builder(SourceId(0), "p1")
+                .attr("x", "qux")
+                .attr("y", "foo")
+                .build(),
+        ]);
+        let m = WeightedRuleMatcher::new(
+            vec![WeightedRule {
+                attribute_a: "x".to_string(),
+                attribute_b: "y".to_string(),
+                measure: SimilarityMeasure::Jaccard,
+                weight: 1.0,
+            }],
+            0.0,
+        );
+        let a = coll.get(ProfileId(0));
+        let b = coll.get(ProfileId(1));
+        let fwd = WeightedRuleMatcher::value_score(SimilarityMeasure::Jaccard, "foo bar", "foo");
+        let rev = WeightedRuleMatcher::value_score(SimilarityMeasure::Jaccard, "qux", "baz");
+        assert!(
+            fwd > rev,
+            "test fixture should make the orientations differ"
+        );
+        assert_eq!(m.score(a, b).to_bits(), m.score(b, a).to_bits());
+        assert_eq!(m.score(a, b).to_bits(), fwd.to_bits());
+    }
+
+    #[test]
+    fn weighted_rules_cached_match_pairs_equals_scores() {
+        let coll = collection();
+        let m = WeightedRuleMatcher::new(
+            vec![
+                WeightedRule {
+                    attribute_a: "name".to_string(),
+                    attribute_b: "title".to_string(),
+                    measure: SimilarityMeasure::Jaccard,
+                    weight: 2.0,
+                },
+                WeightedRule {
+                    attribute_a: "price".to_string(),
+                    attribute_b: "cost".to_string(),
+                    measure: SimilarityMeasure::Levenshtein,
+                    weight: 1.0,
+                },
+            ],
+            0.3,
+        );
+        let candidates = all_candidates(&coll);
+        // Reference: the per-pair `score` path (no cache), thresholded.
+        let reference = SimilarityGraph::new(candidates.iter().filter_map(|pair| {
+            let s = m.score(coll.get(pair.first), coll.get(pair.second));
+            (s >= m.threshold()).then_some((*pair, s))
+        }));
+        let cached = m.match_pairs(&coll, candidates);
+        assert_eq!(reference, cached);
     }
 
     #[test]

@@ -1,22 +1,33 @@
 //! Property-based tests of the similarity measures: bounds, symmetry,
 //! identity, and known orderings — at the raw-function level and at the
-//! [`SimilarityMeasure`] level the matchers use.
+//! [`SimilarityMeasure`] level the matchers use — plus the filter–verify
+//! cascade's exactness contract against the naive scorer.
 
 use proptest::prelude::*;
 use sparker_matching::similarity::*;
 use sparker_matching::{PreparedProfile, SimilarityMeasure};
-use sparker_profiles::{Profile, SourceId};
+use sparker_profiles::{DictBuilder, Profile, SourceId};
 use std::collections::BTreeSet;
 
-/// A prepared profile built from generated attribute values (possibly
-/// empty — empty values produce an empty token set and empty concatenation,
-/// the degenerate shape real datasets contain).
-fn prepared(values: &[String]) -> PreparedProfile {
+fn profile(values: &[String]) -> Profile {
     let mut b = Profile::builder(SourceId(0), "p");
     for (i, v) in values.iter().enumerate() {
         b = b.attr(format!("a{i}"), v.clone());
     }
-    PreparedProfile::new(&b.build())
+    b.build()
+}
+
+/// Two prepared profiles built from generated attribute values against one
+/// shared interner (possibly empty — empty values produce an empty token
+/// set and empty concatenation, the degenerate shape real datasets
+/// contain).
+fn prepared_pair(a: &[String], b: &[String]) -> (PreparedProfile, PreparedProfile) {
+    let mut dict = DictBuilder::new();
+    let mut scratch = String::new();
+    (
+        PreparedProfile::from_profile(&profile(a), &mut dict, &mut scratch),
+        PreparedProfile::from_profile(&profile(b), &mut dict, &mut scratch),
+    )
 }
 
 fn values_strategy() -> impl Strategy<Value = Vec<String>> {
@@ -36,6 +47,19 @@ proptest! {
             let s = f(&a, &b);
             prop_assert!((0.0..=1.0).contains(&s), "{s}");
             prop_assert_eq!(s, f(&b, &a));
+        }
+    }
+
+    #[test]
+    fn set_measures_empty_semantics(a in token_set()) {
+        // Documented empty-input conventions: every set measure scores 0
+        // against an empty set — including empty-vs-empty — while the
+        // string measures (covered below) score empty-vs-empty as 1.
+        let empty = BTreeSet::new();
+        for f in [jaccard, dice, overlap, cosine_tokens] {
+            prop_assert_eq!(f(&a, &empty), 0.0);
+            prop_assert_eq!(f(&empty, &a), 0.0);
+            prop_assert_eq!(f(&empty, &empty), 0.0);
         }
     }
 
@@ -75,6 +99,33 @@ proptest! {
     }
 
     #[test]
+    fn banded_levenshtein_matches_full(a in "[a-z]{0,12}", b in "[a-z]{0,12}", budget in 0usize..14) {
+        // The early-abandon band answers exactly: Some(d) iff d ≤ budget.
+        let d = levenshtein(&a, &b);
+        let got = levenshtein_within(&a, &b, budget);
+        if budget >= d {
+            prop_assert_eq!(got, Some(d));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+    }
+
+    #[test]
+    fn intersect_at_least_is_exact(a in prop::collection::btree_set(0u32..40, 0..20),
+                                   b in prop::collection::btree_set(0u32..40, 0..20),
+                                   need in 0usize..12) {
+        let va: Vec<u32> = a.iter().copied().collect();
+        let vb: Vec<u32> = b.iter().copied().collect();
+        let true_inter = a.intersection(&b).count();
+        let got = intersect_ids_at_least(&va, &vb, need);
+        if true_inter >= need {
+            prop_assert_eq!(got, Some(true_inter));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+    }
+
+    #[test]
     fn string_similarities_bounded_and_reflexive(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
         for f in [levenshtein_similarity, jaro, jaro_winkler, monge_elkan] {
             let s = f(&a, &b);
@@ -87,6 +138,18 @@ proptest! {
     #[test]
     fn jaro_winkler_dominates_jaro(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
         prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_boost_gated_on_07(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+        // At or below the 0.7 boost threshold, Winkler is exactly Jaro.
+        let j = jaro(&a, &b);
+        let jw = jaro_winkler(&a, &b);
+        if j <= 0.7 {
+            prop_assert_eq!(jw.to_bits(), j.to_bits());
+        } else {
+            prop_assert!(jw >= j);
+        }
     }
 
     #[test]
@@ -103,7 +166,7 @@ proptest! {
     fn measures_bounded_and_symmetric(a in values_strategy(), b in values_strategy()) {
         // Every selectable measure is symmetric and lands in [0, 1], even on
         // degenerate (empty-valued) profiles.
-        let (pa, pb) = (prepared(&a), prepared(&b));
+        let (pa, pb) = prepared_pair(&a, &b);
         for measure in SimilarityMeasure::ALL {
             let ab = measure.score_prepared(&pa, &pb);
             let ba = measure.score_prepared(&pb, &pa);
@@ -114,9 +177,9 @@ proptest! {
 
     #[test]
     fn measures_identity_on_nonempty_profiles(a in prop::collection::vec("[a-z]{1,8}", 1..4)) {
-        let p = prepared(&a);
+        let (p, q) = prepared_pair(&a, &a);
         for measure in SimilarityMeasure::ALL {
-            let s = measure.score_prepared(&p, &p);
+            let s = measure.score_prepared(&p, &q);
             prop_assert!((s - 1.0).abs() < 1e-12, "{}: self-score {s}", measure.name());
         }
     }
@@ -125,13 +188,37 @@ proptest! {
     fn scratch_scoring_is_bit_identical(a in values_strategy(), b in values_strategy()) {
         // The per-worker-scratch path the pool matcher uses must produce the
         // same bits as the allocating path, for every measure.
-        let (pa, pb) = (prepared(&a), prepared(&b));
-        let mut scratch = EditScratch::default();
+        let (pa, pb) = prepared_pair(&a, &b);
+        let mut scratch = MatchScratch::default();
         for measure in SimilarityMeasure::ALL {
             let plain = measure.score_prepared(&pa, &pb);
             let with = measure.score_prepared_with(&pa, &pb, &mut scratch);
             prop_assert_eq!(plain.to_bits(), with.to_bits(), "{}", measure.name());
         }
+    }
+
+    #[test]
+    fn cascade_verify_equals_naive_threshold(a in values_strategy(),
+                                             b in values_strategy(),
+                                             threshold in 0.0f64..=1.0) {
+        // The cascade's whole contract: verify_prepared returns Some(score)
+        // iff the naive score passes the threshold, with identical bits —
+        // on randomized profiles, for every measure, at any threshold.
+        let (pa, pb) = prepared_pair(&a, &b);
+        let mut scratch = MatchScratch::default();
+        let mut stats = sparker_matching::FilterStats::default();
+        for measure in SimilarityMeasure::ALL {
+            let naive = measure.score_prepared(&pa, &pb);
+            let expected = (naive >= threshold).then_some(naive.to_bits());
+            let got = measure
+                .verify_prepared(&pa, &pb, threshold, &mut scratch, &mut stats)
+                .map(f64::to_bits);
+            prop_assert_eq!(got, expected, "{} @ {}", measure.name(), threshold);
+        }
+        prop_assert_eq!(
+            stats.pairs,
+            stats.bound_rejected + stats.abandoned + stats.verified
+        );
     }
 
     #[test]

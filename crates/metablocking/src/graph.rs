@@ -309,25 +309,37 @@ impl BlockGraph {
     /// allocations total.
     pub fn degrees(&self) -> (Vec<u32>, u64) {
         let mut degrees = vec![0u32; self.num_profiles];
-        // seen[p] == i marks p as already counted for node i; u32::MAX is
-        // never a node id (ids are < num_profiles ≤ u32::MAX).
         let mut seen = vec![u32::MAX; self.num_profiles];
         let mut edges = 0u64;
         for (i, slot) in degrees.iter_mut().enumerate() {
-            let node = ProfileId(i as u32);
-            let mut count = 0u32;
-            for &b in self.blocks_of(node) {
-                for &other in self.candidates_of(node, b as usize) {
-                    if other != node && seen[other.index()] != i as u32 {
-                        seen[other.index()] = i as u32;
-                        count += 1;
-                    }
-                }
-            }
+            let count = self.degree_of(ProfileId(i as u32), &mut seen);
             *slot = count;
-            edges += count as u64;
+            edges += u64::from(count);
         }
         (degrees, edges / 2)
+    }
+
+    /// Distinct comparable neighbors of one `node`, counted with the
+    /// caller's epoch-marked `seen` array (length [`num_profiles`], entries
+    /// initialized to `u32::MAX` — never a node id, since ids are
+    /// `< num_profiles ≤ u32::MAX`). The node's own id is the epoch, so a
+    /// single array serves any set of distinct nodes without resets —
+    /// the unit of work node-parallel degree counting distributes
+    /// ([`crate::parallel::degrees_parallel`]).
+    ///
+    /// [`num_profiles`]: BlockGraph::num_profiles
+    pub fn degree_of(&self, node: ProfileId, seen: &mut [u32]) -> u32 {
+        debug_assert_eq!(seen.len(), self.num_profiles, "foreign seen array");
+        let mut count = 0u32;
+        for &b in self.blocks_of(node) {
+            for &other in self.candidates_of(node, b as usize) {
+                if other != node && seen[other.index()] != node.0 {
+                    seen[other.index()] = node.0;
+                    count += 1;
+                }
+            }
+        }
+        count
     }
 }
 

@@ -233,6 +233,13 @@ impl DictBuilder {
         }
     }
 
+    /// Intern every normalized token of `text`, appending the provisional
+    /// ids to `out` in occurrence order (duplicates included). `scratch` is
+    /// the tokenizer's normalization buffer, reused across calls.
+    pub fn intern_tokens(&mut self, text: &str, scratch: &mut String, out: &mut Vec<u32>) {
+        each_token(text, scratch, |t| out.push(self.intern(t)));
+    }
+
     /// Number of distinct tokens interned so far.
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -372,5 +379,25 @@ mod tests {
         for (token, old_id) in raw {
             assert_eq!(TokenId(perm[old_id as usize]), dict.lookup(&token).unwrap());
         }
+    }
+
+    #[test]
+    fn intern_tokens_matches_per_token_intern() {
+        let mut a = DictBuilder::new();
+        let mut b = DictBuilder::new();
+        let mut scratch = String::new();
+        let texts = ["Sony Bravia TV", "sony BRAVIA 40-inch", ""];
+        let mut via_helper = Vec::new();
+        let mut via_loop = Vec::new();
+        for text in texts {
+            a.intern_tokens(text, &mut scratch, &mut via_helper);
+            each_token(text, &mut scratch, |t| via_loop.push(b.intern(t)));
+        }
+        assert_eq!(via_helper, via_loop);
+        assert_eq!(a.len(), b.len());
+        // Occurrence order preserved, duplicates kept: "sony" and "bravia"
+        // repeat across the two texts with their original provisional ids.
+        assert_eq!(via_helper[0], via_helper[3]);
+        assert_eq!(via_helper[1], via_helper[4]);
     }
 }

@@ -48,4 +48,19 @@ for backend in sequential dataflow pool; do
   fi
 done
 
+# Matcher-equivalence smoke: the filter–verify cascade (default) and the
+# naive score-everything matcher (SPARKER_NAIVE_MATCHER=1) must report
+# identical result counts through the CLI.
+echo "==> sparker --demo: cascade vs SPARKER_NAIVE_MATCHER=1"
+cascade_line="$(cargo run -q --release --bin sparker -- --demo --backend pool --workers 2 \
+  | grep '^result counts:')"
+naive_line="$(SPARKER_NAIVE_MATCHER=1 cargo run -q --release --bin sparker -- --demo --backend pool --workers 2 \
+  | grep '^result counts:')"
+echo "    cascade: ${cascade_line#result counts: }"
+echo "    naive:   ${naive_line#result counts: }"
+if [ "${cascade_line}" != "${naive_line}" ]; then
+  echo "cascade and naive matcher disagree: '${cascade_line}' != '${naive_line}'" >&2
+  exit 1
+fi
+
 echo "CI OK"

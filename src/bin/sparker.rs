@@ -59,6 +59,13 @@ OPTIONS:
                            drill-down (lost pairs and their shared keys).
     --demo                 Run on a generated Abt-Buy-shaped dataset instead of files.
     --help                 Show this help.
+
+ENVIRONMENT:
+    SPARKER_NAIVE_MATCHER  Set non-empty to disable the matcher's
+                           filter-verify cascade and score every candidate
+                           pair naively. Results are identical either way
+                           (the cascade is exact); escape hatch for
+                           debugging and A/B timing.
 ";
 
 fn parse_args() -> Result<Args, String> {
