@@ -1,0 +1,179 @@
+//! Memory-budget scaling curve over the named dataset presets
+//! (`dirty_10k`, `dirty_100k`, `skewed_1m`).
+//!
+//! Each cell runs the `sparker` CLI in a **fresh subprocess** — peak RSS
+//! (`VmHWM`) is process-monotonic, so in-process measurement of a smaller
+//! tier after a bigger one would only ever read the bigger tier's
+//! high-water. The CLI already prints a machine-readable `memory:` line
+//! (budget, peak RSS, spilled bytes, spill batches) and a `result counts:`
+//! line; this bench parses both, records wall time and memory rows into
+//! the criterion stream (`BENCH_JSON=BENCH_scaling.json` via
+//! `scripts/bench.sh`), and asserts the out-of-core contract: budgeted
+//! runs spill yet report counts identical to the in-RAM run.
+//!
+//! The 10⁶-profile tier (`skewed_1m` under a 4 GiB budget) takes tens of
+//! minutes and is gated behind `SPARKER_SCALE_1M=1`; under `BENCH_SMOKE`
+//! only the 10k tier runs so CI exercises the harness cheaply.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty())
+}
+
+/// The release `sparker` CLI, built on demand when the bench runs before
+/// `cargo build --release` has produced it.
+fn sparker_binary() -> PathBuf {
+    // Bench binaries live in target/<profile>/deps/; the CLI one level up.
+    let exe = std::env::current_exe().expect("bench executable path");
+    let profile_dir = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench target directory");
+    let bin = profile_dir.join("sparker");
+    if !bin.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let status = Command::new(cargo)
+            .args(["build", "--release", "--bin", "sparker"])
+            .status()
+            .expect("spawn cargo build for the sparker CLI");
+        assert!(status.success(), "building the sparker CLI failed");
+    }
+    bin
+}
+
+/// One preset run: wall time plus the CLI's parsed `memory:` and
+/// `result counts:` lines.
+struct Cell {
+    wall: Duration,
+    counts: String,
+    peak_rss_mb: u64,
+    spilled_mb: u64,
+    spill_batches: u64,
+}
+
+fn parse_field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("field {key} missing from {line:?}"))
+}
+
+fn run_cell(bin: &PathBuf, preset: &str, budget_mb: u64) -> Cell {
+    let mut cmd = Command::new(bin);
+    cmd.args(["--preset", preset, "--backend", "pool", "--workers", "4"]);
+    if budget_mb > 0 {
+        cmd.args(["--mem-budget-mb", &budget_mb.to_string()]);
+    }
+    let t0 = Instant::now();
+    let out = cmd.output().expect("spawn sparker CLI");
+    let wall = t0.elapsed();
+    assert!(
+        out.status.success(),
+        "sparker --preset {preset} (budget {budget_mb} MiB) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = |prefix: &str| {
+        stdout
+            .lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no {prefix:?} line in CLI output"))
+            .to_string()
+    };
+    let memory = line("memory:");
+    Cell {
+        wall,
+        counts: line("result counts:"),
+        peak_rss_mb: parse_field(&memory, "peak_rss_mb"),
+        spilled_mb: parse_field(&memory, "spilled_mb"),
+        spill_batches: parse_field(&memory, "spill_batches"),
+    }
+}
+
+fn bench_scaling_curve(c: &mut Criterion) {
+    let bin = sparker_binary();
+    // (preset, budget MiB — 0 = in-RAM reference, expect_spill). Ascending
+    // sizes; each budgeted cell is paired with the unbudgeted run it must
+    // reproduce. Budgets that expect spilling sit below the tier's shuffle
+    // buffer volume; the 4 GiB `skewed_1m` cell instead pins the acceptance
+    // bound that the whole process peak RSS stays inside the budget.
+    let cells: Vec<(&str, u64, bool)> = if env_flag("BENCH_SMOKE") {
+        vec![("dirty_10k", 0, false), ("dirty_10k", 1, true)]
+    } else {
+        let mut cells = vec![
+            ("dirty_10k", 0, false),
+            ("dirty_10k", 1, true),
+            ("dirty_100k", 0, false),
+            ("dirty_100k", 8, true),
+        ];
+        if env_flag("SPARKER_SCALE_1M") {
+            cells.push(("skewed_1m", 0, false));
+            cells.push(("skewed_1m", 64, true));
+            cells.push(("skewed_1m", 4096, false));
+        }
+        cells
+    };
+
+    let mut reference: Vec<(String, String)> = Vec::new();
+    for (preset, budget_mb, expect_spill) in cells {
+        let tag = if budget_mb == 0 {
+            "in-ram".to_string()
+        } else {
+            format!("budget-{budget_mb}mb")
+        };
+        let cell = run_cell(&bin, preset, budget_mb);
+        eprintln!(
+            "scaling/{preset}/{tag}: wall {:?}, peak RSS {} MiB, spilled {} MiB ({} batches)",
+            cell.wall, cell.peak_rss_mb, cell.spilled_mb, cell.spill_batches
+        );
+        c.record(format!("scaling/{preset}/{tag}/wall"), 1, cell.wall);
+        c.record(
+            format!("scaling/{preset}/{tag}/peak_rss_mb"),
+            cell.peak_rss_mb as usize,
+            Duration::ZERO,
+        );
+        c.record(
+            format!("scaling/{preset}/{tag}/spilled_mb"),
+            cell.spilled_mb as usize,
+            Duration::ZERO,
+        );
+        c.record(
+            format!("scaling/{preset}/{tag}/spill_batches"),
+            cell.spill_batches as usize,
+            Duration::ZERO,
+        );
+        if budget_mb == 0 {
+            reference.push((preset.to_string(), cell.counts));
+            continue;
+        }
+        // The out-of-core contract: a budget changes *where* bytes live,
+        // never what the pipeline computes.
+        if expect_spill {
+            assert!(
+                cell.spill_batches > 0,
+                "{preset} under {budget_mb} MiB never spilled — budget not exercised"
+            );
+        } else {
+            // The headline acceptance cell: the run's whole peak RSS (not
+            // just the accounted buffers) fits the budget.
+            assert!(
+                cell.peak_rss_mb <= budget_mb,
+                "{preset}: peak RSS {} MiB exceeds the {budget_mb} MiB budget",
+                cell.peak_rss_mb
+            );
+        }
+        if let Some((_, want)) = reference.iter().find(|(p, _)| p == preset) {
+            assert_eq!(
+                &cell.counts, want,
+                "{preset}: budgeted result counts diverged from the in-RAM run"
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_scaling_curve);
+criterion_main!(benches);

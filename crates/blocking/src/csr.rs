@@ -20,7 +20,7 @@ use sparker_profiles::{ErKind, ProfileId, TokenDict, TokenId};
 /// Per-profile key-id lists in CSR form: the keys of profile `p` are
 /// `ids[offsets[p]..offsets[p + 1]]`, each list sorted and deduplicated.
 /// The intermediate between tokenization and block construction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ProfileKeys {
     ids: Vec<u32>,
     offsets: Vec<u32>,
@@ -31,19 +31,34 @@ impl ProfileKeys {
     /// possibly duplicated) key ids of one profile into the buffer; the
     /// builder sorts and deduplicates each list.
     pub fn collect<P>(profiles: &[P], mut fill: impl FnMut(&P, &mut Vec<u32>)) -> Self {
-        let mut ids: Vec<u32> = Vec::new();
-        let mut offsets: Vec<u32> = Vec::with_capacity(profiles.len() + 1);
-        offsets.push(0);
+        let mut keys = ProfileKeys::new();
         let mut buf: Vec<u32> = Vec::new();
         for p in profiles {
-            buf.clear();
             fill(p, &mut buf);
-            buf.sort_unstable();
-            buf.dedup();
-            ids.extend_from_slice(&buf);
-            offsets.push(ids.len() as u32);
+            keys.push_keys(&mut buf);
         }
-        ProfileKeys { ids, offsets }
+        keys
+    }
+
+    /// An empty key table to grow incrementally with
+    /// [`ProfileKeys::push_keys`] — the streaming entry point used when
+    /// profiles arrive in chunks instead of as one slice.
+    pub fn new() -> Self {
+        ProfileKeys {
+            ids: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Append the next profile's key list. `buf` holds its (unsorted,
+    /// possibly duplicated) key ids; the list is sorted, deduplicated and
+    /// adopted, and `buf` is left cleared for reuse.
+    pub fn push_keys(&mut self, buf: &mut Vec<u32>) {
+        buf.sort_unstable();
+        buf.dedup();
+        self.ids.extend_from_slice(buf);
+        self.offsets.push(self.ids.len() as u32);
+        buf.clear();
     }
 
     /// Number of profiles.
@@ -72,6 +87,12 @@ impl ProfileKeys {
         for id in &mut self.ids {
             *id = perm[*id as usize];
         }
+    }
+}
+
+impl Default for ProfileKeys {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -175,6 +196,121 @@ impl CompactBlocks {
             members,
             num_profiles,
         }
+    }
+
+    /// [`CompactBlocks::from_profile_keys`] with the counting sort run over
+    /// fixed-size ascending [`TokenId`] ranges of `chunk_keys` keys each.
+    ///
+    /// Every chunk re-scans the per-profile key lists but only counts and
+    /// scatters the keys inside its range, so the scatter temporaries
+    /// (counts, cursors, unpruned member buckets) are bounded by the chunk
+    /// instead of the whole key space — the memory-dominant part of token
+    /// blocking at the million-profile scale. Chunks append to the output
+    /// arrays in ascending key order, exactly the order the monolithic
+    /// build compacts in, so the result is bit-identical to
+    /// [`CompactBlocks::from_profile_keys`] for every chunk size (pinned by
+    /// proptest).
+    pub fn from_profile_keys_chunked(
+        kind: ErKind,
+        separator: u32,
+        num_keys: usize,
+        profile_keys: &ProfileKeys,
+        chunk_keys: usize,
+    ) -> Self {
+        let chunk_keys = chunk_keys.max(1);
+        let n = profile_keys.len();
+        let mut keys = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut splits = Vec::new();
+        let mut members: Vec<ProfileId> = Vec::new();
+        let mut num_profiles = 0usize;
+        let mut k0 = 0usize;
+        while k0 < num_keys {
+            let k1 = (k0 + chunk_keys).min(num_keys);
+            let width = k1 - k0;
+            // Pass 1 over this key range: bucket sizes.
+            let mut counts = vec![0u32; width];
+            let mut counts0 = vec![0u32; width];
+            for p in 0..n {
+                let in_source0 = (p as u32) < separator;
+                for &k in profile_keys.keys_of(p) {
+                    let k = k as usize;
+                    if (k0..k1).contains(&k) {
+                        counts[k - k0] += 1;
+                        counts0[k - k0] += u32::from(in_source0);
+                    }
+                }
+            }
+            let mut range_offsets = Vec::with_capacity(width + 1);
+            range_offsets.push(0u32);
+            for &c in &counts {
+                range_offsets.push(range_offsets.last().unwrap() + c);
+            }
+            // Pass 2: scatter this range's profile ids.
+            let total = *range_offsets.last().unwrap() as usize;
+            let mut range_members = vec![ProfileId(0); total];
+            let mut cursor: Vec<u32> = range_offsets[..width].to_vec();
+            for p in 0..n {
+                let pid = ProfileId(p as u32);
+                for &k in profile_keys.keys_of(p) {
+                    let k = k as usize;
+                    if (k0..k1).contains(&k) {
+                        range_members[cursor[k - k0] as usize] = pid;
+                        cursor[k - k0] += 1;
+                    }
+                }
+            }
+            // Compact this range, appending in ascending key order.
+            for k in 0..width {
+                let (lo, hi) = (range_offsets[k] as usize, range_offsets[k + 1] as usize);
+                let size = hi - lo;
+                let s0 = counts0[k] as usize;
+                let useful = match kind {
+                    ErKind::Dirty => size >= 2,
+                    ErKind::CleanClean => s0 > 0 && s0 < size,
+                };
+                if !useful {
+                    continue;
+                }
+                keys.push(TokenId((k0 + k) as u32));
+                members.extend_from_slice(&range_members[lo..hi]);
+                offsets.push(members.len() as u32);
+                splits.push(match kind {
+                    ErKind::Dirty => size as u32,
+                    ErKind::CleanClean => s0 as u32,
+                });
+                if let Some(m) = range_members[lo..hi].iter().map(|p| p.index()).max() {
+                    num_profiles = num_profiles.max(m + 1);
+                }
+            }
+            k0 = k1;
+        }
+        CompactBlocks {
+            kind,
+            keys,
+            offsets,
+            splits,
+            members,
+            num_profiles,
+        }
+    }
+
+    /// Budget-driven build: monolithic when `budget` is unlimited, chunked
+    /// with a budget-derived key-range size otherwise. The per-key scatter
+    /// temporaries cost roughly 12 bytes plus the range's share of the
+    /// member scatter; 32 bytes per key is a conservative sizing estimate.
+    pub fn from_profile_keys_budgeted(
+        kind: ErKind,
+        separator: u32,
+        num_keys: usize,
+        profile_keys: &ProfileKeys,
+        budget: &sparker_dataflow::MemBudget,
+    ) -> Self {
+        if !budget.is_limited() {
+            return Self::from_profile_keys(kind, separator, num_keys, profile_keys);
+        }
+        let chunk = budget.chunk_len(num_keys, 32);
+        Self::from_profile_keys_chunked(kind, separator, num_keys, profile_keys, chunk)
     }
 
     /// Task kind the blocks were built for.
@@ -342,5 +478,62 @@ mod tests {
         assert!(cb.is_empty());
         assert_eq!(cb.total_comparisons(), 0);
         assert_eq!(cb.num_profiles(), 0);
+    }
+
+    #[test]
+    fn chunked_build_is_bit_identical_to_monolithic() {
+        let pk = sample_keys();
+        for kind_sep in [(ErKind::Dirty, 3u32), (ErKind::CleanClean, 1u32)] {
+            let (kind, sep) = kind_sep;
+            let mono = CompactBlocks::from_profile_keys(kind, sep, 4, &pk);
+            for chunk in [1, 2, 3, 4, 100] {
+                let chunked = CompactBlocks::from_profile_keys_chunked(kind, sep, 4, &pk, chunk);
+                assert_eq!(chunked, mono, "chunk={chunk} kind={kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_build_matches_monolithic() {
+        use sparker_dataflow::MemBudget;
+        let pk = sample_keys();
+        let mono = CompactBlocks::from_profile_keys(ErKind::Dirty, 3, 4, &pk);
+        for budget in [MemBudget::unlimited(), MemBudget::limited(1)] {
+            let b = CompactBlocks::from_profile_keys_budgeted(ErKind::Dirty, 3, 4, &pk, &budget);
+            assert_eq!(b, mono);
+        }
+    }
+
+    mod chunked_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_chunked_equals_monolithic(
+                per_profile in proptest::collection::vec(
+                    proptest::collection::vec(0u32..30, 0..8), 0..40),
+                chunk in 1usize..35,
+                separator_frac in 0u32..100,
+            ) {
+                let pk = ProfileKeys::collect(&per_profile, |keys, buf| {
+                    buf.extend_from_slice(keys)
+                });
+                let n = per_profile.len() as u32;
+                let separator = if n == 0 { 0 } else { separator_frac % (n + 1) };
+                for kind in [ErKind::Dirty, ErKind::CleanClean] {
+                    let sep = match kind {
+                        ErKind::Dirty => n,
+                        ErKind::CleanClean => separator,
+                    };
+                    let mono = CompactBlocks::from_profile_keys(kind, sep, 30, &pk);
+                    let chunked =
+                        CompactBlocks::from_profile_keys_chunked(kind, sep, 30, &pk, chunk);
+                    prop_assert_eq!(chunked, mono);
+                }
+            }
+        }
     }
 }

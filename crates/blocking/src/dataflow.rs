@@ -76,7 +76,10 @@ pub fn keyed_blocking(
         })
         .collect();
 
-    // flatMap: (key id, (source, id)); groupByKey: key id -> members.
+    // flatMap: (key id, (source, id)); groupByKey: key id -> members. The
+    // spillable operator accounts the shuffle buffers against the context's
+    // memory budget (and spills them when it's exceeded) — byte-identical
+    // to the plain operator either way.
     let grouped = ctx
         .parallelize_default(id_rows)
         .flat_map(|(id, source, keys)| {
@@ -84,7 +87,7 @@ pub fn keyed_blocking(
             let source = *source;
             keys.iter().map(|&k| (k, (source, id))).collect::<Vec<_>>()
         })
-        .group_by_key();
+        .group_by_key_spillable();
 
     let mut keyed_blocks: Vec<(u32, Block)> = grouped
         .map(|(key, members)| {
@@ -150,7 +153,7 @@ pub fn block_filtering(ctx: &Context, blocks: BlockCollection, ratio: f64) -> Bl
                 .map(|&(src, p)| (p, (bid, cmps, src)))
                 .collect::<Vec<_>>()
         })
-        .group_by_key();
+        .group_by_key_spillable();
 
     // Per profile: retain the smallest `quota` blocks, emit (block, (src, profile)).
     let retained = by_profile.flat_map(move |(p, blocks_of_p)| {
@@ -164,7 +167,7 @@ pub fn block_filtering(ctx: &Context, blocks: BlockCollection, ratio: f64) -> Bl
             .collect::<Vec<_>>()
     });
 
-    let regrouped = retained.group_by_key();
+    let regrouped = retained.group_by_key_spillable();
     let mut rebuilt: Vec<(u32, Block)> = regrouped
         .map(move |(bid, members)| {
             let mut s0: Vec<ProfileId> = Vec::new();
@@ -264,6 +267,22 @@ mod tests {
             let bc = token_blocking(&Context::new(w), &coll);
             assert_eq!(bc.candidate_pairs(), base.candidate_pairs());
         }
+    }
+
+    #[test]
+    fn budgeted_blocking_spills_and_matches_sequential() {
+        use sparker_dataflow::MemBudget;
+        let coll = collection();
+        // A budget of a few bytes: every shuffle partition must spill.
+        let budget = MemBudget::limited(16);
+        let ctx = Context::new(4).with_budget(budget.clone());
+        let blocks = token_blocking(&ctx, &coll);
+        let filtered = block_filtering(&ctx, blocks.clone(), 0.8);
+        assert!(budget.spill_batches() > 0, "tiny budget forces spilling");
+        let seq_blocks = crate::token_blocking(&coll);
+        assert_eq!(blocks.blocks(), seq_blocks.blocks());
+        let seq_filtered = crate::block_filtering(seq_blocks, 0.8);
+        assert_eq!(filtered.candidate_pairs(), seq_filtered.candidate_pairs());
     }
 
     #[test]

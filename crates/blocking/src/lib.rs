@@ -52,5 +52,6 @@ pub use methods::{
 pub use purging::{purge_by_comparison_level, purge_oversized};
 pub use tokenblocking::{
     keyed_blocking, keyed_blocking_string, token_blocking, token_blocking_interned,
-    token_blocking_string, token_blocking_with_dict,
+    token_blocking_streaming, token_blocking_string, token_blocking_with_dict,
+    token_blocking_with_dict_budgeted,
 };

@@ -12,6 +12,7 @@
 use crate::block::Block;
 use crate::collection::BlockCollection;
 use crate::csr::{CompactBlocks, ProfileKeys};
+use sparker_dataflow::MemBudget;
 use sparker_profiles::{
     each_token, DictBuilder, ErKind, Profile, ProfileCollection, ProfileId, TokenDict,
 };
@@ -58,6 +59,82 @@ pub fn token_blocking_with_dict(collection: &ProfileCollection) -> (TokenDict, C
         dict.len(),
         &keys,
     );
+    (dict, compact)
+}
+
+/// [`token_blocking_with_dict`] under a memory budget: the same
+/// single-pass interning, but the CSR counting sort runs over bounded
+/// [`sparker_profiles::TokenId`] chunks
+/// ([`CompactBlocks::from_profile_keys_budgeted`]). Bit-identical output.
+pub fn token_blocking_with_dict_budgeted(
+    collection: &ProfileCollection,
+    budget: &MemBudget,
+) -> (TokenDict, CompactBlocks) {
+    let mut builder = DictBuilder::new();
+    let mut scratch = String::new();
+    let mut keys = ProfileKeys::collect(collection.profiles(), |p, buf| {
+        for a in &p.attributes {
+            each_token(&a.value, &mut scratch, |t| buf.push(builder.intern(t)));
+        }
+    });
+    let (dict, perm) = builder.finish();
+    keys.remap(&perm);
+    let compact = CompactBlocks::from_profile_keys_budgeted(
+        collection.kind(),
+        collection.separator(),
+        dict.len(),
+        &keys,
+        budget,
+    );
+    (dict, compact)
+}
+
+/// Streaming Token Blocking: profiles arrive as owned chunks (in ascending
+/// id order, source 0 before source 1) and each chunk's raw strings are
+/// dropped as soon as its tokens are interned — the collection's `Profile`s
+/// and their interned views never coexist in RAM. This is the 1M-profile
+/// entry point: a generator emits chunks, the dictionary and per-profile
+/// key lists grow incrementally, and the final CSR build honors `budget`.
+///
+/// Output is bit-identical to [`token_blocking_with_dict`] run over the
+/// concatenation of the chunks (pinned by tests).
+pub fn token_blocking_streaming<I>(
+    kind: ErKind,
+    chunks: I,
+    budget: &MemBudget,
+) -> (TokenDict, CompactBlocks)
+where
+    I: IntoIterator<Item = Vec<Profile>>,
+{
+    let mut builder = DictBuilder::new();
+    let mut scratch = String::new();
+    let mut keys = ProfileKeys::new();
+    let mut buf: Vec<u32> = Vec::new();
+    let mut total = 0u32;
+    let mut source0 = 0u32;
+    for chunk in chunks {
+        for p in &chunk {
+            debug_assert_eq!(p.id.0, total, "profiles must stream in id order");
+            for a in &p.attributes {
+                each_token(&a.value, &mut scratch, |t| buf.push(builder.intern(t)));
+            }
+            keys.push_keys(&mut buf);
+            if p.source.0 == 0 {
+                source0 += 1;
+            }
+            total += 1;
+        }
+        // `chunk` drops here: the raw profile strings are released before
+        // the next chunk is interned.
+    }
+    let separator = match kind {
+        ErKind::Dirty => total,
+        ErKind::CleanClean => source0,
+    };
+    let (dict, perm) = builder.finish();
+    keys.remap(&perm);
+    let compact =
+        CompactBlocks::from_profile_keys_budgeted(kind, separator, dict.len(), &keys, budget);
     (dict, compact)
 }
 
@@ -326,6 +403,44 @@ mod tests {
             keyed_blocking(&coll, key_fn).blocks(),
             keyed_blocking_string(&coll, key_fn).blocks()
         );
+    }
+
+    #[test]
+    fn streaming_blocking_matches_monolithic_at_any_chunking() {
+        let coll = figure1_collection();
+        let (dict, compact) = token_blocking_with_dict(&coll);
+        for chunk_size in [1usize, 2, 3, 4] {
+            let chunks: Vec<Vec<Profile>> = coll
+                .profiles()
+                .chunks(chunk_size)
+                .map(|c| c.to_vec())
+                .collect();
+            let (sdict, scompact) =
+                token_blocking_streaming(coll.kind(), chunks, &MemBudget::unlimited());
+            assert_eq!(sdict.len(), dict.len(), "chunk={chunk_size}");
+            assert_eq!(scompact, compact, "chunk={chunk_size}");
+        }
+        // Dirty kind too, with a budget tight enough to chunk the CSR build.
+        let dirty = ProfileCollection::dirty(vec![
+            Profile::builder(SourceId(0), "a").attr("n", "x y").build(),
+            Profile::builder(SourceId(0), "b").attr("n", "y z").build(),
+            Profile::builder(SourceId(0), "c").attr("n", "z x").build(),
+        ]);
+        let (_, expect) = token_blocking_with_dict(&dirty);
+        let chunks: Vec<Vec<Profile>> = dirty.profiles().chunks(2).map(|c| c.to_vec()).collect();
+        let (_, got) = token_blocking_streaming(dirty.kind(), chunks, &MemBudget::limited(1));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn budgeted_with_dict_is_bit_identical() {
+        let coll = figure1_collection();
+        let (dict, compact) = token_blocking_with_dict(&coll);
+        for budget in [MemBudget::unlimited(), MemBudget::limited(1)] {
+            let (bdict, bcompact) = token_blocking_with_dict_budgeted(&coll, &budget);
+            assert_eq!(bdict.len(), dict.len());
+            assert_eq!(bcompact, compact);
+        }
     }
 
     #[test]

@@ -12,11 +12,13 @@
 //! backend. Adding a new substrate means implementing these five entry
 //! points, not writing a fourth driver.
 
-use sparker_blocking::{block_filtering, keyed_blocking, token_blocking, BlockCollection};
+use sparker_blocking::{
+    block_filtering, keyed_blocking, token_blocking_with_dict_budgeted, BlockCollection,
+};
 use sparker_clustering::{
     cluster_edges, ClusteringAlgorithm, CollectionShape, ComponentsMode, EntityClusters,
 };
-use sparker_dataflow::Context;
+use sparker_dataflow::{Context, MemBudget};
 use sparker_looseschema::{loose_schema_keys, AttributePartitioning};
 use sparker_matching::{CandidateGraph, Matcher, SimilarityGraph, ThresholdMatcher};
 use sparker_metablocking::{
@@ -96,6 +98,19 @@ impl ExecutionBackend {
         self.context().map_or(1, Context::workers)
     }
 
+    /// The memory budget the backend runs under: the engine context's
+    /// budget on engine backends (set via [`Context::with_budget`] or the
+    /// `SPARKER_MEM_BUDGET_MB` environment variable), a fresh
+    /// [`MemBudget::from_env`] on the sequential backend. Clones share
+    /// counters with the source, so spill statistics accumulated during a
+    /// run are visible through any clone.
+    pub fn budget(&self) -> MemBudget {
+        match self {
+            ExecutionBackend::Sequential => MemBudget::from_env(),
+            ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => ctx.budget().clone(),
+        }
+    }
+
     /// Stage 1 — (token / loose-schema-keyed) blocking.
     ///
     /// Loose-schema generation itself stays on the driver (it reduces over
@@ -105,12 +120,16 @@ impl ExecutionBackend {
         &self,
         collection: &ProfileCollection,
         partitioning: Option<&AttributePartitioning>,
+        budget: &MemBudget,
     ) -> BlockCollection {
         match (self, partitioning) {
             (ExecutionBackend::Sequential, Some(parts)) => {
                 keyed_blocking(collection, |p| loose_schema_keys(p, parts))
             }
-            (ExecutionBackend::Sequential, None) => token_blocking(collection),
+            (ExecutionBackend::Sequential, None) => {
+                let (dict, compact) = token_blocking_with_dict_budgeted(collection, budget);
+                compact.materialize(&dict)
+            }
             (ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx), Some(parts)) => {
                 sparker_blocking::dataflow::keyed_blocking(ctx, collection, |p| {
                     loose_schema_keys(p, parts)
@@ -144,14 +163,15 @@ impl ExecutionBackend {
         blocks: &BlockCollection,
         entropies: Option<&BlockEntropies>,
         config: &MetaBlockingConfig,
+        budget: &MemBudget,
     ) -> Vec<(Pair, f64)> {
         match self {
             ExecutionBackend::Sequential => {
-                let graph = BlockGraph::new(blocks, entropies);
+                let graph = BlockGraph::new_budgeted(blocks, entropies, budget);
                 meta_blocking_graph(&graph, config)
             }
             ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => {
-                let graph = Arc::new(BlockGraph::new(blocks, entropies));
+                let graph = Arc::new(BlockGraph::new_budgeted(blocks, entropies, budget));
                 parallel::meta_blocking(ctx, &graph, config)
             }
         }
@@ -164,6 +184,7 @@ impl ExecutionBackend {
         matcher: &ThresholdMatcher,
         collection: &ProfileCollection,
         candidates: &HashSet<Pair>,
+        budget: &MemBudget,
     ) -> SimilarityGraph {
         match self {
             ExecutionBackend::Sequential => {
@@ -175,9 +196,10 @@ impl ExecutionBackend {
                 matcher.match_pairs_dataflow(ctx, collection, pairs)
             }
             ExecutionBackend::Pool(ctx) => {
-                let graph = Arc::new(CandidateGraph::from_pairs(
+                let graph = Arc::new(CandidateGraph::from_pairs_budgeted(
                     collection.len(),
                     candidates.iter().copied(),
+                    budget,
                 ));
                 matcher.match_candidates_pool(ctx, collection, &graph)
             }

@@ -117,6 +117,37 @@ impl Default for PipelineConfig {
 }
 
 impl PipelineConfig {
+    /// The scaling-tier configuration the named dataset presets run under
+    /// (CLI `--preset`, the scaling bench, CI's out-of-core smoke).
+    ///
+    /// The default configuration's oversized-block purge keeps enough hub
+    /// blocks that meta-blocking's input grows roughly quadratically with
+    /// the collection — fine at Abt-Buy scale, hopeless at 10⁵–10⁶
+    /// profiles. This variant bounds the work per profile instead:
+    /// comparison-level purging (adaptive, drops the hub blocks), block
+    /// filtering at 0.5, and reciprocal CNP meta-blocking (top-k neighbours
+    /// per node, k chosen from the block statistics), so candidates stay
+    /// `O(profiles × k)` and the pipeline scales linearly in time and
+    /// memory.
+    pub fn scaling() -> Self {
+        PipelineConfig {
+            blocking: BlockingConfig {
+                loose_schema: None,
+                purge: PurgeConfig::ComparisonLevel { smoothing: 1.0 },
+                filter_ratio: Some(0.5),
+                meta_blocking: Some(MetaBlockingConfig {
+                    pruning: PruningStrategy::Cnp {
+                        k: None,
+                        reciprocal: true,
+                    },
+                    ..MetaBlockingConfig::default()
+                }),
+            },
+            matching: MatcherConfig::default(),
+            clustering: ClusteringAlgorithm::ConnectedComponents,
+        }
+    }
+
     /// Serialize to the persistence format (one `key = value` per line).
     pub fn to_config_string(&self) -> String {
         let mut out = String::new();

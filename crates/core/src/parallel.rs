@@ -23,8 +23,9 @@ impl Pipeline {
         ctx: &Context,
         collection: &ProfileCollection,
     ) -> BlockerOutput {
-        self.run_blocker_on(&ExecutionBackend::Dataflow(ctx.clone()), collection)
-            .0
+        let backend = ExecutionBackend::Dataflow(ctx.clone());
+        let budget = backend.budget();
+        self.run_blocker_on(&backend, collection, &budget).0
     }
 
     /// Run the full pipeline on the dataflow engine

@@ -12,6 +12,7 @@ use crate::evaluate::{BlockingQuality, PairQuality, PipelineEvaluation};
 use crate::report::{PipelineReport, PipelineStage, StageReport, StageScope};
 use sparker_blocking::{purge_by_comparison_level, purge_oversized};
 use sparker_clustering::EntityClusters;
+use sparker_dataflow::MemBudget;
 use sparker_looseschema::{partition_attributes, AttributePartitioning};
 use sparker_matching::{SimilarityGraph, ThresholdMatcher};
 use sparker_metablocking::block_entropies;
@@ -119,37 +120,41 @@ impl Pipeline {
 
     /// Run only the blocker module (Figure 4) on the sequential backend.
     pub fn run_blocker(&self, collection: &ProfileCollection) -> BlockerOutput {
-        self.run_blocker_on(&ExecutionBackend::Sequential, collection)
-            .0
+        let backend = ExecutionBackend::Sequential;
+        let budget = backend.budget();
+        self.run_blocker_on(&backend, collection, &budget).0
     }
 
     /// The blocker half of the unified driver: `build_blocks`,
     /// `filter_blocks` and `prune_candidates` on the given backend, each
-    /// inside a [`StageScope`]. Returns the blocker output plus the three
+    /// inside a [`StageScope`]. `budget` is the run's memory budget,
+    /// resolved once by the caller so sequential-backend spill statistics
+    /// accumulate across stages. Returns the blocker output plus the three
     /// stage-report rows.
     pub(crate) fn run_blocker_on(
         &self,
         backend: &ExecutionBackend,
         collection: &ProfileCollection,
+        budget: &MemBudget,
     ) -> (BlockerOutput, Vec<StageReport>) {
         let bc = &self.config.blocking;
         let ctx = backend.context();
         let mut stages = Vec::with_capacity(PipelineStage::ALL.len());
 
         // Stage 1: loose schema (driver) + (token/keyed) blocking.
-        let scope = StageScope::begin(PipelineStage::BuildBlocks, ctx);
+        let scope = StageScope::begin(PipelineStage::BuildBlocks, ctx, budget);
         let partitioning = bc
             .loose_schema
             .as_ref()
             .map(|lsh| partition_attributes(collection, lsh));
-        let blocks = backend.build_blocks(collection, partitioning.as_ref());
+        let blocks = backend.build_blocks(collection, partitioning.as_ref(), budget);
         let initial_blocks = blocks.len();
         let initial_comparisons = blocks.total_comparisons();
         stages.push(scope.finish(collection.len() as u64, initial_blocks as u64));
 
         // Stage 2: block purging (a driver-side metadata filter on every
         // backend) + block filtering (a backend stage).
-        let scope = StageScope::begin(PipelineStage::FilterBlocks, ctx);
+        let scope = StageScope::begin(PipelineStage::FilterBlocks, ctx, budget);
         let blocks = match bc.purge {
             PurgeConfig::Off => blocks,
             PurgeConfig::Oversized { max_fraction } => {
@@ -169,7 +174,7 @@ impl Pipeline {
 
         // Stage 3: meta-blocking when enabled, plain pair enumeration of
         // the cleaned blocks otherwise.
-        let scope = StageScope::begin(PipelineStage::PruneCandidates, ctx);
+        let scope = StageScope::begin(PipelineStage::PruneCandidates, ctx, budget);
         let (candidates, weighted_candidates) = match &bc.meta_blocking {
             None => (blocks.candidate_pairs(), Vec::new()),
             Some(mb) => {
@@ -192,7 +197,7 @@ impl Pipeline {
                 } else {
                     None
                 };
-                let retained = backend.prune_candidates(&blocks, entropies.as_ref(), mb);
+                let retained = backend.prune_candidates(&blocks, entropies.as_ref(), mb, budget);
                 let set: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
                 (set, retained)
             }
@@ -234,18 +239,19 @@ impl Pipeline {
         backend: &ExecutionBackend,
         collection: &ProfileCollection,
     ) -> PipelineResult {
-        let (blocker, mut stages) = self.run_blocker_on(backend, collection);
+        let budget = backend.budget();
+        let (blocker, mut stages) = self.run_blocker_on(backend, collection, &budget);
         let ctx = backend.context();
 
         // Stage 4: entity matching.
-        let scope = StageScope::begin(PipelineStage::ScorePairs, ctx);
+        let scope = StageScope::begin(PipelineStage::ScorePairs, ctx, &budget);
         let matcher =
             ThresholdMatcher::new(self.config.matching.measure, self.config.matching.threshold);
-        let similarity = backend.score_pairs(&matcher, collection, &blocker.candidates);
+        let similarity = backend.score_pairs(&matcher, collection, &blocker.candidates, &budget);
         stages.push(scope.finish(blocker.candidates.len() as u64, similarity.len() as u64));
 
         // Stage 5: entity clustering.
-        let scope = StageScope::begin(PipelineStage::ClusterEdges, ctx);
+        let scope = StageScope::begin(PipelineStage::ClusterEdges, ctx, &budget);
         let clusters =
             backend.cluster_edges(self.config.clustering, similarity.edges(), collection);
         stages.push(scope.finish(similarity.len() as u64, clusters.num_clusters() as u64));
@@ -254,6 +260,10 @@ impl Pipeline {
             backend: backend.name(),
             workers: backend.workers(),
             stages,
+            mem_budget_bytes: budget.limit_bytes(),
+            peak_rss_bytes: MemBudget::peak_rss_bytes(),
+            spill_batches: budget.spill_batches(),
+            spilled_bytes: budget.spilled_bytes(),
         };
         let timings = report.step_timings();
         PipelineResult {

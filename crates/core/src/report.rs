@@ -10,7 +10,7 @@
 //! [`PipelineReport::to_json`]).
 
 use crate::pipeline::StepTimings;
-use sparker_dataflow::{Context, StageMetrics};
+use sparker_dataflow::{Context, MemBudget, StageMetrics};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -90,6 +90,10 @@ pub struct StageReport {
     pub input: u64,
     /// Output cardinality, in [`PipelineStage::output_unit`] units.
     pub output: u64,
+    /// High-water mark of budget-tracked bytes buffered in RAM during the
+    /// stage (shuffle partitions, spill buffers); 0 when the stage ran no
+    /// budget-accounted operator.
+    pub buffered_bytes: u64,
 }
 
 /// Structured per-stage report of one pipeline run: which backend ran it,
@@ -102,6 +106,17 @@ pub struct PipelineReport {
     pub workers: usize,
     /// One row per executed stage, in execution order.
     pub stages: Vec<StageReport>,
+    /// Memory budget the run was held to, in bytes (0 = unlimited).
+    pub mem_budget_bytes: u64,
+    /// Process peak RSS sampled at the end of the run (`VmHWM`; 0 where
+    /// the platform doesn't expose it). Process-monotonic: on a process
+    /// that runs several pipelines, later reports inherit earlier peaks.
+    pub peak_rss_bytes: u64,
+    /// Record batches the run spilled to disk (0 = everything stayed in
+    /// RAM).
+    pub spill_batches: u64,
+    /// Bytes the run spilled to disk.
+    pub spilled_bytes: u64,
 }
 
 impl PipelineReport {
@@ -134,36 +149,53 @@ impl PipelineReport {
     }
 
     /// Render the report as the aligned table the `sparker` CLI prints.
+    /// The `buffered` column is each stage's high-water mark of
+    /// budget-tracked RAM; the total row carries the budget, peak RSS and
+    /// spill statistics.
     pub fn render_table(&self) -> String {
+        fn mib(bytes: u64) -> String {
+            format!("{:.1}MiB", bytes as f64 / (1024.0 * 1024.0))
+        }
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} {:>12} {:>12} {:>11} {:>11}  units",
-            "stage", "input", "output", "wall", "busy"
+            "{:<16} {:>12} {:>12} {:>11} {:>11} {:>10}  units",
+            "stage", "input", "output", "wall", "busy", "buffered"
         );
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "{:<16} {:>12} {:>12} {:>11} {:>11}  {} -> {}",
+                "{:<16} {:>12} {:>12} {:>11} {:>11} {:>10}  {} -> {}",
                 s.stage.name(),
                 s.input,
                 s.output,
                 format!("{:.1?}", s.wall),
                 format!("{:.1?}", s.busy),
+                mib(s.buffered_bytes),
                 s.stage.input_unit(),
                 s.stage.output_unit(),
             );
         }
+        let budget = if self.mem_budget_bytes == 0 {
+            "unlimited".to_string()
+        } else {
+            mib(self.mem_budget_bytes)
+        };
         let _ = writeln!(
             out,
-            "{:<16} {:>12} {:>12} {:>11} {:>11}  backend={} workers={}",
+            "{:<16} {:>12} {:>12} {:>11} {:>11} {:>10}  backend={} workers={} budget={} peak_rss={} spilled={} ({} batches)",
             "total",
             "",
             "",
             format!("{:.1?}", self.total_wall()),
             format!("{:.1?}", self.total_busy()),
+            "",
             self.backend,
             self.workers,
+            budget,
+            mib(self.peak_rss_bytes),
+            mib(self.spilled_bytes),
+            self.spill_batches,
         );
         out
     }
@@ -179,11 +211,15 @@ impl PipelineReport {
     ///   "stages": [
     ///     {"stage": "build_blocks", "input": 1000, "output": 1523,
     ///      "input_unit": "profiles", "output_unit": "blocks",
-    ///      "wall_s": 0.0123, "busy_s": 0.0311},
+    ///      "wall_s": 0.0123, "busy_s": 0.0311, "buffered_bytes": 81920},
     ///     ...
     ///   ],
     ///   "total_wall_s": 0.2031,
-    ///   "total_busy_s": 0.5120
+    ///   "total_busy_s": 0.5120,
+    ///   "mem_budget_bytes": 0,
+    ///   "peak_rss_bytes": 73400320,
+    ///   "spill_batches": 0,
+    ///   "spilled_bytes": 0
     /// }
     /// ```
     pub fn to_json(&self) -> String {
@@ -201,7 +237,7 @@ impl PipelineReport {
                 out,
                 "{{\"stage\":\"{}\",\"input\":{},\"output\":{},\
                  \"input_unit\":\"{}\",\"output_unit\":\"{}\",\
-                 \"wall_s\":{:.9},\"busy_s\":{:.9}}}",
+                 \"wall_s\":{:.9},\"busy_s\":{:.9},\"buffered_bytes\":{}}}",
                 s.stage.name(),
                 s.input,
                 s.output,
@@ -209,13 +245,20 @@ impl PipelineReport {
                 s.stage.output_unit(),
                 s.wall.as_secs_f64(),
                 s.busy.as_secs_f64(),
+                s.buffered_bytes,
             );
         }
         let _ = write!(
             out,
-            "],\"total_wall_s\":{:.9},\"total_busy_s\":{:.9}}}",
+            "],\"total_wall_s\":{:.9},\"total_busy_s\":{:.9},\
+             \"mem_budget_bytes\":{},\"peak_rss_bytes\":{},\
+             \"spill_batches\":{},\"spilled_bytes\":{}}}",
             self.total_wall().as_secs_f64(),
             self.total_busy().as_secs_f64(),
+            self.mem_budget_bytes,
+            self.peak_rss_bytes,
+            self.spill_batches,
+            self.spilled_bytes,
         );
         out
     }
@@ -233,25 +276,33 @@ impl PipelineReport {
 pub struct StageScope<'a> {
     stage: PipelineStage,
     ctx: Option<&'a Context>,
+    budget: MemBudget,
     engine_stages_before: usize,
     start: Instant,
 }
 
 impl<'a> StageScope<'a> {
     /// Open a scope for `stage`; `ctx` is the engine context of the active
-    /// backend, or `None` on the sequential driver.
-    pub fn begin(stage: PipelineStage, ctx: Option<&'a Context>) -> Self {
+    /// backend, or `None` on the sequential driver. `budget` is the run's
+    /// memory budget — its per-stage high-water mark is reset here and read
+    /// back into [`StageReport::buffered_bytes`] at
+    /// [`StageScope::finish`].
+    pub fn begin(stage: PipelineStage, ctx: Option<&'a Context>, budget: &MemBudget) -> Self {
+        budget.begin_stage();
         StageScope {
             stage,
             ctx,
+            budget: budget.clone(),
             engine_stages_before: ctx.map_or(0, |c| c.metrics().stages.len()),
             start: Instant::now(),
         }
     }
 
-    /// Close the scope, recording cardinalities and times.
+    /// Close the scope, recording cardinalities, times and the stage's
+    /// buffered-bytes high-water mark.
     pub fn finish(self, input: u64, output: u64) -> StageReport {
         let wall = self.start.elapsed();
+        let buffered_bytes = self.budget.stage_high_water();
         let busy = match self.ctx {
             None => wall,
             Some(ctx) => {
@@ -269,6 +320,7 @@ impl<'a> StageScope<'a> {
                 marker.output_records = output;
                 marker.wall_time = wall;
                 marker.busy_time = busy;
+                marker.buffered_bytes = buffered_bytes;
                 ctx.record_stage(marker);
                 busy
             }
@@ -279,6 +331,7 @@ impl<'a> StageScope<'a> {
             busy,
             input,
             output,
+            buffered_bytes,
         }
     }
 }
@@ -300,8 +353,13 @@ mod tests {
                     busy: Duration::from_millis(i as u64 + 1),
                     input: 10 * (i as u64 + 1),
                     output: 10 * (i as u64 + 2),
+                    buffered_bytes: 1024 * (i as u64 + 1),
                 })
                 .collect(),
+            mem_budget_bytes: 0,
+            peak_rss_bytes: 70 * 1024 * 1024,
+            spill_batches: 0,
+            spilled_bytes: 0,
         }
     }
 
@@ -328,6 +386,11 @@ mod tests {
         assert!(json.contains("\"backend\":\"sequential\""));
         assert!(json.contains("\"workers\":1"));
         assert!(json.contains("\"total_wall_s\":"));
+        assert!(json.contains("\"buffered_bytes\":1024"));
+        assert!(json.contains("\"mem_budget_bytes\":0"));
+        assert!(json.contains("\"peak_rss_bytes\":73400320"));
+        assert!(json.contains("\"spill_batches\":0"));
+        assert!(json.contains("\"spilled_bytes\":0"));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
@@ -337,11 +400,15 @@ mod tests {
         assert_eq!(table.lines().count(), 1 + PipelineStage::ALL.len() + 1);
         assert!(table.contains("score_pairs"));
         assert!(table.contains("backend=sequential workers=1"));
+        assert!(table.contains("buffered"));
+        assert!(table.contains("budget=unlimited"));
+        assert!(table.contains("peak_rss=70.0MiB"));
+        assert!(table.contains("spilled=0.0MiB (0 batches)"));
     }
 
     #[test]
     fn sequential_scope_busy_equals_wall() {
-        let scope = StageScope::begin(PipelineStage::ScorePairs, None);
+        let scope = StageScope::begin(PipelineStage::ScorePairs, None, &MemBudget::unlimited());
         std::thread::sleep(Duration::from_millis(2));
         let row = scope.finish(7, 3);
         assert_eq!(row.wall, row.busy);
@@ -352,7 +419,7 @@ mod tests {
     #[test]
     fn engine_scope_records_marker_stage() {
         let ctx = Context::new(2);
-        let scope = StageScope::begin(PipelineStage::BuildBlocks, Some(&ctx));
+        let scope = StageScope::begin(PipelineStage::BuildBlocks, Some(&ctx), ctx.budget());
         // Run an engine stage inside the scope.
         let ds = ctx.parallelize((0..100).collect::<Vec<i32>>(), 4);
         let total: i32 = ds.map(|x| x * 2).collect().into_iter().sum();
@@ -367,5 +434,20 @@ mod tests {
         assert_eq!(marker.input_records, 100);
         assert_eq!(marker.wall_time, row.wall);
         assert_eq!(marker.busy_time, row.busy);
+        assert_eq!(marker.buffered_bytes, row.buffered_bytes);
+    }
+
+    #[test]
+    fn scope_reads_stage_high_water_into_buffered_bytes() {
+        let budget = MemBudget::unlimited();
+        let scope = StageScope::begin(PipelineStage::BuildBlocks, None, &budget);
+        assert!(budget.try_reserve(4096));
+        budget.release(4096);
+        let row = scope.finish(1, 1);
+        assert_eq!(row.buffered_bytes, 4096);
+        // The next scope resets the stage-level mark.
+        let scope = StageScope::begin(PipelineStage::FilterBlocks, None, &budget);
+        let row = scope.finish(1, 1);
+        assert_eq!(row.buffered_bytes, 0);
     }
 }

@@ -175,7 +175,8 @@ fn cascade_matches_naive_scorer_across_backends() {
                 ExecutionBackend::dataflow(2),
                 ExecutionBackend::pool(2),
             ] {
-                let got = backend.score_pairs(&cascade, &ds.collection, candidates);
+                let got =
+                    backend.score_pairs(&cascade, &ds.collection, candidates, &backend.budget());
                 assert_eq!(
                     got,
                     naive,
@@ -306,4 +307,52 @@ proptest! {
             );
         }
     }
+}
+
+#[test]
+fn budgeted_pipeline_is_bit_identical_to_in_ram() {
+    // The out-of-core path must be an *implementation detail*: a hard
+    // memory budget small enough to force spilling in every spill-capable
+    // stage changes nothing observable. Reference = unbudgeted sequential;
+    // matrix = budgeted engine backends across worker counts, on a shrunk
+    // dirty_10k preset (same generator and seed, fewer entities).
+    use sparker_dataflow::{Context, MemBudget};
+    let mut preset = sparker_datasets::Preset::by_name("dirty_10k").unwrap();
+    preset.config.entities = 400;
+    let ds = preset.generate();
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let reference = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+    assert_eq!(reference.report.mem_budget_bytes, 0, "reference is in-RAM");
+    assert_eq!(reference.report.spill_batches, 0, "reference never spills");
+    for workers in [1, 2, 4] {
+        for make in [ExecutionBackend::Dataflow, ExecutionBackend::Pool] {
+            let budget = MemBudget::limited(16 * 1024);
+            let backend = make(Context::new(workers).with_budget(budget.clone()));
+            let run = pipeline.run_on(&backend, &ds.collection);
+            let tag = format!("budgeted backend={} workers={workers}", backend.name());
+            assert_equivalent(&reference, &run, &ds, &tag);
+            assert_eq!(run.report.mem_budget_bytes, 16 * 1024, "{tag}");
+            assert!(run.report.spill_batches > 0, "{tag}: expected spilling");
+            assert_eq!(run.report.spilled_bytes, budget.spilled_bytes(), "{tag}");
+        }
+    }
+}
+
+#[test]
+fn budgeted_pipeline_full_10k_preset_on_pool() {
+    // One full-scale cell of the scaling tier in the test suite: the real
+    // dirty_10k preset under the scaling-tier configuration (the same pair
+    // the CLI's --preset runs), pool backend, 1 MiB budget — byte-identical
+    // to the unbudgeted sequential run, with spilling actually exercised.
+    use sparker_dataflow::{Context, MemBudget};
+    let ds = sparker_datasets::Preset::by_name("dirty_10k")
+        .unwrap()
+        .generate();
+    let pipeline = Pipeline::new(PipelineConfig::scaling());
+    let reference = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+    let backend = ExecutionBackend::Pool(Context::new(4).with_budget(MemBudget::limited(1 << 20)));
+    let run = pipeline.run_on(&backend, &ds.collection);
+    assert_equivalent(&reference, &run, &ds, "budgeted 10k pool");
+    assert!(run.report.spill_batches > 0, "expected spilling at 1 MiB");
+    assert!(run.report.peak_rss_bytes > 0, "VmHWM should be readable");
 }

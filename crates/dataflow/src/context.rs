@@ -1,6 +1,8 @@
 //! Execution context: worker pool + metrics + dataset construction.
 
-use crate::{Accumulator, Broadcast, Dataset, ExecutionMetrics, MetricsSnapshot, WorkerPool};
+use crate::{
+    Accumulator, Broadcast, Dataset, ExecutionMetrics, MemBudget, MetricsSnapshot, WorkerPool,
+};
 use std::sync::Arc;
 
 /// Entry point of the dataflow engine.
@@ -14,6 +16,7 @@ pub struct Context {
     pool: Arc<WorkerPool>,
     metrics: ExecutionMetrics,
     default_partitions: usize,
+    budget: MemBudget,
 }
 
 impl Context {
@@ -26,6 +29,7 @@ impl Context {
             pool: Arc::new(WorkerPool::new(workers)),
             metrics: ExecutionMetrics::default(),
             default_partitions: workers * 2,
+            budget: MemBudget::from_env(),
         }
     }
 
@@ -34,6 +38,20 @@ impl Context {
         let mut ctx = Context::new(workers);
         ctx.default_partitions = default_partitions.max(1);
         ctx
+    }
+
+    /// Replace the context's memory budget (builder-style). `Context::new`
+    /// resolves the budget from `SPARKER_MEM_BUDGET_MB`; tests and embedders
+    /// use this to set an explicit one without touching the environment.
+    pub fn with_budget(mut self, budget: MemBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The memory budget every stage of this context accounts against.
+    /// Clones of the handle share counters.
+    pub fn budget(&self) -> &MemBudget {
+        &self.budget
     }
 
     /// Number of concurrent workers.

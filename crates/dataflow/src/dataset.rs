@@ -4,6 +4,7 @@ use crate::context::Context;
 use crate::metrics::StageMetrics;
 use crate::partition_for;
 use crate::pool::StageStats;
+use crate::spill::{SpillCodec, SpilledBuckets};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -52,12 +53,40 @@ fn record_stage(
     t0: Instant,
     stats: StageStats,
 ) {
+    record_stage_buffered(
+        ctx,
+        name,
+        tasks,
+        input_records,
+        output_records,
+        shuffle_records,
+        0,
+        t0,
+        stats,
+    );
+}
+
+/// [`record_stage`] for operators that account their shuffle buffers
+/// against the context's memory budget.
+#[allow(clippy::too_many_arguments)]
+fn record_stage_buffered(
+    ctx: &Context,
+    name: &str,
+    tasks: usize,
+    input_records: u64,
+    output_records: u64,
+    shuffle_records: u64,
+    buffered_bytes: u64,
+    t0: Instant,
+    stats: StageStats,
+) {
     ctx.metrics_sink().record_stage(StageMetrics {
         name: name.to_string(),
         tasks,
         input_records,
         output_records,
         shuffle_records,
+        buffered_bytes,
         wall_time: t0.elapsed(),
         busy_time: stats.busy_time,
         queue_wait: stats.queue_wait,
@@ -611,6 +640,127 @@ where
         Dataset::from_parts(ctx, grouped.into_iter().map(Arc::new).collect())
     }
 
+    /// Hash-shuffle with byte accounting against the context's
+    /// [`crate::MemBudget`]: each map task reserves its buckets' exact
+    /// encoded size; when the reservation would exceed the budget, that
+    /// input partition's buckets are spilled to the run-scoped temp dir in
+    /// the [`SpillCodec`] batch format and streamed back on the reduce
+    /// side. Routing, intra-bucket order and the input-order concatenation
+    /// are identical to [`Dataset::shuffle_parts`], and the codec
+    /// round-trip is bit-exact, so the output is byte-identical whether or
+    /// not anything spilled — the resident/spilled decision (which depends
+    /// on task completion order) only moves bytes between RAM and disk.
+    fn shuffle_parts_spillable(
+        ctx: &Context,
+        parts: Vec<Arc<Vec<(K, V)>>>,
+        n: usize,
+    ) -> (Vec<Vec<(K, V)>>, StageStats)
+    where
+        (K, V): SpillCodec,
+    {
+        let n = n.max(1);
+        let budget = ctx.budget().clone();
+        enum MapOutput<T> {
+            Resident { buckets: Vec<Vec<T>>, bytes: u64 },
+            Spilled(SpilledBuckets),
+        }
+        // Map side: bucket each input partition, then keep it in RAM only
+        // if the budget still has room for its bytes.
+        let (bucketed, stats) = ctx.pool().run_owned(parts, |_, part| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+            let mut bytes = 0u64;
+            match Arc::try_unwrap(part) {
+                Ok(owned) => {
+                    for record in owned {
+                        bytes += record.encoded_len() as u64;
+                        let target = partition_for(&record.0, n);
+                        buckets[target].push(record);
+                    }
+                }
+                Err(shared) => {
+                    for (k, v) in shared.iter() {
+                        let record = (k.clone(), v.clone());
+                        bytes += record.encoded_len() as u64;
+                        let target = partition_for(&record.0, n);
+                        buckets[target].push(record);
+                    }
+                }
+            }
+            if budget.try_reserve(bytes) {
+                MapOutput::Resident { buckets, bytes }
+            } else {
+                let spilled =
+                    SpilledBuckets::write(&budget, &buckets).expect("spill shuffle buckets");
+                MapOutput::Spilled(spilled)
+            }
+        });
+        // Reduce side: concatenate per-target buckets in input order,
+        // streaming spilled ones back from disk.
+        let mut targets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+        for input in bucketed {
+            match input {
+                MapOutput::Resident { buckets, bytes } => {
+                    for (j, bucket) in buckets.into_iter().enumerate() {
+                        targets[j].extend(bucket);
+                    }
+                    budget.release(bytes);
+                }
+                MapOutput::Spilled(spilled) => {
+                    for (j, target) in targets.iter_mut().enumerate() {
+                        spilled
+                            .read_bucket_into(j, target)
+                            .expect("read spilled shuffle bucket");
+                    }
+                }
+            }
+        }
+        (targets, stats)
+    }
+
+    /// [`Dataset::group_by_key`] with spill-to-disk under the context's
+    /// memory budget. Byte-identical to the in-RAM operator at any budget
+    /// (including when spilling triggers); records the stage under the same
+    /// `"group_by_key"` name with its buffered-bytes high-water filled in.
+    pub fn group_by_key_spillable(self) -> Dataset<(K, Vec<V>)>
+    where
+        (K, V): SpillCodec,
+    {
+        let n = self.ctx.default_partitions();
+        self.group_by_key_spillable_with(n)
+    }
+
+    /// [`Dataset::group_by_key_spillable`] with an explicit output
+    /// partition count.
+    pub fn group_by_key_spillable_with(self, n: usize) -> Dataset<(K, Vec<V>)>
+    where
+        (K, V): SpillCodec,
+    {
+        let t0 = Instant::now();
+        let Dataset { ctx, parts } = self;
+        let tasks = parts.len();
+        let input: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let budget = ctx.budget().clone();
+        budget.begin_op();
+        let (shuffled, map_stats) = Self::shuffle_parts_spillable(&ctx, parts, n);
+        let moved: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
+        let (grouped, reduce_stats) = ctx
+            .pool()
+            .run_owned(shuffled, |_, bucket| group_preserving_order(bucket));
+        let produced: u64 = grouped.iter().map(|p| p.len() as u64).sum();
+        record_stage_buffered(
+            &ctx,
+            "group_by_key",
+            tasks,
+            input,
+            produced,
+            moved,
+            budget.op_high_water(),
+            t0,
+            map_stats + reduce_stats,
+        );
+        Dataset::from_parts(ctx, grouped.into_iter().map(Arc::new).collect())
+    }
+
     /// Merge values per key with map-side combining (Spark `reduceByKey`).
     ///
     /// `combine` must be associative; commutativity is not required because
@@ -934,6 +1084,46 @@ mod tests {
             .group_by_key()
             .collect();
         assert_eq!(grouped.collect(), seq);
+    }
+
+    #[test]
+    fn spillable_group_by_key_matches_plain_when_spilling() {
+        use crate::MemBudget;
+        // A budget far below the data size: every map task must spill.
+        let budget = MemBudget::limited(64);
+        let c = Context::with_partitions(4, 5).with_budget(budget.clone());
+        let pairs: Vec<(String, u64)> = (0..200).map(|i| (format!("key-{}", i % 11), i)).collect();
+        let plain = c.parallelize(pairs.clone(), 6).group_by_key().collect();
+        let spilled = c.parallelize(pairs, 6).group_by_key_spillable().collect();
+        assert_eq!(spilled, plain);
+        assert!(budget.spill_batches() > 0, "tiny budget forces spilling");
+        assert!(budget.spilled_bytes() > 0);
+        assert_eq!(budget.tracked_bytes(), 0, "all reservations released");
+    }
+
+    #[test]
+    fn spillable_group_by_key_stays_resident_when_unlimited() {
+        use crate::MemBudget;
+        let budget = MemBudget::unlimited();
+        let c = Context::with_partitions(4, 5).with_budget(budget.clone());
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i % 7, i)).collect();
+        let grouped = c.parallelize(pairs, 6).group_by_key_spillable().collect();
+        assert_eq!(grouped.len(), 7);
+        assert_eq!(budget.spill_batches(), 0, "unlimited never spills");
+        assert!(
+            budget.run_high_water() > 0,
+            "buffered bytes are tracked even without a limit"
+        );
+        assert_eq!(budget.tracked_bytes(), 0);
+        // The stage row carries the buffered high-water under the plain
+        // operator name.
+        let snap = c.metrics();
+        let stage = snap
+            .stages
+            .iter()
+            .find(|s| s.name == "group_by_key")
+            .expect("stage recorded");
+        assert_eq!(stage.buffered_bytes, budget.run_high_water());
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! * [`Broadcast<T>`] — a read-only value shared with every task, mirroring
 //!   Spark broadcast variables (SparkER's parallel meta-blocking is built on
 //!   a broadcast join).
+//! * [`MemBudget`] — byte-level memory accounting with spill-to-disk for
+//!   wide operators ([`Dataset::group_by_key_spillable`]), so shuffles run
+//!   within a caller-specified RAM budget (`SPARKER_MEM_BUDGET_MB`); spilled
+//!   batches use the length-prefixed [`SpillCodec`] format under a
+//!   run-scoped temp dir that cleans up even on panic.
 //! * [`ExecutionMetrics`] — per-stage task counts, record counts, shuffle
 //!   volumes and timing (wall, worker-busy, queue-wait), used by the
 //!   scalability experiments.
@@ -102,18 +107,24 @@
 
 mod accumulator;
 mod broadcast;
+mod budget;
 mod context;
 mod dataset;
 mod metrics;
 mod pool;
+mod spill;
 mod worker_local;
 
 pub use accumulator::Accumulator;
 pub use broadcast::Broadcast;
+pub use budget::{MemBudget, SpillDir, MEM_BUDGET_ENV};
 pub use context::Context;
 pub use dataset::{Dataset, KeyedDataset};
 pub use metrics::{ExecutionMetrics, MetricsSnapshot, StageMetrics};
 pub use pool::{StageStats, WorkerPool};
+pub use spill::{
+    encoded_len_of, RunCursor, SpillCodec, SpillRun, SpilledBuckets, SPILL_BATCH_RECORDS,
+};
 pub use worker_local::WorkerLocal;
 
 /// Hash a key to a shuffle partition index.

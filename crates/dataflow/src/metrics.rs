@@ -24,6 +24,10 @@ pub struct StageMetrics {
     pub output_records: u64,
     /// Records moved across the shuffle boundary (0 for narrow stages).
     pub shuffle_records: u64,
+    /// High-water mark of shuffle bytes buffered in RAM during the stage,
+    /// as accounted against the context's [`crate::MemBudget`] (0 for
+    /// narrow stages and for operators that don't account their buffers).
+    pub buffered_bytes: u64,
     /// Wall-clock time of the stage (submission to last task completion).
     pub wall_time: Duration,
     /// Sum of task CPU time across all workers (preemption excluded, so
@@ -49,6 +53,7 @@ impl StageMetrics {
             input_records: 0,
             output_records: 0,
             shuffle_records: 0,
+            buffered_bytes: 0,
             wall_time: Duration::ZERO,
             busy_time: Duration::ZERO,
             queue_wait: Duration::ZERO,
@@ -176,6 +181,7 @@ mod tests {
             input_records: 10,
             output_records: 10,
             shuffle_records: shuffle,
+            buffered_bytes: 0,
             wall_time: Duration::from_millis(5),
             busy_time: Duration::from_millis(8),
             queue_wait: Duration::from_micros(20),

@@ -1,7 +1,7 @@
 //! Property-based tests of the dataflow engine against sequential models.
 
 use proptest::prelude::*;
-use sparker_dataflow::Context;
+use sparker_dataflow::{Context, MemBudget};
 use std::collections::BTreeMap;
 
 fn ctx_strategy() -> impl Strategy<Value = (usize, usize)> {
@@ -52,6 +52,27 @@ proptest! {
             model.entry(k).or_default().push(v);
         }
         prop_assert_eq!(grouped, model);
+    }
+
+    #[test]
+    fn spillable_group_by_key_is_identical_at_any_budget(
+        data in prop::collection::vec((0u32..40, any::<u32>()), 0..300),
+        (workers, parts) in ctx_strategy(),
+        budget_bytes in prop_oneof![Just(0u64), 1u64..4096],
+    ) {
+        // 0 = unlimited; tiny byte budgets force every partition to spill.
+        let budget = if budget_bytes == 0 {
+            MemBudget::unlimited()
+        } else {
+            MemBudget::limited(budget_bytes)
+        };
+        let ctx = Context::with_partitions(workers, parts).with_budget(budget);
+        let plain = ctx.parallelize(data.clone(), parts).group_by_key().collect();
+        let spillable = ctx
+            .parallelize(data.clone(), parts)
+            .group_by_key_spillable()
+            .collect();
+        prop_assert_eq!(spillable, plain);
     }
 
     #[test]

@@ -436,11 +436,38 @@ pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
 /// Each entity gets 1–`max_cluster` representations (the first canonical,
 /// the rest corrupted); the ground truth contains all intra-cluster pairs.
 pub fn generate_dirty(config: &DatasetConfig, max_cluster: usize) -> GeneratedDataset {
+    let mut profiles = Vec::new();
+    let ground_truth = generate_dirty_chunked(config, max_cluster, usize::MAX, |chunk| {
+        profiles.extend(chunk)
+    });
+    GeneratedDataset {
+        collection: ProfileCollection::dirty(profiles),
+        ground_truth,
+    }
+}
+
+/// [`generate_dirty`] with bounded materialization: profiles are handed to
+/// `emit` in chunks of at least `chunk_size` (flushed only at entity-cluster
+/// boundaries, so a cluster never straddles two chunks) and never
+/// accumulated. One RNG drives the whole stream, so the concatenation of
+/// the chunks is byte-identical to the monolithic generator's collection at
+/// every chunk size (pinned by tests) — profile ids come pre-assigned in
+/// emission order, exactly as [`ProfileCollection::dirty`] would assign
+/// them. Returns the full ground truth (intra-cluster pairs; compact even
+/// at 10⁶ profiles).
+pub fn generate_dirty_chunked(
+    config: &DatasetConfig,
+    max_cluster: usize,
+    chunk_size: usize,
+    mut emit: impl FnMut(Vec<Profile>),
+) -> GroundTruth {
     assert!(max_cluster >= 1, "clusters need at least one member");
+    assert!(chunk_size >= 1, "chunk size must be positive");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let zipf_cdf = config.skew.as_ref().map(ZipfSkew::cdf);
-    let mut profiles = Vec::new();
-    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut chunk: Vec<Profile> = Vec::new();
+    let mut next_id = 0usize;
+    let mut pairs = Vec::new();
 
     for i in 0..config.entities {
         let mut canonical = config.domain.canonical(i, &mut rng);
@@ -449,10 +476,9 @@ pub fn generate_dirty(config: &DatasetConfig, max_cluster: usize) -> GeneratedDa
             skew.apply(zipf_cdf.as_ref().unwrap(), &mut canonical, &mut rng);
         }
         let size = rng.gen_range(1..=max_cluster);
-        let mut members = Vec::with_capacity(size);
+        let first = next_id;
         for rep in 0..size {
-            members.push(profiles.len());
-            profiles.push(render_profile(
+            let mut p = render_profile(
                 config.domain,
                 SourceId(0),
                 format!("e{i}-{rep}"),
@@ -460,27 +486,25 @@ pub fn generate_dirty(config: &DatasetConfig, max_cluster: usize) -> GeneratedDa
                 rep > 0,
                 &config.noise,
                 &mut rng,
-            ));
+            );
+            p.id = ProfileId(next_id as u32);
+            p.source = SourceId(0);
+            chunk.push(p);
+            next_id += 1;
         }
-        clusters.push(members);
-    }
-
-    let collection = ProfileCollection::dirty(profiles);
-    let mut pairs = Vec::new();
-    for members in clusters {
-        for i in 0..members.len() {
-            for j in i + 1..members.len() {
-                pairs.push(Pair::new(
-                    ProfileId(members[i] as u32),
-                    ProfileId(members[j] as u32),
-                ));
+        for a in first..next_id {
+            for b in a + 1..next_id {
+                pairs.push(Pair::new(ProfileId(a as u32), ProfileId(b as u32)));
             }
         }
+        if chunk.len() >= chunk_size {
+            emit(std::mem::take(&mut chunk));
+        }
     }
-    GeneratedDataset {
-        collection,
-        ground_truth: GroundTruth::from_pairs(pairs),
+    if !chunk.is_empty() {
+        emit(chunk);
     }
+    GroundTruth::from_pairs(pairs)
 }
 
 #[cfg(test)]

@@ -35,9 +35,12 @@
 mod export;
 mod generator;
 mod noise;
+mod presets;
 mod vocab;
 
 pub use export::{export_dataset, ExportFormat, ExportedFiles};
 pub use generator::{
-    generate, generate_dirty, DatasetConfig, Domain, GeneratedDataset, NoiseConfig, ZipfSkew,
+    generate, generate_dirty, generate_dirty_chunked, DatasetConfig, Domain, GeneratedDataset,
+    NoiseConfig, ZipfSkew,
 };
+pub use presets::Preset;

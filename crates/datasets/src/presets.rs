@@ -1,0 +1,139 @@
+//! Named scaling presets: fixed, seeded configurations the CLI, benches
+//! and CI scripts refer to by name, so every run of `dirty_10k` anywhere
+//! is byte-identical.
+//!
+//! The tier names state the approximate profile count: entity clusters are
+//! 1–3 representations, so `entities` is chosen at half the target
+//! (expected cluster size 2). `skewed_1m` adds the Zipfian hot-token skew
+//! — the 10⁶-profile out-of-core tier whose end-to-end run under a hard
+//! memory budget is the scaling experiment's headline row.
+
+use crate::generator::{
+    generate_dirty, generate_dirty_chunked, DatasetConfig, Domain, GeneratedDataset, ZipfSkew,
+};
+use sparker_profiles::{GroundTruth, Profile};
+
+/// A named, fully-determined dataset configuration.
+#[derive(Debug, Clone)]
+pub struct Preset {
+    /// Stable name (CLI `--preset`, bench ids, CI scripts).
+    pub name: &'static str,
+    /// The generator configuration.
+    pub config: DatasetConfig,
+    /// Maximum duplicate-cluster size.
+    pub max_cluster: usize,
+}
+
+impl Preset {
+    /// The names of all presets, smallest first.
+    pub const NAMES: [&'static str; 3] = ["dirty_10k", "dirty_100k", "skewed_1m"];
+
+    /// Look a preset up by name.
+    pub fn by_name(name: &str) -> Option<Preset> {
+        match name {
+            "dirty_10k" => Some(Preset {
+                name: "dirty_10k",
+                config: DatasetConfig {
+                    entities: 5_000,
+                    unmatched_per_source: 0,
+                    domain: Domain::Products,
+                    seed: 10_007,
+                    ..DatasetConfig::default()
+                },
+                max_cluster: 3,
+            }),
+            "dirty_100k" => Some(Preset {
+                name: "dirty_100k",
+                config: DatasetConfig {
+                    entities: 50_000,
+                    unmatched_per_source: 0,
+                    domain: Domain::Products,
+                    seed: 100_003,
+                    ..DatasetConfig::default()
+                },
+                max_cluster: 3,
+            }),
+            "skewed_1m" => Some(Preset {
+                name: "skewed_1m",
+                config: DatasetConfig {
+                    entities: 500_000,
+                    unmatched_per_source: 0,
+                    domain: Domain::Bibliographic,
+                    seed: 1_000_003,
+                    skew: Some(ZipfSkew::default()),
+                    ..DatasetConfig::default()
+                },
+                max_cluster: 3,
+            }),
+            _ => None,
+        }
+    }
+
+    /// All presets, smallest first.
+    pub fn all() -> Vec<Preset> {
+        Self::NAMES
+            .iter()
+            .map(|n| Self::by_name(n).expect("NAMES entries resolve"))
+            .collect()
+    }
+
+    /// Materialize the whole dataset (the in-RAM path; fine up to the 100k
+    /// tier).
+    pub fn generate(&self) -> GeneratedDataset {
+        generate_dirty(&self.config, self.max_cluster)
+    }
+
+    /// Stream the dataset's profiles in chunks of at least `chunk_size`
+    /// without ever materializing the collection — the 1M-tier entry
+    /// point; see [`generate_dirty_chunked`].
+    pub fn emit_chunks(&self, chunk_size: usize, emit: impl FnMut(Vec<Profile>)) -> GroundTruth {
+        generate_dirty_chunked(&self.config, self.max_cluster, chunk_size, emit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_resolve_and_unknown_does_not() {
+        assert_eq!(Preset::all().len(), Preset::NAMES.len());
+        for p in Preset::all() {
+            assert!(Preset::NAMES.contains(&p.name));
+        }
+        assert!(Preset::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn preset_chunks_concatenate_to_the_materialized_collection() {
+        // Shrink a preset's entity count so the pin runs fast; the chunked
+        // and monolithic paths must agree byte for byte at any chunk size.
+        let mut preset = Preset::by_name("dirty_10k").unwrap();
+        preset.config.entities = 300;
+        let whole = preset.generate();
+        for chunk_size in [1usize, 64, 100_000] {
+            let mut streamed = Vec::new();
+            let mut chunks = 0usize;
+            let gt = preset.emit_chunks(chunk_size, |c| {
+                assert!(!c.is_empty());
+                streamed.extend(c);
+                chunks += 1;
+            });
+            assert_eq!(streamed, *whole.collection.profiles(), "chunk={chunk_size}");
+            assert_eq!(gt, whole.ground_truth, "chunk={chunk_size}");
+            if chunk_size == 1 {
+                assert!(chunks >= 300, "per-cluster flushing expected");
+            }
+        }
+    }
+
+    #[test]
+    fn preset_profile_counts_land_near_their_tier() {
+        // Expected profiles = entities × (1 + max_cluster) / 2; the seeds
+        // are pinned, so the realized counts are stable — assert the 10k
+        // tier lands within 5% of its name.
+        let ds = Preset::by_name("dirty_10k").unwrap().generate();
+        let n = ds.collection.len() as f64;
+        assert!((9_500.0..=10_500.0).contains(&n), "got {n}");
+    }
+}

@@ -20,8 +20,10 @@
 //! sequential matcher at any worker count.
 
 use crate::graph::SimilarityGraph;
-use sparker_dataflow::{Broadcast, Context, WorkerLocal};
+use sparker_dataflow::{Broadcast, Context, MemBudget, RunCursor, SpillRun, WorkerLocal};
 use sparker_profiles::{Pair, ProfileId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// The candidate pairs of a pruned blocking graph in CSR form: each pair is
@@ -65,6 +67,92 @@ impl CandidateGraph {
         // sorted, independent of the input iteration order.
         for i in 0..num_profiles {
             neighbors[offsets[i]..offsets[i + 1]].sort_unstable();
+        }
+        CandidateGraph { offsets, neighbors }
+    }
+
+    /// Build from candidate pairs under a memory budget by external sort:
+    /// pairs stream into a bounded buffer; full buffers are sorted and
+    /// spilled as [`SpillRun`]s, then k-way merged back. The merged stream
+    /// is globally sorted by `(first, second)`, so the CSR arrays fill in
+    /// one pass with no per-profile sort — bit-identical to
+    /// [`CandidateGraph::from_pairs`] (pinned by proptest). With an
+    /// unlimited budget everything stays in RAM as a single sorted run.
+    pub fn from_pairs_budgeted<I>(num_profiles: usize, pairs: I, budget: &MemBudget) -> Self
+    where
+        I: Iterator<Item = Pair>,
+    {
+        let run_len = if budget.is_limited() {
+            budget.chunk_len(usize::MAX, std::mem::size_of::<Pair>())
+        } else {
+            usize::MAX
+        };
+        Self::from_pairs_external(num_profiles, pairs, budget, run_len)
+    }
+
+    /// External-sort body of [`CandidateGraph::from_pairs_budgeted`] with
+    /// an explicit in-RAM run length (tests force tiny runs through it).
+    fn from_pairs_external<I>(
+        num_profiles: usize,
+        pairs: I,
+        budget: &MemBudget,
+        run_len: usize,
+    ) -> Self
+    where
+        I: Iterator<Item = Pair>,
+    {
+        let run_len = run_len.max(1);
+        let mut buf: Vec<Pair> = Vec::new();
+        let mut runs: Vec<SpillRun> = Vec::new();
+        for p in pairs {
+            assert!(
+                p.second.index() < num_profiles,
+                "candidate {p} out of range for {num_profiles} profiles"
+            );
+            buf.push(p);
+            if buf.len() >= run_len {
+                buf.sort_unstable();
+                runs.push(SpillRun::write(budget, &buf).expect("spill candidate run"));
+                buf.clear();
+            }
+        }
+        buf.sort_unstable();
+
+        let mut offsets = vec![0usize; num_profiles + 1];
+        let mut neighbors: Vec<ProfileId> = Vec::new();
+        if runs.is_empty() {
+            neighbors.reserve(buf.len());
+            for p in &buf {
+                offsets[p.first.index() + 1] += 1;
+                neighbors.push(p.second);
+            }
+        } else {
+            if !buf.is_empty() {
+                runs.push(SpillRun::write(budget, &buf).expect("spill candidate run"));
+                drop(std::mem::take(&mut buf));
+            }
+            let mut cursors: Vec<RunCursor<Pair>> = runs
+                .iter()
+                .map(|r| r.cursor().expect("open candidate run"))
+                .collect();
+            // Merge heap keyed by (pair, run index); equal pairs are
+            // identical records, so the tie-break never changes the output.
+            let mut heap: BinaryHeap<Reverse<(Pair, usize)>> = BinaryHeap::new();
+            for (i, c) in cursors.iter_mut().enumerate() {
+                if let Some(p) = c.next_record().expect("read candidate run") {
+                    heap.push(Reverse((p, i)));
+                }
+            }
+            while let Some(Reverse((p, i))) = heap.pop() {
+                offsets[p.first.index() + 1] += 1;
+                neighbors.push(p.second);
+                if let Some(next) = cursors[i].next_record().expect("read candidate run") {
+                    heap.push(Reverse((next, i)));
+                }
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
         }
         CandidateGraph { offsets, neighbors }
     }
@@ -225,6 +313,43 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_build_spills_runs_and_matches_in_ram() {
+        // Adversarial order (descending, with duplicates) across a tiny
+        // budget: the external sort must spill several runs and still
+        // reproduce the in-RAM counting sort bit for bit.
+        let mut pairs: Vec<Pair> = (0..60u32)
+            .rev()
+            .flat_map(|a| {
+                (a + 1..60)
+                    .rev()
+                    .filter(move |b| (a + b) % 3 != 0)
+                    .map(move |b| pair(a, b))
+            })
+            .collect();
+        let dup = pairs[5];
+        pairs.push(dup);
+        let in_ram = CandidateGraph::from_pairs(60, pairs.iter().copied());
+        let budget = MemBudget::limited(1);
+        for run_len in [1usize, 7, 100, 1 << 20] {
+            let spilled =
+                CandidateGraph::from_pairs_external(60, pairs.iter().copied(), &budget, run_len);
+            assert_eq!(spilled.offsets, in_ram.offsets, "run_len={run_len}");
+            assert_eq!(spilled.neighbors, in_ram.neighbors, "run_len={run_len}");
+        }
+        assert!(budget.spilled_bytes() > 0, "short runs must spill to disk");
+        let unlimited =
+            CandidateGraph::from_pairs_budgeted(60, pairs.iter().copied(), &MemBudget::unlimited());
+        assert_eq!(unlimited.offsets, in_ram.offsets);
+        assert_eq!(unlimited.neighbors, in_ram.neighbors);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn budgeted_out_of_range_candidate_rejected() {
+        CandidateGraph::from_pairs_budgeted(3, [pair(0, 7)].into_iter(), &MemBudget::unlimited());
+    }
+
+    #[test]
     fn pool_scorer_equals_sequential_filtering() {
         let pairs = [pair(0, 1), pair(0, 2), pair(1, 2), pair(2, 3)];
         let g = Arc::new(CandidateGraph::from_pairs(4, pairs.iter().copied()));
@@ -252,5 +377,35 @@ mod tests {
         let ctx = Context::new(2);
         let out = score_candidates_pool(&ctx, &g, 0.5, || (), |_: &mut (), _, _| 1.0);
         assert!(out.is_empty());
+    }
+
+    mod budgeted_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn prop_external_sort_equals_counting_sort(
+                edges in prop::collection::vec((0u32..30, 0u32..30), 0..200),
+                run_len in 1usize..50,
+            ) {
+                let pairs: Vec<Pair> = edges
+                    .into_iter()
+                    .filter(|(a, b)| a != b)
+                    .map(|(a, b)| pair(a, b))
+                    .collect();
+                let in_ram = CandidateGraph::from_pairs(30, pairs.iter().copied());
+                let budget = MemBudget::limited(1);
+                let external = CandidateGraph::from_pairs_external(
+                    30,
+                    pairs.iter().copied(),
+                    &budget,
+                    run_len,
+                );
+                prop_assert_eq!(&external.offsets, &in_ram.offsets);
+                prop_assert_eq!(&external.neighbors, &in_ram.neighbors);
+            }
+        }
     }
 }

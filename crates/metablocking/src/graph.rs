@@ -44,7 +44,7 @@ pub struct NeighborhoodScratch {
 /// plus offsets), so the whole graph is six contiguous allocations — cheap
 /// to build, clone and broadcast, friendly to the cache in the
 /// neighborhood-materialization hot loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockGraph {
     kind: ErKind,
     /// Members of every block, back to back; block `b` occupies
@@ -122,6 +122,63 @@ impl BlockGraph {
         )
     }
 
+    /// [`BlockGraph::new`] with the profile→blocks index built over
+    /// bounded profile ranges when `budget` is limited; bit-identical to
+    /// the monolithic assemble either way (pinned by proptest).
+    pub fn new_budgeted(
+        blocks: &BlockCollection,
+        entropies: Option<&BlockEntropies>,
+        budget: &sparker_dataflow::MemBudget,
+    ) -> Self {
+        let g = Self::new(blocks, entropies);
+        // `new` gathers the flat arrays anyway; re-run only the index
+        // build chunked when a budget applies.
+        if budget.is_limited() {
+            let chunk = budget.chunk_len(g.num_profiles, 8);
+            return Self::assemble_chunked(
+                g.kind,
+                g.block_members,
+                g.block_offsets,
+                g.block_split,
+                g.block_comparisons,
+                g.entropies,
+                g.num_profiles,
+                chunk,
+            );
+        }
+        g
+    }
+
+    /// [`BlockGraph::from_compact`] under a memory budget: the
+    /// profile→blocks counting sort runs over fixed-size profile ranges,
+    /// so its scatter cursor is bounded by the range instead of the whole
+    /// profile space. Bit-identical to [`BlockGraph::from_compact`].
+    pub fn from_compact_budgeted(
+        blocks: &CompactBlocks,
+        entropies: Option<&BlockEntropies>,
+        budget: &sparker_dataflow::MemBudget,
+    ) -> Self {
+        if !budget.is_limited() {
+            return Self::from_compact(blocks, entropies);
+        }
+        if let Some(e) = entropies {
+            assert_eq!(e.len(), blocks.len(), "entropies misaligned with blocks");
+        }
+        let (offsets, splits, members) = blocks.raw_parts();
+        let block_comparisons = (0..blocks.len()).map(|b| blocks.comparisons(b)).collect();
+        let chunk = budget.chunk_len(blocks.num_profiles(), 8);
+        Self::assemble_chunked(
+            blocks.kind(),
+            members.to_vec(),
+            offsets.to_vec(),
+            splits.to_vec(),
+            block_comparisons,
+            entropies.map(|e| e.as_slice().to_vec()),
+            blocks.num_profiles(),
+            chunk,
+        )
+    }
+
     /// Shared tail of the constructors: build the profile→blocks CSR index
     /// by counting sort over the flat member array.
     fn assemble(
@@ -150,6 +207,63 @@ impl BlockGraph {
                 profile_blocks[cursor[p.index()] as usize] = b as u32;
                 cursor[p.index()] += 1;
             }
+        }
+        BlockGraph {
+            kind,
+            block_members,
+            block_offsets,
+            block_split,
+            block_comparisons,
+            profile_blocks,
+            profile_offsets,
+            entropies,
+            total_assignments,
+            num_profiles,
+        }
+    }
+
+    /// [`BlockGraph::assemble`] with the fill pass chunked over profile
+    /// ranges of `chunk_profiles`: the scatter cursor is allocated per
+    /// range instead of once for the whole profile space, bounding the
+    /// build's extra working memory. Each profile's writes still happen in
+    /// ascending block-id order, so the output is bit-identical to the
+    /// monolithic pass.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_chunked(
+        kind: ErKind,
+        block_members: Vec<ProfileId>,
+        block_offsets: Vec<u32>,
+        block_split: Vec<u32>,
+        block_comparisons: Vec<u64>,
+        entropies: Option<Vec<f64>>,
+        num_profiles: usize,
+        chunk_profiles: usize,
+    ) -> Self {
+        let chunk_profiles = chunk_profiles.max(1);
+        let total_assignments = block_members.len() as u64;
+        let mut profile_offsets = vec![0u32; num_profiles + 1];
+        for p in &block_members {
+            profile_offsets[p.index() + 1] += 1;
+        }
+        for i in 1..profile_offsets.len() {
+            profile_offsets[i] += profile_offsets[i - 1];
+        }
+        let mut profile_blocks = vec![0u32; block_members.len()];
+        let num_blocks = block_offsets.len() - 1;
+        let mut p0 = 0usize;
+        while p0 < num_profiles {
+            let p1 = (p0 + chunk_profiles).min(num_profiles);
+            let mut cursor: Vec<u32> = profile_offsets[p0..p1].to_vec();
+            for b in 0..num_blocks {
+                for p in &block_members[block_offsets[b] as usize..block_offsets[b + 1] as usize] {
+                    let i = p.index();
+                    if (p0..p1).contains(&i) {
+                        profile_blocks[cursor[i - p0] as usize] = b as u32;
+                        cursor[i - p0] += 1;
+                    }
+                }
+            }
+            p0 = p1;
         }
         BlockGraph {
             kind,
@@ -541,6 +655,70 @@ mod tests {
             let node = ProfileId(i);
             assert_eq!(a.blocks_of(node), b.blocks_of(node));
             assert_eq!(a.neighborhood(node), b.neighborhood(node));
+        }
+    }
+
+    #[test]
+    fn budgeted_graph_is_bit_identical_to_monolithic() {
+        use sparker_blocking::token_blocking_interned;
+        use sparker_dataflow::MemBudget;
+        use sparker_profiles::TokenDict;
+        let (coll, blocks) = figure1();
+        let entropies = BlockEntropies::new(vec![0.5; blocks.len()]);
+
+        let mono = BlockGraph::new(&blocks, Some(&entropies));
+        // A 1-byte budget drives the chunk size to its floor, exercising
+        // many tiny profile ranges; unlimited must take the plain path.
+        let tight = MemBudget::limited(1);
+        assert_eq!(
+            BlockGraph::new_budgeted(&blocks, Some(&entropies), &tight),
+            mono
+        );
+        assert_eq!(
+            BlockGraph::new_budgeted(&blocks, Some(&entropies), &MemBudget::unlimited()),
+            mono
+        );
+
+        let dict = TokenDict::build(&coll);
+        let compact = token_blocking_interned(&coll, &dict);
+        let mono_c = BlockGraph::from_compact(&compact, None);
+        assert_eq!(
+            BlockGraph::from_compact_budgeted(&compact, None, &tight),
+            mono_c
+        );
+        assert_eq!(
+            BlockGraph::from_compact_budgeted(&compact, None, &MemBudget::unlimited()),
+            mono_c
+        );
+    }
+
+    #[test]
+    fn chunked_assemble_matches_monolithic_across_chunk_sizes() {
+        // Random-ish multi-membership layout with gaps in the profile id
+        // space; every chunk size must reproduce the monolithic arrays.
+        let coll = ProfileCollection::dirty(
+            (0..23)
+                .map(|i| {
+                    Profile::builder(SourceId(0), i.to_string())
+                        .attr("t", format!("tok{} tok{} hub", i % 7, (i * 3) % 5))
+                        .build()
+                })
+                .collect(),
+        );
+        let blocks = token_blocking(&coll);
+        let mono = BlockGraph::new(&blocks, None);
+        for chunk in [1usize, 2, 3, 5, 8, 22, 23, 1000] {
+            let chunked = BlockGraph::assemble_chunked(
+                mono.kind,
+                mono.block_members.clone(),
+                mono.block_offsets.clone(),
+                mono.block_split.clone(),
+                mono.block_comparisons.clone(),
+                mono.entropies.clone(),
+                mono.num_profiles,
+                chunk,
+            );
+            assert_eq!(chunked, mono, "chunk={chunk}");
         }
     }
 }

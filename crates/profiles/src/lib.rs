@@ -70,6 +70,7 @@ mod groundtruth;
 mod json;
 mod pair;
 mod profile;
+mod spillcodec;
 mod tokenize;
 
 pub use attribute::Attribute;

@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-  benches=(blocking dataflow metablocking pipeline)
+  benches=(blocking dataflow metablocking pipeline scaling)
 fi
 
 # Absolute path: cargo runs bench binaries with the package directory as

@@ -22,7 +22,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Smoke-execute every bench body (1 sample, no warmup, no JSON dump) so
 # bench-only code paths can't rot between full scripts/bench.sh runs.
-for bench in blocking dataflow metablocking pipeline; do
+for bench in blocking dataflow metablocking pipeline scaling; do
   echo "==> BENCH_SMOKE=1 cargo bench -p sparker-bench --bench ${bench}"
   BENCH_SMOKE=1 cargo bench -p sparker-bench --bench "${bench}" > /dev/null
 done
@@ -62,5 +62,28 @@ if [ "${cascade_line}" != "${naive_line}" ]; then
   echo "cascade and naive matcher disagree: '${cascade_line}' != '${naive_line}'" >&2
   exit 1
 fi
+
+# Out-of-core smoke: the dirty_100k scaling preset under a hard 8 MiB
+# budget must actually spill and still report result counts identical to
+# the unbudgeted in-RAM run.
+echo "==> sparker --preset dirty_100k: in-RAM vs --mem-budget-mb 8"
+inram="$(cargo run -q --release --bin sparker -- --preset dirty_100k --backend pool --workers 2)"
+budgeted="$(cargo run -q --release --bin sparker -- --preset dirty_100k --backend pool --workers 2 --mem-budget-mb 8)"
+inram_counts="$(printf '%s\n' "${inram}" | grep '^result counts:')"
+budget_counts="$(printf '%s\n' "${budgeted}" | grep '^result counts:')"
+memory_line="$(printf '%s\n' "${budgeted}" | grep '^memory:')"
+echo "    in-RAM:   ${inram_counts#result counts: }"
+echo "    budgeted: ${budget_counts#result counts: }"
+echo "    ${memory_line}"
+if [ "${inram_counts}" != "${budget_counts}" ]; then
+  echo "budgeted run diverged from in-RAM: '${budget_counts}' != '${inram_counts}'" >&2
+  exit 1
+fi
+case "${memory_line}" in
+  *"spill_batches=0"*)
+    echo "budgeted 100k run never spilled: ${memory_line}" >&2
+    exit 1
+    ;;
+esac
 
 echo "CI OK"

@@ -14,7 +14,7 @@
 //! sparker --demo            # run on a generated Abt-Buy-shaped dataset
 //! ```
 
-use sparker::datasets::{generate, DatasetConfig};
+use sparker::datasets::{generate, DatasetConfig, Preset};
 use sparker::profiles::{
     parse_csv, profiles_from_csv, profiles_from_json_lines, write_csv, CsvOptions, GroundTruth,
     Profile, ProfileCollection, SourceId,
@@ -34,6 +34,8 @@ struct Args {
     show_lost: bool,
     backend: Option<String>,
     workers: Option<usize>,
+    preset: Option<String>,
+    mem_budget_mb: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -55,12 +57,24 @@ OPTIONS:
                            (default: pool). All backends produce identical results.
     --workers <n>          Worker count for the dataflow/pool backends
                            (default: available parallelism).
+    --preset <name>        Run on a named generated scaling preset instead of
+                           files: dirty_10k, dirty_100k or skewed_1m. The
+                           preset's exact ground truth is evaluated. Presets
+                           run under the scaling-tier pipeline configuration
+                           (PipelineConfig::scaling) unless --config is given.
+    --mem-budget-mb <n>    Hard memory budget in MiB for the run; stages that
+                           would exceed it spill sorted batches to a run-scoped
+                           temp dir. 0 or unset = stay in RAM. Results are
+                           byte-identical either way. Equivalent to setting
+                           SPARKER_MEM_BUDGET_MB.
     --show-lost            With a ground truth: print the blocking false-positive
                            drill-down (lost pairs and their shared keys).
     --demo                 Run on a generated Abt-Buy-shaped dataset instead of files.
     --help                 Show this help.
 
 ENVIRONMENT:
+    SPARKER_MEM_BUDGET_MB  Memory budget in MiB (see --mem-budget-mb, which
+                           takes precedence).
     SPARKER_NAIVE_MATCHER  Set non-empty to disable the matcher's
                            filter-verify cascade and score every candidate
                            pair naively. Results are identical either way
@@ -91,6 +105,14 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--workers needs an integer, got {v}"))?,
                 );
             }
+            "--preset" => args.preset = Some(value("--preset")?),
+            "--mem-budget-mb" => {
+                let v = value("--mem-budget-mb")?;
+                args.mem_budget_mb = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--mem-budget-mb needs an integer, got {v}"))?,
+                );
+            }
             "--show-lost" => args.show_lost = true,
             "--demo" => args.demo = true,
             "--help" | "-h" => {
@@ -100,8 +122,8 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}; see --help")),
         }
     }
-    if !args.demo && args.source_a.is_none() {
-        return Err("--source-a is required (or use --demo); see --help".to_string());
+    if !args.demo && args.preset.is_none() && args.source_a.is_none() {
+        return Err("--source-a is required (or use --demo / --preset); see --help".to_string());
     }
     Ok(args)
 }
@@ -138,6 +160,14 @@ fn load_ground_truth(path: &str, collection: &ProfileCollection) -> Result<Groun
 fn run() -> Result<(), String> {
     let args = parse_args()?;
 
+    // The budget flag is exported as SPARKER_MEM_BUDGET_MB *before* the
+    // backend is constructed: engine contexts resolve their budget from the
+    // environment at creation, and the sequential backend re-reads it per
+    // run, so one code path serves all three.
+    if let Some(mb) = args.mem_budget_mb {
+        std::env::set_var(sparker::dataflow::MEM_BUDGET_ENV, mb.to_string());
+    }
+
     // Backend selection (validated before any data is loaded).
     let workers = args
         .workers
@@ -145,7 +175,17 @@ fn run() -> Result<(), String> {
     let backend = ExecutionBackend::parse(args.backend.as_deref().unwrap_or("pool"), workers)?;
 
     // Data.
-    let (collection, ground_truth) = if args.demo {
+    let (collection, ground_truth) = if let Some(name) = &args.preset {
+        let preset = Preset::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown preset {name:?}; expected one of {}",
+                Preset::NAMES.join(", ")
+            )
+        })?;
+        let ds = preset.generate();
+        println!("preset {}: generated scaling-tier dataset", preset.name);
+        (ds.collection, Some(ds.ground_truth))
+    } else if args.demo {
         let ds = generate(&DatasetConfig {
             entities: 1000,
             unmatched_per_source: 250,
@@ -180,12 +220,15 @@ fn run() -> Result<(), String> {
         collection.comparable_pairs()
     );
 
-    // Configuration.
+    // Configuration. Preset runs default to the scaling-tier configuration
+    // (bounded candidates per profile) instead of the Abt-Buy-scale default;
+    // an explicit --config always wins.
     let config = match &args.config {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             PipelineConfig::from_config_string(&text).map_err(|e| e.to_string())?
         }
+        None if args.preset.is_some() => PipelineConfig::scaling(),
         None => PipelineConfig::default(),
     };
 
@@ -230,6 +273,13 @@ fn run() -> Result<(), String> {
         result.blocker.candidates.len(),
         result.similarity.len(),
         result.clusters.num_clusters(),
+    );
+    println!(
+        "memory: budget_mb={} peak_rss_mb={} spilled_mb={} spill_batches={}",
+        result.report.mem_budget_bytes >> 20,
+        result.report.peak_rss_bytes >> 20,
+        result.report.spilled_bytes >> 20,
+        result.report.spill_batches,
     );
 
     // Evaluation.
