@@ -14,7 +14,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparker_bench::{abt_buy_like, skewed_dirty};
-use sparker_core::{BlockingConfig, ExecutionBackend, Pipeline, PipelineConfig};
+use sparker_core::{
+    BlockingConfig, ExecutionBackend, Pipeline, PipelineConfig, PipelineReport, PipelineStage,
+};
 use sparker_dataflow::{Context, MetricsSnapshot};
 use sparker_matching::{CandidateGraph, ScoringMode, SimilarityMeasure, ThresholdMatcher};
 use std::hint::black_box;
@@ -77,6 +79,26 @@ fn scope_critical_path(snap: &MetricsSnapshot, scope: &str) -> Duration {
     total
 }
 
+/// Driver-serial time of the prune→score region: stage wall minus engine
+/// busy, summed over the two stage rows. This is the slice of the region's
+/// latency no worker count can overlap — on the staged path it holds the
+/// global candidate sort and the CSR candidate-graph build, both of which
+/// the fused path eliminates. The region's modeled latency on a
+/// one-core-per-worker machine is this plus its engine critical path.
+fn prune_score_driver_serial(report: &PipelineReport) -> Duration {
+    report
+        .stages
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.stage,
+                PipelineStage::PruneCandidates | PipelineStage::ScorePairs
+            )
+        })
+        .map(|s| s.wall.saturating_sub(s.busy))
+        .sum()
+}
+
 /// Worker-scaling of the pool-parallel pipeline on the skewed 10k-profile
 /// preset (5k entities × dirty duplication). Wall times go through the
 /// normal sample loop; a separate instrumented run per worker count exports
@@ -104,11 +126,19 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
             b.iter(|| pipeline.run_pipeline_parallel(&ctx, black_box(&ds.collection)))
         });
     }
+    for workers in WORKER_COUNTS {
+        let backend = ExecutionBackend::fused(workers);
+        group.bench_function(BenchmarkId::new("fused", workers), |b| {
+            b.iter(|| pipeline.run_on(&backend, black_box(&ds.collection)))
+        });
+    }
     group.finish();
 
     // Instrumented runs: per-stage critical paths out of the engine metrics
     // + the pipeline's own step-timing split.
     let mut candidate_cps: Vec<(usize, Duration)> = Vec::new();
+    let mut pool_total_cps: Vec<(usize, Duration)> = Vec::new();
+    let mut pool_modeled: Vec<(usize, Duration)> = Vec::new();
     for workers in WORKER_COUNTS {
         let ctx = Context::new(workers);
         ctx.reset_metrics();
@@ -138,11 +168,12 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
             1,
             matcher + clusterer,
         );
-        c.record(
-            format!("{prefix}/total/critical-path"),
-            1,
-            snap.total_critical_path(),
-        );
+        let total_cp = snap.total_critical_path();
+        pool_total_cps.push((workers, total_cp));
+        c.record(format!("{prefix}/total/critical-path"), 1, total_cp);
+        let modeled = prune_score_driver_serial(&result.report) + candidates_cp + matcher;
+        pool_modeled.push((workers, modeled));
+        c.record(format!("{prefix}/prune+score/modeled-latency"), 1, modeled);
         c.record(
             format!("{prefix}/step/blocking"),
             1,
@@ -181,6 +212,84 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
         cp(1),
         cp(4),
     );
+
+    // Instrumented fused runs: the fused batch overlaps the pruning and
+    // matching critical paths, so its headline number is the *total*
+    // critical path against the staged pool at the same worker count. The
+    // fused stage's busy/wall ratio is the measured overlap (busy ≫ wall
+    // means pruning and scoring genuinely ran concurrently), exported as a
+    // `value` row alongside the speedup ratio.
+    for workers in WORKER_COUNTS {
+        let backend = ExecutionBackend::fused(workers);
+        let ctx = backend.context().unwrap();
+        ctx.reset_metrics();
+        let result = pipeline.run_on(&backend, &ds.collection);
+        let snap = ctx.metrics();
+        let prefix = format!("pipeline_10k/fused/{workers}");
+        let total_cp = snap.total_critical_path();
+        c.record(format!("{prefix}/total/critical-path"), 1, total_cp);
+        if let Some(stage) = snap.stages.iter().find(|s| s.name == "fused_prune_score") {
+            c.record(format!("{prefix}/fused-stage/wall"), 1, stage.wall_time);
+            c.record(format!("{prefix}/fused-stage/busy"), 1, stage.busy_time);
+            c.record(
+                format!("{prefix}/fused-stage/queue-wait"),
+                1,
+                stage.queue_wait,
+            );
+            c.record(
+                format!("{prefix}/fused-stage/critical-path"),
+                1,
+                stage.critical_path(),
+            );
+            c.record_value(
+                format!("{prefix}/fused-stage/overlap"),
+                stage.busy_time.as_secs_f64() / stage.wall_time.as_secs_f64().max(1e-9),
+            );
+        }
+        let pool_cp = pool_total_cps
+            .iter()
+            .find(|(w, _)| *w == workers)
+            .expect("worker count benched")
+            .1;
+        let speedup = pool_cp.as_secs_f64() / total_cp.as_secs_f64().max(1e-9);
+        c.record_value(format!("{prefix}/speedup_vs_pool_total_cp"), speedup);
+        // Modeled prune→score latency: engine critical paths alone are
+        // work-conserving (the fused stage runs at its busy/workers floor,
+        // so fusing two balanced stages barely moves their CP sum) — the
+        // fused win is the *driver-serial* time it deletes: the staged
+        // path's global candidate sort and CSR build. Wall minus busy per
+        // stage plus the region's engine CP is the latency a
+        // one-core-per-worker host would observe for the region.
+        let region_cp = scope_critical_path(&snap, "prune_candidates")
+            + scope_critical_path(&snap, "score_pairs");
+        let modeled = prune_score_driver_serial(&result.report) + region_cp;
+        c.record(format!("{prefix}/prune+score/modeled-latency"), 1, modeled);
+        let pool_region = pool_modeled
+            .iter()
+            .find(|(w, _)| *w == workers)
+            .expect("worker count benched")
+            .1;
+        let region_speedup = pool_region.as_secs_f64() / modeled.as_secs_f64().max(1e-9);
+        c.record_value(
+            format!("{prefix}/prune+score/modeled-speedup-vs-pool"),
+            region_speedup,
+        );
+        eprintln!(
+            "pipeline_10k/fused/{workers}: total critical path {total_cp:?} \
+             vs pool {pool_cp:?} ({speedup:.2}x); prune+score modeled latency \
+             {modeled:?} vs pool {pool_region:?} ({region_speedup:.2}x)"
+        );
+        c.record(
+            format!("{prefix}/step/candidates"),
+            1,
+            result.timings.candidates,
+        );
+        c.record(
+            format!("{prefix}/step/matching"),
+            1,
+            result.timings.matching,
+        );
+    }
 
     let seq = pipeline.run(&ds.collection);
     c.record(
@@ -287,6 +396,7 @@ fn bench_backend_reports(c: &mut Criterion) {
         ExecutionBackend::Sequential,
         ExecutionBackend::dataflow(workers),
         ExecutionBackend::pool(workers),
+        ExecutionBackend::fused(workers),
     ];
 
     let mut reports = Vec::new();
@@ -304,6 +414,11 @@ fn bench_backend_reports(c: &mut Criterion) {
                 format!("{prefix}/{}/busy", stage.stage.name()),
                 1,
                 stage.busy,
+            );
+            c.record(
+                format!("{prefix}/{}/queue-wait", stage.stage.name()),
+                1,
+                stage.queue_wait,
             );
         }
         c.record(format!("{prefix}/total/wall"), 1, report.total_wall());

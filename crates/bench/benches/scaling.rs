@@ -11,6 +11,21 @@
 //! `scripts/bench.sh`), and asserts the out-of-core contract: budgeted
 //! runs spill yet report counts identical to the in-RAM run.
 //!
+//! Beyond the pool curve the bench pins two execution-mode contracts:
+//!
+//! * **dispatch overhead** — one pool worker has no parallelism to pay
+//!   for, so `pool --workers 1` must stay within 15% of the sequential
+//!   backend on the default-config 10k pipeline (run in-process; the
+//!   subprocess preset cells are recorded but not asserted, because at
+//!   tens of milliseconds they measure the engine blocking operator's
+//!   shuffle formulation, not dispatch);
+//! * **fused memory** — the fused backend (which never materializes the
+//!   full candidate list) must match the pool's result counts and its
+//!   peak RSS is recorded next to the pool's for comparison.
+//!
+//! Memory and ratio rows are recorded via `record_value` and appear in the
+//! JSON dump as a dedicated `"value"` field (not fake `mean_ns` entries).
+//!
 //! The 10⁶-profile tier (`skewed_1m` under a 4 GiB budget) takes tens of
 //! minutes and is gated behind `SPARKER_SCALE_1M=1`; under `BENCH_SMOKE`
 //! only the 10k tier runs so CI exercises the harness cheaply.
@@ -62,9 +77,28 @@ fn parse_field(line: &str, key: &str) -> u64 {
         .unwrap_or_else(|| panic!("field {key} missing from {line:?}"))
 }
 
-fn run_cell(bin: &PathBuf, preset: &str, budget_mb: u64) -> Cell {
+fn run_cell(bin: &PathBuf, preset: &str, backend: &str, workers: usize, budget_mb: u64) -> Cell {
+    run_cell_with(bin, preset, backend, workers, budget_mb, &[])
+}
+
+fn run_cell_with(
+    bin: &PathBuf,
+    preset: &str,
+    backend: &str,
+    workers: usize,
+    budget_mb: u64,
+    extra: &[&str],
+) -> Cell {
     let mut cmd = Command::new(bin);
-    cmd.args(["--preset", preset, "--backend", "pool", "--workers", "4"]);
+    cmd.args([
+        "--preset",
+        preset,
+        "--backend",
+        backend,
+        "--workers",
+        &workers.to_string(),
+    ]);
+    cmd.args(extra);
     if budget_mb > 0 {
         cmd.args(["--mem-budget-mb", &budget_mb.to_string()]);
     }
@@ -73,7 +107,7 @@ fn run_cell(bin: &PathBuf, preset: &str, budget_mb: u64) -> Cell {
     let wall = t0.elapsed();
     assert!(
         out.status.success(),
-        "sparker --preset {preset} (budget {budget_mb} MiB) failed:\n{}",
+        "sparker --preset {preset} --backend {backend} (budget {budget_mb} MiB) failed:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -94,14 +128,36 @@ fn run_cell(bin: &PathBuf, preset: &str, budget_mb: u64) -> Cell {
     }
 }
 
+/// Record one cell's wall + memory rows under `scaling/<preset>/<tag>/…`.
+fn record_cell(c: &mut Criterion, preset: &str, tag: &str, cell: &Cell) {
+    eprintln!(
+        "scaling/{preset}/{tag}: wall {:?}, peak RSS {} MiB, spilled {} MiB ({} batches)",
+        cell.wall, cell.peak_rss_mb, cell.spilled_mb, cell.spill_batches
+    );
+    c.record(format!("scaling/{preset}/{tag}/wall"), 1, cell.wall);
+    c.record_value(
+        format!("scaling/{preset}/{tag}/peak_rss_mb"),
+        cell.peak_rss_mb as f64,
+    );
+    c.record_value(
+        format!("scaling/{preset}/{tag}/spilled_mb"),
+        cell.spilled_mb as f64,
+    );
+    c.record_value(
+        format!("scaling/{preset}/{tag}/spill_batches"),
+        cell.spill_batches as f64,
+    );
+}
+
 fn bench_scaling_curve(c: &mut Criterion) {
     let bin = sparker_binary();
+    let smoke = env_flag("BENCH_SMOKE");
     // (preset, budget MiB — 0 = in-RAM reference, expect_spill). Ascending
     // sizes; each budgeted cell is paired with the unbudgeted run it must
     // reproduce. Budgets that expect spilling sit below the tier's shuffle
     // buffer volume; the 4 GiB `skewed_1m` cell instead pins the acceptance
     // bound that the whole process peak RSS stays inside the budget.
-    let cells: Vec<(&str, u64, bool)> = if env_flag("BENCH_SMOKE") {
+    let cells: Vec<(&str, u64, bool)> = if smoke {
         vec![("dirty_10k", 0, false), ("dirty_10k", 1, true)]
     } else {
         let mut cells = vec![
@@ -118,36 +174,26 @@ fn bench_scaling_curve(c: &mut Criterion) {
         cells
     };
 
-    let mut reference: Vec<(String, String)> = Vec::new();
+    let mut reference: Vec<(String, String, u64)> = Vec::new();
     for (preset, budget_mb, expect_spill) in cells {
         let tag = if budget_mb == 0 {
             "in-ram".to_string()
         } else {
             format!("budget-{budget_mb}mb")
         };
-        let cell = run_cell(&bin, preset, budget_mb);
-        eprintln!(
-            "scaling/{preset}/{tag}: wall {:?}, peak RSS {} MiB, spilled {} MiB ({} batches)",
-            cell.wall, cell.peak_rss_mb, cell.spilled_mb, cell.spill_batches
-        );
-        c.record(format!("scaling/{preset}/{tag}/wall"), 1, cell.wall);
-        c.record(
-            format!("scaling/{preset}/{tag}/peak_rss_mb"),
-            cell.peak_rss_mb as usize,
-            Duration::ZERO,
-        );
-        c.record(
-            format!("scaling/{preset}/{tag}/spilled_mb"),
-            cell.spilled_mb as usize,
-            Duration::ZERO,
-        );
-        c.record(
-            format!("scaling/{preset}/{tag}/spill_batches"),
-            cell.spill_batches as usize,
-            Duration::ZERO,
-        );
+        let cell = run_cell(&bin, preset, "pool", 4, budget_mb);
+        record_cell(c, preset, &tag, &cell);
         if budget_mb == 0 {
-            reference.push((preset.to_string(), cell.counts));
+            // The fused backend never materializes the full candidate list;
+            // run it next to every in-RAM pool cell so its peak RSS lands in
+            // the same dump, and pin result-count identity.
+            let fused = run_cell(&bin, preset, "fused", 4, 0);
+            record_cell(c, preset, "fused-in-ram", &fused);
+            assert_eq!(
+                fused.counts, cell.counts,
+                "{preset}: fused result counts diverged from the pool run"
+            );
+            reference.push((preset.to_string(), cell.counts, cell.peak_rss_mb));
             continue;
         }
         // The out-of-core contract: a budget changes *where* bytes live,
@@ -166,12 +212,100 @@ fn bench_scaling_curve(c: &mut Criterion) {
                 cell.peak_rss_mb
             );
         }
-        if let Some((_, want)) = reference.iter().find(|(p, _)| p == preset) {
+        if let Some((_, want, _)) = reference.iter().find(|(p, _, _)| p == preset) {
             assert_eq!(
                 &cell.counts, want,
                 "{preset}: budgeted result counts diverged from the in-RAM run"
             );
         }
+    }
+
+    // Dispatch-overhead guard: one pool worker has no parallelism to pay
+    // for, so it must track the sequential backend closely (the historical
+    // regression was ~9% from degree-cost morsel construction that a single
+    // worker cannot exploit).
+    //
+    // The subprocess cells are recorded for reference but *not* asserted:
+    // the scaling-config preset finishes in tens of milliseconds, so its
+    // ratio is dominated by the engine blocking operator's Spark-style
+    // shuffle (an algorithmic difference from the sequential dict path,
+    // pinned by E8) rather than by dispatch. The asserted guard runs the
+    // default-config 10k pipeline in-process, where seconds of morsel-
+    // dispatched matcher work dwarf the fixed blocking cost and the ratio
+    // actually measures dispatch overhead.
+    let seq = run_cell(&bin, "dirty_10k", "sequential", 1, 0);
+    let pool1 = run_cell(&bin, "dirty_10k", "pool", 1, 0);
+    c.record("scaling/dirty_10k/sequential-1/wall", 1, seq.wall);
+    c.record("scaling/dirty_10k/pool-1/wall", 1, pool1.wall);
+    let ratio = pool1.wall.as_secs_f64() / seq.wall.as_secs_f64().max(1e-9);
+    c.record_value("scaling/dirty_10k/pool1_vs_sequential", ratio);
+    eprintln!(
+        "scaling/dirty_10k: sequential {:?}, pool/1 {:?} (ratio {ratio:.3})",
+        seq.wall, pool1.wall
+    );
+    assert_eq!(
+        pool1.counts, seq.counts,
+        "pool/1 result counts diverged from sequential"
+    );
+    // Fused peak-RSS comparison under the *default* (unbounded) pipeline
+    // configuration: the scaling config already caps candidates-per-
+    // profile, so its candidate list is small and the fused backend's
+    // structural saving — never materializing the CSR `CandidateGraph` —
+    // cannot show up in the preset cells above (they come out RSS-equal).
+    // With the default config the 10k preset prunes to millions of
+    // candidate pairs, and skipping the CSR build is megabytes of
+    // high-water difference.
+    if !smoke {
+        use sparker_core::PipelineConfig;
+        let conf = std::env::temp_dir().join("sparker_scaling_default.conf");
+        std::fs::write(&conf, PipelineConfig::default().to_config_string())
+            .expect("write default-config file");
+        let conf_arg = conf.to_string_lossy().into_owned();
+        let extra = ["--config", conf_arg.as_str()];
+        let pool = run_cell_with(&bin, "dirty_10k", "pool", 4, 0, &extra);
+        record_cell(c, "dirty_10k", "default-config-pool", &pool);
+        let fused = run_cell_with(&bin, "dirty_10k", "fused", 4, 0, &extra);
+        record_cell(c, "dirty_10k", "default-config-fused", &fused);
+        assert_eq!(
+            fused.counts, pool.counts,
+            "default-config dirty_10k: fused result counts diverged from pool"
+        );
+        assert!(
+            fused.peak_rss_mb < pool.peak_rss_mb,
+            "fused peak RSS {} MiB is not below the staged pool's {} MiB on \
+             the default-config dirty_10k run (the fused path must skip the \
+             CSR candidate graph)",
+            fused.peak_rss_mb,
+            pool.peak_rss_mb
+        );
+    }
+
+    if !smoke {
+        use sparker_core::{ExecutionBackend, Pipeline, PipelineConfig};
+        let ds = sparker_bench::skewed_dirty(5000);
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let t0 = Instant::now();
+        let seq_run = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+        let seq_wall = t0.elapsed();
+        let t0 = Instant::now();
+        let pool_run = pipeline.run_on(&ExecutionBackend::pool(1), &ds.collection);
+        let pool_wall = t0.elapsed();
+        assert_eq!(
+            seq_run.clusters, pool_run.clusters,
+            "pool/1 clusters diverged from sequential on the default config"
+        );
+        c.record("scaling/default_10k/sequential-1/wall", 1, seq_wall);
+        c.record("scaling/default_10k/pool-1/wall", 1, pool_wall);
+        let ratio = pool_wall.as_secs_f64() / seq_wall.as_secs_f64().max(1e-9);
+        c.record_value("scaling/default_10k/pool1_vs_sequential", ratio);
+        eprintln!(
+            "scaling/default_10k: sequential {seq_wall:?}, pool/1 {pool_wall:?} (ratio {ratio:.3})"
+        );
+        assert!(
+            ratio <= 1.15,
+            "pool --workers 1 is {ratio:.2}x sequential on the default 10k \
+             pipeline; single-worker dispatch overhead regressed (bound: 1.15x)"
+        );
     }
 }
 

@@ -8,33 +8,22 @@
 
 use crate::block::Block;
 use crate::collection::BlockCollection;
-use sparker_dataflow::{Context, Dataset};
+use sparker_dataflow::Context;
 use sparker_profiles::{ErKind, Profile, ProfileCollection, ProfileId, SourceId};
-
-/// Load a profile collection into the engine as a dataset of
-/// `(id, source, blocking keys)` triples.
-fn keyed_profiles(
-    ctx: &Context,
-    collection: &ProfileCollection,
-    key_fn: impl Fn(&Profile) -> Vec<String> + Send + Sync,
-) -> Dataset<(ProfileId, SourceId, Vec<String>)> {
-    let rows: Vec<(ProfileId, SourceId, Vec<String>)> = collection
-        .profiles()
-        .iter()
-        .map(|p| {
-            let mut keys = key_fn(p);
-            keys.sort_unstable();
-            keys.dedup();
-            (p.id, p.source, keys)
-        })
-        .collect();
-    ctx.parallelize_default(rows)
-}
+use std::collections::HashMap;
 
 /// Schema-agnostic Token Blocking on the dataflow engine; equivalent to
 /// [`crate::token_blocking`].
 pub fn token_blocking(ctx: &Context, collection: &ProfileCollection) -> BlockCollection {
-    keyed_blocking(ctx, collection, |p| p.token_set().into_iter().collect())
+    // Collect raw tokens into a Vec — [`keyed_blocking`] sorts and dedups
+    // every profile's keys anyway, so a `BTreeSet` per profile
+    // ([`Profile::token_set`]) would pay tree inserts for nothing.
+    keyed_blocking(ctx, collection, |p| {
+        p.attributes
+            .iter()
+            .flat_map(|a| sparker_profiles::tokenize(&a.value))
+            .collect()
+    })
 }
 
 /// Keyed blocking on the dataflow engine; equivalent to
@@ -50,42 +39,51 @@ pub fn keyed_blocking(
     key_fn: impl Fn(&Profile) -> Vec<String> + Send + Sync,
 ) -> BlockCollection {
     let kind = collection.kind();
-    let profiles = keyed_profiles(ctx, collection, key_fn);
+    let profiles = collection.profiles();
+
+    // Key extraction is an engine `map` over the profile indices (the
+    // closure borrows the collection), so tokenization runs on the workers
+    // and is attributed to the stage's busy time — not a serial driver
+    // loop.
+    let indices = ctx.parallelize_default((0..profiles.len() as u32).collect());
+    let rows: Vec<(ProfileId, SourceId, Vec<String>)> = indices
+        .map(|&i| {
+            let p = &profiles[i as usize];
+            let mut keys = key_fn(p);
+            keys.sort_unstable();
+            keys.dedup();
+            (p.id, p.source, keys)
+        })
+        .collect();
 
     // Intern the distinct keys: sorted table, index == dense id, ascending
-    // id == lexicographic key order.
-    let rows = profiles.collect();
-    let mut table: Vec<&str> = rows
+    // id == lexicographic key order. Distinct-first (hash set, then sort
+    // the ~distinct keys) beats sorting every occurrence; the hash map
+    // then resolves key → id on the workers — per-key binary search over
+    // string compares was the dominant driver-serial cost of this
+    // operator.
+    let distinct: std::collections::HashSet<&str> = rows
         .iter()
         .flat_map(|(_, _, keys)| keys.iter().map(String::as_str))
         .collect();
+    let mut table: Vec<&str> = distinct.into_iter().collect();
     table.sort_unstable();
-    table.dedup();
-    let id_rows: Vec<(ProfileId, SourceId, Vec<u32>)> = rows
+    let lookup: HashMap<&str, u32> = table
         .iter()
-        .map(|(id, source, keys)| {
-            let ids = keys
-                .iter()
-                .map(|k| {
-                    table
-                        .binary_search(&k.as_str())
-                        .expect("key came from the table") as u32
-                })
-                .collect();
-            (*id, *source, ids)
-        })
+        .enumerate()
+        .map(|(i, s)| (*s, i as u32))
         .collect();
 
     // flatMap: (key id, (source, id)); groupByKey: key id -> members. The
     // spillable operator accounts the shuffle buffers against the context's
     // memory budget (and spills them when it's exceeded) — byte-identical
     // to the plain operator either way.
-    let grouped = ctx
-        .parallelize_default(id_rows)
-        .flat_map(|(id, source, keys)| {
-            let id = *id;
-            let source = *source;
-            keys.iter().map(|&k| (k, (source, id))).collect::<Vec<_>>()
+    let grouped = indices
+        .flat_map(|&i| {
+            let (id, source, keys) = &rows[i as usize];
+            keys.iter()
+                .map(|k| (lookup[k.as_str()], (*source, *id)))
+                .collect::<Vec<_>>()
         })
         .group_by_key_spillable();
 

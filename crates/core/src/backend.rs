@@ -48,6 +48,15 @@ pub enum ExecutionBackend {
     /// candidate streaming with degree-cost morsels in the matcher,
     /// per-worker union–find forests in the clusterer.
     Pool(Context),
+    /// The pool backend with the prune→score stages fused: meta-blocking
+    /// emits pruned pairs through a bounded morsel channel and the matcher
+    /// scores them concurrently on the same pool, so the candidates and
+    /// matching critical paths overlap and no `CandidateGraph` is ever
+    /// materialized. Byte-identical to [`ExecutionBackend::Pool`] (pinned
+    /// by the parity matrix); stage entry points called individually
+    /// behave exactly as the pool backend — the fusion lives in
+    /// [`crate::Pipeline::run_on`]'s driver.
+    FusedPool(Context),
 }
 
 impl ExecutionBackend {
@@ -62,15 +71,23 @@ impl ExecutionBackend {
         ExecutionBackend::Pool(Context::new(workers))
     }
 
-    /// Parse a backend name (`"sequential"`, `"dataflow"`, `"pool"`),
-    /// attaching a `workers`-sized engine context where one is needed.
+    /// The fused pool backend on a fresh engine context with `workers`
+    /// workers.
+    pub fn fused(workers: usize) -> Self {
+        ExecutionBackend::FusedPool(Context::new(workers))
+    }
+
+    /// Parse a backend name (`"sequential"`, `"dataflow"`, `"pool"`,
+    /// `"fused"`), attaching a `workers`-sized engine context where one is
+    /// needed.
     pub fn parse(name: &str, workers: usize) -> Result<Self, String> {
         match name {
             "sequential" => Ok(ExecutionBackend::Sequential),
             "dataflow" => Ok(ExecutionBackend::dataflow(workers)),
             "pool" => Ok(ExecutionBackend::pool(workers)),
+            "fused" => Ok(ExecutionBackend::fused(workers)),
             other => Err(format!(
-                "unknown backend {other:?}; expected sequential, dataflow or pool"
+                "unknown backend {other:?}; expected sequential, dataflow, pool or fused"
             )),
         }
     }
@@ -81,6 +98,7 @@ impl ExecutionBackend {
             ExecutionBackend::Sequential => "sequential",
             ExecutionBackend::Dataflow(_) => "dataflow",
             ExecutionBackend::Pool(_) => "pool",
+            ExecutionBackend::FusedPool(_) => "fused",
         }
     }
 
@@ -89,7 +107,9 @@ impl ExecutionBackend {
     pub fn context(&self) -> Option<&Context> {
         match self {
             ExecutionBackend::Sequential => None,
-            ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => Some(ctx),
+            ExecutionBackend::Dataflow(ctx)
+            | ExecutionBackend::Pool(ctx)
+            | ExecutionBackend::FusedPool(ctx) => Some(ctx),
         }
     }
 
@@ -107,7 +127,9 @@ impl ExecutionBackend {
     pub fn budget(&self) -> MemBudget {
         match self {
             ExecutionBackend::Sequential => MemBudget::from_env(),
-            ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => ctx.budget().clone(),
+            ExecutionBackend::Dataflow(ctx)
+            | ExecutionBackend::Pool(ctx)
+            | ExecutionBackend::FusedPool(ctx) => ctx.budget().clone(),
         }
     }
 
@@ -130,14 +152,20 @@ impl ExecutionBackend {
                 let (dict, compact) = token_blocking_with_dict_budgeted(collection, budget);
                 compact.materialize(&dict)
             }
-            (ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx), Some(parts)) => {
-                sparker_blocking::dataflow::keyed_blocking(ctx, collection, |p| {
-                    loose_schema_keys(p, parts)
-                })
-            }
-            (ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx), None) => {
-                sparker_blocking::dataflow::token_blocking(ctx, collection)
-            }
+            (
+                ExecutionBackend::Dataflow(ctx)
+                | ExecutionBackend::Pool(ctx)
+                | ExecutionBackend::FusedPool(ctx),
+                Some(parts),
+            ) => sparker_blocking::dataflow::keyed_blocking(ctx, collection, |p| {
+                loose_schema_keys(p, parts)
+            }),
+            (
+                ExecutionBackend::Dataflow(ctx)
+                | ExecutionBackend::Pool(ctx)
+                | ExecutionBackend::FusedPool(ctx),
+                None,
+            ) => sparker_blocking::dataflow::token_blocking(ctx, collection),
         }
     }
 
@@ -150,7 +178,9 @@ impl ExecutionBackend {
     pub fn filter_blocks(&self, blocks: BlockCollection, ratio: f64) -> BlockCollection {
         match self {
             ExecutionBackend::Sequential => block_filtering(blocks, ratio),
-            ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => {
+            ExecutionBackend::Dataflow(ctx)
+            | ExecutionBackend::Pool(ctx)
+            | ExecutionBackend::FusedPool(ctx) => {
                 sparker_blocking::dataflow::block_filtering(ctx, blocks, ratio)
             }
         }
@@ -170,7 +200,9 @@ impl ExecutionBackend {
                 let graph = BlockGraph::new_budgeted(blocks, entropies, budget);
                 meta_blocking_graph(&graph, config)
             }
-            ExecutionBackend::Dataflow(ctx) | ExecutionBackend::Pool(ctx) => {
+            ExecutionBackend::Dataflow(ctx)
+            | ExecutionBackend::Pool(ctx)
+            | ExecutionBackend::FusedPool(ctx) => {
                 let graph = Arc::new(BlockGraph::new_budgeted(blocks, entropies, budget));
                 parallel::meta_blocking(ctx, &graph, config)
             }
@@ -195,7 +227,7 @@ impl ExecutionBackend {
                 pairs.sort_unstable();
                 matcher.match_pairs_dataflow(ctx, collection, pairs)
             }
-            ExecutionBackend::Pool(ctx) => {
+            ExecutionBackend::Pool(ctx) | ExecutionBackend::FusedPool(ctx) => {
                 let graph = Arc::new(CandidateGraph::from_pairs_budgeted(
                     collection.len(),
                     candidates.iter().copied(),
@@ -220,7 +252,9 @@ impl ExecutionBackend {
         let mode = match self {
             ExecutionBackend::Sequential => ComponentsMode::Sequential,
             ExecutionBackend::Dataflow(ctx) => ComponentsMode::Dataflow(ctx),
-            ExecutionBackend::Pool(ctx) => ComponentsMode::Pool(ctx),
+            ExecutionBackend::Pool(ctx) | ExecutionBackend::FusedPool(ctx) => {
+                ComponentsMode::Pool(ctx)
+            }
         };
         cluster_edges(
             algorithm,
@@ -241,7 +275,7 @@ mod tests {
 
     #[test]
     fn parse_roundtrips_every_backend() {
-        for name in ["sequential", "dataflow", "pool"] {
+        for name in ["sequential", "dataflow", "pool", "fused"] {
             let backend = ExecutionBackend::parse(name, 3).unwrap();
             assert_eq!(backend.name(), name);
             if name == "sequential" {

@@ -59,7 +59,7 @@ pub use debug::{
     ThresholdSweepRow,
 };
 pub use evaluate::{BlockingQuality, PairQuality, PipelineEvaluation};
-pub use pipeline::{BlockerOutput, Pipeline, PipelineResult, StepTimings};
+pub use pipeline::{BlockerOutput, Pipeline, PipelineResult, StepTimings, FUSED_CHANNEL_CAP_ENV};
 pub use report::{PipelineReport, PipelineStage, StageReport, StageScope};
 
 // Re-export the building blocks so downstream users need only this crate.

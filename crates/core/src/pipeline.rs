@@ -10,15 +10,23 @@ use crate::backend::ExecutionBackend;
 use crate::config::{PipelineConfig, PurgeConfig};
 use crate::evaluate::{BlockingQuality, PairQuality, PipelineEvaluation};
 use crate::report::{PipelineReport, PipelineStage, StageReport, StageScope};
-use sparker_blocking::{purge_by_comparison_level, purge_oversized};
+use sparker_blocking::{purge_by_comparison_level, purge_oversized, BlockCollection};
 use sparker_clustering::EntityClusters;
-use sparker_dataflow::MemBudget;
+use sparker_dataflow::{fused_channel_capacity, Context, MemBudget, WorkerLocal};
 use sparker_looseschema::{partition_attributes, AttributePartitioning};
 use sparker_matching::{SimilarityGraph, ThresholdMatcher};
-use sparker_metablocking::block_entropies;
+use sparker_metablocking::{
+    block_entropies, BlockEntropies, BlockGraph, MetaBlockingConfig, StreamingMetaBlocking,
+};
 use sparker_profiles::{GroundTruth, Pair, ProfileCollection};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Environment override for the fused prune→score channel capacity
+/// (in queued morsel payloads). Any value must leave results unchanged —
+/// capacity is a schedule-only knob, pinned by the parity proptests.
+pub const FUSED_CHANNEL_CAP_ENV: &str = "SPARKER_FUSED_CHANNEL_CAP";
 
 /// Wall-clock time of each pipeline step — the legacy four-way split,
 /// derived from the per-stage [`PipelineReport`].
@@ -139,6 +147,53 @@ impl Pipeline {
     ) -> (BlockerOutput, Vec<StageReport>) {
         let bc = &self.config.blocking;
         let ctx = backend.context();
+        let BlockStages {
+            partitioning,
+            blocks,
+            initial_blocks,
+            initial_comparisons,
+            mut stages,
+        } = self.run_block_stages(backend, collection, budget);
+        let cleaned_blocks = blocks.len();
+        let cleaned_comparisons = blocks.total_comparisons();
+
+        // Stage 3: meta-blocking when enabled, plain pair enumeration of
+        // the cleaned blocks otherwise.
+        let scope = StageScope::begin(PipelineStage::PruneCandidates, ctx, budget);
+        let (candidates, weighted_candidates) = match &bc.meta_blocking {
+            None => (blocks.candidate_pairs(), Vec::new()),
+            Some(mb) => {
+                let entropies = entropies_for(mb, partitioning.as_ref(), &blocks, collection);
+                let retained = backend.prune_candidates(&blocks, entropies.as_ref(), mb, budget);
+                let set: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
+                (set, retained)
+            }
+        };
+        stages.push(scope.finish(cleaned_comparisons, candidates.len() as u64));
+
+        let output = BlockerOutput {
+            partitioning,
+            initial_blocks,
+            initial_comparisons,
+            cleaned_blocks,
+            cleaned_comparisons,
+            candidates,
+            weighted_candidates,
+        };
+        (output, stages)
+    }
+
+    /// Stages 1–2 — blocking and purging/filtering — shared by the staged
+    /// and fused drivers. Returns the cleaned blocks plus the two stage
+    /// rows.
+    fn run_block_stages(
+        &self,
+        backend: &ExecutionBackend,
+        collection: &ProfileCollection,
+        budget: &MemBudget,
+    ) -> BlockStages {
+        let bc = &self.config.blocking;
+        let ctx = backend.context();
         let mut stages = Vec::with_capacity(PipelineStage::ALL.len());
 
         // Stage 1: loose schema (driver) + (token/keyed) blocking.
@@ -168,52 +223,15 @@ impl Pipeline {
             Some(ratio) => backend.filter_blocks(blocks, ratio),
             None => blocks,
         };
-        let cleaned_blocks = blocks.len();
-        let cleaned_comparisons = blocks.total_comparisons();
-        stages.push(scope.finish(initial_blocks as u64, cleaned_blocks as u64));
+        stages.push(scope.finish(initial_blocks as u64, blocks.len() as u64));
 
-        // Stage 3: meta-blocking when enabled, plain pair enumeration of
-        // the cleaned blocks otherwise.
-        let scope = StageScope::begin(PipelineStage::PruneCandidates, ctx, budget);
-        let (candidates, weighted_candidates) = match &bc.meta_blocking {
-            None => (blocks.candidate_pairs(), Vec::new()),
-            Some(mb) => {
-                // Entropy re-weighting needs per-block entropies; without a
-                // loose-schema partitioning every key falls in a blob
-                // partition whose entropy is constant, so entropy weighting
-                // degenerates gracefully to the unweighted scheme. The
-                // fallback partitioning is built in place — the real one is
-                // borrowed, never cloned.
-                let fallback;
-                let entropies = if mb.use_entropy {
-                    let parts = match &partitioning {
-                        Some(parts) => parts,
-                        None => {
-                            fallback = AttributePartitioning::manual(collection, vec![]);
-                            &fallback
-                        }
-                    };
-                    Some(block_entropies(&blocks, parts))
-                } else {
-                    None
-                };
-                let retained = backend.prune_candidates(&blocks, entropies.as_ref(), mb, budget);
-                let set: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
-                (set, retained)
-            }
-        };
-        stages.push(scope.finish(cleaned_comparisons, candidates.len() as u64));
-
-        let output = BlockerOutput {
+        BlockStages {
             partitioning,
+            blocks,
             initial_blocks,
             initial_comparisons,
-            cleaned_blocks,
-            cleaned_comparisons,
-            candidates,
-            weighted_candidates,
-        };
-        (output, stages)
+            stages,
+        }
     }
 
     /// Run the full pipeline on the given backend — the single
@@ -240,6 +258,16 @@ impl Pipeline {
         collection: &ProfileCollection,
     ) -> PipelineResult {
         let budget = backend.budget();
+
+        // The fused backend overlaps prune and score whenever meta-blocking
+        // is on; without meta-blocking there is no pruning stage to fuse,
+        // so it degrades to the staged pool path below.
+        if let ExecutionBackend::FusedPool(ctx) = backend {
+            if let Some(mb) = self.config.blocking.meta_blocking {
+                return self.run_fused(backend, ctx, &mb, collection, &budget);
+            }
+        }
+
         let (blocker, mut stages) = self.run_blocker_on(backend, collection, &budget);
         let ctx = backend.context();
 
@@ -256,29 +284,165 @@ impl Pipeline {
             backend.cluster_edges(self.config.clustering, similarity.edges(), collection);
         stages.push(scope.finish(similarity.len() as u64, clusters.num_clusters() as u64));
 
-        let report = PipelineReport {
-            backend: backend.name(),
-            workers: backend.workers(),
-            stages,
-            mem_budget_bytes: budget.limit_bytes(),
-            peak_rss_bytes: MemBudget::peak_rss_bytes(),
-            spill_batches: budget.spill_batches(),
-            spilled_bytes: budget.spilled_bytes(),
+        assemble_result(
+            backend, &budget, stages, blocker, similarity, clusters, collection,
+        )
+    }
+
+    /// The fused driver: stages 1–2 as usual, then prune→score as one
+    /// overlapped pool batch — meta-blocking's pass B emits pruned pairs
+    /// range by range through a bounded channel
+    /// ([`StreamingMetaBlocking::prune_range`]) and the matcher's cascade
+    /// scores them concurrently ([`ThresholdMatcher::score_stream`]). No
+    /// `CandidateGraph` is built and the full pair list first exists
+    /// *after* scoring finished. Byte-identical to the staged path at any
+    /// worker count and channel capacity (pinned by the parity matrix).
+    ///
+    /// Report shape is unchanged (all five stage rows): `prune_candidates`
+    /// covers the graph build + pass A, `score_pairs` covers the fused
+    /// batch — its busy time counts both pruning and scoring work, so
+    /// overlap shows up as busy ≫ wall at multiple workers.
+    fn run_fused(
+        &self,
+        backend: &ExecutionBackend,
+        ctx: &Context,
+        mb: &MetaBlockingConfig,
+        collection: &ProfileCollection,
+        budget: &MemBudget,
+    ) -> PipelineResult {
+        let BlockStages {
+            partitioning,
+            blocks,
+            initial_blocks,
+            initial_comparisons,
+            mut stages,
+        } = self.run_block_stages(backend, collection, budget);
+        let cleaned_blocks = blocks.len();
+        let cleaned_comparisons = blocks.total_comparisons();
+
+        // Stage 3: block graph + pass A (per-node statistics, rule
+        // resolution). The pruned-pair count isn't known until the fused
+        // batch drains, so the row's output is patched below.
+        let scope = StageScope::begin(PipelineStage::PruneCandidates, Some(ctx), budget);
+        let entropies = entropies_for(mb, partitioning.as_ref(), &blocks, collection);
+        let graph = Arc::new(BlockGraph::new_budgeted(
+            &blocks,
+            entropies.as_ref(),
+            budget,
+        ));
+        let stream = StreamingMetaBlocking::prepare(ctx, &graph, mb);
+        let prune_row = stages.len();
+        stages.push(scope.finish(cleaned_comparisons, 0));
+
+        // Stage 4: the fused prune→score batch.
+        let scope = StageScope::begin(PipelineStage::ScorePairs, Some(ctx), budget);
+        let matcher =
+            ThresholdMatcher::new(self.config.matching.measure, self.config.matching.threshold);
+        let morsels = stream.cost_morsels(ctx.workers() * 32);
+        let payload_bytes = (stream.total_edges() * 16 / morsels.len().max(1) as u64).max(1);
+        let capacity = std::env::var(FUSED_CHANNEL_CAP_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| fused_channel_capacity(budget, ctx.workers(), payload_bytes));
+        let prune_locals = Arc::new(WorkerLocal::new(ctx.workers(), || stream.make_scratch()));
+        let outcome = matcher.score_stream(ctx, collection, &morsels, capacity, {
+            let stream = &stream;
+            let prune_locals = Arc::clone(&prune_locals);
+            move |worker, range: &std::ops::Range<u32>| {
+                prune_locals.with(worker, |scratch| stream.prune_range(range.clone(), scratch))
+            }
+        });
+        let candidates: HashSet<Pair> = outcome.retained.iter().map(|(p, _)| *p).collect();
+        let similarity = outcome.similarity;
+        stages[prune_row].output = candidates.len() as u64;
+        stages.push(scope.finish(candidates.len() as u64, similarity.len() as u64));
+
+        // Stage 5: entity clustering.
+        let scope = StageScope::begin(PipelineStage::ClusterEdges, Some(ctx), budget);
+        let clusters =
+            backend.cluster_edges(self.config.clustering, similarity.edges(), collection);
+        stages.push(scope.finish(similarity.len() as u64, clusters.num_clusters() as u64));
+
+        let blocker = BlockerOutput {
+            partitioning,
+            initial_blocks,
+            initial_comparisons,
+            cleaned_blocks,
+            cleaned_comparisons,
+            candidates,
+            weighted_candidates: outcome.retained,
         };
-        let timings = report.step_timings();
-        PipelineResult {
-            blocker,
-            similarity,
-            clusters,
-            timings,
-            report,
-            comparable_pairs: collection.comparable_pairs(),
-        }
+        assemble_result(
+            backend, budget, stages, blocker, similarity, clusters, collection,
+        )
     }
 
     /// Run the full pipeline on the sequential backend.
     pub fn run(&self, collection: &ProfileCollection) -> PipelineResult {
         self.run_on(&ExecutionBackend::Sequential, collection)
+    }
+}
+
+/// Output of [`Pipeline::run_block_stages`]: the cleaned block collection
+/// plus everything the later stages and the blocker output need.
+struct BlockStages {
+    partitioning: Option<AttributePartitioning>,
+    blocks: BlockCollection,
+    initial_blocks: usize,
+    initial_comparisons: u64,
+    stages: Vec<StageReport>,
+}
+
+/// Per-block entropies for entropy re-weighting, when enabled. Without a
+/// loose-schema partitioning every key falls in a blob partition whose
+/// entropy is constant, so entropy weighting degenerates gracefully to the
+/// unweighted scheme.
+fn entropies_for(
+    mb: &MetaBlockingConfig,
+    partitioning: Option<&AttributePartitioning>,
+    blocks: &BlockCollection,
+    collection: &ProfileCollection,
+) -> Option<BlockEntropies> {
+    if !mb.use_entropy {
+        return None;
+    }
+    match partitioning {
+        Some(parts) => Some(block_entropies(blocks, parts)),
+        None => {
+            let fallback = AttributePartitioning::manual(collection, vec![]);
+            Some(block_entropies(blocks, &fallback))
+        }
+    }
+}
+
+/// Assemble the report and final result — shared tail of the staged and
+/// fused drivers.
+fn assemble_result(
+    backend: &ExecutionBackend,
+    budget: &MemBudget,
+    stages: Vec<StageReport>,
+    blocker: BlockerOutput,
+    similarity: SimilarityGraph,
+    clusters: EntityClusters,
+    collection: &ProfileCollection,
+) -> PipelineResult {
+    let report = PipelineReport {
+        backend: backend.name(),
+        workers: backend.workers(),
+        stages,
+        mem_budget_bytes: budget.limit_bytes(),
+        peak_rss_bytes: MemBudget::peak_rss_bytes(),
+        spill_batches: budget.spill_batches(),
+        spilled_bytes: budget.spilled_bytes(),
+    };
+    let timings = report.step_timings();
+    PipelineResult {
+        blocker,
+        similarity,
+        clusters,
+        timings,
+        report,
+        comparable_pairs: collection.comparable_pairs(),
     }
 }
 

@@ -86,6 +86,13 @@ pub struct StageReport {
     /// sequential backend (one fully busy driver thread); may exceed
     /// `wall` on the engine backends when workers run concurrently.
     pub busy: Duration,
+    /// Time tasks of the stage's engine operators spent waiting to be
+    /// picked up by a worker (plus, on the fused backend, time fused
+    /// workers stalled with nothing to produce or consume). Always zero on
+    /// the sequential backend; a persistently high value on an engine
+    /// backend points at dispatch overhead or a starved pipeline, not at
+    /// slow kernels.
+    pub queue_wait: Duration,
     /// Input cardinality, in [`PipelineStage::input_unit`] units.
     pub input: u64,
     /// Output cardinality, in [`PipelineStage::output_unit`] units.
@@ -130,6 +137,11 @@ impl PipelineReport {
         self.stages.iter().map(|s| s.busy).sum()
     }
 
+    /// Total attributed queue wait across all stages.
+    pub fn total_queue_wait(&self) -> Duration {
+        self.stages.iter().map(|s| s.queue_wait).sum()
+    }
+
     /// The report row for `stage`, if that stage executed.
     pub fn stage(&self, stage: PipelineStage) -> Option<&StageReport> {
         self.stages.iter().find(|s| s.stage == stage)
@@ -159,18 +171,19 @@ impl PipelineReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} {:>12} {:>12} {:>11} {:>11} {:>10}  units",
-            "stage", "input", "output", "wall", "busy", "buffered"
+            "{:<16} {:>12} {:>12} {:>11} {:>11} {:>11} {:>10}  units",
+            "stage", "input", "output", "wall", "busy", "queue-wait", "buffered"
         );
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "{:<16} {:>12} {:>12} {:>11} {:>11} {:>10}  {} -> {}",
+                "{:<16} {:>12} {:>12} {:>11} {:>11} {:>11} {:>10}  {} -> {}",
                 s.stage.name(),
                 s.input,
                 s.output,
                 format!("{:.1?}", s.wall),
                 format!("{:.1?}", s.busy),
+                format!("{:.1?}", s.queue_wait),
                 mib(s.buffered_bytes),
                 s.stage.input_unit(),
                 s.stage.output_unit(),
@@ -183,12 +196,13 @@ impl PipelineReport {
         };
         let _ = writeln!(
             out,
-            "{:<16} {:>12} {:>12} {:>11} {:>11} {:>10}  backend={} workers={} budget={} peak_rss={} spilled={} ({} batches)",
+            "{:<16} {:>12} {:>12} {:>11} {:>11} {:>11} {:>10}  backend={} workers={} budget={} peak_rss={} spilled={} ({} batches)",
             "total",
             "",
             "",
             format!("{:.1?}", self.total_wall()),
             format!("{:.1?}", self.total_busy()),
+            format!("{:.1?}", self.total_queue_wait()),
             "",
             self.backend,
             self.workers,
@@ -211,7 +225,8 @@ impl PipelineReport {
     ///   "stages": [
     ///     {"stage": "build_blocks", "input": 1000, "output": 1523,
     ///      "input_unit": "profiles", "output_unit": "blocks",
-    ///      "wall_s": 0.0123, "busy_s": 0.0311, "buffered_bytes": 81920},
+    ///      "wall_s": 0.0123, "busy_s": 0.0311, "queue_wait_s": 0.0007,
+    ///      "buffered_bytes": 81920},
     ///     ...
     ///   ],
     ///   "total_wall_s": 0.2031,
@@ -237,7 +252,8 @@ impl PipelineReport {
                 out,
                 "{{\"stage\":\"{}\",\"input\":{},\"output\":{},\
                  \"input_unit\":\"{}\",\"output_unit\":\"{}\",\
-                 \"wall_s\":{:.9},\"busy_s\":{:.9},\"buffered_bytes\":{}}}",
+                 \"wall_s\":{:.9},\"busy_s\":{:.9},\"queue_wait_s\":{:.9},\
+                 \"buffered_bytes\":{}}}",
                 s.stage.name(),
                 s.input,
                 s.output,
@@ -245,6 +261,7 @@ impl PipelineReport {
                 s.stage.output_unit(),
                 s.wall.as_secs_f64(),
                 s.busy.as_secs_f64(),
+                s.queue_wait.as_secs_f64(),
                 s.buffered_bytes,
             );
         }
@@ -303,16 +320,17 @@ impl<'a> StageScope<'a> {
     pub fn finish(self, input: u64, output: u64) -> StageReport {
         let wall = self.start.elapsed();
         let buffered_bytes = self.budget.stage_high_water();
-        let busy = match self.ctx {
-            None => wall,
+        let (busy, queue_wait) = match self.ctx {
+            None => (wall, Duration::ZERO),
             Some(ctx) => {
                 let snap = ctx.metrics();
-                let busy = snap
+                let (busy, queue_wait) = snap
                     .stages
                     .iter()
                     .skip(self.engine_stages_before)
-                    .map(|s| s.busy_time)
-                    .sum();
+                    .fold((Duration::ZERO, Duration::ZERO), |(b, q), s| {
+                        (b + s.busy_time, q + s.queue_wait)
+                    });
                 // Feed a named scope marker back into the engine metrics so
                 // snapshots can attribute operator stages to pipeline stages.
                 let mut marker = StageMetrics::named(&format!("pipeline/{}", self.stage.name()));
@@ -320,15 +338,17 @@ impl<'a> StageScope<'a> {
                 marker.output_records = output;
                 marker.wall_time = wall;
                 marker.busy_time = busy;
+                marker.queue_wait = queue_wait;
                 marker.buffered_bytes = buffered_bytes;
                 ctx.record_stage(marker);
-                busy
+                (busy, queue_wait)
             }
         };
         StageReport {
             stage: self.stage,
             wall,
             busy,
+            queue_wait,
             input,
             output,
             buffered_bytes,
@@ -351,6 +371,7 @@ mod tests {
                     stage,
                     wall: Duration::from_millis(i as u64 + 1),
                     busy: Duration::from_millis(i as u64 + 1),
+                    queue_wait: Duration::from_micros(i as u64),
                     input: 10 * (i as u64 + 1),
                     output: 10 * (i as u64 + 2),
                     buffered_bytes: 1024 * (i as u64 + 1),
@@ -386,6 +407,7 @@ mod tests {
         assert!(json.contains("\"backend\":\"sequential\""));
         assert!(json.contains("\"workers\":1"));
         assert!(json.contains("\"total_wall_s\":"));
+        assert!(json.contains("\"queue_wait_s\":"));
         assert!(json.contains("\"buffered_bytes\":1024"));
         assert!(json.contains("\"mem_budget_bytes\":0"));
         assert!(json.contains("\"peak_rss_bytes\":73400320"));
@@ -400,6 +422,7 @@ mod tests {
         assert_eq!(table.lines().count(), 1 + PipelineStage::ALL.len() + 1);
         assert!(table.contains("score_pairs"));
         assert!(table.contains("backend=sequential workers=1"));
+        assert!(table.contains("queue-wait"));
         assert!(table.contains("buffered"));
         assert!(table.contains("budget=unlimited"));
         assert!(table.contains("peak_rss=70.0MiB"));
@@ -412,6 +435,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         let row = scope.finish(7, 3);
         assert_eq!(row.wall, row.busy);
+        assert_eq!(row.queue_wait, Duration::ZERO);
         assert!(row.wall >= Duration::from_millis(2));
         assert_eq!((row.input, row.output), (7, 3));
     }

@@ -1,11 +1,11 @@
 //! Backend-matrix parity suite, driven through the *unified* driver.
 //!
-//! Every cell of `backend ∈ {Sequential, Dataflow(w), Pool(w)} ×
-//! {CleanClean, Dirty} × {default, blast} × workers ∈ {1, 2, 8}` must be
-//! *indistinguishable* from the sequential reference run: identical
-//! candidate sets, identical similarity graphs, identical entity clusters,
-//! identical evaluations. One helper asserts the whole matrix — there is
-//! no per-driver test copy anywhere else.
+//! Every cell of `backend ∈ {Sequential, Dataflow(w), Pool(w),
+//! FusedPool(w)} × {CleanClean, Dirty} × {default, blast} × workers ∈
+//! {1, 2, 8}` must be *indistinguishable* from the sequential reference
+//! run: identical candidate sets, identical similarity graphs, identical
+//! entity clusters, identical evaluations. One helper asserts the whole
+//! matrix — there is no per-driver test copy anywhere else.
 
 use proptest::prelude::*;
 use sparker_core::{
@@ -45,10 +45,11 @@ fn config_with(algorithm: ClusteringAlgorithm) -> PipelineConfig {
 }
 
 /// The engine-backed backends at one worker count.
-fn engine_backends(workers: usize) -> [ExecutionBackend; 2] {
+fn engine_backends(workers: usize) -> [ExecutionBackend; 3] {
     [
         ExecutionBackend::dataflow(workers),
         ExecutionBackend::pool(workers),
+        ExecutionBackend::fused(workers),
     ]
 }
 
@@ -174,6 +175,7 @@ fn cascade_matches_naive_scorer_across_backends() {
                 ExecutionBackend::Sequential,
                 ExecutionBackend::dataflow(2),
                 ExecutionBackend::pool(2),
+                ExecutionBackend::fused(2),
             ] {
                 let got =
                     backend.score_pairs(&cascade, &ds.collection, candidates, &backend.budget());
@@ -198,6 +200,7 @@ fn report_is_stage_complete_on_every_backend() {
         ExecutionBackend::Sequential,
         ExecutionBackend::dataflow(2),
         ExecutionBackend::pool(2),
+        ExecutionBackend::fused(2),
     ];
     for backend in backends {
         let result = pipeline.run_on(&backend, &ds.collection);
@@ -256,6 +259,84 @@ fn engine_backends_record_matcher_and_clusterer_stages() {
         names.iter().any(|n| n == "pipeline/score_pairs"),
         "scope marker missing from {names:?}"
     );
+
+    // The fused backend replaces the staged matcher with the overlapped
+    // prune→score batch — and never builds the staged pass stages.
+    let fused = ExecutionBackend::fused(4);
+    Pipeline::new(PipelineConfig::default()).run_on(&fused, &ds.collection);
+    let names: Vec<String> = fused
+        .context()
+        .unwrap()
+        .metrics()
+        .stages
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "fused_prune_score"),
+        "fused stage missing from {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "fused_pass_a"),
+        "fused pass-A stage missing from {names:?}"
+    );
+    assert!(
+        !names.iter().any(|n| n == "match_candidates"),
+        "fused run built the staged matcher: {names:?}"
+    );
+    let fused_stage = fused
+        .context()
+        .unwrap()
+        .metrics()
+        .stages
+        .iter()
+        .find(|s| s.name == "fused_prune_score")
+        .cloned()
+        .unwrap();
+    assert!(fused_stage.tasks > 0);
+    assert!(!fused_stage.per_worker_busy.is_empty());
+}
+
+#[test]
+fn fused_matches_pool_under_scaling_config() {
+    // The scaling-tier configuration (comparison-level purge, 0.5 filter,
+    // its own meta-blocking setting) is the other production config; the
+    // fused driver must agree with the staged pool on it too, clean and
+    // dirty, across worker counts.
+    for (tag, ds) in [
+        ("clean", clean_dataset(80, 7, true)),
+        ("dirty", dirty_dataset(50, 31, true)),
+    ] {
+        let pipeline = Pipeline::new(PipelineConfig::scaling());
+        let reference = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+        for workers in WORKERS {
+            let run = pipeline.run_on(&ExecutionBackend::fused(workers), &ds.collection);
+            assert_equivalent(
+                &reference,
+                &run,
+                &ds,
+                &format!("scaling {tag} fused workers={workers}"),
+            );
+            assert_eq!(
+                reference.blocker.weighted_candidates, run.blocker.weighted_candidates,
+                "scaling {tag} fused workers={workers}: weighted candidates diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_without_meta_blocking_degrades_to_staged() {
+    // No pruning stage → nothing to fuse; the fused backend must still
+    // produce the staged results through the staged path.
+    let ds = clean_dataset(70, 13, false);
+    let mut config = PipelineConfig::default();
+    config.blocking.meta_blocking = None;
+    let pipeline = Pipeline::new(config);
+    let reference = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+    let run = pipeline.run_on(&ExecutionBackend::fused(4), &ds.collection);
+    assert_equivalent(&reference, &run, &ds, "fused without meta-blocking");
+    assert_eq!(run.report.backend, "fused");
 }
 
 proptest! {
@@ -307,6 +388,36 @@ proptest! {
             );
         }
     }
+
+    /// Channel capacity is a *scheduling* knob, never a semantic one: a
+    /// capacity of 1 (fully serialized hand-off), 2, or effectively
+    /// unbounded must leave every fused result byte-identical to the
+    /// sequential reference.
+    #[test]
+    fn fused_channel_capacity_never_changes_results(
+        seed in 0u64..1_000,
+        entities in 30usize..70,
+        workers in prop::sample::select(&WORKERS[..]),
+        capacity in prop::sample::select(&[1usize, 2, 1 << 20][..]),
+        dirty in any::<bool>(),
+    ) {
+        let ds = if dirty {
+            dirty_dataset(entities.min(50), seed, true)
+        } else {
+            clean_dataset(entities, seed, true)
+        };
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let reference = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+        std::env::set_var(sparker_core::FUSED_CHANNEL_CAP_ENV, capacity.to_string());
+        let run = pipeline.run_on(&ExecutionBackend::fused(workers), &ds.collection);
+        std::env::remove_var(sparker_core::FUSED_CHANNEL_CAP_ENV);
+        prop_assert_eq!(&reference.similarity, &run.similarity);
+        prop_assert_eq!(&reference.clusters, &run.clusters);
+        prop_assert_eq!(
+            &reference.blocker.weighted_candidates,
+            &run.blocker.weighted_candidates
+        );
+    }
 }
 
 #[test]
@@ -325,7 +436,11 @@ fn budgeted_pipeline_is_bit_identical_to_in_ram() {
     assert_eq!(reference.report.mem_budget_bytes, 0, "reference is in-RAM");
     assert_eq!(reference.report.spill_batches, 0, "reference never spills");
     for workers in [1, 2, 4] {
-        for make in [ExecutionBackend::Dataflow, ExecutionBackend::Pool] {
+        for make in [
+            ExecutionBackend::Dataflow,
+            ExecutionBackend::Pool,
+            ExecutionBackend::FusedPool,
+        ] {
             let budget = MemBudget::limited(16 * 1024);
             let backend = make(Context::new(workers).with_budget(budget.clone()));
             let run = pipeline.run_on(&backend, &ds.collection);

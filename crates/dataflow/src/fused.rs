@@ -1,0 +1,468 @@
+//! Fused pipelined execution: a bounded MPMC morsel channel plus a
+//! produce-or-consume stage operator that overlaps two stages of a
+//! pipeline inside one pool batch.
+//!
+//! The staged engine runs `prune → score` as two barriers: every pruned
+//! candidate pair is materialized before the first one is scored. The
+//! [`pipelined_stage`] operator fuses them: every worker runs a small
+//! scheduling loop that either *produces* the next morsel (claimed off an
+//! atomic counter) or *consumes* a produced payload popped from the
+//! bounded [`MorselQueue`]. Backpressure is cooperative — a worker that
+//! finds the channel at capacity drains it before producing more — so the
+//! set of in-flight payloads is bounded by `capacity + workers` and the
+//! full producer output is never resident at once on the hot path.
+//!
+//! ## Determinism
+//!
+//! Results are slot-indexed: morsel `k`'s produced payload and consumed
+//! output land in slots `k` of two pre-sized vectors, regardless of which
+//! worker ran them or in what order the channel interleaved them. The
+//! returned vectors are therefore a pure function of `(morsels, produce,
+//! consume)` — worker count and channel capacity are schedule-only knobs
+//! (pinned by tests and the core parity suite).
+
+use crate::pool::thread_cpu_ns;
+use crate::{Context, MemBudget, StageMetrics};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A bounded multi-producer multi-consumer queue of morsel indices.
+///
+/// The bound is cooperative: [`MorselQueue::push`] never blocks (a
+/// producer has already done the work; refusing the result would waste
+/// it), and producers are expected to check [`MorselQueue::is_full`]
+/// *before* starting the next morsel and drain the queue instead — the
+/// backpressure protocol [`pipelined_stage`] implements. Depth can
+/// therefore transiently exceed `capacity` by at most one in-flight
+/// payload per worker.
+pub struct MorselQueue {
+    capacity: usize,
+    inner: Mutex<VecDeque<usize>>,
+    max_depth: AtomicUsize,
+}
+
+impl MorselQueue {
+    /// A queue that signals backpressure at `capacity` queued morsels
+    /// (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        MorselQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+            max_depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// The backpressure threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` when the queue holds at least `capacity` morsels — producers
+    /// should consume instead of producing.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// `true` when no morsel is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue ever got (for stage reports).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Enqueue a produced morsel index. Never blocks (see type docs).
+    pub fn push(&self, k: usize) {
+        let mut q = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        q.push_back(k);
+        self.max_depth.fetch_max(q.len(), Ordering::Relaxed);
+    }
+
+    /// Dequeue the oldest produced morsel index, if any.
+    pub fn pop(&self) -> Option<usize> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front()
+    }
+}
+
+/// What one [`pipelined_stage`] run did, beyond its outputs: the overlap
+/// accounting a fused stage reports (produce vs consume CPU on the same
+/// wall interval, channel pressure, stall time).
+#[derive(Debug, Clone, Default)]
+pub struct FusedStageStats {
+    /// Number of morsels processed (produced and consumed).
+    pub morsels: usize,
+    /// CPU time spent inside `produce` closures across all workers.
+    pub produce_busy: Duration,
+    /// CPU time spent inside `consume` closures across all workers.
+    pub consume_busy: Duration,
+    /// Wall time workers spent with nothing claimable — production
+    /// exhausted, channel empty, but peers still in flight (plus the
+    /// pool's own first-claim dispatch wait).
+    pub queue_wait: Duration,
+    /// Times a worker found the channel at capacity and drained it instead
+    /// of producing — each one is a backpressure event.
+    pub backpressure_yields: u64,
+    /// Deepest the channel ever got (≤ capacity + workers by protocol).
+    pub max_queue_depth: usize,
+    /// Wall-clock time of the whole fused batch.
+    pub wall: Duration,
+    /// Per-worker-slot CPU time for the batch (max entry = critical path).
+    pub per_worker_busy: Vec<Duration>,
+}
+
+impl FusedStageStats {
+    /// Total CPU across produce + consume — on the staged path this work
+    /// runs in two serial barriers, so `busy / wall` per worker is the
+    /// overlap win the fused schedule achieved.
+    pub fn busy_time(&self) -> Duration {
+        self.produce_busy + self.consume_busy
+    }
+
+    /// The slowest worker's CPU time — the batch's critical path.
+    pub fn critical_path(&self) -> Duration {
+        self.per_worker_busy
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+/// Write-once result slots shared across the fused batch's workers.
+///
+/// SAFETY invariant: slot `k` is written exactly once — by the producer
+/// that claimed morsel `k` (produced slots) or the consumer that popped
+/// `k` from the channel (consumed slots) — and only read after that write
+/// is published through the channel mutex (consumers) or the pool's batch
+/// join (the driver).
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send + Sync> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Slots((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Write slot `k`. Caller must be its unique writer.
+    unsafe fn write(&self, k: usize, value: T) {
+        *self.0[k].get() = Some(value);
+    }
+
+    /// Borrow slot `k`. Caller must have observed the write via the
+    /// channel (or the batch join).
+    unsafe fn get(&self, k: usize) -> &T {
+        (*self.0[k].get())
+            .as_ref()
+            .expect("fused slot read before its write was published")
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        self.0
+            .into_iter()
+            .map(|c| {
+                c.into_inner()
+                    .expect("fused stage lost a morsel result slot")
+            })
+            .collect()
+    }
+}
+
+/// Run a fused two-stage pipeline over `morsels` on the context's worker
+/// pool: `produce(worker, &morsel)` builds morsel `k`'s payload,
+/// `consume(worker, &payload)` transforms it, and both stages execute
+/// concurrently inside **one** pool batch — worker loops interleave
+/// producing and consuming through a bounded [`MorselQueue`] of
+/// `capacity` payloads (see [`fused_channel_capacity`] for a
+/// budget-aware default).
+///
+/// Returns `(produced, consumed, stats)` with both vectors in morsel
+/// order — byte-identical at any worker count and any capacity, provided
+/// `produce`/`consume` are pure functions of their morsel (scratch reuse
+/// via [`crate::WorkerLocal`] is fine). A [`StageMetrics`] row named
+/// `name` is recorded with the batch's busy/queue-wait/per-worker times.
+pub fn pipelined_stage<M, P, C, FP, FC>(
+    ctx: &Context,
+    name: &str,
+    morsels: &[M],
+    capacity: usize,
+    produce: FP,
+    consume: FC,
+) -> (Vec<P>, Vec<C>, FusedStageStats)
+where
+    M: Sync,
+    P: Send + Sync,
+    C: Send + Sync,
+    FP: Fn(usize, &M) -> P + Send + Sync,
+    FC: Fn(usize, &P) -> C + Send + Sync,
+{
+    let wall_start = Instant::now();
+    let n = morsels.len();
+    if n == 0 {
+        ctx.record_stage(StageMetrics::named(name));
+        return (Vec::new(), Vec::new(), FusedStageStats::default());
+    }
+
+    let queue = MorselQueue::new(capacity);
+    let next = AtomicUsize::new(0);
+    let consumed_count = AtomicUsize::new(0);
+    let produce_busy_ns = AtomicU64::new(0);
+    let consume_busy_ns = AtomicU64::new(0);
+    let stall_ns = AtomicU64::new(0);
+    let backpressure = AtomicU64::new(0);
+    let produced_slots = Slots::<P>::new(n);
+    let consumed_slots = Slots::<C>::new(n);
+
+    let drain_one = |worker: usize, is_backpressure: bool| -> bool {
+        let Some(k) = queue.pop() else { return false };
+        if is_backpressure {
+            backpressure.fetch_add(1, Ordering::Relaxed);
+        }
+        let t0 = thread_cpu_ns();
+        // SAFETY: `k` was pushed after its produced slot was written (the
+        // channel mutex publishes the write), and pop grants this worker
+        // unique consumption rights for `k`.
+        let c = consume(worker, unsafe { produced_slots.get(k) });
+        consume_busy_ns.fetch_add(thread_cpu_ns().saturating_sub(t0), Ordering::Relaxed);
+        // SAFETY: unique consumer of `k` writes consumed slot `k` once.
+        unsafe { consumed_slots.write(k, c) };
+        consumed_count.fetch_add(1, Ordering::Release);
+        true
+    };
+
+    let worker_loop = |worker: usize| {
+        loop {
+            // Backpressure protocol: with the channel at capacity (or
+            // production exhausted), drain before producing more.
+            let full = queue.is_full();
+            let exhausted = next.load(Ordering::Relaxed) >= n;
+            if (full || exhausted) && drain_one(worker, full && !exhausted) {
+                continue;
+            }
+            // Claim and produce the next morsel.
+            if !exhausted {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i < n {
+                    let t0 = thread_cpu_ns();
+                    let p = produce(worker, &morsels[i]);
+                    produce_busy_ns
+                        .fetch_add(thread_cpu_ns().saturating_sub(t0), Ordering::Relaxed);
+                    // SAFETY: `i` was claimed exactly once; write precedes
+                    // the push that publishes it.
+                    unsafe { produced_slots.write(i, p) };
+                    queue.push(i);
+                    continue;
+                }
+            }
+            // Nothing claimable right now: either everything is done, or a
+            // peer is mid-morsel and will push shortly.
+            if drain_one(worker, false) {
+                continue;
+            }
+            if consumed_count.load(Ordering::Acquire) >= n {
+                break;
+            }
+            let t0 = Instant::now();
+            std::thread::yield_now();
+            stall_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    };
+
+    // One long-lived loop task per worker slot, all inside a single pool
+    // batch — the pool's one-batch-at-a-time invariant holds because the
+    // fusion happens *inside* the batch, not across two of them.
+    let (_, pool_stats) = ctx
+        .pool()
+        .run_on_workers(ctx.workers(), |worker, _task| worker_loop(worker));
+
+    let stats = FusedStageStats {
+        morsels: n,
+        produce_busy: Duration::from_nanos(produce_busy_ns.into_inner()),
+        consume_busy: Duration::from_nanos(consume_busy_ns.into_inner()),
+        queue_wait: pool_stats.queue_wait + Duration::from_nanos(stall_ns.into_inner()),
+        backpressure_yields: backpressure.into_inner(),
+        max_queue_depth: queue.max_depth(),
+        wall: wall_start.elapsed(),
+        per_worker_busy: pool_stats.per_worker_busy.clone(),
+    };
+
+    let mut metrics = StageMetrics::named(name);
+    metrics.tasks = n;
+    metrics.input_records = n as u64;
+    metrics.output_records = n as u64;
+    metrics.wall_time = stats.wall;
+    metrics.busy_time = pool_stats.busy_time;
+    metrics.queue_wait = stats.queue_wait;
+    metrics.per_worker_busy = pool_stats.per_worker_busy;
+    ctx.record_stage(metrics);
+
+    (produced_slots.into_vec(), consumed_slots.into_vec(), stats)
+}
+
+/// Channel capacity for a fused stage under a [`MemBudget`]: unlimited
+/// budgets get `4 × workers` queued payloads (enough slack that neither
+/// side stalls on the other's jitter); limited budgets are clamped so the
+/// queued payloads fit in an eighth of the budget at the caller's
+/// estimated payload size, never below 1 (the pipeline must still move).
+pub fn fused_channel_capacity(budget: &MemBudget, workers: usize, payload_bytes: u64) -> usize {
+    let base = (workers * 4).max(2);
+    if !budget.is_limited() {
+        return base;
+    }
+    let allowed = (budget.limit_bytes() / 8).max(64 * 1024) / payload_bytes.max(1);
+    (allowed as usize).clamp(1, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_sum(workers: usize, capacity: usize, n: u64) -> (Vec<u64>, Vec<u64>, FusedStageStats) {
+        let ctx = Context::new(workers);
+        let morsels: Vec<u64> = (0..n).collect();
+        pipelined_stage(
+            &ctx,
+            "fused_test",
+            &morsels,
+            capacity,
+            |_, &m| m * 3,
+            |_, &p| p + 1,
+        )
+    }
+
+    #[test]
+    fn outputs_are_morsel_ordered_and_schedule_invariant() {
+        let expected_p: Vec<u64> = (0..257).map(|m| m * 3).collect();
+        let expected_c: Vec<u64> = (0..257).map(|m| m * 3 + 1).collect();
+        for workers in [1, 2, 4, 8] {
+            for capacity in [1, 2, 7, 1 << 20] {
+                let (p, c, stats) = run_sum(workers, capacity, 257);
+                assert_eq!(p, expected_p, "workers={workers} capacity={capacity}");
+                assert_eq!(c, expected_c, "workers={workers} capacity={capacity}");
+                assert_eq!(stats.morsels, 257);
+            }
+        }
+    }
+
+    #[test]
+    fn queue_depth_respects_cooperative_bound() {
+        for (workers, capacity) in [(4, 1), (4, 2), (2, 3)] {
+            let (_, _, stats) = run_sum(workers, capacity, 500);
+            assert!(
+                stats.max_queue_depth <= capacity + workers,
+                "depth {} exceeds capacity {capacity} + workers {workers}",
+                stats.max_queue_depth
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_under_contention_sees_backpressure() {
+        // With a single-payload channel, many workers and cheap consume,
+        // producers must keep running into a full channel.
+        let ctx = Context::new(4);
+        let morsels: Vec<u64> = (0..2000).collect();
+        let (_, _, stats) = pipelined_stage(
+            &ctx,
+            "fused_bp",
+            &morsels,
+            1,
+            |_, &m| {
+                // Production outpaces consumption.
+                std::hint::black_box(m)
+            },
+            |_, &p| {
+                let mut h = p;
+                for _ in 0..2000 {
+                    h = std::hint::black_box(h.wrapping_mul(0x9E3779B97F4A7C15));
+                }
+                h
+            },
+        );
+        assert!(
+            stats.backpressure_yields > 0,
+            "expected backpressure events, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_morsel_list() {
+        let (p, c, stats) = run_sum(4, 4, 0);
+        assert!(p.is_empty() && c.is_empty());
+        assert_eq!(stats.morsels, 0);
+    }
+
+    #[test]
+    fn single_worker_runs_inline_and_completes() {
+        let (p, c, _) = run_sum(1, 1, 64);
+        assert_eq!(p.len(), 64);
+        assert_eq!(c[63], 63 * 3 + 1);
+    }
+
+    #[test]
+    fn records_stage_metrics_with_queue_wait_accounting() {
+        let ctx = Context::new(2);
+        let morsels: Vec<u64> = (0..100).collect();
+        let (_, _, stats) =
+            pipelined_stage(&ctx, "fused_metrics", &morsels, 4, |_, &m| m, |_, &p| p);
+        let snap = ctx.metrics();
+        let stage = snap
+            .stages
+            .iter()
+            .find(|s| s.name == "fused_metrics")
+            .expect("fused stage recorded");
+        assert_eq!(stage.tasks, 100);
+        assert_eq!(stage.input_records, 100);
+        assert_eq!(stage.queue_wait, stats.queue_wait);
+        assert!(!stage.per_worker_busy.is_empty());
+        assert!(stats.busy_time() <= stage.busy_time + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn channel_capacity_scales_with_budget() {
+        let unlimited = MemBudget::unlimited();
+        assert_eq!(fused_channel_capacity(&unlimited, 4, 1 << 20), 16);
+        assert_eq!(fused_channel_capacity(&unlimited, 1, 1 << 20), 4);
+        // 1 MiB budget / 8 = 128 KiB headroom; 1 MiB payloads clamp to 1.
+        let tight = MemBudget::limited_mb(1);
+        assert_eq!(fused_channel_capacity(&tight, 4, 1 << 20), 1);
+        // Tiny payloads fill the headroom: capped at 4 × workers.
+        assert_eq!(fused_channel_capacity(&tight, 4, 16), 16);
+    }
+
+    #[test]
+    fn morsel_queue_is_fifo_and_tracks_depth() {
+        let q = MorselQueue::new(2);
+        assert!(q.is_empty());
+        q.push(7);
+        q.push(3);
+        assert!(q.is_full());
+        q.push(9); // cooperative bound: push never blocks
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(MorselQueue::new(0).capacity(), 1);
+    }
+}

@@ -110,6 +110,7 @@ mod broadcast;
 mod budget;
 mod context;
 mod dataset;
+mod fused;
 mod metrics;
 mod pool;
 mod spill;
@@ -120,6 +121,7 @@ pub use broadcast::Broadcast;
 pub use budget::{MemBudget, SpillDir, MEM_BUDGET_ENV};
 pub use context::Context;
 pub use dataset::{Dataset, KeyedDataset};
+pub use fused::{fused_channel_capacity, pipelined_stage, FusedStageStats, MorselQueue};
 pub use metrics::{ExecutionMetrics, MetricsSnapshot, StageMetrics};
 pub use pool::{StageStats, WorkerPool};
 pub use spill::{

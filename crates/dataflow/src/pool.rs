@@ -85,7 +85,7 @@ impl std::ops::Add for StageStats {
 /// clock — correct on a machine with a core per worker, pessimistic
 /// otherwise.
 #[cfg(target_os = "linux")]
-fn thread_cpu_ns() -> u64 {
+pub(crate) fn thread_cpu_ns() -> u64 {
     #[repr(C)]
     struct Timespec {
         tv_sec: i64,
@@ -107,7 +107,7 @@ fn thread_cpu_ns() -> u64 {
 }
 
 #[cfg(not(target_os = "linux"))]
-fn thread_cpu_ns() -> u64 {
+pub(crate) fn thread_cpu_ns() -> u64 {
     use std::sync::OnceLock;
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64

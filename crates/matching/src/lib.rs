@@ -41,6 +41,7 @@ mod candidates;
 mod graph;
 mod matcher;
 mod perceptron;
+mod stream;
 mod tfidf;
 
 pub use candidates::{filter_candidates_pool, score_candidates_pool, CandidateGraph};
@@ -50,4 +51,5 @@ pub use matcher::{
     TfIdfMatcher, ThresholdMatcher, WeightedRule, WeightedRuleMatcher,
 };
 pub use perceptron::{pair_features, PerceptronMatcher, TrainConfig, FEATURE_NAMES};
+pub use stream::FusedMatchOutcome;
 pub use tfidf::TfIdfIndex;

@@ -555,7 +555,7 @@ impl ThresholdMatcher {
 
     /// Score one prepared pair under the configured mode: `Some(score)` iff
     /// the pair is retained at the matcher's threshold.
-    fn decide(
+    pub(crate) fn decide(
         &self,
         a: &PreparedProfile,
         b: &PreparedProfile,

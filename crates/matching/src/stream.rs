@@ -1,0 +1,177 @@
+//! Fused streaming scorer: consume pruned candidate pairs as the pruning
+//! stage emits them.
+//!
+//! [`ThresholdMatcher::score_stream`] is the matcher half of the fused
+//! prune→score pipeline: the caller supplies pruning morsels and a
+//! `produce` closure that turns one morsel into its sorted `(pair,
+//! weight)` batch (in practice
+//! `sparker_metablocking::StreamingMetaBlocking::prune_range`), and the
+//! matcher's filter–verify cascade scores each batch as soon as it lands
+//! in the bounded channel — pruning and matching overlap on the same
+//! worker pool via [`sparker_dataflow::pipelined_stage`].
+//!
+//! Scoring a pair is a pure function of the pair (the per-worker scratch
+//! is reusable buffers, not state), and scored shards keep their morsel
+//! index, so the assembled [`SimilarityGraph`] is byte-identical to the
+//! staged `prune-everything-then-score` path at any worker count and any
+//! channel capacity. Shards arrive sorted (each morsel is a contiguous
+//! ascending node range emitting forward edges in ascending pair order),
+//! so assembly is [`SimilarityGraph::from_sorted_shards`] — the same
+//! strictly-ascending merge the staged pool matcher uses, no re-sort.
+
+use crate::graph::SimilarityGraph;
+use crate::matcher::{FilterStats, PreparedProfile, ThresholdMatcher};
+use crate::similarity::MatchScratch;
+use sparker_dataflow::{pipelined_stage, Context, FusedStageStats, WorkerLocal};
+use sparker_profiles::{Pair, ProfileCollection};
+use std::sync::Arc;
+
+/// Everything one fused prune→score run produces.
+pub struct FusedMatchOutcome {
+    /// The scored matches, identical to the staged matcher's output.
+    pub similarity: SimilarityGraph,
+    /// The pruned candidate pairs with their meta-blocking weights, in
+    /// ascending pair order — identical to the staged pruning output
+    /// (flattened from the producer payloads after the batch, so the full
+    /// list exists only once scoring is already done).
+    pub retained: Vec<(Pair, f64)>,
+    /// Merged cascade statistics across all workers.
+    pub stats: FilterStats,
+    /// Overlap accounting for the fused stage (produce vs consume busy,
+    /// queue wait, backpressure).
+    pub report: FusedStageStats,
+}
+
+impl ThresholdMatcher {
+    /// Score pruned candidates as they stream out of `produce`, overlapped
+    /// on the context's worker pool (see the module docs). `capacity`
+    /// bounds the channel of unscored batches;
+    /// [`sparker_dataflow::fused_channel_capacity`] gives a
+    /// `MemBudget`-aware default. Results are independent of both the
+    /// worker count and `capacity`.
+    pub fn score_stream<M, F>(
+        &self,
+        ctx: &Context,
+        collection: &ProfileCollection,
+        morsels: &[M],
+        capacity: usize,
+        produce: F,
+    ) -> FusedMatchOutcome
+    where
+        M: Sync,
+        F: Fn(usize, &M) -> Vec<(Pair, f64)> + Send + Sync,
+    {
+        let prepared = ctx.broadcast(PreparedProfile::prepare_all(collection));
+        let matcher = self.clone();
+        let locals = Arc::new(WorkerLocal::new(ctx.workers(), || {
+            (MatchScratch::default(), FilterStats::default())
+        }));
+        let consume_locals = Arc::clone(&locals);
+        let (produced, scored_shards, report) = pipelined_stage(
+            ctx,
+            "fused_prune_score",
+            morsels,
+            capacity,
+            produce,
+            move |worker, batch: &Vec<(Pair, f64)>| {
+                consume_locals.with(worker, |(scratch, stats)| {
+                    batch
+                        .iter()
+                        .filter_map(|&(pair, _)| {
+                            matcher
+                                .decide(
+                                    &prepared[pair.first.index()],
+                                    &prepared[pair.second.index()],
+                                    scratch,
+                                    stats,
+                                )
+                                .map(|score| (pair, score))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+        let similarity = SimilarityGraph::from_sorted_shards(scored_shards);
+        let retained: Vec<(Pair, f64)> = produced.into_iter().flatten().collect();
+        let stats = match Arc::try_unwrap(locals) {
+            Ok(locals) => {
+                let mut merged = FilterStats::default();
+                for (_, slot) in locals.into_inner() {
+                    merged.merge(&slot);
+                }
+                merged
+            }
+            Err(_) => FilterStats::default(),
+        };
+        FusedMatchOutcome {
+            similarity,
+            retained,
+            stats,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{Matcher, SimilarityMeasure};
+    use sparker_profiles::{Profile, ProfileId, SourceId};
+
+    fn collection(n: usize) -> ProfileCollection {
+        ProfileCollection::dirty(
+            (0..n)
+                .map(|i| {
+                    Profile::builder(SourceId(0), i.to_string())
+                        .attr("name", format!("alpha{} beta{} gamma", i % 5, i % 3))
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    /// All forward pairs cut into `chunks` sorted morsels.
+    fn pair_morsels(n: u32, chunks: usize) -> Vec<Vec<(Pair, f64)>> {
+        let all: Vec<(Pair, f64)> = (0..n)
+            .flat_map(|a| (a + 1..n).map(move |b| (Pair::new(ProfileId(a), ProfileId(b)), 1.0)))
+            .collect();
+        let per = all.len().div_ceil(chunks.max(1)).max(1);
+        all.chunks(per).map(<[_]>::to_vec).collect()
+    }
+
+    #[test]
+    fn score_stream_matches_staged_matcher() {
+        let coll = collection(40);
+        let matcher = ThresholdMatcher::new(SimilarityMeasure::Jaccard, 0.5);
+        let morsels = pair_morsels(40, 9);
+        let staged = matcher.match_pairs(&coll, morsels.iter().flatten().map(|&(p, _)| p));
+        for workers in [1, 2, 4] {
+            for capacity in [1, 2, 1 << 20] {
+                let ctx = Context::new(workers);
+                let out = matcher.score_stream(&ctx, &coll, &morsels, capacity, |_, m| m.clone());
+                assert_eq!(
+                    out.similarity.edges(),
+                    staged.edges(),
+                    "workers={workers} capacity={capacity}"
+                );
+                assert_eq!(
+                    out.retained.len(),
+                    morsels.iter().map(Vec::len).sum::<usize>()
+                );
+                assert!(out.stats.pairs > 0);
+                assert_eq!(out.report.morsels, morsels.len());
+            }
+        }
+    }
+
+    #[test]
+    fn score_stream_empty_input() {
+        let coll = collection(4);
+        let matcher = ThresholdMatcher::new(SimilarityMeasure::Jaccard, 0.5);
+        let morsels: Vec<Vec<(Pair, f64)>> = Vec::new();
+        let ctx = Context::new(2);
+        let out = matcher.score_stream(&ctx, &coll, &morsels, 4, |_, m: &Vec<_>| m.clone());
+        assert!(out.similarity.edges().is_empty());
+        assert!(out.retained.is_empty());
+    }
+}

@@ -36,6 +36,14 @@ pub struct NeighborhoodScratch {
     out: Vec<(ProfileId, EdgeAccumulator)>,
 }
 
+impl NeighborhoodScratch {
+    /// Size of the most recent [`BlockGraph::neighborhood_buffered`] output
+    /// — the materialized node's degree — without re-walking its blocks.
+    pub(crate) fn last_neighborhood_len(&self) -> usize {
+        self.out.len()
+    }
+}
+
 /// A compact, immutable view of the block collection, indexed both ways,
 /// from which node neighborhoods are materialized.
 ///

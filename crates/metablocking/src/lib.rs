@@ -46,6 +46,7 @@ mod graph;
 pub mod parallel;
 pub mod progressive;
 mod pruning;
+mod streaming;
 mod weights;
 
 pub use entropy::{block_entropies, BlockEntropies};
@@ -53,6 +54,7 @@ pub use graph::{BlockGraph, EdgeAccumulator, NeighborhoodScratch};
 pub use parallel::Scheduling;
 pub use progressive::{progressive_global, progressive_node_first};
 pub use pruning::{meta_blocking, meta_blocking_graph, MetaBlockingConfig, PruningStrategy};
+pub use streaming::StreamingMetaBlocking;
 pub use weights::WeightScheme;
 
 #[doc(hidden)]

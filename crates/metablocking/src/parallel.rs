@@ -141,6 +141,15 @@ pub fn meta_blocking_scheduled(
             "use_entropy requires a BlockGraph built with BlockEntropies"
         );
     }
+    // A single-worker pool gains nothing from cost hints: the extra degree
+    // pass only delays the one worker that must do all the work anyway
+    // (measured ~9% on the 10k preset). Collapse to the equal-count
+    // schedule — byte-identical by `scheduling_policies_are_byte_identical`.
+    let scheduling = if ctx.workers() <= 1 {
+        Scheduling::EqualCount
+    } else {
+        scheduling
+    };
     let scheme = config.scheme;
     let num_nodes = graph.num_profiles();
 

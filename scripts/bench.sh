@@ -4,8 +4,11 @@
 # pipeline)
 #
 # Each bench binary dumps every measurement — including the instrumented
-# critical-path and per-worker busy rows the scheduling ablations record —
-# to BENCH_<name>.json via the vendored criterion shim's BENCH_JSON hook.
+# critical-path and per-worker busy rows the scheduling ablations record,
+# and the fused backend's overlap rows (pipeline_10k/fused/<w>/fused-stage/*
+# plus the speedup_vs_pool_total_cp value rows) — to BENCH_<name>.json via
+# the vendored criterion shim's BENCH_JSON hook. Non-timing measurements
+# (peak RSS, spill counts, overlap/speedup ratios) appear as "value" fields.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -33,10 +33,10 @@ echo "==> cargo run --release -p sparker-bench --bin smoke_pipeline"
 cargo run -q --release -p sparker-bench --bin smoke_pipeline
 
 # CLI backend-matrix smoke: the sparker binary must report identical result
-# counts on all three backends.
-echo "==> sparker --demo --backend {sequential,dataflow,pool}"
+# counts on all four backends.
+echo "==> sparker --demo --backend {sequential,dataflow,pool,fused}"
 counts=""
-for backend in sequential dataflow pool; do
+for backend in sequential dataflow pool fused; do
   out="$(cargo run -q --release --bin sparker -- --demo --backend "${backend}" --workers 2)"
   line="$(printf '%s\n' "${out}" | grep '^result counts:')"
   echo "    ${backend}: ${line#result counts: }"
@@ -60,6 +60,22 @@ echo "    cascade: ${cascade_line#result counts: }"
 echo "    naive:   ${naive_line#result counts: }"
 if [ "${cascade_line}" != "${naive_line}" ]; then
   echo "cascade and naive matcher disagree: '${cascade_line}' != '${naive_line}'" >&2
+  exit 1
+fi
+
+# Fused-execution smoke: on the 10k scaling preset the fused backend
+# (prune->score overlapped through the bounded morsel channel) must report
+# result counts identical to the staged pool run.
+echo "==> sparker --preset dirty_10k: staged pool vs --fused"
+staged_counts="$(cargo run -q --release --bin sparker -- --preset dirty_10k --backend pool --workers 4 \
+  | grep '^result counts:')"
+fused_out="$(cargo run -q --release --bin sparker -- --preset dirty_10k --fused --workers 4)"
+fused_counts="$(printf '%s\n' "${fused_out}" | grep '^result counts:')"
+echo "    staged: ${staged_counts#result counts: }"
+echo "    fused:  ${fused_counts#result counts: }"
+printf '%s\n' "${fused_out}" | grep '^fused:' | sed 's/^/    /'
+if [ "${staged_counts}" != "${fused_counts}" ]; then
+  echo "fused run diverged from staged pool: '${fused_counts}' != '${staged_counts}'" >&2
   exit 1
 fi
 

@@ -32,6 +32,7 @@ struct Args {
     id_column: String,
     demo: bool,
     show_lost: bool,
+    fused: bool,
     backend: Option<String>,
     workers: Option<usize>,
     preset: Option<String>,
@@ -53,8 +54,14 @@ OPTIONS:
                            (PipelineConfig::to_config_string); default config otherwise.
     --output <file>        Write resolved entities as CSV (entity_id,source,original_id).
     --id-column <name>     CSV column holding record ids (default: id).
-    --backend <name>       Execution backend: sequential, dataflow, or pool
-                           (default: pool). All backends produce identical results.
+    --backend <name>       Execution backend: sequential, dataflow, pool, or
+                           fused (default: pool). All backends produce
+                           identical results.
+    --fused                Shorthand for --backend fused: run the pool engine
+                           with the prune->score stages fused — meta-blocking
+                           streams pruned pairs through a bounded channel into
+                           the matcher so both stages overlap and the full
+                           candidate list is never materialized.
     --workers <n>          Worker count for the dataflow/pool backends
                            (default: available parallelism).
     --preset <name>        Run on a named generated scaling preset instead of
@@ -114,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--show-lost" => args.show_lost = true,
+            "--fused" => args.fused = true,
             "--demo" => args.demo = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -172,7 +180,15 @@ fn run() -> Result<(), String> {
     let workers = args
         .workers
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
-    let backend = ExecutionBackend::parse(args.backend.as_deref().unwrap_or("pool"), workers)?;
+    let backend_name = match (&args.backend, args.fused) {
+        (Some(name), true) if name != "fused" => {
+            return Err(format!("--fused conflicts with --backend {name}"));
+        }
+        (_, true) => "fused",
+        (Some(name), false) => name.as_str(),
+        (None, false) => "pool",
+    };
+    let backend = ExecutionBackend::parse(backend_name, workers)?;
 
     // Data.
     let (collection, ground_truth) = if let Some(name) = &args.preset {
@@ -248,6 +264,21 @@ fn run() -> Result<(), String> {
         );
     }
     print!("{}", result.report.render_table());
+    if let Some(ctx) = backend.context().filter(|_| backend.name() == "fused") {
+        let snap = ctx.metrics();
+        if let Some(s) = snap
+            .stages
+            .iter()
+            .rev()
+            .find(|s| s.name == "fused_prune_score")
+        {
+            let overlap = s.busy_time.as_secs_f64() / s.wall_time.as_secs_f64().max(1e-9);
+            println!(
+                "fused: {} morsels, busy {:.1?} over wall {:.1?} (overlap {overlap:.2}x), queue wait {:.1?}",
+                s.tasks, s.busy_time, s.wall_time, s.queue_wait,
+            );
+        }
+    }
     println!(
         "blocker: {} blocks -> {} cleaned ({:.1?})",
         result.blocker.initial_blocks, result.blocker.cleaned_blocks, result.timings.blocking,

@@ -16,12 +16,17 @@ use std::time::{Duration, Instant};
 pub struct BenchResult {
     /// Full id, e.g. `dataflow/shuffle/group_by_key`.
     pub id: String,
-    /// Number of timed iterations.
+    /// Number of timed iterations (0 for value-only rows).
     pub samples: usize,
     pub mean: Duration,
     pub median: Duration,
     pub min: Duration,
     pub max: Duration,
+    /// Dimensionless scalar for non-timing rows (peak RSS, spill counts,
+    /// speedup ratios) recorded via [`Criterion::record_value`]; `None` on
+    /// timing rows. Serialized as a `"value"` field in the JSON dump so
+    /// consumers never have to reinterpret `mean_ns` as a non-time unit.
+    pub value: Option<f64>,
 }
 
 /// Identifier for a parameterised bench (mirrors `criterion::BenchmarkId`).
@@ -147,6 +152,24 @@ impl Criterion {
             median: d,
             min: d,
             max: d,
+            value: None,
+        });
+    }
+
+    /// Record a dimensionless measurement (peak RSS in MiB, spill batch
+    /// counts, speedup ratios …) as a result row. Unlike abusing
+    /// [`Criterion::record`] with a fake duration, the scalar lands in the
+    /// JSON dump as a dedicated `"value"` field and the timing fields stay
+    /// zero.
+    pub fn record_value(&mut self, id: impl Into<String>, value: f64) {
+        self.results.push(BenchResult {
+            id: id.into(),
+            samples: 0,
+            mean: Duration::ZERO,
+            median: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+            value: Some(value),
         });
     }
 
@@ -169,6 +192,7 @@ impl Criterion {
             median: sorted[sorted.len() / 2],
             min: sorted[0],
             max: *sorted.last().unwrap(),
+            value: None,
         };
         println!(
             "{:<50} time: [{:>12?} {:>12?} {:>12?}] ({} samples)",
@@ -185,7 +209,7 @@ impl Criterion {
                 out.push_str(",\n");
             }
             out.push_str(&format!(
-                "  {{\"id\": {:?}, \"samples\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                "  {{\"id\": {:?}, \"samples\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}",
                 r.id,
                 r.samples,
                 r.mean.as_nanos(),
@@ -193,6 +217,10 @@ impl Criterion {
                 r.min.as_nanos(),
                 r.max.as_nanos()
             ));
+            if let Some(v) = r.value {
+                out.push_str(&format!(", \"value\": {v}"));
+            }
+            out.push('}');
         }
         out.push_str("\n]\n");
         std::fs::write(path, out)
@@ -292,5 +320,26 @@ mod tests {
         assert_eq!(c.results()[1].id, "grp/inner");
         assert_eq!(c.results()[2].id, "grp/7");
         assert!(c.results().iter().all(|r| r.samples > 0));
+        assert!(c.results().iter().all(|r| r.value.is_none()));
+    }
+
+    #[test]
+    fn value_rows_serialize_a_value_field_not_fake_times() {
+        let mut c = Criterion::default();
+        c.record("timed", 3, Duration::from_millis(2));
+        c.record_value("grp/peak_rss_mb", 123.5);
+        let row = &c.results()[1];
+        assert_eq!(row.samples, 0);
+        assert_eq!(row.mean, Duration::ZERO);
+        assert_eq!(row.value, Some(123.5));
+        let dir = std::env::temp_dir().join("criterion_shim_value_test.json");
+        let path = dir.to_str().unwrap();
+        c.dump_json(path).unwrap();
+        let json = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(json.contains("\"value\": 123.5"), "{json}");
+        // Timed rows carry no value field at all.
+        let timed_line = json.lines().find(|l| l.contains("timed")).unwrap();
+        assert!(!timed_line.contains("\"value\""), "{timed_line}");
     }
 }
