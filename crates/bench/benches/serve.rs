@@ -1,0 +1,206 @@
+//! Online-serve load bench: sustained mixed insert/query throughput and
+//! tail latency against the HTTP front-end on a warm resolver.
+//!
+//! The resolver is warm-loaded with the `dirty_10k` preset under the
+//! scaling-tier configuration (exactly what `sparker serve --preset
+//! dirty_10k` boots), then a fixed budget of operations — 90% cluster
+//! queries on existing ids, 10% inserts of fresh profiles — is driven
+//! through real HTTP connections from concurrent client threads.
+//! Per-request latencies are collected client-side; the bench records
+//! sustained ops/sec plus p50/p99 overall and per operation kind into the
+//! criterion stream (`BENCH_JSON=BENCH_serve.json` via
+//! `scripts/bench.sh`, summarized as experiment E20).
+//!
+//! Latency shape to expect: inserts are cheap (incremental index
+//! maintenance only) but mark the derived state dirty; the next query
+//! pays the lazy O(E) refresh (retention + matching over cached scores +
+//! reclustering). With a 90/10 mix nearly every insert's refresh lands on
+//! some query, so query p99 ≈ refresh cost while p50 stays at
+//! read-a-warm-snapshot cost — that asymmetry is the design, and the
+//! bench reports both ends honestly.
+//!
+//! Tiers: `dirty_10k` always; `dirty_100k` when `SPARKER_SCALE_1M` is set
+//! (the serve bench's big tier — warm-loading 10⁵ profiles and refreshing
+//! per insert batch takes minutes). Under `BENCH_SMOKE` a few hundred
+//! profiles and a small op budget exercise the full harness in seconds.
+
+use criterion::{criterion_group, criterion_main, smoke_mode, Criterion};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sparker_core::PipelineConfig;
+use sparker_datasets::Preset;
+use sparker_profiles::ErKind;
+use sparker_serve::{serve, ResolverState, ServerHandle};
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty())
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status")
+}
+
+/// Tiny deterministic LCG so the op mix needs no RNG dependency and every
+/// run issues the identical request sequence.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+struct Percentiles {
+    p50: Duration,
+    p99: Duration,
+}
+
+fn percentiles(lat: &mut [Duration]) -> Percentiles {
+    lat.sort_unstable();
+    let at = |q: f64| lat[((lat.len() as f64 * q).ceil() as usize).max(1) - 1];
+    Percentiles {
+        p50: at(0.50),
+        p99: at(0.99),
+    }
+}
+
+struct TierResult {
+    wall: Duration,
+    total_ops: usize,
+    all: Vec<Duration>,
+    queries: Vec<Duration>,
+    inserts: Vec<Duration>,
+}
+
+/// Warm a server with `warm` profiles of `preset`, then drive `total_ops`
+/// mixed operations (10% inserts) from `clients` threads.
+fn run_tier(preset: &str, warm: usize, clients: usize, total_ops: usize) -> (Duration, TierResult) {
+    let ds = Preset::by_name(preset).expect("known preset").generate();
+    let profiles = ds.collection.profiles()[..warm.min(ds.collection.len())].to_vec();
+    let ids: Vec<String> = profiles.iter().map(|p| p.original_id.clone()).collect();
+
+    let t0 = Instant::now();
+    let mut resolver = ResolverState::new(PipelineConfig::scaling(), ErKind::Dirty);
+    resolver.bulk_load(profiles).expect("warm load");
+    resolver.stats(); // first refresh: postings -> retention -> clusters
+    let warm_wall = t0.elapsed();
+
+    let mut handle: ServerHandle =
+        serve(resolver, "127.0.0.1:0", clients.max(2)).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let per_client = total_ops / clients;
+    let sink: Mutex<TierResult> = Mutex::new(TierResult {
+        wall: Duration::ZERO,
+        total_ops: per_client * clients,
+        all: Vec::new(),
+        queries: Vec::new(),
+        inserts: Vec::new(),
+    });
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            let (ids, sink) = (&ids, &sink);
+            scope.spawn(move || {
+                let mut rng = Lcg(0x5eed + t as u64);
+                let mut queries = Vec::with_capacity(per_client);
+                let mut inserts = Vec::with_capacity(per_client / 8);
+                for i in 0..per_client {
+                    let started = Instant::now();
+                    if i % 10 == 3 {
+                        // Fresh profile built from preset-vocabulary-ish
+                        // tokens so it lands in populated blocks.
+                        let body = format!(
+                            r#"{{"id":"live-{t}-{i}","attributes":{{"name":"item model {} series {} edition"}}}}"#,
+                            rng.next() % 97,
+                            rng.next() % 13,
+                        );
+                        let status = http(addr, "POST", "/profiles", &body);
+                        assert_eq!(status, 200);
+                        inserts.push(started.elapsed());
+                    } else {
+                        let id = &ids[(rng.next() as usize) % ids.len()];
+                        let status = http(addr, "GET", &format!("/clusters/{id}"), "");
+                        assert_eq!(status, 200);
+                        queries.push(started.elapsed());
+                    }
+                }
+                let mut sink = sink.lock().expect("latency sink");
+                sink.all.extend(queries.iter().chain(&inserts));
+                sink.queries.extend(queries);
+                sink.inserts.extend(inserts);
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    handle.shutdown();
+    let mut result = sink.into_inner().expect("latency sink");
+    result.wall = wall;
+    (warm_wall, result)
+}
+
+fn record_tier(c: &mut Criterion, tier: &str, warm_wall: Duration, mut r: TierResult) {
+    let ops_per_sec = r.total_ops as f64 / r.wall.as_secs_f64().max(1e-9);
+    let overall = percentiles(&mut r.all);
+    let queries = percentiles(&mut r.queries);
+    let inserts = percentiles(&mut r.inserts);
+    c.record(format!("serve/{tier}/warm_load/wall"), 1, warm_wall);
+    c.record(format!("serve/{tier}/mixed/wall"), 1, r.wall);
+    c.record_value(format!("serve/{tier}/mixed/ops_per_sec"), ops_per_sec);
+    c.record(format!("serve/{tier}/mixed/p50"), r.all.len(), overall.p50);
+    c.record(format!("serve/{tier}/mixed/p99"), r.all.len(), overall.p99);
+    c.record(
+        format!("serve/{tier}/query/p99"),
+        r.queries.len(),
+        queries.p99,
+    );
+    c.record(
+        format!("serve/{tier}/insert/p99"),
+        r.inserts.len(),
+        inserts.p99,
+    );
+    eprintln!(
+        "serve/{tier}: warm {warm_wall:.1?}, {} ops in {:.1?} -> {ops_per_sec:.0} ops/s, \
+         p50 {:.1?}, p99 {:.1?} (query p99 {:.1?}, insert p99 {:.1?})",
+        r.total_ops, r.wall, overall.p50, overall.p99, queries.p99, inserts.p99,
+    );
+}
+
+fn bench_serve_load(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let (warm, clients, ops) = if smoke {
+        (400, 2, 60)
+    } else {
+        (10_000, 4, 2_000)
+    };
+    let (warm_wall, result) = run_tier("dirty_10k", warm, clients, ops);
+    record_tier(c, "dirty_10k", warm_wall, result);
+
+    if !smoke && env_flag("SPARKER_SCALE_1M") {
+        let (warm_wall, result) = run_tier("dirty_100k", 100_000, 4, 1_000);
+        record_tier(c, "dirty_100k", warm_wall, result);
+    }
+}
+
+criterion_group!(benches, bench_serve_load);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Serve smoke for CI: boot the online resolver behind its HTTP API, feed
+//! it a slice of the `dirty_10k` preset over the wire from concurrent
+//! clients, and print the final `/stats` counts in the batch CLI's
+//! `result counts:` format. `ci.sh` also writes the same slice to a
+//! JSON-lines file (the path passed as `argv[1]`) and diffs this line
+//! against a cold `sparker --source-a <file>` batch run — pinning the
+//! service's end state to the batch pipeline through both public
+//! front-ends.
+//!
+//! Usage: `smoke_serve <out.jsonl> [num_profiles]` (default 1000).
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use sparker_core::PipelineConfig;
+use sparker_datasets::Preset;
+use sparker_profiles::{parse_json, ErKind, JsonValue, Profile};
+use sparker_serve::{serve, ResolverState};
+
+/// Serialize one profile the way the JSON-lines loader reads it back:
+/// `{"id": ..., "<attr>": "text" | ["text", ...]}` with repeated attribute
+/// names folded into arrays.
+fn profile_to_json_line(p: &Profile) -> String {
+    let mut attrs: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for a in &p.attributes {
+        attrs
+            .entry(a.name.clone())
+            .or_default()
+            .push(a.value.clone());
+    }
+    let mut map = BTreeMap::new();
+    map.insert("id".to_string(), JsonValue::String(p.original_id.clone()));
+    for (name, mut values) in attrs {
+        let v = if values.len() == 1 {
+            JsonValue::String(values.pop().unwrap())
+        } else {
+            JsonValue::Array(values.into_iter().map(JsonValue::String).collect())
+        };
+        map.insert(name, v);
+    }
+    JsonValue::Object(map).to_string()
+}
+
+/// Serialize one profile for the HTTP API's `POST /profiles` shape:
+/// `{"id": ..., "attributes": {"<attr>": "text" | ["text", ...]}}`.
+fn profile_to_http_json(p: &Profile) -> String {
+    let mut attrs: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for a in &p.attributes {
+        attrs
+            .entry(a.name.clone())
+            .or_default()
+            .push(a.value.clone());
+    }
+    let attributes = attrs
+        .into_iter()
+        .map(|(name, mut values)| {
+            let v = if values.len() == 1 {
+                JsonValue::String(values.pop().unwrap())
+            } else {
+                JsonValue::Array(values.into_iter().map(JsonValue::String).collect())
+            };
+            (name, v)
+        })
+        .collect();
+    let mut map = BTreeMap::new();
+    map.insert("id".to_string(), JsonValue::String(p.original_id.clone()));
+    map.insert("attributes".to_string(), JsonValue::Object(attributes));
+    JsonValue::Object(map).to_string()
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to smoke server");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().expect("usage: smoke_serve <out.jsonl> [n]");
+    let n: usize = args.next().map_or(1000, |v| v.parse().expect("numeric n"));
+
+    let preset = Preset::by_name("dirty_10k").expect("dirty_10k preset");
+    let ds = preset.generate();
+    let profiles: Vec<Profile> = ds.collection.profiles()[..n].to_vec();
+
+    let jsonl: String = profiles
+        .iter()
+        .map(profile_to_json_line)
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write(&out_path, &jsonl).expect("write JSONL slice");
+
+    // The batch CLI runs file sources under PipelineConfig::default(); the
+    // resolver must be configured identically for the counts to line up.
+    let resolver = ResolverState::new(PipelineConfig::default(), ErKind::Dirty);
+    let mut handle = serve(resolver, "127.0.0.1:0", 8).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Concurrent clients, disjoint slices, batches of 100 per request.
+    let clients = 4usize;
+    let per_client = profiles.len().div_ceil(clients);
+    std::thread::scope(|scope| {
+        for chunk in profiles.chunks(per_client) {
+            scope.spawn(move || {
+                for batch in chunk.chunks(100) {
+                    let body = format!(
+                        "[{}]",
+                        batch
+                            .iter()
+                            .map(profile_to_http_json)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    );
+                    let (status, reply) = http(addr, "POST", "/profiles", &body);
+                    assert_eq!(status, 200, "insert batch rejected: {reply}");
+                }
+            });
+        }
+    });
+
+    let (status, stats) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200, "stats failed: {stats}");
+    let stats = parse_json(&stats).expect("stats is well-formed JSON");
+    let JsonValue::Object(map) = &stats else {
+        panic!("stats must be an object")
+    };
+    let count = |key: &str| -> u64 {
+        match map.get(key) {
+            Some(JsonValue::Number(v)) => *v as u64,
+            other => panic!("stats field {key}: expected number, got {other:?}"),
+        }
+    };
+    assert_eq!(count("profiles") as usize, profiles.len());
+    assert_eq!(count("inserts") as usize, profiles.len());
+
+    handle.shutdown();
+
+    println!(
+        "serve smoke: {} profiles over HTTP, fast_path={}",
+        profiles.len(),
+        matches!(map.get("fast_path"), Some(JsonValue::Bool(true))),
+    );
+    println!(
+        "result counts: candidates={} matches={} entities={}",
+        count("candidates"),
+        count("matches"),
+        count("entities"),
+    );
+}

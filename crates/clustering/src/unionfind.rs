@@ -72,22 +72,38 @@ impl UnionFind {
         self.size[r]
     }
 
-    /// Merge another forest over the *same* element universe into this one:
-    /// every union recorded in `other` is replayed here, so afterwards two
-    /// elements are connected iff they were connected in either forest.
+    /// Extend the element universe to `n` elements, the new ones as
+    /// singletons. No-op when the forest already covers `n`.
     ///
-    /// This is the merge step of parallel connected components: workers
-    /// build independent forests over disjoint edge shards, then the shards
-    /// are absorbed sequentially. Because union–find is a semilattice
-    /// (union is associative, commutative, idempotent), the resulting
-    /// partition — and hence [`UnionFind::labels`] — is independent of the
-    /// edge partitioning and the absorb order.
+    /// This is what keeps a *live* forest usable across online inserts:
+    /// profile `n` arrives, the forest grows by one singleton, and later
+    /// unions or absorbs connect it.
+    pub fn grow(&mut self, n: usize) {
+        if n <= self.len() {
+            return;
+        }
+        let added = n - self.len();
+        self.parent.extend(self.len()..n);
+        self.size.resize(n, 1);
+        self.components += added;
+    }
+
+    /// Merge another forest into this one: every union recorded in `other`
+    /// is replayed here, so afterwards two elements are connected iff they
+    /// were connected in either forest.
+    ///
+    /// The two universes need not match: a smaller `other` (a delta forest
+    /// built before this one grew) merges over the shared prefix, and a
+    /// larger `other` first grows this forest. Because union–find is a
+    /// semilattice (union is associative, commutative, idempotent), absorb
+    /// is idempotent and order-independent over overlapping forests — the
+    /// resulting partition, and hence [`UnionFind::labels`], depends only
+    /// on the set of unions ever recorded. The batch clusterer absorbs
+    /// disjoint per-worker shards once; the online resolver re-absorbs
+    /// overlapping delta forests after every operation, which is why these
+    /// algebraic properties are pinned by proptest.
     pub fn absorb(&mut self, other: &UnionFind) {
-        assert_eq!(
-            self.len(),
-            other.len(),
-            "absorb requires forests over the same element universe"
-        );
+        self.grow(other.len());
         for (i, &p) in other.parent.iter().enumerate() {
             if p != i {
                 self.union(i, p);
@@ -205,9 +221,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "same element universe")]
-    fn absorb_rejects_mismatched_lengths() {
-        UnionFind::new(3).absorb(&UnionFind::new(4));
+    fn grow_adds_singletons() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        uf.grow(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.num_components(), 4);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(1, 2));
+        uf.grow(3); // shrinking is a no-op
+        assert_eq!(uf.len(), 5);
+    }
+
+    #[test]
+    fn absorb_smaller_forest_merges_shared_prefix() {
+        let mut live = UnionFind::new(6);
+        live.union(4, 5);
+        let mut delta = UnionFind::new(4); // built before the forest grew
+        delta.union(0, 2);
+        live.absorb(&delta);
+        assert_eq!(live.len(), 6);
+        assert!(live.connected(0, 2));
+        assert!(live.connected(4, 5));
+        assert_eq!(live.num_components(), 4);
+    }
+
+    #[test]
+    fn absorb_larger_forest_grows_first() {
+        let mut a = UnionFind::new(2);
+        a.union(0, 1);
+        let mut b = UnionFind::new(5);
+        b.union(2, 4);
+        a.absorb(&b);
+        assert_eq!(a.len(), 5);
+        assert!(a.connected(2, 4));
+        assert!(a.connected(0, 1));
+    }
+
+    #[test]
+    fn absorb_is_idempotent_on_overlapping_forests() {
+        let mut b = UnionFind::new(5);
+        b.union(0, 1);
+        b.union(1, 3);
+        let mut once = UnionFind::new(5);
+        once.union(1, 2);
+        once.absorb(&b);
+        let mut twice = once.clone();
+        twice.absorb(&b);
+        twice.absorb(&b);
+        assert_eq!(once.labels(), twice.labels());
+        assert_eq!(once.num_components(), twice.num_components());
     }
 
     #[test]

@@ -192,4 +192,93 @@ proptest! {
             }
         }
     }
+
+    // Online absorb algebra: the batch clusterer absorbs disjoint equal-size
+    // shards exactly once, but the serving resolver re-absorbs *overlapping*
+    // delta forests of *varying* sizes after every operation. Pin the
+    // semilattice laws that make that correct.
+
+    #[test]
+    fn absorb_is_idempotent_on_overlapping_forests(
+        base in prop::collection::vec((0usize..18, 0usize..18), 0..25),
+        delta in prop::collection::vec((0usize..12, 0usize..12), 0..25),
+    ) {
+        let mut acc = UnionFind::new(18);
+        for &(a, b) in &base {
+            if a != b {
+                acc.union(a, b);
+            }
+        }
+        let mut d = UnionFind::new(12); // smaller, overlapping universe
+        for &(a, b) in &delta {
+            if a != b {
+                d.union(a, b);
+            }
+        }
+        let mut once = acc.clone();
+        once.absorb(&d);
+        let mut thrice = acc.clone();
+        thrice.absorb(&d);
+        thrice.absorb(&d);
+        thrice.absorb(&d);
+        prop_assert_eq!(once.labels(), thrice.labels());
+        prop_assert_eq!(once.num_components(), thrice.num_components());
+    }
+
+    #[test]
+    fn absorb_is_commutative_and_grows(
+        xs in prop::collection::vec((0usize..10, 0usize..10), 0..20),
+        ys in prop::collection::vec((0usize..16, 0usize..16), 0..20),
+    ) {
+        let forest = |n: usize, edges: &[(usize, usize)]| {
+            let mut f = UnionFind::new(n);
+            for &(a, b) in edges {
+                if a != b {
+                    f.union(a, b);
+                }
+            }
+            f
+        };
+        let a = forest(10, &xs);
+        let b = forest(16, &ys);
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        prop_assert_eq!(ab.len(), 16);
+        prop_assert_eq!(ab.labels(), ba.labels());
+        // Absorbing into a fresh forest equals replaying all unions.
+        let mut replay = UnionFind::new(16);
+        for &(x, y) in xs.iter().chain(ys.iter()) {
+            if x != y {
+                replay.union(x, y);
+            }
+        }
+        prop_assert_eq!(ab.labels(), replay.labels());
+    }
+
+    #[test]
+    fn online_grow_union_matches_batch(
+        ops in prop::collection::vec((0usize..30, 0usize..30), 0..40),
+    ) {
+        // A live forest that grows element-by-element (as profiles are
+        // inserted) and unions edges as they appear must end up identical
+        // to a batch forest built at full size.
+        let mut live = UnionFind::new(0);
+        for &(a, b) in &ops {
+            live.grow(a.max(b) + 1);
+            if a != b {
+                live.union(a, b);
+            }
+        }
+        live.grow(30);
+        let mut batch = UnionFind::new(30);
+        for &(a, b) in &ops {
+            if a != b {
+                batch.union(a, b);
+            }
+        }
+        prop_assert_eq!(live.labels(), batch.labels());
+        prop_assert_eq!(live.num_components(), batch.num_components());
+    }
 }

@@ -581,6 +581,22 @@ impl ThresholdMatcher {
         }
     }
 
+    /// Public entry point for the matcher's per-pair decision: score one
+    /// prepared pair, returning `Some(score)` iff it clears the threshold.
+    /// This is the per-pair unit the online resolver calls when an edge is
+    /// (re)retained — identical decisions to the batch drivers, including
+    /// the filter–verify cascade and the `SPARKER_NAIVE_MATCHER` escape
+    /// hatch, because it *is* the same code path.
+    pub fn decide_prepared(
+        &self,
+        a: &PreparedProfile,
+        b: &PreparedProfile,
+        scratch: &mut MatchScratch,
+        stats: &mut FilterStats,
+    ) -> Option<f64> {
+        self.decide(a, b, scratch, stats)
+    }
+
     /// Pool-parallel batch scoring over a [`CandidateGraph`]: candidates
     /// stream out of the graph's per-profile neighbor lists (no global pair
     /// vector), the prepared profile views are broadcast once, and ids are

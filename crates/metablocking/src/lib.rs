@@ -53,7 +53,10 @@ pub use entropy::{block_entropies, BlockEntropies};
 pub use graph::{BlockGraph, EdgeAccumulator, NeighborhoodScratch};
 pub use parallel::Scheduling;
 pub use progressive::{progressive_global, progressive_node_first};
-pub use pruning::{meta_blocking, meta_blocking_graph, MetaBlockingConfig, PruningStrategy};
+pub use pruning::{
+    derived_cnp_k, meta_blocking, meta_blocking_graph, MetaBlockingConfig, NodeStats,
+    PruningStrategy, RetentionRule,
+};
 pub use streaming::StreamingMetaBlocking;
 pub use weights::WeightScheme;
 

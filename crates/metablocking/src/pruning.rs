@@ -105,8 +105,12 @@ impl MetaBlockingConfig {
 }
 
 /// Per-node retention statistics gathered in the first pass.
+///
+/// Public because the online resolver (`sparker-serve`) maintains these
+/// incrementally per dirty node and replays [`RetentionRule::keeps`] over
+/// the touched neighborhoods only.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct NodeStats {
+pub struct NodeStats {
     /// Mean edge weight of the node's neighborhood (WNP).
     pub mean: f64,
     /// Maximum edge weight (Blast).
@@ -293,17 +297,37 @@ pub fn node_stats_pass_baseline_checksum(graph: &BlockGraph, config: &MetaBlocki
     pass_checksum(&node_stats, &all_weights)
 }
 
-/// Resolved retention rule, shared by the sequential and parallel drivers.
+/// Resolved retention rule, shared by the sequential and parallel drivers
+/// (and replayed edge-by-edge by the incremental resolver, which is why it
+/// is public: the decision for one edge depends only on its weight and the
+/// two endpoints' [`NodeStats`]).
 #[derive(Debug, Clone)]
-pub(crate) enum RetentionRule {
+pub enum RetentionRule {
+    /// Keep edges with weight ≥ the threshold (WEP / CEP).
     GlobalThreshold(f64),
-    NodeMean { factor: f64, reciprocal: bool },
-    NodeKth { reciprocal: bool },
-    BlastMaxima { ratio: f64 },
+    /// Keep edges above `factor` × an endpoint's neighborhood mean (WNP).
+    NodeMean {
+        /// Multiplier on the node mean.
+        factor: f64,
+        /// Require both endpoints (`true`) or either (`false`).
+        reciprocal: bool,
+    },
+    /// Keep edges at or above an endpoint's k-th largest weight (CNP).
+    NodeKth {
+        /// Require both endpoints (`true`) or either (`false`).
+        reciprocal: bool,
+    },
+    /// Blast: keep edges ≥ `ratio` × mean of the endpoints' maxima.
+    BlastMaxima {
+        /// Fraction of the endpoints' mean-of-maxima.
+        ratio: f64,
+    },
 }
 
 impl RetentionRule {
-    pub(crate) fn keeps(&self, w: f64, a: &NodeStats, b: &NodeStats) -> bool {
+    /// Does an edge of weight `w` between endpoints with stats `a` and `b`
+    /// survive pruning?
+    pub fn keeps(&self, w: f64, a: &NodeStats, b: &NodeStats) -> bool {
         match self {
             RetentionRule::GlobalThreshold(t) => w >= *t,
             RetentionRule::NodeMean { factor, reciprocal } => {
@@ -367,14 +391,21 @@ pub(crate) fn resolve_rule(
     }
 }
 
+/// CNP's derived per-node budget: `k = max(1, round(BC / |P|))` where `BC`
+/// is the total number of block assignments and `|P|` the number of
+/// profiles spanned by the graph. Exposed so incremental callers can
+/// recompute `k` from maintained aggregates without building a
+/// [`BlockGraph`].
+pub fn derived_cnp_k(total_assignments: u64, num_profiles: usize) -> usize {
+    ((total_assignments as f64 / num_profiles.max(1) as f64).round() as usize).max(1)
+}
+
 /// The CNP per-node budget for a graph (`k = max(1, round(BC / |P|))`).
 pub(crate) fn cnp_budget(pruning: PruningStrategy, graph: &BlockGraph) -> usize {
     match pruning {
-        PruningStrategy::Cnp { k, .. } => k.unwrap_or_else(|| {
-            ((graph.total_assignments() as f64 / graph.num_profiles().max(1) as f64).round()
-                as usize)
-                .max(1)
-        }),
+        PruningStrategy::Cnp { k, .. } => {
+            k.unwrap_or_else(|| derived_cnp_k(graph.total_assignments(), graph.num_profiles()))
+        }
         _ => 1,
     }
 }

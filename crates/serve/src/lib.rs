@@ -1,0 +1,25 @@
+//! # sparker-serve
+//!
+//! Online incremental entity resolution as a service. A
+//! [`ResolverState`] keeps the interned token dictionary, the token
+//! postings, the retained similarity edges and a live union–find resident
+//! in memory; inserts and updates extend these structures incrementally,
+//! re-running purge / filter / prune only over the touched token
+//! neighborhoods, and queries answer from a lazily refreshed snapshot.
+//!
+//! The crate's defining property is *batch equivalence*: after any
+//! operation sequence the resolver's candidates, match scores and entity
+//! clusters are identical to a cold batch pipeline run over the same
+//! final collection. See [`ResolverState::verify_against_batch`] and the
+//! proptest harness in `tests/equivalence.rs`.
+//!
+//! [`http`] exposes the resolver over a dependency-free HTTP/1.1 JSON API
+//! (`POST /profiles`, `GET /clusters/{id}`, `GET /stats`) on a
+//! thread-per-connection `std::net` server; the `sparker serve` CLI
+//! subcommand boots it against a preset.
+
+pub mod http;
+pub mod resolver;
+
+pub use http::{serve, ServerHandle};
+pub use resolver::{build_profile, ClusterView, OpCounters, OpKind, ResolverState, StatsView};

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Regenerate the checked-in bench result sets. Run from the repo root:
 # scripts/bench.sh [bench ...]   (default: blocking dataflow metablocking
-# pipeline)
+# pipeline scaling serve)
+#
+# Scale tiers: SPARKER_SCALE_1M=1 adds the big tier to the gated benches —
+# skewed_1m (10^6 profiles) for `scaling`, dirty_100k warm-load for
+# `serve`. Unset, both stop at sizes that finish in minutes.
 #
 # Each bench binary dumps every measurement — including the instrumented
 # critical-path and per-worker busy rows the scheduling ablations record,
@@ -14,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-  benches=(blocking dataflow metablocking pipeline scaling)
+  benches=(blocking dataflow metablocking pipeline scaling serve)
 fi
 
 # Absolute path: cargo runs bench binaries with the package directory as

@@ -1,7 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: formatting, release build, full test suite, clippy and
-# rustdoc with warnings denied, bench smoke, end-to-end pipeline smoke and
-# a CLI backend-matrix smoke. Run from the repo root: scripts/ci.sh
+# rustdoc with warnings denied, bench smoke, end-to-end pipeline smoke, a
+# CLI backend-matrix smoke and the online-serve smoke. Run from the repo
+# root: scripts/ci.sh
+#
+# Scale tiers (environment-gated):
+#   BENCH_SMOKE=1       Bench binaries run each body once with no warmup
+#                       and no JSON dump — only this tier runs here in CI.
+#                       Unset (scripts/bench.sh) they run full Criterion
+#                       sampling and write BENCH_<name>.json.
+#   SPARKER_SCALE_1M    Gates the big scale tiers: set non-empty to add
+#                       skewed_1m (~10^6 profiles; minutes per sample,
+#                       RAM-heavy) to the scaling bench and the dirty_100k
+#                       warm-load tier to the serve bench. CI never sets
+#                       it; scripts/bench.sh inherits it from the caller.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +34,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Smoke-execute every bench body (1 sample, no warmup, no JSON dump) so
 # bench-only code paths can't rot between full scripts/bench.sh runs.
-for bench in blocking dataflow metablocking pipeline scaling; do
+for bench in blocking dataflow metablocking pipeline scaling serve; do
   echo "==> BENCH_SMOKE=1 cargo bench -p sparker-bench --bench ${bench}"
   BENCH_SMOKE=1 cargo bench -p sparker-bench --bench "${bench}" > /dev/null
 done
@@ -101,5 +113,23 @@ case "${memory_line}" in
     exit 1
     ;;
 esac
+
+# Online-serve smoke: boot the incremental resolver behind its HTTP API,
+# insert a 1k slice of dirty_10k over the wire from concurrent clients,
+# and diff the service's /stats counts against a cold batch CLI run over
+# the same profiles (written to a JSONL file by the smoke binary).
+echo "==> smoke_serve: online service vs batch CLI on 1k profiles"
+serve_jsonl="$(mktemp --suffix .jsonl)"
+trap 'rm -f "${serve_jsonl}"' EXIT
+serve_out="$(cargo run -q --release -p sparker-bench --bin smoke_serve -- "${serve_jsonl}" 1000)"
+serve_counts="$(printf '%s\n' "${serve_out}" | grep '^result counts:')"
+batch_counts="$(cargo run -q --release --bin sparker -- --source-a "${serve_jsonl}" \
+  | grep '^result counts:')"
+echo "    serve: ${serve_counts#result counts: }"
+echo "    batch: ${batch_counts#result counts: }"
+if [ "${serve_counts}" != "${batch_counts}" ]; then
+  echo "online service diverged from batch CLI: '${serve_counts}' != '${batch_counts}'" >&2
+  exit 1
+fi
 
 echo "CI OK"

@@ -19,6 +19,7 @@ use sparker::profiles::{
     parse_csv, profiles_from_csv, profiles_from_json_lines, write_csv, CsvOptions, GroundTruth,
     Profile, ProfileCollection, SourceId,
 };
+use sparker::serve::ResolverState;
 use sparker::{ExecutionBackend, LostPairsReport, Pipeline, PipelineConfig};
 use std::process::ExitCode;
 
@@ -45,6 +46,8 @@ sparker — SparkER entity-resolution pipeline (batch mode)
 USAGE:
     sparker --source-a <file> [--source-b <file>] [options]
     sparker --demo
+    sparker serve [--preset <name>] [--addr <host:port>] [--workers <n>]
+                  [--config <file>] [--clean-clean]
 
 OPTIONS:
     --source-a <file>      First source (.csv or .jsonl). Required unless --demo.
@@ -87,6 +90,29 @@ ENVIRONMENT:
                            pair naively. Results are identical either way
                            (the cascade is exact); escape hatch for
                            debugging and A/B timing.
+
+SERVE MODE:
+    sparker serve boots the online incremental ER service: a resident
+    resolver (token dictionary, postings, similarity graph, live
+    union-find) behind an HTTP JSON API. Endpoints: POST /profiles,
+    GET /clusters/{id} (dirty) or /clusters/{source}/{id} (clean-clean),
+    GET /stats, POST /shutdown. Incremental results are equivalent to a
+    cold batch run over the same profiles (set SPARKER_SERVE_CHECK=1 to
+    assert this per operation).
+
+    --preset <name>        Warm-load a generated scaling preset before
+                           accepting requests (dirty_10k, dirty_100k,
+                           skewed_1m). Defaults the configuration to
+                           PipelineConfig::scaling().
+    --addr <host:port>     Listen address (default 127.0.0.1:7878; use
+                           port 0 for an ephemeral port).
+    --workers <n>          Max concurrent connection handlers (default:
+                           available parallelism).
+    --config <file>        Pipeline configuration for the resolver
+                           (default: scaling() with --preset, default()
+                           otherwise).
+    --clean-clean          Serve a clean-clean (two-source) task instead
+                           of dirty ER. Without --preset only.
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -366,7 +392,97 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+fn run_serve(argv: &[String]) -> Result<(), String> {
+    let mut preset: Option<String> = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers: Option<usize> = None;
+    let mut config_path: Option<String> = None;
+    let mut clean_clean = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--preset" => preset = Some(value("--preset")?),
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--workers needs an integer, got {v}"))?,
+                );
+            }
+            "--config" => config_path = Some(value("--config")?),
+            "--clean-clean" => clean_clean = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown serve flag {other}; see --help")),
+        }
+    }
+
+    let config = match &config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            PipelineConfig::from_config_string(&text).map_err(|e| e.to_string())?
+        }
+        None if preset.is_some() => PipelineConfig::scaling(),
+        None => PipelineConfig::default(),
+    };
+    let workers =
+        workers.unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+
+    let kind = if clean_clean {
+        sparker::profiles::ErKind::CleanClean
+    } else {
+        sparker::profiles::ErKind::Dirty
+    };
+    let mut resolver = ResolverState::new(config, kind);
+    if let Some(name) = &preset {
+        if clean_clean {
+            return Err("--clean-clean cannot be combined with --preset".to_string());
+        }
+        let p = Preset::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown preset {name:?}; expected one of {}",
+                Preset::NAMES.join(", ")
+            )
+        })?;
+        let ds = p.generate();
+        let n = resolver
+            .bulk_load(ds.collection.profiles().to_vec())
+            .map_err(|e| format!("warm-loading preset {name}: {e}"))?;
+        println!("preset {}: warm-loaded {} profiles", p.name, n);
+    }
+    println!(
+        "resolver: {:?} task, fast_path={}",
+        kind,
+        resolver.fast_path()
+    );
+
+    let mut handle = sparker::serve::serve(resolver, &addr, workers)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("serving on http://{} ({} workers)", handle.addr(), workers);
+    handle.join();
+    println!("shutdown complete");
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "serve") {
+        return match run_serve(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

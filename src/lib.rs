@@ -31,3 +31,8 @@ pub use sparker_core::*;
 pub mod datasets {
     pub use sparker_datasets::*;
 }
+
+/// Online incremental ER service: resident resolver state + HTTP JSON API.
+pub mod serve {
+    pub use sparker_serve::*;
+}
