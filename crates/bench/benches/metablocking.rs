@@ -21,7 +21,7 @@ use sparker_blocking::{block_filtering, purge_oversized, token_blocking};
 use sparker_dataflow::Context;
 use sparker_metablocking::{
     meta_blocking_graph, node_stats_pass_baseline_checksum, node_stats_pass_checksum, parallel,
-    BlockGraph, MetaBlockingConfig, PruningStrategy, Scheduling, WeightScheme,
+    BlockGraph, EdgeScorer, MetaBlockingConfig, PruningStrategy, Scheduling, WeightScheme,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -57,7 +57,7 @@ fn bench_weight_schemes(c: &mut Criterion) {
     let mut group = c.benchmark_group("metablocking/scheme");
     for scheme in WeightScheme::ALL {
         let config = MetaBlockingConfig {
-            scheme,
+            scorer: EdgeScorer::Classic(scheme),
             pruning: PruningStrategy::Wnp {
                 factor: 1.0,
                 reciprocal: false,
@@ -90,7 +90,7 @@ fn bench_pruning_strategies(c: &mut Criterion) {
         PruningStrategy::Blast { ratio: 0.35 },
     ] {
         let config = MetaBlockingConfig {
-            scheme: WeightScheme::Cbs,
+            scorer: EdgeScorer::Classic(WeightScheme::Cbs),
             pruning,
             use_entropy: false,
         };
@@ -179,7 +179,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
 fn bench_node_pass(c: &mut Criterion) {
     let g = graph();
     let config = MetaBlockingConfig {
-        scheme: WeightScheme::Cbs,
+        scorer: EdgeScorer::Classic(WeightScheme::Cbs),
         pruning: PruningStrategy::Cnp {
             k: None,
             reciprocal: false,

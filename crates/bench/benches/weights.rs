@@ -1,0 +1,118 @@
+//! E21: pair quality of the retained candidate set per edge scorer — the
+//! supervised logistic scorer (trained on the held-out `dirty_1k` preset
+//! with BLOSS-style balanced sampling) against the classic CBS and JS
+//! weighting schemes, under the scaling-tier pruning rule, on the
+//! `dirty_10k` preset and a Zipf-skewed dirty catalogue.
+//!
+//! For every (dataset, scorer) cell the bench records the precision,
+//! recall and F1 of the retained candidates against the generator's exact
+//! ground truth, the retained-edge count, and the wall time of one full
+//! meta-blocking pass. Run with `BENCH_JSON=BENCH_weights.json cargo bench
+//! -p sparker-bench --bench weights` to dump the table; under
+//! `BENCH_SMOKE` the datasets are shrunk so CI stays fast.
+//!
+//! Training never sees the evaluation datasets: `dirty_1k` has its own
+//! seed, entity count and duplicate clusters. The model transfers because
+//! the features are scale-free ratios (Jaccard/Dice/cosine, normalized
+//! block sizes) plus raw counts the logistic weights calibrate once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparker_bench::skewed_dirty;
+use sparker_blocking::{block_filtering, purge_oversized, token_blocking};
+use sparker_datasets::{GeneratedDataset, Preset};
+use sparker_metablocking::{
+    meta_blocking_graph, train_supervised, BlockGraph, EdgeScorer, LinearModel, MetaBlockingConfig,
+    PruningStrategy, TrainOptions, WeightScheme,
+};
+use sparker_profiles::{GroundTruth, Pair, ProfileCollection};
+use std::time::Instant;
+
+/// `true` when `BENCH_SMOKE` is set (to anything non-empty): shrink the
+/// datasets so the whole bench runs in seconds.
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
+}
+
+/// The default blocker prefix (oversize purging + 0.8 block filtering).
+/// Deliberately denser than the scaling tier's aggressive 0.5 filter: the
+/// scaling prefix leaves ~1 candidate edge per node, so every scorer
+/// retains nearly the same set and the comparison degenerates to ties.
+/// On the dense graph pruning has real ranking work to do and the scorers
+/// separate.
+fn build_graph(collection: &ProfileCollection) -> BlockGraph {
+    let blocks = token_blocking(collection);
+    let blocks = purge_oversized(blocks, collection.len(), 0.5);
+    let blocks = block_filtering(blocks, 0.8);
+    BlockGraph::new(&blocks, None)
+}
+
+/// Fit the supervised scorer on the held-out `dirty_1k` preset.
+fn train_model() -> LinearModel {
+    let ds = Preset::by_name("dirty_1k")
+        .expect("dirty_1k preset exists")
+        .generate();
+    let graph = build_graph(&ds.collection);
+    train_supervised(&graph, &ds.ground_truth, &TrainOptions::default()).model
+}
+
+/// Precision / recall / F1 of the retained pairs against the ground truth.
+fn quality(retained: &[(Pair, f64)], truth: &GroundTruth) -> (f64, f64, f64) {
+    let pairs: Vec<Pair> = retained.iter().map(|(p, _)| *p).collect();
+    let precision = truth.precision_of(pairs.iter());
+    let recall = truth.recall_of(pairs.iter());
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    (precision, recall, f1)
+}
+
+fn eval_datasets() -> Vec<(&'static str, GeneratedDataset)> {
+    let mut dirty = Preset::by_name("dirty_10k").expect("dirty_10k preset exists");
+    if smoke() {
+        dirty.config.entities = 400;
+    }
+    let skew_entities = if smoke() { 500 } else { 4000 };
+    vec![
+        ("dirty_10k", dirty.generate()),
+        ("skewed", skewed_dirty(skew_entities)),
+    ]
+}
+
+/// The E21 table: per dataset, per scorer, pair quality of the retained
+/// candidate set under the scaling-tier CNP rule.
+fn bench_retained_quality(c: &mut Criterion) {
+    let model = train_model();
+    let scorers: [(&str, EdgeScorer); 3] = [
+        ("CBS", EdgeScorer::Classic(WeightScheme::Cbs)),
+        ("JS", EdgeScorer::Classic(WeightScheme::Js)),
+        ("SUPERVISED", EdgeScorer::Supervised(model)),
+    ];
+    for (ds_name, ds) in eval_datasets() {
+        let graph = build_graph(&ds.collection);
+        for (scorer_name, scorer) in scorers {
+            let config = MetaBlockingConfig {
+                scorer,
+                pruning: PruningStrategy::Cnp {
+                    k: None,
+                    reciprocal: true,
+                },
+                use_entropy: false,
+            };
+            let started = Instant::now();
+            let retained = meta_blocking_graph(&graph, &config);
+            let elapsed = started.elapsed();
+            let (precision, recall, f1) = quality(&retained, &ds.ground_truth);
+            let prefix = format!("weights/{ds_name}/{scorer_name}");
+            c.record(format!("{prefix}/prune"), 1, elapsed);
+            c.record_value(format!("{prefix}/precision"), precision);
+            c.record_value(format!("{prefix}/recall"), recall);
+            c.record_value(format!("{prefix}/f1"), f1);
+            c.record_value(format!("{prefix}/retained"), retained.len() as f64);
+        }
+    }
+}
+
+criterion_group!(benches, bench_retained_quality);
+criterion_main!(benches);

@@ -14,7 +14,9 @@
 
 use sparker_bench::{abt_buy_like, f, Table};
 use sparker_blocking::{block_filtering, purge_oversized, token_blocking};
-use sparker_metablocking::{progressive_global, progressive_node_first, BlockGraph, WeightScheme};
+use sparker_metablocking::{
+    progressive_global, progressive_node_first, BlockGraph, EdgeScorer, WeightScheme,
+};
 use sparker_profiles::Pair;
 
 fn recall_at(order: &[Pair], gt: &sparker_profiles::GroundTruth, budget: usize) -> f64 {
@@ -29,14 +31,16 @@ fn main() {
     let graph = BlockGraph::new(&blocks, None);
 
     // Orders under comparison.
-    let global: Vec<Pair> = progressive_global(&graph, WeightScheme::ChiSquare, false)
-        .into_iter()
-        .map(|(p, _)| p)
-        .collect();
-    let node_first: Vec<Pair> = progressive_node_first(&graph, WeightScheme::ChiSquare, false)
-        .into_iter()
-        .map(|(p, _)| p)
-        .collect();
+    let global: Vec<Pair> =
+        progressive_global(&graph, EdgeScorer::Classic(WeightScheme::ChiSquare), false)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+    let node_first: Vec<Pair> =
+        progressive_node_first(&graph, EdgeScorer::Classic(WeightScheme::ChiSquare), false)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
     // Non-progressive baseline: pairs in block order (deduplicated).
     let mut block_order = Vec::new();
     let mut seen = std::collections::HashSet::new();

@@ -13,7 +13,7 @@ use sparker_bench::{abt_buy_like, f, Table};
 use sparker_blocking::{block_filtering, purge_oversized, token_blocking};
 use sparker_core::BlockingQuality;
 use sparker_metablocking::{
-    meta_blocking_graph, BlockGraph, MetaBlockingConfig, PruningStrategy, WeightScheme,
+    meta_blocking_graph, BlockGraph, EdgeScorer, MetaBlockingConfig, PruningStrategy, WeightScheme,
 };
 use sparker_profiles::Pair;
 use std::collections::HashSet;
@@ -58,7 +58,7 @@ fn main() {
     for scheme in WeightScheme::ALL {
         for pruning in strategies {
             let config = MetaBlockingConfig {
-                scheme,
+                scorer: EdgeScorer::Classic(scheme),
                 pruning,
                 use_entropy: false,
             };

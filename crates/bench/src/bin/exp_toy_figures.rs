@@ -15,8 +15,8 @@ use sparker_bench::Table;
 use sparker_blocking::{token_blocking, Block, BlockCollection};
 use sparker_core::profiles::{ErKind, Profile, ProfileCollection, ProfileId, SourceId};
 use sparker_metablocking::{
-    meta_blocking_graph, BlockEntropies, BlockGraph, MetaBlockingConfig, PruningStrategy,
-    WeightScheme,
+    meta_blocking_graph, BlockEntropies, BlockGraph, EdgeScorer, MetaBlockingConfig,
+    PruningStrategy, WeightScheme,
 };
 
 fn figure1_collection() -> ProfileCollection {
@@ -63,7 +63,7 @@ fn main() {
     println!("\n== Figure 1(c): meta-blocking (CBS weights, keep >= average) ==\n");
     let graph = BlockGraph::new(&blocks, None);
     let config = MetaBlockingConfig {
-        scheme: WeightScheme::Cbs,
+        scorer: EdgeScorer::Classic(WeightScheme::Cbs),
         pruning: PruningStrategy::Wep { factor: 1.0 },
         use_entropy: false,
     };
@@ -118,7 +118,7 @@ fn main() {
     let entropies = BlockEntropies::new(vec![0.4, 0.4, 0.8, 0.8, 0.4]);
     let graph2 = BlockGraph::new(&blocks2, Some(&entropies));
     let config2 = MetaBlockingConfig {
-        scheme: WeightScheme::Cbs,
+        scorer: EdgeScorer::Classic(WeightScheme::Cbs),
         pruning: PruningStrategy::Wep { factor: 1.0 },
         use_entropy: true,
     };

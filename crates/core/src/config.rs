@@ -9,7 +9,9 @@
 
 use sparker_looseschema::LshConfig;
 use sparker_matching::SimilarityMeasure;
-use sparker_metablocking::{MetaBlockingConfig, PruningStrategy, WeightScheme};
+use sparker_metablocking::{
+    EdgeScorer, LinearModel, MetaBlockingConfig, PruningStrategy, WeightScheme,
+};
 use std::fmt;
 
 /// How oversized blocks are purged.
@@ -178,9 +180,12 @@ impl PipelineConfig {
             Some(mb) => {
                 out.push_str(&format!(
                     "meta_blocking = on\nmb.scheme = {}\nmb.entropy = {}\n",
-                    mb.scheme.name(),
+                    mb.scorer.name(),
                     mb.use_entropy
                 ));
+                if let EdgeScorer::Supervised(model) = mb.scorer {
+                    out.push_str(&format!("mb.model = {}\n", model.to_json()));
+                }
                 let p = match mb.pruning {
                     PruningStrategy::Wep { factor } => format!("WEP {factor}"),
                     PruningStrategy::Cep { retain } => {
@@ -224,6 +229,10 @@ impl PipelineConfig {
         let mut lsh_on = false;
         let mut mb = MetaBlockingConfig::default();
         let mut mb_on = true;
+        // `mb.scheme = SUPERVISED` is resolved after the scan, once the
+        // `mb.model` line (order-independent) has been seen.
+        let mut mb_model: Option<LinearModel> = None;
+        let mut supervised_at: Option<usize> = None;
 
         let err = |line: usize, msg: &str| ConfigParseError {
             line,
@@ -275,10 +284,23 @@ impl PipelineConfig {
                 }
                 "meta_blocking" => mb_on = value == "on",
                 "mb.scheme" => {
-                    mb.scheme = WeightScheme::ALL
-                        .into_iter()
-                        .find(|s| s.name() == value)
-                        .ok_or_else(|| err(i + 1, "unknown weighting scheme"))?
+                    if value == "SUPERVISED" {
+                        supervised_at = Some(i + 1);
+                    } else {
+                        mb.scorer = EdgeScorer::Classic(
+                            WeightScheme::ALL
+                                .into_iter()
+                                .find(|s| s.name() == value)
+                                .ok_or_else(|| err(i + 1, "unknown weighting scheme"))?,
+                        );
+                    }
+                }
+                "mb.model" => {
+                    mb_model =
+                        Some(LinearModel::from_json(value).map_err(|e| ConfigParseError {
+                            line: i + 1,
+                            message: e,
+                        })?)
                 }
                 "mb.entropy" => mb.use_entropy = value == "true",
                 "mb.pruning" => {
@@ -333,6 +355,11 @@ impl PipelineConfig {
                 }
                 _ => return Err(err(i + 1, "unknown key")),
             }
+        }
+        if let Some(line) = supervised_at {
+            let model = mb_model
+                .ok_or_else(|| err(line, "mb.scheme = SUPERVISED requires an mb.model line"))?;
+            mb.scorer = EdgeScorer::Supervised(model);
         }
         config.blocking.loose_schema = lsh_on.then_some(lsh);
         config.blocking.meta_blocking = mb_on.then_some(mb);
@@ -427,6 +454,50 @@ mod tests {
             let parsed = PipelineConfig::from_config_string(&text).unwrap();
             assert_eq!(parsed.to_config_string(), text, "{}", pruning.name());
         }
+    }
+
+    #[test]
+    fn supervised_scorer_roundtrips() {
+        let mut model = LinearModel::zero();
+        model.weights[0] = 1.5;
+        model.weights[3] = -0.25;
+        model.bias = -2.0;
+        let mut c = PipelineConfig::default();
+        c.blocking.meta_blocking = Some(MetaBlockingConfig {
+            scorer: EdgeScorer::Supervised(model),
+            ..MetaBlockingConfig::default()
+        });
+        let text = c.to_config_string();
+        assert!(text.contains("mb.scheme = SUPERVISED"));
+        assert!(text.contains("mb.model = {"));
+        let parsed = PipelineConfig::from_config_string(&text).unwrap();
+        assert_eq!(parsed.to_config_string(), text);
+        match parsed.blocking.meta_blocking.unwrap().scorer {
+            EdgeScorer::Supervised(m) => assert_eq!(m, model),
+            other => panic!("expected supervised scorer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_without_model_is_rejected() {
+        let mut c = PipelineConfig::default();
+        c.blocking.meta_blocking = Some(MetaBlockingConfig {
+            scorer: EdgeScorer::Supervised(LinearModel::zero()),
+            ..MetaBlockingConfig::default()
+        });
+        let without: String = c
+            .to_config_string()
+            .lines()
+            .filter(|l| !l.starts_with("mb.model"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = PipelineConfig::from_config_string(&without).unwrap_err();
+        assert!(err.message.contains("mb.model"), "{err}");
+        // A malformed model payload carries its own line number.
+        let broken = "mb.scheme = SUPERVISED\nmb.model = {\"bias\":0}\n";
+        let err = PipelineConfig::from_config_string(broken).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("weights"), "{err}");
     }
 
     #[test]

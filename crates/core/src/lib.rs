@@ -48,6 +48,7 @@ mod backend;
 mod config;
 mod debug;
 mod evaluate;
+mod export;
 mod parallel;
 mod pipeline;
 mod report;
@@ -59,6 +60,7 @@ pub use debug::{
     ThresholdSweepRow,
 };
 pub use evaluate::{BlockingQuality, PairQuality, PipelineEvaluation};
+pub use export::{export_edges_tsv, WeightFilter};
 pub use pipeline::{BlockerOutput, Pipeline, PipelineResult, StepTimings, FUSED_CHANNEL_CAP_ENV};
 pub use report::{PipelineReport, PipelineStage, StageReport, StageScope};
 

@@ -21,7 +21,7 @@ use sparker_metablocking::{
 use sparker_profiles::{GroundTruth, Pair, ProfileCollection};
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Environment override for the fused prune→score channel capacity
 /// (in queued morsel payloads). Any value must leave results unchanged —
@@ -144,7 +144,7 @@ impl Pipeline {
         backend: &ExecutionBackend,
         collection: &ProfileCollection,
         budget: &MemBudget,
-    ) -> (BlockerOutput, Vec<StageReport>) {
+    ) -> (BlockerOutput, Vec<StageReport>, ScoringStats) {
         let bc = &self.config.blocking;
         let ctx = backend.context();
         let BlockStages {
@@ -160,11 +160,17 @@ impl Pipeline {
         // Stage 3: meta-blocking when enabled, plain pair enumeration of
         // the cleaned blocks otherwise.
         let scope = StageScope::begin(PipelineStage::PruneCandidates, ctx, budget);
+        let mut scoring = ScoringStats::off();
         let (candidates, weighted_candidates) = match &bc.meta_blocking {
             None => (blocks.candidate_pairs(), Vec::new()),
             Some(mb) => {
                 let entropies = entropies_for(mb, partitioning.as_ref(), &blocks, collection);
+                let started = Instant::now();
                 let retained = backend.prune_candidates(&blocks, entropies.as_ref(), mb, budget);
+                scoring = ScoringStats {
+                    edge_scorer: mb.scorer.name(),
+                    time: started.elapsed(),
+                };
                 let set: HashSet<Pair> = retained.iter().map(|(p, _)| *p).collect();
                 (set, retained)
             }
@@ -180,7 +186,7 @@ impl Pipeline {
             candidates,
             weighted_candidates,
         };
-        (output, stages)
+        (output, stages, scoring)
     }
 
     /// Stages 1–2 — blocking and purging/filtering — shared by the staged
@@ -268,7 +274,7 @@ impl Pipeline {
             }
         }
 
-        let (blocker, mut stages) = self.run_blocker_on(backend, collection, &budget);
+        let (blocker, mut stages, scoring) = self.run_blocker_on(backend, collection, &budget);
         let ctx = backend.context();
 
         // Stage 4: entity matching.
@@ -285,7 +291,7 @@ impl Pipeline {
         stages.push(scope.finish(similarity.len() as u64, clusters.num_clusters() as u64));
 
         assemble_result(
-            backend, &budget, stages, blocker, similarity, clusters, collection,
+            backend, &budget, stages, scoring, blocker, similarity, clusters, collection,
         )
     }
 
@@ -330,7 +336,12 @@ impl Pipeline {
             entropies.as_ref(),
             budget,
         ));
+        let scoring_started = Instant::now();
         let stream = StreamingMetaBlocking::prepare(ctx, &graph, mb);
+        let scoring = ScoringStats {
+            edge_scorer: mb.scorer.name(),
+            time: scoring_started.elapsed(),
+        };
         let prune_row = stages.len();
         stages.push(scope.finish(cleaned_comparisons, 0));
 
@@ -373,13 +384,30 @@ impl Pipeline {
             weighted_candidates: outcome.retained,
         };
         assemble_result(
-            backend, budget, stages, blocker, similarity, clusters, collection,
+            backend, budget, stages, scoring, blocker, similarity, clusters, collection,
         )
     }
 
     /// Run the full pipeline on the sequential backend.
     pub fn run(&self, collection: &ProfileCollection) -> PipelineResult {
         self.run_on(&ExecutionBackend::Sequential, collection)
+    }
+}
+
+/// Edge-scorer observability of one blocker run: which scorer weighted the
+/// edges and how long the scoring work took (see
+/// [`PipelineReport::edge_scorer`] / [`PipelineReport::scoring`]).
+pub(crate) struct ScoringStats {
+    edge_scorer: &'static str,
+    time: Duration,
+}
+
+impl ScoringStats {
+    fn off() -> ScoringStats {
+        ScoringStats {
+            edge_scorer: "off",
+            time: Duration::ZERO,
+        }
     }
 }
 
@@ -417,10 +445,12 @@ fn entropies_for(
 
 /// Assemble the report and final result — shared tail of the staged and
 /// fused drivers.
+#[allow(clippy::too_many_arguments)]
 fn assemble_result(
     backend: &ExecutionBackend,
     budget: &MemBudget,
     stages: Vec<StageReport>,
+    scoring: ScoringStats,
     blocker: BlockerOutput,
     similarity: SimilarityGraph,
     clusters: EntityClusters,
@@ -429,6 +459,8 @@ fn assemble_result(
     let report = PipelineReport {
         backend: backend.name(),
         workers: backend.workers(),
+        edge_scorer: scoring.edge_scorer,
+        scoring: scoring.time,
         stages,
         mem_budget_bytes: budget.limit_bytes(),
         peak_rss_bytes: MemBudget::peak_rss_bytes(),

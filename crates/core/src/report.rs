@@ -111,6 +111,14 @@ pub struct PipelineReport {
     pub backend: &'static str,
     /// Worker count (1 for the sequential backend).
     pub workers: usize,
+    /// Edge-scorer name of the meta-blocking stage (`"CBS"`, …,
+    /// `"SUPERVISED"`), or `"off"` when meta-blocking is disabled.
+    pub edge_scorer: &'static str,
+    /// Wall-clock time of edge scoring: the weight/feature-extraction work
+    /// of the `prune_candidates` stage (the full pruning call on the staged
+    /// drivers; pass A preparation on the fused driver, whose pass B is
+    /// overlapped with matching). Zero when meta-blocking is disabled.
+    pub scoring: Duration,
     /// One row per executed stage, in execution order.
     pub stages: Vec<StageReport>,
     /// Memory budget the run was held to, in bytes (0 = unlimited).
@@ -196,7 +204,7 @@ impl PipelineReport {
         };
         let _ = writeln!(
             out,
-            "{:<16} {:>12} {:>12} {:>11} {:>11} {:>11} {:>10}  backend={} workers={} budget={} peak_rss={} spilled={} ({} batches)",
+            "{:<16} {:>12} {:>12} {:>11} {:>11} {:>11} {:>10}  backend={} workers={} scorer={} scoring={:.1?} budget={} peak_rss={} spilled={} ({} batches)",
             "total",
             "",
             "",
@@ -206,6 +214,8 @@ impl PipelineReport {
             "",
             self.backend,
             self.workers,
+            self.edge_scorer,
+            self.scoring,
             budget,
             mib(self.peak_rss_bytes),
             mib(self.spilled_bytes),
@@ -222,6 +232,8 @@ impl PipelineReport {
     /// {
     ///   "backend": "pool",
     ///   "workers": 4,
+    ///   "edge_scorer": "CBS",
+    ///   "scoring_s": 0.0112,
     ///   "stages": [
     ///     {"stage": "build_blocks", "input": 1000, "output": 1523,
     ///      "input_unit": "profiles", "output_unit": "blocks",
@@ -241,8 +253,11 @@ impl PipelineReport {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"backend\":\"{}\",\"workers\":{},\"stages\":[",
-            self.backend, self.workers
+            "{{\"backend\":\"{}\",\"workers\":{},\"edge_scorer\":\"{}\",\"scoring_s\":{:.9},\"stages\":[",
+            self.backend,
+            self.workers,
+            self.edge_scorer,
+            self.scoring.as_secs_f64()
         );
         for (i, s) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -364,6 +379,8 @@ mod tests {
         PipelineReport {
             backend: "sequential",
             workers: 1,
+            edge_scorer: "CBS",
+            scoring: Duration::from_millis(2),
             stages: PipelineStage::ALL
                 .iter()
                 .enumerate()
@@ -406,6 +423,8 @@ mod tests {
         }
         assert!(json.contains("\"backend\":\"sequential\""));
         assert!(json.contains("\"workers\":1"));
+        assert!(json.contains("\"edge_scorer\":\"CBS\""));
+        assert!(json.contains("\"scoring_s\":0.002"));
         assert!(json.contains("\"total_wall_s\":"));
         assert!(json.contains("\"queue_wait_s\":"));
         assert!(json.contains("\"buffered_bytes\":1024"));
@@ -421,7 +440,7 @@ mod tests {
         let table = report().render_table();
         assert_eq!(table.lines().count(), 1 + PipelineStage::ALL.len() + 1);
         assert!(table.contains("score_pairs"));
-        assert!(table.contains("backend=sequential workers=1"));
+        assert!(table.contains("backend=sequential workers=1 scorer=CBS scoring=2.0ms"));
         assert!(table.contains("queue-wait"));
         assert!(table.contains("buffered"));
         assert!(table.contains("budget=unlimited"));

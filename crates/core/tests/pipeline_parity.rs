@@ -127,6 +127,31 @@ fn backend_matrix_dirty_default_and_blast() {
 }
 
 #[test]
+fn backend_matrix_supervised_scorer() {
+    // The supervised edge scorer must be backend- and worker-invariant
+    // exactly like the classic schemes: same candidates, similarity graph
+    // and clusters across Sequential/Dataflow/Pool/FusedPool at 1/2/8.
+    use sparker_metablocking::{EdgeScorer, LinearModel, MetaBlockingConfig};
+    let mut model = LinearModel::zero();
+    model.weights[0] = 0.7; // shared blocks
+    model.weights[3] = 2.0; // jaccard
+    model.weights[11] = -0.02; // max degree
+    model.bias = -1.0;
+    let mut config = PipelineConfig::default();
+    config.blocking.meta_blocking = Some(MetaBlockingConfig {
+        scorer: EdgeScorer::Supervised(model),
+        ..MetaBlockingConfig::default()
+    });
+    let pipeline = Pipeline::new(config);
+    for ds in [clean_dataset(90, 11, true), dirty_dataset(60, 23, true)] {
+        assert_backend_matrix(&pipeline, &ds);
+        let run = pipeline.run_on(&ExecutionBackend::Sequential, &ds.collection);
+        assert_eq!(run.report.edge_scorer, "SUPERVISED");
+        assert!(run.report.scoring.as_nanos() > 0);
+    }
+}
+
+#[test]
 fn backend_matrix_all_clustering_algorithms() {
     // Clean–clean covers all five algorithms; dirty skips unique-mapping
     // (clean–clean only). One worker count per cell — worker invariance is
@@ -221,6 +246,12 @@ fn report_is_stage_complete_on_every_backend() {
         );
         assert!(
             result.timings.blocking.as_nanos() > 0,
+            "backend={}",
+            backend.name()
+        );
+        assert_eq!(
+            result.report.edge_scorer,
+            "CBS",
             "backend={}",
             backend.name()
         );

@@ -26,11 +26,22 @@ pub struct Preset {
 
 impl Preset {
     /// The names of all presets, smallest first.
-    pub const NAMES: [&'static str; 3] = ["dirty_10k", "dirty_100k", "skewed_1m"];
+    pub const NAMES: [&'static str; 4] = ["dirty_1k", "dirty_10k", "dirty_100k", "skewed_1m"];
 
     /// Look a preset up by name.
     pub fn by_name(name: &str) -> Option<Preset> {
         match name {
+            "dirty_1k" => Some(Preset {
+                name: "dirty_1k",
+                config: DatasetConfig {
+                    entities: 500,
+                    unmatched_per_source: 0,
+                    domain: Domain::Products,
+                    seed: 1_009,
+                    ..DatasetConfig::default()
+                },
+                max_cluster: 3,
+            }),
             "dirty_10k" => Some(Preset {
                 name: "dirty_10k",
                 config: DatasetConfig {

@@ -16,6 +16,12 @@
 //!   partition that generated the block (Figure 2(c)).
 //! * **Pruning strategies** ([`PruningStrategy`]): WEP, CEP, WNP, CNP
 //!   (Papadakis et al.) and the Blast local-maxima threshold.
+//! * **Pluggable edge scoring** ([`EdgeScorer`]): every execution path
+//!   weighs edges through one seam — either a classic [`WeightScheme`]
+//!   (bit-identical to the hand-coded formulas) or a supervised
+//!   [`LinearModel`] over the full [`EdgeFeatures`] vector, trained
+//!   in-repo against synthetic ground truth via [`train_supervised`]
+//!   (generalized supervised meta-blocking).
 //! * **Parallel execution** ([`parallel::meta_blocking`]): the paper's
 //!   broadcast-join formulation — "it partitions the nodes of the blocking
 //!   graph and sends in broadcast all the information needed to materialize
@@ -46,7 +52,9 @@ mod graph;
 pub mod parallel;
 pub mod progressive;
 mod pruning;
+mod scorer;
 mod streaming;
+mod train;
 mod weights;
 
 pub use entropy::{block_entropies, BlockEntropies};
@@ -57,7 +65,11 @@ pub use pruning::{
     derived_cnp_k, meta_blocking, meta_blocking_graph, MetaBlockingConfig, NodeStats,
     PruningStrategy, RetentionRule,
 };
+pub use scorer::{
+    EdgeFeatures, EdgeScorer, LinearModel, ScoringContext, FEATURE_NAMES, NUM_FEATURES,
+};
 pub use streaming::StreamingMetaBlocking;
+pub use train::{train_supervised, TrainOptions, TrainReport};
 pub use weights::WeightScheme;
 
 #[doc(hidden)]

@@ -39,7 +39,7 @@ use crate::graph::BlockGraph;
 use crate::pruning::{
     cnp_budget, node_pass_single, resolve_rule, MetaBlockingConfig, NodeStats, PruningStrategy,
 };
-use crate::weights::GlobalStats;
+use crate::scorer::ScoringContext;
 use sparker_dataflow::{Broadcast, Context, WorkerLocal};
 use sparker_profiles::{Pair, ProfileId};
 use std::sync::Arc;
@@ -135,12 +135,6 @@ pub fn meta_blocking_scheduled(
     config: &MetaBlockingConfig,
     scheduling: Scheduling,
 ) -> Vec<(Pair, f64)> {
-    if config.use_entropy {
-        assert!(
-            graph.has_entropies(),
-            "use_entropy requires a BlockGraph built with BlockEntropies"
-        );
-    }
     // A single-worker pool gains nothing from cost hints: the extra degree
     // pass only delays the one worker that must do all the work anyway
     // (measured ~9% on the 10k preset). Collapse to the equal-count
@@ -150,35 +144,40 @@ pub fn meta_blocking_scheduled(
     } else {
         scheduling
     };
-    let scheme = config.scheme;
     let num_nodes = graph.num_profiles();
 
     // Cost hints: node degree + 1 (the +1 keeps isolated nodes advancing
     // the prefix). The counting-only degree pass is cheap relative to one
-    // weighted materialization pass, and when the scheme is EJS the same
-    // degrees double as its global statistics — computed once, used twice.
-    let (stats, costs) = match scheduling {
+    // weighted materialization pass, and when the scorer reads degrees
+    // (EJS, supervised) the same pass doubles as its global statistics —
+    // computed once, used twice.
+    let (scoring, costs) = match scheduling {
         Scheduling::CostMorsel => {
             let (degrees, num_edges) = degrees_parallel(ctx, graph);
             let costs: Vec<u64> = degrees.iter().map(|&d| u64::from(d) + 1).collect();
             (
-                GlobalStats::from_degrees(graph, scheme, degrees, num_edges),
+                ScoringContext::with_degrees(
+                    graph,
+                    config.scorer,
+                    config.use_entropy,
+                    degrees,
+                    num_edges,
+                ),
                 Some(costs),
             )
         }
-        Scheduling::EqualCount => (GlobalStats::for_scheme(graph, scheme), None),
+        Scheduling::EqualCount => (config.scoring_context(graph), None),
     };
     let cnp_k = cnp_budget(config.pruning, graph);
     let needs_global = matches!(
         config.pruning,
         PruningStrategy::Wep { .. } | PruningStrategy::Cep { .. }
     );
-    let use_entropy = config.use_entropy;
 
     // Broadcast the graph (no payload clone: the Arc is adopted) and the
-    // global stats to every task.
+    // scoring context to every task.
     let b_graph: Broadcast<BlockGraph> = ctx.broadcast(Arc::clone(graph));
-    let b_stats = ctx.broadcast(stats);
+    let b_scoring = ctx.broadcast(scoring);
 
     // Node datasets for the two passes: contiguous id ranges either way,
     // so concatenation order is node order under both policies.
@@ -207,7 +206,7 @@ pub fn meta_blocking_scheduled(
                       scratch: &mut crate::graph::NeighborhoodScratch,
                       weights: &mut Vec<f64>,
                       b_graph: &BlockGraph,
-                      b_stats: &GlobalStats|
+                      b_scoring: &ScoringContext|
      -> PassA {
         let mut stats_out = Vec::with_capacity(nodes.len());
         let mut forward = Vec::new();
@@ -215,9 +214,7 @@ pub fn meta_blocking_scheduled(
             stats_out.push(node_pass_single(
                 b_graph,
                 ProfileId(i),
-                scheme,
-                b_stats,
-                use_entropy,
+                b_scoring,
                 cnp_k,
                 needs_global,
                 &mut forward,
@@ -229,14 +226,14 @@ pub fn meta_blocking_scheduled(
     };
     let pass_a: Vec<PassA> = {
         let b_graph = b_graph.clone();
-        let b_stats = b_stats.clone();
+        let b_scoring = b_scoring.clone();
         let ds = make_nodes();
         match scheduling {
             Scheduling::CostMorsel => {
                 let scratches = Arc::clone(&scratches);
                 ds.map_morsels(grain, move |worker, nodes| {
                     scratches.with(worker, |(scratch, weights)| {
-                        vec![run_pass_a(nodes, scratch, weights, &b_graph, &b_stats)]
+                        vec![run_pass_a(nodes, scratch, weights, &b_graph, &b_scoring)]
                     })
                 })
             }
@@ -248,7 +245,7 @@ pub fn meta_blocking_scheduled(
                     &mut scratch,
                     &mut weights,
                     &b_graph,
-                    &b_stats,
+                    &b_scoring,
                 )]
             }),
         }
@@ -268,7 +265,7 @@ pub fn meta_blocking_scheduled(
     let retained_ds = {
         let b_graph_scratch = b_graph.clone();
         let b_graph = b_graph.clone();
-        let b_stats = b_stats.clone();
+        let b_scoring = b_scoring.clone();
         let b_node_stats = b_node_stats.clone();
         let b_rule = b_rule.clone();
         let run_pass_b = move |nodes: &[u32],
@@ -282,15 +279,7 @@ pub fn meta_blocking_scheduled(
                     if node >= j {
                         continue;
                     }
-                    let w = scheme.weight(
-                        node,
-                        j,
-                        acc,
-                        blocks_node,
-                        b_graph.blocks_of(j).len(),
-                        &b_stats,
-                        use_entropy,
-                    );
+                    let w = b_scoring.weigh(node, j, acc, blocks_node, b_graph.blocks_of(j).len());
                     if b_rule.keeps(w, &b_node_stats[i as usize], &b_node_stats[j.index()]) {
                         out.push((Pair::new(node, j), w));
                     }
@@ -324,6 +313,7 @@ pub fn meta_blocking_scheduled(
 mod tests {
     use super::*;
     use crate::pruning::meta_blocking_graph;
+    use crate::scorer::EdgeScorer;
     use crate::weights::WeightScheme;
     use sparker_blocking::token_blocking;
     use sparker_profiles::{Profile, ProfileCollection, SourceId};
@@ -390,7 +380,7 @@ mod tests {
         for scheme in WeightScheme::ALL {
             for pruning in ALL_PRUNINGS {
                 let config = MetaBlockingConfig {
-                    scheme,
+                    scorer: EdgeScorer::Classic(scheme),
                     pruning,
                     use_entropy: false,
                 };
@@ -413,7 +403,7 @@ mod tests {
         for scheme in WeightScheme::ALL {
             for pruning in ALL_PRUNINGS {
                 let config = MetaBlockingConfig {
-                    scheme,
+                    scorer: EdgeScorer::Classic(scheme),
                     pruning,
                     use_entropy: false,
                 };
@@ -440,6 +430,43 @@ mod tests {
                     "{} diverged at {w} workers",
                     scheduling.name(),
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_scorer_parallel_matches_sequential() {
+        // A supervised model (which pulls degrees into the feature vector)
+        // must agree with the sequential driver under every pruning,
+        // scheduling and worker count, like the classic schemes do.
+        let coll = skewed_collection(80);
+        let blocks = token_blocking(&coll);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
+        let mut model = crate::LinearModel::zero();
+        model.weights[0] = 0.4; // shared blocks
+        model.weights[3] = 2.5; // jaccard
+        model.weights[11] = -0.01; // max degree
+        model.bias = -1.0;
+        for pruning in ALL_PRUNINGS {
+            let config = MetaBlockingConfig {
+                scorer: EdgeScorer::Supervised(model),
+                pruning,
+                use_entropy: false,
+            };
+            let seq = meta_blocking_graph(&graph, &config);
+            assert!(!seq.is_empty(), "{}: nothing retained", pruning.name());
+            for scheduling in [Scheduling::EqualCount, Scheduling::CostMorsel] {
+                for w in [1, 2, 4] {
+                    let par =
+                        meta_blocking_scheduled(&Context::new(w), &graph, &config, scheduling);
+                    assert_eq!(
+                        par,
+                        seq,
+                        "supervised {}+{} diverged at {w} workers",
+                        pruning.name(),
+                        scheduling.name(),
+                    );
+                }
             }
         }
     }

@@ -16,7 +16,7 @@
 //!   to the global order in practice.
 
 use crate::graph::BlockGraph;
-use crate::weights::{GlobalStats, WeightScheme};
+use crate::scorer::{EdgeScorer, ScoringContext};
 use sparker_profiles::{Pair, ProfileId};
 
 /// All implicit edges of the blocking graph, weighted and sorted
@@ -27,16 +27,10 @@ use sparker_profiles::{Pair, ProfileId};
 /// the `exp_progressive` experiment).
 pub fn progressive_global(
     graph: &BlockGraph,
-    scheme: WeightScheme,
+    scorer: EdgeScorer,
     use_entropy: bool,
 ) -> Vec<(Pair, f64)> {
-    if use_entropy {
-        assert!(
-            graph.has_entropies(),
-            "use_entropy requires a BlockGraph built with BlockEntropies"
-        );
-    }
-    let stats = GlobalStats::for_scheme(graph, scheme);
+    let scoring = ScoringContext::new(graph, scorer, use_entropy);
     let mut edges = Vec::new();
     let mut scratch = graph.scratch();
     for i in 0..graph.num_profiles() {
@@ -45,14 +39,12 @@ pub fn progressive_global(
             if node >= j {
                 continue;
             }
-            let w = scheme.weight(
+            let w = scoring.weigh(
                 node,
                 j,
                 &acc,
                 graph.blocks_of(node).len(),
                 graph.blocks_of(j).len(),
-                &stats,
-                use_entropy,
             );
             edges.push((Pair::new(node, j), w));
         }
@@ -69,16 +61,10 @@ pub fn progressive_global(
 /// quality without a global sort.
 pub fn progressive_node_first(
     graph: &BlockGraph,
-    scheme: WeightScheme,
+    scorer: EdgeScorer,
     use_entropy: bool,
 ) -> Vec<(Pair, f64)> {
-    if use_entropy {
-        assert!(
-            graph.has_entropies(),
-            "use_entropy requires a BlockGraph built with BlockEntropies"
-        );
-    }
-    let stats = GlobalStats::for_scheme(graph, scheme);
+    let scoring = ScoringContext::new(graph, scorer, use_entropy);
     let n = graph.num_profiles();
     let mut scratch = graph.scratch();
 
@@ -90,14 +76,12 @@ pub fn progressive_node_first(
             .neighborhood_with(node, &mut scratch)
             .into_iter()
             .map(|(j, acc)| {
-                let w = scheme.weight(
+                let w = scoring.weigh(
                     node,
                     j,
                     &acc,
                     graph.blocks_of(node).len(),
                     graph.blocks_of(j).len(),
-                    &stats,
-                    use_entropy,
                 );
                 (j, w)
             })
@@ -151,6 +135,7 @@ fn sort_best_first(edges: &mut [(Pair, f64)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::weights::WeightScheme;
     use sparker_blocking::token_blocking;
     use sparker_profiles::{Profile, ProfileCollection, SourceId};
 
@@ -179,7 +164,7 @@ mod tests {
     fn global_order_is_monotone_and_complete() {
         let blocks = token_blocking(&collection());
         let graph = BlockGraph::new(&blocks, None);
-        let edges = progressive_global(&graph, WeightScheme::Cbs, false);
+        let edges = progressive_global(&graph, EdgeScorer::Classic(WeightScheme::Cbs), false);
         // Weights non-increasing.
         for w in edges.windows(2) {
             assert!(w[0].1 >= w[1].1);
@@ -196,7 +181,7 @@ mod tests {
     fn strongest_duplicates_come_first() {
         let blocks = token_blocking(&collection());
         let graph = BlockGraph::new(&blocks, None);
-        let edges = progressive_global(&graph, WeightScheme::Cbs, false);
+        let edges = progressive_global(&graph, EdgeScorer::Classic(WeightScheme::Cbs), false);
         // The three bravia records share 5+ tokens pairwise; those pairs
         // must occupy the first three slots.
         let firsts: Vec<(u32, u32)> = edges
@@ -216,7 +201,7 @@ mod tests {
     fn node_first_emits_every_pair_once() {
         let blocks = token_blocking(&collection());
         let graph = BlockGraph::new(&blocks, None);
-        let edges = progressive_node_first(&graph, WeightScheme::Cbs, false);
+        let edges = progressive_node_first(&graph, EdgeScorer::Classic(WeightScheme::Cbs), false);
         let mut seen = std::collections::HashSet::new();
         for (p, _) in &edges {
             assert!(seen.insert(*p), "pair {p} emitted twice");
@@ -228,7 +213,7 @@ mod tests {
     fn node_first_front_loads_strong_pairs() {
         let blocks = token_blocking(&collection());
         let graph = BlockGraph::new(&blocks, None);
-        let edges = progressive_node_first(&graph, WeightScheme::Cbs, false);
+        let edges = progressive_node_first(&graph, EdgeScorer::Classic(WeightScheme::Cbs), false);
         let (p, _) = edges[0];
         assert!(
             p.first.0 < 3 && p.second.0 < 3,
@@ -241,12 +226,12 @@ mod tests {
         let blocks = token_blocking(&collection());
         let graph = BlockGraph::new(&blocks, None);
         assert_eq!(
-            progressive_global(&graph, WeightScheme::Js, false),
-            progressive_global(&graph, WeightScheme::Js, false)
+            progressive_global(&graph, EdgeScorer::Classic(WeightScheme::Js), false),
+            progressive_global(&graph, EdgeScorer::Classic(WeightScheme::Js), false)
         );
         assert_eq!(
-            progressive_node_first(&graph, WeightScheme::Js, false),
-            progressive_node_first(&graph, WeightScheme::Js, false)
+            progressive_node_first(&graph, EdgeScorer::Classic(WeightScheme::Js), false),
+            progressive_node_first(&graph, EdgeScorer::Classic(WeightScheme::Js), false)
         );
     }
 
@@ -255,7 +240,12 @@ mod tests {
         let blocks =
             sparker_blocking::BlockCollection::new(sparker_profiles::ErKind::Dirty, vec![]);
         let graph = BlockGraph::new(&blocks, None);
-        assert!(progressive_global(&graph, WeightScheme::Cbs, false).is_empty());
-        assert!(progressive_node_first(&graph, WeightScheme::Cbs, false).is_empty());
+        assert!(
+            progressive_global(&graph, EdgeScorer::Classic(WeightScheme::Cbs), false).is_empty()
+        );
+        assert!(
+            progressive_node_first(&graph, EdgeScorer::Classic(WeightScheme::Cbs), false)
+                .is_empty()
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::entropy::BlockEntropies;
 use crate::graph::{BlockGraph, NeighborhoodScratch};
-use crate::weights::{GlobalStats, WeightScheme};
+use crate::scorer::{EdgeScorer, ScoringContext};
 use sparker_blocking::BlockCollection;
 use sparker_profiles::{Pair, ProfileId};
 
@@ -71,8 +71,8 @@ impl PruningStrategy {
 /// Full meta-blocking configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetaBlockingConfig {
-    /// Edge weighting scheme.
-    pub scheme: WeightScheme,
+    /// Edge scorer: a classic weighting scheme or a supervised model.
+    pub scorer: EdgeScorer,
     /// Pruning strategy.
     pub pruning: PruningStrategy,
     /// Enable Blast's entropy re-weighting (requires a graph built with
@@ -85,7 +85,7 @@ impl Default for MetaBlockingConfig {
     /// mean, no entropy.
     fn default() -> Self {
         MetaBlockingConfig {
-            scheme: WeightScheme::Cbs,
+            scorer: EdgeScorer::default(),
             pruning: PruningStrategy::Wep { factor: 1.0 },
             use_entropy: false,
         }
@@ -97,10 +97,17 @@ impl MetaBlockingConfig {
     /// 0.35, entropy re-weighting on.
     pub fn blast() -> Self {
         MetaBlockingConfig {
-            scheme: WeightScheme::ChiSquare,
+            scorer: EdgeScorer::Classic(crate::WeightScheme::ChiSquare),
             pruning: PruningStrategy::Blast { ratio: 0.35 },
             use_entropy: true,
         }
+    }
+
+    /// Build this configuration's [`ScoringContext`] for `graph` — the
+    /// one checked constructor every driver funnels through (it owns the
+    /// `use_entropy` precondition).
+    pub fn scoring_context(&self, graph: &BlockGraph) -> ScoringContext {
+        ScoringContext::new(graph, self.scorer, self.use_entropy)
     }
 }
 
@@ -134,9 +141,7 @@ pub struct NodeStats {
 pub(crate) fn node_pass_single(
     graph: &BlockGraph,
     node: ProfileId,
-    scheme: WeightScheme,
-    stats: &GlobalStats,
-    use_entropy: bool,
+    scoring: &ScoringContext,
     cnp_k: usize,
     collect_weights: bool,
     all_weights: &mut Vec<f64>,
@@ -155,15 +160,7 @@ pub(crate) fn node_pass_single(
     let mut sum = 0.0f64;
     let mut max = 0.0f64;
     for &(j, ref acc) in neighborhood {
-        let w = scheme.weight(
-            node,
-            j,
-            acc,
-            blocks_node,
-            graph.blocks_of(j).len(),
-            stats,
-            use_entropy,
-        );
+        let w = scoring.weigh(node, j, acc, blocks_node, graph.blocks_of(j).len());
         weights.push(w);
         sum += w;
         max = max.max(w);
@@ -188,9 +185,7 @@ pub(crate) fn node_pass_single(
 /// needs it). `collect_weights` gathers each edge's weight once (i < j).
 pub(crate) fn node_stats_pass(
     graph: &BlockGraph,
-    scheme: WeightScheme,
-    stats: &GlobalStats,
-    use_entropy: bool,
+    scoring: &ScoringContext,
     cnp_k: usize,
     collect_weights: bool,
 ) -> (Vec<NodeStats>, Vec<f64>) {
@@ -203,9 +198,7 @@ pub(crate) fn node_stats_pass(
         *slot = node_pass_single(
             graph,
             ProfileId(i as u32),
-            scheme,
-            stats,
-            use_entropy,
+            scoring,
             cnp_k,
             collect_weights,
             &mut all_weights,
@@ -231,16 +224,9 @@ fn pass_checksum(node_stats: &[NodeStats], all_weights: &[f64]) -> f64 {
 /// return a checksum over its output. Not part of the public API.
 #[doc(hidden)]
 pub fn node_stats_pass_checksum(graph: &BlockGraph, config: &MetaBlockingConfig) -> f64 {
-    let stats = GlobalStats::for_scheme(graph, config.scheme);
+    let scoring = config.scoring_context(graph);
     let cnp_k = cnp_budget(config.pruning, graph);
-    let (ns, aw) = node_stats_pass(
-        graph,
-        config.scheme,
-        &stats,
-        config.use_entropy,
-        cnp_k,
-        true,
-    );
+    let (ns, aw) = node_stats_pass(graph, &scoring, cnp_k, true);
     pass_checksum(&ns, &aw)
 }
 
@@ -251,7 +237,7 @@ pub fn node_stats_pass_checksum(graph: &BlockGraph, config: &MetaBlockingConfig)
 /// tests) so the benchmark compares equal work. Not part of the public API.
 #[doc(hidden)]
 pub fn node_stats_pass_baseline_checksum(graph: &BlockGraph, config: &MetaBlockingConfig) -> f64 {
-    let stats = GlobalStats::for_scheme(graph, config.scheme);
+    let scoring = config.scoring_context(graph);
     let cnp_k = cnp_budget(config.pruning, graph);
     let n = graph.num_profiles();
     let mut scratch = graph.scratch();
@@ -269,14 +255,12 @@ pub fn node_stats_pass_baseline_checksum(graph: &BlockGraph, config: &MetaBlocki
         }
         let mut weights: Vec<f64> = Vec::with_capacity(neighborhood.len());
         for (j, acc) in &neighborhood {
-            let w = config.scheme.weight(
+            let w = scoring.weigh(
                 node,
                 *j,
                 acc,
                 graph.blocks_of(node).len(),
                 graph.blocks_of(*j).len(),
-                &stats,
-                config.use_entropy,
             );
             weights.push(w);
             if node < *j {
@@ -414,26 +398,13 @@ pub(crate) fn cnp_budget(pruning: PruningStrategy, graph: &BlockGraph) -> usize 
 /// implicit edge, derive thresholds, and return the retained candidate
 /// pairs with their weights, sorted by pair.
 pub fn meta_blocking_graph(graph: &BlockGraph, config: &MetaBlockingConfig) -> Vec<(Pair, f64)> {
-    if config.use_entropy {
-        assert!(
-            graph.has_entropies(),
-            "use_entropy requires a BlockGraph built with BlockEntropies"
-        );
-    }
-    let stats = GlobalStats::for_scheme(graph, config.scheme);
+    let scoring = config.scoring_context(graph);
     let cnp_k = cnp_budget(config.pruning, graph);
     let needs_global = matches!(
         config.pruning,
         PruningStrategy::Wep { .. } | PruningStrategy::Cep { .. }
     );
-    let (node_stats, mut all_weights) = node_stats_pass(
-        graph,
-        config.scheme,
-        &stats,
-        config.use_entropy,
-        cnp_k,
-        needs_global,
-    );
+    let (node_stats, mut all_weights) = node_stats_pass(graph, &scoring, cnp_k, needs_global);
     let rule = resolve_rule(config.pruning, graph, &mut all_weights);
 
     let mut retained = Vec::new();
@@ -445,15 +416,7 @@ pub fn meta_blocking_graph(graph: &BlockGraph, config: &MetaBlockingConfig) -> V
             if node >= j {
                 continue; // count each edge once
             }
-            let w = config.scheme.weight(
-                node,
-                j,
-                acc,
-                blocks_node,
-                graph.blocks_of(j).len(),
-                &stats,
-                config.use_entropy,
-            );
+            let w = scoring.weigh(node, j, acc, blocks_node, graph.blocks_of(j).len());
             if rule.keeps(w, &node_stats[i], &node_stats[j.index()]) {
                 retained.push((Pair::new(node, j), w));
             }
@@ -474,6 +437,7 @@ pub fn meta_blocking(blocks: &BlockCollection, config: &MetaBlockingConfig) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::weights::WeightScheme;
     use sparker_blocking::{token_blocking, Block};
     use sparker_profiles::{ErKind, Profile, ProfileCollection, SourceId};
 
@@ -546,7 +510,7 @@ mod tests {
         let entropies = BlockEntropies::new(vec![0.4, 0.4, 0.8, 0.8, 0.4]);
         let graph = BlockGraph::new(&blocks, Some(&entropies));
         let config = MetaBlockingConfig {
-            scheme: WeightScheme::Cbs,
+            scorer: EdgeScorer::Classic(WeightScheme::Cbs),
             pruning: PruningStrategy::Wep { factor: 1.0 },
             use_entropy: true,
         };
@@ -678,7 +642,7 @@ mod tests {
         let pruned = meta_blocking(
             &blocks,
             &MetaBlockingConfig {
-                scheme: WeightScheme::Cbs,
+                scorer: EdgeScorer::Classic(WeightScheme::Cbs),
                 pruning: PruningStrategy::Blast { ratio: 0.9 },
                 use_entropy: false,
             },
@@ -755,7 +719,7 @@ mod tests {
                 let out = meta_blocking_graph(
                     &graph,
                     &MetaBlockingConfig {
-                        scheme,
+                        scorer: EdgeScorer::Classic(scheme),
                         pruning,
                         use_entropy: false,
                     },
@@ -808,7 +772,7 @@ mod tests {
                 PruningStrategy::Wep { factor: 1.0 },
             ] {
                 let config = MetaBlockingConfig {
-                    scheme,
+                    scorer: EdgeScorer::Classic(scheme),
                     pruning,
                     use_entropy: false,
                 };
@@ -841,7 +805,7 @@ mod tests {
     #[test]
     fn blast_preset_config() {
         let c = MetaBlockingConfig::blast();
-        assert_eq!(c.scheme, WeightScheme::ChiSquare);
+        assert_eq!(c.scorer, EdgeScorer::Classic(WeightScheme::ChiSquare));
         assert!(c.use_entropy);
         assert!(
             matches!(c.pruning, PruningStrategy::Blast { ratio } if (ratio - 0.35).abs() < 1e-12)

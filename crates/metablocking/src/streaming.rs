@@ -33,7 +33,7 @@ use crate::pruning::{
     cnp_budget, node_pass_single, resolve_rule, MetaBlockingConfig, NodeStats, PruningStrategy,
     RetentionRule,
 };
-use crate::weights::{GlobalStats, WeightScheme};
+use crate::scorer::ScoringContext;
 use sparker_dataflow::{Broadcast, Context, WorkerLocal};
 use sparker_profiles::{Pair, ProfileId};
 use std::ops::Range;
@@ -44,9 +44,7 @@ use std::sync::Arc;
 /// can be emitted range by range (see the module docs).
 pub struct StreamingMetaBlocking {
     graph: Arc<BlockGraph>,
-    scheme: WeightScheme,
-    use_entropy: bool,
-    stats: GlobalStats,
+    scoring: ScoringContext,
     /// Per-node retention statistics; empty for the global-threshold rules
     /// (WEP/CEP), whose [`RetentionRule::keeps`] ignores them.
     node_stats: Vec<NodeStats>,
@@ -65,14 +63,6 @@ impl StreamingMetaBlocking {
     /// them, preserving f64 summation order — and skips the mean/max/k-th
     /// folding entirely, roughly halving pass-A weight computes.
     pub fn prepare(ctx: &Context, graph: &Arc<BlockGraph>, config: &MetaBlockingConfig) -> Self {
-        if config.use_entropy {
-            assert!(
-                graph.has_entropies(),
-                "use_entropy requires a BlockGraph built with BlockEntropies"
-            );
-        }
-        let scheme = config.scheme;
-        let use_entropy = config.use_entropy;
         let num_nodes = graph.num_profiles();
         let cnp_k = cnp_budget(config.pruning, graph);
         let needs_global = matches!(
@@ -80,14 +70,20 @@ impl StreamingMetaBlocking {
             PruningStrategy::Wep { .. } | PruningStrategy::Cep { .. }
         );
 
-        // EJS is the one scheme whose weights need degrees *before* pass A
-        // can weight anything; compute them node-parallel. Every other
-        // scheme gets degrees for free out of pass A itself.
-        let stats = if scheme == WeightScheme::Ejs {
+        // Scorers that read node degrees (EJS, supervised) need them
+        // *before* pass A can weight anything; compute them node-parallel.
+        // Every other scorer gets degrees for free out of pass A itself.
+        let scoring = if config.scorer.needs_degrees() {
             let (degrees, num_edges) = degrees_parallel(ctx, graph);
-            GlobalStats::from_degrees(graph, scheme, degrees, num_edges)
+            ScoringContext::with_degrees(
+                graph,
+                config.scorer,
+                config.use_entropy,
+                degrees,
+                num_edges,
+            )
         } else {
-            GlobalStats::for_scheme(graph, scheme)
+            config.scoring_context(graph)
         };
 
         if num_nodes == 0 {
@@ -95,9 +91,7 @@ impl StreamingMetaBlocking {
             let rule = resolve_rule(config.pruning, graph, &mut all_weights);
             return StreamingMetaBlocking {
                 graph: Arc::clone(graph),
-                scheme,
-                use_entropy,
-                stats,
+                scoring,
                 node_stats: Vec::new(),
                 rule,
                 degrees: Vec::new(),
@@ -105,7 +99,7 @@ impl StreamingMetaBlocking {
         }
 
         let b_graph: Broadcast<BlockGraph> = ctx.broadcast(Arc::clone(graph));
-        let b_stats = ctx.broadcast(stats.clone());
+        let b_scoring = ctx.broadcast(scoring.clone());
         let scratches = Arc::new(WorkerLocal::new(ctx.workers(), || {
             (graph.scratch(), Vec::<f64>::new())
         }));
@@ -133,14 +127,12 @@ impl StreamingMetaBlocking {
                                 degs.push(neighborhood.len() as u32);
                                 for &(j, ref acc) in neighborhood {
                                     if node < j {
-                                        forward.push(scheme.weight(
+                                        forward.push(b_scoring.weigh(
                                             node,
                                             j,
                                             acc,
                                             blocks_node,
                                             b_graph.blocks_of(j).len(),
-                                            &b_stats,
-                                            use_entropy,
                                         ));
                                     }
                                 }
@@ -148,9 +140,7 @@ impl StreamingMetaBlocking {
                                 stats_out.push(node_pass_single(
                                     &b_graph,
                                     node,
-                                    scheme,
-                                    &b_stats,
-                                    use_entropy,
+                                    &b_scoring,
                                     cnp_k,
                                     false,
                                     &mut forward,
@@ -178,9 +168,7 @@ impl StreamingMetaBlocking {
 
         StreamingMetaBlocking {
             graph: Arc::clone(graph),
-            scheme,
-            use_entropy,
-            stats,
+            scoring,
             node_stats,
             rule,
             degrees,
@@ -251,15 +239,9 @@ impl StreamingMetaBlocking {
                 if node >= j {
                     continue;
                 }
-                let w = self.scheme.weight(
-                    node,
-                    j,
-                    acc,
-                    blocks_node,
-                    self.graph.blocks_of(j).len(),
-                    &self.stats,
-                    self.use_entropy,
-                );
+                let w =
+                    self.scoring
+                        .weigh(node, j, acc, blocks_node, self.graph.blocks_of(j).len());
                 let (sa, sb) = if self.node_stats.is_empty() {
                     (&default_stats, &default_stats)
                 } else {
@@ -286,6 +268,8 @@ mod tests {
     use super::*;
     use crate::entropy::BlockEntropies;
     use crate::pruning::meta_blocking_graph;
+    use crate::scorer::EdgeScorer;
+    use crate::weights::WeightScheme;
     use sparker_blocking::token_blocking;
     use sparker_dataflow::Context;
     use sparker_profiles::{Profile, ProfileCollection, SourceId};
@@ -328,7 +312,7 @@ mod tests {
         for scheme in WeightScheme::ALL {
             for pruning in ALL_PRUNINGS {
                 let config = MetaBlockingConfig {
-                    scheme,
+                    scorer: EdgeScorer::Classic(scheme),
                     pruning,
                     use_entropy: false,
                 };
@@ -375,6 +359,33 @@ mod tests {
         let staged = meta_blocking_graph(&graph, &config);
         let stream = StreamingMetaBlocking::prepare(&ctx, &graph, &config);
         assert_eq!(stream.prune_all(), staged);
+    }
+
+    #[test]
+    fn streamed_matches_staged_with_supervised_scorer() {
+        let coll = skewed_collection(60);
+        let blocks = token_blocking(&coll);
+        let graph = Arc::new(BlockGraph::new(&blocks, None));
+        let ctx = Context::new(3);
+        let mut model = crate::LinearModel::zero();
+        model.weights[0] = 0.6; // shared blocks
+        model.weights[4] = 1.5; // dice
+        model.bias = -0.5;
+        for pruning in ALL_PRUNINGS {
+            let config = MetaBlockingConfig {
+                scorer: EdgeScorer::Supervised(model),
+                pruning,
+                use_entropy: false,
+            };
+            let staged = meta_blocking_graph(&graph, &config);
+            let stream = StreamingMetaBlocking::prepare(&ctx, &graph, &config);
+            assert_eq!(
+                stream.prune_all(),
+                staged,
+                "supervised {} diverged",
+                pruning.name()
+            );
+        }
     }
 
     #[test]

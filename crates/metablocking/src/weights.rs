@@ -1,6 +1,6 @@
 //! Edge weighting schemes for the blocking graph.
 
-use crate::graph::{BlockGraph, EdgeAccumulator};
+use crate::graph::EdgeAccumulator;
 use sparker_profiles::ProfileId;
 
 /// Global statistics some schemes need, computed once per graph.
@@ -12,43 +12,6 @@ pub(crate) struct GlobalStats {
     pub degrees: Vec<u32>,
     /// Total number of distinct edges (for EJS).
     pub num_edges: u64,
-}
-
-impl GlobalStats {
-    pub(crate) fn for_scheme(graph: &BlockGraph, scheme: WeightScheme) -> GlobalStats {
-        let (degrees, num_edges) = if scheme == WeightScheme::Ejs {
-            graph.degrees()
-        } else {
-            (Vec::new(), 0)
-        };
-        GlobalStats {
-            num_blocks: graph.num_blocks() as u64,
-            degrees,
-            num_edges,
-        }
-    }
-
-    /// Build from a degree vector the caller already computed (e.g. for
-    /// cost-hinted partitioning), avoiding a second `degrees()` pass. Keeps
-    /// the degrees only when `scheme` actually reads them (EJS), matching
-    /// [`GlobalStats::for_scheme`] exactly.
-    pub(crate) fn from_degrees(
-        graph: &BlockGraph,
-        scheme: WeightScheme,
-        degrees: Vec<u32>,
-        num_edges: u64,
-    ) -> GlobalStats {
-        let (degrees, num_edges) = if scheme == WeightScheme::Ejs {
-            (degrees, num_edges)
-        } else {
-            (Vec::new(), 0)
-        };
-        GlobalStats {
-            num_blocks: graph.num_blocks() as u64,
-            degrees,
-            num_edges,
-        }
-    }
 }
 
 /// The edge weighting schemes of the meta-blocking literature, plus

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use sparker_blocking::token_blocking;
 use sparker_dataflow::Context;
 use sparker_metablocking::{
-    meta_blocking_graph, parallel, BlockEntropies, BlockGraph, MetaBlockingConfig, PruningStrategy,
-    Scheduling, WeightScheme,
+    meta_blocking_graph, parallel, BlockEntropies, BlockGraph, EdgeScorer, LinearModel,
+    MetaBlockingConfig, PruningStrategy, Scheduling, ScoringContext, WeightScheme, NUM_FEATURES,
 };
 use sparker_profiles::{Pair, Profile, ProfileCollection, SourceId};
 use std::collections::HashSet;
@@ -77,7 +77,7 @@ fn config_strategy() -> impl Strategy<Value = MetaBlockingConfig> {
         (0.05f64..1.0).prop_map(|ratio| PruningStrategy::Blast { ratio }),
     ];
     (scheme, pruning).prop_map(|(scheme, pruning)| MetaBlockingConfig {
-        scheme,
+        scorer: EdgeScorer::Classic(scheme),
         pruning,
         use_entropy: false,
     })
@@ -187,6 +187,75 @@ proptest! {
     }
 
     #[test]
+    fn edge_features_finite_and_in_range(coll in collection_strategy()) {
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        // A supervised scorer requests degrees, exercising every feature.
+        let scoring =
+            ScoringContext::new(&graph, EdgeScorer::Supervised(LinearModel::zero()), false);
+        let mut scratch = graph.scratch();
+        for i in 0..graph.num_profiles() as u32 {
+            let node = sparker_profiles::ProfileId(i);
+            let blocks_node = graph.blocks_of(node).len();
+            for (j, acc) in graph.neighborhood_with(node, &mut scratch) {
+                if node >= j {
+                    continue;
+                }
+                let f = scoring.features(node, j, &acc, blocks_node, graph.blocks_of(j).len());
+                let vals = f.as_array();
+                prop_assert_eq!(vals.len(), NUM_FEATURES);
+                for (k, v) in vals.iter().enumerate() {
+                    prop_assert!(v.is_finite() && *v >= 0.0, "feature {} = {}", k, v);
+                }
+                // The ratio features (jaccard/dice/cosine, normalized block
+                // counts) are bounded by 1; the min/max pairs are ordered.
+                for k in [3usize, 4, 5, 8, 9] {
+                    prop_assert!(vals[k] <= 1.0 + 1e-12, "ratio feature {} = {}", k, vals[k]);
+                }
+                prop_assert!(vals[6] <= vals[7], "block-count min > max");
+                prop_assert!(vals[10] <= vals[11], "degree min > max");
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_cbs_model_ranks_edges_like_cbs(coll in collection_strategy()) {
+        let blocks = token_blocking(&coll);
+        let graph = BlockGraph::new(&blocks, None);
+        let cbs = ScoringContext::new(&graph, EdgeScorer::Classic(WeightScheme::Cbs), false);
+        let one_hot =
+            ScoringContext::new(&graph, EdgeScorer::Supervised(LinearModel::one_hot(0)), false);
+        let mut scratch = graph.scratch();
+        let mut scores = Vec::new();
+        for i in 0..graph.num_profiles() as u32 {
+            let node = sparker_profiles::ProfileId(i);
+            let bn = graph.blocks_of(node).len();
+            for (j, acc) in graph.neighborhood_with(node, &mut scratch) {
+                if node >= j {
+                    continue;
+                }
+                let bj = graph.blocks_of(j).len();
+                scores.push((
+                    cbs.weigh(node, j, &acc, bn, bj),
+                    one_hot.weigh(node, j, &acc, bn, bj),
+                ));
+            }
+        }
+        // The sigmoid is strictly monotone, so the pairwise ordering of the
+        // one-hot CBS model must agree with raw CBS everywhere.
+        for a in &scores {
+            for b in &scores {
+                prop_assert_eq!(
+                    a.0.partial_cmp(&b.0),
+                    a.1.partial_cmp(&b.1),
+                    "order flip: CBS ({}, {}) vs model ({}, {})",
+                    a.0, b.0, a.1, b.1
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cep_budget_respected_up_to_ties(coll in collection_strategy(), budget in 1u64..30) {
         let blocks = token_blocking(&coll);
         let graph = BlockGraph::new(&blocks, None);
@@ -241,7 +310,7 @@ fn full_matrix_scheduling_parity_at_1_2_8_workers() {
         for scheme in WeightScheme::ALL {
             for pruning in prunings {
                 let config = MetaBlockingConfig {
-                    scheme,
+                    scorer: EdgeScorer::Classic(scheme),
                     pruning,
                     use_entropy: false,
                 };

@@ -54,7 +54,7 @@ use sparker_core::{ExecutionBackend, Pipeline, PipelineConfig, PurgeConfig};
 use sparker_matching::similarity::MatchScratch;
 use sparker_matching::{FilterStats, PreparedProfile, ThresholdMatcher};
 use sparker_metablocking::{
-    derived_cnp_k, NodeStats, PruningStrategy, RetentionRule, WeightScheme,
+    derived_cnp_k, EdgeScorer, NodeStats, PruningStrategy, RetentionRule, WeightScheme,
 };
 use sparker_profiles::{each_token, DictBuilder, ErKind, Pair, Profile, ProfileId, SourceId};
 
@@ -502,7 +502,10 @@ impl ResolverState {
         match &config.blocking.meta_blocking {
             None => false,
             Some(m) => {
-                m.scheme == WeightScheme::Cbs
+                // Supervised scorers (like LSH/entropy) fall back to batch
+                // refresh: their weights are not incrementally maintainable
+                // from the CBS adjacency rows alone.
+                m.scorer == EdgeScorer::Classic(WeightScheme::Cbs)
                     && !m.use_entropy
                     && !matches!(m.pruning, PruningStrategy::Cep { .. })
             }

@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-  benches=(blocking dataflow metablocking pipeline scaling serve)
+  benches=(blocking dataflow metablocking pipeline scaling serve weights)
 fi
 
 # Absolute path: cargo runs bench binaries with the package directory as

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: formatting, release build, full test suite, clippy and
 # rustdoc with warnings denied, bench smoke, end-to-end pipeline smoke, a
-# CLI backend-matrix smoke and the online-serve smoke. Run from the repo
-# root: scripts/ci.sh
+# CLI backend-matrix smoke, the supervised-scorer train/run/export smoke
+# and the online-serve smoke. Run from the repo root: scripts/ci.sh
 #
 # Scale tiers (environment-gated):
 #   BENCH_SMOKE=1       Bench binaries run each body once with no warmup
@@ -34,7 +34,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Smoke-execute every bench body (1 sample, no warmup, no JSON dump) so
 # bench-only code paths can't rot between full scripts/bench.sh runs.
-for bench in blocking dataflow metablocking pipeline scaling serve; do
+for bench in blocking dataflow metablocking pipeline scaling serve weights; do
   echo "==> BENCH_SMOKE=1 cargo bench -p sparker-bench --bench ${bench}"
   BENCH_SMOKE=1 cargo bench -p sparker-bench --bench "${bench}" > /dev/null
 done
@@ -74,6 +74,33 @@ if [ "${cascade_line}" != "${naive_line}" ]; then
   echo "cascade and naive matcher disagree: '${cascade_line}' != '${naive_line}'" >&2
   exit 1
 fi
+
+# Supervised-scorer smoke: train a logistic edge-scoring model on the
+# dirty_1k preset through the CLI, run the pipeline with it on two
+# backends (result counts must match bit for bit), and diff a
+# --weight-filter TSV export against the checked-in golden file.
+echo "==> sparker train --preset dirty_1k + supervised run on two backends"
+model_json="$(mktemp --suffix .json)"
+cargo run -q --release --bin sparker -- train --preset dirty_1k --out "${model_json}" > /dev/null
+sup_seq="$(cargo run -q --release --bin sparker -- --demo --backend sequential \
+  --edge-scorer "supervised:${model_json}" | grep '^result counts:')"
+sup_pool="$(cargo run -q --release --bin sparker -- --demo --backend pool --workers 2 \
+  --edge-scorer "supervised:${model_json}" | grep '^result counts:')"
+echo "    sequential: ${sup_seq#result counts: }"
+echo "    pool:       ${sup_pool#result counts: }"
+if [ "${sup_seq}" != "${sup_pool}" ]; then
+  echo "supervised backends disagree: '${sup_pool}' != '${sup_seq}'" >&2
+  exit 1
+fi
+rm -f "${model_json}"
+
+echo "==> sparker --export-edges --weight-filter vs tests/golden"
+export_tsv="$(mktemp --suffix .tsv)"
+cargo run -q --release --bin sparker -- --preset dirty_1k --backend pool --workers 2 \
+  --edge-scorer js --export-edges "${export_tsv}" --weight-filter "w >= 0.75" > /dev/null
+diff -u tests/golden/dirty_1k_js_edges_w_ge_0.75.tsv "${export_tsv}"
+echo "    export matches golden ($(wc -l < "${export_tsv}") lines)"
+rm -f "${export_tsv}"
 
 # Fused-execution smoke: on the 10k scaling preset the fused backend
 # (prune->score overlapped through the bounded morsel channel) must report

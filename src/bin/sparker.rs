@@ -14,13 +14,20 @@
 //! sparker --demo            # run on a generated Abt-Buy-shaped dataset
 //! ```
 
+use sparker::blocking;
 use sparker::datasets::{generate, DatasetConfig, Preset};
+use sparker::metablocking::{
+    train_supervised, BlockGraph, EdgeScorer, LinearModel, TrainOptions, WeightScheme,
+};
 use sparker::profiles::{
     parse_csv, profiles_from_csv, profiles_from_json_lines, write_csv, CsvOptions, GroundTruth,
     Profile, ProfileCollection, SourceId,
 };
 use sparker::serve::ResolverState;
-use sparker::{ExecutionBackend, LostPairsReport, Pipeline, PipelineConfig};
+use sparker::{
+    export_edges_tsv, ExecutionBackend, LostPairsReport, Pipeline, PipelineConfig, PurgeConfig,
+    WeightFilter,
+};
 use std::process::ExitCode;
 
 #[derive(Default)]
@@ -38,6 +45,9 @@ struct Args {
     workers: Option<usize>,
     preset: Option<String>,
     mem_budget_mb: Option<u64>,
+    edge_scorer: Option<String>,
+    export_edges: Option<String>,
+    weight_filter: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -48,6 +58,7 @@ USAGE:
     sparker --demo
     sparker serve [--preset <name>] [--addr <host:port>] [--workers <n>]
                   [--config <file>] [--clean-clean]
+    sparker train --out <model.json> [--preset <name>] [--config <file>]
 
 OPTIONS:
     --source-a <file>      First source (.csv or .jsonl). Required unless --demo.
@@ -77,6 +88,17 @@ OPTIONS:
                            temp dir. 0 or unset = stay in RAM. Results are
                            byte-identical either way. Equivalent to setting
                            SPARKER_MEM_BUDGET_MB.
+    --edge-scorer <name>   Override the meta-blocking edge scorer of the active
+                           configuration: cbs, ecbs, js, ejs, arcs, chi2, or
+                           supervised:<model.json> (a model written by
+                           `sparker train`). Requires a configuration with
+                           meta-blocking enabled.
+    --export-edges <file>  Write the retained weighted candidate edges as a TSV
+                           edge list (a, b, weight; ids resolved to
+                           source:original_id). Requires meta-blocking.
+    --weight-filter <expr> With --export-edges: keep only edges whose weight
+                           satisfies `w <op> <number>`, e.g. \"w >= 0.2\".
+                           Operators: >=, >, <=, <, ==, !=.
     --show-lost            With a ground truth: print the blocking false-positive
                            drill-down (lost pairs and their shared keys).
     --demo                 Run on a generated Abt-Buy-shaped dataset instead of files.
@@ -113,6 +135,21 @@ SERVE MODE:
                            otherwise).
     --clean-clean          Serve a clean-clean (two-source) task instead
                            of dirty ER. Without --preset only.
+
+TRAIN MODE:
+    sparker train fits the supervised edge scorer: a logistic model over
+    the 12-feature edge vector (co-occurrence, Jaccard/Dice/cosine,
+    block sizes, degrees, entropy), trained with BLOSS-style balanced
+    sampling against a generated preset's exact ground truth. The model
+    is written as one-line JSON, loadable with
+    --edge-scorer supervised:<model.json> or an mb.model config line.
+
+    --out <model.json>     Where to write the trained model (required).
+    --preset <name>        Training preset (default dirty_1k). Generation
+                           is seeded, so training is deterministic.
+    --config <file>        Pipeline configuration whose purge/filter
+                           settings shape the training block collection
+                           (default: PipelineConfig::scaling()).
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -146,6 +183,9 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--mem-budget-mb needs an integer, got {v}"))?,
                 );
             }
+            "--edge-scorer" => args.edge_scorer = Some(value("--edge-scorer")?),
+            "--export-edges" => args.export_edges = Some(value("--export-edges")?),
+            "--weight-filter" => args.weight_filter = Some(value("--weight-filter")?),
             "--show-lost" => args.show_lost = true,
             "--fused" => args.fused = true,
             "--demo" => args.demo = true,
@@ -158,6 +198,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if !args.demo && args.preset.is_none() && args.source_a.is_none() {
         return Err("--source-a is required (or use --demo / --preset); see --help".to_string());
+    }
+    if args.weight_filter.is_some() && args.export_edges.is_none() {
+        return Err("--weight-filter requires --export-edges; see --help".to_string());
     }
     Ok(args)
 }
@@ -193,6 +236,14 @@ fn load_ground_truth(path: &str, collection: &ProfileCollection) -> Result<Groun
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+
+    // A malformed --weight-filter should fail before any data is loaded.
+    let weight_filter = args
+        .weight_filter
+        .as_deref()
+        .map(WeightFilter::parse)
+        .transpose()
+        .map_err(|e| format!("--weight-filter: {e}"))?;
 
     // The budget flag is exported as SPARKER_MEM_BUDGET_MB *before* the
     // backend is constructed: engine contexts resolve their budget from the
@@ -265,7 +316,7 @@ fn run() -> Result<(), String> {
     // Configuration. Preset runs default to the scaling-tier configuration
     // (bounded candidates per profile) instead of the Abt-Buy-scale default;
     // an explicit --config always wins.
-    let config = match &args.config {
+    let mut config = match &args.config {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             PipelineConfig::from_config_string(&text).map_err(|e| e.to_string())?
@@ -273,6 +324,18 @@ fn run() -> Result<(), String> {
         None if args.preset.is_some() => PipelineConfig::scaling(),
         None => PipelineConfig::default(),
     };
+    if let Some(spec) = &args.edge_scorer {
+        let mb = config.blocking.meta_blocking.as_mut().ok_or_else(|| {
+            "--edge-scorer needs a configuration with meta-blocking enabled".to_string()
+        })?;
+        mb.scorer = parse_edge_scorer(spec)?;
+    }
+    if args.export_edges.is_some() && config.blocking.meta_blocking.is_none() {
+        return Err(
+            "--export-edges needs a configuration with meta-blocking enabled (no weighted edges)"
+                .to_string(),
+        );
+    }
 
     // Run on the selected backend (default: the pool engine).
     let pipeline = Pipeline::new(config);
@@ -339,6 +402,22 @@ fn run() -> Result<(), String> {
         result.report.spill_batches,
     );
 
+    // Similarity-graph export: the retained weighted candidate edges as a
+    // TSV edge list, optionally thinned by a weight-filter expression.
+    if let Some(path) = &args.export_edges {
+        let tsv = export_edges_tsv(
+            &collection,
+            &result.blocker.weighted_candidates,
+            weight_filter.as_ref(),
+        );
+        std::fs::write(path, &tsv).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "exported {} of {} weighted edges to {path}",
+            tsv.lines().count() - 1,
+            result.blocker.weighted_candidates.len(),
+        );
+    }
+
     // Evaluation.
     if let Some(gt) = &ground_truth {
         let eval = result.evaluate(gt);
@@ -389,6 +468,110 @@ fn run() -> Result<(), String> {
         std::fs::write(path, write_csv(&rows, ',')).map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nwrote {} entity rows to {path}", rows.len() - 1);
     }
+    Ok(())
+}
+
+/// Parse an `--edge-scorer` value: a classic scheme name or
+/// `supervised:<model.json>`.
+fn parse_edge_scorer(spec: &str) -> Result<EdgeScorer, String> {
+    if let Some(path) = spec.strip_prefix("supervised:") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let model = LinearModel::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(EdgeScorer::Supervised(model));
+    }
+    let scheme = match spec {
+        "cbs" => WeightScheme::Cbs,
+        "ecbs" => WeightScheme::Ecbs,
+        "js" => WeightScheme::Js,
+        "ejs" => WeightScheme::Ejs,
+        "arcs" => WeightScheme::Arcs,
+        "chi2" => WeightScheme::ChiSquare,
+        other => {
+            return Err(format!(
+                "unknown edge scorer {other:?}; use cbs, ecbs, js, ejs, arcs, chi2 \
+                 or supervised:<model.json>"
+            ))
+        }
+    };
+    Ok(EdgeScorer::Classic(scheme))
+}
+
+/// `sparker train`: fit the supervised edge scorer on a generated preset
+/// and write the model as one-line JSON.
+fn run_train(argv: &[String]) -> Result<(), String> {
+    let mut preset_name = "dirty_1k".to_string();
+    let mut out: Option<String> = None;
+    let mut config_path: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--preset" => preset_name = value("--preset")?,
+            "--out" => out = Some(value("--out")?),
+            "--config" => config_path = Some(value("--config")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown train flag {other}; see --help")),
+        }
+    }
+    let out = out.ok_or_else(|| "train requires --out <model.json>; see --help".to_string())?;
+    let preset = Preset::by_name(&preset_name).ok_or_else(|| {
+        format!(
+            "unknown preset {preset_name:?}; expected one of {}",
+            Preset::NAMES.join(", ")
+        )
+    })?;
+    let config = match &config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            PipelineConfig::from_config_string(&text).map_err(|e| e.to_string())?
+        }
+        None => PipelineConfig::scaling(),
+    };
+
+    let ds = preset.generate();
+    println!(
+        "preset {}: {} profiles, {} ground-truth matches",
+        preset.name,
+        ds.collection.len(),
+        ds.ground_truth.len()
+    );
+
+    // Build the training block collection the way a preset run would:
+    // schema-agnostic token blocking under the configuration's purge and
+    // filter settings (loose-schema partitioning, if configured, is not
+    // applied — training features are schema-agnostic).
+    let bc = &config.blocking;
+    let blocks = blocking::token_blocking(&ds.collection);
+    let blocks = match bc.purge {
+        PurgeConfig::Off => blocks,
+        PurgeConfig::Oversized { max_fraction } => {
+            blocking::purge_oversized(blocks, ds.collection.len(), max_fraction)
+        }
+        PurgeConfig::ComparisonLevel { smoothing } => {
+            blocking::purge_by_comparison_level(blocks, smoothing)
+        }
+    };
+    let blocks = match bc.filter_ratio {
+        Some(ratio) => blocking::block_filtering(blocks, ratio),
+        None => blocks,
+    };
+    let graph = BlockGraph::new(&blocks, None);
+
+    let report = train_supervised(&graph, &ds.ground_truth, &TrainOptions::default());
+    println!(
+        "trained: {} positive / {} negative edges sampled, final loss {:.4}",
+        report.positives, report.negatives, report.final_loss
+    );
+    let json = report.model.to_json();
+    std::fs::write(&out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote model to {out}");
     Ok(())
 }
 
@@ -476,6 +659,15 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().is_some_and(|a| a == "serve") {
         return match run_serve(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().is_some_and(|a| a == "train") {
+        return match run_train(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

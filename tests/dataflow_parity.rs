@@ -9,7 +9,8 @@ use sparker::dataflow::Context;
 use sparker::datasets::{generate, DatasetConfig};
 use sparker::matching::{Matcher, SimilarityMeasure, ThresholdMatcher};
 use sparker::metablocking::{
-    meta_blocking_graph, parallel, BlockGraph, MetaBlockingConfig, PruningStrategy, WeightScheme,
+    meta_blocking_graph, parallel, BlockGraph, EdgeScorer, MetaBlockingConfig, PruningStrategy,
+    WeightScheme,
 };
 use sparker::{Pipeline, PipelineConfig};
 
@@ -66,7 +67,7 @@ fn meta_blocking_parity_over_configs_and_workers() {
             PruningStrategy::Blast { ratio: 0.35 },
         ] {
             let config = MetaBlockingConfig {
-                scheme,
+                scorer: EdgeScorer::Classic(scheme),
                 pruning,
                 use_entropy: false,
             };

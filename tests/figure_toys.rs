@@ -3,8 +3,8 @@
 
 use sparker::blocking::{token_blocking, Block, BlockCollection};
 use sparker::metablocking::{
-    meta_blocking_graph, BlockEntropies, BlockGraph, MetaBlockingConfig, PruningStrategy,
-    WeightScheme,
+    meta_blocking_graph, BlockEntropies, BlockGraph, EdgeScorer, MetaBlockingConfig,
+    PruningStrategy, WeightScheme,
 };
 use sparker::profiles::{ErKind, Pair, Profile, ProfileCollection, ProfileId, SourceId};
 
@@ -106,7 +106,7 @@ fn figure2c_entropy_weighting_removes_the_red_edges() {
     let retained = meta_blocking_graph(
         &graph,
         &MetaBlockingConfig {
-            scheme: WeightScheme::Cbs,
+            scorer: EdgeScorer::Classic(WeightScheme::Cbs),
             pruning: PruningStrategy::Wep { factor: 1.0 },
             use_entropy: true,
         },

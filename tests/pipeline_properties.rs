@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use sparker::datasets::{generate, DatasetConfig, Domain, NoiseConfig};
 use sparker::matching::SimilarityMeasure;
-use sparker::metablocking::{MetaBlockingConfig, PruningStrategy, WeightScheme};
+use sparker::metablocking::{EdgeScorer, MetaBlockingConfig, PruningStrategy, WeightScheme};
 use sparker::{
     BlockingConfig, ClusteringAlgorithm, MatcherConfig, Pipeline, PipelineConfig, PurgeConfig,
 };
@@ -25,7 +25,7 @@ fn config_strategy() -> impl Strategy<Value = PipelineConfig> {
     ];
     let meta = prop::option::of((scheme, pruning, proptest::bool::ANY).prop_map(
         |(scheme, pruning, use_entropy)| MetaBlockingConfig {
-            scheme,
+            scorer: EdgeScorer::Classic(scheme),
             pruning,
             use_entropy,
         },
